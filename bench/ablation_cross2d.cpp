@@ -1,0 +1,112 @@
+// Ablation — 2-D sensing area (the paper's Sec. VI extension): swipes at
+// eight compass directions over the cross board, tracked by ZEBRA-2D.
+// Reports the direction-8 confusion matrix and the mean angular error.
+#include <cmath>
+#include <iostream>
+#include <numbers>
+
+#include "common/csv.hpp"
+#include "core/zebra2d.hpp"
+#include "sensor/recorder.hpp"
+#include "support.hpp"
+#include "synth/trajectory.hpp"
+
+using namespace airfinger;
+
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+
+core::ProcessedTrace record_swipe(double angle_rad, double standoff,
+                                  double speed, common::Rng& rng) {
+  optics::AmbientConditions ambient;
+  ambient.hour_of_day = 11.0;
+  const auto scene =
+      optics::make_cross_scene({}, optics::AmbientModel(ambient));
+  sensor::AdcSpec adc;
+  adc.gain = 90.0;
+  sensor::Recorder recorder(scene, sensor::AdcModel(adc), 100.0);
+
+  const optics::Vec3 dir{std::cos(angle_rad), std::sin(angle_rad), 0.0};
+  const double sweep_T = 0.6 / speed;
+  const double total_T = sweep_T + 0.8;
+  auto provider = [=](double t) {
+    sensor::SceneState state;
+    optics::ReflectorPatch finger;
+    const double raw = std::clamp((t - 0.4) / sweep_T, 0.0, 1.0);
+    const double s = synth::minimum_jerk(raw);
+    finger.position = dir * (-0.025 + 0.05 * s);
+    finger.position.z = standoff;
+    const double entry = std::max(0.0, 1.0 - raw / 0.2);
+    const double exit = std::max(0.0, (raw - 0.8) / 0.2);
+    finger.position.z += 0.025 * (entry * entry + exit * exit);
+    state.patches.push_back(finger);
+    return state;
+  };
+  const auto trace = recorder.record(provider, total_T, rng);
+  return core::DataProcessor{}.process(trace);
+}
+
+const char* direction_name(core::SwipeDirection8 d) {
+  static const char* names[] = {"E", "NE", "N", "NW", "W", "SW", "S", "SE"};
+  return names[static_cast<std::size_t>(d)];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  common::Cli cli("bench_ablation_cross2d",
+                  "Sec. VI extension: 2-D swipe tracking on a cross board");
+  cli.add_flag("seed", "7", "random seed");
+  cli.add_flag("trials", "12", "swipes per direction");
+  if (!cli.parse(argc, argv)) return 0;
+  common::Rng rng(static_cast<std::uint64_t>(cli.get_int("seed")));
+  const int trials = static_cast<int>(cli.get_int("trials"));
+
+  const core::Zebra2dTracker tracker;
+  ml::ConfusionMatrix cm(8, {"E", "NE", "N", "NW", "W", "SW", "S", "SE"});
+  double angle_error_sum = 0.0;
+  int tracked = 0, total = 0;
+
+  common::CsvWriter csv("ablation_cross2d.csv",
+                        {"true_angle_deg", "measured_angle_deg",
+                         "true_dir", "measured_dir"});
+  for (int d = 0; d < 8; ++d) {
+    const double base_angle = d * kPi / 4.0;
+    for (int trial = 0; trial < trials; ++trial) {
+      ++total;
+      const double angle = base_angle + rng.uniform(-0.12, 0.12);
+      const double standoff = rng.uniform(0.014, 0.022);
+      const double speed = rng.uniform(0.8, 1.3);
+      const auto p = record_swipe(angle, standoff, speed, rng);
+      const auto swipe = tracker.track(p, {0, p.energy.size()});
+      if (!swipe) continue;
+      ++tracked;
+      const auto truth = core::to_direction8(base_angle);
+      const auto measured = core::to_direction8(swipe->angle_rad);
+      cm.add(static_cast<int>(truth), static_cast<int>(measured));
+      double err = std::fabs(swipe->angle_rad - angle);
+      while (err > kPi) err = std::fabs(err - 2.0 * kPi);
+      angle_error_sum += err;
+      csv.write_row({common::Table::num(angle * 180.0 / kPi, 1),
+                     common::Table::num(swipe->angle_rad * 180.0 / kPi, 1),
+                     direction_name(truth), direction_name(measured)});
+    }
+  }
+
+  common::print_banner(std::cout,
+                       "Sec. VI extension — 2-D swipes on the cross board");
+  std::cout << cm.to_string();
+  std::cout << "  tracked " << tracked << "/" << total
+            << " swipes; direction-8 accuracy "
+            << common::Table::pct(cm.accuracy()) << "; mean angular error "
+            << common::Table::num(
+                   tracked ? angle_error_sum / tracked * 180.0 / kPi : 0.0,
+                   1)
+            << "°\n"
+            << "The same integral-timing machinery that drives the paper's "
+               "1-D ZEBRA extends to two axes\nwith no new signal "
+               "processing — the multi-dimensional sensing area the paper "
+               "envisions.\nWrote ablation_cross2d.csv.\n";
+  return 0;
+}

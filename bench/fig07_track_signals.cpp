@@ -1,0 +1,83 @@
+// Fig. 7 — signals of track-aimed gestures: the per-photodiode ΔRSS² of a
+// scroll up and a scroll down, showing the ordered signal arrival that
+// ZEBRA reads (P1 before P3 for up, P3 before P1 for down).
+#include <iostream>
+
+#include "common/csv.hpp"
+#include "core/ascending.hpp"
+#include "support.hpp"
+
+using namespace airfinger;
+
+namespace {
+
+void report(const synth::GestureSample& s) {
+  const core::DataProcessor processor;
+  const auto p = processor.process(s.trace);
+  const double rate = s.trace.sample_rate_hz();
+  const auto g0 = static_cast<std::size_t>(s.gesture_start_s * rate);
+  const auto g1 = static_cast<std::size_t>(s.gesture_end_s * rate);
+  const auto seg = core::DataProcessor::select_segment(p, g0, g1);
+  const auto padded = core::pad_segment(seg, p.energy.size(), 0.25, rate);
+
+  std::vector<std::span<const double>> windows;
+  for (const auto& ch : p.delta_rss2)
+    windows.emplace_back(ch.data() + padded.begin, padded.length());
+  const auto timing = core::segment_timing(windows, rate);
+
+  common::print_banner(std::cout,
+                       std::string("Fig. 7 — ") +
+                           std::string(synth::motion_name(s.kind)));
+  common::Table table({"channel", "peak ΔRSS²", "τ (energy centroid, s)"});
+  const char* names[] = {"P1", "P2", "P3"};
+  for (std::size_t c = 0; c < windows.size(); ++c) {
+    double peak = 0.0;
+    for (double v : windows[c]) peak = std::max(peak, v);
+    table.add_row({names[c], common::Table::num(peak, 0),
+                   common::Table::num(timing.tau_s[c], 3)});
+  }
+  table.print(std::cout);
+  std::cout << "  asymmetry sweep ΔA = "
+            << common::Table::num(timing.asymmetry_delta)
+            << "  (positive = P1 side first = scroll up)\n"
+            << "  transit time Δt = "
+            << common::Table::num(timing.transition_s * 1000.0, 0)
+            << " ms\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = bench::parse_args(
+      argc, argv, "bench_fig07_track_signals",
+      "Fig. 7: per-photodiode signals of the track-aimed gestures");
+  if (!args) return 0;
+
+  synth::CollectionConfig config = bench::protocol(*args);
+  config.users = 1;
+  config.sessions = 1;
+  config.repetitions = 1;
+  config.partial_scroll_probability = 0.0;
+  config.kinds = {synth::MotionKind::kScrollUp,
+                  synth::MotionKind::kScrollDown};
+  const auto data = synth::DatasetBuilder(config).collect();
+
+  common::CsvWriter csv("fig07_track_signals.csv",
+                        {"gesture", "sample", "p1", "p2", "p3"});
+  for (const auto& s : data.samples) {
+    report(s);
+    const core::DataProcessor processor;
+    const auto p = processor.process(s.trace);
+    for (std::size_t i = 0; i < p.energy.size(); ++i)
+      csv.write_row({std::string(synth::motion_name(s.kind)),
+                     std::to_string(i),
+                     common::Table::num(p.delta_rss2[0][i], 1),
+                     common::Table::num(p.delta_rss2[1][i], 1),
+                     common::Table::num(p.delta_rss2[2][i], 1)});
+  }
+  std::cout << "\nWrote per-channel ΔRSS² series to "
+               "fig07_track_signals.csv.\nPaper check: scroll up shows P1's "
+               "energy arriving before P3's (ΔA > 0); scroll down the "
+               "reverse.\n";
+  return 0;
+}

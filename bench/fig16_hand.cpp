@@ -1,0 +1,58 @@
+// Fig. 16 — impact of the dominant hand: gestures performed with the
+// non-dominant (left) hand, prototype oriented accordingly.
+//
+// Paper: 6 right-handed volunteers × 2 sessions × 20 repetitions, 3-fold
+// CV; average accuracy above 95% (recall 95.10%, precision 95.13%) — only
+// slightly below dominant-hand performance.
+#include <iostream>
+
+#include "common/csv.hpp"
+#include "support.hpp"
+
+using namespace airfinger;
+
+int main(int argc, char** argv) {
+  const auto args = bench::parse_args(
+      argc, argv, "bench_fig16_hand",
+      "Fig. 16: non-dominant hand performance (3-fold CV)");
+  if (!args) return 0;
+
+  auto run = [&](bool non_dominant) {
+    synth::CollectionConfig config = bench::protocol(*args);
+    config.users = 6;
+    config.sessions = 2;
+    config.non_dominant_hand = non_dominant;
+    config.seed = args->seed;  // the same six volunteers use either hand
+    const auto data = synth::DatasetBuilder(config).collect();
+    const auto set = bench::featurize(data, core::LabelScheme::kAllEight);
+    common::Rng rng(args->seed ^ 0x9A9D);
+    const auto splits = ml::stratified_kfold(set, 3, rng);
+    return bench::cross_validate(set, splits, core::LabelScheme::kAllEight,
+                                 /*verbose=*/false);
+  };
+
+  std::cout << "evaluating dominant hand...\n";
+  const auto dominant = run(false);
+  std::cout << "evaluating non-dominant hand...\n";
+  const auto non_dominant = run(true);
+
+  bench::print_summary("Fig. 16 — non-dominant hand", non_dominant, 0.95);
+  common::Table table({"hand", "accuracy", "recall", "precision"});
+  table.add_row({"dominant", common::Table::pct(dominant.accuracy()),
+                 common::Table::pct(dominant.macro_recall()),
+                 common::Table::pct(dominant.macro_precision())});
+  table.add_row({"non-dominant",
+                 common::Table::pct(non_dominant.accuracy()),
+                 common::Table::pct(non_dominant.macro_recall()),
+                 common::Table::pct(non_dominant.macro_precision())});
+  table.print(std::cout);
+
+  common::CsvWriter csv("fig16_hand.csv", {"hand", "accuracy"});
+  csv.write_row({"dominant", common::Table::num(dominant.accuracy(), 4)});
+  csv.write_row(
+      {"non-dominant", common::Table::num(non_dominant.accuracy(), 4)});
+  std::cout << "Paper: non-dominant above 95%, slightly below dominant. "
+               "Shape check: a small but visible gap in the same "
+               "direction.\nWrote fig16_hand.csv.\n";
+  return 0;
+}

@@ -1,0 +1,170 @@
+// Microbenchmarks (google-benchmark) backing the paper's real-time and
+// processing-efficiency claims: per-sample SBC cost, segmentation,
+// feature extraction, RF inference, ZEBRA tracking, and the full streaming
+// frame path — plus the SBC-window and forest-size ablations from
+// DESIGN.md §5.
+#include <benchmark/benchmark.h>
+
+#include "core/data_processor.hpp"
+#include "core/trainer.hpp"
+#include "core/training.hpp"
+#include "core/zebra.hpp"
+#include "dsp/dynamic_threshold.hpp"
+#include "dsp/sbc.hpp"
+#include "features/bank.hpp"
+#include "ml/random_forest.hpp"
+#include "synth/dataset.hpp"
+
+using namespace airfinger;
+
+namespace {
+
+const synth::Dataset& sample_data() {
+  static const synth::Dataset data = [] {
+    synth::CollectionConfig config;
+    config.users = 1;
+    config.sessions = 1;
+    config.repetitions = 2;
+    config.seed = 0xBE7C;
+    return synth::DatasetBuilder(config).collect();
+  }();
+  return data;
+}
+
+const synth::GestureSample& scroll_sample() {
+  for (const auto& s : sample_data().samples)
+    if (s.kind == synth::MotionKind::kScrollUp) return s;
+  return sample_data().samples.front();
+}
+
+}  // namespace
+
+// --- SBC per sample (the paper claims O(n); this is the per-frame cost).
+static void BM_SbcPush(benchmark::State& state) {
+  dsp::SquareBasedCalculator sbc(static_cast<std::size_t>(state.range(0)));
+  double v = 0.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sbc.push(v));
+    v += 1.0;
+  }
+}
+BENCHMARK(BM_SbcPush)->Arg(1)->Arg(5)->Arg(25);
+
+// --- Streaming segmenter per sample.
+static void BM_SegmenterPush(benchmark::State& state) {
+  dsp::DynamicThresholdSegmenter seg{dsp::SegmenterConfig{}};
+  common::Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(seg.push(rng.uniform(0.0, 100.0)));
+  }
+}
+BENCHMARK(BM_SegmenterPush);
+
+// --- Batch segmentation of a full trace.
+static void BM_BatchSegmentation(benchmark::State& state) {
+  const auto& s = sample_data().samples.front();
+  const core::DataProcessor proc;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(proc.process(s.trace));
+  }
+}
+BENCHMARK(BM_BatchSegmentation);
+
+// --- Feature extraction for one segment.
+static void BM_FeatureExtraction(benchmark::State& state) {
+  const auto& s = sample_data().samples.front();
+  const core::DataProcessor proc;
+  const auto p = proc.process(s.trace);
+  const auto seg = core::DataProcessor::select_segment(p, 0,
+                                                       p.energy.size());
+  std::vector<std::span<const double>> windows;
+  for (const auto& ch : p.delta_rss2)
+    windows.emplace_back(ch.data() + seg.begin, seg.length());
+  const features::FeatureBank bank;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        bank.extract(std::span<const std::span<const double>>(windows)));
+  }
+}
+BENCHMARK(BM_FeatureExtraction);
+
+// --- RF inference across forest sizes (the forest-size ablation).
+static void BM_ForestPredict(benchmark::State& state) {
+  const auto& data = sample_data();
+  const core::DataProcessor proc;
+  const features::FeatureBank bank;
+  const auto set = core::build_feature_set(data, proc, bank,
+                                           core::LabelScheme::kAllEight);
+  ml::RandomForestConfig config;
+  config.num_trees = static_cast<std::size_t>(state.range(0));
+  ml::RandomForest forest(config);
+  forest.fit(set);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(forest.predict(set.features[i]));
+    i = (i + 1) % set.size();
+  }
+}
+BENCHMARK(BM_ForestPredict)->Arg(10)->Arg(50)->Arg(150);
+
+// --- ZEBRA tracking of one scroll segment.
+static void BM_ZebraTrack(benchmark::State& state) {
+  const auto& s = scroll_sample();
+  const core::DataProcessor proc;
+  const auto p = proc.process(s.trace);
+  const auto seg = core::DataProcessor::select_segment(p, 0,
+                                                       p.energy.size());
+  const core::ZebraTracker zebra;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(zebra.track(p, seg));
+  }
+}
+BENCHMARK(BM_ZebraTrack);
+
+// --- Full streaming frame path (the real-time budget: must be far below
+// the 10 ms frame interval of the 100 Hz prototype).
+static void BM_EnginePushFrame(benchmark::State& state) {
+  static core::AirFinger engine = [] {
+    core::TrainerConfig config;
+    config.users = 2;
+    config.sessions = 1;
+    config.repetitions = 4;
+    config.seed = 0xE11;
+    return core::build_engine(config);
+  }();
+  const auto& s = sample_data().samples.front();
+  std::vector<double> frame(3);
+  std::size_t i = 0;
+  std::size_t events = 0;
+  const auto sink = [&events](const core::GestureEvent&) { ++events; };
+  for (auto _ : state) {
+    for (std::size_t c = 0; c < 3; ++c)
+      frame[c] = s.trace.channel(c)[i];
+    engine.push_frame(frame, sink);
+    i = (i + 1) % s.trace.sample_count();
+    if (i == 0) {
+      state.PauseTiming();
+      engine.reset();
+      state.ResumeTiming();
+    }
+  }
+  benchmark::DoNotOptimize(events);
+}
+BENCHMARK(BM_EnginePushFrame);
+
+// --- Dataset synthesis cost (substrate throughput).
+static void BM_SynthesizeSample(benchmark::State& state) {
+  synth::CollectionConfig config;
+  config.users = 1;
+  config.sessions = 1;
+  config.repetitions = 1;
+  config.kinds = {synth::MotionKind::kCircle};
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    config.seed = seed++;
+    benchmark::DoNotOptimize(synth::DatasetBuilder(config).collect());
+  }
+}
+BENCHMARK(BM_SynthesizeSample);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,84 @@
+#include "support.hpp"
+
+#include <iomanip>
+
+namespace airfinger::bench {
+
+std::optional<BenchArgs> parse_args(int argc, const char* const* argv,
+                                    const std::string& name,
+                                    const std::string& description,
+                                    common::Cli* extra) {
+  common::Cli own(name, description);
+  common::Cli& cli = extra ? *extra : own;
+  cli.add_flag("seed", "7", "master random seed");
+  cli.add_flag("users", "10", "synthetic volunteers (paper: 10)");
+  cli.add_flag("sessions", "5", "sessions per volunteer (paper: 5)");
+  cli.add_flag("reps", "8",
+               "repetitions per gesture per session (paper: 25)");
+  if (!cli.parse(argc, argv)) return std::nullopt;
+  BenchArgs args;
+  args.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  args.users = static_cast<int>(cli.get_int("users"));
+  args.sessions = static_cast<int>(cli.get_int("sessions"));
+  args.reps = static_cast<int>(cli.get_int("reps"));
+  return args;
+}
+
+synth::CollectionConfig protocol(const BenchArgs& args) {
+  synth::CollectionConfig config;
+  config.users = args.users;
+  config.sessions = args.sessions;
+  config.repetitions = args.reps;
+  config.seed = args.seed;
+  return config;
+}
+
+ml::SampleSet featurize(const synth::Dataset& data,
+                        core::LabelScheme scheme,
+                        core::GroupScheme groups) {
+  const core::DataProcessor processor;
+  const features::FeatureBank bank;
+  return core::build_feature_set(data, processor, bank, scheme, groups);
+}
+
+ml::ConfusionMatrix cross_validate(const ml::SampleSet& set,
+                                   const std::vector<ml::Split>& splits,
+                                   core::LabelScheme scheme,
+                                   bool verbose) {
+  ml::ConfusionMatrix total(core::class_count(scheme),
+                            core::class_names(scheme));
+  int fold = 0;
+  for (const auto& split : splits) {
+    core::DetectRecognizer recognizer;
+    const auto cm = core::evaluate_split(recognizer, set, split,
+                                         core::class_count(scheme),
+                                         core::class_names(scheme));
+    if (verbose)
+      std::cout << "  fold " << ++fold << ": accuracy "
+                << common::Table::pct(cm.accuracy()) << "\n";
+    total.merge(cm);
+  }
+  return total;
+}
+
+void print_summary(const std::string& experiment,
+                   const ml::ConfusionMatrix& cm, double paper_accuracy) {
+  common::print_banner(std::cout, experiment);
+  std::cout << cm.to_string();
+  common::Table table({"metric", "paper", "measured"});
+  table.add_row({"accuracy", common::Table::pct(paper_accuracy),
+                 common::Table::pct(cm.accuracy())});
+  table.add_row({"macro recall", "-", common::Table::pct(cm.macro_recall())});
+  table.add_row(
+      {"macro precision", "-", common::Table::pct(cm.macro_precision())});
+  table.print(std::cout);
+}
+
+void print_comparison(const std::string& metric, double paper,
+                      double measured) {
+  std::cout << std::fixed << std::setprecision(2) << "  " << metric
+            << ": paper " << paper * 100.0 << "%  measured "
+            << measured * 100.0 << "%\n";
+}
+
+}  // namespace airfinger::bench

@@ -1,0 +1,104 @@
+// Wristband demo: the paper's Sec. V-K deployment — the sensor worn on a
+// wristband while the user sits, stands, and walks. Streams continuous
+// multi-gesture episodes through the real-time engine under each activity
+// and reports per-condition recognition quality.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/wristband_demo
+#include <iostream>
+
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "core/trainer.hpp"
+#include "core/training.hpp"
+#include "synth/dataset.hpp"
+
+using namespace airfinger;
+
+int main(int argc, char** argv) {
+  common::Cli cli("wristband_demo",
+                  "recognition on a wristband while sitting / standing / "
+                  "walking");
+  cli.add_flag("seed", "31337", "random seed");
+  cli.add_flag("reps", "12", "repetitions per gesture per condition");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+
+  std::cout << "Training the airFinger engine (worn-device profile: "
+               "demonstrations collected while sitting, standing, and "
+               "walking)...\n";
+  synth::Dataset gestures, non_gestures;
+  for (auto activity : {synth::Activity::kSitting,
+                        synth::Activity::kStanding,
+                        synth::Activity::kWalking}) {
+    synth::CollectionConfig config;
+    config.users = 3;
+    config.sessions = 2;
+    config.repetitions = 6;
+    config.activity = activity;
+    config.seed = seed ^ static_cast<std::uint64_t>(activity);
+    const auto part = synth::DatasetBuilder(config).collect();
+    gestures.samples.insert(gestures.samples.end(), part.samples.begin(),
+                            part.samples.end());
+    synth::CollectionConfig non_config = config;
+    non_config.kinds = {synth::non_gestures().begin(),
+                        synth::non_gestures().end()};
+    non_config.repetitions = 5;
+    non_config.seed = config.seed ^ 0xF00D;
+    const auto non_part = synth::DatasetBuilder(non_config).collect();
+    non_gestures.samples.insert(non_gestures.samples.end(),
+                                non_part.samples.begin(),
+                                non_part.samples.end());
+  }
+  core::AirFinger engine =
+      core::build_engine_from(core::AirFingerConfig{}, gestures,
+                              non_gestures);
+
+  common::Table table({"condition", "gestures", "recognized", "accuracy",
+                       "scroll direction"});
+  for (auto activity : {synth::Activity::kSitting,
+                        synth::Activity::kStanding,
+                        synth::Activity::kWalking}) {
+    // The wearer enrolled the device (their own demonstrations are part of
+    // the training set above, users 0-2 of this seed); evaluate on their
+    // later sessions.
+    synth::CollectionConfig config;
+    config.users = 2;
+    config.sessions = 1;
+    config.repetitions = static_cast<int>(cli.get_int("reps"));
+    config.activity = activity;
+    config.seed = seed ^ static_cast<std::uint64_t>(activity);
+    const auto data = synth::DatasetBuilder(config).collect();
+
+    int correct = 0, dir_total = 0, dir_ok = 0;
+    for (const auto& s : data.samples) {
+      const auto v = core::run_sample(engine, s);
+      if (v.predicted == s.kind) ++correct;
+      if (synth::is_track_aimed(s.kind) && v.scroll) {
+        ++dir_total;
+        if (v.scroll->direction == s.scroll->direction) ++dir_ok;
+      }
+    }
+    table.add_row(
+        {std::string(synth::activity_name(activity)),
+         std::to_string(data.size()), std::to_string(correct),
+         common::Table::pct(static_cast<double>(correct) /
+                            static_cast<double>(data.size())),
+         dir_total ? common::Table::pct(static_cast<double>(dir_ok) /
+                                        dir_total)
+                   : "-"});
+    std::cout << "  " << synth::activity_name(activity) << ": " << correct
+              << "/" << data.size() << " recognized\n";
+  }
+
+  std::cout << "\nWristband summary (paper: 97.17% averaged accuracy "
+               "across conditions):\n";
+  table.print(std::cout);
+  std::cout << "At this demo scale per-condition numbers are noisy; "
+               "bench_fig17_wristband runs the paper's\nfull protocol "
+               "(per-condition 3-fold CV) and shows the sitting ≥ standing "
+               "> walking shape.\n";
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Minimal command-line flag parsing for the bench and example binaries.
+//
+// Supports --name=value and --name value forms plus boolean switches. Unknown
+// flags are an error so typos in sweep scripts fail loudly.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace airfinger::common {
+
+/// Declarative flag set parsed from argv.
+class Cli {
+ public:
+  /// program_name is used in the --help banner.
+  explicit Cli(std::string program_name, std::string description = "");
+
+  /// Registers a flag with a default value and help text. Call before parse.
+  void add_flag(const std::string& name, const std::string& default_value,
+                const std::string& help);
+
+  /// Parses argv. Returns false (after printing usage) when --help was given.
+  /// Throws PreconditionError for unknown flags or missing values.
+  bool parse(int argc, const char* const* argv);
+
+  /// Typed accessors. Throw if the flag was never registered.
+  std::string get(const std::string& name) const;
+  std::int64_t get_int(const std::string& name) const;
+  double get_double(const std::string& name) const;
+  bool get_bool(const std::string& name) const;
+
+  /// Usage string listing all registered flags.
+  std::string usage() const;
+
+ private:
+  struct Flag {
+    std::string value;
+    std::string default_value;
+    std::string help;
+  };
+  std::string program_;
+  std::string description_;
+  std::map<std::string, Flag> flags_;
+  std::vector<std::string> order_;
+};
+
+}  // namespace airfinger::common

@@ -1,0 +1,75 @@
+#include "common/csv.hpp"
+
+#include <stdexcept>
+
+#include "common/error.hpp"
+
+namespace airfinger::common {
+
+std::string csv_escape(const std::string& field) {
+  const bool needs_quotes =
+      field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quotes) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::string csv_line(const std::vector<std::string>& fields) {
+  std::string line;
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i) line += ',';
+    line += csv_escape(fields[i]);
+  }
+  return line;
+}
+
+std::vector<std::string> csv_split(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string current;
+  bool quoted = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (quoted) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current += '"';
+          ++i;
+        } else {
+          quoted = false;
+        }
+      } else {
+        current += c;
+      }
+    } else if (c == '"') {
+      quoted = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(current));
+      current.clear();
+    } else if (c != '\r') {
+      current += c;
+    }
+  }
+  fields.push_back(std::move(current));
+  return fields;
+}
+
+CsvWriter::CsvWriter(const std::string& path,
+                     std::vector<std::string> header)
+    : out_(path), arity_(header.size()) {
+  if (!out_) throw std::runtime_error("CsvWriter: cannot open " + path);
+  AF_EXPECT(arity_ > 0, "CsvWriter requires at least one column");
+  out_ << csv_line(header) << "\n";
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& fields) {
+  AF_EXPECT(fields.size() == arity_, "CsvWriter row arity mismatch");
+  out_ << csv_line(fields) << "\n";
+  ++rows_;
+}
+
+}  // namespace airfinger::common

@@ -1,0 +1,39 @@
+// CSV emission for benchmark data series, so figure data can be re-plotted
+// offline. Quoting follows RFC 4180 (fields containing comma, quote, or
+// newline are quoted; embedded quotes are doubled).
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace airfinger::common {
+
+/// Escapes a single CSV field per RFC 4180.
+std::string csv_escape(const std::string& field);
+
+/// Joins fields into one CSV line (no trailing newline).
+std::string csv_line(const std::vector<std::string>& fields);
+
+/// Splits one CSV line into fields, honouring RFC 4180 quoting.
+std::vector<std::string> csv_split(const std::string& line);
+
+/// Streaming CSV writer bound to a file path.
+class CsvWriter {
+ public:
+  /// Opens (truncates) the file and writes the header row.
+  /// Throws NumericError's sibling std::runtime_error on I/O failure.
+  CsvWriter(const std::string& path, std::vector<std::string> header);
+
+  /// Writes one data row; arity must match the header.
+  void write_row(const std::vector<std::string>& fields);
+
+  std::size_t rows_written() const { return rows_; }
+
+ private:
+  std::ofstream out_;
+  std::size_t arity_;
+  std::size_t rows_ = 0;
+};
+
+}  // namespace airfinger::common

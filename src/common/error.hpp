@@ -1,0 +1,63 @@
+// Error handling primitives shared across the airFinger libraries.
+//
+// The library reports precondition violations and invalid-argument errors via
+// exceptions (per C++ Core Guidelines E.2/E.3: use exceptions for error
+// handling only, and design interfaces so that exceptions are rare).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace airfinger {
+
+/// Thrown when a caller violates a documented precondition.
+class PreconditionError : public std::invalid_argument {
+ public:
+  explicit PreconditionError(const std::string& what)
+      : std::invalid_argument(what) {}
+};
+
+/// Thrown when an internal invariant is found broken (a bug in the library).
+class InvariantError : public std::logic_error {
+ public:
+  explicit InvariantError(const std::string& what) : std::logic_error(what) {}
+};
+
+/// Thrown when numeric routines fail to converge or hit singular systems.
+class NumericError : public std::runtime_error {
+ public:
+  explicit NumericError(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void throw_precondition(const char* expr, const char* file,
+                                            int line, const std::string& msg) {
+  throw PreconditionError(std::string(file) + ":" + std::to_string(line) +
+                          ": precondition failed: " + expr +
+                          (msg.empty() ? "" : " — " + msg));
+}
+[[noreturn]] inline void throw_invariant(const char* expr, const char* file,
+                                         int line, const std::string& msg) {
+  throw InvariantError(std::string(file) + ":" + std::to_string(line) +
+                       ": invariant broken: " + expr +
+                       (msg.empty() ? "" : " — " + msg));
+}
+}  // namespace detail
+
+}  // namespace airfinger
+
+/// Validates a documented precondition of a public API entry point.
+#define AF_EXPECT(cond, msg)                                              \
+  do {                                                                    \
+    if (!(cond))                                                          \
+      ::airfinger::detail::throw_precondition(#cond, __FILE__, __LINE__,  \
+                                              (msg));                     \
+  } while (0)
+
+/// Validates an internal invariant; failure indicates a library bug.
+#define AF_ASSERT(cond, msg)                                           \
+  do {                                                                 \
+    if (!(cond))                                                       \
+      ::airfinger::detail::throw_invariant(#cond, __FILE__, __LINE__, \
+                                           (msg));                    \
+  } while (0)

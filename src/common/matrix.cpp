@@ -1,0 +1,133 @@
+#include "common/matrix.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace airfinger::common {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+Matrix Matrix::from_rows(const std::vector<std::vector<double>>& rows) {
+  if (rows.empty()) return {};
+  Matrix m(rows.size(), rows[0].size());
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    AF_EXPECT(rows[r].size() == m.cols_, "from_rows: ragged row lengths");
+    for (std::size_t c = 0; c < m.cols_; ++c) m(r, c) = rows[r][c];
+  }
+  return m;
+}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+double& Matrix::operator()(std::size_t r, std::size_t c) {
+  AF_ASSERT(r < rows_ && c < cols_, "matrix index out of range");
+  return data_[r * cols_ + c];
+}
+
+double Matrix::operator()(std::size_t r, std::size_t c) const {
+  AF_ASSERT(r < rows_ && c < cols_, "matrix index out of range");
+  return data_[r * cols_ + c];
+}
+
+std::span<double> Matrix::row(std::size_t r) {
+  AF_EXPECT(r < rows_, "row index out of range");
+  return {data_.data() + r * cols_, cols_};
+}
+
+std::span<const double> Matrix::row(std::size_t r) const {
+  AF_EXPECT(r < rows_, "row index out of range");
+  return {data_.data() + r * cols_, cols_};
+}
+
+Matrix Matrix::transposed() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = 0; c < cols_; ++c) t(c, r) = (*this)(r, c);
+  return t;
+}
+
+Matrix Matrix::operator*(const Matrix& other) const {
+  AF_EXPECT(cols_ == other.rows_, "matrix product dimension mismatch");
+  Matrix out(rows_, other.cols_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double a = (*this)(r, k);
+      if (a == 0.0) continue;
+      for (std::size_t c = 0; c < other.cols_; ++c)
+        out(r, c) += a * other(k, c);
+    }
+  }
+  return out;
+}
+
+std::vector<double> Matrix::apply(std::span<const double> v) const {
+  AF_EXPECT(cols_ == v.size(), "matrix-vector dimension mismatch");
+  std::vector<double> out(rows_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double s = 0.0;
+    for (std::size_t c = 0; c < cols_; ++c) s += (*this)(r, c) * v[c];
+    out[r] = s;
+  }
+  return out;
+}
+
+std::vector<double> solve_linear(Matrix a, std::vector<double> b) {
+  AF_EXPECT(a.rows() == a.cols(), "solve_linear requires a square matrix");
+  AF_EXPECT(a.rows() == b.size(), "solve_linear rhs size mismatch");
+  const std::size_t n = a.rows();
+  for (std::size_t col = 0; col < n; ++col) {
+    // Partial pivoting: bring the largest remaining |entry| to the diagonal.
+    std::size_t pivot = col;
+    for (std::size_t r = col + 1; r < n; ++r)
+      if (std::fabs(a(r, col)) > std::fabs(a(pivot, col))) pivot = r;
+    if (std::fabs(a(pivot, col)) < 1e-14)
+      throw NumericError("solve_linear: singular system");
+    if (pivot != col) {
+      for (std::size_t c = 0; c < n; ++c) std::swap(a(pivot, c), a(col, c));
+      std::swap(b[pivot], b[col]);
+    }
+    const double inv = 1.0 / a(col, col);
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double f = a(r, col) * inv;
+      if (f == 0.0) continue;
+      for (std::size_t c = col; c < n; ++c) a(r, c) -= f * a(col, c);
+      b[r] -= f * b[col];
+    }
+  }
+  std::vector<double> x(n, 0.0);
+  for (std::size_t ri = n; ri-- > 0;) {
+    double s = b[ri];
+    for (std::size_t c = ri + 1; c < n; ++c) s -= a(ri, c) * x[c];
+    x[ri] = s / a(ri, ri);
+  }
+  return x;
+}
+
+std::vector<double> ols(const Matrix& x, std::span<const double> y,
+                        double ridge) {
+  AF_EXPECT(x.rows() == y.size(), "ols: X row count must match y size");
+  AF_EXPECT(x.rows() >= 1, "ols requires at least one observation");
+  const std::size_t p = x.cols();
+  Matrix xtx(p, p);
+  std::vector<double> xty(p, 0.0);
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    const auto row = x.row(r);
+    for (std::size_t i = 0; i < p; ++i) {
+      xty[i] += row[i] * y[r];
+      for (std::size_t j = i; j < p; ++j) xtx(i, j) += row[i] * row[j];
+    }
+  }
+  for (std::size_t i = 0; i < p; ++i) {
+    xtx(i, i) += ridge;
+    for (std::size_t j = 0; j < i; ++j) xtx(i, j) = xtx(j, i);
+  }
+  return solve_linear(std::move(xtx), std::move(xty));
+}
+
+}  // namespace airfinger::common

@@ -1,0 +1,68 @@
+// Minimal dense linear algebra used by the regression-based features (ADF,
+// autoregressive fits) and the logistic-regression trainer.
+//
+// Matrix is a row-major dense double matrix with value semantics. The solver
+// set is intentionally small: partial-pivot Gaussian elimination and an OLS
+// helper built on the normal equations with ridge fallback for rank-deficient
+// designs.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace airfinger::common {
+
+/// Dense row-major matrix of doubles with value semantics.
+class Matrix {
+ public:
+  Matrix() = default;
+
+  /// Zero-initialized rows x cols matrix.
+  Matrix(std::size_t rows, std::size_t cols);
+
+  /// Builds from nested initializer data; all rows must be equal length.
+  static Matrix from_rows(const std::vector<std::vector<double>>& rows);
+
+  /// Identity matrix of size n.
+  static Matrix identity(std::size_t n);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  bool empty() const { return data_.empty(); }
+
+  double& operator()(std::size_t r, std::size_t c);
+  double operator()(std::size_t r, std::size_t c) const;
+
+  /// Contiguous view of row r.
+  std::span<double> row(std::size_t r);
+  std::span<const double> row(std::size_t r) const;
+
+  /// Matrix transpose.
+  Matrix transposed() const;
+
+  /// Matrix product this * other. Requires cols() == other.rows().
+  Matrix operator*(const Matrix& other) const;
+
+  /// Matrix-vector product. Requires cols() == v.size().
+  std::vector<double> apply(std::span<const double> v) const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Solves A x = b by Gaussian elimination with partial pivoting.
+/// Requires A square and b.size() == A.rows(). Throws NumericError when the
+/// system is numerically singular.
+std::vector<double> solve_linear(Matrix a, std::vector<double> b);
+
+/// Ordinary least squares: returns beta minimizing ||X beta - y||^2 via the
+/// normal equations (X'X + ridge*I) beta = X'y. ridge defaults to a tiny
+/// jitter that regularizes rank-deficient designs without visibly biasing
+/// well-conditioned ones. Requires X.rows() == y.size() and X.rows() >= 1.
+std::vector<double> ols(const Matrix& x, std::span<const double> y,
+                        double ridge = 1e-10);
+
+}  // namespace airfinger::common

@@ -1,0 +1,224 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace airfinger::common {
+
+namespace {
+void require_nonempty(std::span<const double> x, const char* fn) {
+  AF_EXPECT(!x.empty(), std::string(fn) + " requires non-empty input");
+}
+}  // namespace
+
+double mean(std::span<const double> x) {
+  require_nonempty(x, "mean");
+  double s = 0.0;
+  for (double v : x) s += v;
+  return s / static_cast<double>(x.size());
+}
+
+double variance(std::span<const double> x) {
+  require_nonempty(x, "variance");
+  const double m = mean(x);
+  double s = 0.0;
+  for (double v : x) s += (v - m) * (v - m);
+  return s / static_cast<double>(x.size());
+}
+
+double sample_variance(std::span<const double> x) {
+  AF_EXPECT(x.size() >= 2, "sample_variance requires n >= 2");
+  const double m = mean(x);
+  double s = 0.0;
+  for (double v : x) s += (v - m) * (v - m);
+  return s / static_cast<double>(x.size() - 1);
+}
+
+double stddev(std::span<const double> x) { return std::sqrt(variance(x)); }
+
+double min(std::span<const double> x) {
+  require_nonempty(x, "min");
+  return *std::min_element(x.begin(), x.end());
+}
+
+double max(std::span<const double> x) {
+  require_nonempty(x, "max");
+  return *std::max_element(x.begin(), x.end());
+}
+
+double sum(std::span<const double> x) {
+  double s = 0.0;
+  for (double v : x) s += v;
+  return s;
+}
+
+double energy(std::span<const double> x) {
+  double s = 0.0;
+  for (double v : x) s += v * v;
+  return s;
+}
+
+double median(std::span<const double> x) { return quantile(x, 0.5); }
+
+double quantile(std::span<const double> x, double q) {
+  require_nonempty(x, "quantile");
+  AF_EXPECT(q >= 0.0 && q <= 1.0, "quantile q must lie in [0,1]");
+  std::vector<double> copy(x.begin(), x.end());
+  std::sort(copy.begin(), copy.end());
+  if (copy.size() == 1) return copy[0];
+  const double pos = q * static_cast<double>(copy.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const double frac = pos - static_cast<double>(lo);
+  if (lo + 1 >= copy.size()) return copy.back();
+  return copy[lo] * (1.0 - frac) + copy[lo + 1] * frac;
+}
+
+double skewness(std::span<const double> x) {
+  require_nonempty(x, "skewness");
+  const double m = mean(x);
+  double m2 = 0.0, m3 = 0.0;
+  for (double v : x) {
+    const double d = v - m;
+    m2 += d * d;
+    m3 += d * d * d;
+  }
+  const double n = static_cast<double>(x.size());
+  m2 /= n;
+  m3 /= n;
+  if (m2 <= 0.0) return 0.0;
+  return m3 / std::pow(m2, 1.5);
+}
+
+double kurtosis(std::span<const double> x) {
+  require_nonempty(x, "kurtosis");
+  const double m = mean(x);
+  double m2 = 0.0, m4 = 0.0;
+  for (double v : x) {
+    const double d = v - m;
+    m2 += d * d;
+    m4 += d * d * d * d;
+  }
+  const double n = static_cast<double>(x.size());
+  m2 /= n;
+  m4 /= n;
+  if (m2 <= 0.0) return 0.0;
+  return m4 / (m2 * m2) - 3.0;
+}
+
+std::size_t argmin(std::span<const double> x) {
+  require_nonempty(x, "argmin");
+  return static_cast<std::size_t>(
+      std::min_element(x.begin(), x.end()) - x.begin());
+}
+
+std::size_t argmax(std::span<const double> x) {
+  require_nonempty(x, "argmax");
+  return static_cast<std::size_t>(
+      std::max_element(x.begin(), x.end()) - x.begin());
+}
+
+std::size_t last_argmax(std::span<const double> x) {
+  require_nonempty(x, "last_argmax");
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < x.size(); ++i)
+    if (x[i] >= x[best]) best = i;
+  return best;
+}
+
+std::size_t last_argmin(std::span<const double> x) {
+  require_nonempty(x, "last_argmin");
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < x.size(); ++i)
+    if (x[i] <= x[best]) best = i;
+  return best;
+}
+
+std::size_t count_below_mean(std::span<const double> x) {
+  const double m = mean(x);
+  std::size_t c = 0;
+  for (double v : x)
+    if (v < m) ++c;
+  return c;
+}
+
+std::size_t count_above_mean(std::span<const double> x) {
+  const double m = mean(x);
+  std::size_t c = 0;
+  for (double v : x)
+    if (v > m) ++c;
+  return c;
+}
+
+namespace {
+template <typename Pred>
+std::size_t longest_run(std::span<const double> x, Pred pred) {
+  std::size_t best = 0, run = 0;
+  for (double v : x) {
+    run = pred(v) ? run + 1 : 0;
+    best = std::max(best, run);
+  }
+  return best;
+}
+}  // namespace
+
+std::size_t longest_strike_above_mean(std::span<const double> x) {
+  require_nonempty(x, "longest_strike_above_mean");
+  const double m = mean(x);
+  return longest_run(x, [m](double v) { return v > m; });
+}
+
+std::size_t longest_strike_below_mean(std::span<const double> x) {
+  require_nonempty(x, "longest_strike_below_mean");
+  const double m = mean(x);
+  return longest_run(x, [m](double v) { return v < m; });
+}
+
+double pearson(std::span<const double> x, std::span<const double> y) {
+  AF_EXPECT(x.size() == y.size(), "pearson requires equal sizes");
+  AF_EXPECT(x.size() >= 2, "pearson requires n >= 2");
+  const double mx = mean(x), my = mean(y);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double dx = x[i] - mx, dy = y[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx <= 0.0 || syy <= 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+double mean_abs_change(std::span<const double> x) {
+  if (x.size() < 2) return 0.0;
+  double s = 0.0;
+  for (std::size_t i = 1; i < x.size(); ++i) s += std::fabs(x[i] - x[i - 1]);
+  return s / static_cast<double>(x.size() - 1);
+}
+
+std::pair<double, double> linear_trend(std::span<const double> x) {
+  AF_EXPECT(x.size() >= 2, "linear_trend requires n >= 2");
+  const double n = static_cast<double>(x.size());
+  // Closed-form OLS on t = 0..n-1: mean(t) = (n-1)/2, var(t) = (n^2-1)/12.
+  const double mt = (n - 1.0) / 2.0;
+  const double mx = mean(x);
+  double stx = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i)
+    stx += (static_cast<double>(i) - mt) * (x[i] - mx);
+  const double stt = n * (n * n - 1.0) / 12.0;
+  const double slope = stx / stt;
+  return {slope, mx - slope * mt};
+}
+
+std::vector<double> znormalize(std::span<const double> x) {
+  require_nonempty(x, "znormalize");
+  const double m = mean(x);
+  const double sd = stddev(x);
+  std::vector<double> out(x.size());
+  if (sd <= 0.0) return out;  // all zeros
+  for (std::size_t i = 0; i < x.size(); ++i) out[i] = (x[i] - m) / sd;
+  return out;
+}
+
+}  // namespace airfinger::common

@@ -1,0 +1,92 @@
+// Descriptive statistics over contiguous double sequences.
+//
+// These are the numeric primitives shared by the DSP and feature-extraction
+// layers. All functions take std::span<const double> and are pure. Functions
+// document their behaviour on empty/degenerate input; most require n >= 1 and
+// throw PreconditionError otherwise so silent NaN propagation cannot hide
+// pipeline bugs.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace airfinger::common {
+
+/// Arithmetic mean. Requires non-empty input.
+double mean(std::span<const double> x);
+
+/// Population variance (divides by n). Requires non-empty input.
+double variance(std::span<const double> x);
+
+/// Sample variance (divides by n-1). Requires n >= 2.
+double sample_variance(std::span<const double> x);
+
+/// Population standard deviation. Requires non-empty input.
+double stddev(std::span<const double> x);
+
+/// Minimum value. Requires non-empty input.
+double min(std::span<const double> x);
+
+/// Maximum value. Requires non-empty input.
+double max(std::span<const double> x);
+
+/// Sum of all elements (0 for empty input).
+double sum(std::span<const double> x);
+
+/// Sum of squares (0 for empty input). aka absolute energy.
+double energy(std::span<const double> x);
+
+/// Median via partial sort of a copy. Requires non-empty input.
+double median(std::span<const double> x);
+
+/// Linear-interpolated quantile, q in [0,1]. Requires non-empty input.
+double quantile(std::span<const double> x, double q);
+
+/// Fisher skewness (0 when variance is 0). Requires non-empty input.
+double skewness(std::span<const double> x);
+
+/// Excess kurtosis (0 when variance is 0). Requires non-empty input.
+double kurtosis(std::span<const double> x);
+
+/// Index of the first minimum element. Requires non-empty input.
+std::size_t argmin(std::span<const double> x);
+
+/// Index of the first maximum element. Requires non-empty input.
+std::size_t argmax(std::span<const double> x);
+
+/// Index of the last maximum element. Requires non-empty input.
+std::size_t last_argmax(std::span<const double> x);
+
+/// Index of the last minimum element. Requires non-empty input.
+std::size_t last_argmin(std::span<const double> x);
+
+/// Number of elements strictly below the mean. Requires non-empty input.
+std::size_t count_below_mean(std::span<const double> x);
+
+/// Number of elements strictly above the mean. Requires non-empty input.
+std::size_t count_above_mean(std::span<const double> x);
+
+/// Longest run of consecutive elements strictly above the mean.
+std::size_t longest_strike_above_mean(std::span<const double> x);
+
+/// Longest run of consecutive elements strictly below the mean.
+std::size_t longest_strike_below_mean(std::span<const double> x);
+
+/// Pearson correlation of two equal-length sequences; 0 if either side has
+/// zero variance. Requires equal sizes and n >= 2.
+double pearson(std::span<const double> x, std::span<const double> y);
+
+/// Mean of |x[i+1]-x[i]| (0 for n < 2).
+double mean_abs_change(std::span<const double> x);
+
+/// Slope and intercept of the least-squares line y = a*t + b over t=0..n-1.
+/// Returns {slope, intercept}. Requires n >= 2.
+std::pair<double, double> linear_trend(std::span<const double> x);
+
+/// z-normalizes a copy of x: (x - mean) / stddev. If stddev == 0 the result
+/// is all zeros. Requires non-empty input.
+std::vector<double> znormalize(std::span<const double> x);
+
+}  // namespace airfinger::common

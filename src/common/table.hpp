@@ -1,0 +1,45 @@
+// Console table rendering used by the benchmark harnesses to print the
+// paper's tables and figure data series in aligned, human-readable form.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace airfinger::common {
+
+/// Builds and renders an aligned text table with a header row.
+///
+/// Cells are stored as strings; numeric helpers format with fixed precision.
+/// Rendering pads each column to its widest cell.
+class Table {
+ public:
+  /// Creates a table with the given column headers.
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends a pre-formatted row. Must match the header arity.
+  void add_row(std::vector<std::string> cells);
+
+  /// Formats a double with the given number of decimals.
+  static std::string num(double v, int decimals = 2);
+
+  /// Formats a ratio as a percentage string ("97.31%").
+  static std::string pct(double ratio, int decimals = 2);
+
+  std::size_t row_count() const { return rows_.size(); }
+
+  /// Renders the table (with separators) to the stream.
+  void print(std::ostream& os) const;
+
+  /// Renders to a string.
+  std::string to_string() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Prints a section banner ("== title ==") used to delimit bench output.
+void print_banner(std::ostream& os, const std::string& title);
+
+}  // namespace airfinger::common

@@ -1,0 +1,127 @@
+// Signal-ascending-point detection shared by ZEBRA (Sec. IV-D) and the
+// detect/track gesture router (Sec. IV-E).
+//
+// Within a segmented gesture window, a photodiode channel "has an ascending
+// point" when its ΔRSS² rises decisively above its in-window noise floor;
+// the paper uses SBC output for this. A channel whose peak stays below a
+// fraction of the strongest channel's peak is considered to have no
+// ascending point (the finger never entered that photodiode's cone).
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "dsp/dynamic_threshold.hpp"
+
+namespace airfinger::core {
+
+/// Tunables of the ascending-point detector.
+struct AscendingConfig {
+  /// Onset threshold: floor + rise_fraction · (peak − floor), where floor
+  /// is the channel's in-window 20th-percentile level. Detect-aimed
+  /// gestures make every channel cross this onset almost simultaneously;
+  /// a scrolling finger reaches each photodiode's cone in sequence.
+  double rise_fraction = 0.25;
+  /// Percentile (0–1) defining the channel noise floor inside the window.
+  double floor_quantile = 0.05;
+  /// Consecutive samples required above the threshold to confirm a rise
+  /// (rejects single-sample noise spikes).
+  std::size_t confirm_samples = 2;
+  /// Channels whose peak is below this fraction of the strongest channel's
+  /// peak are treated as silent (no ascending point).
+  double silence_fraction = 0.12;
+};
+
+/// Per-channel ascending-point result for one gesture window.
+struct AscendingPoints {
+  /// ascending[c] = sample index (relative to the window) of channel c's
+  /// ascending point, or nullopt when the channel stayed silent.
+  std::vector<std::optional<std::size_t>> ascending;
+  /// Peak ΔRSS² per channel within the window.
+  std::vector<double> peaks;
+};
+
+/// Detects ascending points for all channels over the same window.
+/// `windows[c]` is channel c's ΔRSS² restricted to the gesture segment.
+AscendingPoints find_ascending_points(
+    std::span<const std::span<const double>> windows,
+    const AscendingConfig& config = {});
+
+/// Integral timing analysis of one gesture window.
+///
+/// The paper compares single ascending points of P1 and P3; with noisy
+/// spiky ΔRSS² the robust integral equivalent is the *energy-centroid time*
+/// of each channel, τ_c = Σ t·E_c(t) / Σ E_c(t): for a scrolling finger the
+/// channel energies arrive in spatial order, so τ_1 < τ_2 < τ_3 with the
+/// outer difference equal to the transit time; for a fixed-spot micro
+/// gesture every channel sees the same (scaled) energy profile and all τ_c
+/// coincide. The summed-energy envelope's hump count separates single
+/// sweeps (scrolls: one hump) from cyclic gestures (several humps).
+struct SegmentTiming {
+  std::vector<bool> active;     ///< Channel rose above the silence level.
+  std::vector<double> tau_s;    ///< Energy-centroid time per channel.
+  int first_active = -1;        ///< Lowest-index active channel.
+  int last_active = -1;         ///< Highest-index active channel.
+  /// τ(last_active) − τ(first_active); > 0 means energy reached the P1 side
+  /// first (finger moved P1 → P3). 0 when fewer than 2 channels are active.
+  double dt_outer_s = 0.0;
+  /// Number of major humps of the smoothed summed-energy envelope.
+  std::size_t envelope_peaks = 0;
+  /// Spatial asymmetry A(t) = (E_P3 − E_P1)/(ΣE + ε): net change over the
+  /// window. A scroll sweeps A monotonically (|ΔA| large, sign = α); every
+  /// fixed-spot or cyclic gesture returns A to its start (ΔA ≈ 0). This is
+  /// the integral form of "P1's ascending point precedes P3's".
+  double asymmetry_start = 0.0;
+  double asymmetry_end = 0.0;
+  double asymmetry_delta = 0.0;
+  /// Transit time: how long A takes to cross the middle half of its swing
+  /// (scaled to the full swing); the Δt of Alg. 1. 0 when ΔA ≈ 0.
+  double transition_s = 0.0;
+  /// Range of A over the differential-gated path (max − min).
+  double asymmetry_range = 0.0;
+  /// Direction reversals of the differential-gated A path, counted with
+  /// hysteresis: 0 for a monotone sweep (scroll), ≥ 1 for cyclic gestures
+  /// whose A returns (rub, circle) or wanders.
+  std::size_t asymmetry_reversals = 0;
+};
+
+/// Parameters of the integral timing analysis.
+struct TimingConfig {
+  AscendingConfig ascending{};  ///< Silence detection reuses this.
+  double envelope_smooth_s = 0.22;  ///< Envelope moving-average width.
+  double peak_level = 0.30;     ///< Humps must exceed this × envelope max.
+  double peak_support_s = 0.10; ///< Humps must dominate ± this span.
+  double asymmetry_smooth_s = 0.15;  ///< Smoothing before computing A(t).
+  /// Fraction of the window averaged to estimate A at each end.
+  double edge_fraction = 0.18;
+  /// ε floor in the A(t) denominator, as a fraction of the envelope peak
+  /// (pulls A towards 0 where no energy is present).
+  double epsilon_fraction = 0.05;
+  /// Seconds of context added on each side of the detected segment before
+  /// the analysis: a scroll's asymmetry swing lives partly in the faded
+  /// approach/exit phases just outside the segmented energy burst.
+  double analysis_pad_s = 0.25;
+  /// Samples participate in the A path only where the differential weight
+  /// exceeds this fraction of its in-window maximum.
+  double gate_fraction = 0.15;
+  /// ...and where the summed energy exceeds this fraction of its peak:
+  /// low-energy onset/offset transients carry deceptive asymmetry.
+  double energy_gate_fraction = 0.08;
+  /// Reversal hysteresis: a direction change must retrace at least
+  /// max(reversal_abs, reversal_rel × range) to count.
+  double reversal_abs = 0.22;
+  double reversal_rel = 0.40;
+};
+
+/// Expands a segment by the config's analysis padding, clamped to the
+/// signal length.
+dsp::Segment pad_segment(const dsp::Segment& segment, std::size_t limit,
+                         double pad_s, double sample_rate_hz);
+
+/// Computes the integral timing of a gesture window at `sample_rate_hz`.
+SegmentTiming segment_timing(std::span<const std::span<const double>> windows,
+                             double sample_rate_hz,
+                             const TimingConfig& config = {});
+
+}  // namespace airfinger::core

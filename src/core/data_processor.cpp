@@ -1,0 +1,66 @@
+#include "core/data_processor.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace airfinger::core {
+
+DataProcessor::DataProcessor(DataProcessorConfig config) : config_(config) {
+  AF_EXPECT(config.sbc_window_s > 0.0, "SBC window must be positive");
+}
+
+std::size_t DataProcessor::window_samples(double sample_rate_hz) const {
+  return std::max<std::size_t>(
+      1, static_cast<std::size_t>(
+             std::lround(config_.sbc_window_s * sample_rate_hz)));
+}
+
+ProcessedTrace DataProcessor::process(
+    const sensor::MultiChannelTrace& trace) const {
+  AF_EXPECT(trace.channel_count() >= 1, "trace has no channels");
+  ProcessedTrace out;
+  out.sample_rate_hz = trace.sample_rate_hz();
+  const std::size_t w = window_samples(trace.sample_rate_hz());
+
+  out.delta_rss2.reserve(trace.channel_count());
+  out.energy.assign(trace.sample_count(), 0.0);
+  for (std::size_t c = 0; c < trace.channel_count(); ++c) {
+    auto d = dsp::SquareBasedCalculator::apply(trace.channel(c), w);
+    for (std::size_t i = 0; i < d.size(); ++i) out.energy[i] += d[i];
+    out.delta_rss2.push_back(std::move(d));
+  }
+
+  dsp::SegmenterConfig seg = config_.segmenter;
+  seg.sample_rate_hz = trace.sample_rate_hz();
+  out.segments = dsp::segment_signal(out.energy, seg);
+  return out;
+}
+
+dsp::Segment DataProcessor::select_segment(const ProcessedTrace& processed,
+                                           std::size_t truth_begin,
+                                           std::size_t truth_end) {
+  if (processed.segments.empty()) return {truth_begin, truth_end};
+
+  const dsp::Segment* best = nullptr;
+  std::size_t best_overlap = 0;
+  for (const auto& seg : processed.segments) {
+    const std::size_t lo = std::max(seg.begin, truth_begin);
+    const std::size_t hi = std::min(seg.end, truth_end);
+    const std::size_t overlap = hi > lo ? hi - lo : 0;
+    if (overlap > best_overlap) {
+      best_overlap = overlap;
+      best = &seg;
+    }
+  }
+  if (best) return *best;
+
+  // No overlap with the ground truth: fall back to the longest detection.
+  best = &processed.segments.front();
+  for (const auto& seg : processed.segments)
+    if (seg.length() > best->length()) best = &seg;
+  return *best;
+}
+
+}  // namespace airfinger::core

@@ -1,0 +1,55 @@
+// Data Processing stage (Sec. IV-B): SBC noise mitigation + DT segmentation.
+//
+// Converts a raw multi-channel RSS trace into per-channel ΔRSS² signals, the
+// summed motion-energy signal, and the set of detected gesture segments.
+#pragma once
+
+#include "dsp/dynamic_threshold.hpp"
+#include "dsp/sbc.hpp"
+#include "sensor/trace.hpp"
+
+namespace airfinger::core {
+
+/// Pipeline parameters (defaults follow Sec. V-A: w = 10 ms, t_e = 100 ms).
+struct DataProcessorConfig {
+  double sbc_window_s = 0.010;  ///< w.
+  dsp::SegmenterConfig segmenter{};
+  /// Context added around a detected segment before feature extraction:
+  /// hysteresis can clip weak gesture phases (ramp-in/out of cyclic
+  /// gestures), and the clipped energy still carries class information.
+  double feature_pad_s = 0.20;
+};
+
+/// Output of the processing stage for one trace.
+struct ProcessedTrace {
+  std::vector<std::vector<double>> delta_rss2;  ///< Per-channel ΔRSS².
+  std::vector<double> energy;                   ///< Sum across channels.
+  std::vector<dsp::Segment> segments;           ///< Detected gestures.
+  double sample_rate_hz = 0.0;
+};
+
+/// Batch data processor. Stateless; thread-compatible.
+class DataProcessor {
+ public:
+  explicit DataProcessor(DataProcessorConfig config = {});
+
+  const DataProcessorConfig& config() const { return config_; }
+
+  /// SBC window in samples for the given rate (>= 1).
+  std::size_t window_samples(double sample_rate_hz) const;
+
+  /// Full processing of one recorded trace.
+  ProcessedTrace process(const sensor::MultiChannelTrace& trace) const;
+
+  /// Returns the detected segment that best overlaps [start, end) (sample
+  /// indices); falls back to the longest segment, and to the whole given
+  /// window when nothing was detected.
+  static dsp::Segment select_segment(const ProcessedTrace& processed,
+                                     std::size_t truth_begin,
+                                     std::size_t truth_end);
+
+ private:
+  DataProcessorConfig config_;
+};
+
+}  // namespace airfinger::core

@@ -1,0 +1,82 @@
+// Detect-aimed gesture recognition (Sec. IV-C): tsfresh-style feature bank,
+// RF-importance feedback feature selection (top 25), and an RF classifier.
+//
+// Training is two-stage, mirroring the paper: a first forest is fitted on
+// the full candidate bank, its importance feedback ranks the features, the
+// top-k are kept, and the final forest is retrained on the selected columns.
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+
+#include "features/bank.hpp"
+#include "ml/random_forest.hpp"
+
+namespace airfinger::core {
+
+/// Recognizer hyper-parameters.
+struct DetectRecognizerConfig {
+  features::FeatureBankOptions bank{};
+  ml::RandomForestConfig forest{};
+  std::size_t selected_features = 25;  ///< The paper keeps 25 kinds.
+  bool two_stage_selection = true;     ///< false = train on the full bank.
+};
+
+/// Trained detect-aimed gesture classifier.
+class DetectRecognizer {
+ public:
+  explicit DetectRecognizer(DetectRecognizerConfig config = {});
+
+  const DetectRecognizerConfig& config() const { return config_; }
+  const features::FeatureBank& bank() const { return bank_; }
+
+  /// Extracts the full candidate feature vector for one multi-channel
+  /// ΔRSS² window.
+  std::vector<double> extract(
+      std::span<const std::span<const double>> channels) const;
+
+  /// Single-channel convenience (cross-channel features become zeros).
+  std::vector<double> extract(std::span<const double> segment) const;
+
+  /// Trains on full-bank feature rows (as produced by extract()).
+  void fit(const ml::SampleSet& full_features);
+
+  /// Predicts the gesture label of one full-bank feature row.
+  int predict(std::span<const double> full_feature_row) const;
+
+  /// Class probabilities for one full-bank feature row.
+  std::vector<double> predict_proba(
+      std::span<const double> full_feature_row) const;
+
+  /// Indices (into the full bank) of the selected features. Valid after
+  /// fit(); equals the identity when two-stage selection is disabled.
+  const std::vector<std::size_t>& selected_features() const {
+    return selected_;
+  }
+
+  /// Importance of each selected feature in the final forest.
+  const std::vector<double>& final_importances() const;
+
+  bool is_fitted() const { return fitted_; }
+
+  /// Serializes the fitted recognizer (selected features + final forest).
+  /// The feature-bank structure is not stored: load() must be given the
+  /// same bank configuration the recognizer was trained with (validated
+  /// via the bank width).
+  void save(std::ostream& os) const;
+
+  /// Reconstructs a recognizer written by save().
+  static DetectRecognizer load(std::istream& is,
+                               DetectRecognizerConfig config = {});
+
+ private:
+  std::vector<double> project(std::span<const double> row) const;
+
+  DetectRecognizerConfig config_;
+  features::FeatureBank bank_;
+  ml::RandomForest forest_;
+  std::vector<std::size_t> selected_;
+  bool fitted_ = false;
+};
+
+}  // namespace airfinger::core

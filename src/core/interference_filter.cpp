@@ -1,0 +1,100 @@
+#include "core/interference_filter.hpp"
+
+#include <istream>
+#include <ostream>
+
+#include "common/error.hpp"
+#include "ml/serialize.hpp"
+
+namespace airfinger::core {
+
+InterferenceFilter::InterferenceFilter(const features::FeatureBank& bank,
+                                       InterferenceFilterConfig config)
+    : config_(config),
+      indices_(bank.interference_indices()),
+      bank_width_(bank.feature_count()),
+      forest_(config.forest) {}
+
+void InterferenceFilter::fit(const ml::SampleSet& full_features) {
+  full_features.validate();
+  AF_EXPECT(full_features.feature_count() == bank_width_,
+            "training rows must carry the full candidate bank");
+  for (int l : full_features.labels)
+    AF_EXPECT(l == 0 || l == 1, "interference labels must be binary");
+
+  if (config_.importance_selection) {
+    // The paper's procedure (Sec. IV-F): rank the candidate features by RF
+    // importance feedback on the gesture/non-gesture problem and keep the
+    // most effective ones.
+    ml::RandomForestConfig ranking_config = config_.forest;
+    ranking_config.seed ^= 0xF117E5;
+    ml::RandomForest ranking(ranking_config);
+    ranking.fit(full_features);
+    indices_ = ml::top_k_features(ranking, config_.selected_features);
+  }
+  forest_ = ml::RandomForest(config_.forest);
+  forest_.fit(full_features.project(indices_));
+  fitted_ = true;
+}
+
+void InterferenceFilter::save(std::ostream& os) const {
+  AF_EXPECT(fitted_, "cannot save an unfitted filter");
+  os << "af_filter 1\n";
+  os << "bank_width " << bank_width_ << "\n";
+  os << "indices " << indices_.size();
+  for (std::size_t idx : indices_) os << ' ' << idx;
+  os << "\n";
+  forest_.save(os);
+}
+
+InterferenceFilter InterferenceFilter::load(std::istream& is,
+                                            const features::FeatureBank& bank,
+                                            InterferenceFilterConfig config) {
+  ml::detail::expect_tag(is, "af_filter");
+  int version = 0;
+  is >> version;
+  AF_EXPECT(version == 1, "unsupported filter format version");
+
+  InterferenceFilter filter(bank, config);
+  ml::detail::expect_tag(is, "bank_width");
+  std::size_t width = 0;
+  is >> width;
+  AF_EXPECT(width == filter.bank_width_,
+            "serialized filter was trained with a different feature bank");
+  ml::detail::expect_tag(is, "indices");
+  std::size_t count = 0;
+  is >> count;
+  AF_EXPECT(count >= 1 && is.good(), "malformed indices in filter");
+  filter.indices_.resize(count);
+  for (auto& idx : filter.indices_) {
+    is >> idx;
+    AF_EXPECT(idx < width, "filter feature index out of range");
+  }
+  filter.forest_ = ml::RandomForest::load(is);
+  filter.fitted_ = true;
+  return filter;
+}
+
+std::vector<double> InterferenceFilter::project(
+    std::span<const double> row) const {
+  AF_EXPECT(row.size() == bank_width_,
+            "rows must carry the full candidate bank");
+  std::vector<double> out;
+  out.reserve(indices_.size());
+  for (std::size_t i : indices_) out.push_back(row[i]);
+  return out;
+}
+
+bool InterferenceFilter::is_gesture(std::span<const double> row) const {
+  AF_EXPECT(fitted_, "is_gesture requires a fitted filter");
+  return forest_.predict(project(row)) == 1;
+}
+
+double InterferenceFilter::gesture_probability(
+    std::span<const double> row) const {
+  AF_EXPECT(fitted_, "gesture_probability requires a fitted filter");
+  const auto proba = forest_.predict_proba(project(row));
+  return proba.size() > 1 ? proba[1] : 0.0;
+}
+
+}  // namespace airfinger::core

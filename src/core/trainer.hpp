@@ -1,0 +1,43 @@
+// One-call training flow: synthesize (or accept) datasets, fit the detect
+// recognizer and the interference filter, and assemble a ready AirFinger
+// engine. This is the entry point the examples use.
+#pragma once
+
+#include "core/airfinger.hpp"
+#include "synth/dataset.hpp"
+
+namespace airfinger::core {
+
+/// Training-set sizing for build_engine.
+struct TrainerConfig {
+  AirFingerConfig engine{};
+  /// Gesture training protocol (defaults: a reduced version of Sec. V-B
+  /// sized for interactive use; raise for paper-scale training).
+  int users = 4;
+  int sessions = 2;
+  int repetitions = 8;
+  /// Non-gesture repetitions per user/session for the filter.
+  int non_gesture_repetitions = 8;
+  std::uint64_t seed = 11;
+};
+
+/// Result of a training run.
+struct TrainingReport {
+  std::size_t gesture_samples = 0;
+  std::size_t non_gesture_samples = 0;
+  std::vector<std::string> selected_feature_names;
+};
+
+/// Trains both models on synthesized data and returns a ready engine.
+AirFinger build_engine(const TrainerConfig& config,
+                       TrainingReport* report = nullptr);
+
+/// Trains both models from externally built datasets (e.g. in benches that
+/// need custom collection protocols). `gestures` must contain the designed
+/// gesture kinds; `non_gestures` the unintentional-motion kinds.
+AirFinger build_engine_from(const AirFingerConfig& engine_config,
+                            const synth::Dataset& gestures,
+                            const synth::Dataset& non_gestures,
+                            TrainingReport* report = nullptr);
+
+}  // namespace airfinger::core

@@ -1,0 +1,52 @@
+#include "core/type_router.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace airfinger::core {
+
+TypeRouter::TypeRouter(TypeRouterConfig config) : config_(config) {
+  AF_EXPECT(config.ig_threshold_s > 0.0, "I_g must be positive");
+}
+
+GestureCategory TypeRouter::route(const ProcessedTrace& processed,
+                                  const dsp::Segment& segment) const {
+  AF_EXPECT(segment.end <= processed.energy.size() &&
+                segment.begin < segment.end,
+            "segment out of range");
+  AF_EXPECT(processed.sample_rate_hz > 0.0, "invalid sample rate");
+
+  const dsp::Segment padded =
+      pad_segment(segment, processed.energy.size(),
+                  config_.timing.analysis_pad_s, processed.sample_rate_hz);
+  std::vector<std::span<const double>> windows;
+  windows.reserve(processed.delta_rss2.size());
+  for (const auto& ch : processed.delta_rss2)
+    windows.emplace_back(ch.data() + padded.begin, padded.length());
+
+  const SegmentTiming timing =
+      segment_timing(windows, processed.sample_rate_hz, config_.timing);
+
+  // Nothing rose at all: fall back to detect-aimed handling (the
+  // recognizer/interference filter deal with degenerate segments).
+  if (timing.first_active < 0) return GestureCategory::kDetectAimed;
+
+  // The paper's rule in integral form: a track-aimed gesture sweeps the
+  // spatial asymmetry A(t) monotonically (no direction reversals) by a net
+  // amount that is both absolutely meaningful and most of the path's range,
+  // over a transit time of at least I_g. Detect-aimed gestures either barely
+  // move A (clicks), or move it cyclically so that it reverses (circles,
+  // rubs).
+  const double net = std::fabs(timing.asymmetry_delta);
+  const bool monotone = timing.asymmetry_reversals == 0;
+  const bool swept =
+      net >= config_.asymmetry_threshold &&
+      net >= config_.monotone_fraction * timing.asymmetry_range;
+  const bool ordered = timing.transition_s >= config_.ig_threshold_s;
+  return (monotone && swept && ordered) ? GestureCategory::kTrackAimed
+                                        : GestureCategory::kDetectAimed;
+}
+
+}  // namespace airfinger::core

@@ -1,0 +1,48 @@
+// Detect-aimed vs track-aimed gesture distinction (Sec. IV-E).
+//
+// For a detect-aimed gesture the ascending points of all photodiodes occur
+// almost simultaneously; for a track-aimed gesture they occur in order. The
+// router compares the spread of ascending points against the threshold
+// I_g (30 ms in Sec. V-A).
+#pragma once
+
+#include "core/ascending.hpp"
+#include "core/data_processor.hpp"
+
+namespace airfinger::core {
+
+/// Router tunables.
+struct TypeRouterConfig {
+  double ig_threshold_s = 0.030;  ///< I_g.
+  /// Minimum net swing of the spatial asymmetry A(t) for a segment to be
+  /// track-aimed (A spans [-1, 1]).
+  double asymmetry_threshold = 0.25;
+  /// The net swing must also be at least this fraction of the A path's
+  /// total range (monotone sweep, not an oscillation that happens to end
+  /// off-centre).
+  double monotone_fraction = 0.30;
+  TimingConfig timing{};
+};
+
+/// Gesture category decided at the start of gesture performance.
+enum class GestureCategory { kDetectAimed, kTrackAimed };
+
+/// Stateless router.
+class TypeRouter {
+ public:
+  explicit TypeRouter(TypeRouterConfig config = {});
+
+  const TypeRouterConfig& config() const { return config_; }
+
+  /// Classifies the gesture in `segment`: track-aimed when the energy is a
+  /// single sweep (unimodal envelope) whose per-channel arrival times are
+  /// ordered with an outer difference of at least I_g; detect-aimed
+  /// otherwise (simultaneous arrivals or a cyclic multi-hump envelope).
+  GestureCategory route(const ProcessedTrace& processed,
+                        const dsp::Segment& segment) const;
+
+ private:
+  TypeRouterConfig config_;
+};
+
+}  // namespace airfinger::core

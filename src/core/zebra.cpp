@@ -1,0 +1,85 @@
+#include "core/zebra.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace airfinger::core {
+
+double ScrollEstimate::displacement_at(double t) const {
+  return direction * velocity_mps * std::min(std::max(t, 0.0), duration_s);
+}
+
+ZebraTracker::ZebraTracker(ZebraConfig config) : config_(config) {
+  AF_EXPECT(config.pd_span_m > 0.0, "PD span must be positive");
+  AF_EXPECT(config.experience_velocity_mps > 0.0,
+            "experience velocity must be positive");
+}
+
+std::optional<ScrollEstimate> ZebraTracker::track(
+    const ProcessedTrace& processed, const dsp::Segment& segment) const {
+  AF_EXPECT(processed.delta_rss2.size() >= 2,
+            "ZEBRA requires at least two photodiode channels");
+  AF_EXPECT(segment.end <= processed.energy.size() &&
+                segment.begin < segment.end,
+            "segment out of range");
+  AF_EXPECT(processed.sample_rate_hz > 0.0, "invalid sample rate");
+
+  // Restrict every channel's ΔRSS² to the (padded) gesture window: the
+  // asymmetry swing lives partly in the faded approach/exit phases.
+  const dsp::Segment padded =
+      pad_segment(segment, processed.energy.size(),
+                  config_.timing.analysis_pad_s, processed.sample_rate_hz);
+  std::vector<std::span<const double>> windows;
+  windows.reserve(processed.delta_rss2.size());
+  for (const auto& ch : processed.delta_rss2)
+    windows.emplace_back(ch.data() + padded.begin, padded.length());
+
+  const SegmentTiming timing =
+      segment_timing(windows, processed.sample_rate_hz, config_.timing);
+  const bool p1_active = timing.active.front();
+  const bool p3_active = timing.active.back();
+  if (timing.first_active < 0) return std::nullopt;  // nothing rose
+
+  ScrollEstimate est;
+  est.duration_s =
+      static_cast<double>(segment.length()) / processed.sample_rate_hz;
+
+  if (std::fabs(timing.asymmetry_delta) > 0.05 &&
+      timing.transition_s > 0.0) {
+    // The asymmetry swept: direction from its sign (A rising means the
+    // finger moved from P1's side to P3's, i.e. scroll up), velocity from
+    // the transit time over the P1→P3 baseline.
+    est.direction = (timing.asymmetry_delta > 0.0) ? +1.0 : -1.0;
+    est.delta_t_s = timing.transition_s;
+    est.velocity_mps = config_.velocity_gain * config_.pd_span_m /
+                       timing.transition_s;
+  } else if (p1_active && !p3_active) {
+    // Finger passed only IL1: scroll up with experience velocity (Alg. 1
+    // lines 2–7).
+    est.direction = +1.0;
+    est.velocity_mps = config_.experience_velocity_mps;
+    est.used_experience_velocity = true;
+  } else if (!p1_active && p3_active) {
+    // Only IL2: scroll down (Alg. 1 lines 14–19).
+    est.direction = -1.0;
+    est.velocity_mps = config_.experience_velocity_mps;
+    est.used_experience_velocity = true;
+  } else {
+    // Zero arrival-time difference: direction undecidable from timing; use
+    // the early-window energy asymmetry as the tie-break.
+    double early1 = 0.0, early3 = 0.0;
+    const std::size_t half = segment.length() / 2;
+    for (std::size_t i = 0; i < half; ++i) {
+      early1 += windows.front()[i];
+      early3 += windows.back()[i];
+    }
+    est.direction = (early1 >= early3) ? +1.0 : -1.0;
+    est.velocity_mps = config_.experience_velocity_mps;
+    est.used_experience_velocity = true;
+  }
+  return est;
+}
+
+}  // namespace airfinger::core

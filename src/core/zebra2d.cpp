@@ -1,0 +1,81 @@
+#include "core/zebra2d.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/error.hpp"
+
+namespace airfinger::core {
+
+SwipeDirection8 to_direction8(double angle_rad) {
+  // Sector width π/4, centred on the compass directions.
+  const double tau = 2.0 * std::numbers::pi;
+  double a = std::fmod(angle_rad, tau);
+  if (a < 0) a += tau;
+  const int sector =
+      static_cast<int>(std::floor((a + tau / 16.0) / (tau / 8.0))) % 8;
+  return static_cast<SwipeDirection8>(sector);
+}
+
+Zebra2dTracker::Zebra2dTracker(Zebra2dConfig config) : config_(config) {
+  AF_EXPECT(config.pd_span_m > 0.0, "PD span must be positive");
+  AF_EXPECT(config.axis_threshold > 0.0 && config.axis_threshold < 2.0,
+            "axis threshold must lie in (0, 2)");
+}
+
+std::optional<Swipe2d> Zebra2dTracker::track(
+    const ProcessedTrace& processed, const dsp::Segment& segment) const {
+  AF_EXPECT(processed.delta_rss2.size() == optics::kCrossChannelCount,
+            "ZEBRA-2D requires a 5-channel cross recording");
+  AF_EXPECT(segment.end <= processed.energy.size() &&
+                segment.begin < segment.end,
+            "segment out of range");
+
+  const dsp::Segment padded =
+      pad_segment(segment, processed.energy.size(),
+                  config_.timing.analysis_pad_s, processed.sample_rate_hz);
+  auto window = [&](optics::CrossChannel c) {
+    const auto& ch =
+        processed.delta_rss2[static_cast<std::size_t>(c)];
+    return std::span<const double>(ch.data() + padded.begin,
+                                   padded.length());
+  };
+
+  // Each arm is analysed as an independent 1-D P1/P2/P3 triple.
+  using optics::CrossChannel;
+  const std::span<const double> x_arm[] = {window(CrossChannel::kXMinus),
+                                           window(CrossChannel::kCentre),
+                                           window(CrossChannel::kXPlus)};
+  const std::span<const double> y_arm[] = {window(CrossChannel::kYMinus),
+                                           window(CrossChannel::kCentre),
+                                           window(CrossChannel::kYPlus)};
+  const SegmentTiming tx =
+      segment_timing(x_arm, processed.sample_rate_hz, config_.timing);
+  const SegmentTiming ty =
+      segment_timing(y_arm, processed.sample_rate_hz, config_.timing);
+
+  const bool x_moving =
+      std::fabs(tx.asymmetry_delta) >= config_.axis_threshold &&
+      tx.transition_s > 0.0;
+  const bool y_moving =
+      std::fabs(ty.asymmetry_delta) >= config_.axis_threshold &&
+      ty.transition_s > 0.0;
+  if (!x_moving && !y_moving) return std::nullopt;
+
+  Swipe2d swipe;
+  swipe.direction_x = x_moving ? tx.asymmetry_delta : 0.0;
+  swipe.direction_y = y_moving ? ty.asymmetry_delta : 0.0;
+  if (x_moving)
+    swipe.velocity_x_mps = (tx.asymmetry_delta > 0 ? 1.0 : -1.0) *
+                           config_.velocity_gain * config_.pd_span_m /
+                           tx.transition_s;
+  if (y_moving)
+    swipe.velocity_y_mps = (ty.asymmetry_delta > 0 ? 1.0 : -1.0) *
+                           config_.velocity_gain * config_.pd_span_m /
+                           ty.transition_s;
+  swipe.angle_rad = std::atan2(swipe.direction_y, swipe.direction_x);
+  swipe.speed_mps = std::hypot(swipe.velocity_x_mps, swipe.velocity_y_mps);
+  return swipe;
+}
+
+}  // namespace airfinger::core

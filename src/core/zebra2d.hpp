@@ -1,0 +1,69 @@
+// ZEBRA-2D — two-axis swipe tracking on the cross board (the paper's
+// Sec. VI "multi-dimensional sensing area" extension, implemented).
+//
+// Runs the 1-D integral timing analysis (core/ascending.hpp) independently
+// on the x arm (channels x−, centre, x+) and the y arm (y−, centre, y+) of
+// a cross-board recording and fuses the two asymmetry sweeps into a 2-D
+// swipe direction, an angle, and a per-axis velocity estimate.
+#pragma once
+
+#include <optional>
+
+#include "core/ascending.hpp"
+#include "core/data_processor.hpp"
+#include "optics/cross_board.hpp"
+
+namespace airfinger::core {
+
+/// 2-D swipe estimate.
+struct Swipe2d {
+  double direction_x = 0.0;  ///< Net asymmetry sweep along x (±).
+  double direction_y = 0.0;  ///< Net asymmetry sweep along y (±).
+  double angle_rad = 0.0;    ///< atan2(y, x): 0 = +x, π/2 = +y.
+  double velocity_x_mps = 0.0;
+  double velocity_y_mps = 0.0;
+  double speed_mps = 0.0;    ///< Euclidean magnitude of the velocity.
+};
+
+/// Eight compass directions for coarse classification.
+enum class SwipeDirection8 {
+  kEast = 0,      // +x
+  kNorthEast = 1,
+  kNorth = 2,     // +y
+  kNorthWest = 3,
+  kWest = 4,      // -x
+  kSouthWest = 5,
+  kSouth = 6,     // -y
+  kSouthEast = 7,
+};
+
+/// Nearest compass direction of a swipe angle.
+SwipeDirection8 to_direction8(double angle_rad);
+
+/// Tunables of the 2-D tracker.
+struct Zebra2dConfig {
+  double pd_span_m = 0.016;   ///< Outer-PD distance along each arm.
+  double velocity_gain = 1.0;
+  /// Minimum |net asymmetry sweep| on an axis for it to count as moving.
+  double axis_threshold = 0.15;
+  TimingConfig timing{};
+};
+
+/// 2-D tracker over cross-board recordings (5 channels, CrossChannel
+/// order).
+class Zebra2dTracker {
+ public:
+  explicit Zebra2dTracker(Zebra2dConfig config = {});
+
+  const Zebra2dConfig& config() const { return config_; }
+
+  /// Analyses one segment of a processed 5-channel cross recording.
+  /// Returns nullopt when neither axis saw a decisive sweep.
+  std::optional<Swipe2d> track(const ProcessedTrace& processed,
+                               const dsp::Segment& segment) const;
+
+ private:
+  Zebra2dConfig config_;
+};
+
+}  // namespace airfinger::core

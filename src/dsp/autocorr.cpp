@@ -1,0 +1,77 @@
+#include "dsp/autocorr.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+
+namespace airfinger::dsp {
+
+double autocorrelation(std::span<const double> x, std::size_t lag) {
+  AF_EXPECT(!x.empty(), "autocorrelation requires non-empty input");
+  if (lag >= x.size()) return 0.0;
+  const double m = common::mean(x);
+  double num = 0.0, den = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double d = x[i] - m;
+    den += d * d;
+    if (i + lag < x.size()) num += d * (x[i + lag] - m);
+  }
+  return den > 0.0 ? num / den : 0.0;
+}
+
+std::vector<double> acf(std::span<const double> x, std::size_t max_lag) {
+  std::vector<double> out(max_lag + 1, 0.0);
+  for (std::size_t k = 0; k <= max_lag; ++k) out[k] = autocorrelation(x, k);
+  if (out[0] == 0.0 && !x.empty()) out[0] = 1.0;  // zero-variance convention
+  return out;
+}
+
+std::vector<double> pacf(std::span<const double> x, std::size_t max_lag) {
+  AF_EXPECT(max_lag >= 1, "pacf requires max_lag >= 1");
+  const std::vector<double> rho = acf(x, max_lag);
+  std::vector<double> out(max_lag, 0.0);
+
+  // Durbin–Levinson: phi[k][k] is the PACF at lag k.
+  std::vector<double> phi_prev(max_lag + 1, 0.0), phi(max_lag + 1, 0.0);
+  double v = 1.0;  // prediction error variance (normalized)
+  for (std::size_t k = 1; k <= max_lag; ++k) {
+    double num = rho[k];
+    for (std::size_t j = 1; j < k; ++j) num -= phi_prev[j] * rho[k - j];
+    if (std::fabs(v) < 1e-12) break;  // degenerate: remaining PACF = 0
+    const double a = num / v;
+    phi[k] = a;
+    for (std::size_t j = 1; j < k; ++j)
+      phi[j] = phi_prev[j] - a * phi_prev[k - j];
+    v *= (1.0 - a * a);
+    out[k - 1] = a;
+    phi_prev = phi;
+  }
+  return out;
+}
+
+std::vector<double> ar_coefficients(std::span<const double> x,
+                                    std::size_t p) {
+  AF_EXPECT(p >= 1, "ar_coefficients requires p >= 1");
+  const std::vector<double> rho = acf(x, p);
+  // Levinson recursion on the Yule–Walker equations.
+  std::vector<double> phi_prev(p + 1, 0.0), phi(p + 1, 0.0);
+  double v = 1.0;
+  for (std::size_t k = 1; k <= p; ++k) {
+    double num = rho[k];
+    for (std::size_t j = 1; j < k; ++j) num -= phi_prev[j] * rho[k - j];
+    if (std::fabs(v) < 1e-12) {
+      phi.assign(p + 1, 0.0);
+      break;
+    }
+    const double a = num / v;
+    phi[k] = a;
+    for (std::size_t j = 1; j < k; ++j)
+      phi[j] = phi_prev[j] - a * phi_prev[k - j];
+    v *= (1.0 - a * a);
+    phi_prev = phi;
+  }
+  return {phi.begin() + 1, phi.end()};
+}
+
+}  // namespace airfinger::dsp

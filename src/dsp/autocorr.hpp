@@ -1,0 +1,28 @@
+// Autocorrelation, partial autocorrelation, and autoregressive fits.
+//
+// Backing math for Table I's "Autocorrelation", "Partial autocorrelation",
+// and "AR" features: sample ACF, Durbin–Levinson recursion for the PACF,
+// and Yule–Walker AR coefficient estimation.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace airfinger::dsp {
+
+/// Sample autocorrelation at one lag, normalized by the lag-0 variance.
+/// Returns 0 when the variance is 0 or lag >= n. Requires non-empty input.
+double autocorrelation(std::span<const double> x, std::size_t lag);
+
+/// ACF for lags 0..max_lag (inclusive). acf[0] == 1 unless variance is 0.
+std::vector<double> acf(std::span<const double> x, std::size_t max_lag);
+
+/// Partial autocorrelation for lags 1..max_lag via Durbin–Levinson.
+/// Entry [k-1] is the PACF at lag k. Degenerate recursions yield 0 entries.
+std::vector<double> pacf(std::span<const double> x, std::size_t max_lag);
+
+/// Yule–Walker AR(p) coefficients φ_1..φ_p. Returns zeros when the signal
+/// variance is 0 or the recursion degenerates. Requires p >= 1.
+std::vector<double> ar_coefficients(std::span<const double> x, std::size_t p);
+
+}  // namespace airfinger::dsp

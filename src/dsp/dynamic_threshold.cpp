@@ -1,0 +1,307 @@
+#include "dsp/dynamic_threshold.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace airfinger::dsp {
+
+double otsu_threshold(std::span<const double> x) {
+  AF_EXPECT(!x.empty(), "otsu_threshold requires non-empty input");
+  std::vector<double> sorted(x.begin(), x.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double n = static_cast<double>(sorted.size());
+
+  // Prefix sums let every candidate split be evaluated in O(1).
+  std::vector<double> prefix(sorted.size() + 1, 0.0);
+  for (std::size_t i = 0; i < sorted.size(); ++i)
+    prefix[i + 1] = prefix[i] + sorted[i];
+  const double total = prefix.back();
+
+  double best_sep = -1.0, best_threshold = sorted.back();
+  // Candidate thresholds between consecutive distinct values: class NG gets
+  // values <= candidate, class G gets values > candidate (Eq. 1).
+  for (std::size_t i = 1; i < sorted.size(); ++i) {
+    if (sorted[i] == sorted[i - 1]) continue;
+    const double n_ng = static_cast<double>(i);
+    const double n_g = n - n_ng;
+    const double mu_ng = prefix[i] / n_ng;
+    const double mu_g = (total - prefix[i]) / n_g;
+    const double w0 = n_g / n, w1 = n_ng / n;
+    const double sep = w0 * w1 * (mu_g - mu_ng) * (mu_g - mu_ng);
+    if (sep > best_sep) {
+      best_sep = sep;
+      best_threshold = 0.5 * (sorted[i - 1] + sorted[i]);
+    }
+  }
+  return best_threshold;
+}
+
+double otsu_threshold_hist(std::span<const double> x, int bins) {
+  AF_EXPECT(!x.empty(), "otsu_threshold_hist requires non-empty input");
+  AF_EXPECT(bins >= 2, "otsu_threshold_hist requires bins >= 2");
+  const auto [lo_it, hi_it] = std::minmax_element(x.begin(), x.end());
+  const double lo = *lo_it, hi = *hi_it;
+  if (hi <= lo) return hi;
+
+  const auto b = static_cast<std::size_t>(bins);
+  std::vector<double> count(b, 0.0), value_sum(b, 0.0);
+  const double scale = static_cast<double>(bins) / (hi - lo);
+  for (double v : x) {
+    auto idx = static_cast<std::size_t>((v - lo) * scale);
+    idx = std::min(idx, b - 1);
+    count[idx] += 1.0;
+    value_sum[idx] += v;
+  }
+  const double n = static_cast<double>(x.size());
+  const double total = value_sum.empty() ? 0.0 : [&] {
+    double s = 0.0;
+    for (double v : value_sum) s += v;
+    return s;
+  }();
+
+  // Between well-separated clusters the objective is flat (empty bins), so
+  // follow the standard Otsu convention and take the midpoint of the tied
+  // argmax range instead of its first bin.
+  double best_sep = -1.0;
+  double first_tie = hi, last_tie = hi;
+  double cum_n = 0.0, cum_sum = 0.0;
+  for (std::size_t i = 0; i + 1 < b; ++i) {
+    cum_n += count[i];
+    cum_sum += value_sum[i];
+    if (cum_n == 0.0 || cum_n == n) continue;
+    const double mu_ng = cum_sum / cum_n;
+    const double mu_g = (total - cum_sum) / (n - cum_n);
+    const double w1 = cum_n / n, w0 = 1.0 - w1;
+    const double sep = w0 * w1 * (mu_g - mu_ng) * (mu_g - mu_ng);
+    const double threshold = lo + (static_cast<double>(i) + 1.0) / scale;
+    if (sep > best_sep * (1.0 + 1e-12)) {
+      best_sep = sep;
+      first_tie = last_tie = threshold;
+    } else if (sep >= best_sep * (1.0 - 1e-12)) {
+      last_tie = threshold;
+    }
+  }
+  return 0.5 * (first_tie + last_tie);
+}
+
+namespace {
+std::vector<double> smooth_log_energy(std::span<const double> delta_rss2,
+                                      const SegmenterConfig& config) {
+  const auto w = std::max<std::size_t>(
+      1, static_cast<std::size_t>(
+             std::lround(config.smooth_window_s * config.sample_rate_hz)));
+  std::vector<double> smoothed(delta_rss2.begin(), delta_rss2.end());
+  if (w > 1) {
+    std::vector<double> tmp(smoothed.size());
+    double sum = 0.0;
+    for (std::size_t i = 0; i < smoothed.size(); ++i) {
+      sum += smoothed[i];
+      if (i >= w) sum -= smoothed[i - w];
+      tmp[i] = sum / static_cast<double>(std::min(i + 1, w));
+    }
+    smoothed.swap(tmp);
+  }
+  for (double& v : smoothed) v = std::log1p(std::max(v, 0.0));
+  return smoothed;
+}
+
+/// Class means on either side of a threshold; used by the bimodality guard
+/// and the hysteresis exit level.
+struct ClassMeans {
+  double mu_lo = 0.0;
+  double mu_hi = 0.0;
+  std::size_t n_lo = 0;
+  std::size_t n_hi = 0;
+};
+
+ClassMeans class_means(std::span<const double> logv, double threshold) {
+  ClassMeans m;
+  double sum_lo = 0.0, sum_hi = 0.0;
+  for (double v : logv) {
+    if (v > threshold) {
+      sum_hi += v;
+      ++m.n_hi;
+    } else {
+      sum_lo += v;
+      ++m.n_lo;
+    }
+  }
+  if (m.n_lo) m.mu_lo = sum_lo / static_cast<double>(m.n_lo);
+  if (m.n_hi) m.mu_hi = sum_hi / static_cast<double>(m.n_hi);
+  return m;
+}
+
+/// True when the threshold separates two genuinely distinct modes.
+bool split_is_bimodal(const ClassMeans& m, double min_separation) {
+  if (m.n_lo == 0 || m.n_hi == 0) return false;
+  return m.mu_hi - m.mu_lo >= min_separation;
+}
+}  // namespace
+
+std::vector<Segment> segment_signal(std::span<const double> delta_rss2,
+                                    const SegmenterConfig& config) {
+  AF_EXPECT(config.sample_rate_hz > 0.0, "sample rate must be positive");
+  if (delta_rss2.empty()) return {};
+  const std::vector<double> logv = smooth_log_energy(delta_rss2, config);
+  const double threshold = otsu_threshold(logv);
+  const ClassMeans means = class_means(logv, threshold);
+  if (!split_is_bimodal(means, config.min_log_separation)) return {};
+  const double exit_threshold =
+      means.mu_lo + config.exit_ratio * (threshold - means.mu_lo);
+
+  const auto gap = static_cast<std::size_t>(
+      std::lround(config.cluster_gap_s * config.sample_rate_hz));
+  // Smoothing widens every above-threshold run by roughly the window, so
+  // the minimum-duration rule accounts for it.
+  const auto smooth_w = static_cast<std::size_t>(
+      std::lround(config.smooth_window_s * config.sample_rate_hz));
+  const auto min_len = static_cast<std::size_t>(std::lround(
+                           config.min_duration_s * config.sample_rate_hz)) +
+                       smooth_w;
+
+  std::vector<Segment> raw;
+  bool inside = false;
+  std::size_t begin = 0;
+  for (std::size_t i = 0; i < logv.size(); ++i) {
+    // Hysteresis: open above the Otsu threshold, stay open until the signal
+    // drops below the exit level.
+    const bool above = logv[i] > (inside ? exit_threshold : threshold);
+    if (above && !inside) {
+      inside = true;
+      begin = i;
+    } else if (!above && inside) {
+      inside = false;
+      raw.push_back({begin, i});
+    }
+  }
+  if (inside) raw.push_back({begin, delta_rss2.size()});
+
+  // Cluster segments separated by less than t_e into one gesture.
+  std::vector<Segment> merged;
+  for (const auto& seg : raw) {
+    if (!merged.empty() && seg.begin - merged.back().end <= gap)
+      merged.back().end = seg.end;
+    else
+      merged.push_back(seg);
+  }
+
+  std::vector<Segment> out;
+  for (const auto& seg : merged)
+    if (seg.length() >= min_len) out.push_back(seg);
+  return out;
+}
+
+DynamicThresholdSegmenter::DynamicThresholdSegmenter(
+    const SegmenterConfig& config)
+    : config_(config),
+      threshold_(config.initial_threshold),
+      log_threshold_(std::log1p(std::max(config.initial_threshold, 0.0))),
+      log_exit_(log_threshold_) {
+  AF_EXPECT(config.sample_rate_hz > 0.0, "sample rate must be positive");
+  AF_EXPECT(config.history_capacity >= 16,
+            "history capacity too small to calibrate a threshold");
+  AF_EXPECT(config.update_interval >= 1, "update interval must be >= 1");
+  history_.reserve(config.history_capacity);
+  gap_samples_ = static_cast<std::size_t>(
+      std::lround(config.cluster_gap_s * config.sample_rate_hz));
+  const auto smooth_w = static_cast<std::size_t>(
+      std::lround(config.smooth_window_s * config.sample_rate_hz));
+  min_samples_ = static_cast<std::size_t>(std::lround(
+                     config.min_duration_s * config.sample_rate_hz)) +
+                 smooth_w;
+  const auto w = std::max<std::size_t>(
+      1, static_cast<std::size_t>(
+             std::lround(config.smooth_window_s * config.sample_rate_hz)));
+  smooth_ring_.assign(w, 0.0);
+}
+
+void DynamicThresholdSegmenter::maybe_update_threshold() {
+  if (position_ % config_.update_interval != 0) return;
+  const std::size_t n = history_full_ ? history_.size() : history_head_;
+  if (n < 16) return;  // not enough evidence yet; keep I'_seg
+  const std::span<const double> window(history_.data(), n);
+  const double candidate = otsu_threshold_hist(window);
+  const ClassMeans means = class_means(window, candidate);
+  if (split_is_bimodal(means, config_.min_log_separation)) {
+    log_threshold_ = candidate;
+    log_exit_ = means.mu_lo + config_.exit_ratio * (candidate - means.mu_lo);
+  } else {
+    // All-noise history: hold the threshold above everything seen so far
+    // so idle noise cannot open segments.
+    double peak = 0.0;
+    for (double v : window) peak = std::max(peak, v);
+    log_threshold_ = peak + 0.5;
+    log_exit_ = log_threshold_;
+  }
+  threshold_ = std::expm1(log_threshold_);
+}
+
+std::optional<Segment> DynamicThresholdSegmenter::finalize() {
+  in_gesture_ = false;
+  const Segment seg{segment_begin_, last_above_ + 1};
+  if (seg.length() >= min_samples_) return seg;
+  return std::nullopt;
+}
+
+std::optional<Segment> DynamicThresholdSegmenter::push(double value) {
+  // Incremental moving average, then log compression (matching
+  // segment_signal's preprocessing).
+  smooth_sum_ += value - smooth_ring_[smooth_head_];
+  smooth_ring_[smooth_head_] = value;
+  smooth_head_ = (smooth_head_ + 1) % smooth_ring_.size();
+  smooth_count_ = std::min(smooth_count_ + 1, smooth_ring_.size());
+  const double smoothed =
+      std::max(smooth_sum_, 0.0) / static_cast<double>(smooth_count_);
+  const double logv = std::log1p(smoothed);
+
+  // Accumulate calibration history (ring buffer).
+  if (history_.size() < config_.history_capacity) {
+    history_.push_back(logv);
+    history_head_ = history_.size();
+  } else {
+    history_full_ = true;
+    history_[history_head_ % history_.size()] = logv;
+    ++history_head_;
+  }
+  maybe_update_threshold();
+
+  std::optional<Segment> completed;
+  const bool above =
+      logv > (in_gesture_ ? log_exit_ : log_threshold_) &&
+      position_ >= config_.warmup_samples;
+  if (above) {
+    if (!in_gesture_) {
+      in_gesture_ = true;
+      segment_begin_ = position_;
+    }
+    last_above_ = position_;
+  } else if (in_gesture_ && position_ - last_above_ > gap_samples_) {
+    completed = finalize();
+  }
+  ++position_;
+  return completed;
+}
+
+std::optional<Segment> DynamicThresholdSegmenter::flush() {
+  if (!in_gesture_) return std::nullopt;
+  return finalize();
+}
+
+void DynamicThresholdSegmenter::reset() {
+  history_.clear();
+  history_head_ = 0;
+  history_full_ = false;
+  threshold_ = config_.initial_threshold;
+  log_threshold_ = std::log1p(std::max(config_.initial_threshold, 0.0));
+  log_exit_ = log_threshold_;
+  position_ = 0;
+  in_gesture_ = false;
+  smooth_ring_.assign(smooth_ring_.size(), 0.0);
+  smooth_head_ = 0;
+  smooth_count_ = 0;
+  smooth_sum_ = 0.0;
+}
+
+}  // namespace airfinger::dsp

@@ -1,0 +1,37 @@
+// Radix-2 FFT and real-signal spectrum helpers.
+//
+// Table I's frequency-domain features ("Fast Fourier Transform") are
+// computed from the magnitude/phase of the first FFT coefficients of the
+// segmented ΔRSS² signal. Inputs of non-power-of-two length are zero-padded.
+#pragma once
+
+#include <complex>
+#include <span>
+#include <vector>
+
+namespace airfinger::dsp {
+
+/// In-place iterative radix-2 Cooley-Tukey FFT.
+/// Requires x.size() to be a power of two (>= 1).
+void fft_inplace(std::vector<std::complex<double>>& x, bool inverse = false);
+
+/// FFT of a real signal, zero-padded to the next power of two.
+/// Returns the full complex spectrum (padded length).
+std::vector<std::complex<double>> fft_real(std::span<const double> x);
+
+/// Smallest power of two >= n (n >= 1).
+std::size_t next_pow2(std::size_t n);
+
+/// Magnitudes of the first `count` FFT coefficients of a real signal
+/// (zero-padded); missing coefficients (signal too short) are 0.
+std::vector<double> fft_magnitudes(std::span<const double> x,
+                                   std::size_t count);
+
+/// Spectral centroid (power-weighted mean normalized frequency in [0, 0.5])
+/// of a real signal; 0 for empty/constant input.
+double spectral_centroid(std::span<const double> x);
+
+/// Fraction of spectral power below `fraction` of the Nyquist band.
+double spectral_energy_ratio(std::span<const double> x, double fraction);
+
+}  // namespace airfinger::dsp

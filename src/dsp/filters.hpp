@@ -1,0 +1,33 @@
+// Small filtering/resampling utilities shared by the pipeline and the
+// feature extractors.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace airfinger::dsp {
+
+/// Centred moving average of window w (odd windows recommended); edges use
+/// the available neighbourhood. Requires w >= 1 and non-empty input.
+std::vector<double> moving_average(std::span<const double> x, std::size_t w);
+
+/// Exponential smoothing with factor alpha in (0, 1]. out[0] = x[0].
+std::vector<double> exponential_smooth(std::span<const double> x,
+                                       double alpha);
+
+/// Centred median filter of window w (w >= 1, odd enforced by rounding up).
+std::vector<double> median_filter(std::span<const double> x, std::size_t w);
+
+/// Linear resampling of x (length n) to `target` samples (target >= 1).
+std::vector<double> resample_linear(std::span<const double> x,
+                                    std::size_t target);
+
+/// First difference: out[i] = x[i+1] - x[i]; length n-1 (n >= 2 required).
+std::vector<double> diff(std::span<const double> x);
+
+/// Indices of local maxima strictly greater than their `support` neighbours
+/// on both sides (tsfresh's number_peaks definition).
+std::vector<std::size_t> find_peaks(std::span<const double> x,
+                                    std::size_t support);
+
+}  // namespace airfinger::dsp

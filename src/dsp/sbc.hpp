@@ -1,0 +1,48 @@
+// Square Based Calculation (SBC) — the paper's noise-mitigation transform
+// (Sec. IV-B-1).
+//
+// SBC slides a window of size w over the RSS stream, subtracts the value one
+// window back, and squares the difference: ΔRSS²[i] = (x[i] - x[i-w])².
+// Differencing removes the static component N_static exactly; squaring
+// relatively suppresses the low-magnitude dynamic noise N_dyn while
+// enhancing the gesture signal S_ges. O(1) per sample.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace airfinger::dsp {
+
+/// Streaming SBC filter over one channel.
+class SquareBasedCalculator {
+ public:
+  /// `window` is w in samples (the paper uses 10 ms = 1 sample at 100 Hz).
+  /// Requires window >= 1.
+  explicit SquareBasedCalculator(std::size_t window);
+
+  std::size_t window() const { return window_; }
+
+  /// Feeds one sample; returns ΔRSS² (0 until w samples have been seen).
+  double push(double rss);
+
+  /// Resets the internal delay line.
+  void reset();
+
+  /// Batch form: out[i] = (x[i] - x[i-w])² for i >= w, else 0.
+  static std::vector<double> apply(std::span<const double> x,
+                                   std::size_t window);
+
+ private:
+  std::size_t window_;
+  std::vector<double> delay_;   // ring buffer of the last w samples
+  std::size_t head_ = 0;
+  std::size_t seen_ = 0;
+};
+
+/// Applies SBC per channel and sums the results — the aggregate motion
+/// energy signal the detect-aimed pipeline operates on.
+std::vector<double> sbc_energy(
+    std::span<const std::span<const double>> channels, std::size_t window);
+
+}  // namespace airfinger::dsp

@@ -1,0 +1,57 @@
+#include "dsp/wavelet.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/error.hpp"
+
+namespace airfinger::dsp {
+
+double ricker(double t, double a) {
+  AF_EXPECT(a > 0.0, "ricker width must be positive");
+  const double norm =
+      2.0 / (std::sqrt(3.0 * a) * std::pow(std::numbers::pi, 0.25));
+  const double u = t / a;
+  return norm * (1.0 - u * u) * std::exp(-0.5 * u * u);
+}
+
+std::vector<double> ricker_wavelet(std::size_t points, double a) {
+  AF_EXPECT(points >= 1, "ricker_wavelet requires points >= 1");
+  std::vector<double> w(points);
+  const double mid = (static_cast<double>(points) - 1.0) / 2.0;
+  for (std::size_t i = 0; i < points; ++i)
+    w[i] = ricker(static_cast<double>(i) - mid, a);
+  return w;
+}
+
+std::vector<double> cwt_row(std::span<const double> x, double a) {
+  AF_EXPECT(!x.empty(), "cwt_row requires non-empty input");
+  // Support of the wavelet: ±5 widths captures >99.99% of its energy.
+  const auto half = static_cast<std::size_t>(std::ceil(5.0 * a));
+  const std::size_t wlen = 2 * half + 1;
+  const std::vector<double> w = ricker_wavelet(wlen, a);
+
+  std::vector<double> out(x.size(), 0.0);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    double acc = 0.0;
+    for (std::size_t k = 0; k < wlen; ++k) {
+      const auto j = static_cast<std::ptrdiff_t>(i) +
+                     static_cast<std::ptrdiff_t>(k) -
+                     static_cast<std::ptrdiff_t>(half);
+      if (j < 0 || j >= static_cast<std::ptrdiff_t>(x.size())) continue;
+      acc += x[static_cast<std::size_t>(j)] * w[k];
+    }
+    out[i] = acc;
+  }
+  return out;
+}
+
+std::vector<std::vector<double>> cwt(std::span<const double> x,
+                                     std::span<const double> widths) {
+  std::vector<std::vector<double>> rows;
+  rows.reserve(widths.size());
+  for (double a : widths) rows.push_back(cwt_row(x, a));
+  return rows;
+}
+
+}  // namespace airfinger::dsp

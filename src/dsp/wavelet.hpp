@@ -1,0 +1,28 @@
+// Continuous Wavelet Transform with the Ricker ("Mexican hat") wavelet.
+//
+// Table I lists "Continuous Wavelet transform" among the frequency-domain
+// features; like tsfresh's cwt_coefficients, we convolve the signal with
+// Ricker wavelets at several widths and sample the resulting coefficients.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace airfinger::dsp {
+
+/// Ricker wavelet value ψ_a(t) with width parameter a > 0.
+double ricker(double t, double a);
+
+/// Discrete Ricker wavelet of `points` samples centred at the middle, with
+/// width `a` (in samples). Requires points >= 1, a > 0.
+std::vector<double> ricker_wavelet(std::size_t points, double a);
+
+/// CWT row: convolution (same-size, zero-padded) of x with the Ricker
+/// wavelet of width `a`. Requires non-empty x.
+std::vector<double> cwt_row(std::span<const double> x, double a);
+
+/// CWT matrix for the given set of widths; result[w] is cwt_row(x, w).
+std::vector<std::vector<double>> cwt(std::span<const double> x,
+                                     std::span<const double> widths);
+
+}  // namespace airfinger::dsp

@@ -1,0 +1,56 @@
+#include "dsp/xcorr.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace airfinger::dsp {
+
+double correlation_at_lag(std::span<const double> a,
+                          std::span<const double> b, std::ptrdiff_t lag) {
+  // Positive lag means b lags a: compare a[i] with b[i + lag].
+  const auto n = static_cast<std::ptrdiff_t>(a.size());
+  const auto m = static_cast<std::ptrdiff_t>(b.size());
+  const std::ptrdiff_t i0 = std::max<std::ptrdiff_t>(0, -lag);
+  const std::ptrdiff_t i1 = std::min<std::ptrdiff_t>(n, m - lag);
+  if (i1 - i0 < 4) return 0.0;
+
+  double ma = 0.0, mb = 0.0;
+  const double count = static_cast<double>(i1 - i0);
+  for (std::ptrdiff_t i = i0; i < i1; ++i) {
+    ma += a[static_cast<std::size_t>(i)];
+    mb += b[static_cast<std::size_t>(i + lag)];
+  }
+  ma /= count;
+  mb /= count;
+  double saa = 0.0, sbb = 0.0, sab = 0.0;
+  for (std::ptrdiff_t i = i0; i < i1; ++i) {
+    const double da = a[static_cast<std::size_t>(i)] - ma;
+    const double db = b[static_cast<std::size_t>(i + lag)] - mb;
+    saa += da * da;
+    sbb += db * db;
+    sab += da * db;
+  }
+  if (saa <= 0.0 || sbb <= 0.0) return 0.0;
+  return sab / std::sqrt(saa * sbb);
+}
+
+LagEstimate best_lag(std::span<const double> a, std::span<const double> b,
+                     std::size_t max_lag) {
+  AF_EXPECT(!a.empty() && a.size() == b.size(),
+            "best_lag requires equal-length non-empty inputs");
+  LagEstimate best;
+  best.correlation = -2.0;
+  const auto limit = static_cast<std::ptrdiff_t>(max_lag);
+  for (std::ptrdiff_t lag = -limit; lag <= limit; ++lag) {
+    const double c = correlation_at_lag(a, b, lag);
+    if (c > best.correlation) {
+      best.correlation = c;
+      best.lag = lag;
+    }
+  }
+  if (best.correlation < -1.0) best = LagEstimate{};  // nothing valid
+  return best;
+}
+
+}  // namespace airfinger::dsp

@@ -1,0 +1,35 @@
+// Normalized cross-correlation and best-lag estimation.
+//
+// Used by the gesture-type router and the ZEBRA tracker: a scrolling finger
+// produces on P3 a time-shifted copy of P1's waveform (lag = transit time
+// over the P1→P3 baseline), while a fixed-spot micro gesture produces
+// near-proportional waveforms on all photodiodes (lag ≈ 0). Estimating the
+// lag from the whole waveform is the noise-robust generalization of
+// comparing single ascending points.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace airfinger::dsp {
+
+/// Result of a lag search.
+struct LagEstimate {
+  /// Best lag in samples: positive means `b` lags `a` (a leads).
+  std::ptrdiff_t lag = 0;
+  /// Normalized correlation at the best lag, in [-1, 1].
+  double correlation = 0.0;
+};
+
+/// Pearson correlation of a and b at the given lag (b shifted right by
+/// `lag`), computed over the overlapping region. Returns 0 when the overlap
+/// is shorter than 4 samples or either side is constant.
+double correlation_at_lag(std::span<const double> a, std::span<const double> b,
+                          std::ptrdiff_t lag);
+
+/// Scans lags in [-max_lag, +max_lag] and returns the lag maximizing the
+/// normalized correlation. Requires equal-length non-empty inputs.
+LagEstimate best_lag(std::span<const double> a, std::span<const double> b,
+                     std::size_t max_lag);
+
+}  // namespace airfinger::dsp

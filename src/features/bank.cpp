@@ -1,0 +1,427 @@
+#include "features/bank.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+#include "dsp/autocorr.hpp"
+#include "dsp/fft.hpp"
+#include "dsp/filters.hpp"
+#include "dsp/wavelet.hpp"
+#include "dsp/xcorr.hpp"
+#include "features/measures.hpp"
+
+namespace airfinger::features {
+
+namespace {
+
+/// Marks the Table I families reused by the interference filter.
+const char* kInterferenceFamilies[] = {
+    "std",        "variance",        "sample_entropy",
+    "kurtosis",   "num_peaks_s3",    "mean_abs_change",
+    "log_energy", "log_length",      "trend_slope",
+};
+
+bool is_interference_family(const std::string& name) {
+  for (const char* f : kInterferenceFamilies)
+    if (name == f) return true;
+  return false;
+}
+
+}  // namespace
+
+FeatureBank::FeatureBank(FeatureBankOptions options)
+    : options_(std::move(options)) {
+  AF_EXPECT(options_.canonical_length >= 16,
+            "canonical length too short for the configured lags");
+  AF_EXPECT(options_.acf_lags >= 1 && options_.pacf_lags >= 1 &&
+                options_.ar_order >= 1,
+            "lag orders must be >= 1");
+  AF_EXPECT(options_.envelope_smooth >= 1,
+            "envelope smoothing must be >= 1");
+
+  // Assemble the name list in the exact order extract() fills values.
+  auto add = [this](const std::string& n) { names_.push_back(n); };
+
+  // -- Shape features on the canonical (log1p + resampled + z-normalized)
+  //    summed-energy form.
+  add("std");
+  add("variance");
+  add("skewness");
+  add("kurtosis");
+  add("count_above_mean");
+  add("count_below_mean");
+  add("first_loc_max");
+  add("first_loc_min");
+  add("last_loc_max");
+  add("last_loc_min");
+  add("longest_strike_above_mean");
+  add("longest_strike_below_mean");
+  add("mean_abs_change");
+  add("cid");
+  add("sample_entropy");
+  add("approx_entropy");
+  add("adf_stat");
+  add("trend_slope");
+  add("trend_intercept");
+  for (std::size_t k = 1; k <= options_.acf_lags; ++k)
+    add("acf_l" + std::to_string(k));
+  // Fractional-lag autocorrelation: a double gesture repeats its waveform
+  // at half the segment, a single one does not — acf at n/2 (and n/4, n/3
+  // for faster repetition rates) fingerprints the repetition count
+  // independent of absolute duration.
+  add("acf_frac_q4");
+  add("acf_frac_q3");
+  add("acf_frac_q2");
+  for (std::size_t k = 1; k <= options_.pacf_lags; ++k)
+    add("pacf_l" + std::to_string(k));
+  for (std::size_t k = 1; k <= options_.ar_order; ++k)
+    add("ar_c" + std::to_string(k));
+  for (std::size_t lag : options_.c3_lags)
+    add("c3_l" + std::to_string(lag));
+  for (std::size_t lag : options_.tra_lags)
+    add("tra_l" + std::to_string(lag));
+  for (std::size_t s : options_.peak_supports)
+    add("num_peaks_s" + std::to_string(s));
+  for (double q : options_.quantiles)
+    add("quantile_" + std::to_string(static_cast<int>(q * 100)));
+  for (std::size_t c = 0; c < options_.energy_chunks; ++c)
+    add("energy_chunk_" + std::to_string(c));
+
+  // -- Envelope burst structure.
+  add("env_burst_count");
+  add("env_null_fraction");
+  add("env_max_burst_len");
+  add("env_burst_len_cv");
+  add("env_first_burst_pos");
+  add("env_last_burst_end");
+  add("env_peak_count");
+  add("env_period_lag");
+  add("env_period_strength");
+
+  // -- Frequency domain.
+  for (std::size_t k = 0; k < options_.fft_coefficients; ++k)
+    add("fft_mag_" + std::to_string(k));
+  add("spectral_centroid");
+  add("low_band_ratio");
+  for (std::size_t w = 0; w < options_.cwt_widths.size(); ++w)
+    add("cwt_energy_w" + std::to_string(w));
+  for (std::size_t w = 0; w < options_.cwt_widths.size(); ++w)
+    add("cwt_max_w" + std::to_string(w));
+
+  // -- Cross-channel (spatial) features.
+  if (options_.cross_channel) {
+    add("xc_energy_frac_first");
+    add("xc_energy_frac_mid");
+    add("xc_energy_frac_last");
+    add("xc_corr_outer");
+    add("xc_corr_first_mid");
+    add("xc_corr_mid_last");
+    add("xc_asym_delta");
+    add("xc_asym_range");
+    add("xc_asym_mean");
+    add("xc_tau_spread");
+  }
+
+  // -- Scale features on the raw summed segment (log-compressed).
+  add("log_length");
+  add("log_energy");
+  add("log_peak");
+  add("log_mean");
+  add("coeff_variation");
+
+  for (std::size_t i = 0; i < names_.size(); ++i)
+    if (is_interference_family(names_[i])) interference_indices_.push_back(i);
+  AF_ASSERT(interference_indices_.size() == 9,
+            "interference feature subset must have 9 entries");
+}
+
+std::vector<double> FeatureBank::extract(
+    std::span<const double> segment) const {
+  const std::span<const double> one[] = {segment};
+  return extract(std::span<const std::span<const double>>(one));
+}
+
+std::vector<double> FeatureBank::extract(
+    std::span<const std::span<const double>> channels) const {
+  AF_EXPECT(!channels.empty(), "extract requires at least one channel");
+  const std::size_t n = channels.front().size();
+  AF_EXPECT(n >= 4, "segment too short for feature extraction");
+  for (const auto& ch : channels)
+    AF_EXPECT(ch.size() == n, "channels must be equal length");
+
+  // Summed energy across channels.
+  std::vector<double> energy(n, 0.0);
+  for (const auto& ch : channels)
+    for (std::size_t i = 0; i < n; ++i) energy[i] += ch[i];
+
+  // Canonical form: log compression, fixed length, zero mean, unit var.
+  std::vector<double> logv(n);
+  for (std::size_t i = 0; i < n; ++i)
+    logv[i] = std::log1p(std::max(energy[i], 0.0));
+  const std::vector<double> resampled =
+      dsp::resample_linear(logv, options_.canonical_length);
+  const std::vector<double> canon = common::znormalize(resampled);
+  const double n_canon = static_cast<double>(canon.size());
+
+  std::vector<double> out;
+  out.reserve(names_.size());
+  auto push = [&out](double v) {
+    out.push_back(std::isfinite(v) ? v : 0.0);
+  };
+
+  // Shape features. Note: std/variance of the canonical form are trivially
+  // 1 unless the raw segment was constant (then 0) — they act as a
+  // degeneracy flag; the interference filter's variance signal comes from
+  // the scale block below combined with this flag.
+  push(common::stddev(canon));
+  push(common::variance(canon));
+  push(common::skewness(canon));
+  push(common::kurtosis(canon));
+  push(static_cast<double>(common::count_above_mean(canon)) / n_canon);
+  push(static_cast<double>(common::count_below_mean(canon)) / n_canon);
+  push(static_cast<double>(common::argmax(canon)) / n_canon);
+  push(static_cast<double>(common::argmin(canon)) / n_canon);
+  push(static_cast<double>(common::last_argmax(canon)) / n_canon);
+  push(static_cast<double>(common::last_argmin(canon)) / n_canon);
+  push(static_cast<double>(common::longest_strike_above_mean(canon)) /
+       n_canon);
+  push(static_cast<double>(common::longest_strike_below_mean(canon)) /
+       n_canon);
+  push(common::mean_abs_change(canon));
+  push(cid_ce(canon, /*normalize=*/false));  // canon is already normalized
+  push(sample_entropy(canon));
+  push(approximate_entropy(canon));
+  push(adf_statistic(canon));
+  {
+    const auto [slope, intercept] = common::linear_trend(canon);
+    push(slope * n_canon);  // slope per full segment, scale-free
+    push(intercept);
+  }
+  {
+    const auto a = dsp::acf(canon, options_.acf_lags);
+    for (std::size_t k = 1; k <= options_.acf_lags; ++k) push(a[k]);
+    push(dsp::autocorrelation(canon, canon.size() / 4));
+    push(dsp::autocorrelation(canon, canon.size() / 3));
+    push(dsp::autocorrelation(canon, canon.size() / 2));
+  }
+  {
+    const auto p = dsp::pacf(canon, options_.pacf_lags);
+    for (double v : p) push(v);
+  }
+  {
+    const auto ar = dsp::ar_coefficients(canon, options_.ar_order);
+    for (double v : ar) push(v);
+  }
+  for (std::size_t lag : options_.c3_lags) push(c3(canon, lag));
+  for (std::size_t lag : options_.tra_lags)
+    push(time_reversal_asymmetry(canon, lag));
+  for (std::size_t s : options_.peak_supports)
+    push(static_cast<double>(dsp::find_peaks(canon, s).size()));
+  for (double q : options_.quantiles) push(common::quantile(canon, q));
+  for (std::size_t c = 0; c < options_.energy_chunks; ++c)
+    push(energy_ratio_by_chunks(canon, options_.energy_chunks, c));
+
+  // Envelope burst structure (on the smoothed canonical energy, linear
+  // scale so nulls are real nulls).
+  {
+    std::vector<double> env = dsp::resample_linear(
+        energy, options_.canonical_length);
+    env = dsp::moving_average(env, options_.envelope_smooth);
+    double peak = 0.0;
+    for (double v : env) peak = std::max(peak, v);
+    if (peak <= 0.0) peak = 1.0;
+    const double burst_level = 0.30 * peak;
+    const double null_level = 0.08 * peak;
+
+    std::vector<std::pair<std::size_t, std::size_t>> bursts;
+    std::size_t nulls = 0;
+    bool inside = false;
+    std::size_t begin = 0;
+    for (std::size_t i = 0; i < env.size(); ++i) {
+      if (env[i] < null_level) ++nulls;
+      const bool above = env[i] >= burst_level;
+      if (above && !inside) {
+        inside = true;
+        begin = i;
+      } else if (!above && inside) {
+        inside = false;
+        bursts.emplace_back(begin, i);
+      }
+    }
+    if (inside) bursts.emplace_back(begin, env.size());
+
+    push(static_cast<double>(bursts.size()));
+    push(static_cast<double>(nulls) / n_canon);
+    double max_len = 0.0, mean_len = 0.0, var_len = 0.0;
+    for (const auto& b : bursts) {
+      const double len = static_cast<double>(b.second - b.first);
+      max_len = std::max(max_len, len);
+      mean_len += len;
+    }
+    if (!bursts.empty()) mean_len /= static_cast<double>(bursts.size());
+    for (const auto& b : bursts) {
+      const double len = static_cast<double>(b.second - b.first);
+      var_len += (len - mean_len) * (len - mean_len);
+    }
+    if (!bursts.empty()) var_len /= static_cast<double>(bursts.size());
+    push(max_len / n_canon);
+    push(mean_len > 0.0 ? std::sqrt(var_len) / mean_len : 0.0);
+    push(bursts.empty() ? 0.0
+                        : static_cast<double>(bursts.front().first) /
+                              n_canon);
+    push(bursts.empty() ? 0.0
+                        : static_cast<double>(bursts.back().second) /
+                              n_canon);
+    push(static_cast<double>(dsp::find_peaks(env, 4).size()));
+
+    // Dominant periodicity of the envelope: strongest ACF peak beyond a
+    // short dead zone. Double gestures repeat; singles do not.
+    const std::size_t max_lag = env.size() / 2;
+    double best_acf = 0.0;
+    std::size_t best_lag = 0;
+    if (max_lag >= 6) {
+      const auto acf = dsp::acf(env, max_lag);
+      for (std::size_t lag = 5; lag <= max_lag; ++lag) {
+        if (acf[lag] > best_acf) {
+          best_acf = acf[lag];
+          best_lag = lag;
+        }
+      }
+    }
+    push(static_cast<double>(best_lag) / n_canon);
+    push(best_acf);
+  }
+
+  // Frequency domain: power-normalized magnitudes so amplitude cancels.
+  {
+    auto mags = dsp::fft_magnitudes(canon, options_.fft_coefficients);
+    double total = 0.0;
+    for (double m : mags) total += m;
+    for (double m : mags) push(total > 0.0 ? m / total : 0.0);
+  }
+  push(dsp::spectral_centroid(canon));
+  push(dsp::spectral_energy_ratio(canon, 0.2));
+  {
+    const auto rows = dsp::cwt(canon, options_.cwt_widths);
+    double total = 0.0;
+    std::vector<double> energies, maxima;
+    for (const auto& row : rows) {
+      const double e = common::energy(row);
+      energies.push_back(e);
+      total += e;
+      double peak = 0.0;
+      for (double v : row) peak = std::max(peak, std::fabs(v));
+      maxima.push_back(peak);
+    }
+    for (double e : energies) push(total > 0.0 ? e / total : 0.0);
+    for (double m : maxima) push(m);
+  }
+
+  // Cross-channel spatial features.
+  if (options_.cross_channel) {
+    if (channels.size() >= 2) {
+      const auto& first = channels.front();
+      const auto& last = channels.back();
+      const std::size_t mid_idx = channels.size() / 2;
+      const auto& mid = channels[mid_idx];
+
+      double e_first = 0.0, e_mid = 0.0, e_last = 0.0, e_total = 0.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        e_first += first[i];
+        e_mid += mid[i];
+        e_last += last[i];
+      }
+      for (const auto& ch : channels)
+        for (double v : ch) e_total += v;
+      if (e_total <= 0.0) e_total = 1.0;
+      push(e_first / e_total);
+      push(e_mid / e_total);
+      push(e_last / e_total);
+
+      const std::size_t smooth = std::max<std::size_t>(3, n / 16);
+      const auto s_first = dsp::moving_average(first, smooth);
+      const auto s_mid = dsp::moving_average(mid, smooth);
+      const auto s_last = dsp::moving_average(last, smooth);
+      push(n >= 2 ? common::pearson(s_first, s_last) : 0.0);
+      push(n >= 2 ? common::pearson(s_first, s_mid) : 0.0);
+      push(n >= 2 ? common::pearson(s_mid, s_last) : 0.0);
+
+      // Asymmetry sweep statistics (same construction as the router's).
+      std::vector<double> esum(n, 0.0);
+      for (std::size_t i = 0; i < n; ++i)
+        esum[i] = s_first[i] + s_mid[i] + s_last[i];
+      double esum_peak = 0.0;
+      for (double v : esum) esum_peak = std::max(esum_peak, v);
+      const double eps = std::max(esum_peak * 0.05, 1e-12);
+      double w_total = 0.0, a_mean = 0.0;
+      double a_min = 0.0, a_max = 0.0, a_w_early = 0.0, a_w_late = 0.0;
+      double w_early = 0.0, w_late = 0.0, t_centroid_num = 0.0;
+      bool have = false;
+      const double energy_gate = esum_peak * 0.08;
+      for (std::size_t i = 0; i < n; ++i) {
+        const double a = (s_last[i] - s_first[i]) / (esum[i] + eps);
+        const double w =
+            esum[i] > energy_gate ? std::fabs(s_last[i] - s_first[i]) : 0.0;
+        if (w <= 0.0) continue;
+        if (!have) {
+          a_min = a_max = a;
+          have = true;
+        }
+        a_min = std::min(a_min, a);
+        a_max = std::max(a_max, a);
+        a_mean += a * w;
+        w_total += w;
+        t_centroid_num += static_cast<double>(i) * w;
+        if (i < n / 2) {
+          a_w_early += a * w;
+          w_early += w;
+        } else {
+          a_w_late += a * w;
+          w_late += w;
+        }
+      }
+      const double delta =
+          (w_early > 0.0 && w_late > 0.0)
+              ? a_w_late / w_late - a_w_early / w_early
+              : 0.0;
+      push(delta);
+      push(have ? a_max - a_min : 0.0);
+      push(w_total > 0.0 ? a_mean / w_total : 0.0);
+
+      // τ spread: energy-centroid time difference of the outer channels,
+      // normalized by the window length.
+      double tau_first = 0.0, tau_last = 0.0, ef = 0.0, el = 0.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        tau_first += static_cast<double>(i) * s_first[i];
+        ef += s_first[i];
+        tau_last += static_cast<double>(i) * s_last[i];
+        el += s_last[i];
+      }
+      const double spread =
+          (ef > 0.0 && el > 0.0)
+              ? (tau_last / el - tau_first / ef) / static_cast<double>(n)
+              : 0.0;
+      push(spread);
+    } else {
+      for (int i = 0; i < 10; ++i) push(0.0);
+    }
+  }
+
+  // Scale features on the raw summed segment.
+  push(std::log(static_cast<double>(n)));
+  push(std::log1p(common::energy(energy)));
+  push(std::log1p(common::max(energy)));
+  push(std::log1p(std::fabs(common::mean(energy))));
+  {
+    const double m = common::mean(energy);
+    push(m != 0.0 ? common::stddev(energy) / std::fabs(m) : 0.0);
+  }
+
+  AF_ASSERT(out.size() == names_.size(),
+            "feature vector arity diverged from the name list");
+  return out;
+}
+
+}  // namespace airfinger::features

@@ -1,0 +1,183 @@
+#include "features/measures.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/matrix.hpp"
+#include "common/stats.hpp"
+
+namespace airfinger::features {
+
+namespace {
+
+double default_tolerance(std::span<const double> x, double r) {
+  if (r >= 0.0) return r;
+  return 0.2 * common::stddev(x);
+}
+
+/// Counts template matches of length m within tolerance r (Chebyshev
+/// distance), excluding self-matches — shared by SampEn.
+std::size_t count_matches(std::span<const double> x, unsigned m, double r) {
+  const std::size_t n = x.size();
+  if (n < m) return 0;
+  const std::size_t templates = n - m + 1;
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < templates; ++i) {
+    for (std::size_t j = i + 1; j < templates; ++j) {
+      bool match = true;
+      for (unsigned k = 0; k < m && match; ++k)
+        match = std::fabs(x[i + k] - x[j + k]) <= r;
+      if (match) ++count;
+    }
+  }
+  return count;
+}
+
+}  // namespace
+
+double sample_entropy(std::span<const double> x, unsigned m, double r) {
+  const std::size_t n = x.size();
+  if (n <= m + 1) return 0.0;
+  const double tol = default_tolerance(x, r);
+  if (tol <= 0.0) return 0.0;  // constant signal: perfectly regular
+  const auto b = static_cast<double>(count_matches(x, m, tol));
+  const auto a = static_cast<double>(count_matches(x, m + 1, tol));
+  if (b == 0.0) return 0.0;  // no templates match at length m either
+  if (a == 0.0) {
+    // Convention: cap at the information content of one match among all
+    // possible pairs, keeping the feature finite.
+    const double pairs = static_cast<double>(n - m) *
+                         static_cast<double>(n - m - 1) / 2.0;
+    return std::log(std::max(pairs, 2.0));
+  }
+  return -std::log(a / b);
+}
+
+double approximate_entropy(std::span<const double> x, unsigned m, double r) {
+  const std::size_t n = x.size();
+  if (n <= m + 1) return 0.0;
+  const double tol = default_tolerance(x, r);
+  if (tol <= 0.0) return 0.0;
+
+  auto phi = [&](unsigned mm) {
+    const std::size_t templates = n - mm + 1;
+    double acc = 0.0;
+    for (std::size_t i = 0; i < templates; ++i) {
+      std::size_t count = 0;
+      for (std::size_t j = 0; j < templates; ++j) {
+        bool match = true;
+        for (unsigned k = 0; k < mm && match; ++k)
+          match = std::fabs(x[i + k] - x[j + k]) <= tol;
+        if (match) ++count;  // includes the self-match, per ApEn definition
+      }
+      acc += std::log(static_cast<double>(count) /
+                      static_cast<double>(templates));
+    }
+    return acc / static_cast<double>(templates);
+  };
+  return phi(m) - phi(m + 1);
+}
+
+double cid_ce(std::span<const double> x, bool normalize) {
+  if (x.size() < 2) return 0.0;
+  std::vector<double> v(x.begin(), x.end());
+  if (normalize) v = common::znormalize(v);
+  double s = 0.0;
+  for (std::size_t i = 1; i < v.size(); ++i) {
+    const double d = v[i] - v[i - 1];
+    s += d * d;
+  }
+  return std::sqrt(s);
+}
+
+double c3(std::span<const double> x, std::size_t lag) {
+  AF_EXPECT(lag >= 1, "c3 requires lag >= 1");
+  if (x.size() <= 2 * lag) return 0.0;
+  double s = 0.0;
+  const std::size_t n = x.size() - 2 * lag;
+  for (std::size_t i = 0; i < n; ++i)
+    s += x[i + 2 * lag] * x[i + lag] * x[i];
+  return s / static_cast<double>(n);
+}
+
+double time_reversal_asymmetry(std::span<const double> x, std::size_t lag) {
+  AF_EXPECT(lag >= 1, "time_reversal_asymmetry requires lag >= 1");
+  if (x.size() <= 2 * lag) return 0.0;
+  double s = 0.0;
+  const std::size_t n = x.size() - 2 * lag;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double a = x[i + 2 * lag], b = x[i + lag], c = x[i];
+    s += a * a * b - b * c * c;
+  }
+  return s / static_cast<double>(n);
+}
+
+double energy_ratio_by_chunks(std::span<const double> x,
+                              std::size_t num_chunks, std::size_t focus) {
+  AF_EXPECT(!x.empty(), "energy_ratio_by_chunks requires non-empty input");
+  AF_EXPECT(num_chunks >= 1 && focus < num_chunks,
+            "energy_ratio_by_chunks: focus must be < num_chunks");
+  const double total = common::energy(x);
+  if (total <= 0.0) return 0.0;
+  // tsfresh splits into num_chunks contiguous chunks (last may be shorter).
+  const std::size_t chunk_len =
+      (x.size() + num_chunks - 1) / num_chunks;  // ceil
+  const std::size_t begin = focus * chunk_len;
+  if (begin >= x.size()) return 0.0;
+  const std::size_t end = std::min(begin + chunk_len, x.size());
+  return common::energy(x.subspan(begin, end - begin)) / total;
+}
+
+double adf_statistic(std::span<const double> x) {
+  const std::size_t n = x.size();
+  if (n < 6) return 0.0;
+  // Regression: Δx[t] = α + γ·x[t-1] + β·Δx[t-1] + ε, t = 2..n-1.
+  const std::size_t rows = n - 2;
+  common::Matrix design(rows, 3);
+  std::vector<double> y(rows);
+  for (std::size_t t = 2; t < n; ++t) {
+    const std::size_t r = t - 2;
+    design(r, 0) = 1.0;
+    design(r, 1) = x[t - 1];
+    design(r, 2) = x[t - 1] - x[t - 2];
+    y[r] = x[t] - x[t - 1];
+  }
+  std::vector<double> beta;
+  try {
+    beta = common::ols(design, y, 1e-8);
+  } catch (const NumericError&) {
+    return 0.0;
+  }
+  // Residual variance and the standard error of γ (coefficient 1).
+  double rss = 0.0;
+  for (std::size_t r = 0; r < rows; ++r) {
+    const double fit = beta[0] + beta[1] * design(r, 1) +
+                       beta[2] * design(r, 2);
+    const double e = y[r] - fit;
+    rss += e * e;
+  }
+  const double dof = static_cast<double>(rows) - 3.0;
+  if (dof <= 0.0) return 0.0;
+  const double sigma2 = rss / dof;
+
+  // SE(γ) via the (X'X)^-1 [1][1] entry: solve X'X e1 = unit vector.
+  common::Matrix xtx(3, 3);
+  for (std::size_t r = 0; r < rows; ++r)
+    for (std::size_t i = 0; i < 3; ++i)
+      for (std::size_t j = 0; j < 3; ++j)
+        xtx(i, j) += design(r, i) * design(r, j);
+  for (std::size_t i = 0; i < 3; ++i) xtx(i, i) += 1e-8;
+  std::vector<double> unit{0.0, 1.0, 0.0};
+  std::vector<double> col;
+  try {
+    col = common::solve_linear(xtx, unit);
+  } catch (const NumericError&) {
+    return 0.0;
+  }
+  const double se = std::sqrt(std::max(sigma2 * col[1], 0.0));
+  if (se <= 0.0) return 0.0;
+  return beta[1] / se;
+}
+
+}  // namespace airfinger::features

@@ -1,0 +1,12 @@
+#include "ml/classifier.hpp"
+
+namespace airfinger::ml {
+
+std::vector<int> Classifier::predict_all(const SampleSet& data) const {
+  std::vector<int> out;
+  out.reserve(data.size());
+  for (const auto& row : data.features) out.push_back(predict(row));
+  return out;
+}
+
+}  // namespace airfinger::ml

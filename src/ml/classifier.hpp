@@ -1,0 +1,32 @@
+// Abstract classifier interface shared by RF / LR / DT / BNB, enabling the
+// like-for-like comparison of Fig. 9.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "ml/data.hpp"
+
+namespace airfinger::ml {
+
+/// Interface for multiclass classifiers (C.121: interface = pure virtuals).
+class Classifier {
+ public:
+  virtual ~Classifier() = default;
+
+  /// Trains on the given data. Requires non-empty data with >= 2 classes.
+  virtual void fit(const SampleSet& data) = 0;
+
+  /// Predicts the class of one observation. Requires a prior fit().
+  virtual int predict(std::span<const double> x) const = 0;
+
+  /// Short display name ("RF", "LR", ...).
+  virtual std::string name() const = 0;
+
+  /// Batch prediction convenience.
+  std::vector<int> predict_all(const SampleSet& data) const;
+};
+
+}  // namespace airfinger::ml

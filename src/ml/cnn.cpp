@@ -1,0 +1,261 @@
+#include "ml/cnn.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "dsp/filters.hpp"
+
+namespace airfinger::ml {
+
+struct CnnClassifier::Activations {
+  std::vector<double> input;                      // L0
+  std::vector<std::vector<double>> conv1;         // [C1][L1], post-ReLU
+  std::vector<std::vector<double>> pool;          // [C1][L2]
+  std::vector<std::vector<std::size_t>> pool_arg; // winner index into conv1
+  std::vector<std::vector<double>> conv2;         // [C2][L3], post-ReLU
+  std::vector<double> gap;                        // [C2]
+  std::vector<double> probs;                      // [classes]
+};
+
+CnnClassifier::CnnClassifier(CnnClassifierConfig config) : config_(config) {
+  AF_EXPECT(config.resample_length >= 16, "CNN input length must be >= 16");
+  AF_EXPECT(config.kernel >= 2 && config.kernel < config.resample_length / 2,
+            "CNN kernel size out of range");
+  AF_EXPECT(config.conv1_filters >= 1 && config.conv2_filters >= 1,
+            "CNN needs at least one filter per layer");
+  AF_EXPECT(config.epochs >= 1 && config.batch_size >= 1,
+            "CNN training parameters out of range");
+}
+
+std::vector<double> CnnClassifier::canonicalize(
+    std::span<const double> series) const {
+  std::vector<double> logv(series.size());
+  for (std::size_t i = 0; i < series.size(); ++i)
+    logv[i] = std::log1p(std::max(series[i], 0.0));
+  return common::znormalize(
+      dsp::resample_linear(logv, config_.resample_length));
+}
+
+void CnnClassifier::forward(const std::vector<double>& input,
+                            Activations& act) const {
+  const std::size_t k = config_.kernel;
+  const std::size_t l1 = input.size() - k + 1;
+  const std::size_t l2 = l1 / 2;
+  const std::size_t l3 = l2 - k + 1;
+  const std::size_t c1 = config_.conv1_filters;
+  const std::size_t c2 = config_.conv2_filters;
+
+  act.input = input;
+  act.conv1.assign(c1, std::vector<double>(l1, 0.0));
+  act.pool.assign(c1, std::vector<double>(l2, 0.0));
+  act.pool_arg.assign(c1, std::vector<std::size_t>(l2, 0));
+  act.conv2.assign(c2, std::vector<double>(l3, 0.0));
+  act.gap.assign(c2, 0.0);
+
+  for (std::size_t f = 0; f < c1; ++f) {
+    for (std::size_t t = 0; t < l1; ++t) {
+      double s = conv1_b_[f];
+      for (std::size_t j = 0; j < k; ++j)
+        s += conv1_w_[f][j] * input[t + j];
+      act.conv1[f][t] = std::max(s, 0.0);
+    }
+    for (std::size_t t = 0; t < l2; ++t) {
+      const std::size_t a = 2 * t, b = 2 * t + 1;
+      if (act.conv1[f][a] >= act.conv1[f][b]) {
+        act.pool[f][t] = act.conv1[f][a];
+        act.pool_arg[f][t] = a;
+      } else {
+        act.pool[f][t] = act.conv1[f][b];
+        act.pool_arg[f][t] = b;
+      }
+    }
+  }
+  for (std::size_t g = 0; g < c2; ++g) {
+    double mean = 0.0;
+    for (std::size_t t = 0; t < l3; ++t) {
+      double s = conv2_b_[g];
+      for (std::size_t f = 0; f < c1; ++f)
+        for (std::size_t j = 0; j < k; ++j)
+          s += conv2_w_[g][f][j] * act.pool[f][t + j];
+      act.conv2[g][t] = std::max(s, 0.0);
+      mean += act.conv2[g][t];
+    }
+    act.gap[g] = mean / static_cast<double>(l3);
+  }
+
+  act.probs.assign(static_cast<std::size_t>(num_classes_), 0.0);
+  double peak = -1e300;
+  for (int c = 0; c < num_classes_; ++c) {
+    double s = dense_b_[static_cast<std::size_t>(c)];
+    for (std::size_t g = 0; g < c2; ++g)
+      s += dense_w_[static_cast<std::size_t>(c)][g] * act.gap[g];
+    act.probs[static_cast<std::size_t>(c)] = s;
+    peak = std::max(peak, s);
+  }
+  double denom = 0.0;
+  for (double& p : act.probs) {
+    p = std::exp(p - peak);
+    denom += p;
+  }
+  for (double& p : act.probs) p /= denom;
+}
+
+void CnnClassifier::fit(const std::vector<std::vector<double>>& series,
+                        const std::vector<int>& labels) {
+  AF_EXPECT(series.size() == labels.size(), "series/label count mismatch");
+  AF_EXPECT(!series.empty(), "fit requires at least one series");
+  num_classes_ = 0;
+  for (int l : labels) {
+    AF_EXPECT(l >= 0, "labels must be non-negative");
+    num_classes_ = std::max(num_classes_, l + 1);
+  }
+  AF_EXPECT(num_classes_ >= 2, "CNN requires at least two classes");
+
+  const std::size_t k = config_.kernel;
+  const std::size_t c1 = config_.conv1_filters;
+  const std::size_t c2 = config_.conv2_filters;
+  common::Rng rng(config_.seed);
+  auto he = [&rng](std::size_t fan_in) {
+    return rng.normal(0.0, std::sqrt(2.0 / static_cast<double>(fan_in)));
+  };
+  conv1_w_.assign(c1, std::vector<double>(k));
+  conv1_b_.assign(c1, 0.0);
+  for (auto& f : conv1_w_)
+    for (auto& w : f) w = he(k);
+  conv2_w_.assign(c2, std::vector<std::vector<double>>(
+                          c1, std::vector<double>(k)));
+  conv2_b_.assign(c2, 0.0);
+  for (auto& g : conv2_w_)
+    for (auto& f : g)
+      for (auto& w : f) w = he(k * c1);
+  dense_w_.assign(static_cast<std::size_t>(num_classes_),
+                  std::vector<double>(c2));
+  dense_b_.assign(static_cast<std::size_t>(num_classes_), 0.0);
+  for (auto& row : dense_w_)
+    for (auto& w : row) w = he(c2);
+
+  // Pre-canonicalize once.
+  std::vector<std::vector<double>> inputs;
+  std::vector<int> targets;
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    if (series[i].size() < 4) continue;
+    inputs.push_back(canonicalize(series[i]));
+    targets.push_back(labels[i]);
+  }
+  AF_EXPECT(!inputs.empty(), "no usable training series");
+
+  const std::size_t l1 = config_.resample_length - k + 1;
+  const std::size_t l2 = l1 / 2;
+  const std::size_t l3 = l2 - k + 1;
+
+  std::vector<std::size_t> order(inputs.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  Activations act;
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    rng.shuffle(order);
+    const double lr =
+        config_.learning_rate / std::sqrt(1.0 + 0.3 * epoch);
+    for (std::size_t start = 0; start < order.size();
+         start += config_.batch_size) {
+      const std::size_t end =
+          std::min(start + config_.batch_size, order.size());
+
+      auto g_conv1_w = conv1_w_;
+      auto g_conv2_w = conv2_w_;
+      auto g_dense_w = dense_w_;
+      for (auto& f : g_conv1_w) std::fill(f.begin(), f.end(), 0.0);
+      for (auto& g : g_conv2_w)
+        for (auto& f : g) std::fill(f.begin(), f.end(), 0.0);
+      for (auto& row : g_dense_w) std::fill(row.begin(), row.end(), 0.0);
+      std::vector<double> g_conv1_b(c1, 0.0), g_conv2_b(c2, 0.0),
+          g_dense_b(static_cast<std::size_t>(num_classes_), 0.0);
+
+      for (std::size_t bi = start; bi < end; ++bi) {
+        const auto idx = order[bi];
+        forward(inputs[idx], act);
+
+        // dL/dlogits for cross-entropy + softmax.
+        std::vector<double> d_logits(act.probs);
+        d_logits[static_cast<std::size_t>(targets[idx])] -= 1.0;
+
+        // Dense layer.
+        std::vector<double> d_gap(c2, 0.0);
+        for (int c = 0; c < num_classes_; ++c) {
+          const auto cc = static_cast<std::size_t>(c);
+          g_dense_b[cc] += d_logits[cc];
+          for (std::size_t g = 0; g < c2; ++g) {
+            g_dense_w[cc][g] += d_logits[cc] * act.gap[g];
+            d_gap[g] += d_logits[cc] * dense_w_[cc][g];
+          }
+        }
+
+        // GAP + conv2 (ReLU mask) back to pool.
+        std::vector<std::vector<double>> d_pool(
+            c1, std::vector<double>(l2, 0.0));
+        for (std::size_t g = 0; g < c2; ++g) {
+          const double d_mean = d_gap[g] / static_cast<double>(l3);
+          for (std::size_t t = 0; t < l3; ++t) {
+            if (act.conv2[g][t] <= 0.0) continue;
+            g_conv2_b[g] += d_mean;
+            for (std::size_t f = 0; f < c1; ++f)
+              for (std::size_t j = 0; j < k; ++j) {
+                g_conv2_w[g][f][j] += d_mean * act.pool[f][t + j];
+                d_pool[f][t + j] += d_mean * conv2_w_[g][f][j];
+              }
+          }
+        }
+
+        // Max-pool routing + conv1 (ReLU mask) back to weights.
+        for (std::size_t f = 0; f < c1; ++f) {
+          for (std::size_t t = 0; t < l2; ++t) {
+            const double d = d_pool[f][t];
+            if (d == 0.0) continue;
+            const std::size_t src = act.pool_arg[f][t];
+            if (act.conv1[f][src] <= 0.0) continue;
+            g_conv1_b[f] += d;
+            for (std::size_t j = 0; j < k; ++j)
+              g_conv1_w[f][j] += d * act.input[src + j];
+          }
+        }
+      }
+
+      const double scale = lr / static_cast<double>(end - start);
+      for (std::size_t f = 0; f < c1; ++f) {
+        conv1_b_[f] -= scale * g_conv1_b[f];
+        for (std::size_t j = 0; j < k; ++j)
+          conv1_w_[f][j] -= scale * g_conv1_w[f][j];
+      }
+      for (std::size_t g = 0; g < c2; ++g) {
+        conv2_b_[g] -= scale * g_conv2_b[g];
+        for (std::size_t f = 0; f < c1; ++f)
+          for (std::size_t j = 0; j < k; ++j)
+            conv2_w_[g][f][j] -= scale * g_conv2_w[g][f][j];
+      }
+      for (int c = 0; c < num_classes_; ++c) {
+        const auto cc = static_cast<std::size_t>(c);
+        dense_b_[cc] -= scale * g_dense_b[cc];
+        for (std::size_t g = 0; g < c2; ++g)
+          dense_w_[cc][g] -= scale * g_dense_w[cc][g];
+      }
+    }
+  }
+}
+
+std::vector<double> CnnClassifier::predict_proba(
+    std::span<const double> series) const {
+  AF_EXPECT(num_classes_ >= 2, "predict requires a fitted network");
+  Activations act;
+  forward(canonicalize(series), act);
+  return act.probs;
+}
+
+int CnnClassifier::predict(std::span<const double> series) const {
+  const auto p = predict_proba(series);
+  return static_cast<int>(std::max_element(p.begin(), p.end()) - p.begin());
+}
+
+}  // namespace airfinger::ml

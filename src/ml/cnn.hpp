@@ -1,0 +1,64 @@
+// Small 1-D convolutional network classifier.
+//
+// The third sequence baseline the paper rules out on cost grounds
+// (Sec. IV-C-2). A compact two-convolution network trained from scratch
+// (manual backpropagation, SGD) over canonicalized ΔRSS² series:
+//   conv(1→C1, k) → ReLU → maxpool(2) → conv(C1→C2, k) → ReLU →
+//   global average pool → dense(C2→classes) → softmax.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace airfinger::ml {
+
+/// Network and training hyper-parameters.
+struct CnnClassifierConfig {
+  std::size_t resample_length = 64;  ///< Canonical input length.
+  std::size_t conv1_filters = 8;
+  std::size_t conv2_filters = 16;
+  std::size_t kernel = 5;
+  int epochs = 40;
+  double learning_rate = 0.05;
+  std::size_t batch_size = 16;
+  std::uint64_t seed = 99;
+};
+
+/// Trained CNN sequence classifier.
+class CnnClassifier {
+ public:
+  explicit CnnClassifier(CnnClassifierConfig config = {});
+
+  /// Trains from scratch on (raw positive) series. Labels dense 0-based.
+  void fit(const std::vector<std::vector<double>>& series,
+           const std::vector<int>& labels);
+
+  /// Predicts the label of one series. Requires a prior fit().
+  int predict(std::span<const double> series) const;
+
+  /// Softmax class probabilities for one series.
+  std::vector<double> predict_proba(std::span<const double> series) const;
+
+  int num_classes() const { return num_classes_; }
+
+ private:
+  struct Activations;  // forward-pass intermediates (defined in .cpp)
+
+  std::vector<double> canonicalize(std::span<const double> series) const;
+  void forward(const std::vector<double>& input, Activations& act) const;
+
+  CnnClassifierConfig config_;
+  int num_classes_ = 0;
+  // conv1: [filter][tap]; conv2: [filter][in_channel][tap]; dense:
+  // [class][channel]. Biases per filter/class.
+  std::vector<std::vector<double>> conv1_w_;
+  std::vector<double> conv1_b_;
+  std::vector<std::vector<std::vector<double>>> conv2_w_;
+  std::vector<double> conv2_b_;
+  std::vector<std::vector<double>> dense_w_;
+  std::vector<double> dense_b_;
+};
+
+}  // namespace airfinger::ml

@@ -1,0 +1,128 @@
+#include "ml/data.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "common/error.hpp"
+
+namespace airfinger::ml {
+
+int SampleSet::num_classes() const {
+  int max_label = -1;
+  for (int l : labels) max_label = std::max(max_label, l);
+  return max_label + 1;
+}
+
+SampleSet SampleSet::subset(std::span<const std::size_t> indices) const {
+  SampleSet out;
+  out.features.reserve(indices.size());
+  out.labels.reserve(indices.size());
+  for (std::size_t i : indices) {
+    AF_EXPECT(i < size(), "subset index out of range");
+    out.features.push_back(features[i]);
+    out.labels.push_back(labels[i]);
+    if (!groups.empty()) out.groups.push_back(groups[i]);
+  }
+  return out;
+}
+
+SampleSet SampleSet::project(std::span<const std::size_t> columns) const {
+  SampleSet out;
+  out.labels = labels;
+  out.groups = groups;
+  out.features.reserve(size());
+  for (const auto& row : features) {
+    std::vector<double> projected;
+    projected.reserve(columns.size());
+    for (std::size_t c : columns) {
+      AF_EXPECT(c < row.size(), "projected column out of range");
+      projected.push_back(row[c]);
+    }
+    out.features.push_back(std::move(projected));
+  }
+  return out;
+}
+
+void SampleSet::validate() const {
+  AF_EXPECT(features.size() == labels.size(),
+            "feature/label row count mismatch");
+  AF_EXPECT(groups.empty() || groups.size() == labels.size(),
+            "group row count mismatch");
+  const std::size_t width = feature_count();
+  for (const auto& row : features)
+    AF_EXPECT(row.size() == width, "ragged feature rows");
+  for (int l : labels) AF_EXPECT(l >= 0, "labels must be non-negative");
+}
+
+namespace {
+std::map<int, std::vector<std::size_t>> by_class(const SampleSet& data) {
+  std::map<int, std::vector<std::size_t>> index;
+  for (std::size_t i = 0; i < data.size(); ++i)
+    index[data.labels[i]].push_back(i);
+  return index;
+}
+}  // namespace
+
+Split stratified_split(const SampleSet& data, double test_fraction,
+                       common::Rng& rng) {
+  AF_EXPECT(test_fraction > 0.0 && test_fraction < 1.0,
+            "test fraction must lie in (0,1)");
+  AF_EXPECT(data.size() >= 2, "need at least two samples to split");
+  Split split;
+  for (auto& [label, indices] : by_class(data)) {
+    rng.shuffle(indices);
+    const auto n_test = std::max<std::size_t>(
+        1, static_cast<std::size_t>(test_fraction *
+                                    static_cast<double>(indices.size())));
+    for (std::size_t i = 0; i < indices.size(); ++i)
+      (i < n_test ? split.test : split.train).push_back(indices[i]);
+  }
+  rng.shuffle(split.train);
+  rng.shuffle(split.test);
+  return split;
+}
+
+std::vector<Split> stratified_kfold(const SampleSet& data, int folds,
+                                    common::Rng& rng) {
+  AF_EXPECT(folds >= 2, "kfold requires folds >= 2");
+  std::vector<std::vector<std::size_t>> fold_members(
+      static_cast<std::size_t>(folds));
+  for (auto& [label, indices] : by_class(data)) {
+    rng.shuffle(indices);
+    for (std::size_t i = 0; i < indices.size(); ++i)
+      fold_members[i % static_cast<std::size_t>(folds)].push_back(indices[i]);
+  }
+  std::vector<Split> splits(static_cast<std::size_t>(folds));
+  for (std::size_t f = 0; f < splits.size(); ++f) {
+    splits[f].test = fold_members[f];
+    for (std::size_t g = 0; g < fold_members.size(); ++g)
+      if (g != f)
+        splits[f].train.insert(splits[f].train.end(),
+                               fold_members[g].begin(),
+                               fold_members[g].end());
+    rng.shuffle(splits[f].train);
+  }
+  return splits;
+}
+
+std::vector<Split> leave_one_group_out(const SampleSet& data) {
+  AF_EXPECT(!data.groups.empty(), "leave_one_group_out requires groups");
+  std::map<int, std::vector<std::size_t>> by_group;
+  for (std::size_t i = 0; i < data.size(); ++i)
+    by_group[data.groups[i]].push_back(i);
+  AF_EXPECT(by_group.size() >= 2, "need at least two groups");
+
+  std::vector<Split> splits;
+  for (const auto& [group, members] : by_group) {
+    Split s;
+    s.test = members;
+    for (const auto& [other, other_members] : by_group)
+      if (other != group)
+        s.train.insert(s.train.end(), other_members.begin(),
+                       other_members.end());
+    splits.push_back(std::move(s));
+  }
+  return splits;
+}
+
+}  // namespace airfinger::ml

@@ -1,0 +1,55 @@
+// Tabular training data and split utilities for the classifiers.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace airfinger::ml {
+
+/// Feature matrix + integer labels (0-based, dense class ids).
+struct SampleSet {
+  std::vector<std::vector<double>> features;  ///< Row-major observations.
+  std::vector<int> labels;                    ///< One label per row.
+  /// Optional grouping key per row (user id, session id) for
+  /// leave-one-group-out evaluation. Empty = no groups.
+  std::vector<int> groups;
+
+  std::size_t size() const { return features.size(); }
+  std::size_t feature_count() const {
+    return features.empty() ? 0 : features.front().size();
+  }
+
+  /// Number of distinct labels (max label + 1). 0 when empty.
+  int num_classes() const;
+
+  /// Subset by row indices.
+  SampleSet subset(std::span<const std::size_t> indices) const;
+
+  /// Keeps only the listed feature columns (in the given order).
+  SampleSet project(std::span<const std::size_t> columns) const;
+
+  /// Validates internal consistency (equal row lengths, labels >= 0).
+  void validate() const;
+};
+
+/// Train/test split keeping per-class proportions (stratified).
+struct Split {
+  std::vector<std::size_t> train;
+  std::vector<std::size_t> test;
+};
+
+/// Stratified split with `test_fraction` of each class in the test set.
+Split stratified_split(const SampleSet& data, double test_fraction,
+                       common::Rng& rng);
+
+/// K stratified folds; fold f is the test set of combination f.
+std::vector<Split> stratified_kfold(const SampleSet& data, int folds,
+                                    common::Rng& rng);
+
+/// One split per distinct group value: that group is the test set.
+std::vector<Split> leave_one_group_out(const SampleSet& data);
+
+}  // namespace airfinger::ml

@@ -1,0 +1,177 @@
+#include "ml/decision_tree.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace airfinger::ml {
+
+double gini_impurity(std::span<const double> class_counts, double total) {
+  if (total <= 0.0) return 0.0;
+  double sum_sq = 0.0;
+  for (double c : class_counts) sum_sq += (c / total) * (c / total);
+  return 1.0 - sum_sq;
+}
+
+DecisionTree::DecisionTree(DecisionTreeConfig config) : config_(config) {
+  AF_EXPECT(config.max_depth >= 1, "max_depth must be >= 1");
+  AF_EXPECT(config.min_samples_split >= 2, "min_samples_split must be >= 2");
+  AF_EXPECT(config.min_samples_leaf >= 1, "min_samples_leaf must be >= 1");
+}
+
+void DecisionTree::fit(const SampleSet& data) {
+  data.validate();
+  AF_EXPECT(data.size() >= 1, "fit requires at least one sample");
+  num_classes_ = data.num_classes();
+  AF_EXPECT(num_classes_ >= 1, "fit requires at least one class");
+  nodes_.clear();
+  importances_.assign(data.feature_count(), 0.0);
+
+  std::vector<std::size_t> rows(data.size());
+  for (std::size_t i = 0; i < rows.size(); ++i) rows[i] = i;
+  common::Rng rng(config_.seed);
+  build(data, rows, 0, rng);
+
+  // Normalize importances to sum to 1 for cross-model comparability.
+  double total = 0.0;
+  for (double v : importances_) total += v;
+  if (total > 0.0)
+    for (double& v : importances_) v /= total;
+}
+
+std::int32_t DecisionTree::make_leaf(const SampleSet& data,
+                                     std::span<const std::size_t> rows) {
+  Node leaf;
+  leaf.distribution.assign(static_cast<std::size_t>(num_classes_), 0.0);
+  for (std::size_t r : rows)
+    leaf.distribution[static_cast<std::size_t>(data.labels[r])] += 1.0;
+  const double total = static_cast<double>(rows.size());
+  if (total > 0.0)
+    for (double& v : leaf.distribution) v /= total;
+  nodes_.push_back(std::move(leaf));
+  return static_cast<std::int32_t>(nodes_.size() - 1);
+}
+
+std::optional<DecisionTree::SplitCandidate> DecisionTree::best_split(
+    const SampleSet& data, std::span<const std::size_t> rows,
+    common::Rng& rng) const {
+  const std::size_t n_features = data.feature_count();
+  if (n_features == 0 || rows.size() < config_.min_samples_split)
+    return std::nullopt;
+
+  // Candidate feature set: all, or a random subset of max_features.
+  std::vector<std::size_t> candidates;
+  if (config_.max_features == 0 || config_.max_features >= n_features) {
+    candidates.resize(n_features);
+    for (std::size_t i = 0; i < n_features; ++i) candidates[i] = i;
+  } else {
+    candidates = rng.permutation(n_features);
+    candidates.resize(config_.max_features);
+  }
+
+  const auto k = static_cast<std::size_t>(num_classes_);
+  std::vector<double> total_counts(k, 0.0);
+  for (std::size_t r : rows)
+    total_counts[static_cast<std::size_t>(data.labels[r])] += 1.0;
+  const double n = static_cast<double>(rows.size());
+  const double parent_impurity = gini_impurity(total_counts, n);
+  if (parent_impurity <= 0.0) return std::nullopt;  // pure node
+
+  std::optional<SplitCandidate> best;
+  std::vector<std::pair<double, int>> values;  // (feature value, label)
+  values.reserve(rows.size());
+
+  for (std::size_t f : candidates) {
+    values.clear();
+    for (std::size_t r : rows)
+      values.emplace_back(data.features[r][f], data.labels[r]);
+    std::sort(values.begin(), values.end());
+    if (values.front().first == values.back().first) continue;  // constant
+
+    std::vector<double> left_counts(k, 0.0);
+    std::vector<double> right_counts = total_counts;
+    for (std::size_t i = 0; i + 1 < values.size(); ++i) {
+      const auto label = static_cast<std::size_t>(values[i].second);
+      left_counts[label] += 1.0;
+      right_counts[label] -= 1.0;
+      if (values[i].first == values[i + 1].first) continue;  // same value
+      const double n_left = static_cast<double>(i + 1);
+      const double n_right = n - n_left;
+      if (n_left < static_cast<double>(config_.min_samples_leaf) ||
+          n_right < static_cast<double>(config_.min_samples_leaf))
+        continue;
+      const double child_impurity =
+          (n_left / n) * gini_impurity(left_counts, n_left) +
+          (n_right / n) * gini_impurity(right_counts, n_right);
+      const double decrease = parent_impurity - child_impurity;
+      if (!best || decrease > best->impurity_decrease) {
+        best = SplitCandidate{
+            f, 0.5 * (values[i].first + values[i + 1].first), decrease};
+      }
+    }
+  }
+  if (best && best->impurity_decrease <= 1e-12) return std::nullopt;
+  return best;
+}
+
+std::int32_t DecisionTree::build(const SampleSet& data,
+                                 std::vector<std::size_t>& rows,
+                                 std::size_t depth, common::Rng& rng) {
+  if (depth >= config_.max_depth || rows.size() < config_.min_samples_split)
+    return make_leaf(data, rows);
+
+  const auto split = best_split(data, rows, rng);
+  if (!split) return make_leaf(data, rows);
+
+  std::vector<std::size_t> left_rows, right_rows;
+  for (std::size_t r : rows) {
+    (data.features[r][split->feature] < split->threshold ? left_rows
+                                                         : right_rows)
+        .push_back(r);
+  }
+  if (left_rows.empty() || right_rows.empty())
+    return make_leaf(data, rows);
+
+  importances_[split->feature] +=
+      split->impurity_decrease * static_cast<double>(rows.size());
+
+  // Reserve this node's slot before recursing (children indices come later).
+  nodes_.emplace_back();
+  const auto index = static_cast<std::int32_t>(nodes_.size() - 1);
+  rows.clear();
+  rows.shrink_to_fit();
+
+  const std::int32_t left = build(data, left_rows, depth + 1, rng);
+  const std::int32_t right = build(data, right_rows, depth + 1, rng);
+  Node& node = nodes_[static_cast<std::size_t>(index)];
+  node.feature = static_cast<int>(split->feature);
+  node.threshold = split->threshold;
+  node.left = left;
+  node.right = right;
+  return index;
+}
+
+std::vector<double> DecisionTree::predict_proba(
+    std::span<const double> x) const {
+  AF_EXPECT(!nodes_.empty(), "predict requires a fitted tree");
+  std::size_t idx = 0;
+  for (;;) {
+    const Node& node = nodes_[idx];
+    if (node.is_leaf()) return node.distribution;
+    AF_ASSERT(static_cast<std::size_t>(node.feature) < x.size(),
+              "feature index exceeds input arity");
+    idx = static_cast<std::size_t>(
+        x[static_cast<std::size_t>(node.feature)] < node.threshold
+            ? node.left
+            : node.right);
+  }
+}
+
+int DecisionTree::predict(std::span<const double> x) const {
+  const auto proba = predict_proba(x);
+  return static_cast<int>(
+      std::max_element(proba.begin(), proba.end()) - proba.begin());
+}
+
+}  // namespace airfinger::ml

@@ -1,0 +1,92 @@
+// CART decision tree with Gini impurity.
+//
+// Serves both as the paper's standalone DT baseline and as the base learner
+// of the random forest (feature subsampling per node is exposed for that
+// purpose). Training accumulates impurity-decrease feature importances.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <optional>
+
+#include "common/rng.hpp"
+#include "ml/classifier.hpp"
+
+namespace airfinger::ml {
+
+/// Hyper-parameters of one CART tree.
+struct DecisionTreeConfig {
+  std::size_t max_depth = 16;
+  std::size_t min_samples_split = 4;
+  std::size_t min_samples_leaf = 2;
+  /// Features considered per split; 0 = all (plain CART). The forest sets
+  /// this to ~sqrt(feature_count).
+  std::size_t max_features = 0;
+  std::uint64_t seed = 1;
+};
+
+/// A trained CART tree.
+class DecisionTree final : public Classifier {
+ public:
+  explicit DecisionTree(DecisionTreeConfig config = {});
+
+  void fit(const SampleSet& data) override;
+  int predict(std::span<const double> x) const override;
+  std::string name() const override { return "DT"; }
+
+  /// Class-probability estimate from the reached leaf's label histogram.
+  std::vector<double> predict_proba(std::span<const double> x) const;
+
+  /// Impurity-decrease importance per feature (sums to 1 when any split
+  /// was made). Valid after fit().
+  const std::vector<double>& feature_importances() const {
+    return importances_;
+  }
+
+  std::size_t node_count() const { return nodes_.size(); }
+  int num_classes() const { return num_classes_; }
+
+  /// Serializes the fitted tree (text format, exact round-trip).
+  /// Requires a prior fit().
+  void save(std::ostream& os) const;
+
+  /// Reconstructs a tree written by save(). Throws PreconditionError on
+  /// malformed input.
+  static DecisionTree load(std::istream& is);
+
+ private:
+  struct Node {
+    // Internal nodes: split on feature < threshold → left, else right.
+    int feature = -1;
+    double threshold = 0.0;
+    std::int32_t left = -1;
+    std::int32_t right = -1;
+    // Leaves: class distribution (normalized counts).
+    std::vector<double> distribution;
+    bool is_leaf() const { return feature < 0; }
+  };
+
+  struct SplitCandidate {
+    std::size_t feature = 0;
+    double threshold = 0.0;
+    double impurity_decrease = 0.0;
+  };
+
+  std::int32_t build(const SampleSet& data, std::vector<std::size_t>& rows,
+                     std::size_t depth, common::Rng& rng);
+  std::optional<SplitCandidate> best_split(
+      const SampleSet& data, std::span<const std::size_t> rows,
+      common::Rng& rng) const;
+  std::int32_t make_leaf(const SampleSet& data,
+                         std::span<const std::size_t> rows);
+
+  DecisionTreeConfig config_;
+  std::vector<Node> nodes_;
+  std::vector<double> importances_;
+  int num_classes_ = 0;
+};
+
+/// Gini impurity of a label histogram with `total` entries.
+double gini_impurity(std::span<const double> class_counts, double total);
+
+}  // namespace airfinger::ml

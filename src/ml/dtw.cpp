@@ -1,0 +1,99 @@
+#include "ml/dtw.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+#include "dsp/filters.hpp"
+
+namespace airfinger::ml {
+
+double dtw_distance(std::span<const double> a, std::span<const double> b,
+                    std::size_t band) {
+  AF_EXPECT(!a.empty() && !b.empty(), "dtw_distance requires non-empty input");
+  const std::size_t n = a.size(), m = b.size();
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+
+  // Two-row dynamic program over the banded alignment matrix.
+  std::vector<double> prev(m + 1, kInf), curr(m + 1, kInf);
+  prev[0] = 0.0;
+  for (std::size_t i = 1; i <= n; ++i) {
+    std::fill(curr.begin(), curr.end(), kInf);
+    // Band around the diagonal, rescaled for unequal lengths.
+    const double centre = static_cast<double>(i) * static_cast<double>(m) /
+                          static_cast<double>(n);
+    const std::size_t lo = centre > static_cast<double>(band) + 1.0
+                               ? static_cast<std::size_t>(centre - band)
+                               : 1;
+    const std::size_t hi =
+        std::min(m, static_cast<std::size_t>(centre + band) + 1);
+    for (std::size_t j = lo; j <= hi; ++j) {
+      const double d = a[i - 1] - b[j - 1];
+      const double best =
+          std::min({prev[j], curr[j - 1], prev[j - 1]});
+      if (best < kInf) curr[j] = d * d + best;
+    }
+    std::swap(prev, curr);
+  }
+  return std::sqrt(prev[m]);
+}
+
+DtwClassifier::DtwClassifier(DtwClassifierConfig config) : config_(config) {
+  AF_EXPECT(config.resample_length >= 8,
+            "DTW template length must be >= 8");
+  AF_EXPECT(config.band >= 1, "DTW band must be >= 1");
+}
+
+std::vector<double> DtwClassifier::canonicalize(
+    std::span<const double> series) const {
+  // Same canonical form as the feature bank: log-compressed, fixed length,
+  // z-normalized — so DTW compares shapes, not amplitudes.
+  std::vector<double> logv(series.size());
+  for (std::size_t i = 0; i < series.size(); ++i)
+    logv[i] = std::log1p(std::max(series[i], 0.0));
+  return common::znormalize(
+      dsp::resample_linear(logv, config_.resample_length));
+}
+
+void DtwClassifier::fit(const std::vector<std::vector<double>>& series,
+                        const std::vector<int>& labels) {
+  AF_EXPECT(series.size() == labels.size(),
+            "series/label count mismatch");
+  AF_EXPECT(!series.empty(), "fit requires at least one series");
+
+  templates_.clear();
+  template_labels_.clear();
+  std::map<int, std::size_t> per_class;
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    AF_EXPECT(labels[i] >= 0, "labels must be non-negative");
+    if (series[i].size() < 4) continue;
+    auto& count = per_class[labels[i]];
+    if (config_.max_templates_per_class != 0 &&
+        count >= config_.max_templates_per_class)
+      continue;
+    ++count;
+    templates_.push_back(canonicalize(series[i]));
+    template_labels_.push_back(labels[i]);
+  }
+  AF_EXPECT(!templates_.empty(), "no usable training series");
+}
+
+int DtwClassifier::predict(std::span<const double> series) const {
+  AF_EXPECT(!templates_.empty(), "predict requires a fitted classifier");
+  const std::vector<double> query = canonicalize(series);
+  double best = std::numeric_limits<double>::infinity();
+  int label = template_labels_.front();
+  for (std::size_t t = 0; t < templates_.size(); ++t) {
+    const double d = dtw_distance(query, templates_[t], config_.band);
+    if (d < best) {
+      best = d;
+      label = template_labels_[t];
+    }
+  }
+  return label;
+}
+
+}  // namespace airfinger::ml

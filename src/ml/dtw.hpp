@@ -1,0 +1,52 @@
+// Dynamic Time Warping 1-NN classifier.
+//
+// The paper dismisses DTW (with HMM and CNN) as more expensive than a
+// random forest for real-time recognition (Sec. IV-C-2); this baseline
+// makes the comparison concrete. It classifies raw (canonicalized) ΔRSS²
+// series by nearest neighbour under a Sakoe–Chiba-banded DTW distance.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace airfinger::ml {
+
+/// Banded DTW distance between two sequences (squared-difference local
+/// cost, symmetric step pattern). `band` limits |i - j| (Sakoe–Chiba);
+/// band >= max(len_a, len_b) is unconstrained. Requires non-empty inputs.
+double dtw_distance(std::span<const double> a, std::span<const double> b,
+                    std::size_t band);
+
+/// Configuration of the DTW 1-NN classifier.
+struct DtwClassifierConfig {
+  std::size_t resample_length = 64;  ///< Canonical template length.
+  std::size_t band = 8;              ///< Sakoe–Chiba band, in samples.
+  /// Cap on stored templates per class (subsampled deterministically);
+  /// 0 = keep everything. DTW inference cost is linear in this.
+  std::size_t max_templates_per_class = 60;
+};
+
+/// 1-nearest-neighbour DTW classifier over univariate series.
+class DtwClassifier {
+ public:
+  explicit DtwClassifier(DtwClassifierConfig config = {});
+
+  /// Stores (canonicalized) training series. Labels must be dense 0-based.
+  void fit(const std::vector<std::vector<double>>& series,
+           const std::vector<int>& labels);
+
+  /// Predicts the label of one series. Requires a prior fit().
+  int predict(std::span<const double> series) const;
+
+  std::size_t template_count() const { return templates_.size(); }
+
+ private:
+  std::vector<double> canonicalize(std::span<const double> series) const;
+
+  DtwClassifierConfig config_;
+  std::vector<std::vector<double>> templates_;
+  std::vector<int> template_labels_;
+};
+
+}  // namespace airfinger::ml

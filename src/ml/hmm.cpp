@@ -1,0 +1,245 @@
+#include "ml/hmm.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "dsp/filters.hpp"
+
+namespace airfinger::ml {
+
+DiscreteHmm::DiscreteHmm(std::size_t states, std::size_t symbols,
+                         std::uint64_t seed) {
+  AF_EXPECT(states >= 2, "HMM needs at least two states");
+  AF_EXPECT(symbols >= 2, "HMM needs at least two symbols");
+  common::Rng rng(seed);
+
+  // Left-right topology: each state loops or advances.
+  a_.assign(states, std::vector<double>(states, 0.0));
+  for (std::size_t i = 0; i < states; ++i) {
+    if (i + 1 < states) {
+      const double advance = rng.uniform(0.35, 0.65);
+      a_[i][i] = 1.0 - advance;
+      a_[i][i + 1] = advance;
+    } else {
+      a_[i][i] = 1.0;
+    }
+  }
+  // Near-uniform emissions with slight symmetry breaking.
+  b_.assign(states, std::vector<double>(symbols, 0.0));
+  for (auto& row : b_) {
+    double total = 0.0;
+    for (auto& v : row) {
+      v = 1.0 + rng.uniform(0.0, 0.2);
+      total += v;
+    }
+    for (auto& v : row) v /= total;
+  }
+  pi_.assign(states, 0.0);
+  pi_[0] = 1.0;
+}
+
+namespace {
+
+/// Scaled forward pass. Returns log P(seq) and fills alpha/scales when the
+/// output pointers are given.
+double forward(const std::vector<std::vector<double>>& a,
+               const std::vector<std::vector<double>>& b,
+               const std::vector<double>& pi,
+               std::span<const std::size_t> seq,
+               std::vector<std::vector<double>>* alpha_out,
+               std::vector<double>* scale_out) {
+  const std::size_t n = a.size();
+  const std::size_t t_max = seq.size();
+  std::vector<std::vector<double>> alpha(t_max, std::vector<double>(n));
+  std::vector<double> scale(t_max, 0.0);
+
+  for (std::size_t i = 0; i < n; ++i)
+    alpha[0][i] = pi[i] * b[i][seq[0]];
+  for (double v : alpha[0]) scale[0] += v;
+  if (scale[0] <= 0.0) return -std::numeric_limits<double>::infinity();
+  for (double& v : alpha[0]) v /= scale[0];
+
+  for (std::size_t t = 1; t < t_max; ++t) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double s = 0.0;
+      for (std::size_t i = 0; i < n; ++i) s += alpha[t - 1][i] * a[i][j];
+      alpha[t][j] = s * b[j][seq[t]];
+    }
+    for (double v : alpha[t]) scale[t] += v;
+    if (scale[t] <= 0.0) return -std::numeric_limits<double>::infinity();
+    for (double& v : alpha[t]) v /= scale[t];
+  }
+
+  double log_likelihood = 0.0;
+  for (double s : scale) log_likelihood += std::log(s);
+  if (alpha_out) *alpha_out = std::move(alpha);
+  if (scale_out) *scale_out = std::move(scale);
+  return log_likelihood;
+}
+
+}  // namespace
+
+double DiscreteHmm::log_likelihood(
+    std::span<const std::size_t> sequence) const {
+  AF_EXPECT(!sequence.empty(), "log_likelihood requires a sequence");
+  return forward(a_, b_, pi_, sequence, nullptr, nullptr);
+}
+
+void DiscreteHmm::train(
+    const std::vector<std::vector<std::size_t>>& sequences,
+    std::size_t iterations, double smoothing) {
+  AF_EXPECT(!sequences.empty(), "HMM training requires sequences");
+  const std::size_t n = a_.size();
+  const std::size_t m = b_.front().size();
+
+  for (std::size_t iter = 0; iter < iterations; ++iter) {
+    std::vector<std::vector<double>> a_num(n, std::vector<double>(n, 0.0));
+    std::vector<double> a_den(n, 0.0);
+    std::vector<std::vector<double>> b_num(n, std::vector<double>(m, 0.0));
+    std::vector<double> b_den(n, 0.0);
+
+    for (const auto& seq : sequences) {
+      if (seq.size() < 2) continue;
+      std::vector<std::vector<double>> alpha;
+      std::vector<double> scale;
+      const double ll = forward(a_, b_, pi_, seq, &alpha, &scale);
+      if (!std::isfinite(ll)) continue;
+
+      // Scaled backward pass.
+      const std::size_t t_max = seq.size();
+      std::vector<std::vector<double>> beta(t_max,
+                                            std::vector<double>(n, 1.0));
+      for (std::size_t t = t_max - 1; t-- > 0;) {
+        for (std::size_t i = 0; i < n; ++i) {
+          double s = 0.0;
+          for (std::size_t j = 0; j < n; ++j)
+            s += a_[i][j] * b_[j][seq[t + 1]] * beta[t + 1][j];
+          beta[t][i] = s / scale[t + 1];
+        }
+      }
+
+      // Accumulate expected counts.
+      for (std::size_t t = 0; t + 1 < t_max; ++t) {
+        for (std::size_t i = 0; i < n; ++i) {
+          const double gamma = alpha[t][i] * beta[t][i];
+          a_den[i] += gamma;
+          b_num[i][seq[t]] += gamma;
+          b_den[i] += gamma;
+          for (std::size_t j = 0; j < n; ++j)
+            a_num[i][j] += alpha[t][i] * a_[i][j] * b_[j][seq[t + 1]] *
+                           beta[t + 1][j] / scale[t + 1];
+        }
+      }
+      for (std::size_t i = 0; i < n; ++i) {
+        const double gamma = alpha[t_max - 1][i] * beta[t_max - 1][i];
+        b_num[i][seq[t_max - 1]] += gamma;
+        b_den[i] += gamma;
+      }
+    }
+
+    // Re-estimate with the left-right mask and a probability floor.
+    for (std::size_t i = 0; i < n; ++i) {
+      if (a_den[i] > 0.0) {
+        double total = 0.0;
+        for (std::size_t j = 0; j < n; ++j) {
+          const bool allowed = (j == i) || (j == i + 1);
+          a_[i][j] = allowed ? a_num[i][j] / a_den[i] + smoothing : 0.0;
+          total += a_[i][j];
+        }
+        for (std::size_t j = 0; j < n; ++j) a_[i][j] /= total;
+      }
+      if (b_den[i] > 0.0) {
+        double total = 0.0;
+        for (std::size_t k = 0; k < m; ++k) {
+          b_[i][k] = b_num[i][k] / b_den[i] + smoothing;
+          total += b_[i][k];
+        }
+        for (std::size_t k = 0; k < m; ++k) b_[i][k] /= total;
+      }
+    }
+  }
+}
+
+HmmClassifier::HmmClassifier(HmmClassifierConfig config) : config_(config) {
+  AF_EXPECT(config.resample_length >= 8, "HMM series length must be >= 8");
+}
+
+std::vector<std::size_t> HmmClassifier::quantize(
+    std::span<const double> series) const {
+  std::vector<double> logv(series.size());
+  for (std::size_t i = 0; i < series.size(); ++i)
+    logv[i] = std::log1p(std::max(series[i], 0.0));
+  const auto canon =
+      dsp::resample_linear(logv, config_.resample_length);
+  std::vector<std::size_t> symbols(canon.size());
+  for (std::size_t i = 0; i < canon.size(); ++i) {
+    std::size_t s = 0;
+    while (s < bin_edges_.size() && canon[i] > bin_edges_[s]) ++s;
+    symbols[i] = s;
+  }
+  return symbols;
+}
+
+void HmmClassifier::fit(const std::vector<std::vector<double>>& series,
+                        const std::vector<int>& labels) {
+  AF_EXPECT(series.size() == labels.size(), "series/label count mismatch");
+  AF_EXPECT(!series.empty(), "fit requires at least one series");
+
+  // Global quantile bin edges over the canonicalized training values.
+  std::vector<double> pool;
+  for (const auto& s : series) {
+    if (s.size() < 4) continue;
+    std::vector<double> logv(s.size());
+    for (std::size_t i = 0; i < s.size(); ++i)
+      logv[i] = std::log1p(std::max(s[i], 0.0));
+    const auto canon = dsp::resample_linear(logv, config_.resample_length);
+    pool.insert(pool.end(), canon.begin(), canon.end());
+  }
+  AF_EXPECT(!pool.empty(), "no usable training series");
+  bin_edges_.clear();
+  for (std::size_t k = 1; k < config_.symbols; ++k)
+    bin_edges_.push_back(common::quantile(
+        pool, static_cast<double>(k) / static_cast<double>(config_.symbols)));
+
+  int num_classes = 0;
+  for (int l : labels) {
+    AF_EXPECT(l >= 0, "labels must be non-negative");
+    num_classes = std::max(num_classes, l + 1);
+  }
+
+  models_.clear();
+  for (int c = 0; c < num_classes; ++c) {
+    std::vector<std::vector<std::size_t>> class_sequences;
+    for (std::size_t i = 0; i < series.size(); ++i) {
+      if (labels[i] != c || series[i].size() < 4) continue;
+      class_sequences.push_back(quantize(series[i]));
+    }
+    DiscreteHmm model(config_.states, config_.symbols,
+                      0xD15EA5E + static_cast<std::uint64_t>(c));
+    if (!class_sequences.empty())
+      model.train(class_sequences, config_.baum_welch_iterations,
+                  config_.smoothing);
+    models_.push_back(std::move(model));
+  }
+}
+
+int HmmClassifier::predict(std::span<const double> series) const {
+  AF_EXPECT(!models_.empty(), "predict requires a fitted classifier");
+  const auto symbols = quantize(series);
+  double best = -std::numeric_limits<double>::infinity();
+  int label = 0;
+  for (std::size_t c = 0; c < models_.size(); ++c) {
+    const double ll = models_[c].log_likelihood(symbols);
+    if (ll > best) {
+      best = ll;
+      label = static_cast<int>(c);
+    }
+  }
+  return label;
+}
+
+}  // namespace airfinger::ml

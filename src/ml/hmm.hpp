@@ -1,0 +1,71 @@
+// Discrete-observation hidden Markov model classifier.
+//
+// The second sequence baseline the paper rules out on cost grounds
+// (Sec. IV-C-2). One left-right HMM per gesture class is trained with
+// Baum–Welch on quantized canonical ΔRSS² series; classification picks the
+// class whose model assigns the highest length-normalized log-likelihood.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace airfinger::ml {
+
+/// Configuration of the HMM classifier.
+struct HmmClassifierConfig {
+  std::size_t states = 6;            ///< Left-right chain length.
+  std::size_t symbols = 8;           ///< Observation alphabet size.
+  std::size_t resample_length = 64;  ///< Canonical series length.
+  std::size_t baum_welch_iterations = 15;
+  double smoothing = 1e-3;  ///< Probability floor (avoids zero rows).
+};
+
+/// A single trained discrete HMM (left-right topology).
+class DiscreteHmm {
+ public:
+  /// Initializes a left-right model (deterministic, slight symmetry
+  /// breaking derived from `seed`).
+  DiscreteHmm(std::size_t states, std::size_t symbols, std::uint64_t seed);
+
+  /// Baum–Welch re-estimation over the observation sequences.
+  /// Sequences must contain symbols < `symbols`; empty ones are skipped.
+  void train(const std::vector<std::vector<std::size_t>>& sequences,
+             std::size_t iterations, double smoothing);
+
+  /// Scaled-forward log-likelihood of one sequence.
+  double log_likelihood(std::span<const std::size_t> sequence) const;
+
+  std::size_t state_count() const { return a_.size(); }
+
+ private:
+  // a_[i][j] transition, b_[i][k] emission, pi_[i] initial.
+  std::vector<std::vector<double>> a_;
+  std::vector<std::vector<double>> b_;
+  std::vector<double> pi_;
+};
+
+/// One-HMM-per-class sequence classifier over raw (positive) series.
+class HmmClassifier {
+ public:
+  explicit HmmClassifier(HmmClassifierConfig config = {});
+
+  /// Trains per-class models. Labels must be dense 0-based.
+  void fit(const std::vector<std::vector<double>>& series,
+           const std::vector<int>& labels);
+
+  /// Predicts the label of one series. Requires a prior fit().
+  int predict(std::span<const double> series) const;
+
+  int num_classes() const { return static_cast<int>(models_.size()); }
+
+ private:
+  std::vector<std::size_t> quantize(std::span<const double> series) const;
+
+  HmmClassifierConfig config_;
+  std::vector<double> bin_edges_;  ///< symbols-1 quantile edges.
+  std::vector<DiscreteHmm> models_;
+};
+
+}  // namespace airfinger::ml

@@ -1,0 +1,138 @@
+#include "ml/logistic.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace airfinger::ml {
+
+LogisticRegression::LogisticRegression(LogisticRegressionConfig config)
+    : config_(config) {
+  AF_EXPECT(config.learning_rate > 0.0, "learning rate must be positive");
+  AF_EXPECT(config.l2 >= 0.0, "l2 must be non-negative");
+  AF_EXPECT(config.epochs >= 1, "epochs must be >= 1");
+  AF_EXPECT(config.batch_size >= 1, "batch size must be >= 1");
+}
+
+std::vector<double> LogisticRegression::standardize(
+    std::span<const double> x) const {
+  std::vector<double> z(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i)
+    z[i] = (x[i] - feature_mean_[i]) / feature_scale_[i];
+  return z;
+}
+
+std::vector<double> LogisticRegression::logits(
+    std::span<const double> z) const {
+  std::vector<double> out(weights_.size());
+  for (std::size_t c = 0; c < weights_.size(); ++c) {
+    double s = biases_[c];
+    const auto& w = weights_[c];
+    for (std::size_t i = 0; i < z.size(); ++i) s += w[i] * z[i];
+    out[c] = s;
+  }
+  return out;
+}
+
+void LogisticRegression::fit(const SampleSet& data) {
+  data.validate();
+  AF_EXPECT(data.size() >= 2, "fit requires at least two samples");
+  num_classes_ = data.num_classes();
+  AF_EXPECT(num_classes_ >= 2, "LR requires at least two classes");
+  const std::size_t p = data.feature_count();
+
+  // Standardization parameters from the training data.
+  feature_mean_.assign(p, 0.0);
+  feature_scale_.assign(p, 1.0);
+  for (const auto& row : data.features)
+    for (std::size_t i = 0; i < p; ++i) feature_mean_[i] += row[i];
+  for (double& m : feature_mean_) m /= static_cast<double>(data.size());
+  std::vector<double> var(p, 0.0);
+  for (const auto& row : data.features)
+    for (std::size_t i = 0; i < p; ++i) {
+      const double d = row[i] - feature_mean_[i];
+      var[i] += d * d;
+    }
+  for (std::size_t i = 0; i < p; ++i) {
+    const double sd = std::sqrt(var[i] / static_cast<double>(data.size()));
+    feature_scale_[i] = sd > 1e-12 ? sd : 1.0;
+  }
+
+  // Pre-standardize the training matrix once.
+  std::vector<std::vector<double>> z;
+  z.reserve(data.size());
+  for (const auto& row : data.features) z.push_back(standardize(row));
+
+  const auto k = static_cast<std::size_t>(num_classes_);
+  weights_.assign(k, std::vector<double>(p, 0.0));
+  biases_.assign(k, 0.0);
+
+  common::Rng rng(config_.seed);
+  std::vector<std::size_t> order(data.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    rng.shuffle(order);
+    // Simple 1/sqrt schedule keeps late epochs from oscillating.
+    const double lr =
+        config_.learning_rate / std::sqrt(1.0 + epoch * 0.25);
+    for (std::size_t start = 0; start < order.size();
+         start += config_.batch_size) {
+      const std::size_t end =
+          std::min(start + config_.batch_size, order.size());
+      std::vector<std::vector<double>> grad_w(k,
+                                              std::vector<double>(p, 0.0));
+      std::vector<double> grad_b(k, 0.0);
+
+      for (std::size_t bi = start; bi < end; ++bi) {
+        const std::size_t r = order[bi];
+        auto l = logits(z[r]);
+        const double m = *std::max_element(l.begin(), l.end());
+        double denom = 0.0;
+        for (double& v : l) {
+          v = std::exp(v - m);
+          denom += v;
+        }
+        for (std::size_t c = 0; c < k; ++c) {
+          const double prob = l[c] / denom;
+          const double err =
+              prob - (static_cast<int>(c) == data.labels[r] ? 1.0 : 0.0);
+          grad_b[c] += err;
+          for (std::size_t i = 0; i < p; ++i)
+            grad_w[c][i] += err * z[r][i];
+        }
+      }
+
+      const double inv_batch = 1.0 / static_cast<double>(end - start);
+      for (std::size_t c = 0; c < k; ++c) {
+        biases_[c] -= lr * grad_b[c] * inv_batch;
+        for (std::size_t i = 0; i < p; ++i)
+          weights_[c][i] -= lr * (grad_w[c][i] * inv_batch +
+                                  config_.l2 * weights_[c][i]);
+      }
+    }
+  }
+}
+
+std::vector<double> LogisticRegression::predict_proba(
+    std::span<const double> x) const {
+  AF_EXPECT(!weights_.empty(), "predict requires a fitted model");
+  AF_EXPECT(x.size() == feature_mean_.size(), "input arity mismatch");
+  auto l = logits(standardize(x));
+  const double m = *std::max_element(l.begin(), l.end());
+  double denom = 0.0;
+  for (double& v : l) {
+    v = std::exp(v - m);
+    denom += v;
+  }
+  for (double& v : l) v /= denom;
+  return l;
+}
+
+int LogisticRegression::predict(std::span<const double> x) const {
+  const auto p = predict_proba(x);
+  return static_cast<int>(std::max_element(p.begin(), p.end()) - p.begin());
+}
+
+}  // namespace airfinger::ml

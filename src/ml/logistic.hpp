@@ -1,0 +1,52 @@
+// Multinomial logistic regression (softmax) trained by mini-batch gradient
+// descent with L2 regularization and internal feature standardization.
+// This is the paper's "LR" baseline of Fig. 9.
+#pragma once
+
+#include <iosfwd>
+
+#include "ml/classifier.hpp"
+
+namespace airfinger::ml {
+
+/// LR hyper-parameters.
+struct LogisticRegressionConfig {
+  double learning_rate = 0.1;
+  double l2 = 1e-4;
+  int epochs = 200;
+  std::size_t batch_size = 64;
+  std::uint64_t seed = 23;
+};
+
+/// Trained softmax classifier.
+class LogisticRegression final : public Classifier {
+ public:
+  explicit LogisticRegression(LogisticRegressionConfig config = {});
+
+  void fit(const SampleSet& data) override;
+  int predict(std::span<const double> x) const override;
+  std::string name() const override { return "LR"; }
+
+  /// Softmax class probabilities.
+  std::vector<double> predict_proba(std::span<const double> x) const;
+
+  /// Serializes the fitted model (text, exact round-trip).
+  void save(std::ostream& os) const;
+
+  /// Reconstructs a model written by save().
+  static LogisticRegression load(std::istream& is);
+
+ private:
+  std::vector<double> standardize(std::span<const double> x) const;
+  std::vector<double> logits(std::span<const double> z) const;
+
+  LogisticRegressionConfig config_;
+  // weights_[c] holds the weight vector of class c; biases_[c] its bias.
+  std::vector<std::vector<double>> weights_;
+  std::vector<double> biases_;
+  std::vector<double> feature_mean_;
+  std::vector<double> feature_scale_;
+  int num_classes_ = 0;
+};
+
+}  // namespace airfinger::ml

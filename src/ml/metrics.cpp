@@ -1,0 +1,147 @@
+#include "ml/metrics.hpp"
+
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/table.hpp"
+
+namespace airfinger::ml {
+
+ConfusionMatrix::ConfusionMatrix(int num_classes,
+                                 std::vector<std::string> class_names)
+    : num_classes_(num_classes), names_(std::move(class_names)) {
+  AF_EXPECT(num_classes >= 1, "confusion matrix requires >= 1 class");
+  AF_EXPECT(names_.empty() ||
+                names_.size() == static_cast<std::size_t>(num_classes),
+            "class name count must match num_classes");
+  counts_.assign(static_cast<std::size_t>(num_classes) *
+                     static_cast<std::size_t>(num_classes),
+                 0);
+}
+
+void ConfusionMatrix::add(int truth, int predicted) {
+  AF_EXPECT(truth >= 0 && truth < num_classes_, "truth label out of range");
+  AF_EXPECT(predicted >= 0 && predicted < num_classes_,
+            "predicted label out of range");
+  ++counts_[static_cast<std::size_t>(truth) *
+                static_cast<std::size_t>(num_classes_) +
+            static_cast<std::size_t>(predicted)];
+  ++total_;
+}
+
+void ConfusionMatrix::merge(const ConfusionMatrix& other) {
+  AF_EXPECT(other.num_classes_ == num_classes_,
+            "cannot merge matrices of different arity");
+  for (std::size_t i = 0; i < counts_.size(); ++i)
+    counts_[i] += other.counts_[i];
+  total_ += other.total_;
+}
+
+std::size_t ConfusionMatrix::count(int truth, int predicted) const {
+  AF_EXPECT(truth >= 0 && truth < num_classes_ && predicted >= 0 &&
+                predicted < num_classes_,
+            "confusion matrix index out of range");
+  return counts_[static_cast<std::size_t>(truth) *
+                     static_cast<std::size_t>(num_classes_) +
+                 static_cast<std::size_t>(predicted)];
+}
+
+double ConfusionMatrix::rate(int truth, int predicted) const {
+  std::size_t row_total = 0;
+  for (int c = 0; c < num_classes_; ++c)
+    row_total += count(truth, c);
+  return row_total > 0 ? static_cast<double>(count(truth, predicted)) /
+                             static_cast<double>(row_total)
+                       : 0.0;
+}
+
+double ConfusionMatrix::accuracy() const {
+  if (total_ == 0) return 0.0;
+  std::size_t correct = 0;
+  for (int c = 0; c < num_classes_; ++c) correct += count(c, c);
+  return static_cast<double>(correct) / static_cast<double>(total_);
+}
+
+double ConfusionMatrix::recall(int label) const {
+  std::size_t actual = 0;
+  for (int c = 0; c < num_classes_; ++c) actual += count(label, c);
+  return actual > 0 ? static_cast<double>(count(label, label)) /
+                          static_cast<double>(actual)
+                    : 0.0;
+}
+
+double ConfusionMatrix::precision(int label) const {
+  std::size_t predicted = 0;
+  for (int c = 0; c < num_classes_; ++c) predicted += count(c, label);
+  return predicted > 0 ? static_cast<double>(count(label, label)) /
+                             static_cast<double>(predicted)
+                       : 0.0;
+}
+
+namespace {
+template <typename Fn>
+double macro_over_present(const ConfusionMatrix& cm, int k, Fn fn) {
+  double sum = 0.0;
+  int present = 0;
+  for (int c = 0; c < k; ++c) {
+    std::size_t actual = 0;
+    for (int j = 0; j < k; ++j) actual += cm.count(c, j);
+    if (actual == 0) continue;
+    sum += fn(c);
+    ++present;
+  }
+  return present > 0 ? sum / present : 0.0;
+}
+}  // namespace
+
+double ConfusionMatrix::macro_recall() const {
+  return macro_over_present(*this, num_classes_,
+                            [this](int c) { return recall(c); });
+}
+
+double ConfusionMatrix::macro_precision() const {
+  return macro_over_present(*this, num_classes_,
+                            [this](int c) { return precision(c); });
+}
+
+double ConfusionMatrix::class_accuracy(int label) const {
+  if (total_ == 0) return 0.0;
+  std::size_t errors = 0;
+  for (int c = 0; c < num_classes_; ++c) {
+    if (c == label) continue;
+    errors += count(label, c);  // false negatives
+    errors += count(c, label);  // false positives
+  }
+  return static_cast<double>(total_ - errors) /
+         static_cast<double>(total_);
+}
+
+std::string ConfusionMatrix::to_string() const {
+  auto label = [this](int c) {
+    return names_.empty() ? "class " + std::to_string(c)
+                          : names_[static_cast<std::size_t>(c)];
+  };
+  std::vector<std::string> headers{"truth \\ predicted"};
+  for (int c = 0; c < num_classes_; ++c) headers.push_back(label(c));
+  common::Table table(std::move(headers));
+  for (int r = 0; r < num_classes_; ++r) {
+    std::vector<std::string> row{label(r)};
+    for (int c = 0; c < num_classes_; ++c)
+      row.push_back(common::Table::pct(rate(r, c), 1));
+    table.add_row(std::move(row));
+  }
+  return table.to_string();
+}
+
+ConfusionMatrix evaluate(std::span<const int> truth,
+                         std::span<const int> predicted, int num_classes,
+                         std::vector<std::string> class_names) {
+  AF_EXPECT(truth.size() == predicted.size(),
+            "truth/prediction size mismatch");
+  ConfusionMatrix cm(num_classes, std::move(class_names));
+  for (std::size_t i = 0; i < truth.size(); ++i)
+    cm.add(truth[i], predicted[i]);
+  return cm;
+}
+
+}  // namespace airfinger::ml

@@ -1,0 +1,65 @@
+// Evaluation metrics following the paper's definitions (Sec. V-C):
+// confusion matrix (rows = ground truth, columns = predictions), accuracy,
+// per-class recall and precision.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace airfinger::ml {
+
+/// Accumulating confusion matrix over integer class labels.
+class ConfusionMatrix {
+ public:
+  /// Requires num_classes >= 1. Class names are optional display labels.
+  explicit ConfusionMatrix(int num_classes,
+                           std::vector<std::string> class_names = {});
+
+  /// Records one (truth, prediction) pair. Labels must be in range.
+  void add(int truth, int predicted);
+
+  /// Merges counts from another matrix of the same arity.
+  void merge(const ConfusionMatrix& other);
+
+  int num_classes() const { return num_classes_; }
+  std::size_t total() const { return total_; }
+  std::size_t count(int truth, int predicted) const;
+
+  /// Row-normalized entry (the paper's confusion-matrix definition):
+  /// fraction of class-`truth` samples predicted as `predicted`.
+  double rate(int truth, int predicted) const;
+
+  /// Overall accuracy: correct / total. 0 when empty.
+  double accuracy() const;
+
+  /// Recall of one class: correct_g / actual_g. 0 when class unseen.
+  double recall(int label) const;
+
+  /// Precision of one class: correct_g / predicted_g. 0 when never predicted.
+  double precision(int label) const;
+
+  /// Macro averages across classes that actually appear.
+  double macro_recall() const;
+  double macro_precision() const;
+
+  /// Per-class accuracy in the one-vs-rest sense:
+  /// (TP + TN) / total for this label.
+  double class_accuracy(int label) const;
+
+  /// Renders the row-normalized matrix as an aligned text table.
+  std::string to_string() const;
+
+ private:
+  int num_classes_;
+  std::vector<std::string> names_;
+  std::vector<std::size_t> counts_;  // row-major truth × predicted
+  std::size_t total_ = 0;
+};
+
+/// Builds a confusion matrix from parallel truth/prediction vectors.
+ConfusionMatrix evaluate(std::span<const int> truth,
+                         std::span<const int> predicted, int num_classes,
+                         std::vector<std::string> class_names = {});
+
+}  // namespace airfinger::ml

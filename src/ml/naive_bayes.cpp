@@ -1,0 +1,75 @@
+#include "ml/naive_bayes.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+
+namespace airfinger::ml {
+
+BernoulliNaiveBayes::BernoulliNaiveBayes(BernoulliNaiveBayesConfig config)
+    : config_(config) {
+  AF_EXPECT(config.alpha > 0.0, "Laplace alpha must be positive");
+}
+
+void BernoulliNaiveBayes::fit(const SampleSet& data) {
+  data.validate();
+  AF_EXPECT(data.size() >= 2, "fit requires at least two samples");
+  const int k = data.num_classes();
+  AF_EXPECT(k >= 2, "BNB requires at least two classes");
+  const std::size_t p = data.feature_count();
+
+  // Per-feature binarization threshold: training median.
+  thresholds_.assign(p, 0.0);
+  std::vector<double> column(data.size());
+  for (std::size_t f = 0; f < p; ++f) {
+    for (std::size_t r = 0; r < data.size(); ++r)
+      column[r] = data.features[r][f];
+    thresholds_[f] = common::median(column);
+  }
+
+  const auto kc = static_cast<std::size_t>(k);
+  std::vector<double> class_count(kc, 0.0);
+  std::vector<std::vector<double>> ones(kc, std::vector<double>(p, 0.0));
+  for (std::size_t r = 0; r < data.size(); ++r) {
+    const auto c = static_cast<std::size_t>(data.labels[r]);
+    class_count[c] += 1.0;
+    for (std::size_t f = 0; f < p; ++f)
+      if (data.features[r][f] > thresholds_[f]) ones[c][f] += 1.0;
+  }
+
+  log_prior_.assign(kc, 0.0);
+  log_p_.assign(kc, std::vector<double>(p, 0.0));
+  log_q_.assign(kc, std::vector<double>(p, 0.0));
+  const double n = static_cast<double>(data.size());
+  for (std::size_t c = 0; c < kc; ++c) {
+    log_prior_[c] = std::log((class_count[c] + config_.alpha) /
+                             (n + config_.alpha * static_cast<double>(kc)));
+    for (std::size_t f = 0; f < p; ++f) {
+      const double prob = (ones[c][f] + config_.alpha) /
+                          (class_count[c] + 2.0 * config_.alpha);
+      log_p_[c][f] = std::log(prob);
+      log_q_[c][f] = std::log1p(-prob);
+    }
+  }
+}
+
+std::vector<double> BernoulliNaiveBayes::log_posterior(
+    std::span<const double> x) const {
+  AF_EXPECT(!log_prior_.empty(), "predict requires a fitted model");
+  AF_EXPECT(x.size() == thresholds_.size(), "input arity mismatch");
+  std::vector<double> out(log_prior_);
+  for (std::size_t c = 0; c < out.size(); ++c)
+    for (std::size_t f = 0; f < x.size(); ++f)
+      out[c] += (x[f] > thresholds_[f]) ? log_p_[c][f] : log_q_[c][f];
+  return out;
+}
+
+int BernoulliNaiveBayes::predict(std::span<const double> x) const {
+  const auto lp = log_posterior(x);
+  return static_cast<int>(
+      std::max_element(lp.begin(), lp.end()) - lp.begin());
+}
+
+}  // namespace airfinger::ml

@@ -1,0 +1,45 @@
+// Bernoulli naive Bayes (the paper's "BNB" baseline, Fig. 9).
+//
+// Continuous features are binarized at the per-feature training median, then
+// a standard Bernoulli NB with Laplace smoothing is applied.
+#pragma once
+
+#include <iosfwd>
+
+#include "ml/classifier.hpp"
+
+namespace airfinger::ml {
+
+/// BNB hyper-parameters.
+struct BernoulliNaiveBayesConfig {
+  double alpha = 1.0;  ///< Laplace smoothing strength.
+};
+
+/// Trained Bernoulli NB classifier.
+class BernoulliNaiveBayes final : public Classifier {
+ public:
+  explicit BernoulliNaiveBayes(BernoulliNaiveBayesConfig config = {});
+
+  void fit(const SampleSet& data) override;
+  int predict(std::span<const double> x) const override;
+  std::string name() const override { return "BNB"; }
+
+  /// Log-posterior (unnormalized) per class.
+  std::vector<double> log_posterior(std::span<const double> x) const;
+
+  /// Serializes the fitted model (text, exact round-trip).
+  void save(std::ostream& os) const;
+
+  /// Reconstructs a model written by save().
+  static BernoulliNaiveBayes load(std::istream& is);
+
+ private:
+  BernoulliNaiveBayesConfig config_;
+  std::vector<double> thresholds_;  ///< Per-feature binarization threshold.
+  std::vector<double> log_prior_;
+  // log_p_[c][f] = log P(x_f = 1 | c); log_q_ the complement.
+  std::vector<std::vector<double>> log_p_;
+  std::vector<std::vector<double>> log_q_;
+};
+
+}  // namespace airfinger::ml

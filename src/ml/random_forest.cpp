@@ -1,0 +1,90 @@
+#include "ml/random_forest.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace airfinger::ml {
+
+RandomForest::RandomForest(RandomForestConfig config) : config_(config) {
+  AF_EXPECT(config.num_trees >= 1, "forest requires at least one tree");
+}
+
+void RandomForest::fit(const SampleSet& data) {
+  data.validate();
+  AF_EXPECT(data.size() >= 2, "fit requires at least two samples");
+  num_classes_ = data.num_classes();
+  trees_.clear();
+  trees_.reserve(config_.num_trees);
+  importances_.assign(data.feature_count(), 0.0);
+
+  const std::size_t mtry =
+      config_.max_features != 0
+          ? config_.max_features
+          : static_cast<std::size_t>(
+                std::max(1.0, std::floor(std::sqrt(static_cast<double>(
+                                  data.feature_count())))));
+
+  common::Rng rng(config_.seed);
+  for (std::size_t t = 0; t < config_.num_trees; ++t) {
+    // Bootstrap sample (with replacement, same size as the training set).
+    std::vector<std::size_t> bootstrap(data.size());
+    for (auto& idx : bootstrap)
+      idx = static_cast<std::size_t>(rng.below(data.size()));
+    SampleSet bag = data.subset(bootstrap);
+
+    DecisionTreeConfig tree_config;
+    tree_config.max_depth = config_.max_depth;
+    tree_config.min_samples_leaf = config_.min_samples_leaf;
+    tree_config.min_samples_split = config_.min_samples_split;
+    tree_config.max_features = mtry;
+    tree_config.seed = rng();
+    DecisionTree tree(tree_config);
+    tree.fit(bag);
+
+    const auto& imp = tree.feature_importances();
+    for (std::size_t f = 0; f < imp.size(); ++f) importances_[f] += imp[f];
+    trees_.push_back(std::move(tree));
+  }
+
+  double total = 0.0;
+  for (double v : importances_) total += v;
+  if (total > 0.0)
+    for (double& v : importances_) v /= total;
+}
+
+std::vector<double> RandomForest::predict_proba(
+    std::span<const double> x) const {
+  AF_EXPECT(!trees_.empty(), "predict requires a fitted forest");
+  std::vector<double> acc(static_cast<std::size_t>(num_classes_), 0.0);
+  for (const auto& tree : trees_) {
+    const auto p = tree.predict_proba(x);
+    for (std::size_t c = 0; c < p.size() && c < acc.size(); ++c)
+      acc[c] += p[c];
+  }
+  for (double& v : acc) v /= static_cast<double>(trees_.size());
+  return acc;
+}
+
+int RandomForest::predict(std::span<const double> x) const {
+  const auto proba = predict_proba(x);
+  return static_cast<int>(
+      std::max_element(proba.begin(), proba.end()) - proba.begin());
+}
+
+std::vector<std::size_t> top_k_features(const RandomForest& forest,
+                                        std::size_t k) {
+  const auto& imp = forest.feature_importances();
+  AF_EXPECT(!imp.empty(), "top_k_features requires a fitted forest");
+  std::vector<std::size_t> order(imp.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(),
+                   [&imp](std::size_t a, std::size_t b) {
+                     return imp[a] > imp[b];
+                   });
+  order.resize(std::min(k, order.size()));
+  return order;
+}
+
+}  // namespace airfinger::ml

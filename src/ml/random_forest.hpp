@@ -1,0 +1,61 @@
+// Random forest: bagged CART trees with per-node feature subsampling and
+// impurity-based feature importances (the importance feedback the paper uses
+// to select its 25 features, Sec. IV-C-1).
+#pragma once
+
+#include <iosfwd>
+
+#include "ml/decision_tree.hpp"
+
+namespace airfinger::ml {
+
+/// Forest hyper-parameters.
+struct RandomForestConfig {
+  std::size_t num_trees = 50;
+  std::size_t max_depth = 14;
+  std::size_t min_samples_leaf = 2;
+  std::size_t min_samples_split = 4;
+  /// Features per split; 0 = floor(sqrt(feature_count)).
+  std::size_t max_features = 0;
+  std::uint64_t seed = 17;
+};
+
+/// A trained random forest (majority vote over tree distributions).
+class RandomForest final : public Classifier {
+ public:
+  explicit RandomForest(RandomForestConfig config = {});
+
+  void fit(const SampleSet& data) override;
+  int predict(std::span<const double> x) const override;
+  std::string name() const override { return "RF"; }
+
+  /// Mean class-probability across trees.
+  std::vector<double> predict_proba(std::span<const double> x) const;
+
+  /// Mean impurity-decrease importance per feature (sums to ~1).
+  const std::vector<double>& feature_importances() const {
+    return importances_;
+  }
+
+  std::size_t tree_count() const { return trees_.size(); }
+  const RandomForestConfig& config() const { return config_; }
+
+  /// Serializes the fitted forest (text format, exact round-trip).
+  void save(std::ostream& os) const;
+
+  /// Reconstructs a forest written by save().
+  static RandomForest load(std::istream& is);
+
+ private:
+  RandomForestConfig config_;
+  std::vector<DecisionTree> trees_;
+  std::vector<double> importances_;
+  int num_classes_ = 0;
+};
+
+/// Returns feature indices sorted by descending forest importance, keeping
+/// the top `k` (the paper keeps 25). Requires a fitted forest.
+std::vector<std::size_t> top_k_features(const RandomForest& forest,
+                                        std::size_t k);
+
+}  // namespace airfinger::ml

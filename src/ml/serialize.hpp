@@ -1,0 +1,39 @@
+// Model persistence: text-based serialization of the trained classifiers.
+//
+// A deployable wearable cannot retrain on boot; models are trained offline
+// and shipped. The format is line-oriented UTF-8 with a tagged header per
+// object and full double precision (hex floats), so round-trips are exact
+// and files remain diffable. Readers validate tags and sizes and throw
+// PreconditionError on malformed input.
+#pragma once
+
+#include <iosfwd>
+
+#include "ml/decision_tree.hpp"
+#include "ml/logistic.hpp"
+#include "ml/naive_bayes.hpp"
+#include "ml/random_forest.hpp"
+
+namespace airfinger::ml {
+
+/// Writes a fitted decision tree. Requires a prior fit().
+void save_tree(std::ostream& os, const DecisionTree& tree);
+
+/// Reads a tree written by save_tree. Throws on malformed input.
+DecisionTree load_tree(std::istream& is);
+
+/// Writes a fitted random forest. Requires a prior fit().
+void save_forest(std::ostream& os, const RandomForest& forest);
+
+/// Reads a forest written by save_forest.
+RandomForest load_forest(std::istream& is);
+
+namespace detail {
+/// Writes/reads a double exactly (hexadecimal float form).
+void write_double(std::ostream& os, double v);
+double read_double(std::istream& is);
+/// Reads a token and checks it equals `expected`; throws otherwise.
+void expect_tag(std::istream& is, const char* expected);
+}  // namespace detail
+
+}  // namespace airfinger::ml

@@ -1,0 +1,44 @@
+#include "optics/ambient.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/error.hpp"
+
+namespace airfinger::optics {
+
+AmbientModel::AmbientModel(const AmbientConditions& cond) : cond_(cond) {
+  AF_EXPECT(cond.hour_of_day >= 0.0 && cond.hour_of_day <= 24.0,
+            "hour_of_day must lie in [0, 24]");
+  AF_EXPECT(cond.indoor_attenuation >= 0.0 && cond.indoor_attenuation <= 1.0,
+            "indoor_attenuation must lie in [0, 1]");
+  AF_EXPECT(cond.drift_period_s > 0.0, "drift_period_s must be positive");
+  base_ = solar_nir_irradiance(cond.hour_of_day) * cond.indoor_attenuation;
+}
+
+double AmbientModel::solar_nir_irradiance(double hour_of_day) {
+  // Daylight window ~6:00–20:00, peak near 13:00. Peak clear-sky NIR-band
+  // irradiance is on the order of 3e5 mW/m^2 (300 W/m^2 in 700–1000 nm).
+  constexpr double kPeak = 3.0e5;
+  constexpr double kSunrise = 6.0, kSunset = 20.0, kPeakHour = 13.0;
+  if (hour_of_day <= kSunrise || hour_of_day >= kSunset) return 0.0;
+  const double half_span = (hour_of_day < kPeakHour)
+                               ? (kPeakHour - kSunrise)
+                               : (kSunset - kPeakHour);
+  const double phase = (hour_of_day - kPeakHour) / half_span;  // [-1, 1]
+  return kPeak * 0.5 * (1.0 + std::cos(std::numbers::pi * phase));
+}
+
+double AmbientModel::irradiance_at(double time_s) const {
+  const double drift =
+      1.0 + cond_.drift_fraction *
+                std::sin(2.0 * std::numbers::pi * time_s /
+                             cond_.drift_period_s +
+                         cond_.drift_phase);
+  const double flicker =
+      1.0 + cond_.flicker_fraction *
+                std::sin(2.0 * std::numbers::pi * cond_.flicker_hz * time_s);
+  return base_ * drift * flicker;
+}
+
+}  // namespace airfinger::optics

@@ -1,0 +1,42 @@
+// Ambient NIR illumination model.
+//
+// Sunlight carries substantial power in the 700–1000 nm band sensed by the
+// photodiodes; the paper's Fig. 15 experiment varies time of day from 8:00 to
+// 20:00 to stress exactly this. The model combines a solar elevation curve,
+// indoor attenuation, slow drift (clouds / posture), and AC-lighting flicker.
+#pragma once
+
+namespace airfinger::optics {
+
+/// Parameters of the ambient NIR field.
+struct AmbientConditions {
+  double hour_of_day = 12.0;        ///< Local time, 0–24 h.
+  double indoor_attenuation = 0.015; ///< Fraction of outdoor NIR indoors.
+  double flicker_fraction = 0.01;   ///< Relative amplitude of lamp flicker.
+  double flicker_hz = 100.0;        ///< Rectified-mains flicker frequency.
+  double drift_fraction = 0.03;     ///< Relative amplitude of slow drift.
+  double drift_period_s = 40.0;     ///< Period of the slow drift.
+  double drift_phase = 0.0;         ///< Phase offset of the slow drift.
+};
+
+/// Deterministic, time-parameterized ambient NIR irradiance (mW/m^2).
+class AmbientModel {
+ public:
+  AmbientModel() = default;
+  explicit AmbientModel(const AmbientConditions& cond);
+
+  const AmbientConditions& conditions() const { return cond_; }
+
+  /// Clear-sky NIR-band irradiance (mW/m^2) at the given hour; a raised
+  /// cosine over daylight hours peaking near 13:00, zero at night.
+  static double solar_nir_irradiance(double hour_of_day);
+
+  /// Ambient irradiance reaching the sensor plane at elapsed time t.
+  double irradiance_at(double time_s) const;
+
+ private:
+  AmbientConditions cond_;
+  double base_ = 0.0;
+};
+
+}  // namespace airfinger::optics

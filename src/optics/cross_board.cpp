@@ -1,0 +1,40 @@
+#include "optics/cross_board.hpp"
+
+#include "common/error.hpp"
+
+namespace airfinger::optics {
+
+Vec3 cross_pd_position(const CrossBoardLayout& layout,
+                       CrossChannel channel) {
+  const double p = layout.pitch_m;
+  switch (channel) {
+    case CrossChannel::kXMinus: return {-2.0 * p, 0.0, 0.0};
+    case CrossChannel::kYMinus: return {0.0, -2.0 * p, 0.0};
+    case CrossChannel::kCentre: return {0.0, 0.0, 0.0};
+    case CrossChannel::kYPlus: return {0.0, 2.0 * p, 0.0};
+    case CrossChannel::kXPlus: return {2.0 * p, 0.0, 0.0};
+  }
+  throw PreconditionError("unknown cross channel");
+}
+
+Scene make_cross_scene(const CrossBoardLayout& layout,
+                       const AmbientModel& ambient) {
+  AF_EXPECT(layout.pitch_m > 0.0, "cross board pitch must be positive");
+  const Vec3 up{0, 0, 1};
+  const double p = layout.pitch_m;
+
+  std::vector<NirLed> leds;
+  leds.emplace_back(layout.led_spec, Vec3{-p, 0.0, 0.0}, up);  // L_x-
+  leds.emplace_back(layout.led_spec, Vec3{+p, 0.0, 0.0}, up);  // L_x+
+  leds.emplace_back(layout.led_spec, Vec3{0.0, -p, 0.0}, up);  // L_y-
+  leds.emplace_back(layout.led_spec, Vec3{0.0, +p, 0.0}, up);  // L_y+
+
+  std::vector<NirPhotodiode> pds;
+  for (std::size_t c = 0; c < kCrossChannelCount; ++c)
+    pds.emplace_back(layout.pd_spec,
+                     cross_pd_position(layout, static_cast<CrossChannel>(c)),
+                     up);
+  return Scene(std::move(leds), std::move(pds), ambient);
+}
+
+}  // namespace airfinger::optics

@@ -1,0 +1,46 @@
+// Two-dimensional "cross" sensor board — the paper's Sec. VI extension:
+// "a sensor with more LEDs and PDs along other posited distributions to
+// construct a multi-dimensional sensing area".
+//
+// Layout: two linear arms sharing the centre photodiode,
+//
+//                    P_y+            y
+//                    L_y+            ▲
+//        P_x-  L_x-  P_c   L_x+  P_x+  ──► x
+//                    L_y-
+//                    P_y-
+//
+// i.e. five photodiodes (x−, y−, centre, y+, x+) and four LEDs. The x arm
+// reproduces the paper's linear prototype exactly; the y arm adds the
+// orthogonal axis, enabling 2-D swipe tracking (see core/zebra2d.hpp).
+#pragma once
+
+#include "optics/scene.hpp"
+
+namespace airfinger::optics {
+
+/// Geometry of the cross board.
+struct CrossBoardLayout {
+  double pitch_m = 0.004;  ///< Centre-to-centre pitch along each arm.
+  NirLedSpec led_spec{};
+  NirPhotodiodeSpec pd_spec{};
+};
+
+/// Photodiode channel order of the cross board.
+enum class CrossChannel : std::size_t {
+  kXMinus = 0,
+  kYMinus = 1,
+  kCentre = 2,
+  kYPlus = 3,
+  kXPlus = 4,
+};
+inline constexpr std::size_t kCrossChannelCount = 5;
+
+/// Builds the cross Scene. Channel order follows CrossChannel.
+Scene make_cross_scene(const CrossBoardLayout& layout = {},
+                       const AmbientModel& ambient = AmbientModel{});
+
+/// Position of a cross-board photodiode.
+Vec3 cross_pd_position(const CrossBoardLayout& layout, CrossChannel channel);
+
+}  // namespace airfinger::optics

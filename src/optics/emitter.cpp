@@ -1,0 +1,44 @@
+#include "optics/emitter.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/error.hpp"
+
+namespace airfinger::optics {
+
+NirLed::NirLed(const NirLedSpec& spec, const Vec3& position,
+               const Vec3& normal)
+    : spec_(spec), position_(position), normal_(normal.normalized()) {
+  AF_EXPECT(spec.power_mw >= 0.0, "LED power must be non-negative");
+  AF_EXPECT(spec.viewing_angle_deg > 0.0 && spec.viewing_angle_deg <= 180.0,
+            "LED viewing angle must lie in (0, 180]");
+  AF_EXPECT(normal.norm() > 0.0, "LED normal must be non-zero");
+
+  const double half_angle_rad =
+      spec.viewing_angle_deg * 0.5 * std::numbers::pi / 180.0;
+  const double cos_half = std::cos(half_angle_rad);
+  // m from cos^m(θ_1/2) = 1/2 (datasheet half-power definition).
+  order_ = (cos_half >= 1.0 || cos_half <= 0.0)
+               ? 1.0
+               : -std::numbers::ln2 / std::log(cos_half);
+  // No mechanical cutoff inside the hemisphere: the cos^m falloff already
+  // concentrates >93% of the power inside the datasheet viewing angle, and
+  // a hard cutoff would create unphysical blind wedges between parts.
+  cos_fov_ = 0.0;
+  peak_intensity_ =
+      spec.power_mw * (order_ + 1.0) / (2.0 * std::numbers::pi);
+}
+
+double NirLed::irradiance_at(const Vec3& point) const {
+  const Vec3 to_point = point - position_;
+  const double d2 = to_point.norm2();
+  if (d2 <= 0.0) return 0.0;
+  const double d = std::sqrt(d2);
+  const double cos_theta = to_point.dot(normal_) / d;
+  if (cos_theta <= cos_fov_) return 0.0;  // behind or outside the beam
+  const double intensity = peak_intensity_ * std::pow(cos_theta, order_);
+  return intensity / d2;
+}
+
+}  // namespace airfinger::optics

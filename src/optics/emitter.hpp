@@ -1,0 +1,48 @@
+// NIR LED emission model.
+//
+// Models the 304IRC-94 emitter used by the paper's prototype: a 940 nm LED
+// with a 20° viewing angle. Emission follows the generalized Lambertian
+// pattern I(θ) = I0 · cos^m(θ), where m is derived from the half-power
+// half-angle; radiation beyond the mechanical field of view is cut off.
+#pragma once
+
+#include "optics/vec3.hpp"
+
+namespace airfinger::optics {
+
+/// Specification of a single NIR LED.
+struct NirLedSpec {
+  double power_mw = 25.0;         ///< Radiated optical power, milliwatts.
+  double viewing_angle_deg = 20;  ///< Full viewing angle (2 × half-angle).
+  double wavelength_nm = 940.0;   ///< Peak emission wavelength.
+};
+
+/// A placed, oriented NIR LED evaluating radiant intensity toward a point.
+class NirLed {
+ public:
+  /// Creates a LED at `position` facing along `normal` (normalized inside).
+  /// Requires spec.power_mw >= 0 and 0 < viewing_angle_deg <= 180.
+  NirLed(const NirLedSpec& spec, const Vec3& position, const Vec3& normal);
+
+  const Vec3& position() const { return position_; }
+  const Vec3& normal() const { return normal_; }
+  const NirLedSpec& spec() const { return spec_; }
+
+  /// Lambertian mode number m such that cos^m(half_angle) = 1/2.
+  double lambertian_order() const { return order_; }
+
+  /// Irradiance (mW per m^2) produced at `point`, following the generalized
+  /// Lambertian model with inverse-square falloff. Returns 0 for points
+  /// behind the LED or outside its field of view.
+  double irradiance_at(const Vec3& point) const;
+
+ private:
+  NirLedSpec spec_;
+  Vec3 position_;
+  Vec3 normal_;
+  double order_;          // Lambertian exponent m
+  double cos_fov_;        // cosine of the mechanical FoV half-angle cutoff
+  double peak_intensity_; // I0 = P (m+1) / (2π), mW/sr
+};
+
+}  // namespace airfinger::optics

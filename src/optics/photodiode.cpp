@@ -1,0 +1,86 @@
+#include "optics/photodiode.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/error.hpp"
+
+namespace airfinger::optics {
+
+NirPhotodiode::NirPhotodiode(const NirPhotodiodeSpec& spec,
+                             const Vec3& position, const Vec3& normal)
+    : spec_(spec), position_(position), normal_(normal.normalized()) {
+  AF_EXPECT(spec.active_area_mm2 > 0.0, "PD active area must be positive");
+  AF_EXPECT(spec.viewing_angle_deg > 0.0 && spec.viewing_angle_deg <= 180.0,
+            "PD viewing angle must lie in (0, 180]");
+  AF_EXPECT(spec.shield_fov_factor > 0.0 && spec.shield_fov_factor <= 1.0,
+            "shield FoV factor must lie in (0, 1]");
+  AF_EXPECT(spec.shield_ambient_transmission >= 0.0 &&
+                spec.shield_ambient_transmission <= 1.0,
+            "shield ambient transmission must lie in [0, 1]");
+  AF_EXPECT(normal.norm() > 0.0, "PD normal must be non-zero");
+
+  // Bare photodiodes have a smooth cos-like angular response (datasheet
+  // viewing angle = half-power point): model it as cos^p(θ) with
+  // response(half_angle) = 1/2. The 3D-printed black shield is a tube in
+  // front of the die: inside the shield angle it transmits fully, beyond it
+  // the walls occlude the die over a ~10° taper, then block completely —
+  // this sharp cutoff is what confines each PD to "its" side of the board
+  // and gives the ZEBRA ordering its geometric meaning.
+  const double half_angle_rad =
+      spec.viewing_angle_deg * 0.5 * std::numbers::pi / 180.0;
+  const double cos_half =
+      std::cos(std::min(half_angle_rad, 0.49 * std::numbers::pi));
+  response_order_ = (cos_half >= 1.0 || cos_half <= 0.0)
+                        ? 1.0
+                        : -std::numbers::ln2 / std::log(cos_half);
+  shield_angle_rad_ = half_angle_rad * spec.shield_fov_factor;
+  area_m2_ = spec.active_area_mm2 * 1e-6;
+}
+
+double NirPhotodiode::acceptance_from(const Vec3& point) const {
+  const Vec3 to_point = point - position_;
+  const double d = to_point.norm();
+  if (d <= 0.0) return 0.0;
+  const double cos_theta = to_point.dot(normal_) / d;
+  if (cos_theta <= 0.0) return 0.0;  // behind the sensor plane
+  const double response = std::pow(cos_theta, response_order_);
+  // Shield occlusion taper.
+  constexpr double kTaperRad = 10.0 * std::numbers::pi / 180.0;
+  const double theta = std::acos(std::min(cos_theta, 1.0));
+  if (theta >= shield_angle_rad_ + kTaperRad) return 0.0;
+  if (theta <= shield_angle_rad_) return response;
+  const double t = (theta - shield_angle_rad_) / kTaperRad;
+  return response * 0.5 * (1.0 + std::cos(std::numbers::pi * t));
+}
+
+double NirPhotodiode::signal_from_patch(const Vec3& point,
+                                        const Vec3& patch_normal,
+                                        double reflected_radiosity,
+                                        double patch_area_m2) const {
+  if (reflected_radiosity <= 0.0 || patch_area_m2 <= 0.0) return 0.0;
+  const double accept = acceptance_from(point);
+  if (accept <= 0.0) return 0.0;
+
+  const Vec3 to_pd = position_ - point;
+  const double d2 = to_pd.norm2();
+  if (d2 <= 0.0) return 0.0;
+  const double d = std::sqrt(d2);
+  // Lambertian re-emission cosine at the patch.
+  const Vec3 pn = patch_normal.normalized();
+  const double cos_out = std::max(0.0, to_pd.dot(pn) / d);
+  // Radiance L = radiosity / π; flux at PD = L · A_patch · cos_out ·
+  // (A_pd · cos_in / d²).
+  const double radiance = reflected_radiosity / std::numbers::pi;
+  const double flux =
+      radiance * patch_area_m2 * cos_out * area_m2_ * accept / d2;
+  return spec_.responsivity * flux;
+}
+
+double NirPhotodiode::signal_from_ambient(double ambient_irradiance) const {
+  if (ambient_irradiance <= 0.0) return 0.0;
+  return spec_.responsivity * ambient_irradiance * area_m2_ *
+         spec_.shield_ambient_transmission;
+}
+
+}  // namespace airfinger::optics

@@ -1,0 +1,62 @@
+// NIR photodiode response model.
+//
+// Models the 304PT photodiode of the paper's prototype (700–1000 nm spectral
+// response, 80° viewing angle). The paper adds a 3D-printed black shield
+// that narrows the field of view and attenuates off-axis ambient light; the
+// shield is part of the photodiode model here.
+#pragma once
+
+#include "optics/vec3.hpp"
+
+namespace airfinger::optics {
+
+/// Specification of a single NIR photodiode plus its shield.
+struct NirPhotodiodeSpec {
+  double active_area_mm2 = 0.6;    ///< Photosensitive area.
+  double viewing_angle_deg = 80;   ///< Full viewing angle without shield.
+  double responsivity = 1.0;       ///< Photocurrent per incident mW (a.u.).
+  /// Shield factor in (0, 1]: the shield transmits fully inside
+  /// factor × half-angle and occludes completely ~10° beyond it.
+  double shield_fov_factor = 0.6;
+  /// Fraction of isotropic ambient irradiance the shield lets through.
+  double shield_ambient_transmission = 0.35;
+};
+
+/// A placed, oriented photodiode converting incident flux to a signal.
+class NirPhotodiode {
+ public:
+  /// Creates a PD at `position` facing along `normal` (normalized inside).
+  NirPhotodiode(const NirPhotodiodeSpec& spec, const Vec3& position,
+                const Vec3& normal);
+
+  const Vec3& position() const { return position_; }
+  const Vec3& normal() const { return normal_; }
+  const NirPhotodiodeSpec& spec() const { return spec_; }
+
+  /// Angular acceptance cos^p(θ) in [0,1] for light arriving from `point`,
+  /// where p makes the response fall to 1/2 at the (shielded) half-angle.
+  /// 0 behind the sensor plane.
+  double acceptance_from(const Vec3& point) const;
+
+  /// Signal contribution from a small Lambertian reflector at `point` that
+  /// re-emits `reflected_radiosity` (mW/m^2 leaving the patch) over area
+  /// `patch_area_m2`. Applies the inverse-square law, the reflector's
+  /// emission cosine, and this PD's acceptance.
+  double signal_from_patch(const Vec3& point, const Vec3& patch_normal,
+                           double reflected_radiosity,
+                           double patch_area_m2) const;
+
+  /// Signal contribution from isotropic ambient irradiance (mW/m^2) after
+  /// shield attenuation.
+  double signal_from_ambient(double ambient_irradiance) const;
+
+ private:
+  NirPhotodiodeSpec spec_;
+  Vec3 position_;
+  Vec3 normal_;
+  double response_order_;    // p in the cos^p angular response
+  double shield_angle_rad_;  // full transmission inside this angle
+  double area_m2_;
+};
+
+}  // namespace airfinger::optics

@@ -1,0 +1,137 @@
+#include "optics/scene.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "common/error.hpp"
+
+namespace airfinger::optics {
+
+Scene::Scene(std::vector<NirLed> leds, std::vector<NirPhotodiode> pds,
+             AmbientModel ambient)
+    : leds_(std::move(leds)), pds_(std::move(pds)),
+      ambient_(std::move(ambient)) {
+  AF_EXPECT(!leds_.empty(), "Scene requires at least one LED");
+  AF_EXPECT(!pds_.empty(), "Scene requires at least one photodiode");
+}
+
+double Scene::incident_irradiance(const ReflectorPatch& patch) const {
+  double total = 0.0;
+  const Vec3 pn = patch.normal.normalized();
+  for (const auto& led : leds_) {
+    const double e = led.irradiance_at(patch.position);
+    if (e <= 0.0) continue;
+    const Vec3 from_led = (patch.position - led.position()).normalized();
+    // Incidence cosine on the patch: light arrives along from_led, the patch
+    // faces -from_led-ish when pointing at the board.
+    const double cos_inc = std::max(0.0, -from_led.dot(pn));
+    total += e * cos_inc;
+  }
+  return total;
+}
+
+double Scene::ambient_shadow_factor(
+    const NirPhotodiode& pd, std::span<const ReflectorPatch> patches) const {
+  // Each patch blocks roughly area/(2π d²) of the skylight hemisphere above
+  // the PD; close fingers noticeably modulate ambient coupling (the paper's
+  // N_dyn "other NIR sources are affected along with the finger movements").
+  double blocked = 0.0;
+  for (const auto& patch : patches) {
+    const double d2 = (patch.position - pd.position()).norm2();
+    if (d2 <= 0.0) continue;
+    blocked += patch.area_m2 / (2.0 * std::numbers::pi * d2);
+  }
+  return std::clamp(blocked, 0.0, 0.9);
+}
+
+Scene::Components Scene::evaluate_components(
+    std::span<const ReflectorPatch> patches, double time_s,
+    const DirectInjection& direct) const {
+  AF_EXPECT(direct.pd_weights.empty() ||
+                direct.pd_weights.size() == pds_.size(),
+            "DirectInjection weights must match pd_count");
+
+  const double ambient_e = ambient_.irradiance_at(time_s);
+  Components out;
+  out.emitted.assign(pds_.size(), 0.0);
+  out.ambient.assign(pds_.size(), 0.0);
+
+  for (std::size_t j = 0; j < pds_.size(); ++j) {
+    const auto& pd = pds_[j];
+
+    // Reflected light per patch, split by origin: the LED irradiance is
+    // carrier-modulated, the ambient irradiance on the patch is not.
+    for (const auto& patch : patches) {
+      const double e_led = incident_irradiance(patch);
+      const double e_amb = ambient_e * 0.5;  // patch sees half the sky
+      out.emitted[j] += pd.signal_from_patch(
+          patch.position, patch.normal, patch.reflectivity * e_led,
+          patch.area_m2);
+      out.ambient[j] += pd.signal_from_patch(
+          patch.position, patch.normal, patch.reflectivity * e_amb,
+          patch.area_m2);
+    }
+
+    // Ambient skylight coupling, shadowed by nearby patches.
+    const double shadow = ambient_shadow_factor(pd, patches);
+    out.ambient[j] += pd.signal_from_ambient(ambient_e * (1.0 - shadow));
+
+    // Direct interferer injection (e.g. IR remote pointed at the board).
+    if (direct.irradiance > 0.0) {
+      const double w =
+          direct.pd_weights.empty() ? 1.0 : direct.pd_weights[j];
+      out.ambient[j] += pd.signal_from_ambient(direct.irradiance) * w;
+    }
+  }
+  return out;
+}
+
+std::vector<double> Scene::evaluate(std::span<const ReflectorPatch> patches,
+                                    double time_s,
+                                    const DirectInjection& direct) const {
+  const Components c = evaluate_components(patches, time_s, direct);
+  std::vector<double> out(pds_.size());
+  for (std::size_t j = 0; j < out.size(); ++j)
+    out[j] = c.emitted[j] + c.ambient[j];
+  return out;
+}
+
+double prototype_pd_x(const BoardLayout& layout, std::size_t i) {
+  AF_EXPECT(i < layout.pd_count, "photodiode index out of range");
+  // Parts alternate P, L, P, L, P, ... centred on the origin.
+  const std::size_t total = layout.pd_count + layout.led_count;
+  const double origin = -0.5 * static_cast<double>(total - 1) * layout.pitch_m;
+  return origin + static_cast<double>(2 * i) * layout.pitch_m;
+}
+
+double prototype_led_x(const BoardLayout& layout, std::size_t i) {
+  AF_EXPECT(i < layout.led_count, "LED index out of range");
+  const std::size_t total = layout.pd_count + layout.led_count;
+  const double origin = -0.5 * static_cast<double>(total - 1) * layout.pitch_m;
+  return origin + static_cast<double>(2 * i + 1) * layout.pitch_m;
+}
+
+Scene make_prototype_scene(const BoardLayout& layout,
+                           const AmbientModel& ambient) {
+  AF_EXPECT(layout.pd_count == layout.led_count + 1,
+            "alternating layout requires pd_count == led_count + 1");
+  AF_EXPECT(layout.pitch_m > 0.0, "board pitch must be positive");
+
+  const Vec3 up{0, 0, 1};
+  std::vector<NirLed> leds;
+  leds.reserve(layout.led_count);
+  for (std::size_t i = 0; i < layout.led_count; ++i)
+    leds.emplace_back(layout.led_spec,
+                      Vec3{prototype_led_x(layout, i), 0.0, 0.0}, up);
+
+  std::vector<NirPhotodiode> pds;
+  pds.reserve(layout.pd_count);
+  for (std::size_t i = 0; i < layout.pd_count; ++i)
+    pds.emplace_back(layout.pd_spec,
+                     Vec3{prototype_pd_x(layout, i), 0.0, 0.0}, up);
+
+  return Scene(std::move(leds), std::move(pds), ambient);
+}
+
+}  // namespace airfinger::optics

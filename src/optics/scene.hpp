@@ -1,0 +1,113 @@
+// Scene composition: board + reflectors + ambient → per-photodiode RSS.
+//
+// The scene evaluates, at one instant, the optical signal each photodiode
+// receives. Contributions, matching the paper's RSS = S_ges + N_static +
+// N_dyn decomposition:
+//   - S_ges:     emitted NIR reflected by the moving fingertip patch(es)
+//   - N_static:  emitted NIR reflected by quasi-static reflectors (the rest
+//                of the hand) and the constant part of ambient coupling
+//   - N_dyn:     ambient drift/flicker, ambient shadowing by the moving
+//                finger, far-field passers-by, and direct interferers (IR
+//                remote bursts)
+// Single-bounce photometry only; multiple scattering between skin patches is
+// negligible at these geometries.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "optics/ambient.hpp"
+#include "optics/emitter.hpp"
+#include "optics/photodiode.hpp"
+#include "optics/vec3.hpp"
+
+namespace airfinger::optics {
+
+/// A small diffuse (Lambertian) reflector, e.g. a fingertip pad.
+struct ReflectorPatch {
+  Vec3 position;             ///< Patch centre, metres.
+  Vec3 normal{0, 0, -1};     ///< Outward normal (towards the board).
+  double area_m2 = 1.2e-4;   ///< Effective reflecting area (~fingertip pad).
+  double reflectivity = 0.6; ///< Diffuse skin albedo at 940 nm.
+};
+
+/// Direct (non-reflected) irradiance injected onto the photodiodes, e.g. an
+/// IR remote control pointed at the sensor.
+struct DirectInjection {
+  double irradiance = 0.0;            ///< mW/m^2 on the sensor plane.
+  std::vector<double> pd_weights;     ///< Per-PD coupling; empty = all 1.
+};
+
+/// Immutable optical scene: fixed board geometry + ambient model.
+class Scene {
+ public:
+  /// Requires at least one LED and one photodiode.
+  Scene(std::vector<NirLed> leds, std::vector<NirPhotodiode> pds,
+        AmbientModel ambient);
+
+  std::size_t led_count() const { return leds_.size(); }
+  std::size_t pd_count() const { return pds_.size(); }
+  const std::vector<NirLed>& leds() const { return leds_; }
+  const std::vector<NirPhotodiode>& pds() const { return pds_; }
+  const AmbientModel& ambient() const { return ambient_; }
+
+  /// Replaces the ambient model (used by the time-of-day sweeps).
+  void set_ambient(AmbientModel ambient) { ambient_ = std::move(ambient); }
+
+  /// Evaluates per-photodiode received signal strength at elapsed time
+  /// `time_s` with the given set of dynamic reflectors present.
+  /// The result has pd_count() entries in photocurrent units (a.u.).
+  std::vector<double> evaluate(std::span<const ReflectorPatch> patches,
+                               double time_s,
+                               const DirectInjection& direct = {}) const;
+
+  /// Per-photodiode signal split into its physical components: light that
+  /// originated from the board's own (modulatable) LEDs vs everything of
+  /// ambient origin (skylight coupling, ambient reflected by skin, direct
+  /// interferers). A synchronous (lock-in) front end can separate exactly
+  /// these two, because only the LED component carries the carrier.
+  struct Components {
+    std::vector<double> emitted;  ///< LED-origin photocurrent per PD.
+    std::vector<double> ambient;  ///< Ambient-origin photocurrent per PD.
+  };
+  Components evaluate_components(std::span<const ReflectorPatch> patches,
+                                 double time_s,
+                                 const DirectInjection& direct = {}) const;
+
+  /// Total LED irradiance incident on a patch (used by tests and by the
+  /// tracker's geometric analysis).
+  double incident_irradiance(const ReflectorPatch& patch) const;
+
+ private:
+  /// Fraction of the ambient hemisphere a patch occludes as seen from a PD.
+  double ambient_shadow_factor(const NirPhotodiode& pd,
+                               std::span<const ReflectorPatch> patches) const;
+
+  std::vector<NirLed> leds_;
+  std::vector<NirPhotodiode> pds_;
+  AmbientModel ambient_;
+};
+
+/// Geometry of the paper's prototype board: photodiodes and LEDs alternating
+/// along the x axis (P1, L1, P2, L2, P3 by default), all facing +z, with the
+/// given centre-to-centre pitch.
+struct BoardLayout {
+  std::size_t pd_count = 3;
+  std::size_t led_count = 2;
+  double pitch_m = 0.004;  ///< 4 mm pitch between adjacent 3 mm parts.
+  NirLedSpec led_spec{};
+  NirPhotodiodeSpec pd_spec{};
+};
+
+/// Builds the prototype Scene described in Sec. V-A of the paper.
+/// Requires pd_count == led_count + 1 (alternating layout).
+Scene make_prototype_scene(const BoardLayout& layout = {},
+                           const AmbientModel& ambient = AmbientModel{});
+
+/// x-coordinate (metres) of photodiode `i` in the prototype layout.
+double prototype_pd_x(const BoardLayout& layout, std::size_t i);
+
+/// x-coordinate (metres) of LED `i` in the prototype layout.
+double prototype_led_x(const BoardLayout& layout, std::size_t i);
+
+}  // namespace airfinger::optics

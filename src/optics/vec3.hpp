@@ -1,0 +1,53 @@
+// Small constexpr 3-D vector type used by the photometric model.
+//
+// Coordinates are metres. The sensor board lies in the z=0 plane with parts
+// facing +z; x runs along the board (the scroll axis), y across it.
+#pragma once
+
+#include <cmath>
+
+namespace airfinger::optics {
+
+/// Plain 3-D vector with value semantics (struct per C.2: no invariant).
+struct Vec3 {
+  double x = 0.0;
+  double y = 0.0;
+  double z = 0.0;
+
+  constexpr Vec3 operator+(const Vec3& o) const {
+    return {x + o.x, y + o.y, z + o.z};
+  }
+  constexpr Vec3 operator-(const Vec3& o) const {
+    return {x - o.x, y - o.y, z - o.z};
+  }
+  constexpr Vec3 operator*(double s) const { return {x * s, y * s, z * s}; }
+  constexpr Vec3 operator/(double s) const { return {x / s, y / s, z / s}; }
+  constexpr Vec3& operator+=(const Vec3& o) {
+    x += o.x;
+    y += o.y;
+    z += o.z;
+    return *this;
+  }
+
+  constexpr double dot(const Vec3& o) const {
+    return x * o.x + y * o.y + z * o.z;
+  }
+  constexpr Vec3 cross(const Vec3& o) const {
+    return {y * o.z - z * o.y, z * o.x - x * o.z, x * o.y - y * o.x};
+  }
+  constexpr double norm2() const { return dot(*this); }
+  double norm() const { return std::sqrt(norm2()); }
+
+  /// Unit vector in the same direction; the zero vector maps to itself.
+  Vec3 normalized() const {
+    const double n = norm();
+    return n > 0.0 ? (*this) / n : Vec3{};
+  }
+};
+
+constexpr Vec3 operator*(double s, const Vec3& v) { return v * s; }
+
+/// Euclidean distance between two points.
+inline double distance(const Vec3& a, const Vec3& b) { return (a - b).norm(); }
+
+}  // namespace airfinger::optics

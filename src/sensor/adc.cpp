@@ -1,0 +1,41 @@
+#include "sensor/adc.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace airfinger::sensor {
+
+AdcModel::AdcModel(const AdcSpec& spec) : spec_(spec) {
+  AF_EXPECT(spec.gain > 0.0, "ADC gain must be positive");
+  AF_EXPECT(spec.vref > 0.0, "ADC vref must be positive");
+  AF_EXPECT(spec.bits >= 1 && spec.bits <= 24, "ADC bits must be in [1,24]");
+  AF_EXPECT(spec.thermal_noise_v >= 0.0, "thermal noise must be >= 0");
+  AF_EXPECT(spec.shot_noise_coeff >= 0.0, "shot noise coeff must be >= 0");
+  AF_EXPECT(spec.glitch_probability >= 0.0 && spec.glitch_probability <= 1.0,
+            "glitch probability must lie in [0,1]");
+  full_scale_ = std::pow(2.0, spec.bits) - 1.0;
+}
+
+double AdcModel::convert(double photocurrent, common::Rng& rng) const {
+  double v = spec_.offset_v + spec_.gain * photocurrent;
+  // Photon (shot) noise on the photocurrent, amplified with the signal.
+  const double shot_sigma =
+      spec_.gain * spec_.shot_noise_coeff *
+      std::sqrt(std::max(photocurrent, 0.0));
+  v += rng.normal(0.0, spec_.thermal_noise_v);
+  if (shot_sigma > 0.0) v += rng.normal(0.0, shot_sigma);
+  if (spec_.glitch_probability > 0.0 &&
+      rng.bernoulli(spec_.glitch_probability)) {
+    v += rng.uniform(-spec_.glitch_magnitude_v, spec_.glitch_magnitude_v);
+  }
+  const double normalized = std::clamp(v / spec_.vref, 0.0, 1.0);
+  return std::floor(normalized * full_scale_ + 0.5);
+}
+
+bool AdcModel::would_saturate(double photocurrent) const {
+  return spec_.offset_v + spec_.gain * photocurrent >= spec_.vref;
+}
+
+}  // namespace airfinger::sensor

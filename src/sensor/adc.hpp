@@ -1,0 +1,59 @@
+// Analog front-end and ADC model.
+//
+// Models the paper's acquisition chain (transimpedance amplifier feeding an
+// Arduino UNO 10-bit ADC): programmable gain, additive thermal noise,
+// signal-dependent shot noise, quantization, and rail saturation. Saturation
+// is load-bearing: the paper's Sec. VI notes photodiodes saturate under
+// strong outdoor sunlight, and the Fig. 15 ambient sweep must reproduce the
+// resulting degradation.
+#pragma once
+
+#include "common/rng.hpp"
+
+namespace airfinger::sensor {
+
+/// Parameters of the amplifier + ADC chain.
+struct AdcSpec {
+  double gain = 70.0;           ///< Volts of ADC input per unit photocurrent.
+  double offset_v = 0.02;       ///< Analog offset (dark level).
+  double vref = 1.0;            ///< Full-scale input voltage.
+  int bits = 10;                ///< Resolution (Arduino UNO: 10).
+  double thermal_noise_v = 1.2e-3;  ///< Additive Gaussian noise, volts RMS.
+  /// Shot (photon) noise is physical noise on the photocurrent, before the
+  /// amplifier: σ_i = coeff·sqrt(i). The amplifier scales it together with
+  /// the signal, so raising the gain cannot buy back photon-noise SNR —
+  /// this is what makes strong ambient light destructive even with an
+  /// auto-gain front end (the paper's outdoor saturation discussion).
+  double shot_noise_coeff = 2.4e-4;
+  /// Probability per sample of an impulsive hardware glitch ("sudden RSS
+  /// changes due to hardware", Sec. IV-F).
+  double glitch_probability = 0.0;
+  double glitch_magnitude_v = 0.15; ///< Peak glitch amplitude, volts.
+};
+
+/// Converts analog photocurrent to quantized ADC counts with noise.
+class AdcModel {
+ public:
+  AdcModel() = default;
+
+  /// Requires gain > 0, vref > 0, 1 <= bits <= 24, non-negative noise terms.
+  explicit AdcModel(const AdcSpec& spec);
+
+  const AdcSpec& spec() const { return spec_; }
+
+  /// Full-scale count (2^bits - 1).
+  double full_scale() const { return full_scale_; }
+
+  /// Converts one analog sample (photocurrent units) to ADC counts, drawing
+  /// noise from `rng`. Saturates at [0, full_scale()].
+  double convert(double photocurrent, common::Rng& rng) const;
+
+  /// True if the given analog level would saturate the converter.
+  bool would_saturate(double photocurrent) const;
+
+ private:
+  AdcSpec spec_{};
+  double full_scale_ = 1023.0;
+};
+
+}  // namespace airfinger::sensor

@@ -1,0 +1,28 @@
+#include "sensor/prototype.hpp"
+
+namespace airfinger::sensor {
+
+Prototype::Prototype(const PrototypeSpec& spec) : spec_(spec) {
+  scene_ = std::make_unique<optics::Scene>(optics::make_prototype_scene(
+      spec.board, optics::AmbientModel(spec.ambient)));
+  recorder_ = std::make_unique<Recorder>(*scene_, AdcModel(spec.adc),
+                                         spec.sample_rate_hz,
+                                         spec.front_end);
+}
+
+void Prototype::set_ambient(const optics::AmbientConditions& cond) {
+  spec_.ambient = cond;
+  scene_->set_ambient(optics::AmbientModel(cond));
+}
+
+MultiChannelTrace Prototype::record(const SceneStateProvider& provider,
+                                    double duration_s, common::Rng& rng,
+                                    double start_time_s) const {
+  return recorder_->record(provider, duration_s, rng, start_time_s);
+}
+
+double Prototype::pd_x(std::size_t i) const {
+  return optics::prototype_pd_x(spec_.board, i);
+}
+
+}  // namespace airfinger::sensor

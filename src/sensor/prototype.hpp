@@ -1,0 +1,49 @@
+// Assembly of the paper's prototype: board geometry + ADC chain + 100 Hz
+// sampling, bundled so higher layers create one object instead of wiring the
+// optics and acquisition pieces by hand.
+#pragma once
+
+#include <memory>
+
+#include "optics/scene.hpp"
+#include "sensor/recorder.hpp"
+
+namespace airfinger::sensor {
+
+/// Configuration of a complete airFinger sensing prototype.
+struct PrototypeSpec {
+  optics::BoardLayout board{};
+  AdcSpec adc{};
+  double sample_rate_hz = 100.0;
+  optics::AmbientConditions ambient{};
+  FrontEndSpec front_end{};
+};
+
+/// The full sensing device: owns the Scene and exposes a Recorder over it.
+class Prototype {
+ public:
+  explicit Prototype(const PrototypeSpec& spec = {});
+
+  const optics::Scene& scene() const { return *scene_; }
+  const PrototypeSpec& spec() const { return spec_; }
+  double sample_rate_hz() const { return spec_.sample_rate_hz; }
+  std::size_t pd_count() const { return scene_->pd_count(); }
+
+  /// Replaces the ambient conditions (time-of-day sweeps).
+  void set_ambient(const optics::AmbientConditions& cond);
+
+  /// Records the given dynamic scene for duration_s seconds.
+  MultiChannelTrace record(const SceneStateProvider& provider,
+                           double duration_s, common::Rng& rng,
+                           double start_time_s = 0.0) const;
+
+  /// x-coordinate of photodiode i (used by the ZEBRA tracker's geometry).
+  double pd_x(std::size_t i) const;
+
+ private:
+  PrototypeSpec spec_;
+  std::unique_ptr<optics::Scene> scene_;  // stable address for the Recorder
+  std::unique_ptr<Recorder> recorder_;
+};
+
+}  // namespace airfinger::sensor

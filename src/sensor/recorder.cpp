@@ -1,0 +1,55 @@
+#include "sensor/recorder.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace airfinger::sensor {
+
+Recorder::Recorder(const optics::Scene& scene, AdcModel adc,
+                   double sample_rate_hz, FrontEndSpec front_end)
+    : scene_(&scene), adc_(std::move(adc)), sample_rate_hz_(sample_rate_hz),
+      front_end_(front_end) {
+  AF_EXPECT(sample_rate_hz > 0.0, "sample rate must be positive");
+  AF_EXPECT(front_end.ambient_rejection >= 0.0 &&
+                front_end.ambient_rejection <= 1.0,
+            "ambient rejection must lie in [0, 1]");
+}
+
+MultiChannelTrace Recorder::record(const SceneStateProvider& provider,
+                                   double duration_s, common::Rng& rng,
+                                   double start_time_s) const {
+  AF_EXPECT(duration_s >= 0.0, "duration must be non-negative");
+  AF_EXPECT(static_cast<bool>(provider), "scene state provider is required");
+
+  const auto frames =
+      static_cast<std::size_t>(std::llround(duration_s * sample_rate_hz_));
+  MultiChannelTrace trace(scene_->pd_count(), sample_rate_hz_);
+  std::vector<double> frame(scene_->pd_count());
+
+  for (std::size_t i = 0; i < frames; ++i) {
+    const double t =
+        start_time_s + static_cast<double>(i) / sample_rate_hz_;
+    const SceneState state = provider(t - start_time_s);
+    std::vector<double> analog;
+    if (front_end_.lock_in) {
+      // Synchronous detection: only the LED-origin component (which
+      // carries the modulation carrier) passes; ambient leaks at the
+      // configured rejection ratio.
+      const auto c =
+          scene_->evaluate_components(state.patches, t, state.direct);
+      analog.resize(c.emitted.size());
+      for (std::size_t j = 0; j < analog.size(); ++j)
+        analog[j] =
+            c.emitted[j] + front_end_.ambient_rejection * c.ambient[j];
+    } else {
+      analog = scene_->evaluate(state.patches, t, state.direct);
+    }
+    for (std::size_t c = 0; c < analog.size(); ++c)
+      frame[c] = adc_.convert(analog[c], rng);
+    trace.push_frame(frame);
+  }
+  return trace;
+}
+
+}  // namespace airfinger::sensor

@@ -1,0 +1,62 @@
+// Sampling loop: optical scene → quantized multi-channel trace.
+//
+// The Recorder drives the Scene at a fixed sample rate (100 Hz in the
+// paper), querying a caller-supplied scene-state provider for the reflector
+// configuration at each sample instant, converting each photodiode's analog
+// output through the AdcModel, and accumulating the result into a
+// MultiChannelTrace.
+#pragma once
+
+#include <functional>
+
+#include "common/rng.hpp"
+#include "optics/scene.hpp"
+#include "sensor/adc.hpp"
+#include "sensor/trace.hpp"
+
+namespace airfinger::sensor {
+
+/// Dynamic state of the scene at one instant.
+struct SceneState {
+  std::vector<optics::ReflectorPatch> patches;
+  optics::DirectInjection direct{};
+};
+
+/// Provides the scene state at elapsed time t (seconds).
+using SceneStateProvider = std::function<SceneState(double)>;
+
+/// Analog front-end options (the paper's Sec. VI outdoor hardening).
+struct FrontEndSpec {
+  /// Synchronous (lock-in) detection: the LEDs are modulated with a carrier
+  /// well above the gesture band and the photodiode signal is demodulated
+  /// before sampling, so only LED-origin light reaches the converter.
+  /// Ambient light is attenuated to `ambient_rejection` of its level (a
+  /// real synchronous detector leaks a little through filter skirts).
+  bool lock_in = false;
+  double ambient_rejection = 1e-3;
+};
+
+/// Fixed-rate scene sampler.
+class Recorder {
+ public:
+  /// Requires sample_rate_hz > 0.
+  Recorder(const optics::Scene& scene, AdcModel adc, double sample_rate_hz,
+           FrontEndSpec front_end = {});
+
+  double sample_rate_hz() const { return sample_rate_hz_; }
+  const AdcModel& adc() const { return adc_; }
+
+  /// Records `duration_s` seconds starting at scene time `start_time_s`.
+  /// Noise is drawn from `rng`; the provider is called once per frame.
+  MultiChannelTrace record(const SceneStateProvider& provider,
+                           double duration_s, common::Rng& rng,
+                           double start_time_s = 0.0) const;
+
+ private:
+  const optics::Scene* scene_;  // non-owning; Scene outlives the Recorder
+  AdcModel adc_;
+  double sample_rate_hz_;
+  FrontEndSpec front_end_;
+};
+
+}  // namespace airfinger::sensor

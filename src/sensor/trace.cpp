@@ -1,0 +1,57 @@
+#include "sensor/trace.hpp"
+
+namespace airfinger::sensor {
+
+MultiChannelTrace::MultiChannelTrace(std::size_t channels,
+                                     double sample_rate_hz)
+    : channels_(channels), sample_rate_hz_(sample_rate_hz) {
+  AF_EXPECT(channels >= 1, "trace requires at least one channel");
+  AF_EXPECT(sample_rate_hz > 0.0, "sample rate must be positive");
+}
+
+void MultiChannelTrace::push_frame(std::span<const double> frame) {
+  AF_EXPECT(frame.size() == channels_.size(),
+            "frame arity must match channel count");
+  for (std::size_t i = 0; i < frame.size(); ++i)
+    channels_[i].push_back(frame[i]);
+}
+
+std::span<const double> MultiChannelTrace::channel(std::size_t i) const {
+  AF_EXPECT(i < channels_.size(), "channel index out of range");
+  return channels_[i];
+}
+
+std::vector<double>& MultiChannelTrace::mutable_channel(std::size_t i) {
+  AF_EXPECT(i < channels_.size(), "channel index out of range");
+  return channels_[i];
+}
+
+std::vector<double> MultiChannelTrace::summed() const {
+  std::vector<double> out(sample_count(), 0.0);
+  for (const auto& ch : channels_)
+    for (std::size_t i = 0; i < ch.size(); ++i) out[i] += ch[i];
+  return out;
+}
+
+MultiChannelTrace MultiChannelTrace::slice(std::size_t begin,
+                                           std::size_t end) const {
+  AF_EXPECT(begin <= end && end <= sample_count(),
+            "slice range out of bounds");
+  MultiChannelTrace out(channel_count(), sample_rate_hz_);
+  for (std::size_t c = 0; c < channel_count(); ++c)
+    out.channels_[c].assign(channels_[c].begin() + static_cast<long>(begin),
+                            channels_[c].begin() + static_cast<long>(end));
+  return out;
+}
+
+void MultiChannelTrace::append(const MultiChannelTrace& other) {
+  AF_EXPECT(other.channel_count() == channel_count(),
+            "append: channel count mismatch");
+  AF_EXPECT(other.sample_rate_hz() == sample_rate_hz_,
+            "append: sample rate mismatch");
+  for (std::size_t c = 0; c < channel_count(); ++c)
+    channels_[c].insert(channels_[c].end(), other.channels_[c].begin(),
+                        other.channels_[c].end());
+}
+
+}  // namespace airfinger::sensor

@@ -1,0 +1,64 @@
+// Multi-channel sampled signal container.
+//
+// A MultiChannelTrace holds the synchronously sampled output of all
+// photodiode channels, in ADC counts, at a fixed sample rate (the paper's
+// prototype samples at 100 Hz).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace airfinger::sensor {
+
+/// Synchronously sampled multi-channel recording with value semantics.
+class MultiChannelTrace {
+ public:
+  MultiChannelTrace() = default;
+
+  /// Creates an empty trace with the given channel count and sample rate.
+  /// Requires channels >= 1 and rate > 0.
+  MultiChannelTrace(std::size_t channels, double sample_rate_hz);
+
+  std::size_t channel_count() const { return channels_.size(); }
+  double sample_rate_hz() const { return sample_rate_hz_; }
+
+  /// Number of samples per channel (all channels stay equal length).
+  std::size_t sample_count() const {
+    return channels_.empty() ? 0 : channels_[0].size();
+  }
+
+  /// Trace duration in seconds.
+  double duration_s() const {
+    return sample_rate_hz_ > 0
+               ? static_cast<double>(sample_count()) / sample_rate_hz_
+               : 0.0;
+  }
+
+  /// Appends one synchronous frame (one sample per channel).
+  void push_frame(std::span<const double> frame);
+
+  /// Read-only view of one channel.
+  std::span<const double> channel(std::size_t i) const;
+
+  /// Mutable access (used by noise-injection tests).
+  std::vector<double>& mutable_channel(std::size_t i);
+
+  /// Sum of all channels, sample by sample (the paper's detect-aimed
+  /// pipeline operates on aggregate reflected energy).
+  std::vector<double> summed() const;
+
+  /// Extracts the [begin, end) sample range of every channel as a new trace.
+  MultiChannelTrace slice(std::size_t begin, std::size_t end) const;
+
+  /// Appends all frames of `other` (same channel count and rate required).
+  void append(const MultiChannelTrace& other);
+
+ private:
+  std::vector<std::vector<double>> channels_;
+  double sample_rate_hz_ = 0.0;
+};
+
+}  // namespace airfinger::sensor

@@ -1,0 +1,26 @@
+// Dataset persistence: CSV export/import of recorded gesture samples.
+//
+// The exported corpus is a single flat CSV — one row per frame, with the
+// per-sample metadata repeated on each row — trivially loadable into
+// pandas/R for inspection, and round-trippable back into a Dataset so
+// experiments can run on a frozen corpus instead of regenerating.
+#pragma once
+
+#include <string>
+
+#include "synth/dataset.hpp"
+
+namespace airfinger::synth {
+
+/// Writes a dataset to a CSV file. Columns: sample, kind, user, session,
+/// repetition, gesture_start_s, gesture_end_s, standoff_m, scroll_dir,
+/// scroll_vel_mps, scroll_disp_m, frame, p1..pN.
+/// Throws std::runtime_error on I/O failure.
+void save_dataset_csv(const Dataset& dataset, const std::string& path);
+
+/// Loads a dataset written by save_dataset_csv. Validates the header and
+/// per-row arity; throws PreconditionError on malformed input.
+Dataset load_dataset_csv(const std::string& path,
+                         double sample_rate_hz = 100.0);
+
+}  // namespace airfinger::synth

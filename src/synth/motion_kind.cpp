@@ -1,0 +1,44 @@
+#include "synth/motion_kind.hpp"
+
+namespace airfinger::synth {
+
+namespace {
+constexpr std::array kAllGestures = {
+    MotionKind::kCircle,     MotionKind::kDoubleCircle,
+    MotionKind::kRub,        MotionKind::kDoubleRub,
+    MotionKind::kClick,      MotionKind::kDoubleClick,
+    MotionKind::kScrollUp,   MotionKind::kScrollDown,
+};
+constexpr std::array kDetect = {
+    MotionKind::kCircle, MotionKind::kDoubleCircle, MotionKind::kRub,
+    MotionKind::kDoubleRub, MotionKind::kClick, MotionKind::kDoubleClick,
+};
+constexpr std::array kTrack = {MotionKind::kScrollUp,
+                               MotionKind::kScrollDown};
+constexpr std::array kNonGestures = {
+    MotionKind::kScratch, MotionKind::kExtend, MotionKind::kReposition};
+}  // namespace
+
+std::string_view motion_name(MotionKind k) {
+  switch (k) {
+    case MotionKind::kCircle: return "circle";
+    case MotionKind::kDoubleCircle: return "double circle";
+    case MotionKind::kRub: return "rub";
+    case MotionKind::kDoubleRub: return "double rub";
+    case MotionKind::kClick: return "click";
+    case MotionKind::kDoubleClick: return "double click";
+    case MotionKind::kScrollUp: return "scroll up";
+    case MotionKind::kScrollDown: return "scroll down";
+    case MotionKind::kScratch: return "scratch";
+    case MotionKind::kExtend: return "extend";
+    case MotionKind::kReposition: return "reposition";
+  }
+  return "unknown";
+}
+
+std::span<const MotionKind> all_gestures() { return kAllGestures; }
+std::span<const MotionKind> detect_gestures() { return kDetect; }
+std::span<const MotionKind> track_gestures() { return kTrack; }
+std::span<const MotionKind> non_gestures() { return kNonGestures; }
+
+}  // namespace airfinger::synth

@@ -1,0 +1,65 @@
+// Taxonomy of synthesized motions.
+//
+// The paper's gesture set (Fig. 2) has six detect-aimed gestures (circle,
+// double circle, rub, double rub, click, double click) and two track-aimed
+// gestures (scroll up, scroll down). Unintentional motions — scratching,
+// extending, repositioning (Sec. V-J-1) — are modelled as non-gesture kinds.
+#pragma once
+
+#include <array>
+#include <span>
+#include <string_view>
+
+namespace airfinger::synth {
+
+/// Every motion the synthesizer can produce.
+enum class MotionKind : int {
+  kCircle = 0,
+  kDoubleCircle = 1,
+  kRub = 2,
+  kDoubleRub = 3,
+  kClick = 4,
+  kDoubleClick = 5,
+  kScrollUp = 6,
+  kScrollDown = 7,
+  // Non-gesture (unintentional) motions:
+  kScratch = 8,
+  kExtend = 9,
+  kReposition = 10,
+};
+
+inline constexpr int kGestureCount = 8;        ///< Designed gestures.
+inline constexpr int kDetectGestureCount = 6;  ///< Detect-aimed subset.
+inline constexpr int kMotionKindCount = 11;    ///< Including non-gestures.
+
+/// True for the eight designed gestures.
+constexpr bool is_gesture(MotionKind k) {
+  return static_cast<int>(k) < kGestureCount;
+}
+
+/// True for scroll up / scroll down (tracked via ZEBRA).
+constexpr bool is_track_aimed(MotionKind k) {
+  return k == MotionKind::kScrollUp || k == MotionKind::kScrollDown;
+}
+
+/// True for the six detect-aimed gestures.
+constexpr bool is_detect_aimed(MotionKind k) {
+  return is_gesture(k) && !is_track_aimed(k);
+}
+
+/// Human-readable name ("circle", "scroll up", "scratch", ...).
+std::string_view motion_name(MotionKind k);
+
+/// The eight designed gestures in paper order.
+std::span<const MotionKind> all_gestures();
+
+/// The six detect-aimed gestures in paper order.
+std::span<const MotionKind> detect_gestures();
+
+/// The two track-aimed gestures.
+std::span<const MotionKind> track_gestures();
+
+/// The three unintentional-motion kinds.
+std::span<const MotionKind> non_gestures();
+
+}  // namespace airfinger::synth

@@ -1,0 +1,162 @@
+#include "synth/scenario.hpp"
+
+#include <cmath>
+#include <memory>
+#include <numbers>
+
+#include "common/error.hpp"
+#include "synth/smooth_noise.hpp"
+
+namespace airfinger::synth {
+
+using optics::ReflectorPatch;
+using optics::Vec3;
+
+MotionParams resolve_params(const ScenarioSpec& spec) {
+  const auto& u = spec.user;
+  const auto& s = spec.session;
+  const auto& r = spec.repetition;
+  MotionParams p;
+
+  double style_speed = 1.0, style_amp = 1.0, style_phase = 0.0;
+  if (is_gesture(spec.kind)) {
+    const auto& style = u.styles[static_cast<std::size_t>(spec.kind)];
+    style_speed = style.speed_factor;
+    style_amp = style.amplitude_factor;
+    style_phase = style.phase_offset;
+  }
+
+  p.speed = u.speed_factor * s.speed_drift * r.speed * style_speed;
+  p.amplitude = u.amplitude_factor * s.amplitude_drift * r.amplitude *
+                style_amp;
+  p.standoff_m = (spec.standoff_override_m >= 0.0)
+                     ? spec.standoff_override_m
+                     : u.standoff_m + s.standoff_drift_m + r.standoff_m;
+  p.standoff_m = std::max(p.standoff_m, 0.004);
+  p.tilt_rad = u.tilt_rad + s.tilt_drift_rad;
+  p.phase = style_phase + r.phase;
+  p.center_offset = u.center_offset + s.center_drift + r.center;
+  p.mirror_y = spec.non_dominant_hand;
+  p.partial_extent = spec.partial_extent;
+  if (spec.non_dominant_hand) {
+    // The off hand is less practiced: slower and slightly larger movements.
+    p.speed *= 0.92;
+    p.amplitude *= 1.06;
+  }
+  return p;
+}
+
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+
+/// Body-motion displacement for the wristband conditions (Fig. 17).
+struct ActivityMotion {
+  double sway_amp = 0.0;    ///< metres
+  double sway_hz = 0.0;
+  double jitter_scale = 1.0;  ///< multiplies tremor amplitude
+};
+
+ActivityMotion activity_motion(Activity a) {
+  switch (a) {
+    case Activity::kSitting: return {0.0, 0.0, 1.0};
+    case Activity::kStanding: return {0.00025, 0.4, 1.2};
+    case Activity::kWalking: return {0.0008, 1.8, 1.6};
+  }
+  return {};
+}
+
+}  // namespace
+
+Scenario make_scenario(const ScenarioSpec& spec, common::Rng& rng) {
+  const MotionParams params = resolve_params(spec);
+  Motion motion = make_motion(spec.kind, params, rng);
+
+  Scenario sc;
+  sc.params = params;
+  sc.gesture_start_s = spec.repetition.pre_idle_s;
+  sc.gesture_end_s = sc.gesture_start_s + motion.duration_s();
+  sc.duration_s = sc.gesture_end_s + spec.repetition.post_idle_s;
+  if (is_track_aimed(spec.kind)) sc.scroll = scroll_truth(spec.kind, params);
+
+  const auto& user = spec.user;
+  const ActivityMotion act = activity_motion(spec.activity);
+  const double non_dominant_jitter = spec.non_dominant_hand ? 1.5 : 1.0;
+
+  auto tremor = std::make_shared<SmoothNoise3>(
+      rng, 6.0, 12.0,
+      user.tremor_amplitude_m * act.jitter_scale * non_dominant_jitter, 4);
+  auto sway_phase = rng.uniform(0.0, 2.0 * kPi);
+
+  // Optional far-field passer-by: a large reflector ~1 m away, slowly moving.
+  std::shared_ptr<SmoothNoise3> passer_noise;
+  Vec3 passer_base{0.0, rng.uniform(0.5, 2.0), rng.uniform(0.2, 0.8)};
+  if (spec.interference.passer_by)
+    passer_noise = std::make_shared<SmoothNoise3>(rng, 0.3, 1.2, 0.25, 3);
+
+  const double ir_irradiance = spec.interference.ir_remote_irradiance;
+  const double ir_phase = rng.uniform(0.0, 0.1);
+
+  const double gesture_start = sc.gesture_start_s;
+  const double motion_T = motion.duration_s();
+  auto motion_ptr = std::make_shared<Motion>(std::move(motion));
+
+  sc.provider = [=](double t) {
+    sensor::SceneState state;
+
+    // Fingertip pose: hold the start pose during pre-idle, follow the
+    // motion, hold the end pose during post-idle. Tremor rides throughout.
+    const double mt = t - gesture_start;
+    FingertipPose pose = motion_ptr->at(std::clamp(mt, 0.0, motion_T));
+    Vec3 tip = pose.position + tremor->at(t);
+
+    // Body sway (wristband conditions) moves the whole hand relative to the
+    // board mostly vertically, with a smaller lateral component.
+    if (act.sway_amp > 0.0) {
+      const double sway =
+          act.sway_amp * std::sin(2.0 * kPi * act.sway_hz * t + sway_phase);
+      tip.z += sway;
+      tip.x += 0.4 * sway;
+    }
+
+    ReflectorPatch finger;
+    finger.position = tip;
+    finger.normal = pose.normal;
+    finger.area_m2 = user.fingertip_area_m2 * pose.area_scale;
+    finger.reflectivity = user.skin_reflectivity;
+    state.patches.push_back(finger);
+
+    // Rest of the hand: larger patch that follows the gesture centre and a
+    // fraction of the fingertip displacement (the palm barely moves during
+    // micro gestures) — this is the paper's N_static term.
+    const Vec3 center = params.center_offset + Vec3{0, 0, params.standoff_m};
+    ReflectorPatch hand;
+    hand.position = center + (tip - center) * 0.25 + user.hand_offset;
+    hand.normal = Vec3{0, -0.3, -1}.normalized();
+    hand.area_m2 = user.hand_area_m2;
+    hand.reflectivity = user.skin_reflectivity * 0.9;
+    state.patches.push_back(hand);
+
+    if (passer_noise) {
+      ReflectorPatch passer;
+      passer.position = passer_base + passer_noise->at(t);
+      passer.normal = Vec3{0, -1, -0.2}.normalized();
+      passer.area_m2 = 0.35;  // torso-scale reflector
+      passer.reflectivity = 0.4;
+      state.patches.push_back(passer);
+    }
+
+    if (ir_irradiance > 0.0) {
+      // Remote-control bursts: ~10 Hz gating of a strong carrier. The 38 kHz
+      // carrier itself aliases to a quasi-constant level at 100 Hz sampling;
+      // what the PDs see is the burst envelope.
+      const double gate = std::sin(2.0 * kPi * 9.7 * (t + ir_phase));
+      if (gate > 0.2) state.direct.irradiance = ir_irradiance;
+    }
+
+    return state;
+  };
+  return sc;
+}
+
+}  // namespace airfinger::synth

@@ -1,0 +1,59 @@
+// Scenario assembly: motion + behavioural layers → scene state over time.
+//
+// A Scenario is the complete recordable episode for one repetition: idle
+// padding before and after the gesture, physiological tremor, the static
+// hand reflector (the paper's N_static), body-activity modulation (the
+// wristband experiment's sitting/standing/walking), optional far-field
+// passers-by, and optional direct IR-remote interference bursts.
+#pragma once
+
+#include <optional>
+
+#include "sensor/recorder.hpp"
+#include "synth/motion_kind.hpp"
+#include "synth/trajectory.hpp"
+#include "synth/user.hpp"
+
+namespace airfinger::synth {
+
+/// Optional environmental interferers layered onto a scenario.
+struct InterferenceOptions {
+  /// A second person moving 0.5–2 m away ("Other Human Interferences").
+  bool passer_by = false;
+  /// IR remote control: burst irradiance (mW/m^2) directly onto the board;
+  /// 0 disables. Bursts follow a ~38 kHz carrier envelope gated at ~10 Hz.
+  double ir_remote_irradiance = 0.0;
+};
+
+/// Everything needed to record one repetition.
+struct ScenarioSpec {
+  MotionKind kind = MotionKind::kCircle;
+  UserProfile user{};
+  SessionContext session{};
+  RepetitionJitter repetition{};
+  Activity activity = Activity::kSitting;
+  bool non_dominant_hand = false;
+  InterferenceOptions interference{};
+  /// Overrides the user's habitual standoff when >= 0 (distance sweeps).
+  double standoff_override_m = -1.0;
+  /// Scrolls: fraction of the full sweep (see MotionParams::partial_extent).
+  double partial_extent = 1.0;
+};
+
+/// A recordable episode: provider plus ground-truth annotations.
+struct Scenario {
+  sensor::SceneStateProvider provider;
+  double duration_s = 0.0;         ///< Total episode length incl. padding.
+  double gesture_start_s = 0.0;    ///< Ground-truth motion onset.
+  double gesture_end_s = 0.0;      ///< Ground-truth motion offset.
+  MotionParams params{};           ///< Resolved kinematic parameters.
+  std::optional<ScrollTruth> scroll;  ///< Set for track-aimed kinds.
+};
+
+/// Resolves the layered behavioural parameters into MotionParams.
+MotionParams resolve_params(const ScenarioSpec& spec);
+
+/// Builds the full scenario; all randomness is drawn from `rng`.
+Scenario make_scenario(const ScenarioSpec& spec, common::Rng& rng);
+
+}  // namespace airfinger::synth

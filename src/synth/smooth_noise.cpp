@@ -1,0 +1,43 @@
+#include "synth/smooth_noise.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/error.hpp"
+
+namespace airfinger::synth {
+
+SmoothNoise::SmoothNoise(common::Rng& rng, double min_freq_hz,
+                         double max_freq_hz, double scale, int components) {
+  AF_EXPECT(min_freq_hz > 0.0 && max_freq_hz >= min_freq_hz,
+            "invalid SmoothNoise frequency band");
+  AF_EXPECT(components >= 1, "SmoothNoise needs at least one component");
+  components_.reserve(static_cast<std::size_t>(components));
+  for (int k = 0; k < components; ++k) {
+    Component c{};
+    c.freq_hz = rng.uniform(min_freq_hz, max_freq_hz);
+    c.phase = rng.uniform(0.0, 2.0 * std::numbers::pi);
+    c.amplitude = scale / static_cast<double>(k + 1);
+    components_.push_back(c);
+  }
+}
+
+double SmoothNoise::at(double t) const {
+  double v = 0.0;
+  for (const auto& c : components_)
+    v += c.amplitude *
+         std::sin(2.0 * std::numbers::pi * c.freq_hz * t + c.phase);
+  return v;
+}
+
+SmoothNoise3::SmoothNoise3(common::Rng& rng, double min_freq_hz,
+                           double max_freq_hz, double scale, int components)
+    : x_(rng, min_freq_hz, max_freq_hz, scale, components),
+      y_(rng, min_freq_hz, max_freq_hz, scale, components),
+      z_(rng, min_freq_hz, max_freq_hz, scale, components) {}
+
+optics::Vec3 SmoothNoise3::at(double t) const {
+  return {x_.at(t), y_.at(t), z_.at(t)};
+}
+
+}  // namespace airfinger::synth

@@ -1,0 +1,47 @@
+// Band-limited smooth random processes used for physiological tremor,
+// scratching jitter, and body sway. Implemented as a sum of sinusoids with
+// random frequencies and phases: infinitely differentiable, cheap to
+// evaluate at arbitrary t, and fully determined by the Rng at construction.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "optics/vec3.hpp"
+
+namespace airfinger::synth {
+
+/// One-dimensional band-limited noise, zero-mean, unit-ish RMS before scale.
+class SmoothNoise {
+ public:
+  /// Draws `components` sinusoids with frequencies uniform in
+  /// [min_freq_hz, max_freq_hz], random phases, and amplitudes ~1/k so the
+  /// process is dominated by its lower band. `scale` multiplies the output.
+  SmoothNoise(common::Rng& rng, double min_freq_hz, double max_freq_hz,
+              double scale, int components = 4);
+
+  /// Value at time t (seconds).
+  double at(double t) const;
+
+ private:
+  struct Component {
+    double freq_hz;
+    double phase;
+    double amplitude;
+  };
+  std::vector<Component> components_;
+};
+
+/// Independent smooth noise on each axis.
+class SmoothNoise3 {
+ public:
+  SmoothNoise3(common::Rng& rng, double min_freq_hz, double max_freq_hz,
+               double scale, int components = 4);
+
+  optics::Vec3 at(double t) const;
+
+ private:
+  SmoothNoise x_, y_, z_;
+};
+
+}  // namespace airfinger::synth

@@ -1,0 +1,259 @@
+#include "synth/trajectory.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "common/error.hpp"
+#include "synth/smooth_noise.hpp"
+
+namespace airfinger::synth {
+
+using optics::Vec3;
+
+Motion::Motion(double duration_s, std::function<FingertipPose(double)> fn)
+    : duration_s_(duration_s), pose_fn_(std::move(fn)) {
+  AF_EXPECT(duration_s > 0.0, "motion duration must be positive");
+  AF_EXPECT(static_cast<bool>(pose_fn_), "motion requires a pose function");
+}
+
+FingertipPose Motion::at(double t) const {
+  return pose_fn_(std::clamp(t, 0.0, duration_s_));
+}
+
+double minimum_jerk(double s) {
+  s = std::clamp(s, 0.0, 1.0);
+  return s * s * s * (10.0 + s * (-15.0 + 6.0 * s));
+}
+
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+
+/// In-plane unit vectors of the (tilted) gesture frame.
+struct Frame {
+  Vec3 u;  ///< Tilted x direction.
+  Vec3 v;  ///< Tilted y direction.
+};
+
+Frame tilted_frame(double tilt_rad, bool mirror_y) {
+  const double c = std::cos(tilt_rad), s = std::sin(tilt_rad);
+  Frame f;
+  f.u = {c, s, 0.0};
+  f.v = {-s, c, 0.0};
+  if (mirror_y) {
+    f.u.y = -f.u.y;
+    f.v.y = -f.v.y;
+  }
+  return f;
+}
+
+Vec3 pad_normal(double tilt_rad) {
+  return Vec3{0.12 * std::sin(tilt_rad), 0.15, -1.0}.normalized();
+}
+
+/// Hann window over [0,1]; zero at both ends.
+double hann(double s) {
+  s = std::clamp(s, 0.0, 1.0);
+  return 0.5 * (1.0 - std::cos(2.0 * kPi * s));
+}
+
+Motion make_circle(const MotionParams& p, common::Rng& rng, int turns) {
+  const double T = (turns == 1 ? 0.8 : 1.5) / p.speed;
+  const double r = 0.0022 * p.amplitude;
+  const Frame f = tilted_frame(p.tilt_rad, p.mirror_y);
+  // Mostly in-plane circle (as when drawing on a virtual trackpad) with a
+  // mild out-of-plane component: in-plane speed is constant around the
+  // circle, so the RSS modulation never stalls, matching the paper's
+  // continuous circle waveform (Fig. 3).
+  const Vec3 w = (f.v * 0.75 + Vec3{0, 0, 0.55}).normalized();
+  const Vec3 c = p.center_offset + Vec3{0, 0, p.standoff_m};
+  const Vec3 n = pad_normal(p.tilt_rad);
+  const double phase = p.phase;
+  // Small per-repetition ellipse eccentricity.
+  const double ecc = rng.uniform(0.85, 1.15);
+  const double roll = rng.uniform(0.30, 0.45);  // thumb-pad roll depth
+  const double omega = 2.0 * kPi * turns / T;
+  return Motion(T, [=](double t) {
+    const double phi = phase + omega * t;
+    // Hann ramp so the gesture starts and ends at the centre pose.
+    const double env = std::min(1.0, 5.0 * hann(t / T));
+    FingertipPose pose;
+    pose.position = c + (f.u * (r * ecc * std::cos(phi)) +
+                         w * (r * std::sin(phi))) *
+                            env;
+    // Drawing a circle rolls the thumb pad, so the presented area and the
+    // pad normal modulate 90° out of phase with the height: the RSS keeps
+    // changing even where the vertical velocity crosses zero.
+    pose.normal =
+        (n + f.u * (0.35 * std::cos(phi)) + f.v * (0.2 * std::sin(phi)))
+            .normalized();
+    pose.area_scale = 1.0 + roll * std::cos(phi) * env;
+    return pose;
+  });
+}
+
+Motion make_rub(const MotionParams& p, common::Rng& rng, int pairs) {
+  // A rub is a burst of quick strokes (~3 back-and-forths per unit, double
+  // rub = two units), markedly faster than the smooth circle glide — the
+  // tempo difference is the paper's Fig. 3 rub-vs-circle signature.
+  const double T = (pairs == 1 ? 0.7 : 1.3) / p.speed;
+  const double r = 0.0025 * p.amplitude;
+  const Frame f = tilted_frame(p.tilt_rad, p.mirror_y);
+  const Vec3 c = p.center_offset + Vec3{0, 0, p.standoff_m};
+  const Vec3 n = pad_normal(p.tilt_rad);
+  const double bob = rng.uniform(0.15, 0.30) * r;  // slight z bob per stroke
+  const double roll = rng.uniform(0.20, 0.35);     // pad slide depth
+  const double omega = 2.0 * kPi * 3.0 * pairs / T;
+  return Motion(T, [=](double t) {
+    const double s = omega * t;
+    // Rounded-triangle stroke profile: rubbing moves at near-constant
+    // speed with quick reversals, unlike the sinusoidal glide of a circle;
+    // the reversals put brief deep nulls into ΔRSS² (the Fig. 3 rub
+    // signature).
+    const double tri = std::asin(std::sin(s) * 0.98) / std::asin(0.98);
+    FingertipPose pose;
+    pose.position = c + f.u * (r * tri);
+    // The thumb presses slightly harder mid-stroke: small vertical bob at
+    // twice the stroke frequency.
+    pose.position.z -= bob * 0.5 * (1.0 - std::cos(2.0 * s));
+    // Rubbing slides the pad over the index tip: the presented area and
+    // normal modulate with the stroke.
+    pose.area_scale = 1.0 + roll * tri;
+    pose.normal = (n + f.u * (0.3 * tri)).normalized();
+    return pose;
+  });
+}
+
+Motion make_click(const MotionParams& p, common::Rng& rng, int clicks) {
+  const double T = (clicks == 1 ? 0.35 : 0.65) / p.speed;
+  const double depth =
+      std::min(p.standoff_m * 0.75, 0.014 * p.amplitude);
+  const Frame f = tilted_frame(p.tilt_rad, p.mirror_y);
+  const Vec3 c = p.center_offset + Vec3{0, 0, p.standoff_m};
+  const Vec3 n = pad_normal(p.tilt_rad);
+  const double drift = rng.uniform(-0.002, 0.002);
+  return Motion(T, [=](double t) {
+    const double s = t / T;
+    // One dip: sin²(πs); two dips: sin²(2πs) peaks at s=1/4 and 3/4.
+    const double dip = (clicks == 1) ? std::sin(kPi * s)
+                                     : std::sin(2.0 * kPi * s);
+    FingertipPose pose;
+    pose.position = c + f.u * (drift * std::sin(kPi * s));
+    pose.position.z -= depth * dip * dip;
+    pose.normal = n;
+    return pose;
+  });
+}
+
+Motion make_scroll(const MotionParams& p, common::Rng& rng, bool up) {
+  const double T = 0.55 / p.speed;
+  const double half = kScrollHalfSpanM * p.amplitude;
+  const double extent = std::clamp(p.partial_extent, 0.1, 1.0);
+  // Scroll up passes P1 (at -x) first: sweep from -half towards +half.
+  // Partial scrolls stop after `extent` of the full span.
+  const double x0 = up ? -half : +half;
+  const double x1 = x0 + (up ? 1.0 : -1.0) * 2.0 * half * extent;
+  const Frame f = tilted_frame(p.tilt_rad * 0.4, p.mirror_y);
+  const Vec3 c = p.center_offset + Vec3{0, 0, p.standoff_m};
+  const Vec3 n = pad_normal(p.tilt_rad);
+  const double z_arc = rng.uniform(0.0, 0.003);  // slight height arc
+  // Swipe entry/exit: the finger descends into the sweep and lifts away at
+  // the end (users do not hover at the scroll endpoints), so the idle
+  // padding around a scroll is optically dark.
+  const double z_lift = rng.uniform(0.020, 0.032);
+  return Motion(T, [=](double t) {
+    const double s = minimum_jerk(t / T);
+    FingertipPose pose;
+    pose.position = c + f.u * (x0 + (x1 - x0) * s);
+    pose.position.z += z_arc * std::sin(kPi * t / T);
+    const double raw_s = t / T;
+    const double entry = std::max(0.0, 1.0 - raw_s / 0.22);
+    const double exit = std::max(0.0, (raw_s - 0.78) / 0.22);
+    pose.position.z += z_lift * (entry * entry + exit * exit);
+    pose.normal = n;
+    return pose;
+  });
+}
+
+Motion make_scratch(const MotionParams& p, common::Rng& rng) {
+  const double T = rng.uniform(0.4, 1.2) / p.speed;
+  const auto noise = std::make_shared<SmoothNoise3>(
+      rng, 4.0, 9.0, 0.005 * p.amplitude, 5);
+  const Vec3 c = p.center_offset + Vec3{0, 0, p.standoff_m};
+  const Vec3 n = pad_normal(p.tilt_rad);
+  return Motion(T, [=](double t) {
+    FingertipPose pose;
+    pose.position = c + noise->at(t) * hann(t / T);
+    pose.normal = n;
+    return pose;
+  });
+}
+
+Motion make_extend(const MotionParams& p, common::Rng& rng) {
+  const double T = 0.8 / p.speed;
+  const double rise = rng.uniform(0.04, 0.07);
+  const double drift_x = rng.uniform(-0.012, 0.012);
+  const Vec3 c = p.center_offset + Vec3{0, 0, p.standoff_m};
+  const Vec3 n = pad_normal(p.tilt_rad);
+  return Motion(T, [=](double t) {
+    const double s = minimum_jerk(t / T);
+    FingertipPose pose;
+    pose.position = c + Vec3{drift_x * s, 0.0, rise * s};
+    pose.normal = n;
+    return pose;
+  });
+}
+
+Motion make_reposition(const MotionParams& p, common::Rng& rng) {
+  const double T = 1.2 / p.speed;
+  const Vec3 from{rng.uniform(-0.025, -0.012), rng.uniform(-0.012, 0.0), 0};
+  const Vec3 to{rng.uniform(0.012, 0.025), rng.uniform(0.0, 0.015), 0};
+  const double hump = rng.uniform(0.004, 0.012);
+  const Vec3 c = p.center_offset + Vec3{0, 0, p.standoff_m};
+  const Vec3 n = pad_normal(p.tilt_rad);
+  return Motion(T, [=](double t) {
+    const double s = minimum_jerk(t / T);
+    FingertipPose pose;
+    pose.position = c + from + (to - from) * s;
+    pose.position.z += hump * std::sin(kPi * s);
+    pose.normal = n;
+    return pose;
+  });
+}
+
+}  // namespace
+
+Motion make_motion(MotionKind kind, const MotionParams& p, common::Rng& rng) {
+  AF_EXPECT(p.speed > 0.0, "motion speed must be positive");
+  AF_EXPECT(p.amplitude > 0.0, "motion amplitude must be positive");
+  AF_EXPECT(p.standoff_m > 0.0, "standoff must be positive");
+  switch (kind) {
+    case MotionKind::kCircle: return make_circle(p, rng, 1);
+    case MotionKind::kDoubleCircle: return make_circle(p, rng, 2);
+    case MotionKind::kRub: return make_rub(p, rng, 1);
+    case MotionKind::kDoubleRub: return make_rub(p, rng, 2);
+    case MotionKind::kClick: return make_click(p, rng, 1);
+    case MotionKind::kDoubleClick: return make_click(p, rng, 2);
+    case MotionKind::kScrollUp: return make_scroll(p, rng, true);
+    case MotionKind::kScrollDown: return make_scroll(p, rng, false);
+    case MotionKind::kScratch: return make_scratch(p, rng);
+    case MotionKind::kExtend: return make_extend(p, rng);
+    case MotionKind::kReposition: return make_reposition(p, rng);
+  }
+  throw PreconditionError("unknown motion kind");
+}
+
+ScrollTruth scroll_truth(MotionKind kind, const MotionParams& p) {
+  AF_EXPECT(is_track_aimed(kind), "scroll_truth requires a track-aimed kind");
+  ScrollTruth truth;
+  truth.direction = (kind == MotionKind::kScrollUp) ? +1.0 : -1.0;
+  const double half = kScrollHalfSpanM * p.amplitude;
+  const double extent = std::clamp(p.partial_extent, 0.1, 1.0);
+  truth.displacement_m = 2.0 * half * extent;
+  truth.duration_s = 0.55 / p.speed;
+  truth.mean_velocity_mps = truth.displacement_m / truth.duration_s;
+  return truth;
+}
+
+}  // namespace airfinger::synth

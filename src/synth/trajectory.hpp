@@ -1,0 +1,88 @@
+// Parametric fingertip kinematics for every motion kind.
+//
+// Each designed gesture of Fig. 2 is modelled as a smooth 3-D fingertip
+// trajectory above the sensor board (board plane z=0, parts facing +z):
+//   circle / double circle  — one/two revolutions in a tilted plane with a
+//                             substantial out-of-plane (z) component, as when
+//                             drawing against the index fingertip;
+//   rub / double rub        — one/two lateral back-and-forth stroke pairs;
+//   click / double click    — one/two quick dips towards the board;
+//   scroll up / down        — minimum-jerk sweep along the board's x axis
+//                             (up = towards +x, i.e. past P1 first), with
+//                             optional partial extent (the paper's "scroll
+//                             passing only P1" case);
+//   scratch / extend / reposition — unintentional motions of Sec. V-J-1.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "common/rng.hpp"
+#include "optics/vec3.hpp"
+#include "synth/motion_kind.hpp"
+
+namespace airfinger::synth {
+
+/// Instantaneous fingertip pose.
+struct FingertipPose {
+  optics::Vec3 position;
+  optics::Vec3 normal{0, 0, -1};  ///< Pad normal, towards the board.
+  /// Effective reflecting-area multiplier: the presented pad area changes
+  /// as the thumb rolls while drawing (1 = the user's nominal area).
+  double area_scale = 1.0;
+};
+
+/// A continuous finger motion over [0, duration]. Evaluation outside the
+/// interval clamps to the endpoints (finger holds its pose).
+class Motion {
+ public:
+  Motion(double duration_s, std::function<FingertipPose(double)> pose_fn);
+
+  double duration_s() const { return duration_s_; }
+
+  /// Pose at time t; t is clamped into [0, duration].
+  FingertipPose at(double t) const;
+
+ private:
+  double duration_s_;
+  std::function<FingertipPose(double)> pose_fn_;
+};
+
+/// Shape parameters resolved from user × session × repetition layers.
+struct MotionParams {
+  double speed = 1.0;        ///< Tempo multiplier (duration divides by it).
+  double amplitude = 1.0;    ///< Size multiplier.
+  double standoff_m = 0.02;  ///< Fingertip height above the board.
+  double tilt_rad = 0.0;     ///< Rotation of the gesture plane about z.
+  double phase = 0.0;        ///< Starting phase for cyclic gestures.
+  optics::Vec3 center_offset{};  ///< Gesture centre offset in the xy plane.
+  bool mirror_y = false;     ///< Non-dominant hand (mirrored across x axis).
+  /// For scrolls: fraction of the full sweep performed, in (0, 1]. Values
+  /// around 0.45 reproduce the "passes only P1 (or P3)" case of Sec. IV-D.
+  double partial_extent = 1.0;
+};
+
+/// Quintic minimum-jerk interpolation s ∈ [0,1] → [0,1].
+double minimum_jerk(double s);
+
+/// Builds the trajectory for `kind`. `rng` seeds shape irregularities (and
+/// the random course of the non-gesture motions). Deterministic given the
+/// rng state.
+Motion make_motion(MotionKind kind, const MotionParams& p, common::Rng& rng);
+
+/// Ground truth for track-aimed gestures; used to score ZEBRA.
+struct ScrollTruth {
+  double direction = 0.0;       ///< +1 scroll up, -1 scroll down.
+  double mean_velocity_mps = 0.0;
+  double displacement_m = 0.0;  ///< |sweep| actually performed.
+  double duration_s = 0.0;
+};
+
+/// Computes the ground truth of a scroll produced by make_motion with the
+/// same parameters. Requires is_track_aimed(kind).
+ScrollTruth scroll_truth(MotionKind kind, const MotionParams& p);
+
+/// Full sweep half-length (metres) of a scroll at amplitude 1.
+inline constexpr double kScrollHalfSpanM = 0.028;
+
+}  // namespace airfinger::synth

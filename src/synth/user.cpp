@@ -1,0 +1,64 @@
+#include "synth/user.hpp"
+
+#include <numbers>
+
+namespace airfinger::synth {
+
+UserProfile UserProfile::sample(int user_id, common::Rng& rng) {
+  UserProfile u;
+  u.user_id = user_id;
+  u.speed_factor = rng.uniform(0.75, 1.35);
+  u.amplitude_factor = rng.uniform(0.75, 1.30);
+  u.standoff_m = rng.uniform(0.013, 0.024);
+  u.tilt_rad = rng.uniform(-0.35, 0.35);
+  u.skin_reflectivity = rng.uniform(0.45, 0.72);
+  u.fingertip_area_m2 = rng.uniform(1.0e-4, 1.5e-4);
+  u.hand_area_m2 = rng.uniform(5.0e-4, 9.0e-4);
+  u.hand_offset = {rng.uniform(0.008, 0.016), rng.uniform(0.014, 0.028),
+                   rng.uniform(0.012, 0.024)};
+  u.center_offset = {rng.uniform(-0.003, 0.003), rng.uniform(-0.003, 0.003),
+                     0.0};
+  u.tremor_amplitude_m = rng.uniform(5e-5, 2e-4);
+  for (auto& s : u.styles) {
+    s.speed_factor = rng.normal(1.0, 0.08);
+    s.amplitude_factor = rng.normal(1.0, 0.08);
+    s.phase_offset = rng.uniform(0.0, 2.0 * std::numbers::pi);
+  }
+  return u;
+}
+
+SessionContext SessionContext::sample(int session_id, double hour_of_day,
+                                      common::Rng& rng) {
+  SessionContext s;
+  s.session_id = session_id;
+  s.speed_drift = rng.normal(1.0, 0.05);
+  s.amplitude_drift = rng.normal(1.0, 0.05);
+  s.standoff_drift_m = rng.normal(0.0, 0.002);
+  s.tilt_drift_rad = rng.normal(0.0, 0.05);
+  s.center_drift = {rng.normal(0.0, 0.002), rng.normal(0.0, 0.002), 0.0};
+  s.hour_of_day = hour_of_day;
+  return s;
+}
+
+RepetitionJitter RepetitionJitter::sample(common::Rng& rng) {
+  RepetitionJitter r;
+  r.speed = rng.normal(1.0, 0.03);
+  r.amplitude = rng.normal(1.0, 0.03);
+  r.standoff_m = rng.normal(0.0, 0.001);
+  r.center = {rng.normal(0.0, 0.0015), rng.normal(0.0, 0.0015), 0.0};
+  r.phase = rng.uniform(0.0, 2.0 * std::numbers::pi);
+  r.pre_idle_s = rng.uniform(0.3, 0.8);
+  r.post_idle_s = rng.uniform(0.3, 0.8);
+  return r;
+}
+
+std::string_view activity_name(Activity a) {
+  switch (a) {
+    case Activity::kSitting: return "sitting";
+    case Activity::kStanding: return "standing";
+    case Activity::kWalking: return "walking";
+  }
+  return "unknown";
+}
+
+}  // namespace airfinger::synth

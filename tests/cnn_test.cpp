@@ -1,0 +1,97 @@
+// Tests for the 1-D CNN sequence classifier.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "ml/cnn.hpp"
+
+namespace airfinger::ml {
+namespace {
+
+std::vector<double> wave(std::size_t n, double cycles, double phase) {
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i)
+    x[i] = (std::sin(2.0 * std::numbers::pi * cycles * i / n + phase) +
+            1.5) *
+           20.0;
+  return x;
+}
+
+TEST(Cnn, LearnsToSeparateFrequencies) {
+  common::Rng rng(1);
+  std::vector<std::vector<double>> series;
+  std::vector<int> labels;
+  for (int i = 0; i < 40; ++i) {
+    series.push_back(wave(60 + rng.below(20), 1.0, rng.uniform(0, 0.6)));
+    labels.push_back(0);
+    series.push_back(wave(60 + rng.below(20), 5.0, rng.uniform(0, 0.6)));
+    labels.push_back(1);
+  }
+  CnnClassifier cnn;
+  cnn.fit(series, labels);
+  EXPECT_EQ(cnn.num_classes(), 2);
+  common::Rng test_rng(2);
+  int correct = 0;
+  for (int i = 0; i < 30; ++i) {
+    const int label = i % 2;
+    const auto q =
+        wave(70, label == 0 ? 1.0 : 5.0, test_rng.uniform(0, 0.6));
+    if (cnn.predict(q) == label) ++correct;
+  }
+  EXPECT_GE(correct, 26);
+}
+
+TEST(Cnn, ProbabilitiesSumToOne) {
+  common::Rng rng(3);
+  std::vector<std::vector<double>> series;
+  std::vector<int> labels;
+  for (int i = 0; i < 12; ++i) {
+    series.push_back(wave(64, 1.0 + (i % 3), rng.uniform(0, 1)));
+    labels.push_back(i % 3);
+  }
+  CnnClassifier cnn;
+  cnn.fit(series, labels);
+  const auto p = cnn.predict_proba(series[0]);
+  ASSERT_EQ(p.size(), 3u);
+  double total = 0.0;
+  for (double v : p) {
+    EXPECT_GE(v, 0.0);
+    total += v;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(Cnn, DeterministicForSeed) {
+  common::Rng rng(4);
+  std::vector<std::vector<double>> series;
+  std::vector<int> labels;
+  for (int i = 0; i < 16; ++i) {
+    series.push_back(wave(64, i % 2 ? 4.0 : 1.0, rng.uniform(0, 1)));
+    labels.push_back(i % 2);
+  }
+  CnnClassifierConfig config;
+  config.epochs = 5;
+  CnnClassifier a(config), b(config);
+  a.fit(series, labels);
+  b.fit(series, labels);
+  for (const auto& s : series)
+    EXPECT_EQ(a.predict_proba(s), b.predict_proba(s));
+}
+
+TEST(Cnn, PreconditionsEnforced) {
+  CnnClassifier cnn;
+  EXPECT_THROW(cnn.predict(wave(30, 1.0, 0.0)), PreconditionError);
+  EXPECT_THROW(cnn.fit({}, {}), PreconditionError);
+  // Single-class training is rejected.
+  std::vector<std::vector<double>> one{wave(30, 1.0, 0.0)};
+  EXPECT_THROW(cnn.fit(one, {0}), PreconditionError);
+  CnnClassifierConfig bad;
+  bad.kernel = 1;
+  EXPECT_THROW(CnnClassifier{bad}, PreconditionError);
+}
+
+}  // namespace
+}  // namespace airfinger::ml

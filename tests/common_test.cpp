@@ -1,0 +1,349 @@
+// Unit tests for the common foundation library.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/cli.hpp"
+#include "common/csv.hpp"
+#include "common/error.hpp"
+#include "common/matrix.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+
+namespace airfinger::common {
+namespace {
+
+// ---------------------------------------------------------------- Rng
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a() == b()) ++equal;
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(-3.0, 5.0);
+    ASSERT_GE(v, -3.0);
+    ASSERT_LT(v, 5.0);
+  }
+}
+
+TEST(Rng, BelowIsUnbiasedOverSmallRange) {
+  Rng rng(99);
+  std::vector<int> counts(5, 0);
+  for (int i = 0; i < 50000; ++i) ++counts[rng.below(5)];
+  for (int c : counts) EXPECT_NEAR(c, 10000, 400);
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng rng(3);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.range(-2, 2));
+  EXPECT_EQ(seen.size(), 5u);
+  EXPECT_TRUE(seen.count(-2));
+  EXPECT_TRUE(seen.count(2));
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(11);
+  double sum = 0.0, sum2 = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.normal();
+    sum += v;
+    sum2 += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.05);
+}
+
+TEST(Rng, NormalScaled) {
+  Rng rng(12);
+  double sum = 0.0;
+  for (int i = 0; i < 5000; ++i) sum += rng.normal(10.0, 2.0);
+  EXPECT_NEAR(sum / 5000.0, 10.0, 0.15);
+}
+
+TEST(Rng, BernoulliEdges) {
+  Rng rng(1);
+  EXPECT_FALSE(rng.bernoulli(0.0));
+  EXPECT_TRUE(rng.bernoulli(1.0));
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng parent(5);
+  Rng child = parent.split();
+  Rng child2 = parent.split();
+  // Children must differ from each other and the parent's continuation.
+  EXPECT_NE(child(), child2());
+}
+
+TEST(Rng, SplitIsDeterministic) {
+  Rng a(5), b(5);
+  Rng ca = a.split(), cb = b.split();
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(ca(), cb());
+}
+
+TEST(Rng, PermutationIsPermutation) {
+  Rng rng(8);
+  const auto p = rng.permutation(50);
+  std::set<std::size_t> seen(p.begin(), p.end());
+  EXPECT_EQ(seen.size(), 50u);
+  EXPECT_EQ(*seen.begin(), 0u);
+  EXPECT_EQ(*seen.rbegin(), 49u);
+}
+
+TEST(Rng, PreconditionViolationsThrow) {
+  Rng rng(1);
+  EXPECT_THROW(rng.below(0), PreconditionError);
+  EXPECT_THROW(rng.uniform(2.0, 1.0), PreconditionError);
+  EXPECT_THROW(rng.normal(0.0, -1.0), PreconditionError);
+}
+
+// ---------------------------------------------------------------- stats
+
+TEST(Stats, MeanVarianceStd) {
+  const std::vector<double> x{1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(mean(x), 2.5);
+  EXPECT_DOUBLE_EQ(variance(x), 1.25);
+  EXPECT_DOUBLE_EQ(stddev(x), std::sqrt(1.25));
+  EXPECT_DOUBLE_EQ(sample_variance(x), 5.0 / 3.0);
+}
+
+TEST(Stats, MinMaxSumEnergy) {
+  const std::vector<double> x{3, -1, 2};
+  EXPECT_DOUBLE_EQ(min(x), -1.0);
+  EXPECT_DOUBLE_EQ(max(x), 3.0);
+  EXPECT_DOUBLE_EQ(sum(x), 4.0);
+  EXPECT_DOUBLE_EQ(energy(x), 14.0);
+}
+
+TEST(Stats, MedianAndQuantiles) {
+  const std::vector<double> x{5, 1, 3, 2, 4};
+  EXPECT_DOUBLE_EQ(median(x), 3.0);
+  EXPECT_DOUBLE_EQ(quantile(x, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(x, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(quantile(x, 0.5), 3.0);
+  // Interpolation between ranks.
+  const std::vector<double> y{0, 10};
+  EXPECT_DOUBLE_EQ(quantile(y, 0.25), 2.5);
+}
+
+TEST(Stats, SkewnessSymmetricIsZero) {
+  const std::vector<double> x{-2, -1, 0, 1, 2};
+  EXPECT_NEAR(skewness(x), 0.0, 1e-12);
+}
+
+TEST(Stats, KurtosisOfConstantIsZero) {
+  const std::vector<double> x{3, 3, 3};
+  EXPECT_DOUBLE_EQ(kurtosis(x), 0.0);
+  EXPECT_DOUBLE_EQ(skewness(x), 0.0);
+}
+
+TEST(Stats, ArgminArgmaxFirstAndLast) {
+  const std::vector<double> x{1, 5, 0, 5, 0};
+  EXPECT_EQ(argmax(x), 1u);
+  EXPECT_EQ(last_argmax(x), 3u);
+  EXPECT_EQ(argmin(x), 2u);
+  EXPECT_EQ(last_argmin(x), 4u);
+}
+
+TEST(Stats, CountsAroundMean) {
+  const std::vector<double> x{0, 0, 0, 4};  // mean 1
+  EXPECT_EQ(count_below_mean(x), 3u);
+  EXPECT_EQ(count_above_mean(x), 1u);
+}
+
+TEST(Stats, LongestStrikes) {
+  const std::vector<double> x{0, 2, 2, 2, 0, 2, 0, 0};  // mean 1
+  EXPECT_EQ(longest_strike_above_mean(x), 3u);
+  EXPECT_EQ(longest_strike_below_mean(x), 2u);
+}
+
+TEST(Stats, PearsonPerfectAndAnti) {
+  const std::vector<double> x{1, 2, 3, 4};
+  const std::vector<double> y{2, 4, 6, 8};
+  const std::vector<double> z{8, 6, 4, 2};
+  EXPECT_NEAR(pearson(x, y), 1.0, 1e-12);
+  EXPECT_NEAR(pearson(x, z), -1.0, 1e-12);
+}
+
+TEST(Stats, PearsonZeroVarianceIsZero) {
+  const std::vector<double> x{1, 1, 1};
+  const std::vector<double> y{1, 2, 3};
+  EXPECT_DOUBLE_EQ(pearson(x, y), 0.0);
+}
+
+TEST(Stats, MeanAbsChange) {
+  const std::vector<double> x{0, 2, 1};
+  EXPECT_DOUBLE_EQ(mean_abs_change(x), 1.5);
+  const std::vector<double> single{5};
+  EXPECT_DOUBLE_EQ(mean_abs_change(single), 0.0);
+}
+
+TEST(Stats, LinearTrendRecoversLine) {
+  std::vector<double> x;
+  for (int i = 0; i < 20; ++i) x.push_back(3.0 * i + 7.0);
+  const auto [slope, intercept] = linear_trend(x);
+  EXPECT_NEAR(slope, 3.0, 1e-9);
+  EXPECT_NEAR(intercept, 7.0, 1e-9);
+}
+
+TEST(Stats, ZNormalizeProperties) {
+  const std::vector<double> x{1, 2, 3, 4, 5};
+  const auto z = znormalize(x);
+  EXPECT_NEAR(mean(z), 0.0, 1e-12);
+  EXPECT_NEAR(stddev(z), 1.0, 1e-12);
+  const std::vector<double> c{2, 2, 2};
+  for (double v : znormalize(c)) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(Stats, EmptyInputThrows) {
+  const std::vector<double> empty;
+  EXPECT_THROW(mean(empty), PreconditionError);
+  EXPECT_THROW(variance(empty), PreconditionError);
+  EXPECT_THROW(quantile(empty, 0.5), PreconditionError);
+  EXPECT_THROW(argmax(empty), PreconditionError);
+}
+
+// ---------------------------------------------------------------- matrix
+
+TEST(Matrix, IdentitySolve) {
+  Matrix a = Matrix::identity(3);
+  const auto x = solve_linear(a, {1, 2, 3});
+  EXPECT_DOUBLE_EQ(x[0], 1);
+  EXPECT_DOUBLE_EQ(x[1], 2);
+  EXPECT_DOUBLE_EQ(x[2], 3);
+}
+
+TEST(Matrix, SolveKnownSystem) {
+  Matrix a = Matrix::from_rows({{2, 1}, {1, 3}});
+  const auto x = solve_linear(a, {5, 10});
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(Matrix, SolveNeedsPivoting) {
+  Matrix a = Matrix::from_rows({{0, 1}, {1, 0}});
+  const auto x = solve_linear(a, {2, 3});
+  EXPECT_NEAR(x[0], 3.0, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(Matrix, SingularThrows) {
+  Matrix a = Matrix::from_rows({{1, 2}, {2, 4}});
+  EXPECT_THROW(solve_linear(a, {1, 2}), NumericError);
+}
+
+TEST(Matrix, ProductAndTranspose) {
+  Matrix a = Matrix::from_rows({{1, 2}, {3, 4}});
+  Matrix b = Matrix::from_rows({{0, 1}, {1, 0}});
+  Matrix c = a * b;
+  EXPECT_DOUBLE_EQ(c(0, 0), 2);
+  EXPECT_DOUBLE_EQ(c(0, 1), 1);
+  EXPECT_DOUBLE_EQ(c(1, 0), 4);
+  EXPECT_DOUBLE_EQ(c(1, 1), 3);
+  Matrix t = a.transposed();
+  EXPECT_DOUBLE_EQ(t(0, 1), 3);
+}
+
+TEST(Matrix, OlsRecoversCoefficients) {
+  // y = 2*x1 - 3*x2 + 1 with intercept column.
+  Matrix design(50, 3);
+  std::vector<double> y(50);
+  Rng rng(4);
+  for (std::size_t i = 0; i < 50; ++i) {
+    const double x1 = rng.uniform(-1, 1), x2 = rng.uniform(-1, 1);
+    design(i, 0) = 1.0;
+    design(i, 1) = x1;
+    design(i, 2) = x2;
+    y[i] = 1.0 + 2.0 * x1 - 3.0 * x2;
+  }
+  const auto beta = ols(design, y);
+  EXPECT_NEAR(beta[0], 1.0, 1e-6);
+  EXPECT_NEAR(beta[1], 2.0, 1e-6);
+  EXPECT_NEAR(beta[2], -3.0, 1e-6);
+}
+
+TEST(Matrix, VectorApply) {
+  Matrix a = Matrix::from_rows({{1, 2, 3}, {4, 5, 6}});
+  const auto v = a.apply(std::vector<double>{1, 1, 1});
+  EXPECT_DOUBLE_EQ(v[0], 6);
+  EXPECT_DOUBLE_EQ(v[1], 15);
+}
+
+// ---------------------------------------------------------------- table/cli/csv
+
+TEST(Table, FormatsAlignedColumns) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", Table::num(1.5)});
+  t.add_row({"b", Table::pct(0.9731)});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("97.31%"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(Table, ArityMismatchThrows) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only one"}), PreconditionError);
+}
+
+TEST(Cli, ParsesFlagsAndTypes) {
+  Cli cli("test");
+  cli.add_flag("count", "5", "a number");
+  cli.add_flag("name", "x", "a string");
+  cli.add_flag("verbose", "false", "a bool");
+  const char* argv[] = {"prog", "--count=9", "--name", "hello", "--verbose"};
+  ASSERT_TRUE(cli.parse(5, argv));
+  EXPECT_EQ(cli.get_int("count"), 9);
+  EXPECT_EQ(cli.get("name"), "hello");
+  EXPECT_TRUE(cli.get_bool("verbose"));
+}
+
+TEST(Cli, UnknownFlagThrows) {
+  Cli cli("test");
+  const char* argv[] = {"prog", "--nope=1"};
+  EXPECT_THROW(cli.parse(2, argv), PreconditionError);
+}
+
+TEST(Cli, DefaultsApply) {
+  Cli cli("test");
+  cli.add_flag("x", "3.5", "");
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(cli.parse(1, argv));
+  EXPECT_DOUBLE_EQ(cli.get_double("x"), 3.5);
+}
+
+TEST(Csv, EscapesSpecialCharacters) {
+  EXPECT_EQ(csv_escape("plain"), "plain");
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(csv_line({"a", "b,c"}), "a,\"b,c\"");
+}
+
+}  // namespace
+}  // namespace airfinger::common

@@ -1,0 +1,352 @@
+// Unit tests for the airFinger core pipeline components.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "core/ascending.hpp"
+#include "core/data_processor.hpp"
+#include "core/detect_recognizer.hpp"
+#include "core/interference_filter.hpp"
+#include "core/training.hpp"
+#include "core/type_router.hpp"
+#include "core/zebra.hpp"
+
+namespace airfinger::core {
+namespace {
+
+/// Builds a ProcessedTrace directly from per-channel ΔRSS² vectors.
+ProcessedTrace make_processed(std::vector<std::vector<double>> channels,
+                              double rate = 100.0) {
+  ProcessedTrace p;
+  p.sample_rate_hz = rate;
+  p.energy.assign(channels.front().size(), 0.0);
+  for (const auto& ch : channels)
+    for (std::size_t i = 0; i < ch.size(); ++i) p.energy[i] += ch[i];
+  p.delta_rss2 = std::move(channels);
+  return p;
+}
+
+/// Gaussian energy bump centred at `centre` with the given width/height.
+std::vector<double> bump(std::size_t n, double centre, double width,
+                         double height) {
+  std::vector<double> x(n, 0.5);
+  for (std::size_t i = 0; i < n; ++i)
+    x[i] += height * std::exp(-0.5 * std::pow(
+                                  (static_cast<double>(i) - centre) / width,
+                                  2.0));
+  return x;
+}
+
+// ------------------------------------------------------ data processor
+
+TEST(DataProcessor, WindowSamplesAtLeastOne) {
+  DataProcessor proc;
+  EXPECT_EQ(proc.window_samples(100.0), 1u);  // 10 ms at 100 Hz
+  DataProcessorConfig config;
+  config.sbc_window_s = 0.05;
+  DataProcessor proc2(config);
+  EXPECT_EQ(proc2.window_samples(100.0), 5u);
+}
+
+TEST(DataProcessor, ProcessComputesPerChannelSbc) {
+  sensor::MultiChannelTrace trace(2, 100.0);
+  trace.push_frame(std::vector<double>{10.0, 20.0});
+  trace.push_frame(std::vector<double>{13.0, 20.0});
+  const auto p = DataProcessor{}.process(trace);
+  EXPECT_DOUBLE_EQ(p.delta_rss2[0][1], 9.0);
+  EXPECT_DOUBLE_EQ(p.delta_rss2[1][1], 0.0);
+  EXPECT_DOUBLE_EQ(p.energy[1], 9.0);
+}
+
+TEST(DataProcessor, SelectSegmentPrefersOverlap) {
+  ProcessedTrace p;
+  p.segments = {{10, 30}, {50, 90}, {120, 140}};
+  const auto seg = DataProcessor::select_segment(p, 55, 85);
+  EXPECT_EQ(seg.begin, 50u);
+  EXPECT_EQ(seg.end, 90u);
+}
+
+TEST(DataProcessor, SelectSegmentFallsBackToLongest) {
+  ProcessedTrace p;
+  p.segments = {{10, 20}, {50, 95}};
+  const auto seg = DataProcessor::select_segment(p, 200, 220);  // no overlap
+  EXPECT_EQ(seg.begin, 50u);
+}
+
+TEST(DataProcessor, SelectSegmentUsesTruthWhenEmpty) {
+  ProcessedTrace p;
+  const auto seg = DataProcessor::select_segment(p, 5, 25);
+  EXPECT_EQ(seg.begin, 5u);
+  EXPECT_EQ(seg.end, 25u);
+}
+
+// ------------------------------------------------------ ascending/timing
+
+TEST(Ascending, FindsOnsetsOfActiveChannels) {
+  std::vector<double> quiet(100, 0.1);
+  auto active = bump(100, 50, 8, 100.0);
+  const std::span<const double> windows[] = {active, quiet};
+  const auto pts = find_ascending_points(windows);
+  ASSERT_TRUE(pts.ascending[0].has_value());
+  EXPECT_FALSE(pts.ascending[1].has_value());  // silent channel
+  EXPECT_GT(*pts.ascending[0], 20u);
+  EXPECT_LT(*pts.ascending[0], 50u);
+}
+
+TEST(Ascending, PadSegmentClamps) {
+  const auto padded = pad_segment({10, 20}, 25, 0.1, 100.0);
+  EXPECT_EQ(padded.begin, 0u);
+  EXPECT_EQ(padded.end, 25u);
+}
+
+TEST(SegmentTiming, SimultaneousChannelsHaveZeroAsymmetrySweep) {
+  // All channels scaled copies of the same bump: a fixed-spot gesture.
+  auto a = bump(120, 60, 12, 50.0);
+  auto b = bump(120, 60, 12, 100.0);
+  auto c = bump(120, 60, 12, 70.0);
+  const std::span<const double> windows[] = {a, b, c};
+  const auto t = segment_timing(windows, 100.0);
+  EXPECT_LT(std::fabs(t.asymmetry_delta), 0.1);
+}
+
+TEST(SegmentTiming, OrderedChannelsSweepAsymmetry) {
+  auto a = bump(120, 30, 10, 100.0);
+  auto b = bump(120, 60, 10, 100.0);
+  auto c = bump(120, 90, 10, 100.0);
+  const std::span<const double> windows[] = {a, b, c};
+  const auto t = segment_timing(windows, 100.0);
+  EXPECT_GT(t.asymmetry_delta, 0.6);  // P1-first → scroll up direction
+  EXPECT_EQ(t.asymmetry_reversals, 0u);
+  EXPECT_GT(t.transition_s, 0.05);
+}
+
+TEST(SegmentTiming, ReversedOrderFlipsSign) {
+  auto a = bump(120, 90, 10, 100.0);
+  auto b = bump(120, 60, 10, 100.0);
+  auto c = bump(120, 30, 10, 100.0);
+  const std::span<const double> windows[] = {a, b, c};
+  const auto t = segment_timing(windows, 100.0);
+  EXPECT_LT(t.asymmetry_delta, -0.6);
+}
+
+TEST(SegmentTiming, CyclicPatternCountsReversals) {
+  // Energy bounces: P1 bump, P3 bump, P1 bump again (a back-and-forth).
+  std::vector<double> a(160, 0.5), c(160, 0.5);
+  auto add_bump = [](std::vector<double>& x, double centre) {
+    for (std::size_t i = 0; i < x.size(); ++i)
+      x[i] += 100.0 * std::exp(-0.5 * std::pow(
+                                   (static_cast<double>(i) - centre) / 8.0,
+                                   2.0));
+  };
+  add_bump(a, 30);
+  add_bump(c, 70);
+  add_bump(a, 110);
+  std::vector<double> b(160, 1.0);
+  const std::span<const double> windows[] = {a, b, c};
+  const auto t = segment_timing(windows, 100.0);
+  EXPECT_GE(t.asymmetry_reversals, 1u);
+}
+
+// ------------------------------------------------------ router
+
+TEST(TypeRouter, ScrollPatternRoutesTrack) {
+  auto a = bump(120, 30, 10, 200.0);
+  auto b = bump(120, 60, 10, 200.0);
+  auto c = bump(120, 90, 10, 200.0);
+  const auto p = make_processed({a, b, c});
+  const TypeRouter router;
+  EXPECT_EQ(router.route(p, {0, 120}), GestureCategory::kTrackAimed);
+}
+
+TEST(TypeRouter, SimultaneousPatternRoutesDetect) {
+  auto a = bump(120, 60, 12, 80.0);
+  auto b = bump(120, 60, 12, 160.0);
+  auto c = bump(120, 60, 12, 120.0);
+  const auto p = make_processed({a, b, c});
+  const TypeRouter router;
+  EXPECT_EQ(router.route(p, {0, 120}), GestureCategory::kDetectAimed);
+}
+
+TEST(TypeRouter, EmptySignalRoutesDetect) {
+  std::vector<double> quiet(60, 0.0);
+  const auto p = make_processed({quiet, quiet, quiet});
+  const TypeRouter router;
+  EXPECT_EQ(router.route(p, {0, 60}), GestureCategory::kDetectAimed);
+}
+
+// ------------------------------------------------------ ZEBRA
+
+TEST(Zebra, TracksScrollUpDirectionAndVelocity) {
+  auto a = bump(120, 30, 10, 200.0);
+  auto b = bump(120, 60, 10, 200.0);
+  auto c = bump(120, 90, 10, 200.0);
+  const auto p = make_processed({a, b, c});
+  const ZebraTracker zebra;
+  const auto est = zebra.track(p, {0, 120});
+  ASSERT_TRUE(est.has_value());
+  EXPECT_DOUBLE_EQ(est->direction, 1.0);
+  EXPECT_GT(est->velocity_mps, 0.0);
+  ASSERT_TRUE(est->delta_t_s.has_value());
+  EXPECT_FALSE(est->used_experience_velocity);
+}
+
+TEST(Zebra, ScrollDownIsNegative) {
+  auto a = bump(120, 90, 10, 200.0);
+  auto b = bump(120, 60, 10, 200.0);
+  auto c = bump(120, 30, 10, 200.0);
+  const auto p = make_processed({a, b, c});
+  const auto est = ZebraTracker{}.track(p, {0, 120});
+  ASSERT_TRUE(est.has_value());
+  EXPECT_DOUBLE_EQ(est->direction, -1.0);
+}
+
+TEST(Zebra, FasterTransitGivesHigherVelocity) {
+  // Same geometry, half the time offset between outer bumps.
+  auto slow_a = bump(200, 40, 10, 200.0);
+  auto slow_c = bump(200, 160, 10, 200.0);
+  auto fast_a = bump(200, 80, 10, 200.0);
+  auto fast_c = bump(200, 120, 10, 200.0);
+  std::vector<double> mid(200, 1.0);
+  const auto slow = ZebraTracker{}.track(
+      make_processed({slow_a, mid, slow_c}), {0, 200});
+  const auto fast = ZebraTracker{}.track(
+      make_processed({fast_a, mid, fast_c}), {0, 200});
+  ASSERT_TRUE(slow && fast);
+  EXPECT_GT(fast->velocity_mps, slow->velocity_mps);
+}
+
+TEST(Zebra, OnlyP1UsesExperienceVelocity) {
+  auto a = bump(120, 50, 10, 300.0);
+  std::vector<double> quiet(120, 0.2);
+  const auto p = make_processed({a, quiet, quiet});
+  const auto est = ZebraTracker{}.track(p, {0, 120});
+  ASSERT_TRUE(est.has_value());
+  EXPECT_DOUBLE_EQ(est->direction, 1.0);
+  EXPECT_TRUE(est->used_experience_velocity);
+  EXPECT_DOUBLE_EQ(est->velocity_mps,
+                   ZebraConfig{}.experience_velocity_mps);
+}
+
+TEST(Zebra, NothingRisenReturnsNullopt) {
+  std::vector<double> quiet(60, 0.0);
+  const auto p = make_processed({quiet, quiet, quiet});
+  EXPECT_FALSE(ZebraTracker{}.track(p, {0, 60}).has_value());
+}
+
+TEST(Zebra, DisplacementFollowsEquationFive) {
+  ScrollEstimate est;
+  est.direction = -1.0;
+  est.velocity_mps = 0.08;
+  est.duration_s = 0.5;
+  EXPECT_DOUBLE_EQ(est.displacement_at(0.25), -0.02);
+  // min{t, T}: saturates at T.
+  EXPECT_DOUBLE_EQ(est.displacement_at(2.0), -0.04);
+  EXPECT_DOUBLE_EQ(est.final_displacement(), -0.04);
+}
+
+// ------------------------------------------------------ training utils
+
+TEST(Training, LabelSchemes) {
+  using synth::MotionKind;
+  EXPECT_EQ(label_for(MotionKind::kCircle, LabelScheme::kDetectSix), 0);
+  EXPECT_EQ(label_for(MotionKind::kScrollUp, LabelScheme::kDetectSix), -1);
+  EXPECT_EQ(label_for(MotionKind::kScrollUp, LabelScheme::kAllEight), 6);
+  EXPECT_EQ(label_for(MotionKind::kScratch, LabelScheme::kAllEight), -1);
+  EXPECT_EQ(
+      label_for(MotionKind::kScratch, LabelScheme::kGestureVsNonGesture), 0);
+  EXPECT_EQ(
+      label_for(MotionKind::kRub, LabelScheme::kGestureVsNonGesture), 1);
+  EXPECT_EQ(class_count(LabelScheme::kDetectSix), 6);
+  EXPECT_EQ(class_names(LabelScheme::kAllEight).size(), 8u);
+}
+
+TEST(Training, BuildFeatureSetShapes) {
+  synth::CollectionConfig config;
+  config.users = 1;
+  config.sessions = 1;
+  config.repetitions = 2;
+  config.seed = 31;
+  const auto data = synth::DatasetBuilder(config).collect();
+  const DataProcessor proc;
+  const features::FeatureBank bank;
+  const auto set = build_feature_set(data, proc, bank,
+                                     LabelScheme::kAllEight,
+                                     GroupScheme::kUser);
+  EXPECT_GT(set.size(), 0u);
+  EXPECT_EQ(set.feature_count(), bank.feature_count());
+  EXPECT_EQ(set.groups.size(), set.size());
+}
+
+// ------------------------------------------------------ recognizer/filter
+
+TEST(DetectRecognizer, FitSelectsAndPredicts) {
+  synth::CollectionConfig config;
+  config.users = 2;
+  config.sessions = 1;
+  config.repetitions = 6;
+  config.kinds = {synth::MotionKind::kClick, synth::MotionKind::kRub};
+  config.seed = 32;
+  const auto data = synth::DatasetBuilder(config).collect();
+  const DataProcessor proc;
+
+  DetectRecognizerConfig rc;
+  rc.selected_features = 10;
+  DetectRecognizer rec(rc);
+  const auto set = build_feature_set(data, proc, rec.bank(),
+                                     LabelScheme::kDetectSix);
+  rec.fit(set);
+  EXPECT_TRUE(rec.is_fitted());
+  EXPECT_EQ(rec.selected_features().size(), 10u);
+
+  // Training-set accuracy should be near-perfect for a forest.
+  int correct = 0;
+  for (std::size_t i = 0; i < set.size(); ++i)
+    if (rec.predict(set.features[i]) == set.labels[i]) ++correct;
+  EXPECT_GT(static_cast<double>(correct) / static_cast<double>(set.size()),
+            0.95);
+}
+
+TEST(DetectRecognizer, PredictBeforeFitThrows) {
+  DetectRecognizer rec;
+  std::vector<double> row(rec.bank().feature_count(), 0.0);
+  EXPECT_THROW(rec.predict(row), PreconditionError);
+}
+
+TEST(InterferenceFilter, SeparatesGesturesFromNonGestures) {
+  synth::CollectionConfig config;
+  config.users = 2;
+  config.sessions = 1;
+  config.repetitions = 8;
+  config.kinds = {synth::MotionKind::kClick, synth::MotionKind::kCircle,
+                  synth::MotionKind::kScratch, synth::MotionKind::kExtend};
+  config.seed = 33;
+  const auto data = synth::DatasetBuilder(config).collect();
+  const DataProcessor proc;
+  const features::FeatureBank bank;
+  const auto set = build_feature_set(data, proc, bank,
+                                     LabelScheme::kGestureVsNonGesture);
+
+  InterferenceFilter filter(bank);
+  filter.fit(set);
+  EXPECT_TRUE(filter.is_fitted());
+  EXPECT_EQ(filter.feature_indices().size(), 9u);
+  int correct = 0;
+  for (std::size_t i = 0; i < set.size(); ++i)
+    if (filter.is_gesture(set.features[i]) == (set.labels[i] == 1))
+      ++correct;
+  EXPECT_GT(static_cast<double>(correct) / static_cast<double>(set.size()),
+            0.9);
+}
+
+TEST(InterferenceFilter, RejectsNonBinaryLabels) {
+  const features::FeatureBank bank;
+  InterferenceFilter filter(bank);
+  ml::SampleSet set;
+  set.features = {std::vector<double>(bank.feature_count(), 0.0)};
+  set.labels = {2};
+  EXPECT_THROW(filter.fit(set), PreconditionError);
+}
+
+}  // namespace
+}  // namespace airfinger::core

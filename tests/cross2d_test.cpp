@@ -1,0 +1,159 @@
+// Tests for the cross board and the ZEBRA-2D swipe tracker.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "core/zebra2d.hpp"
+#include "sensor/recorder.hpp"
+#include "synth/trajectory.hpp"
+
+namespace airfinger {
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+
+// ------------------------------------------------------------ geometry
+
+TEST(CrossBoard, GeometryIsACross) {
+  const optics::CrossBoardLayout layout;
+  using optics::CrossChannel;
+  const auto xm = optics::cross_pd_position(layout, CrossChannel::kXMinus);
+  const auto xp = optics::cross_pd_position(layout, CrossChannel::kXPlus);
+  const auto ym = optics::cross_pd_position(layout, CrossChannel::kYMinus);
+  const auto yp = optics::cross_pd_position(layout, CrossChannel::kYPlus);
+  const auto c = optics::cross_pd_position(layout, CrossChannel::kCentre);
+  EXPECT_DOUBLE_EQ(xm.x, -xp.x);
+  EXPECT_DOUBLE_EQ(ym.y, -yp.y);
+  EXPECT_DOUBLE_EQ(c.norm(), 0.0);
+  EXPECT_DOUBLE_EQ(xm.y, 0.0);
+  EXPECT_DOUBLE_EQ(ym.x, 0.0);
+}
+
+TEST(CrossBoard, SceneHasFivePdsFourLeds) {
+  const auto scene = optics::make_cross_scene();
+  EXPECT_EQ(scene.pd_count(), 5u);
+  EXPECT_EQ(scene.led_count(), 4u);
+}
+
+TEST(CrossBoard, FingerOnEachArmFavoursThatChannel) {
+  optics::AmbientConditions night;
+  night.hour_of_day = 2.0;
+  const auto scene =
+      optics::make_cross_scene({}, optics::AmbientModel(night));
+  optics::ReflectorPatch finger;
+  finger.position = {0.007, 0.0, 0.018};
+  auto rss = scene.evaluate({&finger, 1}, 0.0);
+  using optics::CrossChannel;
+  EXPECT_GT(rss[static_cast<std::size_t>(CrossChannel::kXPlus)],
+            rss[static_cast<std::size_t>(CrossChannel::kXMinus)]);
+  finger.position = {0.0, -0.007, 0.018};
+  rss = scene.evaluate({&finger, 1}, 0.0);
+  EXPECT_GT(rss[static_cast<std::size_t>(CrossChannel::kYMinus)],
+            rss[static_cast<std::size_t>(CrossChannel::kYPlus)]);
+}
+
+// ------------------------------------------------------------ direction8
+
+TEST(Direction8, SectorsAreCorrect) {
+  using core::SwipeDirection8;
+  EXPECT_EQ(core::to_direction8(0.0), SwipeDirection8::kEast);
+  EXPECT_EQ(core::to_direction8(kPi / 2), SwipeDirection8::kNorth);
+  EXPECT_EQ(core::to_direction8(kPi), SwipeDirection8::kWest);
+  EXPECT_EQ(core::to_direction8(-kPi / 2), SwipeDirection8::kSouth);
+  EXPECT_EQ(core::to_direction8(kPi / 4), SwipeDirection8::kNorthEast);
+  EXPECT_EQ(core::to_direction8(-3 * kPi / 4), SwipeDirection8::kSouthWest);
+  // Sector boundaries snap to the nearest compass point.
+  EXPECT_EQ(core::to_direction8(0.1), SwipeDirection8::kEast);
+  EXPECT_EQ(core::to_direction8(kPi / 2 - 0.1), SwipeDirection8::kNorth);
+}
+
+// ------------------------------------------------------------ tracking
+
+/// Records a straight swipe across the cross board at the given angle.
+core::ProcessedTrace record_swipe(double angle_rad, std::uint64_t seed) {
+  optics::AmbientConditions night;
+  night.hour_of_day = 2.0;
+  const auto scene =
+      optics::make_cross_scene({}, optics::AmbientModel(night));
+  sensor::AdcSpec adc;
+  adc.gain = 90.0;
+  sensor::Recorder recorder(scene, sensor::AdcModel(adc), 100.0);
+
+  const double standoff = 0.018;
+  const optics::Vec3 dir{std::cos(angle_rad), std::sin(angle_rad), 0.0};
+  auto provider = [=](double t) {
+    sensor::SceneState state;
+    optics::ReflectorPatch finger;
+    const double T = 1.4;
+    const double s = synth::minimum_jerk(std::clamp(
+        (t - 0.4) / (T - 0.8), 0.0, 1.0));
+    finger.position = dir * (-0.025 + 0.05 * s);
+    finger.position.z = standoff;
+    // Entry/exit lift like a real swipe.
+    const double raw = std::clamp((t - 0.4) / (T - 0.8), 0.0, 1.0);
+    const double entry = std::max(0.0, 1.0 - raw / 0.2);
+    const double exit = std::max(0.0, (raw - 0.8) / 0.2);
+    finger.position.z += 0.025 * (entry * entry + exit * exit);
+    state.patches.push_back(finger);
+    return state;
+  };
+  common::Rng rng(seed);
+  const auto trace = recorder.record(provider, 1.4, rng);
+  const core::DataProcessor processor;
+  return processor.process(trace);
+}
+
+TEST(Zebra2d, TracksCardinalSwipes) {
+  const core::Zebra2dTracker tracker;
+  const struct {
+    double angle;
+    core::SwipeDirection8 expected;
+  } cases[] = {
+      {0.0, core::SwipeDirection8::kEast},
+      {kPi / 2, core::SwipeDirection8::kNorth},
+      {kPi, core::SwipeDirection8::kWest},
+      {-kPi / 2, core::SwipeDirection8::kSouth},
+  };
+  for (const auto& c : cases) {
+    const auto p = record_swipe(c.angle, 11);
+    const auto swipe =
+        tracker.track(p, {0, p.energy.size()});
+    ASSERT_TRUE(swipe.has_value()) << "angle " << c.angle;
+    EXPECT_EQ(core::to_direction8(swipe->angle_rad), c.expected)
+        << "angle " << c.angle << " got " << swipe->angle_rad;
+  }
+}
+
+TEST(Zebra2d, DiagonalSwipeActivatesBothAxes) {
+  const core::Zebra2dTracker tracker;
+  const auto p = record_swipe(kPi / 4, 13);
+  const auto swipe = tracker.track(p, {0, p.energy.size()});
+  ASSERT_TRUE(swipe.has_value());
+  EXPECT_GT(swipe->direction_x, 0.0);
+  EXPECT_GT(swipe->direction_y, 0.0);
+  EXPECT_GT(swipe->speed_mps, 0.0);
+}
+
+TEST(Zebra2d, RequiresFiveChannels) {
+  core::ProcessedTrace p;
+  p.sample_rate_hz = 100.0;
+  p.delta_rss2.assign(3, std::vector<double>(50, 1.0));
+  p.energy.assign(50, 3.0);
+  const core::Zebra2dTracker tracker;
+  EXPECT_THROW(tracker.track(p, {0, 50}), PreconditionError);
+}
+
+TEST(Zebra2d, QuietSceneReturnsNothing) {
+  core::ProcessedTrace p;
+  p.sample_rate_hz = 100.0;
+  p.delta_rss2.assign(5, std::vector<double>(80, 0.2));
+  p.energy.assign(80, 1.0);
+  const core::Zebra2dTracker tracker;
+  EXPECT_FALSE(tracker.track(p, {0, 80}).has_value());
+}
+
+}  // namespace
+}  // namespace airfinger

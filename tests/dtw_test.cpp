@@ -1,0 +1,104 @@
+// Tests for the DTW distance and 1-NN sequence classifier.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "ml/dtw.hpp"
+
+namespace airfinger::ml {
+namespace {
+
+std::vector<double> sine(std::size_t n, double cycles, double phase = 0.0) {
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i)
+    x[i] = std::sin(2.0 * std::numbers::pi * cycles * i / n + phase);
+  return x;
+}
+
+TEST(Dtw, IdenticalSequencesHaveZeroDistance) {
+  const auto a = sine(50, 2.0);
+  EXPECT_NEAR(dtw_distance(a, a, 50), 0.0, 1e-12);
+}
+
+TEST(Dtw, SymmetricDistance) {
+  const auto a = sine(40, 1.0), b = sine(40, 3.0);
+  EXPECT_NEAR(dtw_distance(a, b, 40), dtw_distance(b, a, 40), 1e-9);
+}
+
+TEST(Dtw, WarpingAbsorbsTimeShift) {
+  // A small phase shift costs far less under DTW than under Euclidean.
+  const auto a = sine(60, 2.0);
+  const auto b = sine(60, 2.0, 0.4);
+  double euclid = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    euclid += (a[i] - b[i]) * (a[i] - b[i]);
+  euclid = std::sqrt(euclid);
+  EXPECT_LT(dtw_distance(a, b, 10), 0.4 * euclid);
+}
+
+TEST(Dtw, DifferentShapesAreFarApart) {
+  const auto slow = sine(60, 1.0);
+  const auto fast = sine(60, 6.0);
+  const auto shifted = sine(60, 1.0, 0.3);
+  EXPECT_GT(dtw_distance(slow, fast, 10),
+            5.0 * dtw_distance(slow, shifted, 10));
+}
+
+TEST(Dtw, HandlesUnequalLengths) {
+  const auto a = sine(40, 2.0);
+  const auto b = sine(80, 2.0);
+  EXPECT_LT(dtw_distance(a, b, 12), 1.5);  // same shape, resampled by warp
+}
+
+TEST(Dtw, ClassifierSeparatesWaveformFamilies) {
+  common::Rng rng(1);
+  std::vector<std::vector<double>> series;
+  std::vector<int> labels;
+  for (int i = 0; i < 40; ++i) {
+    const double jitter = rng.uniform(-0.3, 0.3);
+    auto slow = sine(70 + static_cast<int>(rng.below(20)), 1.0, jitter);
+    auto fast = sine(70 + static_cast<int>(rng.below(20)), 4.0, jitter);
+    for (auto& v : slow) v = (v + 1.2) * 10.0;  // positive "energy"
+    for (auto& v : fast) v = (v + 1.2) * 10.0;
+    series.push_back(slow);
+    labels.push_back(0);
+    series.push_back(fast);
+    labels.push_back(1);
+  }
+  DtwClassifier dtw;
+  dtw.fit(series, labels);
+  common::Rng test_rng(2);
+  int correct = 0;
+  for (int i = 0; i < 30; ++i) {
+    const int label = i % 2;
+    auto q = sine(75, label == 0 ? 1.0 : 4.0, test_rng.uniform(-0.3, 0.3));
+    for (auto& v : q) v = (v + 1.2) * 10.0;
+    if (dtw.predict(q) == label) ++correct;
+  }
+  EXPECT_GT(correct, 27);
+}
+
+TEST(Dtw, TemplateCapIsRespected) {
+  DtwClassifierConfig config;
+  config.max_templates_per_class = 3;
+  DtwClassifier dtw(config);
+  std::vector<std::vector<double>> series(20, sine(30, 2.0));
+  std::vector<int> labels(20, 0);
+  dtw.fit(series, labels);
+  EXPECT_EQ(dtw.template_count(), 3u);
+}
+
+TEST(Dtw, PreconditionsEnforced) {
+  DtwClassifier dtw;
+  EXPECT_THROW(dtw.predict(sine(30, 1.0)), PreconditionError);
+  EXPECT_THROW(dtw.fit({}, {}), PreconditionError);
+  const std::vector<double> empty;
+  const auto a = sine(10, 1.0);
+  EXPECT_THROW(dtw_distance(a, empty, 5), PreconditionError);
+}
+
+}  // namespace
+}  // namespace airfinger::ml

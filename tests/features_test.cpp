@@ -1,0 +1,259 @@
+// Unit tests for the feature measures and the feature bank.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "features/bank.hpp"
+#include "features/measures.hpp"
+
+namespace airfinger::features {
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+
+std::vector<double> sine(std::size_t n, double cycles) {
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i)
+    x[i] = std::sin(2.0 * kPi * cycles * static_cast<double>(i) /
+                    static_cast<double>(n));
+  return x;
+}
+
+std::vector<double> noise(std::size_t n, std::uint64_t seed) {
+  common::Rng rng(seed);
+  std::vector<double> x(n);
+  for (auto& v : x) v = rng.normal();
+  return x;
+}
+
+// ------------------------------------------------------------- measures
+
+TEST(Measures, SampleEntropyOrdersRegularVsRandom) {
+  const auto regular = sine(200, 4.0);
+  const auto random = noise(200, 1);
+  EXPECT_LT(sample_entropy(regular), sample_entropy(random));
+}
+
+TEST(Measures, SampleEntropyConstantIsZero) {
+  const std::vector<double> x(50, 2.0);
+  EXPECT_DOUBLE_EQ(sample_entropy(x), 0.0);
+}
+
+TEST(Measures, ApproximateEntropyOrdersRegularVsRandom) {
+  const auto regular = sine(150, 3.0);
+  const auto random = noise(150, 2);
+  EXPECT_LT(approximate_entropy(regular), approximate_entropy(random));
+}
+
+TEST(Measures, CidHigherForComplexSignal) {
+  const auto smooth = sine(128, 1.0);
+  const auto rough = noise(128, 3);
+  EXPECT_LT(cid_ce(smooth), cid_ce(rough));
+}
+
+TEST(Measures, CidZeroForShortInput) {
+  const std::vector<double> x{1.0};
+  EXPECT_DOUBLE_EQ(cid_ce(x), 0.0);
+}
+
+TEST(Measures, C3OfSymmetricNoiseNearZero) {
+  const auto x = noise(5000, 4);
+  EXPECT_NEAR(c3(x, 1), 0.0, 0.1);
+}
+
+TEST(Measures, TimeReversalAsymmetryDetectsAsymmetry) {
+  // A sawtooth (slow rise, fast fall) is time-asymmetric.
+  std::vector<double> saw(300);
+  for (int i = 0; i < 300; ++i) saw[i] = (i % 30) / 30.0;
+  const auto sym = sine(300, 10.0);
+  EXPECT_GT(std::fabs(time_reversal_asymmetry(saw, 1)),
+            std::fabs(time_reversal_asymmetry(sym, 1)) + 1e-4);
+}
+
+TEST(Measures, EnergyRatioChunksSumToOne) {
+  const auto x = noise(97, 5);  // non-divisible length
+  double total = 0.0;
+  for (std::size_t c = 0; c < 5; ++c)
+    total += energy_ratio_by_chunks(x, 5, c);
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(Measures, EnergyRatioFocusedChunk) {
+  std::vector<double> x(100, 0.0);
+  for (int i = 40; i < 60; ++i) x[i] = 1.0;  // all energy in chunk 2
+  EXPECT_NEAR(energy_ratio_by_chunks(x, 5, 2), 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(energy_ratio_by_chunks(x, 5, 0), 0.0);
+}
+
+TEST(Measures, AdfStationaryIsStronglyNegative) {
+  // White noise is stationary: the ADF statistic should be very negative.
+  const auto stationary = noise(300, 6);
+  // A random walk has a unit root: statistic near zero.
+  common::Rng rng(7);
+  std::vector<double> walk(300);
+  walk[0] = 0.0;
+  for (std::size_t i = 1; i < walk.size(); ++i)
+    walk[i] = walk[i - 1] + rng.normal();
+  EXPECT_LT(adf_statistic(stationary), -5.0);
+  EXPECT_GT(adf_statistic(walk), -3.0);
+}
+
+TEST(Measures, DegenerateInputsAreFinite) {
+  const std::vector<double> tiny{1.0, 2.0};
+  EXPECT_TRUE(std::isfinite(sample_entropy(tiny)));
+  EXPECT_TRUE(std::isfinite(approximate_entropy(tiny)));
+  EXPECT_TRUE(std::isfinite(adf_statistic(tiny)));
+  EXPECT_DOUBLE_EQ(c3(tiny, 1), 0.0);
+  EXPECT_DOUBLE_EQ(time_reversal_asymmetry(tiny, 1), 0.0);
+}
+
+// ------------------------------------------------------------- bank
+
+TEST(Bank, NamesMatchFeatureCount) {
+  const FeatureBank bank;
+  EXPECT_EQ(bank.names().size(), bank.feature_count());
+  EXPECT_GT(bank.feature_count(), 60u);
+}
+
+TEST(Bank, InterferenceSubsetHasNineEntries) {
+  const FeatureBank bank;
+  EXPECT_EQ(bank.interference_indices().size(), 9u);
+  for (std::size_t idx : bank.interference_indices())
+    EXPECT_LT(idx, bank.feature_count());
+}
+
+TEST(Bank, ExtractIsDeterministicAndFinite) {
+  const FeatureBank bank;
+  const auto x = noise(150, 8);
+  std::vector<double> seg(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) seg[i] = x[i] * x[i];
+  const auto a = bank.extract(seg);
+  const auto b = bank.extract(seg);
+  ASSERT_EQ(a.size(), bank.feature_count());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i], b[i]);
+    EXPECT_TRUE(std::isfinite(a[i])) << bank.names()[i];
+  }
+}
+
+TEST(Bank, ConstantSegmentIsHandled) {
+  const FeatureBank bank;
+  const std::vector<double> seg(64, 5.0);
+  const auto f = bank.extract(seg);
+  for (std::size_t i = 0; i < f.size(); ++i)
+    EXPECT_TRUE(std::isfinite(f[i])) << bank.names()[i];
+}
+
+TEST(Bank, ShortSegmentThrows) {
+  const FeatureBank bank;
+  const std::vector<double> seg{1.0, 2.0, 3.0};
+  EXPECT_THROW(bank.extract(std::span<const double>(seg)),
+               PreconditionError);
+}
+
+TEST(Bank, ShapeFeaturesAreAmplitudeInvariant) {
+  const FeatureBank bank;
+  auto base = sine(120, 3.0);
+  for (auto& v : base) v = (v + 1.5) * (v + 1.5);  // positive "energy"
+  std::vector<double> scaled(base);
+  // Log compression turns a pure scale into a shift that z-normalization
+  // removes, so shape features should barely move for large scale factors.
+  for (auto& v : scaled) v *= 1000.0;
+  const auto fa = bank.extract(std::span<const double>(base));
+  const auto fb = bank.extract(std::span<const double>(scaled));
+  const auto& names = bank.names();
+  // log1p turns a pure scale into an (approximate) shift that the
+  // z-normalization removes; small-value regions deviate, so the
+  // invariance is approximate: require the bulk of the shape features to
+  // move very little, rather than a hard bound on every statistic.
+  std::size_t compared = 0, stable = 0;
+  for (std::size_t i = 0; i < fa.size(); ++i) {
+    if (names[i].rfind("log_", 0) == 0 || names[i] == "coeff_variation")
+      continue;  // scale features are supposed to move
+    ++compared;
+    if (std::fabs(fa[i] - fb[i]) <= 0.3) ++stable;
+  }
+  EXPECT_GT(static_cast<double>(stable) / static_cast<double>(compared),
+            0.85);
+}
+
+TEST(Bank, DurationReachesLengthFeature) {
+  const FeatureBank bank;
+  auto short_seg = sine(60, 2.0);
+  auto long_seg = sine(180, 6.0);
+  for (auto& v : short_seg) v = v * v;
+  for (auto& v : long_seg) v = v * v;
+  const auto fs = bank.extract(std::span<const double>(short_seg));
+  const auto fl = bank.extract(std::span<const double>(long_seg));
+  const auto& names = bank.names();
+  const auto it =
+      std::find(names.begin(), names.end(), std::string("log_length"));
+  ASSERT_NE(it, names.end());
+  const auto idx = static_cast<std::size_t>(it - names.begin());
+  EXPECT_GT(fl[idx], fs[idx]);
+}
+
+TEST(Bank, CrossChannelZerosForSingleChannel) {
+  const FeatureBank bank;
+  const auto x = sine(100, 2.0);
+  std::vector<double> seg(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) seg[i] = x[i] * x[i] + 1.0;
+  const auto f = bank.extract(std::span<const double>(seg));
+  const auto& names = bank.names();
+  for (std::size_t i = 0; i < names.size(); ++i)
+    if (names[i].rfind("xc_", 0) == 0)
+      EXPECT_DOUBLE_EQ(f[i], 0.0) << names[i];
+}
+
+TEST(Bank, CrossChannelAsymmetryDetectsOrderedEnergy) {
+  const FeatureBank bank;
+  // Channel 1 bursts early, channel 3 late: a scroll-like pattern.
+  std::vector<double> c1(120, 0.1), c2(120, 0.1), c3v(120, 0.1);
+  for (int i = 20; i < 45; ++i) c1[i] = 50.0;
+  for (int i = 50; i < 70; ++i) c2[i] = 50.0;
+  for (int i = 75; i < 100; ++i) c3v[i] = 50.0;
+  const std::span<const double> chans[] = {c1, c2, c3v};
+  const auto f = bank.extract(std::span<const std::span<const double>>(chans));
+  const auto& names = bank.names();
+  const auto find = [&](const char* n) {
+    return static_cast<std::size_t>(
+        std::find(names.begin(), names.end(), std::string(n)) -
+        names.begin());
+  };
+  EXPECT_GT(f[find("xc_asym_delta")], 0.5);
+  EXPECT_GT(f[find("xc_tau_spread")], 0.2);
+}
+
+TEST(Bank, EnvelopeBurstCountSeparatesSingleFromDouble) {
+  const FeatureBank bank;
+  // One hump vs two well-separated humps.
+  std::vector<double> one(150, 0.0), two(150, 0.0);
+  for (int i = 50; i < 100; ++i)
+    one[i] = std::sin(kPi * (i - 50) / 50.0) * 100.0;
+  for (int i = 20; i < 60; ++i)
+    two[i] = std::sin(kPi * (i - 20) / 40.0) * 100.0;
+  for (int i = 90; i < 130; ++i)
+    two[i] = std::sin(kPi * (i - 90) / 40.0) * 100.0;
+  const auto f1 = bank.extract(std::span<const double>(one));
+  const auto f2 = bank.extract(std::span<const double>(two));
+  const auto& names = bank.names();
+  const auto idx = static_cast<std::size_t>(
+      std::find(names.begin(), names.end(), std::string("env_burst_count")) -
+      names.begin());
+  EXPECT_LT(f1[idx], f2[idx]);
+}
+
+TEST(Bank, CustomOptionsChangeArity) {
+  FeatureBankOptions opt;
+  opt.fft_coefficients = 4;
+  opt.cross_channel = false;
+  const FeatureBank small(opt);
+  const FeatureBank standard;
+  EXPECT_LT(small.feature_count(), standard.feature_count());
+}
+
+}  // namespace
+}  // namespace airfinger::features

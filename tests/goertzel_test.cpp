@@ -1,0 +1,82 @@
+// Tests for the Goertzel detector (the lock-in mechanism reference).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "dsp/goertzel.hpp"
+
+namespace airfinger::dsp {
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+
+std::vector<double> tone(std::size_t n, double freq, double rate,
+                         double amplitude) {
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i)
+    x[i] = amplitude * std::sin(2.0 * kPi * freq * i / rate);
+  return x;
+}
+
+TEST(Goertzel, RecoversToneAmplitude) {
+  const auto x = tone(1000, 1000.0, 8000.0, 3.0);
+  EXPECT_NEAR(goertzel_magnitude(x, 1000.0, 8000.0), 3.0, 0.05);
+}
+
+TEST(Goertzel, RejectsOffBinTone) {
+  const auto x = tone(1024, 1000.0, 8000.0, 3.0);
+  EXPECT_LT(goertzel_magnitude(x, 2600.0, 8000.0), 0.15);
+}
+
+TEST(Goertzel, ExtractsCarrierFromAmbientContamination) {
+  // A modulated-LED reflection (1 kHz carrier, amplitude = reflection
+  // strength) buried under a large DC ambient + slow drift: the Goertzel
+  // bin reads the reflection and ignores the ambient — the lock-in effect
+  // modelled by sensor::FrontEndSpec.
+  const double rate = 8000.0, carrier = 1000.0;
+  common::Rng rng(1);
+  std::vector<double> x(2000);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double t = static_cast<double>(i) / rate;
+    const double reflection = 0.4 * std::sin(2.0 * kPi * carrier * t);
+    const double ambient = 50.0 + 5.0 * std::sin(2.0 * kPi * 2.0 * t);
+    x[i] = reflection + ambient + rng.normal(0.0, 0.05);
+  }
+  EXPECT_NEAR(goertzel_magnitude(x, carrier, rate), 0.4, 0.05);
+}
+
+TEST(Goertzel, StreamingBlocksTrackAmplitudeChanges) {
+  const double rate = 8000.0, carrier = 1000.0;
+  GoertzelDetector det(carrier, rate, 80);
+  std::vector<double> magnitudes;
+  for (int i = 0; i < 800; ++i) {
+    const double t = static_cast<double>(i) / rate;
+    const double amplitude = i < 400 ? 1.0 : 2.0;  // reflection doubles
+    if (det.push(amplitude * std::sin(2.0 * kPi * carrier * t)))
+      magnitudes.push_back(det.last_magnitude());
+  }
+  ASSERT_EQ(magnitudes.size(), 10u);
+  EXPECT_NEAR(magnitudes[2], 1.0, 0.1);
+  EXPECT_NEAR(magnitudes[8], 2.0, 0.1);
+}
+
+TEST(Goertzel, ResetClearsState) {
+  GoertzelDetector det(1000.0, 8000.0, 16);
+  for (int i = 0; i < 10; ++i) det.push(1.0);
+  det.reset();
+  EXPECT_DOUBLE_EQ(det.last_magnitude(), 0.0);
+}
+
+TEST(Goertzel, PreconditionsEnforced) {
+  const std::vector<double> empty;
+  EXPECT_THROW(goertzel_magnitude(empty, 100.0, 1000.0), PreconditionError);
+  const std::vector<double> x(16, 1.0);
+  EXPECT_THROW(goertzel_magnitude(x, 600.0, 1000.0), PreconditionError);
+  EXPECT_THROW(GoertzelDetector(100.0, 1000.0, 4), PreconditionError);
+}
+
+}  // namespace
+}  // namespace airfinger::dsp

@@ -1,0 +1,87 @@
+// Tests for the discrete HMM and the per-class HMM classifier.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "ml/hmm.hpp"
+
+namespace airfinger::ml {
+namespace {
+
+std::vector<double> wave(std::size_t n, double cycles, double phase,
+                         double offset = 1.5) {
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i)
+    x[i] = (std::sin(2.0 * std::numbers::pi * cycles * i / n + phase) +
+            offset) *
+           20.0;
+  return x;
+}
+
+TEST(Hmm, LikelihoodImprovesWithTraining) {
+  // Sequences that mostly emit symbol 0 then symbol 3.
+  std::vector<std::vector<std::size_t>> sequences;
+  common::Rng rng(1);
+  for (int s = 0; s < 20; ++s) {
+    std::vector<std::size_t> seq;
+    for (int i = 0; i < 15; ++i) seq.push_back(rng.bernoulli(0.1) ? 1 : 0);
+    for (int i = 0; i < 15; ++i) seq.push_back(rng.bernoulli(0.1) ? 2 : 3);
+    sequences.push_back(seq);
+  }
+  DiscreteHmm model(4, 4, 7);
+  const double before = model.log_likelihood(sequences[0]);
+  model.train(sequences, 15, 1e-3);
+  const double after = model.log_likelihood(sequences[0]);
+  EXPECT_GT(after, before + 1.0);
+}
+
+TEST(Hmm, TrainedModelPrefersItsOwnPattern) {
+  std::vector<std::vector<std::size_t>> rising, falling;
+  for (int s = 0; s < 15; ++s) {
+    rising.push_back({0, 0, 1, 1, 2, 2, 3, 3});
+    falling.push_back({3, 3, 2, 2, 1, 1, 0, 0});
+  }
+  DiscreteHmm up(4, 4, 1), down(4, 4, 2);
+  up.train(rising, 20, 1e-3);
+  down.train(falling, 20, 1e-3);
+  const std::vector<std::size_t> probe_up{0, 0, 1, 2, 2, 3, 3, 3};
+  EXPECT_GT(up.log_likelihood(probe_up), down.log_likelihood(probe_up));
+}
+
+TEST(Hmm, ClassifierSeparatesWaveformFamilies) {
+  common::Rng rng(3);
+  std::vector<std::vector<double>> series;
+  std::vector<int> labels;
+  for (int i = 0; i < 30; ++i) {
+    series.push_back(wave(60 + rng.below(20), 1.0, rng.uniform(0, 0.5)));
+    labels.push_back(0);
+    series.push_back(wave(60 + rng.below(20), 4.0, rng.uniform(0, 0.5)));
+    labels.push_back(1);
+  }
+  HmmClassifier hmm;
+  hmm.fit(series, labels);
+  EXPECT_EQ(hmm.num_classes(), 2);
+  common::Rng test_rng(4);
+  int correct = 0;
+  for (int i = 0; i < 20; ++i) {
+    const int label = i % 2;
+    const auto q =
+        wave(70, label == 0 ? 1.0 : 4.0, test_rng.uniform(0, 0.5));
+    if (hmm.predict(q) == label) ++correct;
+  }
+  EXPECT_GE(correct, 17);
+}
+
+TEST(Hmm, PreconditionsEnforced) {
+  EXPECT_THROW(DiscreteHmm(1, 4, 0), PreconditionError);
+  EXPECT_THROW(DiscreteHmm(4, 1, 0), PreconditionError);
+  HmmClassifier hmm;
+  EXPECT_THROW(hmm.predict(wave(30, 1.0, 0.0)), PreconditionError);
+  EXPECT_THROW(hmm.fit({}, {}), PreconditionError);
+}
+
+}  // namespace
+}  // namespace airfinger::ml

@@ -1,0 +1,329 @@
+// Unit tests for the classifiers, metrics, and split utilities.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "ml/data.hpp"
+#include "ml/decision_tree.hpp"
+#include "ml/logistic.hpp"
+#include "ml/metrics.hpp"
+#include "ml/naive_bayes.hpp"
+#include "ml/random_forest.hpp"
+
+namespace airfinger::ml {
+namespace {
+
+/// Three Gaussian blobs in 2-D, linearly separable-ish.
+SampleSet blobs(std::size_t per_class, double spread, std::uint64_t seed) {
+  common::Rng rng(seed);
+  SampleSet set;
+  const double centres[3][2] = {{0, 0}, {5, 0}, {0, 5}};
+  for (int c = 0; c < 3; ++c) {
+    for (std::size_t i = 0; i < per_class; ++i) {
+      set.features.push_back({centres[c][0] + rng.normal(0, spread),
+                              centres[c][1] + rng.normal(0, spread)});
+      set.labels.push_back(c);
+      set.groups.push_back(static_cast<int>(i % 4));
+    }
+  }
+  return set;
+}
+
+double holdout_accuracy(Classifier& clf, const SampleSet& data,
+                        std::uint64_t seed) {
+  common::Rng rng(seed);
+  const Split split = stratified_split(data, 0.3, rng);
+  clf.fit(data.subset(split.train));
+  int correct = 0;
+  for (std::size_t i : split.test)
+    if (clf.predict(data.features[i]) == data.labels[i]) ++correct;
+  return static_cast<double>(correct) /
+         static_cast<double>(split.test.size());
+}
+
+// ---------------------------------------------------------------- data
+
+TEST(Data, NumClassesAndValidate) {
+  SampleSet s;
+  s.features = {{1.0}, {2.0}};
+  s.labels = {0, 2};
+  EXPECT_EQ(s.num_classes(), 3);
+  s.validate();
+  s.labels = {0};
+  EXPECT_THROW(s.validate(), PreconditionError);
+}
+
+TEST(Data, SubsetAndProject) {
+  SampleSet s;
+  s.features = {{1, 2, 3}, {4, 5, 6}, {7, 8, 9}};
+  s.labels = {0, 1, 2};
+  const std::size_t rows[] = {2, 0};
+  const auto sub = s.subset(rows);
+  EXPECT_EQ(sub.size(), 2u);
+  EXPECT_EQ(sub.labels[0], 2);
+  EXPECT_DOUBLE_EQ(sub.features[1][0], 1.0);
+  const std::size_t cols[] = {2, 0};
+  const auto proj = s.project(cols);
+  EXPECT_DOUBLE_EQ(proj.features[0][0], 3.0);
+  EXPECT_DOUBLE_EQ(proj.features[0][1], 1.0);
+}
+
+TEST(Data, StratifiedSplitKeepsProportions) {
+  const auto data = blobs(40, 0.5, 1);
+  common::Rng rng(2);
+  const auto split = stratified_split(data, 0.25, rng);
+  EXPECT_EQ(split.test.size(), 30u);   // 10 per class
+  EXPECT_EQ(split.train.size(), 90u);
+  std::vector<int> class_counts(3, 0);
+  for (std::size_t i : split.test) ++class_counts[data.labels[i]];
+  for (int c : class_counts) EXPECT_EQ(c, 10);
+}
+
+TEST(Data, KfoldPartitionsEverything) {
+  const auto data = blobs(20, 0.5, 3);
+  common::Rng rng(4);
+  const auto folds = stratified_kfold(data, 4, rng);
+  ASSERT_EQ(folds.size(), 4u);
+  std::set<std::size_t> seen;
+  for (const auto& f : folds) {
+    for (std::size_t i : f.test) {
+      EXPECT_TRUE(seen.insert(i).second);  // each row tested exactly once
+    }
+    EXPECT_EQ(f.train.size() + f.test.size(), data.size());
+  }
+  EXPECT_EQ(seen.size(), data.size());
+}
+
+TEST(Data, LeaveOneGroupOut) {
+  const auto data = blobs(8, 0.5, 5);  // groups 0..3
+  const auto splits = leave_one_group_out(data);
+  ASSERT_EQ(splits.size(), 4u);
+  for (const auto& s : splits) {
+    ASSERT_FALSE(s.test.empty());
+    const int g = data.groups[s.test.front()];
+    for (std::size_t i : s.test) EXPECT_EQ(data.groups[i], g);
+    for (std::size_t i : s.train) EXPECT_NE(data.groups[i], g);
+  }
+}
+
+// ---------------------------------------------------------------- tree
+
+TEST(DecisionTree, GiniBasics) {
+  const std::vector<double> pure{10, 0};
+  EXPECT_DOUBLE_EQ(gini_impurity(pure, 10), 0.0);
+  const std::vector<double> even{5, 5};
+  EXPECT_DOUBLE_EQ(gini_impurity(even, 10), 0.5);
+}
+
+TEST(DecisionTree, LearnsAxisAlignedSplit) {
+  SampleSet s;
+  for (int i = 0; i < 50; ++i) {
+    s.features.push_back({static_cast<double>(i)});
+    s.labels.push_back(i < 25 ? 0 : 1);
+  }
+  DecisionTree tree;
+  tree.fit(s);
+  EXPECT_EQ(tree.predict(std::vector<double>{3.0}), 0);
+  EXPECT_EQ(tree.predict(std::vector<double>{40.0}), 1);
+}
+
+TEST(DecisionTree, LearnsXor) {
+  // XOR needs depth 2: not linearly separable.
+  SampleSet s;
+  common::Rng rng(6);
+  for (int i = 0; i < 200; ++i) {
+    const double a = rng.uniform(-1, 1), b = rng.uniform(-1, 1);
+    s.features.push_back({a, b});
+    s.labels.push_back((a > 0) != (b > 0) ? 1 : 0);
+  }
+  DecisionTree tree;
+  double acc = holdout_accuracy(tree, s, 7);
+  EXPECT_GT(acc, 0.9);
+}
+
+TEST(DecisionTree, ImportancesSumToOne) {
+  const auto data = blobs(30, 0.5, 8);
+  DecisionTree tree;
+  tree.fit(data);
+  double total = 0.0;
+  for (double v : tree.feature_importances()) total += v;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(DecisionTree, ProbaSumsToOne) {
+  const auto data = blobs(30, 1.0, 9);
+  DecisionTree tree;
+  tree.fit(data);
+  const auto p = tree.predict_proba(data.features[0]);
+  double total = 0.0;
+  for (double v : p) total += v;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(DecisionTree, RespectsMaxDepth) {
+  DecisionTreeConfig config;
+  config.max_depth = 1;
+  const auto data = blobs(30, 0.5, 10);
+  DecisionTree tree(config);
+  tree.fit(data);
+  EXPECT_LE(tree.node_count(), 3u);  // root + 2 leaves
+}
+
+TEST(DecisionTree, PredictBeforeFitThrows) {
+  DecisionTree tree;
+  EXPECT_THROW(tree.predict(std::vector<double>{1.0}), PreconditionError);
+}
+
+// ---------------------------------------------------------------- forest
+
+TEST(RandomForest, SeparatesBlobs) {
+  const auto data = blobs(60, 1.0, 11);
+  RandomForest forest;
+  EXPECT_GT(holdout_accuracy(forest, data, 12), 0.95);
+}
+
+TEST(RandomForest, DeterministicForSeed) {
+  const auto data = blobs(40, 1.0, 13);
+  RandomForestConfig config;
+  config.seed = 77;
+  RandomForest a(config), b(config);
+  a.fit(data);
+  b.fit(data);
+  for (const auto& row : data.features)
+    EXPECT_EQ(a.predict(row), b.predict(row));
+}
+
+TEST(RandomForest, ImportancePointsAtInformativeFeature) {
+  // Feature 0 informative, feature 1 noise.
+  SampleSet s;
+  common::Rng rng(14);
+  for (int i = 0; i < 300; ++i) {
+    const double x = rng.uniform(-1, 1);
+    s.features.push_back({x, rng.uniform(-1, 1)});
+    s.labels.push_back(x > 0 ? 1 : 0);
+  }
+  RandomForest forest;
+  forest.fit(s);
+  EXPECT_GT(forest.feature_importances()[0],
+            forest.feature_importances()[1] * 5.0);
+  const auto top = top_k_features(forest, 1);
+  EXPECT_EQ(top[0], 0u);
+}
+
+TEST(RandomForest, ProbaAveragesTrees) {
+  const auto data = blobs(40, 0.8, 15);
+  RandomForest forest;
+  forest.fit(data);
+  const auto p = forest.predict_proba(data.features[0]);
+  double total = 0.0;
+  for (double v : p) total += v;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+// ---------------------------------------------------------------- LR / BNB
+
+TEST(LogisticRegression, SeparatesBlobs) {
+  const auto data = blobs(60, 1.0, 16);
+  LogisticRegression lr;
+  EXPECT_GT(holdout_accuracy(lr, data, 17), 0.93);
+}
+
+TEST(LogisticRegression, ProbabilitiesSumToOne) {
+  const auto data = blobs(30, 1.0, 18);
+  LogisticRegression lr;
+  lr.fit(data);
+  const auto p = lr.predict_proba(data.features[5]);
+  double total = 0.0;
+  for (double v : p) total += v;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(BernoulliNaiveBayes, LearnsBinaryPatterns) {
+  // Class 0: both features low; class 1: both high.
+  SampleSet s;
+  common::Rng rng(19);
+  for (int i = 0; i < 200; ++i) {
+    const bool one = i % 2;
+    s.features.push_back({(one ? 5.0 : 1.0) + rng.normal(0, 0.3),
+                          (one ? 5.0 : 1.0) + rng.normal(0, 0.3)});
+    s.labels.push_back(one ? 1 : 0);
+  }
+  BernoulliNaiveBayes bnb;
+  EXPECT_GT(holdout_accuracy(bnb, s, 20), 0.95);
+}
+
+TEST(Classifiers, NamesAreStable) {
+  EXPECT_EQ(RandomForest{}.name(), "RF");
+  EXPECT_EQ(DecisionTree{}.name(), "DT");
+  EXPECT_EQ(LogisticRegression{}.name(), "LR");
+  EXPECT_EQ(BernoulliNaiveBayes{}.name(), "BNB");
+}
+
+// ---------------------------------------------------------------- metrics
+
+TEST(Metrics, CountsAndAccuracy) {
+  ConfusionMatrix cm(2);
+  cm.add(0, 0);
+  cm.add(0, 1);
+  cm.add(1, 1);
+  cm.add(1, 1);
+  EXPECT_EQ(cm.total(), 4u);
+  EXPECT_DOUBLE_EQ(cm.accuracy(), 0.75);
+  EXPECT_DOUBLE_EQ(cm.recall(0), 0.5);
+  EXPECT_DOUBLE_EQ(cm.recall(1), 1.0);
+  EXPECT_DOUBLE_EQ(cm.precision(1), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(cm.rate(0, 1), 0.5);
+}
+
+TEST(Metrics, MacroAveragesSkipAbsentClasses) {
+  ConfusionMatrix cm(3);
+  cm.add(0, 0);
+  cm.add(1, 0);
+  // Class 2 never appears as truth.
+  EXPECT_DOUBLE_EQ(cm.macro_recall(), 0.5);  // (1.0 + 0.0) / 2
+}
+
+TEST(Metrics, MergeAccumulates) {
+  ConfusionMatrix a(2), b(2);
+  a.add(0, 0);
+  b.add(1, 1);
+  a.merge(b);
+  EXPECT_EQ(a.total(), 2u);
+  EXPECT_DOUBLE_EQ(a.accuracy(), 1.0);
+}
+
+TEST(Metrics, ClassAccuracyOneVsRest) {
+  ConfusionMatrix cm(3);
+  cm.add(0, 0);
+  cm.add(0, 1);  // error involving classes 0 and 1
+  cm.add(2, 2);
+  EXPECT_DOUBLE_EQ(cm.class_accuracy(2), 1.0);
+  EXPECT_DOUBLE_EQ(cm.class_accuracy(0), 2.0 / 3.0);
+}
+
+TEST(Metrics, EvaluateFromVectors) {
+  const std::vector<int> truth{0, 1, 1};
+  const std::vector<int> pred{0, 1, 0};
+  const auto cm = evaluate(truth, pred, 2);
+  EXPECT_NEAR(cm.accuracy(), 2.0 / 3.0, 1e-12);
+}
+
+TEST(Metrics, ToStringContainsClassNames) {
+  ConfusionMatrix cm(2, {"cats", "dogs"});
+  cm.add(0, 0);
+  const auto s = cm.to_string();
+  EXPECT_NE(s.find("cats"), std::string::npos);
+  EXPECT_NE(s.find("dogs"), std::string::npos);
+}
+
+TEST(Metrics, OutOfRangeThrows) {
+  ConfusionMatrix cm(2);
+  EXPECT_THROW(cm.add(0, 2), PreconditionError);
+  EXPECT_THROW(cm.add(-1, 0), PreconditionError);
+}
+
+}  // namespace
+}  // namespace airfinger::ml

@@ -1,0 +1,284 @@
+// Unit tests for the photometric NIR substrate.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "optics/ambient.hpp"
+#include "optics/emitter.hpp"
+#include "optics/photodiode.hpp"
+#include "optics/scene.hpp"
+#include "optics/vec3.hpp"
+
+namespace airfinger::optics {
+namespace {
+
+constexpr double kDeg = 3.14159265358979 / 180.0;
+
+// ---------------------------------------------------------------- Vec3
+
+TEST(Vec3, BasicAlgebra) {
+  const Vec3 a{1, 2, 3}, b{4, 5, 6};
+  EXPECT_DOUBLE_EQ((a + b).x, 5);
+  EXPECT_DOUBLE_EQ((b - a).z, 3);
+  EXPECT_DOUBLE_EQ(a.dot(b), 32);
+  const Vec3 c = a.cross(b);
+  EXPECT_DOUBLE_EQ(c.x, -3);
+  EXPECT_DOUBLE_EQ(c.y, 6);
+  EXPECT_DOUBLE_EQ(c.z, -3);
+  EXPECT_DOUBLE_EQ((Vec3{3, 4, 0}.norm()), 5.0);
+}
+
+TEST(Vec3, NormalizedUnitLength) {
+  const Vec3 v = Vec3{1, 2, 2}.normalized();
+  EXPECT_NEAR(v.norm(), 1.0, 1e-12);
+  const Vec3 zero = Vec3{}.normalized();
+  EXPECT_DOUBLE_EQ(zero.norm(), 0.0);
+}
+
+// ---------------------------------------------------------------- LED
+
+TEST(NirLed, InverseSquareFalloff) {
+  NirLed led({}, {0, 0, 0}, {0, 0, 1});
+  const double e1 = led.irradiance_at({0, 0, 0.01});
+  const double e2 = led.irradiance_at({0, 0, 0.02});
+  EXPECT_NEAR(e1 / e2, 4.0, 1e-9);
+}
+
+TEST(NirLed, OnAxisBrighterThanOffAxis) {
+  NirLed led({}, {0, 0, 0}, {0, 0, 1});
+  const double on = led.irradiance_at({0, 0, 0.02});
+  const double off = led.irradiance_at({0.008, 0, 0.02});
+  EXPECT_GT(on, off);
+  EXPECT_GT(off, 0.0);
+}
+
+TEST(NirLed, HalfPowerAtHalfAngle) {
+  NirLedSpec spec;
+  spec.viewing_angle_deg = 20.0;
+  NirLed led(spec, {0, 0, 0}, {0, 0, 1});
+  const double d = 0.05;
+  const double on = led.irradiance_at({0, 0, d});
+  // Point at the 10° half-angle, same distance.
+  const double theta = 10.0 * kDeg;
+  const double off =
+      led.irradiance_at({d * std::sin(theta), 0, d * std::cos(theta)});
+  EXPECT_NEAR(off / on, 0.5, 0.02);
+}
+
+TEST(NirLed, NothingBehindEmitter) {
+  NirLed led({}, {0, 0, 0}, {0, 0, 1});
+  EXPECT_DOUBLE_EQ(led.irradiance_at({0, 0, -0.01}), 0.0);
+}
+
+TEST(NirLed, PowerScalesLinearly) {
+  NirLedSpec weak, strong;
+  weak.power_mw = 10;
+  strong.power_mw = 30;
+  NirLed a(weak, {0, 0, 0}, {0, 0, 1});
+  NirLed b(strong, {0, 0, 0}, {0, 0, 1});
+  const Vec3 p{0.001, 0, 0.02};
+  EXPECT_NEAR(b.irradiance_at(p) / a.irradiance_at(p), 3.0, 1e-9);
+}
+
+TEST(NirLed, InvalidSpecThrows) {
+  NirLedSpec bad;
+  bad.viewing_angle_deg = 0.0;
+  EXPECT_THROW(NirLed(bad, {}, {0, 0, 1}), PreconditionError);
+  NirLedSpec negative;
+  negative.power_mw = -1.0;
+  EXPECT_THROW(NirLed(negative, {}, {0, 0, 1}), PreconditionError);
+  EXPECT_THROW(NirLed({}, {}, Vec3{}), PreconditionError);
+}
+
+// ---------------------------------------------------------------- PD
+
+TEST(NirPhotodiode, AcceptanceDecreasesWithAngle) {
+  NirPhotodiode pd({}, {0, 0, 0}, {0, 0, 1});
+  const double a0 = pd.acceptance_from({0, 0, 0.02});
+  const double a20 = pd.acceptance_from({0.007, 0, 0.02});
+  const double a40 = pd.acceptance_from({0.017, 0, 0.02});
+  EXPECT_GT(a0, a20);
+  EXPECT_GT(a20, a40);
+  EXPECT_NEAR(a0, 1.0, 1e-9);
+}
+
+TEST(NirPhotodiode, ShieldBlocksBeyondTaper) {
+  NirPhotodiodeSpec spec;
+  spec.viewing_angle_deg = 80.0;
+  spec.shield_fov_factor = 0.6;  // 24° + 10° taper → blind beyond 34°
+  NirPhotodiode pd(spec, {0, 0, 0}, {0, 0, 1});
+  const double theta = 40.0 * kDeg;
+  const double d = 0.05;
+  EXPECT_DOUBLE_EQ(
+      pd.acceptance_from({d * std::sin(theta), 0, d * std::cos(theta)}),
+      0.0);
+}
+
+TEST(NirPhotodiode, NothingBehindSensorPlane) {
+  NirPhotodiode pd({}, {0, 0, 0}, {0, 0, 1});
+  EXPECT_DOUBLE_EQ(pd.acceptance_from({0, 0, -0.01}), 0.0);
+}
+
+TEST(NirPhotodiode, PatchSignalInverseSquare) {
+  NirPhotodiode pd({}, {0, 0, 0}, {0, 0, 1});
+  const double s1 =
+      pd.signal_from_patch({0, 0, 0.01}, {0, 0, -1}, 1000.0, 1e-4);
+  const double s2 =
+      pd.signal_from_patch({0, 0, 0.02}, {0, 0, -1}, 1000.0, 1e-4);
+  EXPECT_NEAR(s1 / s2, 4.0, 1e-9);
+}
+
+TEST(NirPhotodiode, PatchFacingAwayGivesNothing) {
+  NirPhotodiode pd({}, {0, 0, 0}, {0, 0, 1});
+  EXPECT_DOUBLE_EQ(
+      pd.signal_from_patch({0, 0, 0.02}, {0, 0, 1}, 1000.0, 1e-4), 0.0);
+}
+
+TEST(NirPhotodiode, AmbientScalesWithTransmission) {
+  NirPhotodiodeSpec open, closed;
+  open.shield_ambient_transmission = 0.5;
+  closed.shield_ambient_transmission = 0.25;
+  NirPhotodiode a(open, {}, {0, 0, 1});
+  NirPhotodiode b(closed, {}, {0, 0, 1});
+  EXPECT_NEAR(a.signal_from_ambient(100.0) / b.signal_from_ambient(100.0),
+              2.0, 1e-9);
+}
+
+// ---------------------------------------------------------------- ambient
+
+TEST(Ambient, NightIsDark) {
+  EXPECT_DOUBLE_EQ(AmbientModel::solar_nir_irradiance(3.0), 0.0);
+  EXPECT_DOUBLE_EQ(AmbientModel::solar_nir_irradiance(22.0), 0.0);
+}
+
+TEST(Ambient, PeaksNearThirteen) {
+  const double noonish = AmbientModel::solar_nir_irradiance(13.0);
+  EXPECT_GT(noonish, AmbientModel::solar_nir_irradiance(8.0));
+  EXPECT_GT(noonish, AmbientModel::solar_nir_irradiance(19.0));
+  EXPECT_GT(noonish, 0.0);
+}
+
+TEST(Ambient, DriftStaysBounded) {
+  AmbientConditions cond;
+  cond.hour_of_day = 12.0;
+  cond.drift_fraction = 0.05;
+  cond.flicker_fraction = 0.01;
+  AmbientModel model(cond);
+  const double base = AmbientModel::solar_nir_irradiance(12.0) *
+                      cond.indoor_attenuation;
+  for (double t = 0; t < 60.0; t += 0.37) {
+    const double e = model.irradiance_at(t);
+    EXPECT_GE(e, base * 0.93);
+    EXPECT_LE(e, base * 1.07);
+  }
+}
+
+TEST(Ambient, InvalidHourThrows) {
+  AmbientConditions cond;
+  cond.hour_of_day = 25.0;
+  EXPECT_THROW(AmbientModel{cond}, PreconditionError);
+}
+
+// ---------------------------------------------------------------- scene
+
+Scene test_scene(double hour = 2.0 /* night: no ambient */) {
+  AmbientConditions cond;
+  cond.hour_of_day = hour;
+  return make_prototype_scene({}, AmbientModel(cond));
+}
+
+TEST(Scene, PrototypeGeometryAlternates) {
+  BoardLayout layout;
+  // Parts P1 L1 P2 L2 P3 at the configured pitch, centred at the origin.
+  EXPECT_NEAR(prototype_pd_x(layout, 0), -2 * layout.pitch_m, 1e-12);
+  EXPECT_NEAR(prototype_pd_x(layout, 1), 0.0, 1e-12);
+  EXPECT_NEAR(prototype_pd_x(layout, 2), 2 * layout.pitch_m, 1e-12);
+  EXPECT_NEAR(prototype_led_x(layout, 0), -layout.pitch_m, 1e-12);
+  EXPECT_NEAR(prototype_led_x(layout, 1), layout.pitch_m, 1e-12);
+}
+
+TEST(Scene, FingerAboveCentreLightsAllPds) {
+  Scene scene = test_scene();
+  ReflectorPatch finger;
+  finger.position = {0, 0, 0.02};
+  const auto rss = scene.evaluate({&finger, 1}, 0.0);
+  ASSERT_EQ(rss.size(), 3u);
+  for (double v : rss) EXPECT_GT(v, 0.0);
+}
+
+TEST(Scene, SymmetricGeometryGivesSymmetricOuterSignals) {
+  Scene scene = test_scene();
+  ReflectorPatch finger;
+  finger.position = {0, 0, 0.02};
+  const auto rss = scene.evaluate({&finger, 1}, 0.0);
+  EXPECT_NEAR(rss[0], rss[2], rss[0] * 1e-6);
+}
+
+TEST(Scene, CloserFingerGivesMoreSignal) {
+  Scene scene = test_scene();
+  ReflectorPatch near_finger, far_finger;
+  near_finger.position = {0, 0, 0.015};
+  far_finger.position = {0, 0, 0.03};
+  const auto near_rss = scene.evaluate({&near_finger, 1}, 0.0);
+  const auto far_rss = scene.evaluate({&far_finger, 1}, 0.0);
+  EXPECT_GT(near_rss[1], far_rss[1]);
+}
+
+TEST(Scene, FingerOnP1SideFavoursP1) {
+  Scene scene = test_scene();
+  ReflectorPatch finger;
+  finger.position = {-0.008, 0, 0.02};  // over P1's side
+  const auto rss = scene.evaluate({&finger, 1}, 0.0);
+  EXPECT_GT(rss[0], rss[2]);
+}
+
+TEST(Scene, NoPatchesStillAmbientCoupled) {
+  AmbientConditions cond;
+  cond.hour_of_day = 13.0;  // bright day
+  Scene scene = make_prototype_scene({}, AmbientModel(cond));
+  const auto rss = scene.evaluate({}, 0.0);
+  for (double v : rss) EXPECT_GT(v, 0.0);
+}
+
+TEST(Scene, AmbientShadowReducesCoupling) {
+  AmbientConditions cond;
+  cond.hour_of_day = 13.0;
+  Scene scene = make_prototype_scene({}, AmbientModel(cond));
+  // A large patch hovering close blocks skylight; with high reflectivity 0
+  // it adds nothing back (pure shadow test).
+  ReflectorPatch block;
+  block.position = {0, 0, 0.01};
+  block.area_m2 = 4e-4;
+  block.reflectivity = 0.0;
+  const auto open = scene.evaluate({}, 0.0);
+  const auto blocked = scene.evaluate({&block, 1}, 0.0);
+  EXPECT_LT(blocked[1], open[1]);
+}
+
+TEST(Scene, DirectInjectionAddsSignal) {
+  Scene scene = test_scene();
+  DirectInjection remote;
+  remote.irradiance = 1e4;
+  const auto quiet = scene.evaluate({}, 0.0);
+  const auto zapped = scene.evaluate({}, 0.0, remote);
+  for (std::size_t i = 0; i < quiet.size(); ++i)
+    EXPECT_GT(zapped[i], quiet[i]);
+}
+
+TEST(Scene, InvalidLayoutThrows) {
+  BoardLayout bad;
+  bad.pd_count = 2;
+  bad.led_count = 2;
+  EXPECT_THROW(make_prototype_scene(bad), PreconditionError);
+}
+
+TEST(Scene, IncidentIrradiancePositiveInsideBeams) {
+  Scene scene = test_scene();
+  ReflectorPatch finger;
+  finger.position = {0, 0, 0.02};
+  EXPECT_GT(scene.incident_irradiance(finger), 0.0);
+}
+
+}  // namespace
+}  // namespace airfinger::optics

@@ -1,0 +1,225 @@
+// Unit tests for the acquisition substrate.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+#include "sensor/adc.hpp"
+#include "sensor/prototype.hpp"
+#include "sensor/recorder.hpp"
+#include "sensor/trace.hpp"
+
+namespace airfinger::sensor {
+namespace {
+
+// ---------------------------------------------------------------- trace
+
+TEST(Trace, PushFrameAndAccessors) {
+  MultiChannelTrace t(2, 100.0);
+  t.push_frame(std::vector<double>{1.0, 2.0});
+  t.push_frame(std::vector<double>{3.0, 4.0});
+  EXPECT_EQ(t.sample_count(), 2u);
+  EXPECT_DOUBLE_EQ(t.duration_s(), 0.02);
+  EXPECT_DOUBLE_EQ(t.channel(0)[1], 3.0);
+  EXPECT_DOUBLE_EQ(t.channel(1)[0], 2.0);
+}
+
+TEST(Trace, SummedAddsChannels) {
+  MultiChannelTrace t(3, 100.0);
+  t.push_frame(std::vector<double>{1, 2, 3});
+  const auto s = t.summed();
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_DOUBLE_EQ(s[0], 6.0);
+}
+
+TEST(Trace, SliceExtractsRange) {
+  MultiChannelTrace t(1, 50.0);
+  for (int i = 0; i < 10; ++i)
+    t.push_frame(std::vector<double>{static_cast<double>(i)});
+  const auto s = t.slice(2, 5);
+  EXPECT_EQ(s.sample_count(), 3u);
+  EXPECT_DOUBLE_EQ(s.channel(0)[0], 2.0);
+  EXPECT_DOUBLE_EQ(s.channel(0)[2], 4.0);
+}
+
+TEST(Trace, AppendConcatenates) {
+  MultiChannelTrace a(1, 100.0), b(1, 100.0);
+  a.push_frame(std::vector<double>{1.0});
+  b.push_frame(std::vector<double>{2.0});
+  a.append(b);
+  EXPECT_EQ(a.sample_count(), 2u);
+  EXPECT_DOUBLE_EQ(a.channel(0)[1], 2.0);
+}
+
+TEST(Trace, MismatchedAppendThrows) {
+  MultiChannelTrace a(1, 100.0), b(2, 100.0), c(1, 50.0);
+  EXPECT_THROW(a.append(b), PreconditionError);
+  EXPECT_THROW(a.append(c), PreconditionError);
+}
+
+TEST(Trace, BadFrameArityThrows) {
+  MultiChannelTrace t(2, 100.0);
+  EXPECT_THROW(t.push_frame(std::vector<double>{1.0}), PreconditionError);
+}
+
+// ---------------------------------------------------------------- adc
+
+TEST(Adc, OutputWithinRange) {
+  AdcModel adc{AdcSpec{}};
+  common::Rng rng(1);
+  for (double v = -0.01; v < 0.02; v += 0.0005) {
+    const double counts = adc.convert(v, rng);
+    EXPECT_GE(counts, 0.0);
+    EXPECT_LE(counts, adc.full_scale());
+  }
+}
+
+TEST(Adc, SaturatesAtFullScale) {
+  AdcModel adc{AdcSpec{}};
+  common::Rng rng(2);
+  EXPECT_DOUBLE_EQ(adc.convert(100.0, rng), adc.full_scale());
+  EXPECT_TRUE(adc.would_saturate(100.0));
+  EXPECT_FALSE(adc.would_saturate(0.0));
+}
+
+TEST(Adc, MonotoneInInputOnAverage) {
+  AdcModel adc{AdcSpec{}};
+  common::Rng rng(3);
+  double lo = 0.0, hi = 0.0;
+  for (int i = 0; i < 300; ++i) {
+    lo += adc.convert(0.002, rng);
+    hi += adc.convert(0.004, rng);
+  }
+  EXPECT_GT(hi, lo);
+}
+
+TEST(Adc, NoiselessIsDeterministicAndQuantized) {
+  AdcSpec spec;
+  spec.thermal_noise_v = 0.0;
+  spec.shot_noise_coeff = 0.0;
+  AdcModel adc(spec);
+  common::Rng rng(4);
+  const double a = adc.convert(0.003, rng);
+  const double b = adc.convert(0.003, rng);
+  EXPECT_DOUBLE_EQ(a, b);
+  EXPECT_DOUBLE_EQ(a, std::floor(a));  // integer counts
+}
+
+TEST(Adc, ThermalNoiseHasExpectedScale) {
+  AdcSpec spec;
+  spec.thermal_noise_v = 2e-3;  // ≈ 2 counts at 10 bits / 1 V
+  spec.shot_noise_coeff = 0.0;
+  AdcModel adc(spec);
+  common::Rng rng(5);
+  std::vector<double> samples;
+  // 0.004 photocurrent × gain 100 = 0.42 V incl. offset: mid-scale.
+  for (int i = 0; i < 4000; ++i) samples.push_back(adc.convert(0.004, rng));
+  const double sd = common::stddev(samples);
+  EXPECT_NEAR(sd, 2e-3 * 1023.0, 0.5);
+}
+
+TEST(Adc, GlitchesInjectOutliers) {
+  AdcSpec spec;
+  spec.glitch_probability = 0.2;
+  spec.glitch_magnitude_v = 0.3;
+  AdcModel adc(spec);
+  common::Rng rng(6);
+  double max_dev = 0.0;
+  for (int i = 0; i < 500; ++i)
+    max_dev = std::max(max_dev,
+                       std::fabs(adc.convert(0.004, rng) - 0.42 * 1023.0));
+  EXPECT_GT(max_dev, 50.0);  // at least one large glitch observed
+}
+
+TEST(Adc, InvalidSpecThrows) {
+  AdcSpec bad;
+  bad.bits = 0;
+  EXPECT_THROW(AdcModel{bad}, PreconditionError);
+  AdcSpec negative;
+  negative.gain = -1.0;
+  EXPECT_THROW(AdcModel{negative}, PreconditionError);
+}
+
+// ---------------------------------------------------------------- recorder
+
+TEST(Recorder, ProducesExpectedFrameCount) {
+  optics::AmbientConditions night;
+  night.hour_of_day = 2.0;
+  optics::Scene scene =
+      optics::make_prototype_scene({}, optics::AmbientModel(night));
+  Recorder recorder(scene, AdcModel{AdcSpec{}}, 100.0);
+  common::Rng rng(7);
+  const auto trace = recorder.record(
+      [](double) { return SceneState{}; }, 1.5, rng);
+  EXPECT_EQ(trace.sample_count(), 150u);
+  EXPECT_EQ(trace.channel_count(), 3u);
+}
+
+TEST(Recorder, DeterministicGivenSameSeed) {
+  optics::Scene scene = optics::make_prototype_scene();
+  Recorder recorder(scene, AdcModel{AdcSpec{}}, 100.0);
+  auto provider = [](double t) {
+    SceneState s;
+    optics::ReflectorPatch finger;
+    finger.position = {0, 0, 0.02 + 0.002 * std::sin(6.28 * t)};
+    s.patches.push_back(finger);
+    return s;
+  };
+  common::Rng rng_a(99), rng_b(99);
+  const auto a = recorder.record(provider, 0.5, rng_a);
+  const auto b = recorder.record(provider, 0.5, rng_b);
+  for (std::size_t c = 0; c < a.channel_count(); ++c)
+    for (std::size_t i = 0; i < a.sample_count(); ++i)
+      EXPECT_DOUBLE_EQ(a.channel(c)[i], b.channel(c)[i]);
+}
+
+TEST(Recorder, MovingFingerModulatesSignal) {
+  optics::AmbientConditions night;
+  night.hour_of_day = 2.0;
+  optics::Scene scene =
+      optics::make_prototype_scene({}, optics::AmbientModel(night));
+  Recorder recorder(scene, AdcModel{AdcSpec{}}, 100.0);
+  common::Rng rng(11);
+  auto provider = [](double t) {
+    SceneState s;
+    optics::ReflectorPatch finger;
+    finger.position = {0, 0, 0.015 + 0.008 * std::sin(6.28 * 2.0 * t)};
+    s.patches.push_back(finger);
+    return s;
+  };
+  const auto trace = recorder.record(provider, 1.0, rng);
+  const auto centre = trace.channel(1);
+  EXPECT_GT(common::stddev(centre), 10.0);  // strong modulation in counts
+}
+
+// ---------------------------------------------------------------- prototype
+
+TEST(Prototype, BundlesSceneAndGeometry) {
+  Prototype proto;
+  EXPECT_EQ(proto.pd_count(), 3u);
+  EXPECT_DOUBLE_EQ(proto.sample_rate_hz(), 100.0);
+  EXPECT_LT(proto.pd_x(0), proto.pd_x(1));
+  EXPECT_LT(proto.pd_x(1), proto.pd_x(2));
+}
+
+TEST(Prototype, AmbientSwapTakesEffect) {
+  Prototype proto;
+  common::Rng rng(1);
+  auto idle = [](double) { return SceneState{}; };
+
+  optics::AmbientConditions night;
+  night.hour_of_day = 2.0;
+  proto.set_ambient(night);
+  const auto dark = proto.record(idle, 0.3, rng);
+
+  optics::AmbientConditions noon;
+  noon.hour_of_day = 13.0;
+  proto.set_ambient(noon);
+  const auto bright = proto.record(idle, 0.3, rng);
+
+  EXPECT_GT(common::mean(bright.channel(1)), common::mean(dark.channel(1)));
+}
+
+}  // namespace
+}  // namespace airfinger::sensor

@@ -1,0 +1,184 @@
+// Tests for model persistence: exact round-trips and malformed-input
+// rejection for trees, forests, the detect recognizer, and the filter.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "core/detect_recognizer.hpp"
+#include "core/interference_filter.hpp"
+#include "core/training.hpp"
+#include "ml/logistic.hpp"
+#include "ml/naive_bayes.hpp"
+#include "ml/serialize.hpp"
+
+namespace airfinger {
+namespace {
+
+ml::SampleSet blobs(std::size_t per_class, std::uint64_t seed) {
+  common::Rng rng(seed);
+  ml::SampleSet set;
+  const double centres[3][2] = {{0, 0}, {5, 0}, {0, 5}};
+  for (int c = 0; c < 3; ++c)
+    for (std::size_t i = 0; i < per_class; ++i) {
+      set.features.push_back({centres[c][0] + rng.normal(0, 0.8),
+                              centres[c][1] + rng.normal(0, 0.8)});
+      set.labels.push_back(c);
+    }
+  return set;
+}
+
+TEST(Serialize, TreeRoundTripPredictsIdentically) {
+  const auto data = blobs(50, 1);
+  ml::DecisionTree tree;
+  tree.fit(data);
+  std::stringstream buffer;
+  tree.save(buffer);
+  const ml::DecisionTree loaded = ml::DecisionTree::load(buffer);
+  for (const auto& row : data.features) {
+    EXPECT_EQ(tree.predict(row), loaded.predict(row));
+    EXPECT_EQ(tree.predict_proba(row), loaded.predict_proba(row));
+  }
+  EXPECT_EQ(tree.node_count(), loaded.node_count());
+  EXPECT_EQ(tree.feature_importances(), loaded.feature_importances());
+}
+
+TEST(Serialize, ForestRoundTripPredictsIdentically) {
+  const auto data = blobs(40, 2);
+  ml::RandomForestConfig config;
+  config.num_trees = 12;
+  ml::RandomForest forest(config);
+  forest.fit(data);
+  std::stringstream buffer;
+  forest.save(buffer);
+  const ml::RandomForest loaded = ml::RandomForest::load(buffer);
+  EXPECT_EQ(loaded.tree_count(), 12u);
+  for (const auto& row : data.features)
+    EXPECT_EQ(forest.predict_proba(row), loaded.predict_proba(row));
+}
+
+TEST(Serialize, UnfittedModelsRefuseToSave) {
+  std::stringstream buffer;
+  ml::DecisionTree tree;
+  EXPECT_THROW(tree.save(buffer), PreconditionError);
+  ml::RandomForest forest;
+  EXPECT_THROW(forest.save(buffer), PreconditionError);
+}
+
+TEST(Serialize, MalformedInputThrows) {
+  std::stringstream wrong_tag("not_a_tree 1\n");
+  EXPECT_THROW(ml::DecisionTree::load(wrong_tag), PreconditionError);
+  std::stringstream bad_version("af_tree 9\n");
+  EXPECT_THROW(ml::DecisionTree::load(bad_version), PreconditionError);
+  std::stringstream truncated("af_tree 1\nclasses 2\nimportances 1");
+  EXPECT_THROW(ml::DecisionTree::load(truncated), PreconditionError);
+}
+
+TEST(Serialize, RecognizerRoundTrip) {
+  synth::CollectionConfig config;
+  config.users = 1;
+  config.sessions = 1;
+  config.repetitions = 4;
+  config.kinds = {synth::MotionKind::kClick, synth::MotionKind::kRub};
+  config.seed = 3;
+  const auto data = synth::DatasetBuilder(config).collect();
+  const core::DataProcessor proc;
+
+  core::DetectRecognizerConfig rc;
+  rc.selected_features = 12;
+  rc.forest.num_trees = 10;
+  core::DetectRecognizer rec(rc);
+  const auto set = core::build_feature_set(data, proc, rec.bank(),
+                                           core::LabelScheme::kDetectSix);
+  rec.fit(set);
+
+  std::stringstream buffer;
+  rec.save(buffer);
+  const core::DetectRecognizer loaded =
+      core::DetectRecognizer::load(buffer, rc);
+  EXPECT_TRUE(loaded.is_fitted());
+  EXPECT_EQ(loaded.selected_features(), rec.selected_features());
+  for (const auto& row : set.features)
+    EXPECT_EQ(rec.predict(row), loaded.predict(row));
+}
+
+TEST(Serialize, RecognizerBankMismatchThrows) {
+  synth::CollectionConfig config;
+  config.users = 1;
+  config.sessions = 1;
+  config.repetitions = 3;
+  config.kinds = {synth::MotionKind::kClick, synth::MotionKind::kRub};
+  config.seed = 4;
+  const auto data = synth::DatasetBuilder(config).collect();
+  const core::DataProcessor proc;
+  core::DetectRecognizer rec;
+  const auto set = core::build_feature_set(data, proc, rec.bank(),
+                                           core::LabelScheme::kDetectSix);
+  rec.fit(set);
+  std::stringstream buffer;
+  rec.save(buffer);
+
+  core::DetectRecognizerConfig other;
+  other.bank.cross_channel = false;  // different bank structure
+  EXPECT_THROW(core::DetectRecognizer::load(buffer, other),
+               PreconditionError);
+}
+
+TEST(Serialize, FilterRoundTrip) {
+  synth::CollectionConfig config;
+  config.users = 1;
+  config.sessions = 1;
+  config.repetitions = 5;
+  config.kinds = {synth::MotionKind::kClick, synth::MotionKind::kScratch};
+  config.seed = 5;
+  const auto data = synth::DatasetBuilder(config).collect();
+  const core::DataProcessor proc;
+  const features::FeatureBank bank;
+  const auto set = core::build_feature_set(
+      data, proc, bank, core::LabelScheme::kGestureVsNonGesture);
+
+  core::InterferenceFilter filter(bank);
+  filter.fit(set);
+  std::stringstream buffer;
+  filter.save(buffer);
+  const auto loaded = core::InterferenceFilter::load(buffer, bank);
+  EXPECT_TRUE(loaded.is_fitted());
+  for (const auto& row : set.features)
+    EXPECT_EQ(filter.is_gesture(row), loaded.is_gesture(row));
+}
+
+TEST(Serialize, LogisticRoundTrip) {
+  const auto data = blobs(40, 6);
+  ml::LogisticRegression lr;
+  lr.fit(data);
+  std::stringstream buffer;
+  lr.save(buffer);
+  const auto loaded = ml::LogisticRegression::load(buffer);
+  for (const auto& row : data.features)
+    EXPECT_EQ(lr.predict_proba(row), loaded.predict_proba(row));
+}
+
+TEST(Serialize, NaiveBayesRoundTrip) {
+  const auto data = blobs(40, 7);
+  ml::BernoulliNaiveBayes bnb;
+  bnb.fit(data);
+  std::stringstream buffer;
+  bnb.save(buffer);
+  const auto loaded = ml::BernoulliNaiveBayes::load(buffer);
+  for (const auto& row : data.features) {
+    EXPECT_EQ(bnb.predict(row), loaded.predict(row));
+    EXPECT_EQ(bnb.log_posterior(row), loaded.log_posterior(row));
+  }
+}
+
+TEST(Serialize, LrBnbUnfittedRefuseToSave) {
+  std::stringstream buffer;
+  ml::LogisticRegression lr;
+  EXPECT_THROW(lr.save(buffer), PreconditionError);
+  ml::BernoulliNaiveBayes bnb;
+  EXPECT_THROW(bnb.save(buffer), PreconditionError);
+}
+
+}  // namespace
+}  // namespace airfinger

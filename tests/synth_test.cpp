@@ -1,0 +1,389 @@
+// Unit tests for the human-behaviour substrate.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include <set>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+#include "synth/dataset.hpp"
+#include "synth/motion_kind.hpp"
+#include "synth/scenario.hpp"
+#include "synth/smooth_noise.hpp"
+#include "synth/trajectory.hpp"
+#include "synth/user.hpp"
+
+namespace airfinger::synth {
+namespace {
+
+// ---------------------------------------------------------------- kinds
+
+TEST(MotionKind, Taxonomy) {
+  EXPECT_EQ(all_gestures().size(), 8u);
+  EXPECT_EQ(detect_gestures().size(), 6u);
+  EXPECT_EQ(track_gestures().size(), 2u);
+  EXPECT_EQ(non_gestures().size(), 3u);
+
+  EXPECT_TRUE(is_gesture(MotionKind::kCircle));
+  EXPECT_TRUE(is_detect_aimed(MotionKind::kDoubleClick));
+  EXPECT_FALSE(is_detect_aimed(MotionKind::kScrollUp));
+  EXPECT_TRUE(is_track_aimed(MotionKind::kScrollDown));
+  EXPECT_FALSE(is_gesture(MotionKind::kScratch));
+}
+
+TEST(MotionKind, NamesAreDistinct) {
+  std::set<std::string_view> names;
+  for (int k = 0; k < kMotionKindCount; ++k)
+    names.insert(motion_name(static_cast<MotionKind>(k)));
+  EXPECT_EQ(names.size(), static_cast<std::size_t>(kMotionKindCount));
+}
+
+// ---------------------------------------------------------------- noise
+
+TEST(SmoothNoise, BandLimitedAndDeterministic) {
+  common::Rng a(1), b(1);
+  SmoothNoise na(a, 4.0, 9.0, 1.0);
+  SmoothNoise nb(b, 4.0, 9.0, 1.0);
+  for (double t = 0; t < 1.0; t += 0.07)
+    EXPECT_DOUBLE_EQ(na.at(t), nb.at(t));
+}
+
+TEST(SmoothNoise, ScaleBoundsAmplitude) {
+  common::Rng rng(2);
+  SmoothNoise n(rng, 2.0, 5.0, 0.001, 4);
+  for (double t = 0; t < 5.0; t += 0.011)
+    EXPECT_LT(std::fabs(n.at(t)), 0.003);  // sum of 4 comps ≤ ~2.1× scale
+}
+
+// ---------------------------------------------------------------- user
+
+TEST(UserProfile, SampledWithinDocumentedRanges) {
+  common::Rng rng(3);
+  for (int i = 0; i < 20; ++i) {
+    const auto u = UserProfile::sample(i, rng);
+    EXPECT_EQ(u.user_id, i);
+    EXPECT_GE(u.speed_factor, 0.75);
+    EXPECT_LE(u.speed_factor, 1.35);
+    EXPECT_GE(u.standoff_m, 0.010);
+    EXPECT_LE(u.standoff_m, 0.024);
+    EXPECT_GE(u.skin_reflectivity, 0.45);
+    EXPECT_LE(u.skin_reflectivity, 0.72);
+  }
+}
+
+TEST(UserProfile, UsersDifferMoreThanSessions) {
+  common::Rng rng(4);
+  // User-level speed spread should dominate session-level drift spread.
+  std::vector<double> user_speeds, session_drifts;
+  for (int i = 0; i < 200; ++i) {
+    user_speeds.push_back(UserProfile::sample(i, rng).speed_factor);
+    session_drifts.push_back(
+        SessionContext::sample(i, 11.0, rng).speed_drift);
+  }
+  const double user_sd = common::stddev(user_speeds);
+  const double session_sd = common::stddev(session_drifts);
+  EXPECT_GT(user_sd, 2.0 * session_sd);
+}
+
+TEST(RepetitionJitter, SmallerThanSessionDrift) {
+  common::Rng rng(5);
+  std::vector<double> rep, sess;
+  for (int i = 0; i < 200; ++i) {
+    rep.push_back(RepetitionJitter::sample(rng).speed);
+    sess.push_back(SessionContext::sample(i, 11.0, rng).speed_drift);
+  }
+  EXPECT_LT(common::stddev(rep), common::stddev(sess));
+}
+
+// ------------------------------------------------------------ trajectory
+
+TEST(Trajectory, MinimumJerkProperties) {
+  EXPECT_DOUBLE_EQ(minimum_jerk(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(minimum_jerk(1.0), 1.0);
+  EXPECT_DOUBLE_EQ(minimum_jerk(0.5), 0.5);
+  EXPECT_LT(minimum_jerk(0.1), 0.1);  // slow start
+}
+
+TEST(Trajectory, SpeedScalesDuration) {
+  common::Rng rng(6);
+  MotionParams slow, fast;
+  slow.speed = 0.8;
+  fast.speed = 1.6;
+  const auto a = make_motion(MotionKind::kCircle, slow, rng);
+  const auto b = make_motion(MotionKind::kCircle, fast, rng);
+  EXPECT_NEAR(a.duration_s() / b.duration_s(), 2.0, 1e-9);
+}
+
+TEST(Trajectory, DoubleGesturesLastLonger) {
+  common::Rng rng(7);
+  const MotionParams p;
+  EXPECT_GT(make_motion(MotionKind::kDoubleCircle, p, rng).duration_s(),
+            make_motion(MotionKind::kCircle, p, rng).duration_s());
+  EXPECT_GT(make_motion(MotionKind::kDoubleClick, p, rng).duration_s(),
+            make_motion(MotionKind::kClick, p, rng).duration_s());
+}
+
+TEST(Trajectory, EvaluationClampsOutsideDuration) {
+  common::Rng rng(8);
+  const MotionParams p;
+  const auto m = make_motion(MotionKind::kClick, p, rng);
+  const auto before = m.at(-1.0);
+  const auto at0 = m.at(0.0);
+  EXPECT_DOUBLE_EQ(before.position.z, at0.position.z);
+}
+
+TEST(Trajectory, ClickDipsTowardsBoard) {
+  common::Rng rng(9);
+  MotionParams p;
+  p.standoff_m = 0.02;
+  const auto m = make_motion(MotionKind::kClick, p, rng);
+  const double mid_z = m.at(m.duration_s() / 2).position.z;
+  const double start_z = m.at(0.0).position.z;
+  EXPECT_LT(mid_z, start_z - 0.005);
+}
+
+TEST(Trajectory, ScrollSweepsAcrossBoard) {
+  common::Rng rng(10);
+  MotionParams p;
+  const auto up = make_motion(MotionKind::kScrollUp, p, rng);
+  EXPECT_LT(up.at(0.0).position.x, -0.02);
+  EXPECT_GT(up.at(up.duration_s()).position.x, 0.02);
+  const auto down = make_motion(MotionKind::kScrollDown, p, rng);
+  EXPECT_GT(down.at(0.0).position.x, 0.02);
+}
+
+TEST(Trajectory, PartialScrollStopsShort) {
+  common::Rng rng(11);
+  MotionParams p;
+  p.partial_extent = 0.4;
+  const auto m = make_motion(MotionKind::kScrollUp, p, rng);
+  EXPECT_LT(m.at(m.duration_s()).position.x, 0.0);  // never reaches P3 side
+}
+
+TEST(Trajectory, ScrollEntryAndExitAreLifted) {
+  common::Rng rng(12);
+  MotionParams p;
+  p.standoff_m = 0.02;
+  const auto m = make_motion(MotionKind::kScrollUp, p, rng);
+  EXPECT_GT(m.at(0.0).position.z, p.standoff_m + 0.01);
+  EXPECT_GT(m.at(m.duration_s()).position.z, p.standoff_m + 0.01);
+  EXPECT_LT(m.at(m.duration_s() / 2).position.z, p.standoff_m + 0.01);
+}
+
+TEST(Trajectory, ScrollTruthMatchesParameters) {
+  MotionParams p;
+  p.amplitude = 1.0;
+  p.speed = 1.0;
+  const auto up = scroll_truth(MotionKind::kScrollUp, p);
+  EXPECT_DOUBLE_EQ(up.direction, 1.0);
+  EXPECT_NEAR(up.displacement_m, 2.0 * kScrollHalfSpanM, 1e-12);
+  EXPECT_NEAR(up.mean_velocity_mps,
+              up.displacement_m / up.duration_s, 1e-12);
+  const auto down = scroll_truth(MotionKind::kScrollDown, p);
+  EXPECT_DOUBLE_EQ(down.direction, -1.0);
+  EXPECT_THROW(scroll_truth(MotionKind::kCircle, p), PreconditionError);
+}
+
+TEST(Trajectory, MirrorYFlipsLateralAxis) {
+  common::Rng rng_a(13), rng_b(13);
+  MotionParams p, q;
+  p.tilt_rad = 0.3;
+  q = p;
+  q.mirror_y = true;
+  const auto a = make_motion(MotionKind::kRub, p, rng_a);
+  const auto b = make_motion(MotionKind::kRub, q, rng_b);
+  const auto pa = a.at(0.1).position;
+  const auto pb = b.at(0.1).position;
+  EXPECT_NEAR(pa.y, -pb.y, 1e-9);
+  EXPECT_NEAR(pa.x, pb.x, 1e-9);
+}
+
+TEST(Trajectory, RubIsFasterThanCircle) {
+  // The stroke tempo difference is the circle-vs-rub signature.
+  common::Rng rng(14);
+  const MotionParams p;
+  const auto rub = make_motion(MotionKind::kRub, p, rng);
+  const auto circle = make_motion(MotionKind::kCircle, p, rng);
+  // Count x-direction reversals as a crude stroke-rate measure.
+  auto reversals = [](const Motion& m) {
+    int count = 0;
+    double prev_dx = 0.0;
+    for (double t = 0.01; t < m.duration_s(); t += 0.01) {
+      const double dx = m.at(t).position.x - m.at(t - 0.01).position.x;
+      if (dx * prev_dx < 0) ++count;
+      if (dx != 0.0) prev_dx = dx;
+    }
+    return count / m.duration_s();
+  };
+  EXPECT_GT(reversals(rub), reversals(circle));
+}
+
+TEST(Trajectory, InvalidParamsThrow) {
+  common::Rng rng(15);
+  MotionParams bad;
+  bad.speed = 0.0;
+  EXPECT_THROW(make_motion(MotionKind::kCircle, bad, rng),
+               PreconditionError);
+}
+
+// ------------------------------------------------------------ scenario
+
+TEST(Scenario, DurationsIncludePadding) {
+  common::Rng rng(16);
+  ScenarioSpec spec;
+  spec.kind = MotionKind::kClick;
+  spec.user = UserProfile::sample(0, rng);
+  spec.session = SessionContext::sample(0, 11.0, rng);
+  spec.repetition = RepetitionJitter::sample(rng);
+  const auto sc = make_scenario(spec, rng);
+  EXPECT_GT(sc.gesture_start_s, 0.0);
+  EXPECT_GT(sc.gesture_end_s, sc.gesture_start_s);
+  EXPECT_GT(sc.duration_s, sc.gesture_end_s);
+}
+
+TEST(Scenario, ProviderAlwaysHasFingerAndHand) {
+  common::Rng rng(17);
+  ScenarioSpec spec;
+  spec.user = UserProfile::sample(0, rng);
+  const auto sc = make_scenario(spec, rng);
+  for (double t = 0.0; t < sc.duration_s; t += 0.13) {
+    const auto state = sc.provider(t);
+    EXPECT_GE(state.patches.size(), 2u);  // finger + rest-of-hand
+  }
+}
+
+TEST(Scenario, PasserByAddsThirdPatch) {
+  common::Rng rng(18);
+  ScenarioSpec spec;
+  spec.user = UserProfile::sample(0, rng);
+  spec.interference.passer_by = true;
+  const auto sc = make_scenario(spec, rng);
+  EXPECT_GE(sc.provider(0.5).patches.size(), 3u);
+}
+
+TEST(Scenario, ScrollCarriesTruth) {
+  common::Rng rng(19);
+  ScenarioSpec spec;
+  spec.kind = MotionKind::kScrollUp;
+  spec.user = UserProfile::sample(0, rng);
+  const auto sc = make_scenario(spec, rng);
+  ASSERT_TRUE(sc.scroll.has_value());
+  EXPECT_DOUBLE_EQ(sc.scroll->direction, 1.0);
+}
+
+TEST(Scenario, StandoffOverrideApplies) {
+  common::Rng rng(20);
+  ScenarioSpec spec;
+  spec.kind = MotionKind::kClick;
+  spec.user = UserProfile::sample(0, rng);
+  spec.standoff_override_m = 0.05;
+  const auto sc = make_scenario(spec, rng);
+  EXPECT_DOUBLE_EQ(sc.params.standoff_m, 0.05);
+}
+
+TEST(Scenario, WalkingAddsBodySway) {
+  common::Rng rng_a(21), rng_b(21);
+  ScenarioSpec sitting, walking;
+  sitting.kind = walking.kind = MotionKind::kClick;
+  sitting.user = walking.user = UserProfile::sample(0, rng_a);
+  walking.activity = Activity::kWalking;
+  // Re-derive from the same rng seed for comparability.
+  common::Rng r1(22), r2(22);
+  const auto a = make_scenario(sitting, r1);
+  const auto b = make_scenario(walking, r2);
+  // During idle the walking scenario's fingertip z moves more.
+  double range_a = 0.0, range_b = 0.0;
+  double za0 = a.provider(0.0).patches[0].position.z;
+  double zb0 = b.provider(0.0).patches[0].position.z;
+  for (double t = 0.0; t < 0.3; t += 0.01) {
+    range_a = std::max(range_a,
+                       std::fabs(a.provider(t).patches[0].position.z - za0));
+    range_b = std::max(range_b,
+                       std::fabs(b.provider(t).patches[0].position.z - zb0));
+  }
+  EXPECT_GT(range_b, range_a);
+}
+
+// ------------------------------------------------------------ dataset
+
+TEST(Dataset, CollectionProtocolCounts) {
+  CollectionConfig config;
+  config.users = 2;
+  config.sessions = 2;
+  config.repetitions = 3;
+  config.seed = 23;
+  const auto data = DatasetBuilder(config).collect();
+  EXPECT_EQ(data.size(), 2u * 2u * 8u * 3u);
+  EXPECT_EQ(data.user_ids().size(), 2u);
+  EXPECT_EQ(data.session_ids().size(), 2u);
+}
+
+TEST(Dataset, DeterministicForSeed) {
+  CollectionConfig config;
+  config.users = 1;
+  config.sessions = 1;
+  config.repetitions = 1;
+  config.kinds = {MotionKind::kClick};
+  config.seed = 24;
+  const auto a = DatasetBuilder(config).collect();
+  const auto b = DatasetBuilder(config).collect();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.samples[0].trace.sample_count(); ++i)
+    EXPECT_DOUBLE_EQ(a.samples[0].trace.channel(0)[i],
+                     b.samples[0].trace.channel(0)[i]);
+}
+
+TEST(Dataset, SamplesCarryValidGroundTruth) {
+  CollectionConfig config;
+  config.users = 1;
+  config.sessions = 1;
+  config.repetitions = 2;
+  config.seed = 25;
+  const auto data = DatasetBuilder(config).collect();
+  for (const auto& s : data.samples) {
+    EXPECT_GT(s.gesture_start_s, 0.0);
+    EXPECT_GT(s.gesture_end_s, s.gesture_start_s);
+    EXPECT_LE(s.gesture_end_s, s.trace.duration_s() + 1e-9);
+    EXPECT_GT(s.standoff_m, 0.0);
+    EXPECT_EQ(s.trace.channel_count(), 3u);
+    if (is_track_aimed(s.kind)) EXPECT_TRUE(s.scroll.has_value());
+  }
+}
+
+TEST(Dataset, RosterIsStable) {
+  CollectionConfig config;
+  config.seed = 26;
+  DatasetBuilder builder(config);
+  const auto a = builder.roster();
+  const auto b = builder.roster();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i)
+    EXPECT_DOUBLE_EQ(a[i].standoff_m, b[i].standoff_m);
+}
+
+TEST(Dataset, GestureStreamBoundsAreOrdered) {
+  CollectionConfig config;
+  config.seed = 27;
+  const std::vector<MotionKind> kinds{MotionKind::kClick,
+                                      MotionKind::kScrollUp,
+                                      MotionKind::kCircle};
+  const auto stream = make_gesture_stream(config, kinds, 28);
+  ASSERT_EQ(stream.gesture_bounds.size(), 3u);
+  std::size_t prev_end = 0;
+  for (const auto& [b, e] : stream.gesture_bounds) {
+    EXPECT_GE(b, prev_end);
+    EXPECT_GT(e, b);
+    EXPECT_LE(e, stream.trace.sample_count());
+    prev_end = e;
+  }
+}
+
+TEST(Dataset, InvalidConfigThrows) {
+  CollectionConfig config;
+  config.users = 0;
+  EXPECT_THROW(DatasetBuilder{config}, PreconditionError);
+}
+
+}  // namespace
+}  // namespace airfinger::synth

@@ -1,0 +1,64 @@
+// af_classify — classify a corpus with saved models and report accuracy.
+//
+//   af_classify --corpus test.csv --recognizer rec.af [--filter f.af]
+#include <fstream>
+#include <iostream>
+
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "core/airfinger.hpp"
+#include "core/training.hpp"
+#include "synth/io.hpp"
+
+using namespace airfinger;
+
+int main(int argc, char** argv) {
+  common::Cli cli("af_classify",
+                  "classify a corpus with saved models and report accuracy");
+  cli.add_flag("corpus", "corpus.csv", "input corpus");
+  cli.add_flag("recognizer", "recognizer.af", "trained recognizer model");
+  cli.add_flag("filter", "", "trained interference filter ('' = disabled)");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const auto dataset = synth::load_dataset_csv(cli.get("corpus"));
+  std::ifstream rec_in(cli.get("recognizer"));
+  if (!rec_in) {
+    std::cerr << "cannot open " << cli.get("recognizer") << "\n";
+    return 1;
+  }
+  core::DetectRecognizer recognizer = core::DetectRecognizer::load(rec_in);
+
+  core::AirFingerConfig config;
+  std::optional<core::InterferenceFilter> filter;
+  if (!cli.get("filter").empty()) {
+    std::ifstream filter_in(cli.get("filter"));
+    if (!filter_in) {
+      std::cerr << "cannot open " << cli.get("filter") << "\n";
+      return 1;
+    }
+    filter = core::InterferenceFilter::load(filter_in, recognizer.bank());
+  } else {
+    config.interference_filtering = false;
+  }
+  core::AirFinger engine(config, std::move(recognizer), std::move(filter));
+
+  ml::ConfusionMatrix cm(synth::kGestureCount + 1, [] {
+    std::vector<std::string> names =
+        core::class_names(core::LabelScheme::kAllEight);
+    names.push_back("(rejected/missed)");
+    return names;
+  }());
+  const int rejected_class = synth::kGestureCount;
+  for (const auto& s : dataset.samples) {
+    if (!synth::is_gesture(s.kind)) continue;
+    const auto v = core::run_sample(engine, s);
+    const int predicted = (v.predicted && !v.rejected)
+                              ? static_cast<int>(*v.predicted)
+                              : rejected_class;
+    cm.add(static_cast<int>(s.kind), predicted);
+  }
+  std::cout << cm.to_string() << "overall accuracy: "
+            << common::Table::pct(cm.accuracy()) << " over " << cm.total()
+            << " gesture samples\n";
+  return 0;
+}

@@ -1,0 +1,44 @@
+// af_inspect — show what a saved recognizer model learned: the selected
+// feature names and their importances in the final forest.
+#include <algorithm>
+#include <fstream>
+#include <iostream>
+
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "core/detect_recognizer.hpp"
+
+using namespace airfinger;
+
+int main(int argc, char** argv) {
+  common::Cli cli("af_inspect", "inspect a saved recognizer model");
+  cli.add_flag("recognizer", "recognizer.af", "trained recognizer model");
+  if (!cli.parse(argc, argv)) return 0;
+
+  std::ifstream in(cli.get("recognizer"));
+  if (!in) {
+    std::cerr << "cannot open " << cli.get("recognizer") << "\n";
+    return 1;
+  }
+  const core::DetectRecognizer rec = core::DetectRecognizer::load(in);
+
+  // Importances of the selected columns, sorted descending.
+  const auto& names = rec.bank().names();
+  const auto& selected = rec.selected_features();
+  const auto& importances = rec.final_importances();
+  std::vector<std::size_t> order(selected.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return importances[a] > importances[b];
+  });
+
+  common::Table table({"rank", "feature", "importance"});
+  for (std::size_t r = 0; r < order.size(); ++r)
+    table.add_row({std::to_string(r + 1), names[selected[order[r]]],
+                   common::Table::pct(importances[order[r]], 1)});
+  std::cout << cli.get("recognizer") << ": " << selected.size()
+            << " selected features of " << rec.bank().feature_count()
+            << " candidates\n";
+  table.print(std::cout);
+  return 0;
+}

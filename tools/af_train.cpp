@@ -1,0 +1,61 @@
+// af_train — train the airFinger models from a corpus and save them.
+//
+//   af_train --corpus corpus.csv --recognizer rec.af --filter filter.af
+//
+// The corpus must contain the designed gestures; the interference filter
+// additionally needs non-gesture samples (af_collect --non_gestures).
+#include <fstream>
+#include <iostream>
+
+#include "common/cli.hpp"
+#include "core/interference_filter.hpp"
+#include "core/training.hpp"
+#include "synth/io.hpp"
+
+using namespace airfinger;
+
+int main(int argc, char** argv) {
+  common::Cli cli("af_train", "train and save airFinger models");
+  cli.add_flag("corpus", "corpus.csv", "input corpus (af_collect output)");
+  cli.add_flag("recognizer", "recognizer.af", "output recognizer model");
+  cli.add_flag("filter", "filter.af",
+               "output interference-filter model ('' to skip)");
+  if (!cli.parse(argc, argv)) return 0;
+
+  std::cout << "loading " << cli.get("corpus") << "...\n";
+  const auto dataset = synth::load_dataset_csv(cli.get("corpus"));
+  std::cout << "  " << dataset.size() << " samples\n";
+
+  const core::DataProcessor processor;
+  core::DetectRecognizer recognizer;
+  const auto set = core::build_feature_set(
+      dataset, processor, recognizer.bank(), core::LabelScheme::kAllEight);
+  std::cout << "training recognizer on " << set.size() << " samples × "
+            << set.feature_count() << " features...\n";
+  recognizer.fit(set);
+  {
+    std::ofstream out(cli.get("recognizer"));
+    recognizer.save(out);
+  }
+  std::cout << "  wrote " << cli.get("recognizer") << "\n";
+
+  if (!cli.get("filter").empty()) {
+    const auto binary = core::build_feature_set(
+        dataset, processor, recognizer.bank(),
+        core::LabelScheme::kGestureVsNonGesture);
+    bool has_both = false;
+    for (std::size_t i = 1; i < binary.labels.size(); ++i)
+      if (binary.labels[i] != binary.labels[0]) has_both = true;
+    if (!has_both) {
+      std::cout << "  corpus has no non-gesture samples — skipping the "
+                   "filter (re-collect with --non_gestures)\n";
+    } else {
+      core::InterferenceFilter filter(recognizer.bank());
+      filter.fit(binary);
+      std::ofstream out(cli.get("filter"));
+      filter.save(out);
+      std::cout << "  wrote " << cli.get("filter") << "\n";
+    }
+  }
+  return 0;
+}
