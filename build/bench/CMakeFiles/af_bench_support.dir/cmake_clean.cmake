@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/af_bench_support.dir/support.cpp.o"
+  "CMakeFiles/af_bench_support.dir/support.cpp.o.d"
+  "libaf_bench_support.a"
+  "libaf_bench_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/af_bench_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

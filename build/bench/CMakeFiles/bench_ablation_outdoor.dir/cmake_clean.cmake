@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_outdoor.dir/ablation_outdoor.cpp.o"
+  "CMakeFiles/bench_ablation_outdoor.dir/ablation_outdoor.cpp.o.d"
+  "bench_ablation_outdoor"
+  "bench_ablation_outdoor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_outdoor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

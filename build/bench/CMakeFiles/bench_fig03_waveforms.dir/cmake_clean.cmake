@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig03_waveforms.dir/fig03_waveforms.cpp.o"
+  "CMakeFiles/bench_fig03_waveforms.dir/fig03_waveforms.cpp.o.d"
+  "bench_fig03_waveforms"
+  "bench_fig03_waveforms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig03_waveforms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

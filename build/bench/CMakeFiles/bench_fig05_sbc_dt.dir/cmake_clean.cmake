@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig05_sbc_dt.dir/fig05_sbc_dt.cpp.o"
+  "CMakeFiles/bench_fig05_sbc_dt.dir/fig05_sbc_dt.cpp.o.d"
+  "bench_fig05_sbc_dt"
+  "bench_fig05_sbc_dt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig05_sbc_dt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig07_track_signals.dir/fig07_track_signals.cpp.o"
+  "CMakeFiles/bench_fig07_track_signals.dir/fig07_track_signals.cpp.o.d"
+  "bench_fig07_track_signals"
+  "bench_fig07_track_signals.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_track_signals.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig08_distance.dir/fig08_distance.cpp.o"
+  "CMakeFiles/bench_fig08_distance.dir/fig08_distance.cpp.o.d"
+  "bench_fig08_distance"
+  "bench_fig08_distance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_distance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

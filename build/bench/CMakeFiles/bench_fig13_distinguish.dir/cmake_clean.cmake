@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_distinguish.dir/fig13_distinguish.cpp.o"
+  "CMakeFiles/bench_fig13_distinguish.dir/fig13_distinguish.cpp.o.d"
+  "bench_fig13_distinguish"
+  "bench_fig13_distinguish.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_distinguish.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

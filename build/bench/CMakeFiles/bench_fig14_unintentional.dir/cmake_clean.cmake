@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_unintentional.dir/fig14_unintentional.cpp.o"
+  "CMakeFiles/bench_fig14_unintentional.dir/fig14_unintentional.cpp.o.d"
+  "bench_fig14_unintentional"
+  "bench_fig14_unintentional.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_unintentional.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_ambient.dir/fig15_ambient.cpp.o"
+  "CMakeFiles/bench_fig15_ambient.dir/fig15_ambient.cpp.o.d"
+  "bench_fig15_ambient"
+  "bench_fig15_ambient.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_ambient.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

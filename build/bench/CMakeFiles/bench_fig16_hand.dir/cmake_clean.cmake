@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig16_hand.dir/fig16_hand.cpp.o"
+  "CMakeFiles/bench_fig16_hand.dir/fig16_hand.cpp.o.d"
+  "bench_fig16_hand"
+  "bench_fig16_hand.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_hand.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig17_wristband.dir/fig17_wristband.cpp.o"
+  "CMakeFiles/bench_fig17_wristband.dir/fig17_wristband.cpp.o.d"
+  "bench_fig17_wristband"
+  "bench_fig17_wristband.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_wristband.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

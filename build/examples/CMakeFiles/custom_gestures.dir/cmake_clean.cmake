@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_gestures.dir/custom_gestures.cpp.o"
+  "CMakeFiles/custom_gestures.dir/custom_gestures.cpp.o.d"
+  "custom_gestures"
+  "custom_gestures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_gestures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

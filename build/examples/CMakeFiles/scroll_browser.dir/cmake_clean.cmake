@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scroll_browser.dir/scroll_browser.cpp.o"
+  "CMakeFiles/scroll_browser.dir/scroll_browser.cpp.o.d"
+  "scroll_browser"
+  "scroll_browser.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scroll_browser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trackpad_2d.dir/trackpad_2d.cpp.o"
+  "CMakeFiles/trackpad_2d.dir/trackpad_2d.cpp.o.d"
+  "trackpad_2d"
+  "trackpad_2d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trackpad_2d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wristband_demo.dir/wristband_demo.cpp.o"
+  "CMakeFiles/wristband_demo.dir/wristband_demo.cpp.o.d"
+  "wristband_demo"
+  "wristband_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wristband_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

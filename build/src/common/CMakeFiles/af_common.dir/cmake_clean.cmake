@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/af_common.dir/cli.cpp.o"
+  "CMakeFiles/af_common.dir/cli.cpp.o.d"
+  "CMakeFiles/af_common.dir/csv.cpp.o"
+  "CMakeFiles/af_common.dir/csv.cpp.o.d"
+  "CMakeFiles/af_common.dir/matrix.cpp.o"
+  "CMakeFiles/af_common.dir/matrix.cpp.o.d"
+  "CMakeFiles/af_common.dir/rng.cpp.o"
+  "CMakeFiles/af_common.dir/rng.cpp.o.d"
+  "CMakeFiles/af_common.dir/stats.cpp.o"
+  "CMakeFiles/af_common.dir/stats.cpp.o.d"
+  "CMakeFiles/af_common.dir/table.cpp.o"
+  "CMakeFiles/af_common.dir/table.cpp.o.d"
+  "libaf_common.a"
+  "libaf_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/af_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

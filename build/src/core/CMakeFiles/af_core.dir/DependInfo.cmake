@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/airfinger.cpp" "src/core/CMakeFiles/af_core.dir/airfinger.cpp.o" "gcc" "src/core/CMakeFiles/af_core.dir/airfinger.cpp.o.d"
+  "/root/repo/src/core/ascending.cpp" "src/core/CMakeFiles/af_core.dir/ascending.cpp.o" "gcc" "src/core/CMakeFiles/af_core.dir/ascending.cpp.o.d"
+  "/root/repo/src/core/data_processor.cpp" "src/core/CMakeFiles/af_core.dir/data_processor.cpp.o" "gcc" "src/core/CMakeFiles/af_core.dir/data_processor.cpp.o.d"
+  "/root/repo/src/core/detect_recognizer.cpp" "src/core/CMakeFiles/af_core.dir/detect_recognizer.cpp.o" "gcc" "src/core/CMakeFiles/af_core.dir/detect_recognizer.cpp.o.d"
+  "/root/repo/src/core/interference_filter.cpp" "src/core/CMakeFiles/af_core.dir/interference_filter.cpp.o" "gcc" "src/core/CMakeFiles/af_core.dir/interference_filter.cpp.o.d"
+  "/root/repo/src/core/trainer.cpp" "src/core/CMakeFiles/af_core.dir/trainer.cpp.o" "gcc" "src/core/CMakeFiles/af_core.dir/trainer.cpp.o.d"
+  "/root/repo/src/core/training.cpp" "src/core/CMakeFiles/af_core.dir/training.cpp.o" "gcc" "src/core/CMakeFiles/af_core.dir/training.cpp.o.d"
+  "/root/repo/src/core/type_router.cpp" "src/core/CMakeFiles/af_core.dir/type_router.cpp.o" "gcc" "src/core/CMakeFiles/af_core.dir/type_router.cpp.o.d"
+  "/root/repo/src/core/zebra.cpp" "src/core/CMakeFiles/af_core.dir/zebra.cpp.o" "gcc" "src/core/CMakeFiles/af_core.dir/zebra.cpp.o.d"
+  "/root/repo/src/core/zebra2d.cpp" "src/core/CMakeFiles/af_core.dir/zebra2d.cpp.o" "gcc" "src/core/CMakeFiles/af_core.dir/zebra2d.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/features/CMakeFiles/af_features.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/af_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/af_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/sensor/CMakeFiles/af_sensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/af_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/optics/CMakeFiles/af_optics.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/af_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/af_core.dir/airfinger.cpp.o"
+  "CMakeFiles/af_core.dir/airfinger.cpp.o.d"
+  "CMakeFiles/af_core.dir/ascending.cpp.o"
+  "CMakeFiles/af_core.dir/ascending.cpp.o.d"
+  "CMakeFiles/af_core.dir/data_processor.cpp.o"
+  "CMakeFiles/af_core.dir/data_processor.cpp.o.d"
+  "CMakeFiles/af_core.dir/detect_recognizer.cpp.o"
+  "CMakeFiles/af_core.dir/detect_recognizer.cpp.o.d"
+  "CMakeFiles/af_core.dir/interference_filter.cpp.o"
+  "CMakeFiles/af_core.dir/interference_filter.cpp.o.d"
+  "CMakeFiles/af_core.dir/trainer.cpp.o"
+  "CMakeFiles/af_core.dir/trainer.cpp.o.d"
+  "CMakeFiles/af_core.dir/training.cpp.o"
+  "CMakeFiles/af_core.dir/training.cpp.o.d"
+  "CMakeFiles/af_core.dir/type_router.cpp.o"
+  "CMakeFiles/af_core.dir/type_router.cpp.o.d"
+  "CMakeFiles/af_core.dir/zebra.cpp.o"
+  "CMakeFiles/af_core.dir/zebra.cpp.o.d"
+  "CMakeFiles/af_core.dir/zebra2d.cpp.o"
+  "CMakeFiles/af_core.dir/zebra2d.cpp.o.d"
+  "libaf_core.a"
+  "libaf_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/af_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

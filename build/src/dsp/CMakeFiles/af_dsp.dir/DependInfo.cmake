@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dsp/autocorr.cpp" "src/dsp/CMakeFiles/af_dsp.dir/autocorr.cpp.o" "gcc" "src/dsp/CMakeFiles/af_dsp.dir/autocorr.cpp.o.d"
+  "/root/repo/src/dsp/dynamic_threshold.cpp" "src/dsp/CMakeFiles/af_dsp.dir/dynamic_threshold.cpp.o" "gcc" "src/dsp/CMakeFiles/af_dsp.dir/dynamic_threshold.cpp.o.d"
+  "/root/repo/src/dsp/fft.cpp" "src/dsp/CMakeFiles/af_dsp.dir/fft.cpp.o" "gcc" "src/dsp/CMakeFiles/af_dsp.dir/fft.cpp.o.d"
+  "/root/repo/src/dsp/filters.cpp" "src/dsp/CMakeFiles/af_dsp.dir/filters.cpp.o" "gcc" "src/dsp/CMakeFiles/af_dsp.dir/filters.cpp.o.d"
+  "/root/repo/src/dsp/goertzel.cpp" "src/dsp/CMakeFiles/af_dsp.dir/goertzel.cpp.o" "gcc" "src/dsp/CMakeFiles/af_dsp.dir/goertzel.cpp.o.d"
+  "/root/repo/src/dsp/sbc.cpp" "src/dsp/CMakeFiles/af_dsp.dir/sbc.cpp.o" "gcc" "src/dsp/CMakeFiles/af_dsp.dir/sbc.cpp.o.d"
+  "/root/repo/src/dsp/wavelet.cpp" "src/dsp/CMakeFiles/af_dsp.dir/wavelet.cpp.o" "gcc" "src/dsp/CMakeFiles/af_dsp.dir/wavelet.cpp.o.d"
+  "/root/repo/src/dsp/xcorr.cpp" "src/dsp/CMakeFiles/af_dsp.dir/xcorr.cpp.o" "gcc" "src/dsp/CMakeFiles/af_dsp.dir/xcorr.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/af_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

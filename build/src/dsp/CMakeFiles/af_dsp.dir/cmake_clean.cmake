@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/af_dsp.dir/autocorr.cpp.o"
+  "CMakeFiles/af_dsp.dir/autocorr.cpp.o.d"
+  "CMakeFiles/af_dsp.dir/dynamic_threshold.cpp.o"
+  "CMakeFiles/af_dsp.dir/dynamic_threshold.cpp.o.d"
+  "CMakeFiles/af_dsp.dir/fft.cpp.o"
+  "CMakeFiles/af_dsp.dir/fft.cpp.o.d"
+  "CMakeFiles/af_dsp.dir/filters.cpp.o"
+  "CMakeFiles/af_dsp.dir/filters.cpp.o.d"
+  "CMakeFiles/af_dsp.dir/goertzel.cpp.o"
+  "CMakeFiles/af_dsp.dir/goertzel.cpp.o.d"
+  "CMakeFiles/af_dsp.dir/sbc.cpp.o"
+  "CMakeFiles/af_dsp.dir/sbc.cpp.o.d"
+  "CMakeFiles/af_dsp.dir/wavelet.cpp.o"
+  "CMakeFiles/af_dsp.dir/wavelet.cpp.o.d"
+  "CMakeFiles/af_dsp.dir/xcorr.cpp.o"
+  "CMakeFiles/af_dsp.dir/xcorr.cpp.o.d"
+  "libaf_dsp.a"
+  "libaf_dsp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/af_dsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

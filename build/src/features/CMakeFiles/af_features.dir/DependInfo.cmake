@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/features/bank.cpp" "src/features/CMakeFiles/af_features.dir/bank.cpp.o" "gcc" "src/features/CMakeFiles/af_features.dir/bank.cpp.o.d"
+  "/root/repo/src/features/measures.cpp" "src/features/CMakeFiles/af_features.dir/measures.cpp.o" "gcc" "src/features/CMakeFiles/af_features.dir/measures.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dsp/CMakeFiles/af_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/af_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/af_features.dir/bank.cpp.o"
+  "CMakeFiles/af_features.dir/bank.cpp.o.d"
+  "CMakeFiles/af_features.dir/measures.cpp.o"
+  "CMakeFiles/af_features.dir/measures.cpp.o.d"
+  "libaf_features.a"
+  "libaf_features.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/af_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

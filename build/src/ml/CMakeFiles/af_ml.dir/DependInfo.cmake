@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/classifier.cpp" "src/ml/CMakeFiles/af_ml.dir/classifier.cpp.o" "gcc" "src/ml/CMakeFiles/af_ml.dir/classifier.cpp.o.d"
+  "/root/repo/src/ml/cnn.cpp" "src/ml/CMakeFiles/af_ml.dir/cnn.cpp.o" "gcc" "src/ml/CMakeFiles/af_ml.dir/cnn.cpp.o.d"
+  "/root/repo/src/ml/data.cpp" "src/ml/CMakeFiles/af_ml.dir/data.cpp.o" "gcc" "src/ml/CMakeFiles/af_ml.dir/data.cpp.o.d"
+  "/root/repo/src/ml/decision_tree.cpp" "src/ml/CMakeFiles/af_ml.dir/decision_tree.cpp.o" "gcc" "src/ml/CMakeFiles/af_ml.dir/decision_tree.cpp.o.d"
+  "/root/repo/src/ml/dtw.cpp" "src/ml/CMakeFiles/af_ml.dir/dtw.cpp.o" "gcc" "src/ml/CMakeFiles/af_ml.dir/dtw.cpp.o.d"
+  "/root/repo/src/ml/hmm.cpp" "src/ml/CMakeFiles/af_ml.dir/hmm.cpp.o" "gcc" "src/ml/CMakeFiles/af_ml.dir/hmm.cpp.o.d"
+  "/root/repo/src/ml/logistic.cpp" "src/ml/CMakeFiles/af_ml.dir/logistic.cpp.o" "gcc" "src/ml/CMakeFiles/af_ml.dir/logistic.cpp.o.d"
+  "/root/repo/src/ml/metrics.cpp" "src/ml/CMakeFiles/af_ml.dir/metrics.cpp.o" "gcc" "src/ml/CMakeFiles/af_ml.dir/metrics.cpp.o.d"
+  "/root/repo/src/ml/naive_bayes.cpp" "src/ml/CMakeFiles/af_ml.dir/naive_bayes.cpp.o" "gcc" "src/ml/CMakeFiles/af_ml.dir/naive_bayes.cpp.o.d"
+  "/root/repo/src/ml/random_forest.cpp" "src/ml/CMakeFiles/af_ml.dir/random_forest.cpp.o" "gcc" "src/ml/CMakeFiles/af_ml.dir/random_forest.cpp.o.d"
+  "/root/repo/src/ml/serialize.cpp" "src/ml/CMakeFiles/af_ml.dir/serialize.cpp.o" "gcc" "src/ml/CMakeFiles/af_ml.dir/serialize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dsp/CMakeFiles/af_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/af_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

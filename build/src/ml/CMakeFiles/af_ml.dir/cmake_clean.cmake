@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/af_ml.dir/classifier.cpp.o"
+  "CMakeFiles/af_ml.dir/classifier.cpp.o.d"
+  "CMakeFiles/af_ml.dir/cnn.cpp.o"
+  "CMakeFiles/af_ml.dir/cnn.cpp.o.d"
+  "CMakeFiles/af_ml.dir/data.cpp.o"
+  "CMakeFiles/af_ml.dir/data.cpp.o.d"
+  "CMakeFiles/af_ml.dir/decision_tree.cpp.o"
+  "CMakeFiles/af_ml.dir/decision_tree.cpp.o.d"
+  "CMakeFiles/af_ml.dir/dtw.cpp.o"
+  "CMakeFiles/af_ml.dir/dtw.cpp.o.d"
+  "CMakeFiles/af_ml.dir/hmm.cpp.o"
+  "CMakeFiles/af_ml.dir/hmm.cpp.o.d"
+  "CMakeFiles/af_ml.dir/logistic.cpp.o"
+  "CMakeFiles/af_ml.dir/logistic.cpp.o.d"
+  "CMakeFiles/af_ml.dir/metrics.cpp.o"
+  "CMakeFiles/af_ml.dir/metrics.cpp.o.d"
+  "CMakeFiles/af_ml.dir/naive_bayes.cpp.o"
+  "CMakeFiles/af_ml.dir/naive_bayes.cpp.o.d"
+  "CMakeFiles/af_ml.dir/random_forest.cpp.o"
+  "CMakeFiles/af_ml.dir/random_forest.cpp.o.d"
+  "CMakeFiles/af_ml.dir/serialize.cpp.o"
+  "CMakeFiles/af_ml.dir/serialize.cpp.o.d"
+  "libaf_ml.a"
+  "libaf_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/af_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/optics/ambient.cpp" "src/optics/CMakeFiles/af_optics.dir/ambient.cpp.o" "gcc" "src/optics/CMakeFiles/af_optics.dir/ambient.cpp.o.d"
+  "/root/repo/src/optics/cross_board.cpp" "src/optics/CMakeFiles/af_optics.dir/cross_board.cpp.o" "gcc" "src/optics/CMakeFiles/af_optics.dir/cross_board.cpp.o.d"
+  "/root/repo/src/optics/emitter.cpp" "src/optics/CMakeFiles/af_optics.dir/emitter.cpp.o" "gcc" "src/optics/CMakeFiles/af_optics.dir/emitter.cpp.o.d"
+  "/root/repo/src/optics/photodiode.cpp" "src/optics/CMakeFiles/af_optics.dir/photodiode.cpp.o" "gcc" "src/optics/CMakeFiles/af_optics.dir/photodiode.cpp.o.d"
+  "/root/repo/src/optics/scene.cpp" "src/optics/CMakeFiles/af_optics.dir/scene.cpp.o" "gcc" "src/optics/CMakeFiles/af_optics.dir/scene.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/af_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/af_optics.dir/ambient.cpp.o"
+  "CMakeFiles/af_optics.dir/ambient.cpp.o.d"
+  "CMakeFiles/af_optics.dir/cross_board.cpp.o"
+  "CMakeFiles/af_optics.dir/cross_board.cpp.o.d"
+  "CMakeFiles/af_optics.dir/emitter.cpp.o"
+  "CMakeFiles/af_optics.dir/emitter.cpp.o.d"
+  "CMakeFiles/af_optics.dir/photodiode.cpp.o"
+  "CMakeFiles/af_optics.dir/photodiode.cpp.o.d"
+  "CMakeFiles/af_optics.dir/scene.cpp.o"
+  "CMakeFiles/af_optics.dir/scene.cpp.o.d"
+  "libaf_optics.a"
+  "libaf_optics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/af_optics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

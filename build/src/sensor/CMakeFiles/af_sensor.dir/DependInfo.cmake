@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sensor/adc.cpp" "src/sensor/CMakeFiles/af_sensor.dir/adc.cpp.o" "gcc" "src/sensor/CMakeFiles/af_sensor.dir/adc.cpp.o.d"
+  "/root/repo/src/sensor/prototype.cpp" "src/sensor/CMakeFiles/af_sensor.dir/prototype.cpp.o" "gcc" "src/sensor/CMakeFiles/af_sensor.dir/prototype.cpp.o.d"
+  "/root/repo/src/sensor/recorder.cpp" "src/sensor/CMakeFiles/af_sensor.dir/recorder.cpp.o" "gcc" "src/sensor/CMakeFiles/af_sensor.dir/recorder.cpp.o.d"
+  "/root/repo/src/sensor/trace.cpp" "src/sensor/CMakeFiles/af_sensor.dir/trace.cpp.o" "gcc" "src/sensor/CMakeFiles/af_sensor.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/optics/CMakeFiles/af_optics.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/af_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

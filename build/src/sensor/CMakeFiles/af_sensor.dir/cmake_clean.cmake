@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/af_sensor.dir/adc.cpp.o"
+  "CMakeFiles/af_sensor.dir/adc.cpp.o.d"
+  "CMakeFiles/af_sensor.dir/prototype.cpp.o"
+  "CMakeFiles/af_sensor.dir/prototype.cpp.o.d"
+  "CMakeFiles/af_sensor.dir/recorder.cpp.o"
+  "CMakeFiles/af_sensor.dir/recorder.cpp.o.d"
+  "CMakeFiles/af_sensor.dir/trace.cpp.o"
+  "CMakeFiles/af_sensor.dir/trace.cpp.o.d"
+  "libaf_sensor.a"
+  "libaf_sensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/af_sensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

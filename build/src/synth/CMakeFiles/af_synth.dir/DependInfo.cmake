@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/synth/dataset.cpp" "src/synth/CMakeFiles/af_synth.dir/dataset.cpp.o" "gcc" "src/synth/CMakeFiles/af_synth.dir/dataset.cpp.o.d"
+  "/root/repo/src/synth/io.cpp" "src/synth/CMakeFiles/af_synth.dir/io.cpp.o" "gcc" "src/synth/CMakeFiles/af_synth.dir/io.cpp.o.d"
+  "/root/repo/src/synth/motion_kind.cpp" "src/synth/CMakeFiles/af_synth.dir/motion_kind.cpp.o" "gcc" "src/synth/CMakeFiles/af_synth.dir/motion_kind.cpp.o.d"
+  "/root/repo/src/synth/scenario.cpp" "src/synth/CMakeFiles/af_synth.dir/scenario.cpp.o" "gcc" "src/synth/CMakeFiles/af_synth.dir/scenario.cpp.o.d"
+  "/root/repo/src/synth/smooth_noise.cpp" "src/synth/CMakeFiles/af_synth.dir/smooth_noise.cpp.o" "gcc" "src/synth/CMakeFiles/af_synth.dir/smooth_noise.cpp.o.d"
+  "/root/repo/src/synth/trajectory.cpp" "src/synth/CMakeFiles/af_synth.dir/trajectory.cpp.o" "gcc" "src/synth/CMakeFiles/af_synth.dir/trajectory.cpp.o.d"
+  "/root/repo/src/synth/user.cpp" "src/synth/CMakeFiles/af_synth.dir/user.cpp.o" "gcc" "src/synth/CMakeFiles/af_synth.dir/user.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sensor/CMakeFiles/af_sensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/optics/CMakeFiles/af_optics.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/af_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

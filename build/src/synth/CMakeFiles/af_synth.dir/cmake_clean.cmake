@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/af_synth.dir/dataset.cpp.o"
+  "CMakeFiles/af_synth.dir/dataset.cpp.o.d"
+  "CMakeFiles/af_synth.dir/io.cpp.o"
+  "CMakeFiles/af_synth.dir/io.cpp.o.d"
+  "CMakeFiles/af_synth.dir/motion_kind.cpp.o"
+  "CMakeFiles/af_synth.dir/motion_kind.cpp.o.d"
+  "CMakeFiles/af_synth.dir/scenario.cpp.o"
+  "CMakeFiles/af_synth.dir/scenario.cpp.o.d"
+  "CMakeFiles/af_synth.dir/smooth_noise.cpp.o"
+  "CMakeFiles/af_synth.dir/smooth_noise.cpp.o.d"
+  "CMakeFiles/af_synth.dir/trajectory.cpp.o"
+  "CMakeFiles/af_synth.dir/trajectory.cpp.o.d"
+  "CMakeFiles/af_synth.dir/user.cpp.o"
+  "CMakeFiles/af_synth.dir/user.cpp.o.d"
+  "libaf_synth.a"
+  "libaf_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/af_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cross2d_test.dir/cross2d_test.cpp.o"
+  "CMakeFiles/cross2d_test.dir/cross2d_test.cpp.o.d"
+  "cross2d_test"
+  "cross2d_test.pdb"
+  "cross2d_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cross2d_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

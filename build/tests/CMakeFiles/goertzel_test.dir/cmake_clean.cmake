@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/goertzel_test.dir/goertzel_test.cpp.o"
+  "CMakeFiles/goertzel_test.dir/goertzel_test.cpp.o.d"
+  "goertzel_test"
+  "goertzel_test.pdb"
+  "goertzel_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/goertzel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optics_test.dir/optics_test.cpp.o"
+  "CMakeFiles/optics_test.dir/optics_test.cpp.o.d"
+  "optics_test"
+  "optics_test.pdb"
+  "optics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

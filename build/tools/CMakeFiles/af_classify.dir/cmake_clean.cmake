@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/af_classify.dir/af_classify.cpp.o"
+  "CMakeFiles/af_classify.dir/af_classify.cpp.o.d"
+  "af_classify"
+  "af_classify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/af_classify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/af_collect.dir/af_collect.cpp.o"
+  "CMakeFiles/af_collect.dir/af_collect.cpp.o.d"
+  "af_collect"
+  "af_collect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/af_collect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

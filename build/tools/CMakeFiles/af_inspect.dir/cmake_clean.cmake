@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/af_inspect.dir/af_inspect.cpp.o"
+  "CMakeFiles/af_inspect.dir/af_inspect.cpp.o.d"
+  "af_inspect"
+  "af_inspect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/af_inspect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/af_train.dir/af_train.cpp.o"
+  "CMakeFiles/af_train.dir/af_train.cpp.o.d"
+  "af_train"
+  "af_train.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/af_train.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
