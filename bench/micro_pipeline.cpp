@@ -5,6 +5,11 @@
 // DESIGN.md §5.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <fstream>
+#include <iostream>
+
+#include "common/parallel.hpp"
 #include "core/data_processor.hpp"
 #include "core/trainer.hpp"
 #include "core/training.hpp"
@@ -167,4 +172,90 @@ static void BM_SynthesizeSample(benchmark::State& state) {
 }
 BENCHMARK(BM_SynthesizeSample);
 
-BENCHMARK_MAIN();
+// --- Thread scaling: wall-clock of the two dominant offline costs
+// (dataset synthesis, forest training) at 1/2/N pool threads, emitted as
+// JSON alongside the google-benchmark output. The determinism suite
+// guarantees the outputs are bit-identical across these runs; this report
+// tracks how much wall-clock the parallel substrate buys.
+namespace {
+
+double time_best_of(int rounds, const std::function<void()>& fn) {
+  double best = 1e100;
+  for (int r = 0; r < rounds; ++r) {
+    const auto start = std::chrono::steady_clock::now();
+    fn();
+    best = std::min(
+        best, std::chrono::duration<double>(
+                  std::chrono::steady_clock::now() - start)
+                  .count());
+  }
+  return best;
+}
+
+void write_thread_scaling_report(const std::string& path) {
+  std::vector<std::size_t> counts{1, 2};
+  const std::size_t native = common::resolve_thread_count();
+  counts.push_back(native > 4 ? native : 4);
+
+  synth::CollectionConfig synth_config;
+  synth_config.users = 2;
+  synth_config.sessions = 1;
+  synth_config.repetitions = 4;
+  synth_config.seed = 0xBE7C;
+
+  // Training workload: featurize once (serial), then time RF fits.
+  const synth::Dataset train_data =
+      synth::DatasetBuilder(synth_config).collect();
+  const core::DataProcessor proc;
+  const features::FeatureBank bank;
+  const auto set = core::build_feature_set(train_data, proc, bank,
+                                           core::LabelScheme::kAllEight);
+  ml::RandomForestConfig forest_config;
+  forest_config.num_trees = 100;
+
+  std::vector<double> synthesis_s, training_s;
+  for (std::size_t threads : counts) {
+    common::ScopedThreads scoped(threads);
+    synthesis_s.push_back(time_best_of(2, [&] {
+      benchmark::DoNotOptimize(
+          synth::DatasetBuilder(synth_config).collect());
+    }));
+    training_s.push_back(time_best_of(2, [&] {
+      ml::RandomForest forest(forest_config);
+      forest.fit(set);
+      benchmark::DoNotOptimize(forest);
+    }));
+  }
+
+  const auto emit = [&](std::ostream& os) {
+    os << "{\n  \"hardware_threads\": " << native << ",\n";
+    os << "  \"threads\": [";
+    for (std::size_t i = 0; i < counts.size(); ++i)
+      os << (i ? ", " : "") << counts[i];
+    os << "],\n  \"synthesis_s\": [";
+    for (std::size_t i = 0; i < counts.size(); ++i)
+      os << (i ? ", " : "") << synthesis_s[i];
+    os << "],\n  \"training_s\": [";
+    for (std::size_t i = 0; i < counts.size(); ++i)
+      os << (i ? ", " : "") << training_s[i];
+    os << "],\n  \"synthesis_speedup\": "
+       << synthesis_s.front() / synthesis_s.back()
+       << ",\n  \"training_speedup\": "
+       << training_s.front() / training_s.back() << "\n}\n";
+  };
+  std::ofstream file(path);
+  emit(file);
+  std::cout << "thread-scaling report (" << path << "):\n";
+  emit(std::cout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  write_thread_scaling_report("micro_pipeline_threads.json");
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,6 +1,9 @@
 #include "support.hpp"
 
 #include <iomanip>
+#include <optional>
+
+#include "common/parallel.hpp"
 
 namespace airfinger::bench {
 
@@ -47,16 +50,21 @@ ml::ConfusionMatrix cross_validate(const ml::SampleSet& set,
                                    bool verbose) {
   ml::ConfusionMatrix total(core::class_count(scheme),
                             core::class_names(scheme));
-  int fold = 0;
-  for (const auto& split : splits) {
+  // Folds are independent (each trains its own recognizer on the shared
+  // read-only set), so they run in parallel; merging and per-fold printing
+  // stay in fold order so output and counts are thread-count invariant.
+  std::vector<std::optional<ml::ConfusionMatrix>> folds(splits.size());
+  common::parallel_for(0, splits.size(), [&](std::size_t f) {
     core::DetectRecognizer recognizer;
-    const auto cm = core::evaluate_split(recognizer, set, split,
-                                         core::class_count(scheme),
-                                         core::class_names(scheme));
+    folds[f] = core::evaluate_split(recognizer, set, splits[f],
+                                    core::class_count(scheme),
+                                    core::class_names(scheme));
+  });
+  for (std::size_t f = 0; f < folds.size(); ++f) {
     if (verbose)
-      std::cout << "  fold " << ++fold << ": accuracy "
-                << common::Table::pct(cm.accuracy()) << "\n";
-    total.merge(cm);
+      std::cout << "  fold " << f + 1 << ": accuracy "
+                << common::Table::pct(folds[f]->accuracy()) << "\n";
+    total.merge(*folds[f]);
   }
   return total;
 }

@@ -11,6 +11,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/common/cli.cpp" "src/common/CMakeFiles/af_common.dir/cli.cpp.o" "gcc" "src/common/CMakeFiles/af_common.dir/cli.cpp.o.d"
   "/root/repo/src/common/csv.cpp" "src/common/CMakeFiles/af_common.dir/csv.cpp.o" "gcc" "src/common/CMakeFiles/af_common.dir/csv.cpp.o.d"
   "/root/repo/src/common/matrix.cpp" "src/common/CMakeFiles/af_common.dir/matrix.cpp.o" "gcc" "src/common/CMakeFiles/af_common.dir/matrix.cpp.o.d"
+  "/root/repo/src/common/parallel.cpp" "src/common/CMakeFiles/af_common.dir/parallel.cpp.o" "gcc" "src/common/CMakeFiles/af_common.dir/parallel.cpp.o.d"
   "/root/repo/src/common/rng.cpp" "src/common/CMakeFiles/af_common.dir/rng.cpp.o" "gcc" "src/common/CMakeFiles/af_common.dir/rng.cpp.o.d"
   "/root/repo/src/common/stats.cpp" "src/common/CMakeFiles/af_common.dir/stats.cpp.o" "gcc" "src/common/CMakeFiles/af_common.dir/stats.cpp.o.d"
   "/root/repo/src/common/table.cpp" "src/common/CMakeFiles/af_common.dir/table.cpp.o" "gcc" "src/common/CMakeFiles/af_common.dir/table.cpp.o.d"

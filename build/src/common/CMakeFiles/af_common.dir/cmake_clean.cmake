@@ -5,6 +5,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/af_common.dir/csv.cpp.o.d"
   "CMakeFiles/af_common.dir/matrix.cpp.o"
   "CMakeFiles/af_common.dir/matrix.cpp.o.d"
+  "CMakeFiles/af_common.dir/parallel.cpp.o"
+  "CMakeFiles/af_common.dir/parallel.cpp.o.d"
   "CMakeFiles/af_common.dir/rng.cpp.o"
   "CMakeFiles/af_common.dir/rng.cpp.o.d"
   "CMakeFiles/af_common.dir/stats.cpp.o"

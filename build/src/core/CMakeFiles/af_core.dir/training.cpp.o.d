@@ -247,6 +247,16 @@ src/core/CMakeFiles/af_core.dir/training.cpp.o: \
  /root/repo/src/optics/photodiode.hpp /root/repo/src/sensor/recorder.hpp \
  /root/repo/src/sensor/adc.hpp /root/repo/src/synth/scenario.hpp \
  /root/repo/src/synth/motion_kind.hpp /root/repo/src/synth/trajectory.hpp \
- /root/repo/src/synth/user.hpp /root/repo/src/core/airfinger.hpp \
+ /root/repo/src/synth/user.hpp /root/repo/src/common/parallel.hpp \
+ /usr/include/c++/12/thread /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/atomic /usr/include/c++/12/bits/std_thread.h \
+ /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h \
+ /root/repo/src/core/airfinger.hpp \
  /root/repo/src/core/interference_filter.hpp \
  /root/repo/src/core/type_router.hpp

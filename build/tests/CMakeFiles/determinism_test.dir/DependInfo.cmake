@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/determinism_test.cpp" "tests/CMakeFiles/determinism_test.dir/determinism_test.cpp.o" "gcc" "tests/CMakeFiles/determinism_test.dir/determinism_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/af_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/features/CMakeFiles/af_features.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/af_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/af_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/sensor/CMakeFiles/af_sensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/af_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/optics/CMakeFiles/af_optics.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/af_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -21,4 +21,6 @@ include("/root/repo/build/tests/hmm_test[1]_include.cmake")
 include("/root/repo/build/tests/pipeline_test[1]_include.cmake")
 include("/root/repo/build/tests/cnn_test[1]_include.cmake")
 include("/root/repo/build/tests/cross2d_test[1]_include.cmake")
+include("/root/repo/build/tests/parallel_test[1]_include.cmake")
+include("/root/repo/build/tests/determinism_test[1]_include.cmake")
 include("/root/repo/build/tests/goertzel_test[1]_include.cmake")

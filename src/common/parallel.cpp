@@ -1,0 +1,156 @@
+#include "common/parallel.hpp"
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstdlib>
+#include <deque>
+#include <exception>
+#include <mutex>
+
+namespace airfinger::common {
+
+namespace {
+thread_local bool tl_on_worker = false;
+
+// Active ScopedThreads override; null = use the global pool. Installed and
+// removed from the main thread only (documented on ScopedThreads).
+ThreadPool* g_override_pool = nullptr;
+}  // namespace
+
+std::size_t resolve_thread_count() {
+  if (const char* env = std::getenv("AF_THREADS")) {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && v >= 1)
+      return static_cast<std::size_t>(v);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw != 0 ? static_cast<std::size_t>(hw) : 1;
+}
+
+struct ThreadPool::State {
+  std::mutex mutex;
+  std::condition_variable wake;
+  std::deque<std::function<void()>> queue;
+  bool stop = false;
+};
+
+ThreadPool::ThreadPool(std::size_t workers)
+    : size_(std::max<std::size_t>(workers, 1)),
+      state_(std::make_unique<State>()) {
+  if (size_ < 2) return;  // serial pool: no threads, submit() runs inline
+  workers_.reserve(size_);
+  for (std::size_t i = 0; i < size_; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(state_->mutex);
+    state_->stop = true;
+  }
+  state_->wake.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  if (workers_.empty()) {
+    task();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(state_->mutex);
+    state_->queue.push_back(std::move(task));
+  }
+  state_->wake.notify_one();
+}
+
+bool ThreadPool::on_worker_thread() { return tl_on_worker; }
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool(resolve_thread_count());
+  return pool;
+}
+
+void ThreadPool::worker_loop() {
+  tl_on_worker = true;
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(state_->mutex);
+      state_->wake.wait(lock, [this] {
+        return state_->stop || !state_->queue.empty();
+      });
+      if (state_->queue.empty()) return;  // stop requested, queue drained
+      task = std::move(state_->queue.front());
+      state_->queue.pop_front();
+    }
+    task();
+  }
+}
+
+ScopedThreads::ScopedThreads(std::size_t workers)
+    : owned_(std::make_unique<ThreadPool>(workers)),
+      previous_(g_override_pool) {
+  g_override_pool = owned_.get();
+}
+
+ScopedThreads::~ScopedThreads() { g_override_pool = previous_; }
+
+namespace detail {
+ThreadPool& current_pool() {
+  return g_override_pool != nullptr ? *g_override_pool
+                                    : ThreadPool::global();
+}
+}  // namespace detail
+
+void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& fn) {
+  if (end <= begin) return;
+  const std::size_t n = end - begin;
+  // Serial fallbacks: 1-sized pools, single-index ranges, and nested calls
+  // from inside a worker (running the range inline keeps the pool free and
+  // cannot deadlock). All three are bit-identical to the parallel path by
+  // the determinism contract, so the choice is invisible to callers.
+  if (pool.size() <= 1 || n == 1 || ThreadPool::on_worker_thread()) {
+    for (std::size_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
+
+  const std::size_t chunks = std::min(pool.size(), n);
+  struct Join {
+    std::mutex mutex;
+    std::condition_variable done;
+    std::size_t remaining;
+    std::exception_ptr error;
+  } join;
+  join.remaining = chunks;
+
+  for (std::size_t c = 0; c < chunks; ++c) {
+    // Static chunking: contiguous, near-equal ranges fixed up front.
+    const std::size_t lo = begin + n * c / chunks;
+    const std::size_t hi = begin + n * (c + 1) / chunks;
+    pool.submit([&join, &fn, lo, hi] {
+      std::exception_ptr error;
+      try {
+        for (std::size_t i = lo; i < hi; ++i) fn(i);
+      } catch (...) {
+        error = std::current_exception();
+      }
+      std::lock_guard<std::mutex> lock(join.mutex);
+      if (error && !join.error) join.error = error;
+      if (--join.remaining == 0) join.done.notify_all();
+    });
+  }
+
+  std::unique_lock<std::mutex> lock(join.mutex);
+  join.done.wait(lock, [&join] { return join.remaining == 0; });
+  if (join.error) std::rethrow_exception(join.error);
+}
+
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& fn) {
+  parallel_for(detail::current_pool(), begin, end, fn);
+}
+
+}  // namespace airfinger::common

@@ -1,0 +1,131 @@
+// Shared parallel-execution layer: a lazily-initialized global thread pool
+// plus order-preserving parallel_for / parallel_map primitives.
+//
+// Design contract (see DESIGN.md "Concurrency & determinism"): every loop
+// parallelized through this layer must produce bit-identical results at any
+// thread count, including 1. The primitives guarantee the scheduling half of
+// that contract — each index is executed exactly once and outputs land in
+// index order — while callers guarantee the data half by deriving one
+// independent Rng stream per index (Rng::split(stream_id)) and reducing any
+// floating-point accumulation serially in index order after the parallel
+// region.
+//
+// Worker count: AF_THREADS environment variable when set (>= 1), otherwise
+// std::thread::hardware_concurrency(). AF_THREADS=1 (or a 1-sized pool)
+// short-circuits every primitive to plain inline loops on the calling
+// thread — no worker threads are ever touched.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace airfinger::common {
+
+/// Worker count the global pool is created with: the AF_THREADS environment
+/// variable when set to an integer >= 1, else hardware_concurrency (>= 1).
+std::size_t resolve_thread_count();
+
+/// Fixed-size worker pool with a shared FIFO task queue.
+///
+/// A pool of size <= 1 spawns no threads; submit() then runs the task
+/// inline. Destruction drains already-submitted tasks before joining.
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Logical size (what parallel_for chunks against).
+  std::size_t size() const { return size_; }
+
+  /// Enqueues a task (runs inline when the pool has no workers).
+  void submit(std::function<void()> task);
+
+  /// True when called from inside one of this process's pool workers.
+  /// parallel_for uses it to run nested invocations inline, so tasks may
+  /// freely call parallelized code without deadlocking the pool.
+  static bool on_worker_thread();
+
+  /// The process-wide pool, created on first use with
+  /// resolve_thread_count() workers.
+  static ThreadPool& global();
+
+ private:
+  struct State;  // queue + synchronization, defined in parallel.cpp
+  void worker_loop();
+
+  std::size_t size_ = 1;
+  std::unique_ptr<State> state_;
+  std::vector<std::thread> workers_;
+};
+
+/// Scoped override of the pool used by the pool-less parallel_for /
+/// parallel_map overloads below. Intended for tests and benchmarks that
+/// compare thread counts within one process (the global pool's size is
+/// fixed at creation). Overrides nest; each restores the previous pool on
+/// destruction. Not thread-safe: install overrides from the main thread
+/// only, outside parallel regions.
+class ScopedThreads {
+ public:
+  explicit ScopedThreads(std::size_t workers);
+  ~ScopedThreads();
+
+  ScopedThreads(const ScopedThreads&) = delete;
+  ScopedThreads& operator=(const ScopedThreads&) = delete;
+
+ private:
+  std::unique_ptr<ThreadPool> owned_;
+  ThreadPool* previous_ = nullptr;
+};
+
+/// Runs fn(i) for every i in [begin, end) on the given pool with static
+/// chunking (at most pool.size() contiguous chunks). Blocks until all
+/// indices completed. The first exception thrown by any worker is rethrown
+/// on the calling thread after the whole range has been attempted. Runs
+/// inline (serial) when the pool has <= 1 workers, the range has a single
+/// index, or the caller is itself a pool worker (nested invocation).
+void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& fn);
+
+/// parallel_for on the current pool (the active ScopedThreads override,
+/// else the global pool).
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& fn);
+
+/// Order-preserving map: out[i] = fn(items[i]), computed in parallel.
+/// Equivalent to std::transform over items for any pool size. The result
+/// type must be default-constructible and movable.
+template <typename In, typename Fn>
+auto parallel_map(ThreadPool& pool, const std::vector<In>& items, Fn&& fn)
+    -> std::vector<std::decay_t<decltype(fn(items.front()))>> {
+  using Out = std::decay_t<decltype(fn(items.front()))>;
+  std::vector<Out> out(items.size());
+  parallel_for(pool, 0, items.size(),
+               [&](std::size_t i) { out[i] = fn(items[i]); });
+  return out;
+}
+
+/// parallel_map on the current pool.
+template <typename In, typename Fn>
+auto parallel_map(const std::vector<In>& items, Fn&& fn)
+    -> std::vector<std::decay_t<decltype(fn(items.front()))>>;
+
+namespace detail {
+/// The pool the pool-less overloads dispatch to.
+ThreadPool& current_pool();
+}  // namespace detail
+
+template <typename In, typename Fn>
+auto parallel_map(const std::vector<In>& items, Fn&& fn)
+    -> std::vector<std::decay_t<decltype(fn(items.front()))>> {
+  return parallel_map(detail::current_pool(), items,
+                      std::forward<Fn>(fn));
+}
+
+}  // namespace airfinger::common

@@ -95,6 +95,17 @@ bool Rng::bernoulli(double p) {
   return uniform() < p;
 }
 
+Rng Rng::split(std::uint64_t stream_id) const {
+  // Key material: the parent's full state folded to 64 bits, decorrelated
+  // from the id by running each through an independent splitmix64 chain.
+  // splitmix64 is a bijection of its advanced state, so distinct ids can
+  // never collapse to the same child seed for a given parent state.
+  std::uint64_t state_key =
+      s_[0] ^ rotl(s_[1], 17) ^ rotl(s_[2], 29) ^ rotl(s_[3], 41);
+  std::uint64_t id_key = stream_id ^ 0xD1B54A32D192ED03ULL;
+  return Rng(splitmix64(state_key) ^ splitmix64(id_key));
+}
+
 Rng Rng::split() {
   // Mix the current state with a fork counter through splitmix64 so child
   // streams are decorrelated from the parent and from each other.

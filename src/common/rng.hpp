@@ -54,6 +54,14 @@ class Rng {
   /// Derives an independent substream; deterministic in fork order.
   Rng split();
 
+  /// Derives an independent substream keyed by a caller-chosen stream id.
+  /// Unlike split(), this neither consumes nor mutates the parent: the
+  /// child is a pure function of the parent's current state and the id, so
+  /// parallel consumers (one stream per repetition, per tree, per fold)
+  /// obtain identical substreams regardless of execution order or thread
+  /// count. Distinct ids yield decorrelated streams (SplitMix64-mixed).
+  Rng split(std::uint64_t stream_id) const;
+
   /// Fisher-Yates shuffle of an index vector [0, n).
   std::vector<std::size_t> permutation(std::size_t n);
 

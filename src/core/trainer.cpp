@@ -1,6 +1,7 @@
 #include "core/trainer.hpp"
 
 #include "common/error.hpp"
+#include "common/parallel.hpp"
 #include <cmath>
 
 #include "core/training.hpp"
@@ -55,9 +56,18 @@ AirFinger build_engine_from(const AirFingerConfig& engine_config,
   AirFingerConfig config = engine_config;
   {
     const ZebraTracker zebra(config.zebra);
-    double num = 0.0, den = 0.0;
-    for (const auto& sample : gestures.samples) {
-      if (!sample.scroll) continue;
+    // Per-sample contributions are tracked in parallel (tracker and
+    // processor are immutable), then the least-squares sums are reduced
+    // serially in sample order — floating-point addition order is part of
+    // the bit-identical determinism contract.
+    struct Contribution {
+      double num = 0.0;
+      double den = 0.0;
+    };
+    std::vector<Contribution> contributions(gestures.samples.size());
+    common::parallel_for(0, gestures.samples.size(), [&](std::size_t i) {
+      const auto& sample = gestures.samples[i];
+      if (!sample.scroll) return;
       const ProcessedTrace processed = processor.process(sample.trace);
       const double rate = sample.trace.sample_rate_hz();
       const dsp::Segment seg = DataProcessor::select_segment(
@@ -66,11 +76,17 @@ AirFinger build_engine_from(const AirFingerConfig& engine_config,
               std::lround(sample.gesture_start_s * rate)),
           static_cast<std::size_t>(
               std::lround(sample.gesture_end_s * rate)));
-      if (seg.length() < 8) continue;
+      if (seg.length() < 8) return;
       const auto est = zebra.track(processed, seg);
-      if (!est || est->used_experience_velocity) continue;
-      num += sample.scroll->mean_velocity_mps * est->velocity_mps;
-      den += est->velocity_mps * est->velocity_mps;
+      if (!est || est->used_experience_velocity) return;
+      contributions[i] = {
+          sample.scroll->mean_velocity_mps * est->velocity_mps,
+          est->velocity_mps * est->velocity_mps};
+    });
+    double num = 0.0, den = 0.0;
+    for (const auto& c : contributions) {
+      num += c.num;
+      den += c.den;
     }
     if (den > 0.0 && num > 0.0)
       config.zebra.velocity_gain = engine_config.zebra.velocity_gain *

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "common/parallel.hpp"
 #include "core/airfinger.hpp"
 
 namespace airfinger::core {
@@ -51,13 +52,20 @@ ml::SampleSet build_feature_set(const synth::Dataset& dataset,
                                 const DataProcessor& processor,
                                 const features::FeatureBank& bank,
                                 LabelScheme scheme, GroupScheme groups) {
-  ml::SampleSet set;
-  set.features.reserve(dataset.size());
-  set.labels.reserve(dataset.size());
-
-  for (const auto& sample : dataset.samples) {
+  // Feature extraction is independent per sample (processor and bank are
+  // immutable); rows are computed in parallel into per-sample slots, then
+  // appended in dataset order so the output is identical to the serial loop.
+  struct Row {
+    std::vector<double> features;
+    int label = -1;
+    int group = 0;
+    bool valid = false;
+  };
+  std::vector<Row> rows(dataset.size());
+  common::parallel_for(0, dataset.size(), [&](std::size_t i) {
+    const auto& sample = dataset.samples[i];
     const int label = label_for(sample.kind, scheme);
-    if (label < 0) continue;
+    if (label < 0) return;
 
     const ProcessedTrace processed = processor.process(sample.trace);
     const double rate = sample.trace.sample_rate_hz();
@@ -67,7 +75,7 @@ ml::SampleSet build_feature_set(const synth::Dataset& dataset,
         std::lround(sample.gesture_end_s * rate));
     const dsp::Segment raw_seg =
         DataProcessor::select_segment(processed, truth_begin, truth_end);
-    if (raw_seg.length() < 4) continue;  // unextractable blip
+    if (raw_seg.length() < 4) return;  // unextractable blip
     const dsp::Segment seg =
         pad_segment(raw_seg, processed.energy.size(),
                     processor.config().feature_pad_s, rate);
@@ -76,16 +84,26 @@ ml::SampleSet build_feature_set(const synth::Dataset& dataset,
     windows.reserve(processed.delta_rss2.size());
     for (const auto& ch : processed.delta_rss2)
       windows.emplace_back(ch.data() + seg.begin, seg.length());
-    set.features.push_back(bank.extract(
-        std::span<const std::span<const double>>(windows)));
-    set.labels.push_back(label);
+    Row& row = rows[i];
+    row.features =
+        bank.extract(std::span<const std::span<const double>>(windows));
+    row.label = label;
     switch (groups) {
       case GroupScheme::kNone: break;
-      case GroupScheme::kUser: set.groups.push_back(sample.user_id); break;
-      case GroupScheme::kSession:
-        set.groups.push_back(sample.session_id);
-        break;
+      case GroupScheme::kUser: row.group = sample.user_id; break;
+      case GroupScheme::kSession: row.group = sample.session_id; break;
     }
+    row.valid = true;
+  });
+
+  ml::SampleSet set;
+  set.features.reserve(dataset.size());
+  set.labels.reserve(dataset.size());
+  for (auto& row : rows) {
+    if (!row.valid) continue;
+    set.features.push_back(std::move(row.features));
+    set.labels.push_back(row.label);
+    if (groups != GroupScheme::kNone) set.groups.push_back(row.group);
   }
   set.validate();
   return set;

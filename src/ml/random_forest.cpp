@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "common/parallel.hpp"
 
 namespace airfinger::ml {
 
@@ -15,8 +16,6 @@ void RandomForest::fit(const SampleSet& data) {
   data.validate();
   AF_EXPECT(data.size() >= 2, "fit requires at least two samples");
   num_classes_ = data.num_classes();
-  trees_.clear();
-  trees_.reserve(config_.num_trees);
   importances_.assign(data.feature_count(), 0.0);
 
   const std::size_t mtry =
@@ -26,12 +25,17 @@ void RandomForest::fit(const SampleSet& data) {
                 std::max(1.0, std::floor(std::sqrt(static_cast<double>(
                                   data.feature_count())))));
 
-  common::Rng rng(config_.seed);
-  for (std::size_t t = 0; t < config_.num_trees; ++t) {
+  // Tree t draws its bootstrap and node-level feature subsampling from
+  // stream t of the forest seed, so fitting is bit-identical at any thread
+  // count (and tree t is the same whether or not trees 0..t-1 exist).
+  const common::Rng root(config_.seed);
+  std::vector<DecisionTree> fitted(config_.num_trees);
+  common::parallel_for(0, config_.num_trees, [&](std::size_t t) {
+    common::Rng tree_rng = root.split(t);
     // Bootstrap sample (with replacement, same size as the training set).
     std::vector<std::size_t> bootstrap(data.size());
     for (auto& idx : bootstrap)
-      idx = static_cast<std::size_t>(rng.below(data.size()));
+      idx = static_cast<std::size_t>(tree_rng.below(data.size()));
     SampleSet bag = data.subset(bootstrap);
 
     DecisionTreeConfig tree_config;
@@ -39,14 +43,20 @@ void RandomForest::fit(const SampleSet& data) {
     tree_config.min_samples_leaf = config_.min_samples_leaf;
     tree_config.min_samples_split = config_.min_samples_split;
     tree_config.max_features = mtry;
-    tree_config.seed = rng();
+    tree_config.seed = tree_rng();
     DecisionTree tree(tree_config);
     tree.fit(bag);
+    fitted[t] = std::move(tree);
+  });
 
+  // Importances are reduced serially in tree order after the parallel fit:
+  // floating-point addition is not associative, so the accumulation order
+  // is part of the determinism contract.
+  for (const auto& tree : fitted) {
     const auto& imp = tree.feature_importances();
     for (std::size_t f = 0; f < imp.size(); ++f) importances_[f] += imp[f];
-    trees_.push_back(std::move(tree));
   }
+  trees_ = std::move(fitted);
 
   double total = 0.0;
   for (double v : importances_) total += v;

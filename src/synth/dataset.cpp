@@ -8,6 +8,7 @@
 #include <set>
 
 #include "common/error.hpp"
+#include "common/parallel.hpp"
 
 namespace airfinger::synth {
 
@@ -117,28 +118,55 @@ GestureSample DatasetBuilder::record_one(MotionKind kind,
 }
 
 Dataset DatasetBuilder::collect() const {
-  common::Rng master(config_.seed);
+  const common::Rng master(config_.seed);
   const std::vector<UserProfile> users = roster();
+  const std::size_t kinds = config_.kinds.size();
+  const std::size_t reps = static_cast<std::size_t>(config_.repetitions);
+  const std::size_t sessions = static_cast<std::size_t>(config_.sessions);
 
-  Dataset out;
-  out.samples.reserve(static_cast<std::size_t>(config_.users) *
-                      static_cast<std::size_t>(config_.sessions) *
-                      config_.kinds.size() *
-                      static_cast<std::size_t>(config_.repetitions));
+  // Indexed RNG splitting instead of serial stream consumption: user u gets
+  // stream u of the master, session s gets stream s of the user, and every
+  // repetition gets its own stream of the session (id 0 is reserved for the
+  // session context itself). Each repetition is therefore a pure function
+  // of (seed, u, s, kind, rep), so recording order — and thread count — can
+  // never change a single sample bit.
+  struct WorkItem {
+    const UserProfile* user = nullptr;
+    const SessionContext* session = nullptr;
+    MotionKind kind = MotionKind::kCircle;
+    int repetition = 0;
+    common::Rng rng;
+  };
 
-  for (const auto& user : users) {
-    common::Rng user_rng = master.split();
-    for (int sess = 0; sess < config_.sessions; ++sess) {
-      common::Rng sess_rng = user_rng.split();
-      const SessionContext session = make_session(sess, sess_rng);
-      for (MotionKind kind : config_.kinds) {
-        for (int rep = 0; rep < config_.repetitions; ++rep) {
-          out.samples.push_back(
-              record_one(kind, user, session, rep, sess_rng));
+  std::vector<SessionContext> session_contexts;
+  session_contexts.reserve(users.size() * sessions);
+  std::vector<WorkItem> items;
+  items.reserve(users.size() * sessions * kinds * reps);
+  for (std::size_t u = 0; u < users.size(); ++u) {
+    const common::Rng user_rng = master.split(u);
+    for (std::size_t sess = 0; sess < sessions; ++sess) {
+      const common::Rng sess_rng = user_rng.split(sess);
+      common::Rng ctx_rng = sess_rng.split(0);
+      session_contexts.push_back(
+          make_session(static_cast<int>(sess), ctx_rng));
+      const SessionContext* session = &session_contexts.back();
+      for (std::size_t k = 0; k < kinds; ++k) {
+        for (std::size_t rep = 0; rep < reps; ++rep) {
+          items.push_back({&users[u], session, config_.kinds[k],
+                           static_cast<int>(rep),
+                           sess_rng.split(1 + k * reps + rep)});
         }
       }
     }
   }
+
+  Dataset out;
+  out.samples.resize(items.size());
+  common::parallel_for(0, items.size(), [&](std::size_t i) {
+    WorkItem& item = items[i];
+    out.samples[i] = record_one(item.kind, *item.user, *item.session,
+                                item.repetition, item.rng);
+  });
   return out;
 }
 

@@ -67,7 +67,9 @@ struct CollectionConfig {
   std::optional<double> fixed_hour;
 };
 
-/// Builds datasets following the paper's protocol. Deterministic in seed.
+/// Builds datasets following the paper's protocol. Deterministic in seed:
+/// every repetition draws from its own indexed Rng substream, so collect()
+/// is bit-identical at any thread count (see common/parallel.hpp).
 class DatasetBuilder {
  public:
   explicit DatasetBuilder(CollectionConfig config);
@@ -75,6 +77,7 @@ class DatasetBuilder {
   const CollectionConfig& config() const { return config_; }
 
   /// Runs the full protocol: users × sessions × kinds × repetitions.
+  /// Repetitions are synthesized in parallel on the shared pool.
   Dataset collect() const;
 
   /// Records a single repetition for an explicit user/session pair.

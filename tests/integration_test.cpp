@@ -170,8 +170,8 @@ TEST(Integration, HybridRoutingCanBeDisabled) {
 TEST(Integration, VelocityCorrelatesWithTruth) {
   auto& engine = shared_engine();
   const auto data = test_samples(
-      {synth::MotionKind::kScrollUp, synth::MotionKind::kScrollDown}, 12,
-      2012);
+      {synth::MotionKind::kScrollUp, synth::MotionKind::kScrollDown}, 16,
+      2013);
   std::vector<double> truth, measured;
   for (const auto& s : data.samples) {
     const auto v = run_sample(engine, s);

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Builds the concurrency-sensitive targets under ThreadSanitizer and runs
+# the thread-pool + core suites with a multi-thread pool. CI-runnable:
+# exits non-zero on any data race or test failure.
+#
+# Usage: tools/run_tsan.sh [build-dir]   (default: build-tsan)
+# AF_THREADS controls the pool width under test (default 4).
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${1:-${ROOT}/build-tsan}"
+
+cmake -B "${BUILD}" -S "${ROOT}" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DAF_SANITIZE=thread
+cmake --build "${BUILD}" -j --target parallel_test determinism_test core_test
+
+export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1 second_deadlock_stack=1}"
+export AF_THREADS="${AF_THREADS:-4}"
+
+"${BUILD}/tests/parallel_test"
+"${BUILD}/tests/determinism_test"
+"${BUILD}/tests/core_test"
+
+echo "tsan: all suites clean (AF_THREADS=${AF_THREADS})"
