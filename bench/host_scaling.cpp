@@ -1,0 +1,153 @@
+// bench_host_scaling — multi-session serving throughput vs. thread count.
+//
+// Measures the production-serving shape introduced by the bundle/session
+// split: one immutable ModelBundle, N concurrent streams driven by a
+// MultiSessionHost over the shared thread pool. For each pool width the
+// bench replays the same round-robin workload and reports sessions/sec
+// (full streams retired per wall-clock second) and mean per-frame latency,
+// to stdout and to a JSON file for tracking. The event streams are also
+// cross-checked for bit identity across thread counts — any divergence is
+// a determinism regression and fails the bench.
+#include <chrono>
+#include <fstream>
+#include <iostream>
+
+#include "common/parallel.hpp"
+#include "core/multi_session_host.hpp"
+#include "support.hpp"
+
+using namespace airfinger;
+
+namespace {
+
+double run_once(const std::shared_ptr<const core::ModelBundle>& bundle,
+                const std::vector<sensor::MultiChannelTrace>& traces,
+                std::size_t frames_per_turn,
+                std::vector<core::SessionEvent>* events) {
+  core::MultiSessionHost host(bundle, traces.size());
+  const auto start = std::chrono::steady_clock::now();
+  auto out = host.run_round_robin(traces, frames_per_turn);
+  const double wall = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - start)
+                          .count();
+  if (events) *events = std::move(out);
+  return wall;
+}
+
+bool events_equal(const std::vector<core::SessionEvent>& a,
+                  const std::vector<core::SessionEvent>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].session != b[i].session) return false;
+    const auto& x = a[i].event;
+    const auto& y = b[i].event;
+    if (x.type != y.type || x.time_s != y.time_s ||
+        x.gesture != y.gesture || x.segment_begin != y.segment_begin ||
+        x.segment_end != y.segment_end ||
+        x.scroll.has_value() != y.scroll.has_value())
+      return false;
+    if (x.scroll && (x.scroll->direction != y.scroll->direction ||
+                     x.scroll->velocity_mps != y.scroll->velocity_mps ||
+                     x.scroll->duration_s != y.scroll->duration_s))
+      return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  common::Cli cli("bench_host_scaling",
+                  "multi-session serving throughput vs thread count");
+  cli.add_flag("streams", "16", "concurrent sessions served by the host");
+  cli.add_flag("turn", "64", "frames fanned to each stream per turn");
+  cli.add_flag("rounds", "3", "timed repetitions per thread count (best-of)");
+  cli.add_flag("out", "bench_host_scaling.json", "JSON report path");
+  const auto args = bench::parse_args(
+      argc, argv, "bench_host_scaling",
+      "multi-session serving throughput vs thread count", &cli);
+  if (!args) return 0;
+
+  const auto streams = static_cast<std::size_t>(cli.get_int("streams"));
+  const auto turn = static_cast<std::size_t>(cli.get_int("turn"));
+  const auto rounds = static_cast<int>(cli.get_int("rounds"));
+
+  std::cout << "training the shared bundle...\n";
+  const auto bundle = bench::train_bundle(*args);
+
+  // One gesture-mix trace per stream (distinct users/seeds: the host must
+  // not rely on streams being in phase).
+  std::cout << "synthesizing " << streams << " stream traces...\n";
+  const std::vector<synth::MotionKind> mix{
+      synth::MotionKind::kCircle,     synth::MotionKind::kClick,
+      synth::MotionKind::kScrollUp,   synth::MotionKind::kRub,
+      synth::MotionKind::kScrollDown, synth::MotionKind::kDoubleClick,
+  };
+  std::vector<sensor::MultiChannelTrace> traces;
+  std::uint64_t total_frames = 0;
+  for (std::size_t s = 0; s < streams; ++s) {
+    synth::CollectionConfig config;
+    config.users = 1;
+    config.seed = args->seed ^ (0x57AE0 + s);
+    traces.push_back(
+        synth::make_gesture_stream(config, mix, config.seed).trace);
+    total_frames += traces.back().sample_count();
+  }
+
+  std::vector<std::size_t> counts{1, 2};
+  const std::size_t native = common::resolve_thread_count();
+  counts.push_back(native > 4 ? native : 4);
+
+  std::vector<double> wall_s(counts.size(), 0.0);
+  std::vector<core::SessionEvent> reference;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    common::ScopedThreads scoped(counts[i]);
+    double best = 1e100;
+    std::vector<core::SessionEvent> events;
+    for (int r = 0; r < rounds; ++r)
+      best = std::min(best, run_once(bundle, traces, turn, &events));
+    wall_s[i] = best;
+    if (i == 0) {
+      reference = std::move(events);
+    } else if (!events_equal(reference, events)) {
+      std::cerr << "DETERMINISM VIOLATION: host events differ between "
+                << counts[0] << " and " << counts[i] << " threads\n";
+      return 1;
+    }
+    std::cout << "  " << counts[i] << " threads: " << wall_s[i] << " s ("
+              << static_cast<double>(streams) / wall_s[i]
+              << " sessions/s)\n";
+  }
+
+  const double speedup = wall_s.front() / wall_s.back();
+  const auto emit = [&](std::ostream& os) {
+    os << "{\n  \"hardware_threads\": " << native << ",\n";
+    os << "  \"streams\": " << streams << ",\n";
+    os << "  \"frames_total\": " << total_frames << ",\n";
+    os << "  \"events_total\": " << reference.size() << ",\n";
+    os << "  \"threads\": [";
+    for (std::size_t i = 0; i < counts.size(); ++i)
+      os << (i ? ", " : "") << counts[i];
+    os << "],\n  \"wall_s\": [";
+    for (std::size_t i = 0; i < counts.size(); ++i)
+      os << (i ? ", " : "") << wall_s[i];
+    os << "],\n  \"sessions_per_second\": [";
+    for (std::size_t i = 0; i < counts.size(); ++i)
+      os << (i ? ", " : "")
+         << static_cast<double>(streams) / wall_s[i];
+    os << "],\n  \"frame_latency_us\": [";
+    for (std::size_t i = 0; i < counts.size(); ++i)
+      os << (i ? ", " : "")
+         << wall_s[i] * 1e6 / static_cast<double>(total_frames);
+    os << "],\n  \"speedup\": " << speedup
+       << ",\n  \"sessions_per_core_per_second\": "
+       << static_cast<double>(streams) /
+              (wall_s.back() * static_cast<double>(counts.back()))
+       << ",\n  \"deterministic_across_threads\": true\n}\n";
+  };
+  std::ofstream file(cli.get("out"));
+  emit(file);
+  std::cout << "\nhost-scaling report (" << cli.get("out") << "):\n";
+  emit(std::cout);
+  return 0;
+}

@@ -36,6 +36,13 @@ synth::CollectionConfig protocol(const BenchArgs& args) {
   return config;
 }
 
+std::shared_ptr<const core::ModelBundle> train_bundle(
+    const BenchArgs& args, core::TrainingReport* report) {
+  core::TrainerConfig config;
+  config.seed = args.seed;
+  return core::build_bundle(config, report);
+}
+
 ml::SampleSet featurize(const synth::Dataset& data,
                         core::LabelScheme scheme,
                         core::GroupScheme groups) {

@@ -9,6 +9,7 @@
 #include "common/cli.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
+#include "core/trainer.hpp"
 #include "core/training.hpp"
 #include "ml/metrics.hpp"
 #include "synth/dataset.hpp"
@@ -34,6 +35,13 @@ std::optional<BenchArgs> parse_args(int argc, const char* const* argv,
 
 /// Builds the paper's collection protocol with the bench scaling.
 synth::CollectionConfig protocol(const BenchArgs& args);
+
+/// Trains one frozen ModelBundle for serving-shaped benches (interactive
+/// trainer scale, seeded from the bench args). The bundle is immutable and
+/// shared: host benches spin up Sessions against it instead of retraining
+/// or copying forests per stream.
+std::shared_ptr<const core::ModelBundle> train_bundle(
+    const BenchArgs& args, core::TrainingReport* report = nullptr);
 
 /// Extracts the full-bank feature set for a dataset (batch processing,
 /// ground-truth-guided segment choice — the paper's offline protocol).

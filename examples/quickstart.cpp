@@ -1,13 +1,16 @@
-// Quickstart: train an airFinger engine on synthesized data and stream a
-// few gestures through it.
+// Quickstart: train an airFinger model bundle on synthesized data, round-trip
+// it through the single-file artifact, and stream a few gestures through a
+// Session built from the loaded copy.
 //
 // Build & run:
 //   cmake -B build -G Ninja && cmake --build build
 //   ./build/examples/quickstart
 #include <iostream>
+#include <sstream>
 
 #include "common/cli.hpp"
 #include "common/rng.hpp"
+#include "core/session.hpp"
 #include "core/trainer.hpp"
 #include "synth/dataset.hpp"
 
@@ -15,7 +18,7 @@ using namespace airfinger;
 
 int main(int argc, char** argv) {
   common::Cli cli("quickstart",
-                  "train an airFinger engine and recognize a gesture mix");
+                  "train an airFinger bundle and recognize a gesture mix");
   cli.add_flag("seed", "42", "master random seed");
   cli.add_flag("users", "3", "synthetic volunteers in the training set");
   cli.add_flag("reps", "6", "repetitions per gesture per session");
@@ -32,7 +35,7 @@ int main(int argc, char** argv) {
   trainer.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
 
   core::TrainingReport report;
-  core::AirFinger engine = core::build_engine(trainer, &report);
+  const auto trained = core::build_bundle(trainer, &report);
 
   std::cout << "  trained on " << report.gesture_samples
             << " gesture samples and " << report.non_gesture_samples
@@ -41,7 +44,19 @@ int main(int argc, char** argv) {
     if (i % 6 == 0) std::cout << "\n    ";
     std::cout << report.selected_feature_names[i] << "  ";
   }
-  std::cout << "\n\nStreaming a live gesture mix through the engine:\n";
+
+  // Round-trip through the versioned single-file artifact. On disk this is
+  // `trained->save_file("models.af")` / `ModelBundle::load_file("models.af")`;
+  // a stringstream keeps the example self-contained. Hex-float serialization
+  // makes the loaded copy bit-identical to the trained one.
+  std::stringstream artifact;
+  trained->save(artifact);
+  const auto bundle = core::ModelBundle::load(artifact);
+  std::cout << "\n\nSaved + reloaded bundle ("
+            << artifact.str().size() << " bytes, afbundle v"
+            << core::ModelBundle::kFormatVersion << ").\n";
+
+  std::cout << "\nStreaming a live gesture mix through a Session:\n";
 
   // A fresh user (not in the training roster) performs a mix of gestures.
   synth::CollectionConfig stream_config;
@@ -58,9 +73,12 @@ int main(int argc, char** argv) {
 
   std::cout << "  ground truth:";
   for (auto k : stream.kinds) std::cout << " [" << synth::motion_name(k) << "]";
-  std::cout << "\n\n  engine events:\n";
+  std::cout << "\n\n  session events:\n";
 
-  const auto events = engine.process_trace(stream.trace);
+  // O(1) construction: the session shares the bundle's forests and only
+  // allocates its own per-stream buffers.
+  core::Session session(bundle);
+  const auto events = session.process_trace(stream.trace);
   for (const auto& e : events) std::cout << "    " << e.describe() << "\n";
 
   std::cout << "\nDone: " << events.size() << " events from "

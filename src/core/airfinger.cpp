@@ -1,284 +1,13 @@
 #include "core/airfinger.hpp"
 
-#include <algorithm>
-#include <sstream>
-
-#include "common/error.hpp"
-
 namespace airfinger::core {
-
-std::string GestureEvent::describe() const {
-  std::ostringstream os;
-  os.precision(3);
-  os << std::fixed << "[t=" << time_s << "s] ";
-  switch (type) {
-    case Type::kDetectGesture:
-      os << "gesture: " << (gesture ? synth::motion_name(*gesture) : "?");
-      break;
-    case Type::kScrollDetected:
-      os << "scroll "
-         << (scroll && scroll->direction > 0 ? "up" : "down")
-         << " v=" << (scroll ? scroll->velocity_mps * 1000.0 : 0.0)
-         << "mm/s D=" << (scroll ? scroll->final_displacement() * 1000.0 : 0.0)
-         << "mm";
-      break;
-    case Type::kScrollDirection:
-      os << "scroll direction: "
-         << (scroll && scroll->direction > 0 ? "up" : "down")
-         << " (early)";
-      break;
-    case Type::kNonGesture:
-      os << "rejected non-gesture";
-      break;
-  }
-  return os.str();
-}
 
 AirFinger::AirFinger(AirFingerConfig config, DetectRecognizer recognizer,
                      std::optional<InterferenceFilter> filter)
-    : config_(config),
-      recognizer_(std::move(recognizer)),
-      filter_(std::move(filter)),
-      router_(config.router),
-      zebra_(config.zebra),
-      segmenter_([&config] {
-        dsp::SegmenterConfig seg = config.processing.segmenter;
-        seg.sample_rate_hz = config.sample_rate_hz;
-        return seg;
-      }()) {
-  AF_EXPECT(config_.sample_rate_hz > 0.0, "sample rate must be positive");
-  AF_EXPECT(config_.channels >= 2, "engine requires at least two channels");
-  AF_EXPECT(recognizer_.is_fitted(),
-            "AirFinger requires a fitted recognizer");
-  AF_EXPECT(!config_.interference_filtering || (filter_ &&
-                filter_->is_fitted()),
-            "interference filtering enabled but no fitted filter given");
+    : session_(ModelBundle::create(config, std::move(recognizer),
+                                   std::move(filter))) {}
 
-  const DataProcessor processor(config_.processing);
-  const std::size_t w = processor.window_samples(config_.sample_rate_hz);
-  for (std::size_t c = 0; c < config_.channels; ++c)
-    sbc_.emplace_back(w);
-  history_.resize(config_.channels);
-}
-
-ProcessedTrace AirFinger::window_view(const dsp::Segment& segment) const {
-  AF_ASSERT(segment.begin >= history_base_,
-            "segment reaches behind the compacted history");
-  const std::size_t begin = segment.begin - history_base_;
-  const std::size_t end = segment.end - history_base_;
-  ProcessedTrace view;
-  view.sample_rate_hz = config_.sample_rate_hz;
-  view.delta_rss2.reserve(history_.size());
-  for (const auto& ch : history_) {
-    AF_ASSERT(end <= ch.size(), "segment reaches beyond recorded history");
-    view.delta_rss2.emplace_back(ch.begin() + static_cast<long>(begin),
-                                 ch.begin() + static_cast<long>(end));
-  }
-  view.energy.assign(segment.length(), 0.0);
-  for (const auto& ch : view.delta_rss2)
-    for (std::size_t i = 0; i < ch.size(); ++i) view.energy[i] += ch[i];
-  return view;
-}
-
-GestureEvent AirFinger::decide(const ProcessedTrace& view,
-                               const dsp::Segment& local) const {
-  GestureEvent event;
-  GestureCategory category = router_.route(view, local);
-
-  // Hybrid routing: let the eight-class recognizer veto the rule when it
-  // is confident the rule misrouted (see AirFingerConfig::hybrid_routing).
-  std::vector<double> row;
-  std::vector<double> proba;
-  auto ensure_classified = [&] {
-    if (row.empty()) {
-      const dsp::Segment padded =
-          pad_segment(local, view.energy.size(),
-                      config_.processing.feature_pad_s, view.sample_rate_hz);
-      std::vector<std::span<const double>> windows;
-      windows.reserve(view.delta_rss2.size());
-      for (const auto& ch : view.delta_rss2)
-        windows.emplace_back(ch.data() + padded.begin, padded.length());
-      row = recognizer_.extract(
-          std::span<const std::span<const double>>(windows));
-      proba = recognizer_.predict_proba(row);
-    }
-  };
-  if (config_.hybrid_routing) {
-    ensure_classified();
-    const int best = static_cast<int>(
-        std::max_element(proba.begin(), proba.end()) - proba.begin());
-    const double margin = proba[static_cast<std::size_t>(best)];
-    const bool classifier_says_track =
-        synth::is_track_aimed(static_cast<synth::MotionKind>(best));
-    if (margin >= config_.hybrid_override_margin) {
-      category = classifier_says_track ? GestureCategory::kTrackAimed
-                                       : GestureCategory::kDetectAimed;
-    }
-  }
-
-  if (category == GestureCategory::kTrackAimed) {
-    if (const auto estimate = zebra_.track(view, local)) {
-      event.type = GestureEvent::Type::kScrollDetected;
-      event.scroll = *estimate;
-      return event;
-    }
-    // ZEBRA saw nothing decisive: fall through to the detect path.
-  }
-
-  ensure_classified();
-  if (filter_ && config_.interference_filtering &&
-      filter_->gesture_probability(row) < config_.rejection_threshold) {
-    event.type = GestureEvent::Type::kNonGesture;
-    return event;
-  }
-
-  int label = static_cast<int>(
-      std::max_element(proba.begin(), proba.end()) - proba.begin());
-  if (synth::is_track_aimed(static_cast<synth::MotionKind>(label))) {
-    // The recognizer itself says scroll (rule and veto disagreed): pick the
-    // best detect-aimed class instead.
-    double best_p = -1.0;
-    int best_label = 0;
-    for (std::size_t c = 0; c < proba.size(); ++c) {
-      if (synth::is_track_aimed(static_cast<synth::MotionKind>(c))) continue;
-      if (proba[c] > best_p) {
-        best_p = proba[c];
-        best_label = static_cast<int>(c);
-      }
-    }
-    label = best_label;
-  }
-  event.type = GestureEvent::Type::kDetectGesture;
-  event.gesture = static_cast<synth::MotionKind>(label);
-  return event;
-}
-
-void AirFinger::handle_segment(const dsp::Segment& segment,
-                               const EventCallback& callback) {
-  // Work on the segment window re-based to local indices.
-  const ProcessedTrace view = window_view(segment);
-  GestureEvent event = decide(view, dsp::Segment{0, segment.length()});
-  event.time_s = now();
-  event.segment_begin = segment.begin;
-  event.segment_end = segment.end;
-  callback(event);
-}
-
-void AirFinger::push_frame(std::span<const double> frame,
-                           const EventCallback& callback) {
-  AF_EXPECT(frame.size() == config_.channels,
-            "frame arity must match channel count");
-  AF_EXPECT(static_cast<bool>(callback), "event callback is required");
-
-  double energy = 0.0;
-  for (std::size_t c = 0; c < frame.size(); ++c) {
-    const double d = sbc_[c].push(frame[c]);
-    history_[c].push_back(d);
-    energy += d;
-  }
-
-  const bool was_open = segmenter_.in_gesture();
-  const auto completed = segmenter_.push(energy);
-  ++frames_;
-
-  if (!was_open && segmenter_.in_gesture()) {
-    open_segment_begin_ = frames_ - 1;
-    early_direction_sent_ = false;
-  }
-
-  // Early scroll-direction verdict: once the open segment is longer than
-  // I_g and the router already sees an ordered rise, report direction
-  // without waiting for the gesture to finish.
-  if (segmenter_.in_gesture() && !early_direction_sent_) {
-    const std::size_t open_len = frames_ - open_segment_begin_;
-    const auto ig_samples = static_cast<std::size_t>(
-        config_.router.ig_threshold_s * config_.sample_rate_hz);
-    if (open_len > 2 * ig_samples + 2) {
-      const dsp::Segment open_seg{open_segment_begin_, frames_};
-      ProcessedTrace view = window_view(open_seg);
-      const dsp::Segment local{0, open_seg.length()};
-      if (router_.route(view, local) == GestureCategory::kTrackAimed) {
-        if (const auto est = zebra_.track(view, local)) {
-          GestureEvent event;
-          event.type = GestureEvent::Type::kScrollDirection;
-          event.time_s = now();
-          event.segment_begin = open_seg.begin;
-          event.segment_end = open_seg.end;
-          event.scroll = *est;
-          early_direction_sent_ = true;
-          callback(event);
-        }
-      }
-    }
-  }
-
-  if (completed) handle_segment(*completed, callback);
-
-  // Compact old history between gestures (and only after any completed
-  // segment has been analysed): keep the most recent half of the limit so
-  // any segment the segmenter can still close stays in range.
-  if (!segmenter_.in_gesture() &&
-      history_.front().size() > config_.history_limit) {
-    const std::size_t keep = config_.history_limit / 2;
-    const std::size_t drop = history_.front().size() - keep;
-    for (auto& ch : history_)
-      ch.erase(ch.begin(), ch.begin() + static_cast<long>(drop));
-    history_base_ += drop;
-  }
-}
-
-void AirFinger::finish(const EventCallback& callback) {
-  AF_EXPECT(static_cast<bool>(callback), "event callback is required");
-  if (const auto open = segmenter_.flush()) handle_segment(*open, callback);
-}
-
-void AirFinger::reset() {
-  for (auto& s : sbc_) s.reset();
-  segmenter_.reset();
-  for (auto& ch : history_) ch.clear();
-  history_base_ = 0;
-  frames_ = 0;
-  early_direction_sent_ = false;
-  open_segment_begin_ = 0;
-}
-
-std::vector<GestureEvent> AirFinger::process_trace(
-    const sensor::MultiChannelTrace& trace) {
-  AF_EXPECT(trace.channel_count() == config_.channels,
-            "trace channel count mismatch");
-  std::vector<GestureEvent> events;
-  const auto sink = [&events](const GestureEvent& e) {
-    events.push_back(e);
-  };
-  std::vector<double> frame(trace.channel_count());
-  for (std::size_t i = 0; i < trace.sample_count(); ++i) {
-    for (std::size_t c = 0; c < frame.size(); ++c)
-      frame[c] = trace.channel(c)[i];
-    push_frame(frame, sink);
-  }
-  finish(sink);
-  return events;
-}
-
-std::vector<GestureEvent> AirFinger::classify_recording(
-    const sensor::MultiChannelTrace& trace) const {
-  AF_EXPECT(trace.channel_count() == config_.channels,
-            "trace channel count mismatch");
-  DataProcessorConfig proc_config = config_.processing;
-  proc_config.segmenter.sample_rate_hz = trace.sample_rate_hz();
-  const DataProcessor processor(proc_config);
-  const ProcessedTrace processed = processor.process(trace);
-
-  std::vector<GestureEvent> events;
-  for (const auto& segment : processed.segments) {
-    GestureEvent event = decide(processed, segment);
-    event.time_s =
-        static_cast<double>(segment.end) / trace.sample_rate_hz();
-    event.segment_begin = segment.begin;
-    event.segment_end = segment.end;
-    events.push_back(event);
-  }
-  return events;
-}
+AirFinger::AirFinger(std::shared_ptr<const ModelBundle> bundle)
+    : session_(std::move(bundle)) {}
 
 }  // namespace airfinger::core

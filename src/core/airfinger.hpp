@@ -1,5 +1,14 @@
 // The airFinger engine: real-time streaming recognition and tracking.
 //
+// Since the bundle/session split (DESIGN.md §10) the engine is a thin
+// compatibility façade: an immutable, shareable core::ModelBundle (config +
+// fitted recognizer + optional interference filter + the stateless router
+// and ZEBRA analyzers) driven by one core::Session holding the per-stream
+// mutable state (SBC delay lines, segmenter calibration, ΔRSS² history).
+// Existing call sites keep working unchanged; code that serves many
+// concurrent streams should hold the bundle once and construct Sessions —
+// or use core::MultiSessionHost — instead of cloning engines.
+//
 // Frames (one sample per photodiode) are pushed in; the engine runs SBC per
 // channel, streams the summed ΔRSS² through the dynamic-threshold segmenter,
 // and on each completed segment: routes it (detect- vs track-aimed),
@@ -11,140 +20,70 @@
 // ascending order is known).
 #pragma once
 
-#include <functional>
-#include <optional>
-#include <string>
-
-#include "core/data_processor.hpp"
-#include "core/detect_recognizer.hpp"
-#include "core/interference_filter.hpp"
-#include "core/type_router.hpp"
-#include "core/zebra.hpp"
-#include "synth/motion_kind.hpp"
+#include "core/model_bundle.hpp"
+#include "core/session.hpp"
 
 namespace airfinger::core {
 
-/// Engine configuration.
-struct AirFingerConfig {
-  double sample_rate_hz = 100.0;
-  std::size_t channels = 3;
-  DataProcessorConfig processing{};
-  TypeRouterConfig router{};
-  ZebraConfig zebra{};
-  DetectRecognizerConfig recognizer{};
-  InterferenceFilterConfig interference{};
-  bool interference_filtering = true;  ///< Enable the non-gesture filter.
-  /// Hybrid routing: the recognizer is trained on all eight gestures and
-  /// cross-checks the rule-based router — a track-routed segment that the
-  /// classifier confidently calls a detect gesture is re-labelled, and a
-  /// detect-routed segment classified as a scroll is handed to ZEBRA. This
-  /// recovers rule misroutes at the cost of one extra classification; the
-  /// rule-only mode reproduces the paper's architecture exactly.
-  bool hybrid_routing = true;
-  /// Classifier probability needed to override the rule-based router.
-  double hybrid_override_margin = 0.50;
-  /// Streaming-history bound (samples per channel). The engine keeps at
-  /// least this much recent ΔRSS² for segment analysis and compacts older
-  /// history between gestures, so a session of any length runs in constant
-  /// memory. Must comfortably exceed the longest gesture plus analysis
-  /// padding; ~40 s at 100 Hz by default.
-  std::size_t history_limit = 4096;
-  /// A segment is rejected as unintentional motion only when the filter's
-  /// P(gesture) falls below this (biasing towards keeping real gestures,
-  /// as false rejections are costlier than an occasional false accept).
-  double rejection_threshold = 0.40;
-};
-
-/// An event emitted by the engine.
-struct GestureEvent {
-  enum class Type {
-    kDetectGesture,   ///< A detect-aimed gesture was recognized.
-    kScrollDetected,  ///< A track-aimed gesture completed (full estimate).
-    kScrollDirection, ///< Early direction verdict (before gesture end).
-    kNonGesture,      ///< A segment was rejected as unintentional motion.
-  };
-  Type type{};
-  double time_s = 0.0;          ///< Engine time at emission.
-  /// kDetectGesture: the recognized detect-aimed gesture.
-  std::optional<synth::MotionKind> gesture;
-  /// kScroll*: tracking estimate (direction always set; velocity/duration
-  /// only on kScrollDetected).
-  std::optional<ScrollEstimate> scroll;
-  /// Segment bounds in absolute sample indices.
-  std::size_t segment_begin = 0;
-  std::size_t segment_end = 0;
-
-  std::string describe() const;
-};
-
-/// Streaming recognition engine. Construct with pre-trained models (see
-/// core/training.hpp and the quickstart example for the training flow).
+/// Streaming recognition engine: one ModelBundle + one Session. Construct
+/// with pre-trained models (see core/training.hpp and the quickstart
+/// example for the training flow) or adopt an already-shared bundle.
 class AirFinger {
  public:
-  using EventCallback = std::function<void(const GestureEvent&)>;
+  using EventCallback = Session::EventCallback;
 
   /// Requires fitted recognizer and (when filtering is enabled) filter.
+  /// Packages the models into a fresh bundle.
   AirFinger(AirFingerConfig config, DetectRecognizer recognizer,
             std::optional<InterferenceFilter> filter);
 
-  const AirFingerConfig& config() const { return config_; }
+  /// Adopts a shared bundle (O(1), no forest copies) — e.g. one loaded
+  /// with ModelBundle::load_file and already serving other sessions.
+  explicit AirFinger(std::shared_ptr<const ModelBundle> bundle);
+
+  const AirFingerConfig& config() const { return session_.config(); }
+
+  /// The shared immutable model layer.
+  const std::shared_ptr<const ModelBundle>& bundle() const {
+    return session_.bundle_ptr();
+  }
 
   /// Feeds one frame (one RSS sample per channel). Events triggered by this
   /// frame are delivered synchronously through `callback`.
   void push_frame(std::span<const double> frame,
-                  const EventCallback& callback);
+                  const EventCallback& callback) {
+    session_.push_frame(frame, callback);
+  }
 
   /// Flushes any open segment at end of stream.
-  void finish(const EventCallback& callback);
+  void finish(const EventCallback& callback) { session_.finish(callback); }
 
   /// Processes a whole recorded trace through the streaming path,
   /// returning all events.
   std::vector<GestureEvent> process_trace(
-      const sensor::MultiChannelTrace& trace);
+      const sensor::MultiChannelTrace& trace) {
+    return session_.process_trace(trace);
+  }
 
   /// Offline classification of a recorded trace: batch SBC + batch DT
   /// segmentation (identical to the training-time processing), then the
   /// same routing/recognition logic as the streaming path. One event per
   /// detected segment. This is the paper's offline evaluation protocol.
   std::vector<GestureEvent> classify_recording(
-      const sensor::MultiChannelTrace& trace) const;
+      const sensor::MultiChannelTrace& trace) const {
+    return session_.bundle().classify_recording(trace);
+  }
 
   /// Samples consumed so far.
-  std::size_t frames_seen() const { return frames_; }
+  std::size_t frames_seen() const { return session_.frames_seen(); }
 
   /// Clears all streaming state (SBC delay lines, segmenter calibration,
   /// ΔRSS² history) so the engine can process an unrelated recording.
   /// Trained models are kept.
-  void reset();
+  void reset() { session_.reset(); }
 
  private:
-  void handle_segment(const dsp::Segment& segment,
-                      const EventCallback& callback);
-  /// Shared decision core: routes, filters, classifies one segment view.
-  GestureEvent decide(const ProcessedTrace& view,
-                      const dsp::Segment& local) const;
-  ProcessedTrace window_view(const dsp::Segment& segment) const;
-  double now() const {
-    return static_cast<double>(frames_) / config_.sample_rate_hz;
-  }
-
-  AirFingerConfig config_;
-  DetectRecognizer recognizer_;
-  std::optional<InterferenceFilter> filter_;
-  TypeRouter router_;
-  ZebraTracker zebra_;
-
-  std::vector<dsp::SquareBasedCalculator> sbc_;
-  dsp::DynamicThresholdSegmenter segmenter_;
-  /// Recent ΔRSS² per channel. Indexing is absolute sample counts; the
-  /// vectors hold samples [history_base_, frames_) and are compacted
-  /// between gestures so memory stays bounded (config_.history_limit).
-  std::vector<std::vector<double>> history_;
-  std::size_t history_base_ = 0;
-  std::size_t frames_ = 0;
-  /// Early-direction bookkeeping for the currently open segment.
-  bool early_direction_sent_ = false;
-  std::size_t open_segment_begin_ = 0;
+  Session session_;
 };
 
 }  // namespace airfinger::core

@@ -1,0 +1,307 @@
+#include "core/model_bundle.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "ml/serialize.hpp"
+
+namespace airfinger::core {
+
+std::string GestureEvent::describe() const {
+  std::ostringstream os;
+  os.precision(3);
+  os << std::fixed << "[t=" << time_s << "s] ";
+  switch (type) {
+    case Type::kDetectGesture:
+      os << "gesture: " << (gesture ? synth::motion_name(*gesture) : "?");
+      break;
+    case Type::kScrollDetected:
+      os << "scroll "
+         << (scroll && scroll->direction > 0 ? "up" : "down")
+         << " v=" << (scroll ? scroll->velocity_mps * 1000.0 : 0.0)
+         << "mm/s D=" << (scroll ? scroll->final_displacement() * 1000.0 : 0.0)
+         << "mm";
+      break;
+    case Type::kScrollDirection:
+      os << "scroll direction: "
+         << (scroll && scroll->direction > 0 ? "up" : "down")
+         << " (early)";
+      break;
+    case Type::kNonGesture:
+      os << "rejected non-gesture";
+      break;
+  }
+  return os.str();
+}
+
+ModelBundle::ModelBundle(AirFingerConfig config, DetectRecognizer recognizer,
+                         std::optional<InterferenceFilter> filter)
+    : config_(config),
+      recognizer_(std::move(recognizer)),
+      filter_(std::move(filter)),
+      router_(config.router),
+      zebra_(config.zebra) {
+  AF_EXPECT(config_.sample_rate_hz > 0.0, "sample rate must be positive");
+  AF_EXPECT(config_.channels >= 2, "engine requires at least two channels");
+  AF_EXPECT(recognizer_.is_fitted(),
+            "ModelBundle requires a fitted recognizer");
+  AF_EXPECT(!config_.interference_filtering || (filter_ &&
+                filter_->is_fitted()),
+            "interference filtering enabled but no fitted filter given");
+}
+
+std::shared_ptr<const ModelBundle> ModelBundle::create(
+    AirFingerConfig config, DetectRecognizer recognizer,
+    std::optional<InterferenceFilter> filter) {
+  return std::make_shared<const ModelBundle>(config, std::move(recognizer),
+                                             std::move(filter));
+}
+
+GestureEvent ModelBundle::decide(const ProcessedTrace& view,
+                                 const dsp::Segment& local) const {
+  GestureEvent event;
+  GestureCategory category = router_.route(view, local);
+
+  // Hybrid routing: let the eight-class recognizer veto the rule when it
+  // is confident the rule misrouted (see AirFingerConfig::hybrid_routing).
+  std::vector<double> row;
+  std::vector<double> proba;
+  auto ensure_classified = [&] {
+    if (row.empty()) {
+      const dsp::Segment padded =
+          pad_segment(local, view.energy.size(),
+                      config_.processing.feature_pad_s, view.sample_rate_hz);
+      std::vector<std::span<const double>> windows;
+      windows.reserve(view.delta_rss2.size());
+      for (const auto& ch : view.delta_rss2)
+        windows.emplace_back(ch.data() + padded.begin, padded.length());
+      row = recognizer_.extract(
+          std::span<const std::span<const double>>(windows));
+      proba = recognizer_.predict_proba(row);
+    }
+  };
+  if (config_.hybrid_routing) {
+    ensure_classified();
+    const int best = static_cast<int>(
+        std::max_element(proba.begin(), proba.end()) - proba.begin());
+    const double margin = proba[static_cast<std::size_t>(best)];
+    const bool classifier_says_track =
+        synth::is_track_aimed(static_cast<synth::MotionKind>(best));
+    if (margin >= config_.hybrid_override_margin) {
+      category = classifier_says_track ? GestureCategory::kTrackAimed
+                                       : GestureCategory::kDetectAimed;
+    }
+  }
+
+  if (category == GestureCategory::kTrackAimed) {
+    if (const auto estimate = zebra_.track(view, local)) {
+      event.type = GestureEvent::Type::kScrollDetected;
+      event.scroll = *estimate;
+      return event;
+    }
+    // ZEBRA saw nothing decisive: fall through to the detect path.
+  }
+
+  ensure_classified();
+  if (filter_ && config_.interference_filtering &&
+      filter_->gesture_probability(row) < config_.rejection_threshold) {
+    event.type = GestureEvent::Type::kNonGesture;
+    return event;
+  }
+
+  int label = static_cast<int>(
+      std::max_element(proba.begin(), proba.end()) - proba.begin());
+  if (synth::is_track_aimed(static_cast<synth::MotionKind>(label))) {
+    // The recognizer itself says scroll (rule and veto disagreed): pick the
+    // best detect-aimed class instead.
+    double best_p = -1.0;
+    int best_label = 0;
+    for (std::size_t c = 0; c < proba.size(); ++c) {
+      if (synth::is_track_aimed(static_cast<synth::MotionKind>(c))) continue;
+      if (proba[c] > best_p) {
+        best_p = proba[c];
+        best_label = static_cast<int>(c);
+      }
+    }
+    label = best_label;
+  }
+  event.type = GestureEvent::Type::kDetectGesture;
+  event.gesture = static_cast<synth::MotionKind>(label);
+  return event;
+}
+
+std::vector<GestureEvent> ModelBundle::classify_recording(
+    const sensor::MultiChannelTrace& trace) const {
+  AF_EXPECT(trace.channel_count() == config_.channels,
+            "trace channel count mismatch");
+  DataProcessorConfig proc_config = config_.processing;
+  proc_config.segmenter.sample_rate_hz = trace.sample_rate_hz();
+  const DataProcessor processor(proc_config);
+  const ProcessedTrace processed = processor.process(trace);
+
+  std::vector<GestureEvent> events;
+  for (const auto& segment : processed.segments) {
+    GestureEvent event = decide(processed, segment);
+    event.time_s =
+        static_cast<double>(segment.end) / trace.sample_rate_hz();
+    event.segment_begin = segment.begin;
+    event.segment_end = segment.end;
+    events.push_back(event);
+  }
+  return events;
+}
+
+// -------------------------------------------------------------- artifact
+
+namespace {
+
+void write_scalar(std::ostream& os, const char* key, double v) {
+  os << key << ' ';
+  ml::detail::write_double(os, v);
+  os << "\n";
+}
+
+double read_scalar(std::istream& is, const char* key) {
+  ml::detail::expect_tag(is, key);
+  return ml::detail::read_double(is);
+}
+
+void write_count(std::ostream& os, const char* key, std::size_t v) {
+  os << key << ' ' << v << "\n";
+}
+
+std::size_t read_count(std::istream& is, const char* key) {
+  ml::detail::expect_tag(is, key);
+  std::size_t v = 0;
+  is >> v;
+  AF_EXPECT(is.good(), std::string("serialized bundle: malformed '") + key +
+                           "' value");
+  return v;
+}
+
+void write_flag(std::ostream& os, const char* key, bool v) {
+  os << key << ' ' << (v ? 1 : 0) << "\n";
+}
+
+bool read_flag(std::istream& is, const char* key) {
+  const std::size_t v = read_count(is, key);
+  AF_EXPECT(v <= 1, std::string("serialized bundle: '") + key +
+                        "' must be 0 or 1");
+  return v == 1;
+}
+
+}  // namespace
+
+void ModelBundle::save(std::ostream& os) const {
+  os << "afbundle " << kFormatVersion << "\n";
+  // Engine-level scalars. Train-time outputs (notably the fitted ZEBRA
+  // velocity gain) travel with the artifact; structural configuration is
+  // re-supplied at load (see the header contract).
+  write_scalar(os, "sample_rate_hz", config_.sample_rate_hz);
+  write_count(os, "channels", config_.channels);
+  write_flag(os, "interference_filtering", config_.interference_filtering);
+  write_flag(os, "hybrid_routing", config_.hybrid_routing);
+  write_scalar(os, "hybrid_override_margin", config_.hybrid_override_margin);
+  write_count(os, "history_limit", config_.history_limit);
+  write_scalar(os, "rejection_threshold", config_.rejection_threshold);
+  write_scalar(os, "sbc_window_s", config_.processing.sbc_window_s);
+  write_scalar(os, "feature_pad_s", config_.processing.feature_pad_s);
+  write_scalar(os, "ig_threshold_s", config_.router.ig_threshold_s);
+  write_scalar(os, "asymmetry_threshold",
+               config_.router.asymmetry_threshold);
+  write_scalar(os, "monotone_fraction", config_.router.monotone_fraction);
+  write_scalar(os, "pd_span_m", config_.zebra.pd_span_m);
+  write_scalar(os, "experience_velocity_mps",
+               config_.zebra.experience_velocity_mps);
+  write_scalar(os, "velocity_gain", config_.zebra.velocity_gain);
+  os << "recognizer\n";
+  recognizer_.save(os);
+  write_flag(os, "filter", filter_.has_value());
+  if (filter_) filter_->save(os);
+  os << "end\n";
+}
+
+void ModelBundle::save_file(const std::string& path) const {
+  std::ofstream os(path, std::ios::binary);
+  AF_EXPECT(static_cast<bool>(os),
+            "cannot open bundle file for writing: " + path);
+  save(os);
+  AF_EXPECT(static_cast<bool>(os), "failed writing bundle file: " + path);
+}
+
+std::shared_ptr<const ModelBundle> ModelBundle::load(std::istream& is,
+                                                     AirFingerConfig base) {
+  ml::detail::expect_tag(is, "afbundle");
+  int version = 0;
+  is >> version;
+  AF_EXPECT(is.good() && version == kFormatVersion,
+            "unsupported bundle format version");
+
+  AirFingerConfig config = base;
+  config.sample_rate_hz = read_scalar(is, "sample_rate_hz");
+  config.channels = read_count(is, "channels");
+  config.interference_filtering = read_flag(is, "interference_filtering");
+  config.hybrid_routing = read_flag(is, "hybrid_routing");
+  config.hybrid_override_margin =
+      read_scalar(is, "hybrid_override_margin");
+  config.history_limit = read_count(is, "history_limit");
+  config.rejection_threshold = read_scalar(is, "rejection_threshold");
+  config.processing.sbc_window_s = read_scalar(is, "sbc_window_s");
+  config.processing.feature_pad_s = read_scalar(is, "feature_pad_s");
+  config.router.ig_threshold_s = read_scalar(is, "ig_threshold_s");
+  config.router.asymmetry_threshold =
+      read_scalar(is, "asymmetry_threshold");
+  config.router.monotone_fraction = read_scalar(is, "monotone_fraction");
+  config.zebra.pd_span_m = read_scalar(is, "pd_span_m");
+  config.zebra.experience_velocity_mps =
+      read_scalar(is, "experience_velocity_mps");
+  config.zebra.velocity_gain = read_scalar(is, "velocity_gain");
+
+  ml::detail::expect_tag(is, "recognizer");
+  DetectRecognizer recognizer =
+      DetectRecognizer::load(is, config.recognizer);
+  std::optional<InterferenceFilter> filter;
+  if (read_flag(is, "filter"))
+    filter = InterferenceFilter::load(is, recognizer.bank(),
+                                      config.interference);
+  ml::detail::expect_tag(is, "end");
+  return create(config, std::move(recognizer), std::move(filter));
+}
+
+std::shared_ptr<const ModelBundle> ModelBundle::load_file(
+    const std::string& path, AirFingerConfig base) {
+  std::ifstream is(path, std::ios::binary);
+  AF_EXPECT(static_cast<bool>(is), "cannot open bundle file: " + path);
+  return load(is, base);
+}
+
+std::shared_ptr<const ModelBundle> ModelBundle::load_legacy(
+    std::istream& recognizer_stream, std::istream* filter_stream,
+    AirFingerConfig base) {
+  AirFingerConfig config = base;
+  DetectRecognizer recognizer =
+      DetectRecognizer::load(recognizer_stream, config.recognizer);
+  std::optional<InterferenceFilter> filter;
+  if (filter_stream) {
+    filter = InterferenceFilter::load(*filter_stream, recognizer.bank(),
+                                      config.interference);
+  } else {
+    config.interference_filtering = false;
+  }
+  return create(config, std::move(recognizer), std::move(filter));
+}
+
+bool ModelBundle::sniff_bundle(std::istream& is) {
+  const auto start = is.tellg();
+  std::string tag;
+  is >> tag;
+  is.clear();
+  is.seekg(start);
+  return tag == "afbundle";
+}
+
+}  // namespace airfinger::core

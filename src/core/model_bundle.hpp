@@ -1,0 +1,174 @@
+// The immutable model layer of the engine: everything that is trained
+// offline and then frozen for deployment — configuration, the fitted
+// detect recognizer, and the optional interference filter — packaged as a
+// single shareable object.
+//
+// A ModelBundle is reference-counted (`std::shared_ptr<const ModelBundle>`)
+// and never mutated after construction, so any number of concurrent
+// Sessions (see core/session.hpp) can serve independent sensor streams
+// from one copy of the forests. The bundle also owns the *decision core*:
+// routing, interference filtering, and classification of one segmented
+// gesture window are pure functions of the trained models, so they live
+// here rather than in the per-stream Session.
+//
+// Persistence: a bundle serializes to one versioned artifact (tagged
+// header `afbundle 1`, ml/serialize-style line-oriented text with exact
+// hex-float doubles). Loaders also accept the legacy two-file layout
+// (`recognizer.af` + optional `filter.af`) written by pre-bundle tools.
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "core/data_processor.hpp"
+#include "core/detect_recognizer.hpp"
+#include "core/interference_filter.hpp"
+#include "core/type_router.hpp"
+#include "core/zebra.hpp"
+#include "synth/motion_kind.hpp"
+
+namespace airfinger::core {
+
+/// Engine configuration.
+struct AirFingerConfig {
+  double sample_rate_hz = 100.0;
+  std::size_t channels = 3;
+  DataProcessorConfig processing{};
+  TypeRouterConfig router{};
+  ZebraConfig zebra{};
+  DetectRecognizerConfig recognizer{};
+  InterferenceFilterConfig interference{};
+  bool interference_filtering = true;  ///< Enable the non-gesture filter.
+  /// Hybrid routing: the recognizer is trained on all eight gestures and
+  /// cross-checks the rule-based router — a track-routed segment that the
+  /// classifier confidently calls a detect gesture is re-labelled, and a
+  /// detect-routed segment classified as a scroll is handed to ZEBRA. This
+  /// recovers rule misroutes at the cost of one extra classification; the
+  /// rule-only mode reproduces the paper's architecture exactly.
+  bool hybrid_routing = true;
+  /// Classifier probability needed to override the rule-based router.
+  double hybrid_override_margin = 0.50;
+  /// Streaming-history bound (samples per channel). A session keeps at
+  /// least this much recent ΔRSS² for segment analysis and compacts older
+  /// history between gestures, so a session of any length runs in constant
+  /// memory. Must comfortably exceed the longest gesture plus analysis
+  /// padding; ~40 s at 100 Hz by default.
+  std::size_t history_limit = 4096;
+  /// A segment is rejected as unintentional motion only when the filter's
+  /// P(gesture) falls below this (biasing towards keeping real gestures,
+  /// as false rejections are costlier than an occasional false accept).
+  double rejection_threshold = 0.40;
+};
+
+/// An event emitted by the engine.
+struct GestureEvent {
+  enum class Type {
+    kDetectGesture,   ///< A detect-aimed gesture was recognized.
+    kScrollDetected,  ///< A track-aimed gesture completed (full estimate).
+    kScrollDirection, ///< Early direction verdict (before gesture end).
+    kNonGesture,      ///< A segment was rejected as unintentional motion.
+  };
+  Type type{};
+  double time_s = 0.0;          ///< Engine time at emission.
+  /// kDetectGesture: the recognized detect-aimed gesture.
+  std::optional<synth::MotionKind> gesture;
+  /// kScroll*: tracking estimate (direction always set; velocity/duration
+  /// only on kScrollDetected).
+  std::optional<ScrollEstimate> scroll;
+  /// Segment bounds in absolute sample indices.
+  std::size_t segment_begin = 0;
+  std::size_t segment_end = 0;
+
+  std::string describe() const;
+};
+
+/// The frozen train-time output: config + fitted models + the stateless
+/// analyzers (router, ZEBRA) they parameterize. Immutable and shareable;
+/// construct once, serve many Sessions.
+class ModelBundle {
+ public:
+  /// Serialized artifact version written/accepted by save()/load().
+  static constexpr int kFormatVersion = 1;
+
+  /// Requires a fitted recognizer and (when filtering is enabled) a fitted
+  /// filter; validates the configuration.
+  ModelBundle(AirFingerConfig config, DetectRecognizer recognizer,
+              std::optional<InterferenceFilter> filter);
+
+  /// Convenience: constructs directly into shared ownership.
+  static std::shared_ptr<const ModelBundle> create(
+      AirFingerConfig config, DetectRecognizer recognizer,
+      std::optional<InterferenceFilter> filter);
+
+  const AirFingerConfig& config() const { return config_; }
+  const DetectRecognizer& recognizer() const { return recognizer_; }
+  const std::optional<InterferenceFilter>& filter() const { return filter_; }
+  const TypeRouter& router() const { return router_; }
+  const ZebraTracker& zebra() const { return zebra_; }
+
+  /// Decision core: routes one segmented window (detect- vs track-aimed),
+  /// applies hybrid-routing vetoes and the interference filter, and either
+  /// classifies (RF) or tracks (ZEBRA) it. Pure w.r.t. the bundle — safe
+  /// to call from any number of threads concurrently. `local` is the
+  /// segment in `view`'s local sample indices; the returned event carries
+  /// no time/segment bookkeeping (the caller owns stream positions).
+  GestureEvent decide(const ProcessedTrace& view,
+                      const dsp::Segment& local) const;
+
+  /// Offline classification of a recorded trace: batch SBC + batch DT
+  /// segmentation (identical to the training-time processing), then the
+  /// same routing/recognition logic as the streaming path. One event per
+  /// detected segment. This is the paper's offline evaluation protocol.
+  std::vector<GestureEvent> classify_recording(
+      const sensor::MultiChannelTrace& trace) const;
+
+  // ------------------------------------------------------------ artifact
+
+  /// Writes the single-file `afbundle 1` artifact: header, the scalar
+  /// engine/router/ZEBRA parameters (hex-float exact — including the
+  /// trained velocity gain), the recognizer, and the optional filter.
+  /// Structural configuration (feature-bank layout, forest topology) is
+  /// not stored: load() must be given the same structural config the
+  /// models were trained with, validated via the serialized bank width —
+  /// the same contract as DetectRecognizer::load.
+  void save(std::ostream& os) const;
+
+  /// save() to a file (opened std::ios::binary so hex-float round-trips
+  /// are byte-identical across platforms). Throws PreconditionError when
+  /// the file cannot be written.
+  void save_file(const std::string& path) const;
+
+  /// Reads an artifact written by save(). `base` supplies the structural
+  /// configuration (bank/forest/processing); the serialized scalars
+  /// overwrite the corresponding fields of `base`. Throws
+  /// PreconditionError on malformed or truncated input.
+  static std::shared_ptr<const ModelBundle> load(std::istream& is,
+                                                 AirFingerConfig base = {});
+
+  /// load() from a file (opened std::ios::binary).
+  static std::shared_ptr<const ModelBundle> load_file(
+      const std::string& path, AirFingerConfig base = {});
+
+  /// Legacy two-file layout: a recognizer stream written by
+  /// DetectRecognizer::save plus an optional filter stream written by
+  /// InterferenceFilter::save. When `filter_stream` is null, interference
+  /// filtering is disabled in the resulting bundle's config.
+  static std::shared_ptr<const ModelBundle> load_legacy(
+      std::istream& recognizer_stream, std::istream* filter_stream,
+      AirFingerConfig base = {});
+
+  /// True when the stream starts with the `afbundle` tag (the stream
+  /// position is restored). Lets tools accept either artifact format.
+  static bool sniff_bundle(std::istream& is);
+
+ private:
+  AirFingerConfig config_;
+  DetectRecognizer recognizer_;
+  std::optional<InterferenceFilter> filter_;
+  TypeRouter router_;
+  ZebraTracker zebra_;
+};
+
+}  // namespace airfinger::core

@@ -1,0 +1,112 @@
+#include "core/multi_session_host.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/parallel.hpp"
+
+namespace airfinger::core {
+
+MultiSessionHost::MultiSessionHost(std::shared_ptr<const ModelBundle> bundle,
+                                   std::size_t sessions)
+    : bundle_(std::move(bundle)) {
+  AF_EXPECT(bundle_ != nullptr, "MultiSessionHost requires a model bundle");
+  AF_EXPECT(sessions >= 1, "MultiSessionHost requires at least one session");
+  lanes_.reserve(sessions);
+  for (std::size_t i = 0; i < sessions; ++i) lanes_.emplace_back(bundle_);
+}
+
+const Session& MultiSessionHost::session(std::size_t i) const {
+  AF_EXPECT(i < lanes_.size(), "session index out of range");
+  return lanes_[i].session;
+}
+
+void MultiSessionHost::feed(std::size_t session,
+                            std::span<const double> frame) {
+  AF_EXPECT(session < lanes_.size(), "session index out of range");
+  AF_EXPECT(frame.size() == bundle_->config().channels,
+            "frame arity must match channel count");
+  Lane& lane = lanes_[session];
+  lane.pending.insert(lane.pending.end(), frame.begin(), frame.end());
+}
+
+void MultiSessionHost::pump() {
+  const std::size_t channels = bundle_->config().channels;
+  // Account frames serially before the parallel region (the counter is
+  // shared; the lanes are not).
+  for (const Lane& lane : lanes_)
+    frames_processed_ += lane.pending.size() / channels;
+  common::parallel_for(0, lanes_.size(), [&](std::size_t i) {
+    Lane& lane = lanes_[i];
+    const std::size_t frames = lane.pending.size() / channels;
+    const auto sink = [&lane, i](const GestureEvent& e) {
+      lane.events.push_back(SessionEvent{i, e});
+    };
+    for (std::size_t f = 0; f < frames; ++f)
+      lane.session.push_frame(
+          std::span<const double>(lane.pending.data() + f * channels,
+                                  channels),
+          sink);
+    lane.pending.clear();
+  });
+}
+
+void MultiSessionHost::finish() {
+  // Deliver any still-buffered frames first so no input is dropped.
+  pump();
+  common::parallel_for(0, lanes_.size(), [&](std::size_t i) {
+    Lane& lane = lanes_[i];
+    lane.session.finish([&lane, i](const GestureEvent& e) {
+      lane.events.push_back(SessionEvent{i, e});
+    });
+  });
+}
+
+std::vector<SessionEvent> MultiSessionHost::drain() {
+  std::size_t total = 0;
+  for (const Lane& lane : lanes_) total += lane.events.size();
+  std::vector<SessionEvent> out;
+  out.reserve(total);
+  for (Lane& lane : lanes_) {
+    out.insert(out.end(), std::make_move_iterator(lane.events.begin()),
+               std::make_move_iterator(lane.events.end()));
+    lane.events.clear();
+  }
+  return out;
+}
+
+std::vector<SessionEvent> MultiSessionHost::run_round_robin(
+    const std::vector<sensor::MultiChannelTrace>& traces,
+    std::size_t frames_per_turn) {
+  AF_EXPECT(traces.size() == lanes_.size(),
+            "round-robin needs exactly one trace per session");
+  AF_EXPECT(frames_per_turn >= 1, "frames_per_turn must be >= 1");
+  const std::size_t channels = bundle_->config().channels;
+  for (const auto& trace : traces)
+    AF_EXPECT(trace.channel_count() == channels,
+              "trace channel count mismatch");
+
+  std::vector<std::size_t> cursor(traces.size(), 0);
+  std::vector<double> frame(channels);
+  bool pending_input = true;
+  while (pending_input) {
+    pending_input = false;
+    for (std::size_t i = 0; i < traces.size(); ++i) {
+      const std::size_t total = traces[i].sample_count();
+      const std::size_t take =
+          std::min(frames_per_turn, total - cursor[i]);
+      for (std::size_t f = 0; f < take; ++f) {
+        for (std::size_t c = 0; c < channels; ++c)
+          frame[c] = traces[i].channel(c)[cursor[i] + f];
+        feed(i, frame);
+      }
+      cursor[i] += take;
+      if (cursor[i] < total) pending_input = true;
+    }
+    pump();
+  }
+  finish();
+  return drain();
+}
+
+}  // namespace airfinger::core

@@ -1,0 +1,87 @@
+// Multi-stream serving host: N Sessions over one shared ModelBundle.
+//
+// The host models the production shape the ROADMAP aims at — one resident
+// copy of the trained forests serving many concurrent wearable streams.
+// Frames are buffered per stream (`feed`), then `pump()` advances every
+// session's buffered frames in parallel on the shared thread pool
+// (common/parallel.hpp). Sessions are fully independent (each task touches
+// exactly one session's state; the bundle is read-only), so the pump is
+// race-free by construction and — per the repo's determinism contract —
+// the emitted events are bit-identical at any thread count:
+//
+//   * within a stream, events land in its queue in emission order,
+//     produced by that stream's single task;
+//   * across streams, drain() defines the total order as (session index,
+//     emission order), which no scheduling can perturb.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/session.hpp"
+
+namespace airfinger::core {
+
+/// One engine event attributed to the stream that produced it.
+struct SessionEvent {
+  std::size_t session = 0;  ///< Index of the emitting session.
+  GestureEvent event;
+};
+
+/// Drives many Sessions over one immutable bundle.
+class MultiSessionHost {
+ public:
+  /// Creates `sessions` independent streams sharing `bundle` (no forest
+  /// copies; per-stream state only).
+  MultiSessionHost(std::shared_ptr<const ModelBundle> bundle,
+                   std::size_t sessions);
+
+  std::size_t session_count() const { return lanes_.size(); }
+  const std::shared_ptr<const ModelBundle>& bundle() const {
+    return bundle_;
+  }
+  const Session& session(std::size_t i) const;
+
+  /// Buffers one frame (one sample per channel) for stream `session`.
+  /// O(channels); no processing happens until pump().
+  void feed(std::size_t session, std::span<const double> frame);
+
+  /// Processes every stream's buffered frames, one parallel task per
+  /// session. Events are appended to per-session queues in emission order.
+  void pump();
+
+  /// Flushes any open segment on every session (parallel, like pump()).
+  void finish();
+
+  /// Moves out all queued events in the deterministic (session, emission)
+  /// order and clears the queues.
+  std::vector<SessionEvent> drain();
+
+  /// Frames processed by pump() so far, across all sessions.
+  std::uint64_t frames_processed() const { return frames_processed_; }
+
+  /// Convenience driver: one trace per session, fanned out round-robin —
+  /// each turn feeds up to `frames_per_turn` frames to every stream that
+  /// still has input, then pumps — emulating interleaved arrival from N
+  /// concurrent wearables. Finishes all streams and returns the drained
+  /// events.
+  std::vector<SessionEvent> run_round_robin(
+      const std::vector<sensor::MultiChannelTrace>& traces,
+      std::size_t frames_per_turn = 64);
+
+ private:
+  struct Lane {
+    explicit Lane(std::shared_ptr<const ModelBundle> bundle)
+        : session(std::move(bundle)) {}
+    Session session;
+    std::vector<double> pending;  ///< Buffered frames, frame-major flat.
+    std::vector<SessionEvent> events;
+  };
+
+  std::shared_ptr<const ModelBundle> bundle_;
+  std::vector<Lane> lanes_;
+  std::uint64_t frames_processed_ = 0;
+};
+
+}  // namespace airfinger::core

@@ -1,0 +1,154 @@
+#include "core/session.hpp"
+
+#include "common/error.hpp"
+
+namespace airfinger::core {
+
+namespace {
+dsp::SegmenterConfig session_segmenter_config(
+    const std::shared_ptr<const ModelBundle>& bundle) {
+  AF_EXPECT(bundle != nullptr, "Session requires a model bundle");
+  dsp::SegmenterConfig seg = bundle->config().processing.segmenter;
+  seg.sample_rate_hz = bundle->config().sample_rate_hz;
+  return seg;
+}
+}  // namespace
+
+Session::Session(std::shared_ptr<const ModelBundle> bundle)
+    : bundle_(std::move(bundle)),
+      segmenter_(session_segmenter_config(bundle_)) {
+  const DataProcessor processor(config().processing);
+  const std::size_t w = processor.window_samples(config().sample_rate_hz);
+  for (std::size_t c = 0; c < config().channels; ++c)
+    sbc_.emplace_back(w);
+  history_.resize(config().channels);
+}
+
+ProcessedTrace Session::window_view(const dsp::Segment& segment) const {
+  AF_ASSERT(segment.begin >= history_base_,
+            "segment reaches behind the compacted history");
+  const std::size_t begin = segment.begin - history_base_;
+  const std::size_t end = segment.end - history_base_;
+  ProcessedTrace view;
+  view.sample_rate_hz = config().sample_rate_hz;
+  view.delta_rss2.reserve(history_.size());
+  for (const auto& ch : history_) {
+    AF_ASSERT(end <= ch.size(), "segment reaches beyond recorded history");
+    view.delta_rss2.emplace_back(ch.begin() + static_cast<long>(begin),
+                                 ch.begin() + static_cast<long>(end));
+  }
+  view.energy.assign(segment.length(), 0.0);
+  for (const auto& ch : view.delta_rss2)
+    for (std::size_t i = 0; i < ch.size(); ++i) view.energy[i] += ch[i];
+  return view;
+}
+
+void Session::handle_segment(const dsp::Segment& segment,
+                             const EventCallback& callback) {
+  // Work on the segment window re-based to local indices.
+  const ProcessedTrace view = window_view(segment);
+  GestureEvent event = bundle_->decide(view, dsp::Segment{0, segment.length()});
+  event.time_s = now();
+  event.segment_begin = segment.begin;
+  event.segment_end = segment.end;
+  callback(event);
+}
+
+void Session::push_frame(std::span<const double> frame,
+                         const EventCallback& callback) {
+  AF_EXPECT(frame.size() == config().channels,
+            "frame arity must match channel count");
+  AF_EXPECT(static_cast<bool>(callback), "event callback is required");
+
+  double energy = 0.0;
+  for (std::size_t c = 0; c < frame.size(); ++c) {
+    const double d = sbc_[c].push(frame[c]);
+    history_[c].push_back(d);
+    energy += d;
+  }
+
+  const bool was_open = segmenter_.in_gesture();
+  const auto completed = segmenter_.push(energy);
+  ++frames_;
+
+  if (!was_open && segmenter_.in_gesture()) {
+    open_segment_begin_ = frames_ - 1;
+    early_direction_sent_ = false;
+  }
+
+  // Early scroll-direction verdict: once the open segment is longer than
+  // I_g and the router already sees an ordered rise, report direction
+  // without waiting for the gesture to finish.
+  if (segmenter_.in_gesture() && !early_direction_sent_) {
+    const std::size_t open_len = frames_ - open_segment_begin_;
+    const auto ig_samples = static_cast<std::size_t>(
+        config().router.ig_threshold_s * config().sample_rate_hz);
+    if (open_len > 2 * ig_samples + 2) {
+      const dsp::Segment open_seg{open_segment_begin_, frames_};
+      ProcessedTrace view = window_view(open_seg);
+      const dsp::Segment local{0, open_seg.length()};
+      if (bundle_->router().route(view, local) ==
+          GestureCategory::kTrackAimed) {
+        if (const auto est = bundle_->zebra().track(view, local)) {
+          GestureEvent event;
+          event.type = GestureEvent::Type::kScrollDirection;
+          event.time_s = now();
+          event.segment_begin = open_seg.begin;
+          event.segment_end = open_seg.end;
+          event.scroll = *est;
+          early_direction_sent_ = true;
+          callback(event);
+        }
+      }
+    }
+  }
+
+  if (completed) handle_segment(*completed, callback);
+
+  // Compact old history between gestures (and only after any completed
+  // segment has been analysed): keep the most recent half of the limit so
+  // any segment the segmenter can still close stays in range.
+  if (!segmenter_.in_gesture() &&
+      history_.front().size() > config().history_limit) {
+    const std::size_t keep = config().history_limit / 2;
+    const std::size_t drop = history_.front().size() - keep;
+    for (auto& ch : history_)
+      ch.erase(ch.begin(), ch.begin() + static_cast<long>(drop));
+    history_base_ += drop;
+  }
+}
+
+void Session::finish(const EventCallback& callback) {
+  AF_EXPECT(static_cast<bool>(callback), "event callback is required");
+  if (const auto open = segmenter_.flush()) handle_segment(*open, callback);
+}
+
+void Session::reset() {
+  for (auto& s : sbc_) s.reset();
+  segmenter_.reset();
+  for (auto& ch : history_) ch.clear();
+  history_base_ = 0;
+  frames_ = 0;
+  early_direction_sent_ = false;
+  open_segment_begin_ = 0;
+}
+
+std::vector<GestureEvent> Session::process_trace(
+    const sensor::MultiChannelTrace& trace) {
+  AF_EXPECT(trace.channel_count() == config().channels,
+            "trace channel count mismatch");
+  std::vector<GestureEvent> events;
+  const auto sink = [&events](const GestureEvent& e) {
+    events.push_back(e);
+  };
+  std::vector<double> frame(trace.channel_count());
+  for (std::size_t i = 0; i < trace.sample_count(); ++i) {
+    for (std::size_t c = 0; c < frame.size(); ++c)
+      frame[c] = trace.channel(c)[i];
+    push_frame(frame, sink);
+  }
+  finish(sink);
+  return events;
+}
+
+}  // namespace airfinger::core

@@ -1,0 +1,85 @@
+// Per-stream streaming state over a shared immutable ModelBundle.
+//
+// A Session owns everything that changes as frames arrive from one sensor
+// stream: the per-channel SBC delay lines, the dynamic-threshold segmenter
+// calibration, the bounded ΔRSS² history, and the early-direction
+// bookkeeping for the currently open segment. Construction from a
+// `shared_ptr<const ModelBundle>` is O(1) — it allocates only the small
+// per-stream buffers and copies no forest data — so a serving host can
+// spin up one Session per connected wearable against one resident copy of
+// the trained models. Sessions over the same bundle are independent:
+// driving them from different threads needs no synchronization beyond the
+// bundle's shared (read-only) ownership.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "core/model_bundle.hpp"
+#include "dsp/sbc.hpp"
+
+namespace airfinger::core {
+
+/// One sensor stream's state machine. Frames (one sample per photodiode)
+/// are pushed in; the session runs SBC per channel, streams the summed
+/// ΔRSS² through the dynamic-threshold segmenter, and hands each completed
+/// segment to the bundle's decision core. Results are delivered as events
+/// through a caller-supplied callback, including early scroll-direction
+/// events emitted before the gesture ends (Sec. IV-D-1).
+class Session {
+ public:
+  using EventCallback = std::function<void(const GestureEvent&)>;
+
+  /// O(1): shares the bundle, allocates only the per-stream buffers.
+  explicit Session(std::shared_ptr<const ModelBundle> bundle);
+
+  const ModelBundle& bundle() const { return *bundle_; }
+  const std::shared_ptr<const ModelBundle>& bundle_ptr() const {
+    return bundle_;
+  }
+  const AirFingerConfig& config() const { return bundle_->config(); }
+
+  /// Feeds one frame (one RSS sample per channel). Events triggered by
+  /// this frame are delivered synchronously through `callback`.
+  void push_frame(std::span<const double> frame,
+                  const EventCallback& callback);
+
+  /// Flushes any open segment at end of stream.
+  void finish(const EventCallback& callback);
+
+  /// Processes a whole recorded trace through the streaming path,
+  /// returning all events.
+  std::vector<GestureEvent> process_trace(
+      const sensor::MultiChannelTrace& trace);
+
+  /// Samples consumed so far.
+  std::size_t frames_seen() const { return frames_; }
+
+  /// Clears all streaming state (SBC delay lines, segmenter calibration,
+  /// ΔRSS² history) so the session can process an unrelated recording.
+  /// The shared bundle is untouched.
+  void reset();
+
+ private:
+  void handle_segment(const dsp::Segment& segment,
+                      const EventCallback& callback);
+  ProcessedTrace window_view(const dsp::Segment& segment) const;
+  double now() const {
+    return static_cast<double>(frames_) / config().sample_rate_hz;
+  }
+
+  std::shared_ptr<const ModelBundle> bundle_;
+  std::vector<dsp::SquareBasedCalculator> sbc_;
+  dsp::DynamicThresholdSegmenter segmenter_;
+  /// Recent ΔRSS² per channel. Indexing is absolute sample counts; the
+  /// vectors hold samples [history_base_, frames_) and are compacted
+  /// between gestures so memory stays bounded (config().history_limit).
+  std::vector<std::vector<double>> history_;
+  std::size_t history_base_ = 0;
+  std::size_t frames_ = 0;
+  /// Early-direction bookkeeping for the currently open segment.
+  bool early_direction_sent_ = false;
+  std::size_t open_segment_begin_ = 0;
+};
+
+}  // namespace airfinger::core

@@ -9,10 +9,9 @@
 
 namespace airfinger::core {
 
-AirFinger build_engine_from(const AirFingerConfig& engine_config,
-                            const synth::Dataset& gestures,
-                            const synth::Dataset& non_gestures,
-                            TrainingReport* report) {
+std::shared_ptr<const ModelBundle> build_bundle_from(
+    const AirFingerConfig& engine_config, const synth::Dataset& gestures,
+    const synth::Dataset& non_gestures, TrainingReport* report) {
   AF_EXPECT(!gestures.samples.empty(), "gesture training set is empty");
 
   const DataProcessor processor(engine_config.processing);
@@ -100,10 +99,12 @@ AirFinger build_engine_from(const AirFingerConfig& engine_config,
     for (std::size_t idx : recognizer.selected_features())
       report->selected_feature_names.push_back(bank.names()[idx]);
   }
-  return AirFinger(config, std::move(recognizer), std::move(filter));
+  return ModelBundle::create(config, std::move(recognizer),
+                             std::move(filter));
 }
 
-AirFinger build_engine(const TrainerConfig& config, TrainingReport* report) {
+std::shared_ptr<const ModelBundle> build_bundle(const TrainerConfig& config,
+                                                TrainingReport* report) {
   synth::CollectionConfig gesture_config;
   gesture_config.users = config.users;
   gesture_config.sessions = config.sessions;
@@ -120,7 +121,19 @@ AirFinger build_engine(const TrainerConfig& config, TrainingReport* report) {
   const synth::Dataset non =
       synth::DatasetBuilder(non_gesture_config).collect();
 
-  return build_engine_from(config.engine, gestures, non, report);
+  return build_bundle_from(config.engine, gestures, non, report);
+}
+
+AirFinger build_engine(const TrainerConfig& config, TrainingReport* report) {
+  return AirFinger(build_bundle(config, report));
+}
+
+AirFinger build_engine_from(const AirFingerConfig& engine_config,
+                            const synth::Dataset& gestures,
+                            const synth::Dataset& non_gestures,
+                            TrainingReport* report) {
+  return AirFinger(
+      build_bundle_from(engine_config, gestures, non_gestures, report));
 }
 
 }  // namespace airfinger::core

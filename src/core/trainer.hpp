@@ -1,6 +1,7 @@
 // One-call training flow: synthesize (or accept) datasets, fit the detect
-// recognizer and the interference filter, and assemble a ready AirFinger
-// engine. This is the entry point the examples use.
+// recognizer and the interference filter, and assemble the frozen
+// ModelBundle (or a ready AirFinger engine over it). This is the entry
+// point the examples use.
 #pragma once
 
 #include "core/airfinger.hpp"
@@ -28,13 +29,25 @@ struct TrainingReport {
   std::vector<std::string> selected_feature_names;
 };
 
-/// Trains both models on synthesized data and returns a ready engine.
-AirFinger build_engine(const TrainerConfig& config,
-                       TrainingReport* report = nullptr);
+/// Trains both models on synthesized data and returns the frozen bundle
+/// (the deployable artifact: save with ModelBundle::save_file, share
+/// across any number of Sessions).
+std::shared_ptr<const ModelBundle> build_bundle(
+    const TrainerConfig& config, TrainingReport* report = nullptr);
 
 /// Trains both models from externally built datasets (e.g. in benches that
 /// need custom collection protocols). `gestures` must contain the designed
 /// gesture kinds; `non_gestures` the unintentional-motion kinds.
+std::shared_ptr<const ModelBundle> build_bundle_from(
+    const AirFingerConfig& engine_config, const synth::Dataset& gestures,
+    const synth::Dataset& non_gestures, TrainingReport* report = nullptr);
+
+/// Trains both models on synthesized data and returns a ready engine
+/// (build_bundle + one Session).
+AirFinger build_engine(const TrainerConfig& config,
+                       TrainingReport* report = nullptr);
+
+/// build_bundle_from + one Session.
 AirFinger build_engine_from(const AirFingerConfig& engine_config,
                             const synth::Dataset& gestures,
                             const synth::Dataset& non_gestures,

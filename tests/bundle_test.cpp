@@ -1,0 +1,260 @@
+// Tests for the ModelBundle / Session split: single-file artifact
+// round-trips (bit-identical predictions), legacy two-file loading,
+// malformed-input rejection, zero-copy shared ownership of the models,
+// and MultiSessionHost event equivalence with standalone sessions.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/error.hpp"
+#include "core/airfinger.hpp"
+#include "core/multi_session_host.hpp"
+#include "core/trainer.hpp"
+#include "synth/dataset.hpp"
+
+namespace airfinger {
+namespace {
+
+/// One small trained bundle shared by every test in this file (training
+/// dominates the suite's cost; the bundle is immutable so sharing is safe).
+const std::shared_ptr<const core::ModelBundle>& trained_bundle() {
+  static const std::shared_ptr<const core::ModelBundle> bundle = [] {
+    core::TrainerConfig config;
+    config.users = 2;
+    config.sessions = 1;
+    config.repetitions = 3;
+    config.non_gesture_repetitions = 3;
+    config.seed = 11;
+    return core::build_bundle(config);
+  }();
+  return bundle;
+}
+
+/// Probe recordings the loaded models must agree on, byte for byte.
+const synth::Dataset& probe_corpus() {
+  static const synth::Dataset probes = [] {
+    synth::CollectionConfig config;
+    config.users = 1;
+    config.sessions = 1;
+    config.repetitions = 1;
+    config.kinds = {synth::MotionKind::kCircle, synth::MotionKind::kClick,
+                    synth::MotionKind::kScrollUp,
+                    synth::MotionKind::kScrollDown};
+    config.seed = 404;
+    return synth::DatasetBuilder(config).collect();
+  }();
+  return probes;
+}
+
+void expect_events_identical(const std::vector<core::GestureEvent>& a,
+                             const std::vector<core::GestureEvent>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t e = 0; e < a.size(); ++e) {
+    SCOPED_TRACE("event " + std::to_string(e));
+    EXPECT_EQ(a[e].type, b[e].type);
+    // Bit-exact double comparisons: the contract is bit identity.
+    EXPECT_EQ(a[e].time_s, b[e].time_s);
+    EXPECT_EQ(a[e].gesture, b[e].gesture);
+    EXPECT_EQ(a[e].segment_begin, b[e].segment_begin);
+    EXPECT_EQ(a[e].segment_end, b[e].segment_end);
+    EXPECT_EQ(a[e].scroll.has_value(), b[e].scroll.has_value());
+    if (a[e].scroll && b[e].scroll) {
+      EXPECT_EQ(a[e].scroll->direction, b[e].scroll->direction);
+      EXPECT_EQ(a[e].scroll->velocity_mps, b[e].scroll->velocity_mps);
+      EXPECT_EQ(a[e].scroll->duration_s, b[e].scroll->duration_s);
+    }
+  }
+}
+
+TEST(Bundle, RoundTripIsBitIdentical) {
+  const auto& original = trained_bundle();
+
+  std::stringstream artifact;
+  original->save(artifact);
+  const auto loaded = core::ModelBundle::load(artifact);
+
+  // The trained calibration travels with the artifact, exactly.
+  EXPECT_EQ(loaded->config().zebra.velocity_gain,
+            original->config().zebra.velocity_gain);
+  EXPECT_EQ(loaded->config().sample_rate_hz,
+            original->config().sample_rate_hz);
+  EXPECT_EQ(loaded->config().channels, original->config().channels);
+  EXPECT_EQ(loaded->config().interference_filtering,
+            original->config().interference_filtering);
+  EXPECT_EQ(loaded->recognizer().selected_features(),
+            original->recognizer().selected_features());
+  ASSERT_TRUE(loaded->filter().has_value());
+  EXPECT_EQ(loaded->filter()->feature_indices(),
+            original->filter()->feature_indices());
+
+  // Bit-identical predictions over the pinned probe corpus.
+  for (const auto& probe : probe_corpus().samples)
+    expect_events_identical(original->classify_recording(probe.trace),
+                            loaded->classify_recording(probe.trace));
+
+  // Save → load → save is byte-stable (hex-float exactness end to end).
+  std::stringstream resaved;
+  loaded->save(resaved);
+  std::stringstream first;
+  original->save(first);
+  EXPECT_EQ(first.str(), resaved.str());
+}
+
+TEST(Bundle, LegacyTwoFileLoadMatchesBundle) {
+  const auto& original = trained_bundle();
+  ASSERT_TRUE(original->filter().has_value());
+
+  std::stringstream rec_file, filter_file;
+  original->recognizer().save(rec_file);
+  original->filter()->save(filter_file);
+
+  // The legacy pair carries no engine config; supply the trained scalars
+  // through `base` the way pre-bundle deployments configured the engine.
+  const auto loaded =
+      core::ModelBundle::load_legacy(rec_file, &filter_file,
+                                     original->config());
+  for (const auto& probe : probe_corpus().samples)
+    expect_events_identical(original->classify_recording(probe.trace),
+                            loaded->classify_recording(probe.trace));
+}
+
+TEST(Bundle, LegacyLoadWithoutFilterDisablesFiltering) {
+  const auto& original = trained_bundle();
+  std::stringstream rec_file;
+  original->recognizer().save(rec_file);
+  const auto loaded = core::ModelBundle::load_legacy(rec_file, nullptr);
+  EXPECT_FALSE(loaded->config().interference_filtering);
+  EXPECT_FALSE(loaded->filter().has_value());
+  // Still a functional engine.
+  const auto events =
+      loaded->classify_recording(probe_corpus().samples.front().trace);
+  for (const auto& e : events)
+    EXPECT_NE(e.type, core::GestureEvent::Type::kNonGesture);
+}
+
+TEST(Bundle, MalformedHeaderRejected) {
+  std::stringstream wrong_tag("not_a_bundle 1\n");
+  EXPECT_THROW(core::ModelBundle::load(wrong_tag), PreconditionError);
+  std::stringstream bad_version("afbundle 99\n");
+  EXPECT_THROW(core::ModelBundle::load(bad_version), PreconditionError);
+  std::stringstream empty;
+  EXPECT_THROW(core::ModelBundle::load(empty), PreconditionError);
+}
+
+TEST(Bundle, TruncatedArtifactRejected) {
+  std::stringstream artifact;
+  trained_bundle()->save(artifact);
+  const std::string full = artifact.str();
+  // Cut at several depths: inside the config block, inside the forest,
+  // and just before the trailing end tag. Every cut must throw, never
+  // yield a silently half-loaded model.
+  for (const double fraction : {0.01, 0.1, 0.5, 0.9, 0.999}) {
+    SCOPED_TRACE("fraction " + std::to_string(fraction));
+    std::stringstream cut(full.substr(
+        0, static_cast<std::size_t>(fraction *
+                                    static_cast<double>(full.size()))));
+    EXPECT_THROW(core::ModelBundle::load(cut), PreconditionError);
+  }
+}
+
+TEST(Bundle, SniffDistinguishesFormatsAndRestoresStream) {
+  std::stringstream artifact;
+  trained_bundle()->save(artifact);
+  EXPECT_TRUE(core::ModelBundle::sniff_bundle(artifact));
+  // The sniff must not consume the stream: a full load still works.
+  EXPECT_NO_THROW(core::ModelBundle::load(artifact));
+
+  std::stringstream legacy;
+  trained_bundle()->recognizer().save(legacy);
+  EXPECT_FALSE(core::ModelBundle::sniff_bundle(legacy));
+  EXPECT_NO_THROW(core::DetectRecognizer::load(legacy));
+}
+
+TEST(Session, ConstructionSharesModelsWithoutCopying) {
+  const auto& bundle = trained_bundle();
+  const long count_before = bundle.use_count();
+
+  core::Session a(bundle);
+  core::Session b(bundle);
+
+  // Shared ownership, not copies: both sessions reference the same bundle
+  // object, and the forests live at the same addresses.
+  EXPECT_EQ(bundle.use_count(), count_before + 2);
+  EXPECT_EQ(&a.bundle(), bundle.get());
+  EXPECT_EQ(&b.bundle(), bundle.get());
+  EXPECT_EQ(&a.bundle().recognizer(), &bundle->recognizer());
+  EXPECT_EQ(&b.bundle().recognizer(), &a.bundle().recognizer());
+  ASSERT_TRUE(a.bundle().filter().has_value());
+  EXPECT_EQ(&*a.bundle().filter(), &*bundle->filter());
+
+  // The AirFinger façade shares the same way.
+  core::AirFinger engine(bundle);
+  EXPECT_EQ(engine.bundle().get(), bundle.get());
+  EXPECT_EQ(bundle.use_count(), count_before + 3);
+}
+
+TEST(Session, IndependentSessionsMatchSerialReplay) {
+  const auto& bundle = trained_bundle();
+  const auto& probes = probe_corpus();
+
+  // Replaying through one reused engine (reset between traces) and through
+  // fresh per-trace sessions must agree event for event.
+  core::AirFinger engine(bundle);
+  for (const auto& probe : probes.samples) {
+    engine.reset();
+    std::vector<core::GestureEvent> via_engine =
+        engine.process_trace(probe.trace);
+    core::Session fresh(bundle);
+    expect_events_identical(via_engine, fresh.process_trace(probe.trace));
+  }
+}
+
+TEST(MultiSessionHost, MatchesStandaloneSessions) {
+  const auto& bundle = trained_bundle();
+  const auto& probes = probe_corpus();
+
+  std::vector<sensor::MultiChannelTrace> traces;
+  for (const auto& probe : probes.samples) traces.push_back(probe.trace);
+
+  core::MultiSessionHost host(bundle, traces.size());
+  const auto hosted = host.run_round_robin(traces, 37);
+
+  // Split the host's event stream back per session and compare with a
+  // standalone Session replay of the same trace.
+  std::vector<std::vector<core::GestureEvent>> per_session(traces.size());
+  std::size_t last_session = 0;
+  for (const auto& e : hosted) {
+    ASSERT_LT(e.session, traces.size());
+    // drain() order: session-major.
+    ASSERT_GE(e.session, last_session);
+    last_session = e.session;
+    per_session[e.session].push_back(e.event);
+  }
+  for (std::size_t i = 0; i < traces.size(); ++i) {
+    SCOPED_TRACE("session " + std::to_string(i));
+    core::Session standalone(bundle);
+    expect_events_identical(per_session[i],
+                            standalone.process_trace(traces[i]));
+  }
+  EXPECT_EQ(host.frames_processed(),
+            [&] {
+              std::uint64_t total = 0;
+              for (const auto& t : traces) total += t.sample_count();
+              return total;
+            }());
+}
+
+TEST(MultiSessionHost, ValidatesInput) {
+  const auto& bundle = trained_bundle();
+  EXPECT_THROW(core::MultiSessionHost(nullptr, 2), PreconditionError);
+  EXPECT_THROW(core::MultiSessionHost(bundle, 0), PreconditionError);
+  core::MultiSessionHost host(bundle, 2);
+  const std::vector<double> bad_frame(bundle->config().channels + 1, 0.0);
+  EXPECT_THROW(host.feed(0, bad_frame), PreconditionError);
+  EXPECT_THROW(host.feed(5, std::vector<double>(3, 0.0)),
+               PreconditionError);
+  EXPECT_THROW(host.run_round_robin({}), PreconditionError);
+}
+
+}  // namespace
+}  // namespace airfinger

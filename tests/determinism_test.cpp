@@ -10,6 +10,7 @@
 
 #include "common/parallel.hpp"
 #include "common/rng.hpp"
+#include "core/multi_session_host.hpp"
 #include "core/trainer.hpp"
 #include "core/training.hpp"
 #include "ml/random_forest.hpp"
@@ -227,6 +228,53 @@ TEST(Determinism, BuildEngineIsBitIdenticalAcrossThreadCounts) {
     for (const auto& probe : probes.samples)
       expect_events_identical(serial->classify_recording(probe.trace),
                               parallel->classify_recording(probe.trace));
+  }
+}
+
+TEST(Determinism, MultiSessionHostIsBitIdenticalAcrossThreadCounts) {
+  // Eight concurrent streams over one shared bundle must emit the exact
+  // same event sequence whether the host pumps them on 1 thread or 8:
+  // each session is advanced by exactly one task per pump and drain()
+  // orders events by (session, emission), so no schedule can reorder or
+  // perturb anything.
+  std::shared_ptr<const core::ModelBundle> bundle;
+  {
+    common::ScopedThreads scoped(1);
+    bundle = core::build_bundle(small_trainer());
+  }
+
+  constexpr std::size_t kStreams = 8;
+  std::vector<sensor::MultiChannelTrace> traces;
+  const std::vector<synth::MotionKind> mix{
+      synth::MotionKind::kCircle, synth::MotionKind::kScrollUp,
+      synth::MotionKind::kClick, synth::MotionKind::kScrollDown};
+  for (std::size_t s = 0; s < kStreams; ++s) {
+    synth::CollectionConfig config;
+    config.users = 1;
+    config.seed = 900 + s;
+    traces.push_back(
+        synth::make_gesture_stream(config, mix, config.seed).trace);
+  }
+
+  const auto run_with = [&](std::size_t threads) {
+    common::ScopedThreads scoped(threads);
+    core::MultiSessionHost host(bundle, kStreams);
+    return host.run_round_robin(traces, 53);
+  };
+
+  const auto serial = run_with(1);
+  ASSERT_FALSE(serial.empty());
+  for (std::size_t threads : {2u, 8u}) {
+    const auto parallel = run_with(threads);
+    ASSERT_EQ(serial.size(), parallel.size()) << threads << " threads";
+    std::vector<core::GestureEvent> a, b;
+    for (std::size_t e = 0; e < serial.size(); ++e) {
+      EXPECT_EQ(serial[e].session, parallel[e].session)
+          << threads << " threads, event " << e;
+      a.push_back(serial[e].event);
+      b.push_back(parallel[e].event);
+    }
+    expect_events_identical(a, b);
   }
 }
 

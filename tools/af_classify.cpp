@@ -1,10 +1,15 @@
 // af_classify — classify a corpus with saved models and report accuracy.
 //
+//   af_classify --corpus test.csv --bundle models.af
 //   af_classify --corpus test.csv --recognizer rec.af [--filter f.af]
+//
+// Accepts either the single-file `afbundle` artifact or the legacy
+// two-file layout. Exits non-zero on any parse/validation failure.
 #include <fstream>
 #include <iostream>
 
 #include "common/cli.hpp"
+#include "common/error.hpp"
 #include "common/table.hpp"
 #include "core/airfinger.hpp"
 #include "core/training.hpp"
@@ -12,35 +17,40 @@
 
 using namespace airfinger;
 
-int main(int argc, char** argv) {
+namespace {
+
+std::shared_ptr<const core::ModelBundle> load_models(
+    const common::Cli& cli) {
+  if (!cli.get("bundle").empty()) {
+    return core::ModelBundle::load_file(cli.get("bundle"));
+  }
+  // Legacy two-file layout. Binary mode: hex-float text round-trips
+  // byte-identically across platforms.
+  std::ifstream rec_in(cli.get("recognizer"), std::ios::binary);
+  AF_EXPECT(static_cast<bool>(rec_in),
+            "cannot open " + cli.get("recognizer"));
+  if (cli.get("filter").empty())
+    return core::ModelBundle::load_legacy(rec_in, nullptr);
+  std::ifstream filter_in(cli.get("filter"), std::ios::binary);
+  AF_EXPECT(static_cast<bool>(filter_in),
+            "cannot open " + cli.get("filter"));
+  return core::ModelBundle::load_legacy(rec_in, &filter_in);
+}
+
+int run(int argc, char** argv) {
   common::Cli cli("af_classify",
                   "classify a corpus with saved models and report accuracy");
   cli.add_flag("corpus", "corpus.csv", "input corpus");
-  cli.add_flag("recognizer", "recognizer.af", "trained recognizer model");
-  cli.add_flag("filter", "", "trained interference filter ('' = disabled)");
+  cli.add_flag("bundle", "",
+               "single-file model bundle ('' = use --recognizer/--filter)");
+  cli.add_flag("recognizer", "recognizer.af",
+               "legacy recognizer model (ignored when --bundle is set)");
+  cli.add_flag("filter", "",
+               "legacy interference filter ('' = filtering disabled)");
   if (!cli.parse(argc, argv)) return 0;
 
   const auto dataset = synth::load_dataset_csv(cli.get("corpus"));
-  std::ifstream rec_in(cli.get("recognizer"));
-  if (!rec_in) {
-    std::cerr << "cannot open " << cli.get("recognizer") << "\n";
-    return 1;
-  }
-  core::DetectRecognizer recognizer = core::DetectRecognizer::load(rec_in);
-
-  core::AirFingerConfig config;
-  std::optional<core::InterferenceFilter> filter;
-  if (!cli.get("filter").empty()) {
-    std::ifstream filter_in(cli.get("filter"));
-    if (!filter_in) {
-      std::cerr << "cannot open " << cli.get("filter") << "\n";
-      return 1;
-    }
-    filter = core::InterferenceFilter::load(filter_in, recognizer.bank());
-  } else {
-    config.interference_filtering = false;
-  }
-  core::AirFinger engine(config, std::move(recognizer), std::move(filter));
+  core::AirFinger engine(load_models(cli));
 
   ml::ConfusionMatrix cm(synth::kGestureCount + 1, [] {
     std::vector<std::string> names =
@@ -61,4 +71,15 @@ int main(int argc, char** argv) {
             << common::Table::pct(cm.accuracy()) << " over " << cm.total()
             << " gesture samples\n";
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const airfinger::PreconditionError& e) {
+    std::cerr << "af_classify: " << e.what() << "\n";
+    return 1;
+  }
 }

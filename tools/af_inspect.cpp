@@ -1,27 +1,25 @@
-// af_inspect — show what a saved recognizer model learned: the selected
-// feature names and their importances in the final forest.
+// af_inspect — show what a saved model artifact contains and learned.
+//
+//   af_inspect --model models.af        # afbundle or legacy recognizer
+//
+// The format is sniffed from the header: an `afbundle` artifact prints its
+// version, configuration summary, and filter block in addition to the
+// recognizer's selected features; a legacy `af_recognizer` file prints the
+// feature table only. Exits non-zero on any parse failure.
 #include <algorithm>
 #include <fstream>
 #include <iostream>
 
 #include "common/cli.hpp"
+#include "common/error.hpp"
 #include "common/table.hpp"
-#include "core/detect_recognizer.hpp"
+#include "core/model_bundle.hpp"
 
 using namespace airfinger;
 
-int main(int argc, char** argv) {
-  common::Cli cli("af_inspect", "inspect a saved recognizer model");
-  cli.add_flag("recognizer", "recognizer.af", "trained recognizer model");
-  if (!cli.parse(argc, argv)) return 0;
+namespace {
 
-  std::ifstream in(cli.get("recognizer"));
-  if (!in) {
-    std::cerr << "cannot open " << cli.get("recognizer") << "\n";
-    return 1;
-  }
-  const core::DetectRecognizer rec = core::DetectRecognizer::load(in);
-
+void print_feature_table(const core::DetectRecognizer& rec) {
   // Importances of the selected columns, sorted descending.
   const auto& names = rec.bank().names();
   const auto& selected = rec.selected_features();
@@ -36,9 +34,63 @@ int main(int argc, char** argv) {
   for (std::size_t r = 0; r < order.size(); ++r)
     table.add_row({std::to_string(r + 1), names[selected[order[r]]],
                    common::Table::pct(importances[order[r]], 1)});
-  std::cout << cli.get("recognizer") << ": " << selected.size()
-            << " selected features of " << rec.bank().feature_count()
-            << " candidates\n";
+  std::cout << selected.size() << " selected features of "
+            << rec.bank().feature_count() << " candidates\n";
   table.print(std::cout);
+}
+
+void print_bundle(const std::string& path,
+                  const core::ModelBundle& bundle) {
+  const auto& config = bundle.config();
+  std::cout << path << ": afbundle v" << core::ModelBundle::kFormatVersion
+            << "\n";
+  common::Table meta({"field", "value"});
+  meta.add_row({"sample rate", std::to_string(config.sample_rate_hz) + " Hz"});
+  meta.add_row({"channels", std::to_string(config.channels)});
+  meta.add_row({"hybrid routing", config.hybrid_routing ? "on" : "off"});
+  meta.add_row({"interference filter",
+                bundle.filter() ? "fitted (" +
+                    std::to_string(bundle.filter()->feature_indices().size()) +
+                    " features)" : "absent"});
+  meta.add_row({"rejection threshold",
+                std::to_string(config.rejection_threshold)});
+  meta.add_row({"zebra velocity gain",
+                std::to_string(config.zebra.velocity_gain)});
+  meta.add_row({"history limit",
+                std::to_string(config.history_limit) + " samples"});
+  meta.print(std::cout);
+  std::cout << "\nrecognizer: ";
+  print_feature_table(bundle.recognizer());
+}
+
+int run(int argc, char** argv) {
+  common::Cli cli("af_inspect",
+                  "inspect a saved model bundle or legacy recognizer");
+  cli.add_flag("model", "models.af",
+               "model file (afbundle or legacy af_recognizer format)");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const std::string path = cli.get("model");
+  std::ifstream in(path, std::ios::binary);
+  AF_EXPECT(static_cast<bool>(in), "cannot open " + path);
+
+  if (core::ModelBundle::sniff_bundle(in)) {
+    print_bundle(path, *core::ModelBundle::load(in));
+  } else {
+    const core::DetectRecognizer rec = core::DetectRecognizer::load(in);
+    std::cout << path << ": legacy recognizer\n";
+    print_feature_table(rec);
+  }
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const airfinger::PreconditionError& e) {
+    std::cerr << "af_inspect: " << e.what() << "\n";
+    return 1;
+  }
 }

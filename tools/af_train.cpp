@@ -1,25 +1,36 @@
 // af_train — train the airFinger models from a corpus and save them.
 //
-//   af_train --corpus corpus.csv --recognizer rec.af --filter filter.af
+//   af_train --corpus corpus.csv --bundle models.af
+//
+// The default output is the single-file `afbundle` artifact (config +
+// recognizer + optional interference filter, see core/model_bundle.hpp).
+// The legacy two-file layout is still available via --recognizer/--filter.
 //
 // The corpus must contain the designed gestures; the interference filter
 // additionally needs non-gesture samples (af_collect --non_gestures).
+// Exits non-zero on any parse/validation failure.
 #include <fstream>
 #include <iostream>
 
 #include "common/cli.hpp"
-#include "core/interference_filter.hpp"
+#include "common/error.hpp"
+#include "core/model_bundle.hpp"
 #include "core/training.hpp"
 #include "synth/io.hpp"
 
 using namespace airfinger;
 
-int main(int argc, char** argv) {
+namespace {
+
+int run(int argc, char** argv) {
   common::Cli cli("af_train", "train and save airFinger models");
   cli.add_flag("corpus", "corpus.csv", "input corpus (af_collect output)");
-  cli.add_flag("recognizer", "recognizer.af", "output recognizer model");
-  cli.add_flag("filter", "filter.af",
-               "output interference-filter model ('' to skip)");
+  cli.add_flag("bundle", "models.af",
+               "output single-file model bundle ('' to skip)");
+  cli.add_flag("recognizer", "",
+               "also write the legacy recognizer file ('' to skip)");
+  cli.add_flag("filter", "",
+               "also write the legacy interference-filter file ('' to skip)");
   if (!cli.parse(argc, argv)) return 0;
 
   std::cout << "loading " << cli.get("corpus") << "...\n";
@@ -33,29 +44,61 @@ int main(int argc, char** argv) {
   std::cout << "training recognizer on " << set.size() << " samples × "
             << set.feature_count() << " features...\n";
   recognizer.fit(set);
-  {
-    std::ofstream out(cli.get("recognizer"));
-    recognizer.save(out);
-  }
-  std::cout << "  wrote " << cli.get("recognizer") << "\n";
 
-  if (!cli.get("filter").empty()) {
-    const auto binary = core::build_feature_set(
-        dataset, processor, recognizer.bank(),
-        core::LabelScheme::kGestureVsNonGesture);
-    bool has_both = false;
-    for (std::size_t i = 1; i < binary.labels.size(); ++i)
-      if (binary.labels[i] != binary.labels[0]) has_both = true;
-    if (!has_both) {
-      std::cout << "  corpus has no non-gesture samples — skipping the "
-                   "filter (re-collect with --non_gestures)\n";
-    } else {
-      core::InterferenceFilter filter(recognizer.bank());
-      filter.fit(binary);
-      std::ofstream out(cli.get("filter"));
-      filter.save(out);
-      std::cout << "  wrote " << cli.get("filter") << "\n";
-    }
+  // Interference filter: only trainable when the corpus carries both
+  // designed gestures and non-gestures.
+  std::optional<core::InterferenceFilter> filter;
+  const auto binary = core::build_feature_set(
+      dataset, processor, recognizer.bank(),
+      core::LabelScheme::kGestureVsNonGesture);
+  bool has_both = false;
+  for (std::size_t i = 1; i < binary.labels.size(); ++i)
+    if (binary.labels[i] != binary.labels[0]) has_both = true;
+  if (has_both) {
+    filter.emplace(recognizer.bank());
+    filter->fit(binary);
+  } else {
+    std::cout << "  corpus has no non-gesture samples — interference "
+                 "filtering disabled (re-collect with --non_gestures)\n";
+  }
+
+  if (!cli.get("recognizer").empty()) {
+    // Binary mode keeps the hex-float text byte-identical across platforms
+    // (no newline translation).
+    std::ofstream out(cli.get("recognizer"), std::ios::binary);
+    AF_EXPECT(static_cast<bool>(out),
+              "cannot open " + cli.get("recognizer") + " for writing");
+    recognizer.save(out);
+    std::cout << "  wrote " << cli.get("recognizer") << " (legacy)\n";
+  }
+  if (!cli.get("filter").empty() && filter) {
+    std::ofstream out(cli.get("filter"), std::ios::binary);
+    AF_EXPECT(static_cast<bool>(out),
+              "cannot open " + cli.get("filter") + " for writing");
+    filter->save(out);
+    std::cout << "  wrote " << cli.get("filter") << " (legacy)\n";
+  }
+
+  if (!cli.get("bundle").empty()) {
+    core::AirFingerConfig config;
+    config.interference_filtering = filter.has_value();
+    const auto bundle = core::ModelBundle::create(
+        config, std::move(recognizer), std::move(filter));
+    bundle->save_file(cli.get("bundle"));
+    std::cout << "  wrote " << cli.get("bundle") << " (afbundle v"
+              << core::ModelBundle::kFormatVersion << ", filter "
+              << (bundle->filter() ? "included" : "absent") << ")\n";
   }
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const airfinger::PreconditionError& e) {
+    std::cerr << "af_train: " << e.what() << "\n";
+    return 1;
+  }
 }

@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Full verification gauntlet, CI-runnable: exits non-zero on any failure.
+#
+#   1. tier-1: standard build + full ctest suite
+#   2. asan:   ASan/UBSan build of the model/session/concurrency suites
+#   3. tsan:   tools/run_tsan.sh (ThreadSanitizer, multi-thread pool)
+#
+# Usage: tools/run_checks.sh [build-dir]   (default: build)
+# Sanitizer builds go to <build-dir>-asan / build-tsan.
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${1:-${ROOT}/build}"
+
+echo "== tier-1: build + ctest =="
+cmake -B "${BUILD}" -S "${ROOT}"
+cmake --build "${BUILD}" -j
+ctest --test-dir "${BUILD}" --output-on-failure -j "$(nproc)"
+
+echo "== asan/ubsan: model + session + concurrency suites =="
+ASAN_BUILD="${BUILD}-asan"
+cmake -B "${ASAN_BUILD}" -S "${ROOT}" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DAF_SANITIZE=address,undefined
+cmake --build "${ASAN_BUILD}" -j \
+  --target bundle_test serialize_test core_test parallel_test
+"${ASAN_BUILD}/tests/bundle_test"
+"${ASAN_BUILD}/tests/serialize_test"
+"${ASAN_BUILD}/tests/core_test"
+"${ASAN_BUILD}/tests/parallel_test"
+
+echo "== tsan: race-check the concurrency contract =="
+"${ROOT}/tools/run_tsan.sh"
+
+echo "run_checks: all gates clean"
