@@ -1,0 +1,271 @@
+// bench_inference — the tracked inference hot-path baseline.
+//
+// Measures the steady-state serving cost of the streaming path on top of a
+// frozen ModelBundle: frames/sec and p50/p99 per-frame latency of
+// Session::push_frame on one gesture-dense stream, plus aggregate
+// frames/sec of a MultiSessionHost at several pool widths. A counting
+// allocator hook (global operator new/delete overridden in this TU)
+// reports heap allocations per frame for the steady-state window — the
+// zero-allocation invariant of DESIGN.md §11 is checked here, not assumed.
+//
+// The JSON report (BENCH_inference.json via tools/run_bench.sh) is the
+// perf trajectory the ROADMAP tracks; --baseline-fps embeds the frames/sec
+// of the path being compared against (e.g. the pre-compiled-forest path)
+// so the speedup is recorded alongside the absolute numbers.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <new>
+
+#include "common/parallel.hpp"
+#include "core/multi_session_host.hpp"
+#include "core/session.hpp"
+#include "support.hpp"
+
+// ------------------------------------------------------------ alloc hook
+// Counts every heap allocation made by this process. Only the deltas taken
+// around the measured region matter, so the bench's own setup allocations
+// do not pollute the per-frame numbers.
+namespace {
+std::atomic<std::uint64_t> g_allocations{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new(std::size_t size, std::align_val_t align) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::aligned_alloc(static_cast<std::size_t>(align),
+                                   (size + static_cast<std::size_t>(align) -
+                                    1) &
+                                       ~(static_cast<std::size_t>(align) - 1)))
+    return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return ::operator new(size, align);
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+namespace {
+
+using namespace airfinger;
+
+struct SingleSessionReport {
+  double frames_per_sec = 0.0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  double allocs_per_frame = 0.0;
+  std::uint64_t frames = 0;
+  std::uint64_t events = 0;
+};
+
+/// Streams `passes` full replays of the trace through one Session, frame by
+/// frame, timing each push. The session is NOT reset between passes: this
+/// is the steady-state serving shape (history compaction, calibrated
+/// segmenter, warm buffers). `latencies_us` must be preallocated by the
+/// caller so recording does not allocate inside the measured window.
+SingleSessionReport measure_single_session(
+    const std::shared_ptr<const core::ModelBundle>& bundle,
+    const sensor::MultiChannelTrace& trace, int passes,
+    std::vector<double>& latencies_us) {
+  core::Session session(bundle);
+  std::uint64_t events = 0;
+  const auto sink = [&events](const core::GestureEvent&) { ++events; };
+  std::vector<double> frame(trace.channel_count());
+  const std::size_t samples = trace.sample_count();
+
+  // Warmup: grows the per-session buffers to their high-water marks and
+  // calibrates the segmenter. Two passes, because the segmenter keeps
+  // adapting through the first replay, so segment boundaries (and with
+  // them scratch sizes) only reach their fixed point on the second.
+  // Excluded from every reported number.
+  for (int warm = 0; warm < 2; ++warm) {
+    for (std::size_t i = 0; i < samples; ++i) {
+      for (std::size_t c = 0; c < frame.size(); ++c)
+        frame[c] = trace.channel(c)[i];
+      session.push_frame(frame, sink);
+    }
+  }
+
+  latencies_us.clear();
+  const std::uint64_t allocs_before =
+      g_allocations.load(std::memory_order_relaxed);
+  const auto wall_start = std::chrono::steady_clock::now();
+  for (int pass = 0; pass < passes; ++pass) {
+    for (std::size_t i = 0; i < samples; ++i) {
+      for (std::size_t c = 0; c < frame.size(); ++c)
+        frame[c] = trace.channel(c)[i];
+      const auto t0 = std::chrono::steady_clock::now();
+      session.push_frame(frame, sink);
+      const auto t1 = std::chrono::steady_clock::now();
+      latencies_us.push_back(
+          std::chrono::duration<double, std::micro>(t1 - t0).count());
+    }
+  }
+  const double wall_s = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - wall_start)
+                            .count();
+  const std::uint64_t allocs_after =
+      g_allocations.load(std::memory_order_relaxed);
+
+  SingleSessionReport report;
+  report.frames = static_cast<std::uint64_t>(passes) * samples;
+  report.events = events;
+  report.frames_per_sec = static_cast<double>(report.frames) / wall_s;
+  report.allocs_per_frame =
+      static_cast<double>(allocs_after - allocs_before) /
+      static_cast<double>(report.frames);
+  const auto nth = [&](double q) {
+    const auto k = static_cast<std::size_t>(
+        q * static_cast<double>(latencies_us.size() - 1));
+    std::nth_element(latencies_us.begin(),
+                     latencies_us.begin() + static_cast<long>(k),
+                     latencies_us.end());
+    return latencies_us[k];
+  };
+  report.p99_us = nth(0.99);
+  report.p50_us = nth(0.50);
+  return report;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  common::Cli cli("bench_inference",
+                  "steady-state inference hot-path baseline");
+  cli.add_flag("passes", "4", "timed full-trace replays per measurement");
+  cli.add_flag("streams", "16", "concurrent sessions in the host sweep");
+  cli.add_flag("turn", "64", "frames fanned to each stream per host turn");
+  cli.add_flag("baseline-fps", "0",
+               "single-thread frames/sec of the path being compared "
+               "against (0 = no comparison recorded)");
+  cli.add_flag("out", "BENCH_inference.json", "JSON report path");
+  const auto args = bench::parse_args(
+      argc, argv, "bench_inference",
+      "steady-state inference hot-path baseline", &cli);
+  if (!args) return 0;
+
+  const auto passes = static_cast<int>(cli.get_int("passes"));
+  const auto streams = static_cast<std::size_t>(cli.get_int("streams"));
+  const auto turn = static_cast<std::size_t>(cli.get_int("turn"));
+  const double baseline_fps = cli.get_double("baseline-fps");
+
+  std::cout << "training the shared bundle...\n";
+  const auto bundle = bench::train_bundle(*args);
+
+  // One gesture-dense stream: the hot path includes open-segment probing
+  // and per-segment classification, not just idle-frame bookkeeping.
+  const std::vector<synth::MotionKind> mix{
+      synth::MotionKind::kCircle,     synth::MotionKind::kClick,
+      synth::MotionKind::kScrollUp,   synth::MotionKind::kRub,
+      synth::MotionKind::kScrollDown, synth::MotionKind::kDoubleClick,
+  };
+  synth::CollectionConfig stream_config;
+  stream_config.users = 1;
+  stream_config.seed = args->seed ^ 0x1FE6;
+  const auto stream =
+      synth::make_gesture_stream(stream_config, mix, stream_config.seed);
+
+  std::cout << "single-session steady state (" << passes << " passes over "
+            << stream.trace.sample_count() << " frames)...\n";
+  std::vector<double> latencies_us;
+  latencies_us.reserve(static_cast<std::size_t>(passes) *
+                       stream.trace.sample_count());
+  const SingleSessionReport single = [&] {
+    common::ScopedThreads scoped(1);
+    return measure_single_session(bundle, stream.trace, passes,
+                                  latencies_us);
+  }();
+  std::cout << "  " << single.frames_per_sec << " frames/s, p50 "
+            << single.p50_us << " us, p99 " << single.p99_us << " us, "
+            << single.allocs_per_frame << " allocs/frame ("
+            << single.events << " events)\n";
+
+  // Host sweep: aggregate frame throughput of N sessions over the shared
+  // bundle at several pool widths.
+  std::vector<sensor::MultiChannelTrace> traces;
+  std::uint64_t host_frames = 0;
+  for (std::size_t s = 0; s < streams; ++s) {
+    synth::CollectionConfig config;
+    config.users = 1;
+    config.seed = args->seed ^ (0x57AE0 + s);
+    traces.push_back(
+        synth::make_gesture_stream(config, mix, config.seed).trace);
+    host_frames += traces.back().sample_count();
+  }
+  std::vector<std::size_t> counts{1, 2};
+  const std::size_t native = common::resolve_thread_count();
+  counts.push_back(native > 4 ? native : 4);
+  std::vector<double> host_fps;
+  for (std::size_t threads : counts) {
+    common::ScopedThreads scoped(threads);
+    double best = 1e100;
+    for (int r = 0; r < 2; ++r) {
+      core::MultiSessionHost host(bundle, traces.size());
+      const auto start = std::chrono::steady_clock::now();
+      const auto events = host.run_round_robin(traces, turn);
+      const double wall = std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - start)
+                              .count();
+      static_cast<void>(events);
+      best = std::min(best, wall);
+    }
+    host_fps.push_back(static_cast<double>(host_frames) / best);
+    std::cout << "  host x" << streams << " @ " << threads
+              << " threads: " << host_fps.back() << " frames/s\n";
+  }
+
+  const double speedup =
+      baseline_fps > 0.0 ? single.frames_per_sec / baseline_fps : 0.0;
+  const auto emit = [&](std::ostream& os) {
+    os << "{\n";
+    os << "  \"frames_per_sec\": " << single.frames_per_sec << ",\n";
+    os << "  \"p50_us\": " << single.p50_us << ",\n";
+    os << "  \"p99_us\": " << single.p99_us << ",\n";
+    os << "  \"allocs_per_frame\": " << single.allocs_per_frame << ",\n";
+    os << "  \"threads\": 1,\n";
+    os << "  \"frames_measured\": " << single.frames << ",\n";
+    os << "  \"events\": " << single.events << ",\n";
+    if (baseline_fps > 0.0) {
+      os << "  \"baseline_frames_per_sec\": " << baseline_fps << ",\n";
+      os << "  \"speedup_vs_baseline\": " << speedup << ",\n";
+    }
+    os << "  \"host_scaling\": [";
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+      os << (i ? ", " : "") << "{\"threads\": " << counts[i]
+         << ", \"frames_per_sec\": " << host_fps[i] << "}";
+    }
+    os << "]\n}\n";
+  };
+  std::ofstream file(cli.get("out"));
+  emit(file);
+  std::cout << "\ninference report (" << cli.get("out") << "):\n";
+  emit(std::cout);
+  return 0;
+}

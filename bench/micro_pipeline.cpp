@@ -5,9 +5,11 @@
 // DESIGN.md §5.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
 #include <fstream>
 #include <iostream>
+#include <vector>
 
 #include "common/parallel.hpp"
 #include "core/data_processor.hpp"
@@ -179,17 +181,23 @@ BENCHMARK(BM_SynthesizeSample);
 // tracks how much wall-clock the parallel substrate buys.
 namespace {
 
-double time_best_of(int rounds, const std::function<void()>& fn) {
-  double best = 1e100;
+/// One untimed warmup run (page-faults the working set, spins the thread
+/// pool up, settles CPU clocks), then the median of `rounds` timed runs —
+/// robust to a single preempted outlier in either direction, where
+/// best-of rewards a lucky run and mean punishes one stall.
+double time_median_of(int rounds, const std::function<void()>& fn) {
+  fn();  // warmup, untimed
+  std::vector<double> samples;
+  samples.reserve(static_cast<std::size_t>(rounds));
   for (int r = 0; r < rounds; ++r) {
     const auto start = std::chrono::steady_clock::now();
     fn();
-    best = std::min(
-        best, std::chrono::duration<double>(
-                  std::chrono::steady_clock::now() - start)
-                  .count());
+    samples.push_back(std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - start)
+                          .count());
   }
-  return best;
+  std::sort(samples.begin(), samples.end());
+  return samples[samples.size() / 2];
 }
 
 void write_thread_scaling_report(const std::string& path) {
@@ -216,11 +224,11 @@ void write_thread_scaling_report(const std::string& path) {
   std::vector<double> synthesis_s, training_s;
   for (std::size_t threads : counts) {
     common::ScopedThreads scoped(threads);
-    synthesis_s.push_back(time_best_of(2, [&] {
+    synthesis_s.push_back(time_median_of(3, [&] {
       benchmark::DoNotOptimize(
           synth::DatasetBuilder(synth_config).collect());
     }));
-    training_s.push_back(time_best_of(2, [&] {
+    training_s.push_back(time_median_of(3, [&] {
       ml::RandomForest forest(forest_config);
       forest.fit(set);
       benchmark::DoNotOptimize(forest);

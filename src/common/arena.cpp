@@ -1,0 +1,54 @@
+#include "common/arena.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace airfinger::common {
+
+ScratchArena::ScratchArena(std::size_t initial_bytes)
+    : initial_bytes_(std::max<std::size_t>(initial_bytes, 64)) {}
+
+void* ScratchArena::allocate_bytes(std::size_t bytes, std::size_t align) {
+  // Try the current and any later (already reserved) blocks first; only
+  // when none fits is a new block appended — sized geometrically so the
+  // steady state settles into a handful of blocks that are never grown
+  // again.
+  for (; current_ < blocks_.size(); ++current_) {
+    Block& b = blocks_[current_];
+    const std::size_t aligned = (b.used + align - 1) & ~(align - 1);
+    if (aligned + bytes <= b.size) {
+      b.used = aligned + bytes;
+      return b.data.get() + aligned;
+    }
+    // Move on: later blocks were rewound to used == 0.
+  }
+  const std::size_t last_size = blocks_.empty() ? initial_bytes_ / 2
+                                                : blocks_.back().size;
+  const std::size_t size = std::max(bytes + align, last_size * 2);
+  Block block;
+  block.data = std::make_unique<std::byte[]>(size);
+  block.size = size;
+  block.used = bytes;  // fresh block: base is maximally aligned
+  blocks_.push_back(std::move(block));
+  current_ = blocks_.size() - 1;
+  return blocks_.back().data.get();
+}
+
+void ScratchArena::rewind(std::size_t block, std::size_t used) {
+  if (blocks_.empty()) return;
+  AF_ASSERT(block < blocks_.size(), "arena frame rewinds past the chain");
+  for (std::size_t i = block + 1; i < blocks_.size(); ++i)
+    blocks_[i].used = 0;
+  blocks_[block].used = used;
+  current_ = block;
+}
+
+std::size_t ScratchArena::capacity_bytes() const {
+  std::size_t total = 0;
+  for (const Block& b : blocks_) total += b.size;
+  return total;
+}
+
+}  // namespace airfinger::common

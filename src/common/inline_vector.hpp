@@ -1,0 +1,75 @@
+// Fixed-capacity inline vector for small per-channel result structs.
+//
+// The timing analysis of the hot path (core/ascending.hpp) returns a few
+// per-channel values — one entry per photodiode, bounded by the hardware
+// (the paper's prototype has 3). Holding them in std::vector costs a heap
+// allocation per analysis call, which runs every frame while a segment is
+// open. InlineVector stores up to N elements in place with the familiar
+// vector surface (size/resize/push_back/front/back/iteration), so the
+// structs stay value types with zero heap traffic. Exceeding the capacity
+// is a precondition violation, not a reallocation.
+#pragma once
+
+#include <array>
+#include <cstddef>
+
+#include "common/error.hpp"
+
+namespace airfinger::common {
+
+template <typename T, std::size_t N>
+class InlineVector {
+ public:
+  InlineVector() = default;
+
+  static constexpr std::size_t capacity() { return N; }
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  void clear() { size_ = 0; }
+
+  /// Grows with value-initialized (or `fill`) elements, or shrinks.
+  /// Requires n <= capacity().
+  void resize(std::size_t n, const T& fill = T{}) {
+    AF_EXPECT(n <= N, "InlineVector capacity exceeded");
+    for (std::size_t i = size_; i < n; ++i) data_[i] = fill;
+    size_ = n;
+  }
+
+  void push_back(const T& v) {
+    AF_EXPECT(size_ < N, "InlineVector capacity exceeded");
+    data_[size_++] = v;
+  }
+
+  T& operator[](std::size_t i) {
+    AF_ASSERT(i < size_, "InlineVector index out of range");
+    return data_[i];
+  }
+  const T& operator[](std::size_t i) const {
+    AF_ASSERT(i < size_, "InlineVector index out of range");
+    return data_[i];
+  }
+
+  T& front() { return (*this)[0]; }
+  const T& front() const { return (*this)[0]; }
+  T& back() { return (*this)[size_ - 1]; }
+  const T& back() const { return (*this)[size_ - 1]; }
+
+  T* begin() { return data_.data(); }
+  T* end() { return data_.data() + size_; }
+  const T* begin() const { return data_.data(); }
+  const T* end() const { return data_.data() + size_; }
+
+  bool operator==(const InlineVector& other) const {
+    if (size_ != other.size_) return false;
+    for (std::size_t i = 0; i < size_; ++i)
+      if (!(data_[i] == other.data_[i])) return false;
+    return true;
+  }
+
+ private:
+  std::array<T, N> data_{};
+  std::size_t size_ = 0;
+};
+
+}  // namespace airfinger::common

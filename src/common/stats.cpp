@@ -64,15 +64,30 @@ double median(std::span<const double> x) { return quantile(x, 0.5); }
 
 double quantile(std::span<const double> x, double q) {
   require_nonempty(x, "quantile");
+  std::vector<double> scratch(x.size());
+  return quantile_with(x, q, scratch);
+}
+
+double quantile_with(std::span<const double> x, double q,
+                     std::span<double> scratch) {
+  require_nonempty(x, "quantile");
   AF_EXPECT(q >= 0.0 && q <= 1.0, "quantile q must lie in [0,1]");
-  std::vector<double> copy(x.begin(), x.end());
+  AF_EXPECT(scratch.size() >= x.size(), "quantile scratch too small");
+  std::copy(x.begin(), x.end(), scratch.begin());
+  const std::span<double> copy = scratch.first(x.size());
   std::sort(copy.begin(), copy.end());
-  if (copy.size() == 1) return copy[0];
-  const double pos = q * static_cast<double>(copy.size() - 1);
+  return quantile_sorted(copy, q);
+}
+
+double quantile_sorted(std::span<const double> sorted, double q) {
+  require_nonempty(sorted, "quantile");
+  AF_EXPECT(q >= 0.0 && q <= 1.0, "quantile q must lie in [0,1]");
+  if (sorted.size() == 1) return sorted[0];
+  const double pos = q * static_cast<double>(sorted.size() - 1);
   const auto lo = static_cast<std::size_t>(pos);
   const double frac = pos - static_cast<double>(lo);
-  if (lo + 1 >= copy.size()) return copy.back();
-  return copy[lo] * (1.0 - frac) + copy[lo + 1] * frac;
+  if (lo + 1 >= sorted.size()) return sorted.back();
+  return sorted[lo] * (1.0 - frac) + sorted[lo + 1] * frac;
 }
 
 double skewness(std::span<const double> x) {
@@ -213,12 +228,21 @@ std::pair<double, double> linear_trend(std::span<const double> x) {
 
 std::vector<double> znormalize(std::span<const double> x) {
   require_nonempty(x, "znormalize");
+  std::vector<double> out(x.size());
+  znormalize_into(x, out);
+  return out;
+}
+
+void znormalize_into(std::span<const double> x, std::span<double> out) {
+  require_nonempty(x, "znormalize");
+  AF_EXPECT(out.size() == x.size(), "znormalize output size mismatch");
   const double m = mean(x);
   const double sd = stddev(x);
-  std::vector<double> out(x.size());
-  if (sd <= 0.0) return out;  // all zeros
+  if (sd <= 0.0) {
+    for (double& o : out) o = 0.0;  // all zeros
+    return;
+  }
   for (std::size_t i = 0; i < x.size(); ++i) out[i] = (x[i] - m) / sd;
-  return out;
 }
 
 }  // namespace airfinger::common

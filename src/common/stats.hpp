@@ -44,6 +44,16 @@ double median(std::span<const double> x);
 /// Linear-interpolated quantile, q in [0,1]. Requires non-empty input.
 double quantile(std::span<const double> x, double q);
 
+/// quantile() with caller-provided sort scratch (scratch.size() >= x.size());
+/// x is copied into scratch and the prefix sorted, so no allocation happens.
+double quantile_with(std::span<const double> x, double q,
+                     std::span<double> scratch);
+
+/// The interpolation step of quantile() on an already ascending-sorted
+/// sequence: bit-identical to quantile() over the same multiset of values,
+/// without the copy and sort. Requires non-empty input.
+double quantile_sorted(std::span<const double> sorted, double q);
+
 /// Fisher skewness (0 when variance is 0). Requires non-empty input.
 double skewness(std::span<const double> x);
 
@@ -88,5 +98,8 @@ std::pair<double, double> linear_trend(std::span<const double> x);
 /// z-normalizes a copy of x: (x - mean) / stddev. If stddev == 0 the result
 /// is all zeros. Requires non-empty input.
 std::vector<double> znormalize(std::span<const double> x);
+
+/// znormalize() writing into caller storage; out.size() == x.size().
+void znormalize_into(std::span<const double> x, std::span<double> out);
 
 }  // namespace airfinger::common

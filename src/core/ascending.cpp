@@ -12,8 +12,10 @@ namespace airfinger::core {
 
 AscendingPoints find_ascending_points(
     std::span<const std::span<const double>> windows,
-    const AscendingConfig& config) {
+    const AscendingConfig& config, common::ScratchArena& arena) {
   AF_EXPECT(!windows.empty(), "ascending detection requires channels");
+  AF_EXPECT(windows.size() <= kMaxTimingChannels,
+            "ascending detection supports at most kMaxTimingChannels");
   AF_EXPECT(config.rise_fraction > 0.0 && config.rise_fraction < 1.0,
             "rise fraction must lie in (0,1)");
   AF_EXPECT(config.floor_quantile >= 0.0 && config.floor_quantile < 1.0,
@@ -33,23 +35,40 @@ AscendingPoints find_ascending_points(
   }
   const double silence_level = strongest * config.silence_fraction;
 
+  std::size_t longest = 0;
+  for (const auto& w : windows) longest = std::max(longest, w.size());
+  const auto scratch_frame = arena.frame();
+  const std::span<double> sort_scratch = arena.alloc<double>(longest);
+
   for (std::size_t c = 0; c < windows.size(); ++c) {
     const auto& w = windows[c];
     if (w.empty() || out.peaks[c] <= silence_level || out.peaks[c] <= 0.0)
       continue;
-    const double floor = common::quantile(w, config.floor_quantile);
-    const double rise_level =
-        floor + config.rise_fraction * (out.peaks[c] - floor);
-    std::size_t run = 0;
-    for (std::size_t i = 0; i < w.size(); ++i) {
-      run = (w[i] >= rise_level) ? run + 1 : 0;
-      if (run >= config.confirm_samples) {
-        out.ascending[c] = i + 1 - run;  // onset = first sample of the run
-        break;
-      }
-    }
+    const double floor =
+        common::quantile_with(w, config.floor_quantile, sort_scratch);
+    out.ascending[c] = detail::ascending_onset(w, out.peaks[c], floor, config);
   }
   return out;
+}
+
+std::optional<std::size_t> detail::ascending_onset(
+    std::span<const double> w, double peak, double floor,
+    const AscendingConfig& config) {
+  const double rise_level = floor + config.rise_fraction * (peak - floor);
+  std::size_t run = 0;
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    run = (w[i] >= rise_level) ? run + 1 : 0;
+    if (run >= config.confirm_samples)
+      return i + 1 - run;  // onset = first sample of the run
+  }
+  return std::nullopt;
+}
+
+AscendingPoints find_ascending_points(
+    std::span<const std::span<const double>> windows,
+    const AscendingConfig& config) {
+  common::ScratchArena arena;
+  return find_ascending_points(windows, config, arena);
 }
 
 dsp::Segment pad_segment(const dsp::Segment& segment, std::size_t limit,
@@ -65,12 +84,16 @@ dsp::Segment pad_segment(const dsp::Segment& segment, std::size_t limit,
 
 SegmentTiming segment_timing(std::span<const std::span<const double>> windows,
                              double sample_rate_hz,
-                             const TimingConfig& config) {
+                             const TimingConfig& config,
+                             common::ScratchArena& arena) {
   AF_EXPECT(windows.size() >= 2, "segment_timing requires >= 2 channels");
+  AF_EXPECT(windows.size() <= kMaxTimingChannels,
+            "segment_timing supports at most kMaxTimingChannels");
   AF_EXPECT(sample_rate_hz > 0.0, "sample rate must be positive");
 
-  const AscendingPoints pts = find_ascending_points(windows,
-                                                    config.ascending);
+  const auto timing_frame = arena.frame();
+  const AscendingPoints pts =
+      find_ascending_points(windows, config.ascending, arena);
   SegmentTiming out;
   out.active.resize(windows.size(), false);
   out.tau_s.resize(windows.size(), 0.0);
@@ -97,29 +120,17 @@ SegmentTiming segment_timing(std::span<const std::span<const double>> windows,
 
   // Envelope hump count on the smoothed summed energy.
   const std::size_t n = windows.front().size();
-  std::vector<double> envelope(n, 0.0);
-  for (const auto& w : windows)
-    for (std::size_t i = 0; i < n && i < w.size(); ++i) envelope[i] += w[i];
-  const auto smooth = std::max<std::size_t>(
-      1, static_cast<std::size_t>(
-             std::lround(config.envelope_smooth_s * sample_rate_hz)));
-  if (!envelope.empty()) {
-    envelope = dsp::moving_average(envelope, smooth);
-    double peak = 0.0;
-    for (double v : envelope) peak = std::max(peak, v);
-    const double level = peak * config.peak_level;
-    const auto support = std::max<std::size_t>(
+  if (n > 0) {
+    const std::span<double> envelope_raw = arena.alloc<double>(n);
+    for (const auto& w : windows)
+      for (std::size_t i = 0; i < n && i < w.size(); ++i)
+        envelope_raw[i] += w[i];
+    const auto smooth = std::max<std::size_t>(
         1, static_cast<std::size_t>(
-               std::lround(config.peak_support_s * sample_rate_hz)));
-    std::size_t count = 0;
-    if (envelope.size() >= 2 * support + 1) {
-      for (std::size_t i : dsp::find_peaks(envelope, support))
-        if (envelope[i] >= level) ++count;
-    }
-    // A monotone-edged single hump can have its maximum at the window edge
-    // where find_peaks cannot see it; count at least one hump when any
-    // energy is present.
-    out.envelope_peaks = std::max<std::size_t>(count, peak > 0.0 ? 1 : 0);
+               std::lround(config.envelope_smooth_s * sample_rate_hz)));
+    const std::span<double> envelope = arena.alloc<double>(n);
+    dsp::moving_average_into(envelope_raw, smooth, envelope);
+    detail::envelope_stats(envelope, sample_rate_hz, config, out);
   }
 
   // Spatial asymmetry A(t) between the outer channels.
@@ -127,21 +138,53 @@ SegmentTiming segment_timing(std::span<const std::span<const double>> windows,
     const auto a_smooth = std::max<std::size_t>(
         1, static_cast<std::size_t>(
                std::lround(config.asymmetry_smooth_s * sample_rate_hz)));
-    const std::vector<double> e1 =
-        dsp::moving_average(windows.front(), a_smooth);
-    const std::vector<double> e3 =
-        dsp::moving_average(windows.back(), a_smooth);
-    std::vector<double> esum(n, 0.0);
+    const std::span<double> e1 = arena.alloc<double>(n);
+    dsp::moving_average_into(windows.front(), a_smooth, e1);
+    const std::span<double> e3 = arena.alloc<double>(n);
+    dsp::moving_average_into(windows.back(), a_smooth, e3);
+    const std::span<double> esum = arena.alloc<double>(n);
     for (const auto& w : windows) {
-      const std::vector<double> es = dsp::moving_average(w, a_smooth);
+      const auto channel_frame = arena.frame();
+      const std::span<double> es = arena.alloc<double>(n);
+      dsp::moving_average_into(w, a_smooth, es);
       for (std::size_t i = 0; i < n; ++i) esum[i] += es[i];
     }
+    detail::asymmetry_stats(e1, e3, esum, sample_rate_hz, config, arena, out);
+  }
+  return out;
+}
+
+void detail::envelope_stats(std::span<const double> envelope,
+                            double sample_rate_hz, const TimingConfig& config,
+                            SegmentTiming& out) {
+  double peak = 0.0;
+  for (double v : envelope) peak = std::max(peak, v);
+  const double level = peak * config.peak_level;
+  const auto support = std::max<std::size_t>(
+      1, static_cast<std::size_t>(
+             std::lround(config.peak_support_s * sample_rate_hz)));
+  const std::size_t count =
+      dsp::count_peaks_at_least(envelope, support, level);
+  // A monotone-edged single hump can have its maximum at the window edge
+  // where find_peaks cannot see it; count at least one hump when any
+  // energy is present.
+  out.envelope_peaks = std::max<std::size_t>(count, peak > 0.0 ? 1 : 0);
+}
+
+void detail::asymmetry_stats(std::span<const double> e1,
+                             std::span<const double> e3,
+                             std::span<const double> esum,
+                             double sample_rate_hz, const TimingConfig& config,
+                             common::ScratchArena& arena, SegmentTiming& out) {
+  const std::size_t n = esum.size();
+  const auto asymmetry_frame = arena.frame();
+  {
     double esum_peak = 0.0;
     for (double v : esum) esum_peak = std::max(esum_peak, v);
     const double eps =
         std::max(esum_peak * config.epsilon_fraction, 1e-12);
 
-    std::vector<double> a(n);
+    const std::span<double> a = arena.alloc<double>(n);
     for (std::size_t i = 0; i < n; ++i)
       a[i] = (e3[i] - e1[i]) / (esum[i] + eps);
 
@@ -150,7 +193,7 @@ SegmentTiming segment_timing(std::span<const std::span<const double>> windows,
     // the two zone crossings (first tercile on P1's side, last on P3's),
     // while common-mode events — clicks, lifts, and the centre crossings
     // of cyclic micro gestures — carry almost no differential weight.
-    std::vector<double> w(n);
+    const std::span<double> w = arena.alloc<double>(n);
     double total_w = 0.0;
     {
       // Energy gate: low-energy onset/offset transients show deceptive
@@ -251,7 +294,13 @@ SegmentTiming segment_timing(std::span<const std::span<const double>> windows,
       out.asymmetry_reversals = reversals;
     }
   }
-  return out;
+}
+
+SegmentTiming segment_timing(std::span<const std::span<const double>> windows,
+                             double sample_rate_hz,
+                             const TimingConfig& config) {
+  common::ScratchArena arena;
+  return segment_timing(windows, sample_rate_hz, config, arena);
 }
 
 }  // namespace airfinger::core

@@ -10,11 +10,17 @@
 
 #include <optional>
 #include <span>
-#include <vector>
 
+#include "common/arena.hpp"
+#include "common/inline_vector.hpp"
 #include "dsp/dynamic_threshold.hpp"
 
 namespace airfinger::core {
+
+/// Upper bound on photodiode channels the timing analysis supports. The
+/// paper's prototype has 3 (the 2-D cross variant has 5); per-channel
+/// results are held inline (no heap) up to this bound.
+inline constexpr std::size_t kMaxTimingChannels = 8;
 
 /// Tunables of the ascending-point detector.
 struct AscendingConfig {
@@ -31,19 +37,30 @@ struct AscendingConfig {
   /// Channels whose peak is below this fraction of the strongest channel's
   /// peak are treated as silent (no ascending point).
   double silence_fraction = 0.12;
+
+  bool operator==(const AscendingConfig&) const = default;
 };
 
-/// Per-channel ascending-point result for one gesture window.
+/// Per-channel ascending-point result for one gesture window. Value type
+/// with inline storage: returning one performs no heap allocation.
 struct AscendingPoints {
   /// ascending[c] = sample index (relative to the window) of channel c's
   /// ascending point, or nullopt when the channel stayed silent.
-  std::vector<std::optional<std::size_t>> ascending;
+  common::InlineVector<std::optional<std::size_t>, kMaxTimingChannels>
+      ascending;
   /// Peak ΔRSS² per channel within the window.
-  std::vector<double> peaks;
+  common::InlineVector<double, kMaxTimingChannels> peaks;
 };
 
 /// Detects ascending points for all channels over the same window.
 /// `windows[c]` is channel c's ΔRSS² restricted to the gesture segment.
+/// Internal scratch (quantile sort buffers) comes from `arena`; the arena
+/// is restored before returning.
+AscendingPoints find_ascending_points(
+    std::span<const std::span<const double>> windows,
+    const AscendingConfig& config, common::ScratchArena& arena);
+
+/// find_ascending_points() with a transient internal arena.
 AscendingPoints find_ascending_points(
     std::span<const std::span<const double>> windows,
     const AscendingConfig& config = {});
@@ -59,8 +76,10 @@ AscendingPoints find_ascending_points(
 /// coincide. The summed-energy envelope's hump count separates single
 /// sweeps (scrolls: one hump) from cyclic gestures (several humps).
 struct SegmentTiming {
-  std::vector<bool> active;     ///< Channel rose above the silence level.
-  std::vector<double> tau_s;    ///< Energy-centroid time per channel.
+  /// Channel rose above the silence level.
+  common::InlineVector<bool, kMaxTimingChannels> active;
+  /// Energy-centroid time per channel.
+  common::InlineVector<double, kMaxTimingChannels> tau_s;
   int first_active = -1;        ///< Lowest-index active channel.
   int last_active = -1;         ///< Highest-index active channel.
   /// τ(last_active) − τ(first_active); > 0 means energy reached the P1 side
@@ -112,6 +131,10 @@ struct TimingConfig {
   /// max(reversal_abs, reversal_rel × range) to count.
   double reversal_abs = 0.22;
   double reversal_rel = 0.40;
+
+  /// Exact equality lets the decision core prove that two analyses (router
+  /// and ZEBRA) would compute the same SegmentTiming and share one.
+  bool operator==(const TimingConfig&) const = default;
 };
 
 /// Expands a segment by the config's analysis padding, clamped to the
@@ -120,8 +143,40 @@ dsp::Segment pad_segment(const dsp::Segment& segment, std::size_t limit,
                          double pad_s, double sample_rate_hz);
 
 /// Computes the integral timing of a gesture window at `sample_rate_hz`.
+/// All working arrays (envelopes, smoothed channels, the asymmetry path)
+/// come from `arena`, which is restored before returning: once the arena
+/// reaches its high-water mark the analysis is allocation-free. Results
+/// are bit-identical to the arena-less overload.
+SegmentTiming segment_timing(std::span<const std::span<const double>> windows,
+                             double sample_rate_hz,
+                             const TimingConfig& config,
+                             common::ScratchArena& arena);
+
+/// segment_timing() with a transient internal arena.
 SegmentTiming segment_timing(std::span<const std::span<const double>> windows,
                              double sample_rate_hz,
                              const TimingConfig& config = {});
+
+namespace detail {
+// Building blocks of segment_timing(), shared with the incremental
+// open-segment cache (timing_cache.hpp) so both paths run the *same* scalar
+// code on the same intermediate arrays — bit-identity by construction.
+
+/// Ascending-point run scan of one channel at a known peak and noise floor.
+std::optional<std::size_t> ascending_onset(std::span<const double> w,
+                                           double peak, double floor,
+                                           const AscendingConfig& config);
+
+/// Envelope hump count from the smoothed summed-energy envelope.
+void envelope_stats(std::span<const double> envelope, double sample_rate_hz,
+                    const TimingConfig& config, SegmentTiming& out);
+
+/// Asymmetry-path statistics (ΔA, transit, range, reversals) from the
+/// smoothed outer-channel and summed energies. Scratch from `arena`.
+void asymmetry_stats(std::span<const double> e1, std::span<const double> e3,
+                     std::span<const double> esum, double sample_rate_hz,
+                     const TimingConfig& config, common::ScratchArena& arena,
+                     SegmentTiming& out);
+}  // namespace detail
 
 }  // namespace airfinger::core

@@ -24,6 +24,12 @@ std::vector<double> DetectRecognizer::extract(
   return bank_.extract(segment);
 }
 
+void DetectRecognizer::extract_into(
+    std::span<const std::span<const double>> channels,
+    features::Workspace& workspace, std::span<double> out) const {
+  bank_.extract_into(channels, workspace, out);
+}
+
 void DetectRecognizer::fit(const ml::SampleSet& full_features) {
   full_features.validate();
   AF_EXPECT(full_features.feature_count() == bank_.feature_count(),
@@ -46,6 +52,7 @@ void DetectRecognizer::fit(const ml::SampleSet& full_features) {
   // Stage 2: final forest on the selected columns only.
   forest_ = ml::RandomForest(config_.forest);
   forest_.fit(full_features.project(selected_));
+  compiled_ = ml::CompiledForest(forest_);
   fitted_ = true;
 }
 
@@ -68,6 +75,24 @@ std::vector<double> DetectRecognizer::predict_proba(
     std::span<const double> row) const {
   AF_EXPECT(fitted_, "predict requires a fitted recognizer");
   return forest_.predict_proba(project(row));
+}
+
+void DetectRecognizer::predict_proba_into(std::span<const double> row,
+                                          common::ScratchArena& arena,
+                                          std::span<double> out) const {
+  AF_EXPECT(fitted_, "predict requires a fitted recognizer");
+  AF_EXPECT(row.size() == bank_.feature_count(),
+            "prediction rows must carry the full candidate bank");
+  const auto project_frame = arena.frame();
+  const std::span<double> projected = arena.alloc<double>(selected_.size());
+  for (std::size_t i = 0; i < selected_.size(); ++i)
+    projected[i] = row[selected_[i]];
+  compiled_.predict_proba_into(projected, out);
+}
+
+std::size_t DetectRecognizer::num_classes() const {
+  AF_EXPECT(fitted_, "class count requires a fitted recognizer");
+  return compiled_.num_classes();
 }
 
 void DetectRecognizer::save(std::ostream& os) const {
@@ -104,6 +129,7 @@ DetectRecognizer DetectRecognizer::load(std::istream& is,
     AF_EXPECT(idx < width, "selected feature index out of range");
   }
   rec.forest_ = ml::RandomForest::load(is);
+  rec.compiled_ = ml::CompiledForest(rec.forest_);
   rec.fitted_ = true;
   return rec;
 }

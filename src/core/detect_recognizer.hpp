@@ -10,6 +10,7 @@
 #include <memory>
 
 #include "features/bank.hpp"
+#include "ml/compiled_forest.hpp"
 #include "ml/random_forest.hpp"
 
 namespace airfinger::core {
@@ -38,6 +39,13 @@ class DetectRecognizer {
   /// Single-channel convenience (cross-channel features become zeros).
   std::vector<double> extract(std::span<const double> segment) const;
 
+  /// extract() into caller storage of size bank().feature_count(), drawing
+  /// scratch from `workspace` (allocation-free at the arena's high-water
+  /// mark; bit-identical to extract()).
+  void extract_into(std::span<const std::span<const double>> channels,
+                    features::Workspace& workspace,
+                    std::span<double> out) const;
+
   /// Trains on full-bank feature rows (as produced by extract()).
   void fit(const ml::SampleSet& full_features);
 
@@ -47,6 +55,20 @@ class DetectRecognizer {
   /// Class probabilities for one full-bank feature row.
   std::vector<double> predict_proba(
       std::span<const double> full_feature_row) const;
+
+  /// predict_proba() into caller storage of size num_classes(), using the
+  /// compiled forest and projecting the row through `arena` scratch.
+  /// Bit-identical to predict_proba().
+  void predict_proba_into(std::span<const double> full_feature_row,
+                          common::ScratchArena& arena,
+                          std::span<double> out) const;
+
+  /// Number of gesture classes of the fitted forest.
+  std::size_t num_classes() const;
+
+  /// The flattened (SoA) forest the hot path predicts with; compiled from
+  /// the reference forest after fit() and load().
+  const ml::CompiledForest& compiled_forest() const { return compiled_; }
 
   /// Indices (into the full bank) of the selected features. Valid after
   /// fit(); equals the identity when two-stage selection is disabled.
@@ -75,6 +97,7 @@ class DetectRecognizer {
   DetectRecognizerConfig config_;
   features::FeatureBank bank_;
   ml::RandomForest forest_;
+  ml::CompiledForest compiled_;
   std::vector<std::size_t> selected_;
   bool fitted_ = false;
 };

@@ -34,6 +34,7 @@ void InterferenceFilter::fit(const ml::SampleSet& full_features) {
   }
   forest_ = ml::RandomForest(config_.forest);
   forest_.fit(full_features.project(indices_));
+  compiled_ = ml::CompiledForest(forest_);
   fitted_ = true;
 }
 
@@ -71,6 +72,7 @@ InterferenceFilter InterferenceFilter::load(std::istream& is,
     AF_EXPECT(idx < width, "filter feature index out of range");
   }
   filter.forest_ = ml::RandomForest::load(is);
+  filter.compiled_ = ml::CompiledForest(filter.forest_);
   filter.fitted_ = true;
   return filter;
 }
@@ -94,6 +96,21 @@ double InterferenceFilter::gesture_probability(
     std::span<const double> row) const {
   AF_EXPECT(fitted_, "gesture_probability requires a fitted filter");
   const auto proba = forest_.predict_proba(project(row));
+  return proba.size() > 1 ? proba[1] : 0.0;
+}
+
+double InterferenceFilter::gesture_probability_with(
+    std::span<const double> row, common::ScratchArena& arena) const {
+  AF_EXPECT(fitted_, "gesture_probability requires a fitted filter");
+  AF_EXPECT(row.size() == bank_width_,
+            "rows must carry the full candidate bank");
+  const auto filter_frame = arena.frame();
+  const std::span<double> projected = arena.alloc<double>(indices_.size());
+  for (std::size_t i = 0; i < indices_.size(); ++i)
+    projected[i] = row[indices_[i]];
+  const std::span<double> proba =
+      arena.alloc<double>(compiled_.num_classes());
+  compiled_.predict_proba_into(projected, proba);
   return proba.size() > 1 ? proba[1] : 0.0;
 }
 

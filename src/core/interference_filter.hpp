@@ -7,6 +7,7 @@
 #include <iosfwd>
 
 #include "features/bank.hpp"
+#include "ml/compiled_forest.hpp"
 #include "ml/random_forest.hpp"
 
 namespace airfinger::core {
@@ -37,6 +38,12 @@ class InterferenceFilter {
   /// P(gesture) for one full-bank row.
   double gesture_probability(std::span<const double> full_feature_row) const;
 
+  /// gesture_probability() with the projected row and probabilities drawn
+  /// from `arena` scratch and the compiled forest doing the prediction:
+  /// allocation-free at the arena's high-water mark, bit-identical result.
+  double gesture_probability_with(std::span<const double> full_feature_row,
+                                  common::ScratchArena& arena) const;
+
   bool is_fitted() const { return fitted_; }
 
   const std::vector<std::size_t>& feature_indices() const {
@@ -59,6 +66,7 @@ class InterferenceFilter {
   std::vector<std::size_t> indices_;
   std::size_t bank_width_;
   ml::RandomForest forest_;
+  ml::CompiledForest compiled_;
   bool fitted_ = false;
 };
 

@@ -44,7 +44,8 @@ ModelBundle::ModelBundle(AirFingerConfig config, DetectRecognizer recognizer,
       recognizer_(std::move(recognizer)),
       filter_(std::move(filter)),
       router_(config.router),
-      zebra_(config.zebra) {
+      zebra_(config.zebra),
+      timing_shared_(config.router.timing == config.zebra.timing) {
   AF_EXPECT(config_.sample_rate_hz > 0.0, "sample rate must be positive");
   AF_EXPECT(config_.channels >= 2, "engine requires at least two channels");
   AF_EXPECT(recognizer_.is_fitted(),
@@ -63,25 +64,108 @@ std::shared_ptr<const ModelBundle> ModelBundle::create(
 
 GestureEvent ModelBundle::decide(const ProcessedTrace& view,
                                  const dsp::Segment& local) const {
+  features::Workspace workspace;
+  return decide(view, local, workspace);
+}
+
+namespace {
+
+/// Per-channel span views of a padded segment window, held in the arena.
+std::span<const std::span<const double>> window_spans(
+    const ProcessedTrace& view, const dsp::Segment& padded,
+    common::ScratchArena& arena) {
+  const auto windows =
+      arena.alloc<std::span<const double>>(view.delta_rss2.size());
+  for (std::size_t c = 0; c < windows.size(); ++c)
+    windows[c] = {view.delta_rss2[c].data() + padded.begin, padded.length()};
+  return windows;
+}
+
+}  // namespace
+
+std::optional<ScrollEstimate> ModelBundle::probe_direction(
+    const ProcessedTrace& view, const dsp::Segment& local,
+    features::Workspace& workspace) const {
+  AF_EXPECT(local.end <= view.energy.size() && local.begin < local.end,
+            "segment out of range");
+  AF_EXPECT(view.sample_rate_hz > 0.0, "invalid sample rate");
+  common::ScratchArena& arena = workspace.arena;
+  const auto probe_frame = arena.frame();
+
+  const dsp::Segment padded =
+      pad_segment(local, view.energy.size(),
+                  router_.config().timing.analysis_pad_s, view.sample_rate_hz);
+  const auto windows = window_spans(view, padded, arena);
+  const SegmentTiming timing = segment_timing(
+      windows, view.sample_rate_hz, router_.config().timing, arena);
+  if (router_.route_timing(timing) != GestureCategory::kTrackAimed)
+    return std::nullopt;
+  if (timing_shared_)
+    return zebra_.track_timing(timing, windows, local, view.sample_rate_hz);
+  return zebra_.track(view, local);
+}
+
+std::optional<ScrollEstimate> ModelBundle::probe_direction(
+    const ProcessedTrace& view, const dsp::Segment& local,
+    features::Workspace& workspace, OpenSegmentTiming& cache) const {
+  AF_EXPECT(local.end <= view.energy.size() && local.begin < local.end,
+            "segment out of range");
+  AF_EXPECT(view.sample_rate_hz > 0.0, "invalid sample rate");
+  common::ScratchArena& arena = workspace.arena;
+  const auto probe_frame = arena.frame();
+
+  // The probe always analyses the full open-segment view, so the analysis
+  // padding cannot extend past it — the padded window is the view itself,
+  // which is exactly what the incremental cache covers.
+  const dsp::Segment padded =
+      pad_segment(local, view.energy.size(),
+                  router_.config().timing.analysis_pad_s, view.sample_rate_hz);
+  AF_ASSERT(padded.begin == 0 && padded.end == view.energy.size() &&
+                cache.size() == view.energy.size(),
+            "timing cache out of sync with the open-segment view");
+  const auto windows = window_spans(view, padded, arena);
+  const SegmentTiming timing = cache.timing(windows, arena);
+  if (router_.route_timing(timing) != GestureCategory::kTrackAimed)
+    return std::nullopt;
+  if (timing_shared_)
+    return zebra_.track_timing(timing, windows, local, view.sample_rate_hz);
+  return zebra_.track(view, local);
+}
+
+GestureEvent ModelBundle::decide(const ProcessedTrace& view,
+                                 const dsp::Segment& local,
+                                 features::Workspace& workspace) const {
+  AF_EXPECT(local.end <= view.energy.size() && local.begin < local.end,
+            "segment out of range");
+  AF_EXPECT(view.sample_rate_hz > 0.0, "invalid sample rate");
+  common::ScratchArena& arena = workspace.arena;
+  const auto decide_frame = arena.frame();
+
   GestureEvent event;
-  GestureCategory category = router_.route(view, local);
+  const dsp::Segment padded_route =
+      pad_segment(local, view.energy.size(),
+                  router_.config().timing.analysis_pad_s, view.sample_rate_hz);
+  const auto route_windows = window_spans(view, padded_route, arena);
+  const SegmentTiming timing = segment_timing(
+      route_windows, view.sample_rate_hz, router_.config().timing, arena);
+  GestureCategory category = router_.route_timing(timing);
 
   // Hybrid routing: let the eight-class recognizer veto the rule when it
   // is confident the rule misrouted (see AirFingerConfig::hybrid_routing).
-  std::vector<double> row;
-  std::vector<double> proba;
+  // The feature row and probabilities live in the arena until this decide
+  // frame unwinds.
+  std::span<double> row;
+  std::span<double> proba;
   auto ensure_classified = [&] {
     if (row.empty()) {
       const dsp::Segment padded =
           pad_segment(local, view.energy.size(),
                       config_.processing.feature_pad_s, view.sample_rate_hz);
-      std::vector<std::span<const double>> windows;
-      windows.reserve(view.delta_rss2.size());
-      for (const auto& ch : view.delta_rss2)
-        windows.emplace_back(ch.data() + padded.begin, padded.length());
-      row = recognizer_.extract(
-          std::span<const std::span<const double>>(windows));
-      proba = recognizer_.predict_proba(row);
+      const auto windows = window_spans(view, padded, arena);
+      row = arena.alloc<double>(recognizer_.bank().feature_count());
+      recognizer_.extract_into(windows, workspace, row);
+      proba = arena.alloc<double>(recognizer_.num_classes());
+      recognizer_.predict_proba_into(row, arena, proba);
     }
   };
   if (config_.hybrid_routing) {
@@ -98,7 +182,13 @@ GestureEvent ModelBundle::decide(const ProcessedTrace& view,
   }
 
   if (category == GestureCategory::kTrackAimed) {
-    if (const auto estimate = zebra_.track(view, local)) {
+    // When router and ZEBRA share one TimingConfig the routing timing is
+    // exactly what ZEBRA would recompute — reuse it.
+    const auto estimate =
+        timing_shared_ ? zebra_.track_timing(timing, route_windows, local,
+                                             view.sample_rate_hz)
+                       : zebra_.track(view, local);
+    if (estimate) {
       event.type = GestureEvent::Type::kScrollDetected;
       event.scroll = *estimate;
       return event;
@@ -108,7 +198,8 @@ GestureEvent ModelBundle::decide(const ProcessedTrace& view,
 
   ensure_classified();
   if (filter_ && config_.interference_filtering &&
-      filter_->gesture_probability(row) < config_.rejection_threshold) {
+      filter_->gesture_probability_with(row, arena) <
+          config_.rejection_threshold) {
     event.type = GestureEvent::Type::kNonGesture;
     return event;
   }
@@ -144,8 +235,9 @@ std::vector<GestureEvent> ModelBundle::classify_recording(
   const ProcessedTrace processed = processor.process(trace);
 
   std::vector<GestureEvent> events;
+  features::Workspace workspace;  // reused across the recording's segments
   for (const auto& segment : processed.segments) {
-    GestureEvent event = decide(processed, segment);
+    GestureEvent event = decide(processed, segment, workspace);
     event.time_s =
         static_cast<double>(segment.end) / trace.sample_rate_hz();
     event.segment_begin = segment.begin;

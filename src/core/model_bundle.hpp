@@ -25,6 +25,7 @@
 #include "core/data_processor.hpp"
 #include "core/detect_recognizer.hpp"
 #include "core/interference_filter.hpp"
+#include "core/timing_cache.hpp"
 #include "core/type_router.hpp"
 #include "core/zebra.hpp"
 #include "synth/motion_kind.hpp"
@@ -117,6 +118,41 @@ class ModelBundle {
   GestureEvent decide(const ProcessedTrace& view,
                       const dsp::Segment& local) const;
 
+  /// decide() drawing every working array (timing scratch, feature row,
+  /// probabilities) from the caller's workspace arena: once the arena
+  /// reaches its high-water mark the call is allocation-free. When router
+  /// and ZEBRA share one TimingConfig (the default) the segment timing is
+  /// computed once and reused. Results are bit-identical to decide()
+  /// without a workspace. The workspace must not be shared across threads.
+  GestureEvent decide(const ProcessedTrace& view, const dsp::Segment& local,
+                      features::Workspace& workspace) const;
+
+  /// The early-direction probe of the streaming path: routes the (still
+  /// open) segment and, when it is track-aimed, runs ZEBRA on it — sharing
+  /// one SegmentTiming between the two when their configs agree. Returns
+  /// nullopt for detect-aimed or undecidable windows. Allocation-free at
+  /// the workspace's high-water mark; bit-identical to
+  /// `router().route(...) == kTrackAimed ? zebra().track(...) : nullopt`.
+  std::optional<ScrollEstimate> probe_direction(
+      const ProcessedTrace& view, const dsp::Segment& local,
+      features::Workspace& workspace) const;
+
+  /// probe_direction() reading the segment timing from an incrementally
+  /// maintained cache instead of recomputing it over the whole open window:
+  /// amortized O(n) per probe instead of O(n·w). `cache` must be configured
+  /// with probe_timing_config() and contain exactly the samples of
+  /// `view`/`local` (which must span the full view). Bit-identical to the
+  /// cacheless overload.
+  std::optional<ScrollEstimate> probe_direction(
+      const ProcessedTrace& view, const dsp::Segment& local,
+      features::Workspace& workspace, OpenSegmentTiming& cache) const;
+
+  /// The TimingConfig the early-direction probe analyses windows with —
+  /// what a per-session OpenSegmentTiming cache must be configured with.
+  const TimingConfig& probe_timing_config() const {
+    return router_.config().timing;
+  }
+
   /// Offline classification of a recorded trace: batch SBC + batch DT
   /// segmentation (identical to the training-time processing), then the
   /// same routing/recognition logic as the streaming path. One event per
@@ -169,6 +205,9 @@ class ModelBundle {
   std::optional<InterferenceFilter> filter_;
   TypeRouter router_;
   ZebraTracker zebra_;
+  /// Router and ZEBRA were configured with the same TimingConfig, so one
+  /// SegmentTiming (over the same padded windows) serves both.
+  bool timing_shared_ = false;
 };
 
 }  // namespace airfinger::core

@@ -22,6 +22,17 @@ Session::Session(std::shared_ptr<const ModelBundle> bundle)
   for (std::size_t c = 0; c < config().channels; ++c)
     sbc_.emplace_back(w);
   history_.resize(config().channels);
+  // Compaction keeps history_limit/2 samples and triggers past
+  // history_limit; reserving headroom beyond the trigger keeps steady
+  // pushes allocation-free (gestures longer than the headroom still work,
+  // they just reallocate).
+  for (auto& ch : history_)
+    ch.reserve(config().history_limit + config().history_limit / 2);
+  open_view_.sample_rate_hz = config().sample_rate_hz;
+  open_view_.delta_rss2.resize(config().channels);
+  if (config().channels <= kMaxTimingChannels)
+    timing_cache_.configure(config().channels, config().sample_rate_hz,
+                            bundle_->probe_timing_config());
 }
 
 ProcessedTrace Session::window_view(const dsp::Segment& segment) const {
@@ -45,9 +56,23 @@ ProcessedTrace Session::window_view(const dsp::Segment& segment) const {
 
 void Session::handle_segment(const dsp::Segment& segment,
                              const EventCallback& callback) {
-  // Work on the segment window re-based to local indices.
-  const ProcessedTrace view = window_view(segment);
-  GestureEvent event = bundle_->decide(view, dsp::Segment{0, segment.length()});
+  // Work on the segment window re-based to local indices. A completed (or
+  // flushed) segment is always a prefix of the maintained open-segment
+  // buffer — its end is the last above-threshold sample + 1, while the
+  // buffer extends through the below-threshold gap — so trimming the
+  // buffer yields the exact window with no copy.
+  GestureEvent event;
+  const std::size_t len = segment.length();
+  if (open_view_valid_ && segment.begin == open_segment_begin_ &&
+      len <= open_view_.energy.size()) {
+    for (auto& ch : open_view_.delta_rss2) ch.resize(len);
+    open_view_.energy.resize(len);
+    event = bundle_->decide(open_view_, dsp::Segment{0, len}, workspace_);
+  } else {
+    const ProcessedTrace view = window_view(segment);
+    event = bundle_->decide(view, dsp::Segment{0, len}, workspace_);
+  }
+  open_view_valid_ = false;
   event.time_s = now();
   event.segment_begin = segment.begin;
   event.segment_end = segment.end;
@@ -74,6 +99,26 @@ void Session::push_frame(std::span<const double> frame,
   if (!was_open && segmenter_.in_gesture()) {
     open_segment_begin_ = frames_ - 1;
     early_direction_sent_ = false;
+    for (auto& ch : open_view_.delta_rss2) ch.clear();
+    open_view_.energy.clear();
+    open_view_valid_ = true;
+    if (timing_cache_.configured()) timing_cache_.begin_segment();
+  }
+
+  // Maintain the open-segment view incrementally: O(channels) per frame
+  // instead of an O(channels · length) copy per probe.
+  if (open_view_valid_ && (was_open || segmenter_.in_gesture())) {
+    for (std::size_t c = 0; c < history_.size(); ++c)
+      open_view_.delta_rss2[c].push_back(history_[c].back());
+    open_view_.energy.push_back(energy);
+    // Feed the probe's incremental timing analysis; once the early verdict
+    // is out no probe will read it again this segment.
+    if (timing_cache_.configured() && !early_direction_sent_) {
+      double deltas[kMaxTimingChannels];
+      for (std::size_t c = 0; c < history_.size(); ++c)
+        deltas[c] = history_[c].back();
+      timing_cache_.append({deltas, history_.size()});
+    }
   }
 
   // Early scroll-direction verdict: once the open segment is longer than
@@ -84,26 +129,32 @@ void Session::push_frame(std::span<const double> frame,
     const auto ig_samples = static_cast<std::size_t>(
         config().router.ig_threshold_s * config().sample_rate_hz);
     if (open_len > 2 * ig_samples + 2) {
-      const dsp::Segment open_seg{open_segment_begin_, frames_};
-      ProcessedTrace view = window_view(open_seg);
-      const dsp::Segment local{0, open_seg.length()};
-      if (bundle_->router().route(view, local) ==
-          GestureCategory::kTrackAimed) {
-        if (const auto est = bundle_->zebra().track(view, local)) {
-          GestureEvent event;
-          event.type = GestureEvent::Type::kScrollDirection;
-          event.time_s = now();
-          event.segment_begin = open_seg.begin;
-          event.segment_end = open_seg.end;
-          event.scroll = *est;
-          early_direction_sent_ = true;
-          callback(event);
-        }
+      AF_ASSERT(open_view_valid_ &&
+                    open_view_.energy.size() == open_len,
+                "open-segment view out of sync with the segmenter");
+      const dsp::Segment local{0, open_len};
+      const auto est =
+          timing_cache_.configured()
+              ? bundle_->probe_direction(open_view_, local, workspace_,
+                                         timing_cache_)
+              : bundle_->probe_direction(open_view_, local, workspace_);
+      if (est) {
+        GestureEvent event;
+        event.type = GestureEvent::Type::kScrollDirection;
+        event.time_s = now();
+        event.segment_begin = open_segment_begin_;
+        event.segment_end = frames_;
+        event.scroll = *est;
+        early_direction_sent_ = true;
+        callback(event);
       }
     }
   }
 
   if (completed) handle_segment(*completed, callback);
+  // The segmenter may abandon an open segment without completing it (too
+  // short): drop the maintained view with it.
+  if (!segmenter_.in_gesture()) open_view_valid_ = false;
 
   // Compact old history between gestures (and only after any completed
   // segment has been analysed): keep the most recent half of the limit so
@@ -131,6 +182,10 @@ void Session::reset() {
   frames_ = 0;
   early_direction_sent_ = false;
   open_segment_begin_ = 0;
+  for (auto& ch : open_view_.delta_rss2) ch.clear();
+  open_view_.energy.clear();
+  open_view_valid_ = false;
+  if (timing_cache_.configured()) timing_cache_.begin_segment();
 }
 
 std::vector<GestureEvent> Session::process_trace(

@@ -17,6 +17,7 @@
 
 #include "core/model_bundle.hpp"
 #include "dsp/sbc.hpp"
+#include "features/workspace.hpp"
 
 namespace airfinger::core {
 
@@ -74,12 +75,28 @@ class Session {
   /// Recent ΔRSS² per channel. Indexing is absolute sample counts; the
   /// vectors hold samples [history_base_, frames_) and are compacted
   /// between gestures so memory stays bounded (config().history_limit).
+  /// Reserved up front (and compacted by erase, which keeps capacity) so
+  /// steady-state frames never reallocate.
   std::vector<std::vector<double>> history_;
   std::size_t history_base_ = 0;
   std::size_t frames_ = 0;
   /// Early-direction bookkeeping for the currently open segment.
   bool early_direction_sent_ = false;
   std::size_t open_segment_begin_ = 0;
+  /// Local-index view of the currently open segment, maintained
+  /// incrementally (O(channels) per frame) instead of re-copied per probe.
+  /// Valid from segment open until the segment is decided or abandoned;
+  /// spans [open_segment_begin_, frames_) while valid.
+  ProcessedTrace open_view_;
+  bool open_view_valid_ = false;
+  /// Per-session scratch arena for the decision core and feature bank; at
+  /// its high-water mark, probing and deciding allocate nothing.
+  features::Workspace workspace_;
+  /// Incremental timing analysis over the open segment: fed one frame at a
+  /// time so each early-direction probe costs amortized O(n) instead of
+  /// recomputing segment_timing() from scratch. Configured from the
+  /// bundle's probe timing config when the channel count supports it.
+  OpenSegmentTiming timing_cache_;
 };
 
 }  // namespace airfinger::core

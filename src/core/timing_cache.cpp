@@ -1,0 +1,159 @@
+#include "core/timing_cache.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+
+namespace airfinger::core {
+
+void OpenSegmentTiming::configure(std::size_t channels,
+                                  double sample_rate_hz,
+                                  const TimingConfig& config) {
+  AF_EXPECT(channels >= 2, "timing cache requires >= 2 channels");
+  AF_EXPECT(channels <= kMaxTimingChannels,
+            "timing cache supports at most kMaxTimingChannels");
+  AF_EXPECT(sample_rate_hz > 0.0, "sample rate must be positive");
+  const AscendingConfig& asc = config.ascending;
+  AF_EXPECT(asc.rise_fraction > 0.0 && asc.rise_fraction < 1.0,
+            "rise fraction must lie in (0,1)");
+  AF_EXPECT(asc.floor_quantile >= 0.0 && asc.floor_quantile < 1.0,
+            "floor quantile must lie in [0,1)");
+  AF_EXPECT(asc.confirm_samples >= 1, "confirm_samples must be >= 1");
+  AF_EXPECT(asc.silence_fraction >= 0.0 && asc.silence_fraction < 1.0,
+            "silence fraction must lie in [0,1)");
+
+  channel_count_ = channels;
+  sample_rate_hz_ = sample_rate_hz;
+  config_ = config;
+  env_smooth_ = std::max<std::size_t>(
+      1, static_cast<std::size_t>(
+             std::lround(config.envelope_smooth_s * sample_rate_hz)));
+  a_smooth_ = std::max<std::size_t>(
+      1, static_cast<std::size_t>(
+             std::lround(config.asymmetry_smooth_s * sample_rate_hz)));
+  channels_.resize(channel_count_);
+  begin_segment();
+}
+
+void OpenSegmentTiming::begin_segment() {
+  n_ = 0;
+  for (auto& ch : channels_) {
+    ch.peak = 0.0;
+    ch.energy = 0.0;
+    ch.weighted = 0.0;
+    ch.sorted.clear();
+    ch.smooth.clear();
+  }
+  envelope_raw_.clear();
+  envelope_.clear();
+  esum_.clear();
+}
+
+void OpenSegmentTiming::append(std::span<const double> deltas) {
+  AF_EXPECT(configured(), "timing cache must be configured before use");
+  AF_EXPECT(deltas.size() == channel_count_,
+            "frame arity must match the configured channel count");
+  double summed = 0.0;
+  for (std::size_t c = 0; c < channel_count_; ++c) {
+    const double v = deltas[c];
+    Channel& ch = channels_[c];
+    ch.peak = std::max(ch.peak, v);
+    ch.energy += v;
+    ch.weighted += static_cast<double>(n_) * v;
+    ch.sorted.insert(
+        std::upper_bound(ch.sorted.begin(), ch.sorted.end(), v), v);
+    summed += v;
+  }
+  envelope_raw_.push_back(summed);
+  ++n_;
+}
+
+void OpenSegmentTiming::advance_moving_average(std::span<const double> x,
+                                               std::size_t w,
+                                               std::vector<double>& out) {
+  // An entry i of moving_average(x, w) reads x[max(0, i-half) .. i+half];
+  // at a previous length m it was final iff i + half + 1 <= m. Recompute
+  // only the trailing entries the grow invalidated, with the same brute
+  // per-output loop as moving_average_into (bit-identity contract).
+  const std::size_t half = w / 2;
+  const std::size_t m = out.size();
+  const std::size_t revise = m > half ? m - half : 0;
+  out.resize(x.size());
+  for (std::size_t i = revise; i < x.size(); ++i) {
+    const std::size_t lo = i >= half ? i - half : 0;
+    const std::size_t hi = std::min(i + half + 1, x.size());
+    double s = 0.0;
+    for (std::size_t j = lo; j < hi; ++j) s += x[j];
+    out[i] = s / static_cast<double>(hi - lo);
+  }
+}
+
+SegmentTiming OpenSegmentTiming::timing(
+    std::span<const std::span<const double>> windows,
+    common::ScratchArena& arena) {
+  AF_EXPECT(configured(), "timing cache must be configured before use");
+  AF_EXPECT(windows.size() == channel_count_,
+            "window arity must match the configured channel count");
+  for (const auto& w : windows)
+    AF_EXPECT(w.size() == n_,
+              "windows must cover exactly the appended samples");
+
+  // Advance the lazy moving-average caches to the current length, then
+  // rebuild the invalidated tail of the summed smoothed energy.
+  const std::size_t prev = channels_.front().smooth.size();
+  for (std::size_t c = 0; c < channel_count_; ++c)
+    advance_moving_average(windows[c], a_smooth_, channels_[c].smooth);
+  advance_moving_average(envelope_raw_, env_smooth_, envelope_);
+  const std::size_t half_a = a_smooth_ / 2;
+  const std::size_t revise = prev > half_a ? prev - half_a : 0;
+  esum_.resize(n_);
+  for (std::size_t i = revise; i < n_; ++i) {
+    double s = 0.0;
+    for (const auto& ch : channels_) s += ch.smooth[i];
+    esum_[i] = s;
+  }
+
+  SegmentTiming out;
+  out.active.resize(channel_count_, false);
+  out.tau_s.resize(channel_count_, 0.0);
+
+  double strongest = 0.0;
+  for (const auto& ch : channels_)
+    strongest = std::max(strongest, ch.peak);
+  const double silence_level = strongest * config_.ascending.silence_fraction;
+
+  for (std::size_t c = 0; c < channel_count_; ++c) {
+    const Channel& ch = channels_[c];
+    if (windows[c].empty() || ch.peak <= silence_level || ch.peak <= 0.0)
+      continue;
+    const double floor =
+        common::quantile_sorted(ch.sorted, config_.ascending.floor_quantile);
+    const auto onset = detail::ascending_onset(windows[c], ch.peak, floor,
+                                               config_.ascending);
+    out.active[c] = onset.has_value();
+    if (!out.active[c]) continue;
+    if (out.first_active < 0) out.first_active = static_cast<int>(c);
+    out.last_active = static_cast<int>(c);
+    out.tau_s[c] = ch.energy > 0.0
+                       ? (ch.weighted / ch.energy) / sample_rate_hz_
+                       : 0.0;
+  }
+
+  if (out.first_active >= 0 && out.last_active > out.first_active) {
+    out.dt_outer_s =
+        out.tau_s[static_cast<std::size_t>(out.last_active)] -
+        out.tau_s[static_cast<std::size_t>(out.first_active)];
+  }
+
+  if (n_ > 0)
+    detail::envelope_stats(envelope_, sample_rate_hz_, config_, out);
+  if (n_ >= 8)
+    detail::asymmetry_stats(channels_.front().smooth,
+                            channels_.back().smooth, esum_, sample_rate_hz_,
+                            config_, arena, out);
+  return out;
+}
+
+}  // namespace airfinger::core

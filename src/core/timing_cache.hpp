@@ -1,0 +1,88 @@
+// Incremental timing analysis of the currently open segment.
+//
+// While a gesture is open, the early-direction probe recomputes
+// segment_timing() over the whole open window on every frame — an O(n·w)
+// cost (dominated by the brute moving averages and the quantile sorts)
+// that grows with the window and is paid ~100×/s. OpenSegmentTiming turns
+// that into an amortized O(n) per frame by exploiting that the window only
+// ever *grows at the right edge*:
+//
+//  - per-channel peaks and the energy / weighted-energy sums are running
+//    left-to-right folds — appending one sample extends the identical fold;
+//  - the noise-floor quantile reads a maintained sorted array (same value
+//    multiset as quantile()'s sort of the window);
+//  - a length-w moving average only changes for outputs whose window
+//    touches the new sample — the trailing half-window — so the caches
+//    recompute just those entries, with the same brute per-output loop
+//    moving_average_into() uses.
+//
+// Every derived scalar then runs through the same detail:: helpers as
+// segment_timing(), so the result is bit-identical to the batch analysis
+// of the same window — locked in by timing_cache tests.
+#pragma once
+
+#include <vector>
+
+#include "core/ascending.hpp"
+
+namespace airfinger::core {
+
+/// Incrementally maintained segment_timing() over a grow-only window.
+/// Not thread-safe; owned by one Session (or test) at a time. Buffers keep
+/// their capacity across segments, so steady-state operation performs no
+/// heap allocation once sized by the longest gesture seen.
+class OpenSegmentTiming {
+ public:
+  OpenSegmentTiming() = default;
+
+  /// Binds the cache to a channel count / sample rate / timing config.
+  /// Must be called before the first append; restarts any open segment.
+  void configure(std::size_t channels, double sample_rate_hz,
+                 const TimingConfig& config);
+
+  bool configured() const { return channel_count_ > 0; }
+  const TimingConfig& config() const { return config_; }
+
+  /// Starts a new open segment: drops all cached state, keeps capacity.
+  void begin_segment();
+
+  /// Appends one ΔRSS² sample per channel (the frame just pushed).
+  void append(std::span<const double> deltas);
+
+  /// Samples appended since begin_segment().
+  std::size_t size() const { return n_; }
+
+  /// Timing analysis of the full appended window; `windows[c]` must be
+  /// channel c's ΔRSS² over exactly the appended samples (the open-segment
+  /// view the deltas came from). Bit-identical to
+  /// segment_timing(windows, sample_rate_hz, config, arena).
+  SegmentTiming timing(std::span<const std::span<const double>> windows,
+                       common::ScratchArena& arena);
+
+ private:
+  /// Recomputes the entries of `out` (a moving average of `x` with width
+  /// `w`) that a grow from out.size() to x.size() invalidated.
+  static void advance_moving_average(std::span<const double> x, std::size_t w,
+                                     std::vector<double>& out);
+
+  struct Channel {
+    double peak = 0.0;      ///< Running max of the window.
+    double energy = 0.0;    ///< Σ x[i], appended left to right.
+    double weighted = 0.0;  ///< Σ i·x[i], appended left to right.
+    std::vector<double> sorted;  ///< Window values, ascending (floor quantile).
+    std::vector<double> smooth;  ///< MA(window, a_smooth), lazily advanced.
+  };
+
+  std::size_t channel_count_ = 0;
+  double sample_rate_hz_ = 0.0;
+  TimingConfig config_{};
+  std::size_t env_smooth_ = 1;  ///< Envelope moving-average width, samples.
+  std::size_t a_smooth_ = 1;    ///< Asymmetry moving-average width, samples.
+  std::size_t n_ = 0;
+  std::vector<Channel> channels_;
+  std::vector<double> envelope_raw_;  ///< Per-sample summed channel energy.
+  std::vector<double> envelope_;      ///< MA(envelope_raw_, env_smooth_).
+  std::vector<double> esum_;          ///< Σ_c channels_[c].smooth.
+};
+
+}  // namespace airfinger::core

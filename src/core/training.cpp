@@ -85,8 +85,13 @@ ml::SampleSet build_feature_set(const synth::Dataset& dataset,
     for (const auto& ch : processed.delta_rss2)
       windows.emplace_back(ch.data() + seg.begin, seg.length());
     Row& row = rows[i];
-    row.features =
-        bank.extract(std::span<const std::span<const double>>(windows));
+    // One scratch arena per worker thread (DESIGN.md §11): after the first
+    // sample sizes it, extraction stops touching the heap. extract_into is
+    // bit-identical to extract, so parallel determinism is unaffected.
+    thread_local features::Workspace workspace;
+    row.features.resize(bank.feature_count());
+    bank.extract_into(std::span<const std::span<const double>>(windows),
+                      workspace, row.features);
     row.label = label;
     switch (groups) {
       case GroupScheme::kNone: break;

@@ -28,7 +28,10 @@ GestureCategory TypeRouter::route(const ProcessedTrace& processed,
 
   const SegmentTiming timing =
       segment_timing(windows, processed.sample_rate_hz, config_.timing);
+  return route_timing(timing);
+}
 
+GestureCategory TypeRouter::route_timing(const SegmentTiming& timing) const {
   // Nothing rose at all: fall back to detect-aimed handling (the
   // recognizer/interference filter deal with degenerate segments).
   if (timing.first_active < 0) return GestureCategory::kDetectAimed;

@@ -41,6 +41,12 @@ class TypeRouter {
   GestureCategory route(const ProcessedTrace& processed,
                         const dsp::Segment& segment) const;
 
+  /// The routing decision on a precomputed timing analysis (which must
+  /// have been produced with this router's TimingConfig over the padded
+  /// segment windows). Lets the decision core compute one SegmentTiming
+  /// and share it between routing and ZEBRA tracking.
+  GestureCategory route_timing(const SegmentTiming& timing) const;
+
  private:
   TypeRouterConfig config_;
 };

@@ -38,13 +38,23 @@ std::optional<ScrollEstimate> ZebraTracker::track(
 
   const SegmentTiming timing =
       segment_timing(windows, processed.sample_rate_hz, config_.timing);
+  return track_timing(timing, windows, segment, processed.sample_rate_hz);
+}
+
+std::optional<ScrollEstimate> ZebraTracker::track_timing(
+    const SegmentTiming& timing,
+    std::span<const std::span<const double>> windows,
+    const dsp::Segment& segment, double sample_rate_hz) const {
+  AF_EXPECT(windows.size() >= 2,
+            "ZEBRA requires at least two photodiode channels");
+  AF_EXPECT(sample_rate_hz > 0.0, "invalid sample rate");
   const bool p1_active = timing.active.front();
   const bool p3_active = timing.active.back();
   if (timing.first_active < 0) return std::nullopt;  // nothing rose
 
   ScrollEstimate est;
   est.duration_s =
-      static_cast<double>(segment.length()) / processed.sample_rate_hz;
+      static_cast<double>(segment.length()) / sample_rate_hz;
 
   if (std::fabs(timing.asymmetry_delta) > 0.05 &&
       timing.transition_s > 0.0) {

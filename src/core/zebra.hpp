@@ -55,6 +55,16 @@ class ZebraTracker {
   std::optional<ScrollEstimate> track(const ProcessedTrace& processed,
                                       const dsp::Segment& segment) const;
 
+  /// Alg. 1 on a precomputed timing analysis. `timing` must come from this
+  /// tracker's TimingConfig over `windows` (the padded per-channel views of
+  /// the gesture); `segment` is the unpadded segment (duration and the
+  /// early-energy tie-break read it). Lets the decision core share one
+  /// SegmentTiming between routing and tracking.
+  std::optional<ScrollEstimate> track_timing(
+      const SegmentTiming& timing,
+      std::span<const std::span<const double>> windows,
+      const dsp::Segment& segment, double sample_rate_hz) const;
+
  private:
   ZebraConfig config_;
 };

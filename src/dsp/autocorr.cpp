@@ -1,5 +1,6 @@
 #include "dsp/autocorr.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/error.hpp"
@@ -22,18 +23,37 @@ double autocorrelation(std::span<const double> x, std::size_t lag) {
 
 std::vector<double> acf(std::span<const double> x, std::size_t max_lag) {
   std::vector<double> out(max_lag + 1, 0.0);
+  acf_into(x, out);
+  return out;
+}
+
+void acf_into(std::span<const double> x, std::span<double> out) {
+  AF_EXPECT(!out.empty(), "acf output must hold at least lag 0");
+  const std::size_t max_lag = out.size() - 1;
   for (std::size_t k = 0; k <= max_lag; ++k) out[k] = autocorrelation(x, k);
   if (out[0] == 0.0 && !x.empty()) out[0] = 1.0;  // zero-variance convention
-  return out;
 }
 
 std::vector<double> pacf(std::span<const double> x, std::size_t max_lag) {
   AF_EXPECT(max_lag >= 1, "pacf requires max_lag >= 1");
-  const std::vector<double> rho = acf(x, max_lag);
   std::vector<double> out(max_lag, 0.0);
+  common::ScratchArena arena(3 * (max_lag + 1) * sizeof(double) + 64);
+  pacf_into(x, arena, out);
+  return out;
+}
+
+void pacf_into(std::span<const double> x, common::ScratchArena& arena,
+               std::span<double> out) {
+  const std::size_t max_lag = out.size();
+  AF_EXPECT(max_lag >= 1, "pacf requires max_lag >= 1");
+  const auto frame = arena.frame();
+  const std::span<double> rho = arena.alloc<double>(max_lag + 1);
+  acf_into(x, rho);
+  for (double& o : out) o = 0.0;
 
   // Durbin–Levinson: phi[k][k] is the PACF at lag k.
-  std::vector<double> phi_prev(max_lag + 1, 0.0), phi(max_lag + 1, 0.0);
+  const std::span<double> phi_prev = arena.alloc<double>(max_lag + 1);
+  const std::span<double> phi = arena.alloc<double>(max_lag + 1);
   double v = 1.0;  // prediction error variance (normalized)
   for (std::size_t k = 1; k <= max_lag; ++k) {
     double num = rho[k];
@@ -45,23 +65,36 @@ std::vector<double> pacf(std::span<const double> x, std::size_t max_lag) {
       phi[j] = phi_prev[j] - a * phi_prev[k - j];
     v *= (1.0 - a * a);
     out[k - 1] = a;
-    phi_prev = phi;
+    std::copy(phi.begin(), phi.end(), phi_prev.begin());
   }
-  return out;
 }
 
 std::vector<double> ar_coefficients(std::span<const double> x,
                                     std::size_t p) {
   AF_EXPECT(p >= 1, "ar_coefficients requires p >= 1");
-  const std::vector<double> rho = acf(x, p);
+  std::vector<double> out(p, 0.0);
+  common::ScratchArena arena(3 * (p + 1) * sizeof(double) + 64);
+  ar_coefficients_into(x, arena, out);
+  return out;
+}
+
+void ar_coefficients_into(std::span<const double> x,
+                          common::ScratchArena& arena,
+                          std::span<double> out) {
+  const std::size_t p = out.size();
+  AF_EXPECT(p >= 1, "ar_coefficients requires p >= 1");
+  const auto frame = arena.frame();
+  const std::span<double> rho = arena.alloc<double>(p + 1);
+  acf_into(x, rho);
   // Levinson recursion on the Yule–Walker equations.
-  std::vector<double> phi_prev(p + 1, 0.0), phi(p + 1, 0.0);
+  const std::span<double> phi_prev = arena.alloc<double>(p + 1);
+  const std::span<double> phi = arena.alloc<double>(p + 1);
   double v = 1.0;
   for (std::size_t k = 1; k <= p; ++k) {
     double num = rho[k];
     for (std::size_t j = 1; j < k; ++j) num -= phi_prev[j] * rho[k - j];
     if (std::fabs(v) < 1e-12) {
-      phi.assign(p + 1, 0.0);
+      for (double& f : phi) f = 0.0;
       break;
     }
     const double a = num / v;
@@ -69,9 +102,9 @@ std::vector<double> ar_coefficients(std::span<const double> x,
     for (std::size_t j = 1; j < k; ++j)
       phi[j] = phi_prev[j] - a * phi_prev[k - j];
     v *= (1.0 - a * a);
-    phi_prev = phi;
+    std::copy(phi.begin(), phi.end(), phi_prev.begin());
   }
-  return {phi.begin() + 1, phi.end()};
+  std::copy(phi.begin() + 1, phi.end(), out.begin());
 }
 
 }  // namespace airfinger::dsp

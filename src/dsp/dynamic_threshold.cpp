@@ -39,14 +39,29 @@ double otsu_threshold(std::span<const double> x) {
 }
 
 double otsu_threshold_hist(std::span<const double> x, int bins) {
+  AF_EXPECT(bins >= 2, "otsu_threshold_hist requires bins >= 2");
+  std::vector<double> count(static_cast<std::size_t>(bins), 0.0);
+  std::vector<double> value_sum(static_cast<std::size_t>(bins), 0.0);
+  return otsu_threshold_hist_with(x, bins, count, value_sum);
+}
+
+double otsu_threshold_hist_with(std::span<const double> x, int bins,
+                                std::span<double> count_scratch,
+                                std::span<double> value_sum_scratch) {
   AF_EXPECT(!x.empty(), "otsu_threshold_hist requires non-empty input");
   AF_EXPECT(bins >= 2, "otsu_threshold_hist requires bins >= 2");
+  AF_EXPECT(count_scratch.size() >= static_cast<std::size_t>(bins) &&
+                value_sum_scratch.size() >= static_cast<std::size_t>(bins),
+            "otsu_threshold_hist scratch too small");
   const auto [lo_it, hi_it] = std::minmax_element(x.begin(), x.end());
   const double lo = *lo_it, hi = *hi_it;
   if (hi <= lo) return hi;
 
   const auto b = static_cast<std::size_t>(bins);
-  std::vector<double> count(b, 0.0), value_sum(b, 0.0);
+  const std::span<double> count = count_scratch.first(b);
+  const std::span<double> value_sum = value_sum_scratch.first(b);
+  std::fill(count.begin(), count.end(), 0.0);
+  std::fill(value_sum.begin(), value_sum.end(), 0.0);
   const double scale = static_cast<double>(bins) / (hi - lo);
   for (double v : x) {
     auto idx = static_cast<std::size_t>((v - lo) * scale);
@@ -215,6 +230,8 @@ DynamicThresholdSegmenter::DynamicThresholdSegmenter(
       1, static_cast<std::size_t>(
              std::lround(config.smooth_window_s * config.sample_rate_hz)));
   smooth_ring_.assign(w, 0.0);
+  otsu_count_.assign(64, 0.0);
+  otsu_sum_.assign(64, 0.0);
 }
 
 void DynamicThresholdSegmenter::maybe_update_threshold() {
@@ -222,7 +239,8 @@ void DynamicThresholdSegmenter::maybe_update_threshold() {
   const std::size_t n = history_full_ ? history_.size() : history_head_;
   if (n < 16) return;  // not enough evidence yet; keep I'_seg
   const std::span<const double> window(history_.data(), n);
-  const double candidate = otsu_threshold_hist(window);
+  const double candidate =
+      otsu_threshold_hist_with(window, 64, otsu_count_, otsu_sum_);
   const ClassMeans means = class_means(window, candidate);
   if (split_is_bimodal(means, config_.min_log_separation)) {
     log_threshold_ = candidate;

@@ -34,6 +34,13 @@ double otsu_threshold(std::span<const double> x);
 /// where the exhaustive form would be too slow. Requires bins >= 2.
 double otsu_threshold_hist(std::span<const double> x, int bins = 64);
 
+/// otsu_threshold_hist() with caller-provided histogram scratch (both spans
+/// sized >= bins), so recalibration inside the streaming segmenter does not
+/// touch the heap.
+double otsu_threshold_hist_with(std::span<const double> x, int bins,
+                                std::span<double> count_scratch,
+                                std::span<double> value_sum_scratch);
+
 /// Configuration shared by the batch and streaming segmenters.
 struct SegmenterConfig {
   double sample_rate_hz = 100.0;
@@ -118,6 +125,9 @@ class DynamicThresholdSegmenter {
   std::size_t smooth_head_ = 0;
   std::size_t smooth_count_ = 0;
   double smooth_sum_ = 0.0;
+  // Histogram scratch reused across threshold recalibrations.
+  std::vector<double> otsu_count_;
+  std::vector<double> otsu_sum_;
 };
 
 }  // namespace airfinger::dsp

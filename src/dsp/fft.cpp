@@ -15,6 +15,10 @@ std::size_t next_pow2(std::size_t n) {
 }
 
 void fft_inplace(std::vector<std::complex<double>>& x, bool inverse) {
+  fft_inplace(std::span<std::complex<double>>(x), inverse);
+}
+
+void fft_inplace(std::span<std::complex<double>> x, bool inverse) {
   const std::size_t n = x.size();
   AF_EXPECT(n >= 1 && (n & (n - 1)) == 0,
             "fft_inplace requires power-of-two length");
@@ -56,19 +60,40 @@ std::vector<std::complex<double>> fft_real(std::span<const double> x) {
   return buf;
 }
 
+std::span<const std::complex<double>> fft_real_scratch(
+    std::span<const double> x, common::ScratchArena& arena) {
+  AF_EXPECT(!x.empty(), "fft_real requires non-empty input");
+  const std::span<std::complex<double>> buf =
+      arena.alloc<std::complex<double>>(next_pow2(x.size()));
+  for (std::size_t i = 0; i < x.size(); ++i) buf[i] = {x[i], 0.0};
+  fft_inplace(buf);
+  return buf;
+}
+
 std::vector<double> fft_magnitudes(std::span<const double> x,
                                    std::size_t count) {
   std::vector<double> out(count, 0.0);
   if (x.empty()) return out;
   const auto spec = fft_real(x);
-  const std::size_t usable = std::min(count, spec.size() / 2 + 1);
-  for (std::size_t i = 0; i < usable; ++i) out[i] = std::abs(spec[i]);
+  fft_magnitudes_from(spec, out);
   return out;
+}
+
+void fft_magnitudes_from(std::span<const std::complex<double>> spec,
+                         std::span<double> out) {
+  for (double& o : out) o = 0.0;
+  const std::size_t usable = std::min(out.size(), spec.size() / 2 + 1);
+  for (std::size_t i = 0; i < usable; ++i) out[i] = std::abs(spec[i]);
 }
 
 double spectral_centroid(std::span<const double> x) {
   if (x.size() < 2) return 0.0;
   const auto spec = fft_real(x);
+  return spectral_centroid_from(spec);
+}
+
+double spectral_centroid_from(
+    std::span<const std::complex<double>> spec) {
   const std::size_t half = spec.size() / 2;
   double num = 0.0, den = 0.0;
   for (std::size_t i = 1; i <= half; ++i) {  // skip DC
@@ -85,6 +110,13 @@ double spectral_energy_ratio(std::span<const double> x, double fraction) {
             "spectral_energy_ratio fraction must lie in [0,1]");
   if (x.size() < 2) return 0.0;
   const auto spec = fft_real(x);
+  return spectral_energy_ratio_from(spec, fraction);
+}
+
+double spectral_energy_ratio_from(std::span<const std::complex<double>> spec,
+                                  double fraction) {
+  AF_EXPECT(fraction >= 0.0 && fraction <= 1.0,
+            "spectral_energy_ratio fraction must lie in [0,1]");
   const std::size_t half = spec.size() / 2;
   const auto cutoff = static_cast<std::size_t>(
       fraction * static_cast<double>(half));

@@ -9,15 +9,38 @@
 #include <span>
 #include <vector>
 
+#include "common/arena.hpp"
+
 namespace airfinger::dsp {
 
 /// In-place iterative radix-2 Cooley-Tukey FFT.
 /// Requires x.size() to be a power of two (>= 1).
+void fft_inplace(std::span<std::complex<double>> x, bool inverse = false);
 void fft_inplace(std::vector<std::complex<double>>& x, bool inverse = false);
 
 /// FFT of a real signal, zero-padded to the next power of two.
 /// Returns the full complex spectrum (padded length).
 std::vector<std::complex<double>> fft_real(std::span<const double> x);
+
+/// fft_real() with the spectrum allocated from `arena`; the span stays
+/// valid until the caller's enclosing arena frame is rewound. Lets one
+/// spectrum feed fft_magnitudes_from / spectral_centroid_from /
+/// spectral_energy_ratio_from without repeating the transform.
+std::span<const std::complex<double>> fft_real_scratch(
+    std::span<const double> x, common::ScratchArena& arena);
+
+/// Coefficient magnitudes from a precomputed spectrum (out pre-sized to the
+/// requested count; missing coefficients are set to 0).
+void fft_magnitudes_from(std::span<const std::complex<double>> spec,
+                         std::span<double> out);
+
+/// Spectral centroid from a precomputed spectrum. Callers replicate
+/// spectral_centroid()'s x.size() < 2 guard themselves.
+double spectral_centroid_from(std::span<const std::complex<double>> spec);
+
+/// Low-band power fraction from a precomputed spectrum (same guard note).
+double spectral_energy_ratio_from(std::span<const std::complex<double>> spec,
+                                  double fraction);
 
 /// Smallest power of two >= n (n >= 1).
 std::size_t next_pow2(std::size_t n);

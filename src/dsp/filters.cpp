@@ -8,10 +8,17 @@
 namespace airfinger::dsp {
 
 std::vector<double> moving_average(std::span<const double> x, std::size_t w) {
+  std::vector<double> out(x.size());
+  moving_average_into(x, w, out);
+  return out;
+}
+
+void moving_average_into(std::span<const double> x, std::size_t w,
+                         std::span<double> out) {
   AF_EXPECT(!x.empty(), "moving_average requires non-empty input");
   AF_EXPECT(w >= 1, "moving_average requires w >= 1");
+  AF_EXPECT(out.size() == x.size(), "moving_average output size mismatch");
   const std::size_t half = w / 2;
-  std::vector<double> out(x.size());
   for (std::size_t i = 0; i < x.size(); ++i) {
     const std::size_t lo = i >= half ? i - half : 0;
     const std::size_t hi = std::min(i + half + 1, x.size());
@@ -19,7 +26,6 @@ std::vector<double> moving_average(std::span<const double> x, std::size_t w) {
     for (std::size_t j = lo; j < hi; ++j) s += x[j];
     out[i] = s / static_cast<double>(hi - lo);
   }
-  return out;
 }
 
 std::vector<double> exponential_smooth(std::span<const double> x,
@@ -55,12 +61,18 @@ std::vector<double> median_filter(std::span<const double> x, std::size_t w) {
 
 std::vector<double> resample_linear(std::span<const double> x,
                                     std::size_t target) {
-  AF_EXPECT(!x.empty(), "resample_linear requires non-empty input");
-  AF_EXPECT(target >= 1, "resample_linear requires target >= 1");
   std::vector<double> out(target);
+  resample_linear_into(x, out);
+  return out;
+}
+
+void resample_linear_into(std::span<const double> x, std::span<double> out) {
+  AF_EXPECT(!x.empty(), "resample_linear requires non-empty input");
+  const std::size_t target = out.size();
+  AF_EXPECT(target >= 1, "resample_linear requires target >= 1");
   if (target == 1) {
     out[0] = x[0];
-    return out;
+    return;
   }
   for (std::size_t i = 0; i < target; ++i) {
     const double pos = static_cast<double>(i) *
@@ -71,7 +83,6 @@ std::vector<double> resample_linear(std::span<const double> x,
     out[i] = (lo + 1 < x.size()) ? x[lo] * (1.0 - frac) + x[lo + 1] * frac
                                  : x[lo];
   }
-  return out;
 }
 
 std::vector<double> diff(std::span<const double> x) {
@@ -93,6 +104,33 @@ std::vector<std::size_t> find_peaks(std::span<const double> x,
     if (is_peak) peaks.push_back(i);
   }
   return peaks;
+}
+
+std::size_t count_peaks(std::span<const double> x, std::size_t support) {
+  AF_EXPECT(support >= 1, "find_peaks requires support >= 1");
+  std::size_t count = 0;
+  if (x.size() < 2 * support + 1) return count;
+  for (std::size_t i = support; i + support < x.size(); ++i) {
+    bool is_peak = true;
+    for (std::size_t k = 1; k <= support && is_peak; ++k)
+      is_peak = x[i] > x[i - k] && x[i] > x[i + k];
+    if (is_peak) ++count;
+  }
+  return count;
+}
+
+std::size_t count_peaks_at_least(std::span<const double> x,
+                                 std::size_t support, double level) {
+  AF_EXPECT(support >= 1, "find_peaks requires support >= 1");
+  std::size_t count = 0;
+  if (x.size() < 2 * support + 1) return count;
+  for (std::size_t i = support; i + support < x.size(); ++i) {
+    bool is_peak = true;
+    for (std::size_t k = 1; k <= support && is_peak; ++k)
+      is_peak = x[i] > x[i - k] && x[i] > x[i + k];
+    if (is_peak && x[i] >= level) ++count;
+  }
+  return count;
 }
 
 }  // namespace airfinger::dsp

@@ -11,6 +11,13 @@ namespace airfinger::dsp {
 /// the available neighbourhood. Requires w >= 1 and non-empty input.
 std::vector<double> moving_average(std::span<const double> x, std::size_t w);
 
+/// moving_average writing into caller storage; out.size() == x.size().
+/// The brute per-sample accumulation is intentional: a sliding-sum rewrite
+/// would change the floating-point addition order and break the bit-exact
+/// determinism contract (DESIGN.md §9).
+void moving_average_into(std::span<const double> x, std::size_t w,
+                         std::span<double> out);
+
 /// Exponential smoothing with factor alpha in (0, 1]. out[0] = x[0].
 std::vector<double> exponential_smooth(std::span<const double> x,
                                        double alpha);
@@ -22,6 +29,9 @@ std::vector<double> median_filter(std::span<const double> x, std::size_t w);
 std::vector<double> resample_linear(std::span<const double> x,
                                     std::size_t target);
 
+/// resample_linear writing into caller storage; target = out.size() (>= 1).
+void resample_linear_into(std::span<const double> x, std::span<double> out);
+
 /// First difference: out[i] = x[i+1] - x[i]; length n-1 (n >= 2 required).
 std::vector<double> diff(std::span<const double> x);
 
@@ -29,5 +39,12 @@ std::vector<double> diff(std::span<const double> x);
 /// on both sides (tsfresh's number_peaks definition).
 std::vector<std::size_t> find_peaks(std::span<const double> x,
                                     std::size_t support);
+
+/// find_peaks().size() without materializing the index list.
+std::size_t count_peaks(std::span<const double> x, std::size_t support);
+
+/// Number of find_peaks() peaks whose value is >= level.
+std::size_t count_peaks_at_least(std::span<const double> x,
+                                 std::size_t support, double level);
 
 }  // namespace airfinger::dsp

@@ -25,13 +25,25 @@ std::vector<double> ricker_wavelet(std::size_t points, double a) {
 }
 
 std::vector<double> cwt_row(std::span<const double> x, double a) {
+  std::vector<double> out(x.size(), 0.0);
+  common::ScratchArena arena;
+  cwt_row_into(x, a, arena, out);
+  return out;
+}
+
+void cwt_row_into(std::span<const double> x, double a,
+                  common::ScratchArena& arena, std::span<double> out) {
   AF_EXPECT(!x.empty(), "cwt_row requires non-empty input");
+  AF_EXPECT(out.size() == x.size(), "cwt_row output size mismatch");
   // Support of the wavelet: ±5 widths captures >99.99% of its energy.
   const auto half = static_cast<std::size_t>(std::ceil(5.0 * a));
   const std::size_t wlen = 2 * half + 1;
-  const std::vector<double> w = ricker_wavelet(wlen, a);
+  const auto frame = arena.frame();
+  const std::span<double> w = arena.alloc<double>(wlen);
+  const double mid = (static_cast<double>(wlen) - 1.0) / 2.0;
+  for (std::size_t i = 0; i < wlen; ++i)
+    w[i] = ricker(static_cast<double>(i) - mid, a);
 
-  std::vector<double> out(x.size(), 0.0);
   for (std::size_t i = 0; i < x.size(); ++i) {
     double acc = 0.0;
     for (std::size_t k = 0; k < wlen; ++k) {
@@ -43,7 +55,6 @@ std::vector<double> cwt_row(std::span<const double> x, double a) {
     }
     out[i] = acc;
   }
-  return out;
 }
 
 std::vector<std::vector<double>> cwt(std::span<const double> x,

@@ -8,6 +8,8 @@
 #include <span>
 #include <vector>
 
+#include "common/arena.hpp"
+
 namespace airfinger::dsp {
 
 /// Ricker wavelet value ψ_a(t) with width parameter a > 0.
@@ -20,6 +22,11 @@ std::vector<double> ricker_wavelet(std::size_t points, double a);
 /// CWT row: convolution (same-size, zero-padded) of x with the Ricker
 /// wavelet of width `a`. Requires non-empty x.
 std::vector<double> cwt_row(std::span<const double> x, double a);
+
+/// cwt_row() writing into caller storage (out.size() == x.size()); the
+/// sampled wavelet comes from `arena` and is released before returning.
+void cwt_row_into(std::span<const double> x, double a,
+                  common::ScratchArena& arena, std::span<double> out);
 
 /// CWT matrix for the given set of widths; result[w] is cwt_row(x, w).
 std::vector<std::vector<double>> cwt(std::span<const double> x,

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <complex>
 
 #include "common/error.hpp"
 #include "common/stats.hpp"
@@ -145,30 +146,46 @@ std::vector<double> FeatureBank::extract(
 
 std::vector<double> FeatureBank::extract(
     std::span<const std::span<const double>> channels) const {
+  Workspace workspace;
+  std::vector<double> out(names_.size(), 0.0);
+  extract_into(channels, workspace, out);
+  return out;
+}
+
+void FeatureBank::extract_into(
+    std::span<const std::span<const double>> channels, Workspace& workspace,
+    std::span<double> out) const {
   AF_EXPECT(!channels.empty(), "extract requires at least one channel");
+  AF_EXPECT(out.size() == names_.size(),
+            "extract output size must match feature_count()");
   const std::size_t n = channels.front().size();
   AF_EXPECT(n >= 4, "segment too short for feature extraction");
   for (const auto& ch : channels)
     AF_EXPECT(ch.size() == n, "channels must be equal length");
 
+  common::ScratchArena& arena = workspace.arena;
+  const auto extraction_frame = arena.frame();
+
   // Summed energy across channels.
-  std::vector<double> energy(n, 0.0);
+  const std::span<double> energy = arena.alloc<double>(n);
   for (const auto& ch : channels)
     for (std::size_t i = 0; i < n; ++i) energy[i] += ch[i];
 
   // Canonical form: log compression, fixed length, zero mean, unit var.
-  std::vector<double> logv(n);
+  const std::span<double> logv = arena.alloc<double>(n);
   for (std::size_t i = 0; i < n; ++i)
     logv[i] = std::log1p(std::max(energy[i], 0.0));
-  const std::vector<double> resampled =
-      dsp::resample_linear(logv, options_.canonical_length);
-  const std::vector<double> canon = common::znormalize(resampled);
+  const std::span<double> resampled =
+      arena.alloc<double>(options_.canonical_length);
+  dsp::resample_linear_into(logv, resampled);
+  const std::span<double> canon =
+      arena.alloc<double>(options_.canonical_length);
+  common::znormalize_into(resampled, canon);
   const double n_canon = static_cast<double>(canon.size());
 
-  std::vector<double> out;
-  out.reserve(names_.size());
-  auto push = [&out](double v) {
-    out.push_back(std::isfinite(v) ? v : 0.0);
+  std::size_t filled = 0;
+  auto push = [&out, &filled](double v) {
+    out[filled++] = std::isfinite(v) ? v : 0.0;
   };
 
   // Shape features. Note: std/variance of the canonical form are trivially
@@ -200,42 +217,62 @@ std::vector<double> FeatureBank::extract(
     push(intercept);
   }
   {
-    const auto a = dsp::acf(canon, options_.acf_lags);
+    const auto frame = arena.frame();
+    const std::span<double> a = arena.alloc<double>(options_.acf_lags + 1);
+    dsp::acf_into(canon, a);
     for (std::size_t k = 1; k <= options_.acf_lags; ++k) push(a[k]);
     push(dsp::autocorrelation(canon, canon.size() / 4));
     push(dsp::autocorrelation(canon, canon.size() / 3));
     push(dsp::autocorrelation(canon, canon.size() / 2));
   }
   {
-    const auto p = dsp::pacf(canon, options_.pacf_lags);
+    const auto frame = arena.frame();
+    const std::span<double> p = arena.alloc<double>(options_.pacf_lags);
+    dsp::pacf_into(canon, arena, p);
     for (double v : p) push(v);
   }
   {
-    const auto ar = dsp::ar_coefficients(canon, options_.ar_order);
+    const auto frame = arena.frame();
+    const std::span<double> ar = arena.alloc<double>(options_.ar_order);
+    dsp::ar_coefficients_into(canon, arena, ar);
     for (double v : ar) push(v);
   }
   for (std::size_t lag : options_.c3_lags) push(c3(canon, lag));
   for (std::size_t lag : options_.tra_lags)
     push(time_reversal_asymmetry(canon, lag));
   for (std::size_t s : options_.peak_supports)
-    push(static_cast<double>(dsp::find_peaks(canon, s).size()));
-  for (double q : options_.quantiles) push(common::quantile(canon, q));
+    push(static_cast<double>(dsp::count_peaks(canon, s)));
+  {
+    const auto frame = arena.frame();
+    const std::span<double> sort_scratch = arena.alloc<double>(canon.size());
+    for (double q : options_.quantiles)
+      push(common::quantile_with(canon, q, sort_scratch));
+  }
   for (std::size_t c = 0; c < options_.energy_chunks; ++c)
     push(energy_ratio_by_chunks(canon, options_.energy_chunks, c));
 
   // Envelope burst structure (on the smoothed canonical energy, linear
   // scale so nulls are real nulls).
   {
-    std::vector<double> env = dsp::resample_linear(
-        energy, options_.canonical_length);
-    env = dsp::moving_average(env, options_.envelope_smooth);
+    const auto frame = arena.frame();
+    const std::span<double> env_raw =
+        arena.alloc<double>(options_.canonical_length);
+    dsp::resample_linear_into(energy, env_raw);
+    const std::span<double> env =
+        arena.alloc<double>(options_.canonical_length);
+    dsp::moving_average_into(env_raw, options_.envelope_smooth, env);
     double peak = 0.0;
     for (double v : env) peak = std::max(peak, v);
     if (peak <= 0.0) peak = 1.0;
     const double burst_level = 0.30 * peak;
     const double null_level = 0.08 * peak;
 
-    std::vector<std::pair<std::size_t, std::size_t>> bursts;
+    // Bursts are disjoint above-level runs, so at most len/2 + 1 fit.
+    const std::span<std::size_t> burst_begin =
+        arena.alloc<std::size_t>(env.size() / 2 + 1);
+    const std::span<std::size_t> burst_end =
+        arena.alloc<std::size_t>(env.size() / 2 + 1);
+    std::size_t burst_count = 0;
     std::size_t nulls = 0;
     bool inside = false;
     std::size_t begin = 0;
@@ -247,34 +284,40 @@ std::vector<double> FeatureBank::extract(
         begin = i;
       } else if (!above && inside) {
         inside = false;
-        bursts.emplace_back(begin, i);
+        burst_begin[burst_count] = begin;
+        burst_end[burst_count] = i;
+        ++burst_count;
       }
     }
-    if (inside) bursts.emplace_back(begin, env.size());
+    if (inside) {
+      burst_begin[burst_count] = begin;
+      burst_end[burst_count] = env.size();
+      ++burst_count;
+    }
 
-    push(static_cast<double>(bursts.size()));
+    push(static_cast<double>(burst_count));
     push(static_cast<double>(nulls) / n_canon);
     double max_len = 0.0, mean_len = 0.0, var_len = 0.0;
-    for (const auto& b : bursts) {
-      const double len = static_cast<double>(b.second - b.first);
+    for (std::size_t b = 0; b < burst_count; ++b) {
+      const double len = static_cast<double>(burst_end[b] - burst_begin[b]);
       max_len = std::max(max_len, len);
       mean_len += len;
     }
-    if (!bursts.empty()) mean_len /= static_cast<double>(bursts.size());
-    for (const auto& b : bursts) {
-      const double len = static_cast<double>(b.second - b.first);
+    if (burst_count > 0) mean_len /= static_cast<double>(burst_count);
+    for (std::size_t b = 0; b < burst_count; ++b) {
+      const double len = static_cast<double>(burst_end[b] - burst_begin[b]);
       var_len += (len - mean_len) * (len - mean_len);
     }
-    if (!bursts.empty()) var_len /= static_cast<double>(bursts.size());
+    if (burst_count > 0) var_len /= static_cast<double>(burst_count);
     push(max_len / n_canon);
     push(mean_len > 0.0 ? std::sqrt(var_len) / mean_len : 0.0);
-    push(bursts.empty() ? 0.0
-                        : static_cast<double>(bursts.front().first) /
-                              n_canon);
-    push(bursts.empty() ? 0.0
-                        : static_cast<double>(bursts.back().second) /
-                              n_canon);
-    push(static_cast<double>(dsp::find_peaks(env, 4).size()));
+    push(burst_count == 0
+             ? 0.0
+             : static_cast<double>(burst_begin[0]) / n_canon);
+    push(burst_count == 0
+             ? 0.0
+             : static_cast<double>(burst_end[burst_count - 1]) / n_canon);
+    push(static_cast<double>(dsp::count_peaks(env, 4)));
 
     // Dominant periodicity of the envelope: strongest ACF peak beyond a
     // short dead zone. Double gestures repeat; singles do not.
@@ -282,7 +325,8 @@ std::vector<double> FeatureBank::extract(
     double best_acf = 0.0;
     std::size_t best_lag = 0;
     if (max_lag >= 6) {
-      const auto acf = dsp::acf(env, max_lag);
+      const std::span<double> acf = arena.alloc<double>(max_lag + 1);
+      dsp::acf_into(env, acf);
       for (std::size_t lag = 5; lag <= max_lag; ++lag) {
         if (acf[lag] > best_acf) {
           best_acf = acf[lag];
@@ -295,25 +339,39 @@ std::vector<double> FeatureBank::extract(
   }
 
   // Frequency domain: power-normalized magnitudes so amplitude cancels.
+  // One spectrum of the canonical form feeds all three spectral features —
+  // the FFT is deterministic, so the shared values match the reference
+  // path's three independent transforms bit for bit.
   {
-    auto mags = dsp::fft_magnitudes(canon, options_.fft_coefficients);
+    const auto frame = arena.frame();
+    const std::span<const std::complex<double>> spec =
+        dsp::fft_real_scratch(canon, arena);
+    const std::span<double> mags =
+        arena.alloc<double>(options_.fft_coefficients);
+    dsp::fft_magnitudes_from(spec, mags);
     double total = 0.0;
     for (double m : mags) total += m;
     for (double m : mags) push(total > 0.0 ? m / total : 0.0);
+    push(canon.size() < 2 ? 0.0 : dsp::spectral_centroid_from(spec));
+    push(canon.size() < 2 ? 0.0
+                          : dsp::spectral_energy_ratio_from(spec, 0.2));
   }
-  push(dsp::spectral_centroid(canon));
-  push(dsp::spectral_energy_ratio(canon, 0.2));
   {
-    const auto rows = dsp::cwt(canon, options_.cwt_widths);
+    const auto frame = arena.frame();
+    const std::span<double> energies =
+        arena.alloc<double>(options_.cwt_widths.size());
+    const std::span<double> maxima =
+        arena.alloc<double>(options_.cwt_widths.size());
+    const std::span<double> row = arena.alloc<double>(canon.size());
     double total = 0.0;
-    std::vector<double> energies, maxima;
-    for (const auto& row : rows) {
+    for (std::size_t w = 0; w < options_.cwt_widths.size(); ++w) {
+      dsp::cwt_row_into(canon, options_.cwt_widths[w], arena, row);
       const double e = common::energy(row);
-      energies.push_back(e);
+      energies[w] = e;
       total += e;
       double peak = 0.0;
       for (double v : row) peak = std::max(peak, std::fabs(v));
-      maxima.push_back(peak);
+      maxima[w] = peak;
     }
     for (double e : energies) push(total > 0.0 ? e / total : 0.0);
     for (double m : maxima) push(m);
@@ -340,16 +398,20 @@ std::vector<double> FeatureBank::extract(
       push(e_mid / e_total);
       push(e_last / e_total);
 
+      const auto frame = arena.frame();
       const std::size_t smooth = std::max<std::size_t>(3, n / 16);
-      const auto s_first = dsp::moving_average(first, smooth);
-      const auto s_mid = dsp::moving_average(mid, smooth);
-      const auto s_last = dsp::moving_average(last, smooth);
+      const std::span<double> s_first = arena.alloc<double>(n);
+      const std::span<double> s_mid = arena.alloc<double>(n);
+      const std::span<double> s_last = arena.alloc<double>(n);
+      dsp::moving_average_into(first, smooth, s_first);
+      dsp::moving_average_into(mid, smooth, s_mid);
+      dsp::moving_average_into(last, smooth, s_last);
       push(n >= 2 ? common::pearson(s_first, s_last) : 0.0);
       push(n >= 2 ? common::pearson(s_first, s_mid) : 0.0);
       push(n >= 2 ? common::pearson(s_mid, s_last) : 0.0);
 
       // Asymmetry sweep statistics (same construction as the router's).
-      std::vector<double> esum(n, 0.0);
+      const std::span<double> esum = arena.alloc<double>(n);
       for (std::size_t i = 0; i < n; ++i)
         esum[i] = s_first[i] + s_mid[i] + s_last[i];
       double esum_peak = 0.0;
@@ -419,9 +481,8 @@ std::vector<double> FeatureBank::extract(
     push(m != 0.0 ? common::stddev(energy) / std::fabs(m) : 0.0);
   }
 
-  AF_ASSERT(out.size() == names_.size(),
+  AF_ASSERT(filled == names_.size(),
             "feature vector arity diverged from the name list");
-  return out;
 }
 
 }  // namespace airfinger::features

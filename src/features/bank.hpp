@@ -28,6 +28,8 @@
 #include <string>
 #include <vector>
 
+#include "features/workspace.hpp"
+
 namespace airfinger::features {
 
 /// Tunable structure of the bank (defaults mirror tsfresh's defaults where
@@ -71,6 +73,13 @@ class FeatureBank {
 
   /// Single-channel convenience (cross-channel block evaluates to zeros).
   std::vector<double> extract(std::span<const double> segment) const;
+
+  /// extract() writing into caller storage of size feature_count(), with
+  /// all working arrays drawn from `workspace`. Once the workspace arena
+  /// reaches its high-water mark no heap allocation happens; outputs are
+  /// bit-identical to extract().
+  void extract_into(std::span<const std::span<const double>> channels,
+                    Workspace& workspace, std::span<double> out) const;
 
  private:
   FeatureBankOptions options_;

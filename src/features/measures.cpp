@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cmath>
 
+#include <utility>
+#include <vector>
+
 #include "common/error.hpp"
-#include "common/matrix.hpp"
 #include "common/stats.hpp"
 
 namespace airfinger::features {
@@ -81,8 +83,16 @@ double approximate_entropy(std::span<const double> x, unsigned m, double r) {
 
 double cid_ce(std::span<const double> x, bool normalize) {
   if (x.size() < 2) return 0.0;
-  std::vector<double> v(x.begin(), x.end());
-  if (normalize) v = common::znormalize(v);
+  if (!normalize) {
+    // Differences of the raw values need no working copy.
+    double s = 0.0;
+    for (std::size_t i = 1; i < x.size(); ++i) {
+      const double d = x[i] - x[i - 1];
+      s += d * d;
+    }
+    return std::sqrt(s);
+  }
+  const std::vector<double> v = common::znormalize(x);
   double s = 0.0;
   for (std::size_t i = 1; i < v.size(); ++i) {
     const double d = v[i] - v[i - 1];
@@ -129,32 +139,76 @@ double energy_ratio_by_chunks(std::span<const double> x,
   return common::energy(x.subspan(begin, end - begin)) / total;
 }
 
+namespace {
+
+/// 3×3 Gaussian elimination mirroring common::solve_linear step for step
+/// (partial pivoting, 1e-14 singularity threshold, identical operation
+/// order) but on stack storage, so adf_statistic stays allocation-free.
+/// Mutates a/b; returns false where solve_linear would throw.
+bool solve3(double a[3][3], double b[3], double out[3]) {
+  constexpr std::size_t n = 3;
+  for (std::size_t col = 0; col < n; ++col) {
+    std::size_t pivot = col;
+    for (std::size_t r = col + 1; r < n; ++r)
+      if (std::fabs(a[r][col]) > std::fabs(a[pivot][col])) pivot = r;
+    if (std::fabs(a[pivot][col]) < 1e-14) return false;
+    if (pivot != col) {
+      for (std::size_t c = 0; c < n; ++c) std::swap(a[pivot][c], a[col][c]);
+      std::swap(b[pivot], b[col]);
+    }
+    const double inv = 1.0 / a[col][col];
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double f = a[r][col] * inv;
+      if (f == 0.0) continue;
+      for (std::size_t c = col; c < n; ++c) a[r][c] -= f * a[col][c];
+      b[r] -= f * b[col];
+    }
+  }
+  for (std::size_t ri = n; ri-- > 0;) {
+    double s = b[ri];
+    for (std::size_t c = ri + 1; c < n; ++c) s -= a[ri][c] * out[c];
+    out[ri] = s / a[ri][ri];
+  }
+  return true;
+}
+
+}  // namespace
+
 double adf_statistic(std::span<const double> x) {
   const std::size_t n = x.size();
   if (n < 6) return 0.0;
-  // Regression: Δx[t] = α + γ·x[t-1] + β·Δx[t-1] + ε, t = 2..n-1.
+  // Regression: Δx[t] = α + γ·x[t-1] + β·Δx[t-1] + ε, t = 2..n-1. The
+  // design matrix is never materialized: X'X and X'y accumulate directly on
+  // the stack in common::ols's order (upper triangle, row-outer, ridge
+  // 1e-8, lower mirrored), which keeps the statistic bit-identical to the
+  // earlier Matrix-based formulation.
   const std::size_t rows = n - 2;
-  common::Matrix design(rows, 3);
-  std::vector<double> y(rows);
+  double xtx[3][3] = {{0.0, 0.0, 0.0}, {0.0, 0.0, 0.0}, {0.0, 0.0, 0.0}};
+  double xty[3] = {0.0, 0.0, 0.0};
   for (std::size_t t = 2; t < n; ++t) {
-    const std::size_t r = t - 2;
-    design(r, 0) = 1.0;
-    design(r, 1) = x[t - 1];
-    design(r, 2) = x[t - 1] - x[t - 2];
-    y[r] = x[t] - x[t - 1];
+    const double row[3] = {1.0, x[t - 1], x[t - 1] - x[t - 2]};
+    const double yr = x[t] - x[t - 1];
+    for (std::size_t i = 0; i < 3; ++i) {
+      xty[i] += row[i] * yr;
+      for (std::size_t j = i; j < 3; ++j) xtx[i][j] += row[i] * row[j];
+    }
   }
-  std::vector<double> beta;
-  try {
-    beta = common::ols(design, y, 1e-8);
-  } catch (const NumericError&) {
-    return 0.0;
+  for (std::size_t i = 0; i < 3; ++i) {
+    xtx[i][i] += 1e-8;
+    for (std::size_t j = 0; j < i; ++j) xtx[i][j] = xtx[j][i];
   }
+
+  double a[3][3], b[3], beta[3];
+  std::copy(&xtx[0][0], &xtx[0][0] + 9, &a[0][0]);
+  std::copy(xty, xty + 3, b);
+  if (!solve3(a, b, beta)) return 0.0;
+
   // Residual variance and the standard error of γ (coefficient 1).
   double rss = 0.0;
-  for (std::size_t r = 0; r < rows; ++r) {
-    const double fit = beta[0] + beta[1] * design(r, 1) +
-                       beta[2] * design(r, 2);
-    const double e = y[r] - fit;
+  for (std::size_t t = 2; t < n; ++t) {
+    const double d1 = x[t - 1], d2 = x[t - 1] - x[t - 2];
+    const double fit = beta[0] + beta[1] * d1 + beta[2] * d2;
+    const double e = (x[t] - x[t - 1]) - fit;
     rss += e * e;
   }
   const double dof = static_cast<double>(rows) - 3.0;
@@ -162,19 +216,9 @@ double adf_statistic(std::span<const double> x) {
   const double sigma2 = rss / dof;
 
   // SE(γ) via the (X'X)^-1 [1][1] entry: solve X'X e1 = unit vector.
-  common::Matrix xtx(3, 3);
-  for (std::size_t r = 0; r < rows; ++r)
-    for (std::size_t i = 0; i < 3; ++i)
-      for (std::size_t j = 0; j < 3; ++j)
-        xtx(i, j) += design(r, i) * design(r, j);
-  for (std::size_t i = 0; i < 3; ++i) xtx(i, i) += 1e-8;
-  std::vector<double> unit{0.0, 1.0, 0.0};
-  std::vector<double> col;
-  try {
-    col = common::solve_linear(xtx, unit);
-  } catch (const NumericError&) {
-    return 0.0;
-  }
+  double unit[3] = {0.0, 1.0, 0.0}, col[3];
+  std::copy(&xtx[0][0], &xtx[0][0] + 9, &a[0][0]);
+  if (!solve3(a, unit, col)) return 0.0;
   const double se = std::sqrt(std::max(sigma2 * col[1], 0.0));
   if (se <= 0.0) return 0.0;
   return beta[1] / se;

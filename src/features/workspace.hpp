@@ -1,0 +1,19 @@
+// Per-owner scratch state for allocation-free feature extraction.
+//
+// FeatureBank::extract_into() evaluates ~90 features, most of which need
+// short-lived working arrays (canonical forms, envelopes, spectra, CWT
+// rows). A Workspace bundles the ScratchArena those arrays come from; after
+// the first extraction sizes its blocks, every further call is free of heap
+// traffic. Ownership rule (DESIGN.md §11): one Workspace per core::Session
+// and one per training worker thread — never shared across threads.
+#pragma once
+
+#include "common/arena.hpp"
+
+namespace airfinger::features {
+
+struct Workspace {
+  common::ScratchArena arena;
+};
+
+}  // namespace airfinger::features

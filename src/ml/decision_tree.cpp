@@ -152,7 +152,7 @@ std::int32_t DecisionTree::build(const SampleSet& data,
   return index;
 }
 
-std::vector<double> DecisionTree::predict_proba(
+std::span<const double> DecisionTree::leaf_distribution(
     std::span<const double> x) const {
   AF_EXPECT(!nodes_.empty(), "predict requires a fitted tree");
   std::size_t idx = 0;
@@ -168,8 +168,22 @@ std::vector<double> DecisionTree::predict_proba(
   }
 }
 
+std::vector<double> DecisionTree::predict_proba(
+    std::span<const double> x) const {
+  const auto dist = leaf_distribution(x);
+  return {dist.begin(), dist.end()};
+}
+
+void DecisionTree::predict_proba_into(std::span<const double> x,
+                                      std::span<double> out) const {
+  const auto dist = leaf_distribution(x);
+  AF_EXPECT(out.size() == dist.size(),
+            "predict_proba output size must match the class count");
+  std::copy(dist.begin(), dist.end(), out.begin());
+}
+
 int DecisionTree::predict(std::span<const double> x) const {
-  const auto proba = predict_proba(x);
+  const auto proba = leaf_distribution(x);
   return static_cast<int>(
       std::max_element(proba.begin(), proba.end()) - proba.begin());
 }

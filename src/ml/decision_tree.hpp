@@ -28,6 +28,17 @@ struct DecisionTreeConfig {
 /// A trained CART tree.
 class DecisionTree final : public Classifier {
  public:
+  struct Node {
+    // Internal nodes: split on feature < threshold → left, else right.
+    int feature = -1;
+    double threshold = 0.0;
+    std::int32_t left = -1;
+    std::int32_t right = -1;
+    // Leaves: class distribution (normalized counts).
+    std::vector<double> distribution;
+    bool is_leaf() const { return feature < 0; }
+  };
+
   explicit DecisionTree(DecisionTreeConfig config = {});
 
   void fit(const SampleSet& data) override;
@@ -36,6 +47,19 @@ class DecisionTree final : public Classifier {
 
   /// Class-probability estimate from the reached leaf's label histogram.
   std::vector<double> predict_proba(std::span<const double> x) const;
+
+  /// predict_proba() writing into caller storage; out.size() must equal
+  /// num_classes(). Performs no heap allocation.
+  void predict_proba_into(std::span<const double> x,
+                          std::span<double> out) const;
+
+  /// The reached leaf's distribution as a view into the tree — the
+  /// allocation-free primitive both predict overloads build on.
+  std::span<const double> leaf_distribution(std::span<const double> x) const;
+
+  /// Node storage in construction order (root at index 0). Lets
+  /// CompiledForest flatten fitted trees without re-walking the format.
+  const std::vector<Node>& nodes() const { return nodes_; }
 
   /// Impurity-decrease importance per feature (sums to 1 when any split
   /// was made). Valid after fit().
@@ -55,17 +79,6 @@ class DecisionTree final : public Classifier {
   static DecisionTree load(std::istream& is);
 
  private:
-  struct Node {
-    // Internal nodes: split on feature < threshold → left, else right.
-    int feature = -1;
-    double threshold = 0.0;
-    std::int32_t left = -1;
-    std::int32_t right = -1;
-    // Leaves: class distribution (normalized counts).
-    std::vector<double> distribution;
-    bool is_leaf() const { return feature < 0; }
-  };
-
   struct SplitCandidate {
     std::size_t feature = 0;
     double threshold = 0.0;

@@ -66,15 +66,23 @@ void RandomForest::fit(const SampleSet& data) {
 
 std::vector<double> RandomForest::predict_proba(
     std::span<const double> x) const {
-  AF_EXPECT(!trees_.empty(), "predict requires a fitted forest");
   std::vector<double> acc(static_cast<std::size_t>(num_classes_), 0.0);
-  for (const auto& tree : trees_) {
-    const auto p = tree.predict_proba(x);
-    for (std::size_t c = 0; c < p.size() && c < acc.size(); ++c)
-      acc[c] += p[c];
-  }
-  for (double& v : acc) v /= static_cast<double>(trees_.size());
+  predict_proba_into(x, acc);
   return acc;
+}
+
+void RandomForest::predict_proba_into(std::span<const double> x,
+                                      std::span<double> out) const {
+  AF_EXPECT(!trees_.empty(), "predict requires a fitted forest");
+  AF_EXPECT(out.size() == static_cast<std::size_t>(num_classes_),
+            "predict_proba output size must match the class count");
+  for (double& v : out) v = 0.0;
+  for (const auto& tree : trees_) {
+    const auto p = tree.leaf_distribution(x);
+    for (std::size_t c = 0; c < p.size() && c < out.size(); ++c)
+      out[c] += p[c];
+  }
+  for (double& v : out) v /= static_cast<double>(trees_.size());
 }
 
 int RandomForest::predict(std::span<const double> x) const {

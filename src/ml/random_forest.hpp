@@ -32,13 +32,24 @@ class RandomForest final : public Classifier {
   /// Mean class-probability across trees.
   std::vector<double> predict_proba(std::span<const double> x) const;
 
+  /// predict_proba() writing into caller storage; out.size() must equal
+  /// num_classes(). Accumulates leaf-distribution views tree by tree, so no
+  /// heap allocation happens.
+  void predict_proba_into(std::span<const double> x,
+                          std::span<double> out) const;
+
   /// Mean impurity-decrease importance per feature (sums to ~1).
   const std::vector<double>& feature_importances() const {
     return importances_;
   }
 
   std::size_t tree_count() const { return trees_.size(); }
+  int num_classes() const { return num_classes_; }
   const RandomForestConfig& config() const { return config_; }
+
+  /// The fitted trees (empty before fit()/load()). CompiledForest flattens
+  /// these into its SoA node arrays.
+  const std::vector<DecisionTree>& trees() const { return trees_; }
 
   /// Serializes the fitted forest (text format, exact round-trip).
   void save(std::ostream& os) const;

@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Builds the Release benchmark targets and refreshes the tracked inference
+# baseline: runs bench_inference (frames/sec, p50/p99 latency, allocations
+# per frame via the counting allocator hook) and bench_host_scaling, and
+# writes BENCH_inference.json at the repository root with the schema
+#   {frames_per_sec, p50_us, p99_us, allocs_per_frame, threads, ...}
+#
+# Usage: tools/run_bench.sh [--smoke] [build-dir]   (default: build-bench)
+#   --smoke   tiny configuration for CI gating (run_checks.sh): verifies the
+#             benches build and run; writes the report to a temp file so the
+#             tracked baseline is not overwritten by an unrepresentative run.
+#
+# BASELINE_FPS embeds the single-thread frames/sec of the path being
+# compared against (default: the pre-compiled-forest hot path measured on
+# the reference machine) so speedup_vs_baseline lands in the report.
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+SMOKE=0
+if [[ "${1:-}" == "--smoke" ]]; then
+  SMOKE=1
+  shift
+fi
+BUILD="${1:-${ROOT}/build-bench}"
+BASELINE_FPS="${BASELINE_FPS:-34467.7}"
+
+cmake -B "${BUILD}" -S "${ROOT}" -DCMAKE_BUILD_TYPE=Release
+cmake --build "${BUILD}" -j --target bench_inference bench_host_scaling
+
+if [[ "${SMOKE}" == 1 ]]; then
+  OUT="$(mktemp /tmp/BENCH_inference.smoke.XXXXXX.json)"
+  HOST_OUT="$(mktemp /tmp/bench_host_scaling.smoke.XXXXXX.json)"
+  "${BUILD}/bench/bench_inference" --passes 1 --streams 2 \
+    --baseline-fps "${BASELINE_FPS}" --out "${OUT}"
+  "${BUILD}/bench/bench_host_scaling" --streams 2 --rounds 1 \
+    --out "${HOST_OUT}"
+  echo "run_bench: smoke OK (report at ${OUT}, tracked baseline untouched)"
+  exit 0
+fi
+
+"${BUILD}/bench/bench_inference" --passes 4 --streams 16 \
+  --baseline-fps "${BASELINE_FPS}" --out "${ROOT}/BENCH_inference.json"
+"${BUILD}/bench/bench_host_scaling"
+echo "run_bench: wrote ${ROOT}/BENCH_inference.json"

@@ -23,11 +23,15 @@ cmake -B "${ASAN_BUILD}" -S "${ROOT}" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DAF_SANITIZE=address,undefined
 cmake --build "${ASAN_BUILD}" -j \
-  --target bundle_test serialize_test core_test parallel_test
+  --target bundle_test serialize_test core_test parallel_test compiled_forest_test
 "${ASAN_BUILD}/tests/bundle_test"
 "${ASAN_BUILD}/tests/serialize_test"
 "${ASAN_BUILD}/tests/core_test"
 "${ASAN_BUILD}/tests/parallel_test"
+"${ASAN_BUILD}/tests/compiled_forest_test"
+
+echo "== bench smoke: hot-path microbenchmark builds and runs =="
+"${ROOT}/tools/run_bench.sh" --smoke "${BUILD}-bench"
 
 echo "== tsan: race-check the concurrency contract =="
 "${ROOT}/tools/run_tsan.sh"
