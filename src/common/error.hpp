@@ -29,6 +29,17 @@ class NumericError : public std::runtime_error {
   explicit NumericError(const std::string& what) : std::runtime_error(what) {}
 };
 
+/// Thrown when a sensor stream delivers corrupt data (e.g. non-finite
+/// samples) and the receiving session's fault policy does not permit
+/// degraded-mode handling. Unlike PreconditionError this is a runtime
+/// condition of the *input stream*, not a caller bug: serving hosts catch
+/// it, quarantine the offending stream, and keep siblings running.
+class StreamFaultError : public std::runtime_error {
+ public:
+  explicit StreamFaultError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
 namespace detail {
 [[noreturn]] inline void throw_precondition(const char* expr, const char* file,
                                             int line, const std::string& msg) {

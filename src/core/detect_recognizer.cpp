@@ -123,6 +123,9 @@ DetectRecognizer DetectRecognizer::load(std::istream& is,
   std::size_t count = 0;
   is >> count;
   AF_EXPECT(count >= 1 && is.good(), "malformed selection in recognizer");
+  AF_EXPECT(count <= width,
+            "serialized recognizer selects more features than the bank "
+            "provides (corrupt input?)");
   rec.selected_.resize(count);
   for (auto& idx : rec.selected_) {
     is >> idx;

@@ -1,0 +1,89 @@
+// Stream-health accounting and the graceful-degradation policy.
+//
+// The paper's own evaluation stresses the system under hardware glitches
+// ("sudden RSS changes due to hardware", Sec. IV-F) and outdoor photodiode
+// saturation (Sec. VI); a serving deployment additionally sees dropouts,
+// stuck channels, and outright corrupt frames. This header defines the two
+// small value types the streaming path uses to survive those inputs:
+//
+//   * HealthStats — per-session counters of what the stream actually
+//     delivered (non-finite samples, rail-saturation runs, stuck/dropout
+//     runs, quarantine transitions). Plain counters: observing them never
+//     changes emission behavior.
+//   * FaultPolicy — the degraded-mode knobs. Disabled (the default) the
+//     session is strict: frames must be well-formed and finite, and a
+//     corrupt sample raises StreamFaultError for the host to handle.
+//     Enabled, detected fault bursts quarantine the segmenter instead:
+//     frames are consumed but not interpreted until the stream has been
+//     clean for `recovery_frames`, then the session re-calibrates (fresh
+//     SBC delay lines and segmenter threshold) and resumes.
+//
+// Contract: with no faults in the input, a policy-enabled session is
+// bit-identical to a policy-disabled one (detection thresholds are
+// unreachable by clean traces), and the per-frame cost is a handful of
+// comparisons — no allocation (see DESIGN.md §12).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace airfinger::core {
+
+/// Per-stream robustness counters, exposed by Session::health() and
+/// aggregated across streams by MultiSessionHost::aggregate_health().
+struct HealthStats {
+  std::uint64_t frames = 0;             ///< Frames accepted by push_frame.
+  std::uint64_t non_finite_samples = 0; ///< NaN/±Inf samples seen.
+  std::uint64_t saturated_samples = 0;  ///< |sample| at/above the rail.
+  std::uint64_t stuck_samples = 0;      ///< Samples extending a frozen run.
+  std::uint64_t quarantined_frames = 0; ///< Frames consumed while degraded.
+  std::uint64_t quarantines = 0;        ///< Healthy → quarantined entries.
+  std::uint64_t recalibrations = 0;     ///< Quarantined → healthy recoveries.
+  std::uint64_t segments_dropped = 0;   ///< Open segments lost to quarantine.
+
+  HealthStats& operator+=(const HealthStats& o) {
+    frames += o.frames;
+    non_finite_samples += o.non_finite_samples;
+    saturated_samples += o.saturated_samples;
+    stuck_samples += o.stuck_samples;
+    quarantined_frames += o.quarantined_frames;
+    quarantines += o.quarantines;
+    recalibrations += o.recalibrations;
+    segments_dropped += o.segments_dropped;
+    return *this;
+  }
+
+  /// True when every fault counter is zero (the stream looked clean).
+  bool clean() const {
+    return non_finite_samples == 0 && saturated_samples == 0 &&
+           stuck_samples == 0 && quarantined_frames == 0 &&
+           quarantines == 0 && recalibrations == 0 && segments_dropped == 0;
+  }
+
+  bool operator==(const HealthStats&) const = default;
+};
+
+/// Degraded-mode configuration of one Session. The defaults keep every
+/// detector unreachable on clean input so enabling the policy alone cannot
+/// perturb emissions; deployments lower `saturation_level` to their ADC
+/// rail and tune the run limits to their front end.
+struct FaultPolicy {
+  /// Off (default): strict mode — non-finite samples raise
+  /// StreamFaultError. On: detected fault bursts quarantine the segmenter
+  /// and the session re-calibrates once the stream recovers.
+  bool enabled = false;
+  /// A sample with |x| >= this counts as rail-saturated. The default
+  /// (infinity) disables saturation detection.
+  double saturation_level = std::numeric_limits<double>::infinity();
+  /// Consecutive saturated samples on one channel that trigger quarantine.
+  std::size_t saturation_run_limit = 8;
+  /// Consecutive bit-identical samples on one channel that count as a
+  /// stuck channel / dropout and trigger quarantine. Clean optical traces
+  /// carry continuous noise, so runs this long do not occur organically.
+  std::size_t stuck_run_limit = 64;
+  /// Clean frames required after a fault burst before the session
+  /// re-calibrates and resumes emitting.
+  std::size_t recovery_frames = 64;
+};
+
+}  // namespace airfinger::core

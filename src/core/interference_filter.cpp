@@ -66,6 +66,9 @@ InterferenceFilter InterferenceFilter::load(std::istream& is,
   std::size_t count = 0;
   is >> count;
   AF_EXPECT(count >= 1 && is.good(), "malformed indices in filter");
+  AF_EXPECT(count <= width,
+            "serialized filter selects more features than the bank "
+            "provides (corrupt input?)");
   filter.indices_.resize(count);
   for (auto& idx : filter.indices_) {
     is >> idx;

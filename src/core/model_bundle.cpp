@@ -1,10 +1,12 @@
 #include "core/model_bundle.hpp"
 
 #include <algorithm>
+#include <charconv>
 #include <fstream>
 #include <istream>
 #include <ostream>
 #include <sstream>
+#include <string_view>
 
 #include "common/error.hpp"
 #include "ml/serialize.hpp"
@@ -286,9 +288,34 @@ bool read_flag(std::istream& is, const char* key) {
   return v == 1;
 }
 
+/// FNV-1a 64-bit over the artifact payload. The footer this feeds lets
+/// load() reject any bit corruption before a single model byte is parsed.
+std::uint64_t fnv1a64(std::string_view bytes) {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+constexpr const char kChecksumKey[] = "checksum ";
+
 }  // namespace
 
 void ModelBundle::save(std::ostream& os) const {
+  // The artifact is written as payload + integrity footer: a final line
+  // `checksum <decimal FNV-1a64 of every preceding byte>`. load() verifies
+  // the footer before parsing, so truncation or bit corruption anywhere in
+  // the file is rejected up front instead of surfacing as a half-parsed
+  // model (or an absurd allocation from a corrupted count).
+  std::ostringstream payload;
+  save_payload(payload);
+  const std::string bytes = payload.str();
+  os << bytes << kChecksumKey << fnv1a64(bytes) << "\n";
+}
+
+void ModelBundle::save_payload(std::ostream& os) const {
   os << "afbundle " << kFormatVersion << "\n";
   // Engine-level scalars. Train-time outputs (notably the fitted ZEBRA
   // velocity gain) travel with the artifact; structural configuration is
@@ -327,6 +354,40 @@ void ModelBundle::save_file(const std::string& path) const {
 
 std::shared_ptr<const ModelBundle> ModelBundle::load(std::istream& is,
                                                      AirFingerConfig base) {
+  // Slurp and verify the integrity footer before parsing anything: a
+  // corrupted artifact must never reach the model loaders (where a flipped
+  // count would otherwise trigger absurd allocations or a half-built
+  // bundle). Artifacts are small (one trained model set), so buffering the
+  // whole stream is cheap.
+  std::string blob{std::istreambuf_iterator<char>(is),
+                   std::istreambuf_iterator<char>()};
+  AF_EXPECT(!blob.empty(), "bundle artifact is empty");
+  AF_EXPECT(blob.back() == '\n',
+            "bundle artifact is truncated (missing trailing newline)");
+  const std::size_t key_len = std::string_view(kChecksumKey).size();
+  const std::size_t pos = blob.rfind(kChecksumKey);
+  AF_EXPECT(pos != std::string::npos && pos > 0 && blob[pos - 1] == '\n',
+            "bundle artifact is missing its integrity footer");
+  AF_EXPECT(blob.find('\n', pos) == blob.size() - 1,
+            "bundle artifact has data after its integrity footer");
+  const std::string_view digits(blob.data() + pos + key_len,
+                                blob.size() - 1 - (pos + key_len));
+  std::uint64_t stored = 0;
+  const auto [ptr, ec] =
+      std::from_chars(digits.data(), digits.data() + digits.size(), stored);
+  AF_EXPECT(ec == std::errc{} && ptr == digits.data() + digits.size() &&
+                !digits.empty(),
+            "bundle artifact has a malformed integrity footer");
+  const std::string_view payload(blob.data(), pos);
+  AF_EXPECT(fnv1a64(payload) == stored,
+            "bundle artifact failed its integrity check (corrupt or "
+            "truncated)");
+  std::istringstream payload_stream{std::string(payload)};
+  return load_payload(payload_stream, base);
+}
+
+std::shared_ptr<const ModelBundle> ModelBundle::load_payload(
+    std::istream& is, AirFingerConfig base) {
   ml::detail::expect_tag(is, "afbundle");
   int version = 0;
   is >> version;

@@ -24,6 +24,7 @@
 
 #include "core/data_processor.hpp"
 #include "core/detect_recognizer.hpp"
+#include "core/health.hpp"
 #include "core/interference_filter.hpp"
 #include "core/timing_cache.hpp"
 #include "core/type_router.hpp"
@@ -61,6 +62,10 @@ struct AirFingerConfig {
   /// P(gesture) falls below this (biasing towards keeping real gestures,
   /// as false rejections are costlier than an occasional false accept).
   double rejection_threshold = 0.40;
+  /// Degraded-mode handling of corrupt input streams (see core/health.hpp).
+  /// A deploy-time concern like the structural configuration: not stored
+  /// in the serialized artifact, and overridable per Session.
+  FaultPolicy fault_policy{};
 };
 
 /// An event emitted by the engine.
@@ -164,11 +169,13 @@ class ModelBundle {
 
   /// Writes the single-file `afbundle 1` artifact: header, the scalar
   /// engine/router/ZEBRA parameters (hex-float exact — including the
-  /// trained velocity gain), the recognizer, and the optional filter.
-  /// Structural configuration (feature-bank layout, forest topology) is
-  /// not stored: load() must be given the same structural config the
-  /// models were trained with, validated via the serialized bank width —
-  /// the same contract as DetectRecognizer::load.
+  /// trained velocity gain), the recognizer, the optional filter, and a
+  /// trailing integrity footer (`checksum <FNV-1a64 of the payload>`)
+  /// that load() verifies before parsing. Structural configuration
+  /// (feature-bank layout, forest topology) is not stored: load() must be
+  /// given the same structural config the models were trained with,
+  /// validated via the serialized bank width — the same contract as
+  /// DetectRecognizer::load.
   void save(std::ostream& os) const;
 
   /// save() to a file (opened std::ios::binary so hex-float round-trips
@@ -178,8 +185,10 @@ class ModelBundle {
 
   /// Reads an artifact written by save(). `base` supplies the structural
   /// configuration (bank/forest/processing); the serialized scalars
-  /// overwrite the corresponding fields of `base`. Throws
-  /// PreconditionError on malformed or truncated input.
+  /// overwrite the corresponding fields of `base`. The integrity footer is
+  /// verified over the full payload before any parsing, so *any*
+  /// truncation or bit corruption throws PreconditionError — never a
+  /// crash, hang, runaway allocation, or partially constructed bundle.
   static std::shared_ptr<const ModelBundle> load(std::istream& is,
                                                  AirFingerConfig base = {});
 
@@ -200,6 +209,12 @@ class ModelBundle {
   static bool sniff_bundle(std::istream& is);
 
  private:
+  /// Artifact body without the integrity footer (save() appends it).
+  void save_payload(std::ostream& os) const;
+  /// Parses a footer-verified payload (the pre-footer parse pipeline).
+  static std::shared_ptr<const ModelBundle> load_payload(
+      std::istream& is, AirFingerConfig base);
+
   AirFingerConfig config_;
   DetectRecognizer recognizer_;
   std::optional<InterferenceFilter> filter_;

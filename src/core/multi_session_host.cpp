@@ -9,11 +9,19 @@ namespace airfinger::core {
 
 MultiSessionHost::MultiSessionHost(std::shared_ptr<const ModelBundle> bundle,
                                    std::size_t sessions)
+    : MultiSessionHost(bundle,
+                       sessions,
+                       bundle ? bundle->config().fault_policy
+                              : FaultPolicy{}) {}
+
+MultiSessionHost::MultiSessionHost(std::shared_ptr<const ModelBundle> bundle,
+                                   std::size_t sessions, FaultPolicy policy)
     : bundle_(std::move(bundle)) {
   AF_EXPECT(bundle_ != nullptr, "MultiSessionHost requires a model bundle");
   AF_EXPECT(sessions >= 1, "MultiSessionHost requires at least one session");
   lanes_.reserve(sessions);
-  for (std::size_t i = 0; i < sessions; ++i) lanes_.emplace_back(bundle_);
+  for (std::size_t i = 0; i < sessions; ++i)
+    lanes_.emplace_back(bundle_, policy);
 }
 
 const Session& MultiSessionHost::session(std::size_t i) const {
@@ -25,30 +33,54 @@ void MultiSessionHost::feed(std::size_t session,
                             std::span<const double> frame) {
   AF_EXPECT(session < lanes_.size(), "session index out of range");
   AF_EXPECT(frame.size() == bundle_->config().channels,
-            "frame arity must match channel count");
+            "frame carries " + std::to_string(frame.size()) +
+                " samples but the host expects " +
+                std::to_string(bundle_->config().channels) + " channels");
   Lane& lane = lanes_[session];
+  if (lane.faulted) {
+    // Isolation: the producer keeps streaming; the lane just counts what
+    // it can no longer process.
+    ++lane.dropped;
+    return;
+  }
   lane.pending.insert(lane.pending.end(), frame.begin(), frame.end());
 }
 
 void MultiSessionHost::pump() {
   const std::size_t channels = bundle_->config().channels;
-  // Account frames serially before the parallel region (the counter is
-  // shared; the lanes are not).
-  for (const Lane& lane : lanes_)
-    frames_processed_ += lane.pending.size() / channels;
+  // Per-lane consumption is recorded by each task and reduced serially in
+  // lane order after the parallel region (the counter is shared; the
+  // lanes are not), so the total is thread-count independent.
+  std::vector<std::uint64_t> consumed(lanes_.size(), 0);
   common::parallel_for(0, lanes_.size(), [&](std::size_t i) {
     Lane& lane = lanes_[i];
     const std::size_t frames = lane.pending.size() / channels;
     const auto sink = [&lane, i](const GestureEvent& e) {
       lane.events.push_back(SessionEvent{i, e});
     };
-    for (std::size_t f = 0; f < frames; ++f)
-      lane.session.push_frame(
-          std::span<const double>(lane.pending.data() + f * channels,
-                                  channels),
-          sink);
+    std::size_t f = 0;
+    try {
+      for (; f < frames; ++f)
+        lane.session.push_frame(
+            std::span<const double>(lane.pending.data() + f * channels,
+                                    channels),
+            sink);
+      consumed[i] = frames;
+    } catch (const std::exception& e) {
+      // Quarantine this lane only; siblings never observe the fault.
+      lane.faulted = true;
+      lane.fault = e.what();
+      lane.dropped += frames - f;
+      consumed[i] = f;
+    } catch (...) {
+      lane.faulted = true;
+      lane.fault = "unknown stream fault";
+      lane.dropped += frames - f;
+      consumed[i] = f;
+    }
     lane.pending.clear();
   });
+  for (const std::uint64_t c : consumed) frames_processed_ += c;
 }
 
 void MultiSessionHost::finish() {
@@ -56,9 +88,18 @@ void MultiSessionHost::finish() {
   pump();
   common::parallel_for(0, lanes_.size(), [&](std::size_t i) {
     Lane& lane = lanes_[i];
-    lane.session.finish([&lane, i](const GestureEvent& e) {
-      lane.events.push_back(SessionEvent{i, e});
-    });
+    if (lane.faulted) return;
+    try {
+      lane.session.finish([&lane, i](const GestureEvent& e) {
+        lane.events.push_back(SessionEvent{i, e});
+      });
+    } catch (const std::exception& e) {
+      lane.faulted = true;
+      lane.fault = e.what();
+    } catch (...) {
+      lane.faulted = true;
+      lane.fault = "unknown stream fault";
+    }
   });
 }
 
@@ -75,6 +116,34 @@ std::vector<SessionEvent> MultiSessionHost::drain() {
   return out;
 }
 
+bool MultiSessionHost::session_faulted(std::size_t i) const {
+  AF_EXPECT(i < lanes_.size(), "session index out of range");
+  return lanes_[i].faulted;
+}
+
+const std::string& MultiSessionHost::session_fault(std::size_t i) const {
+  AF_EXPECT(i < lanes_.size(), "session index out of range");
+  return lanes_[i].fault;
+}
+
+std::uint64_t MultiSessionHost::dropped_frames(std::size_t i) const {
+  AF_EXPECT(i < lanes_.size(), "session index out of range");
+  return lanes_[i].dropped;
+}
+
+std::size_t MultiSessionHost::faulted_count() const {
+  std::size_t n = 0;
+  for (const Lane& lane : lanes_)
+    if (lane.faulted) ++n;
+  return n;
+}
+
+HealthStats MultiSessionHost::aggregate_health() const {
+  HealthStats total;
+  for (const Lane& lane : lanes_) total += lane.session.health();
+  return total;
+}
+
 std::vector<SessionEvent> MultiSessionHost::run_round_robin(
     const std::vector<sensor::MultiChannelTrace>& traces,
     std::size_t frames_per_turn) {
@@ -84,7 +153,9 @@ std::vector<SessionEvent> MultiSessionHost::run_round_robin(
   const std::size_t channels = bundle_->config().channels;
   for (const auto& trace : traces)
     AF_EXPECT(trace.channel_count() == channels,
-              "trace channel count mismatch");
+              "trace carries " + std::to_string(trace.channel_count()) +
+                  " channels but the host expects " +
+                  std::to_string(channels));
 
   std::vector<std::size_t> cursor(traces.size(), 0);
   std::vector<double> frame(channels);

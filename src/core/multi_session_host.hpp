@@ -13,10 +13,18 @@
 //     produced by that stream's single task;
 //   * across streams, drain() defines the total order as (session index,
 //     emission order), which no scheduling can perturb.
+//
+// Fault isolation (DESIGN.md §12): a lane whose session throws during
+// pump()/finish() — a corrupt stream in strict mode, say — is marked
+// faulted and quarantined by the host instead of poisoning the pump. Its
+// remaining input is discarded (and counted), later feeds are dropped, and
+// sibling lanes are untouched: their emissions stay bit-identical to a run
+// without the faulting neighbour, at any thread count.
 #pragma once
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "core/session.hpp"
@@ -33,9 +41,14 @@ struct SessionEvent {
 class MultiSessionHost {
  public:
   /// Creates `sessions` independent streams sharing `bundle` (no forest
-  /// copies; per-stream state only).
+  /// copies; per-stream state only). Each session uses the bundle's
+  /// configured fault policy.
   MultiSessionHost(std::shared_ptr<const ModelBundle> bundle,
                    std::size_t sessions);
+
+  /// Same, with an explicit fault policy applied to every session.
+  MultiSessionHost(std::shared_ptr<const ModelBundle> bundle,
+                   std::size_t sessions, FaultPolicy policy);
 
   std::size_t session_count() const { return lanes_.size(); }
   const std::shared_ptr<const ModelBundle>& bundle() const {
@@ -44,7 +57,9 @@ class MultiSessionHost {
   const Session& session(std::size_t i) const;
 
   /// Buffers one frame (one sample per channel) for stream `session`.
-  /// O(channels); no processing happens until pump().
+  /// O(channels); no processing happens until pump(). Frames fed to a
+  /// faulted (quarantined) lane are silently dropped and counted in
+  /// dropped_frames() — the producing stream keeps running.
   void feed(std::size_t session, std::span<const double> frame);
 
   /// Processes every stream's buffered frames, one parallel task per
@@ -61,6 +76,26 @@ class MultiSessionHost {
   /// Frames processed by pump() so far, across all sessions.
   std::uint64_t frames_processed() const { return frames_processed_; }
 
+  // ------------------------------------------------------- stream health
+
+  /// True when the lane's session threw during pump()/finish() and was
+  /// quarantined by the host.
+  bool session_faulted(std::size_t i) const;
+
+  /// what() of the exception that quarantined the lane ("" while healthy).
+  const std::string& session_fault(std::size_t i) const;
+
+  /// Frames discarded because the lane was already faulted (buffered input
+  /// at fault time plus everything fed afterwards).
+  std::uint64_t dropped_frames(std::size_t i) const;
+
+  /// Number of currently faulted lanes.
+  std::size_t faulted_count() const;
+
+  /// Sum of every session's HealthStats (faulted lanes contribute their
+  /// counters up to the fault).
+  HealthStats aggregate_health() const;
+
   /// Convenience driver: one trace per session, fanned out round-robin —
   /// each turn feeds up to `frames_per_turn` frames to every stream that
   /// still has input, then pumps — emulating interleaved arrival from N
@@ -72,11 +107,14 @@ class MultiSessionHost {
 
  private:
   struct Lane {
-    explicit Lane(std::shared_ptr<const ModelBundle> bundle)
-        : session(std::move(bundle)) {}
+    Lane(std::shared_ptr<const ModelBundle> bundle, FaultPolicy policy)
+        : session(std::move(bundle), policy) {}
     Session session;
     std::vector<double> pending;  ///< Buffered frames, frame-major flat.
     std::vector<SessionEvent> events;
+    bool faulted = false;         ///< Quarantined by the host.
+    std::string fault;            ///< what() of the quarantining exception.
+    std::uint64_t dropped = 0;    ///< Frames discarded after the fault.
   };
 
   std::shared_ptr<const ModelBundle> bundle_;

@@ -1,5 +1,10 @@
 #include "core/session.hpp"
 
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <string>
+
 #include "common/error.hpp"
 
 namespace airfinger::core {
@@ -15,7 +20,13 @@ dsp::SegmenterConfig session_segmenter_config(
 }  // namespace
 
 Session::Session(std::shared_ptr<const ModelBundle> bundle)
+    : Session(bundle, bundle ? bundle->config().fault_policy
+                             : FaultPolicy{}) {}
+
+Session::Session(std::shared_ptr<const ModelBundle> bundle,
+                 FaultPolicy policy)
     : bundle_(std::move(bundle)),
+      policy_(policy),
       segmenter_(session_segmenter_config(bundle_)) {
   const DataProcessor processor(config().processing);
   const std::size_t w = processor.window_samples(config().sample_rate_hz);
@@ -33,6 +44,10 @@ Session::Session(std::shared_ptr<const ModelBundle> bundle)
   if (config().channels <= kMaxTimingChannels)
     timing_cache_.configure(config().channels, config().sample_rate_hz,
                             bundle_->probe_timing_config());
+  last_sample_.assign(config().channels,
+                      std::numeric_limits<double>::quiet_NaN());
+  same_run_.assign(config().channels, 0);
+  sat_run_.assign(config().channels, 0);
 }
 
 ProcessedTrace Session::window_view(const dsp::Segment& segment) const {
@@ -79,11 +94,104 @@ void Session::handle_segment(const dsp::Segment& segment,
   callback(event);
 }
 
+bool Session::scan_frame(std::span<const double> frame) {
+  // Per-channel fault detectors (degraded mode only): O(channels)
+  // comparisons, no allocation. Runs saturate at their trigger limit so
+  // the counters cannot overflow on arbitrarily long fault bursts.
+  bool fault = false;
+  for (std::size_t c = 0; c < frame.size(); ++c) {
+    const double x = frame[c];
+    if (!std::isfinite(x)) {
+      ++health_.non_finite_samples;
+      // A non-finite value resets the run trackers (NaN compares unequal
+      // to everything, including itself).
+      last_sample_[c] = x;
+      same_run_[c] = 1;
+      sat_run_[c] = 0;
+      fault = true;
+      continue;
+    }
+    if (x == last_sample_[c]) {
+      if (same_run_[c] < policy_.stuck_run_limit) ++same_run_[c];
+      if (same_run_[c] >= policy_.stuck_run_limit) {
+        ++health_.stuck_samples;
+        fault = true;
+      }
+    } else {
+      same_run_[c] = 1;
+      last_sample_[c] = x;
+    }
+    if (std::abs(x) >= policy_.saturation_level) {
+      ++health_.saturated_samples;
+      if (sat_run_[c] < policy_.saturation_run_limit) ++sat_run_[c];
+      if (sat_run_[c] >= policy_.saturation_run_limit) fault = true;
+    } else {
+      sat_run_[c] = 0;
+    }
+  }
+  return fault;
+}
+
+void Session::enter_quarantine() {
+  quarantined_ = true;
+  clean_run_ = 0;
+  ++health_.quarantines;
+  // Whatever the segmenter had open was built on corrupt samples: drop it.
+  // The segmenter itself is re-calibrated from scratch on recovery.
+  if (segmenter_.in_gesture()) ++health_.segments_dropped;
+  open_view_valid_ = false;
+  early_direction_sent_ = false;
+}
+
+void Session::recalibrate() {
+  quarantined_ = false;
+  clean_run_ = 0;
+  ++health_.recalibrations;
+  for (auto& s : sbc_) s.reset();
+  segmenter_.reset();
+  for (auto& ch : history_) ch.clear();
+  // Re-base: the segmenter restarts at position 0 while the stream clock
+  // (frames_) keeps running, so segmenter-space indices are shifted by
+  // segment_offset_ from here on.
+  history_base_ = frames_;
+  segment_offset_ = frames_;
+  open_view_valid_ = false;
+  early_direction_sent_ = false;
+  if (timing_cache_.configured()) timing_cache_.begin_segment();
+}
+
 void Session::push_frame(std::span<const double> frame,
                          const EventCallback& callback) {
   AF_EXPECT(frame.size() == config().channels,
-            "frame arity must match channel count");
+            "frame carries " + std::to_string(frame.size()) +
+                " samples but the session expects " +
+                std::to_string(config().channels) + " channels");
   AF_EXPECT(static_cast<bool>(callback), "event callback is required");
+
+  if (policy_.enabled) {
+    const bool fault_now = scan_frame(frame);
+    if (!quarantined_ && fault_now) enter_quarantine();
+    if (quarantined_) {
+      // Consume the frame (the stream clock keeps running) but feed
+      // nothing downstream; recover after a sustained clean run.
+      ++frames_;
+      ++health_.frames;
+      ++health_.quarantined_frames;
+      if (fault_now)
+        clean_run_ = 0;
+      else if (++clean_run_ >= policy_.recovery_frames)
+        recalibrate();
+      return;
+    }
+  } else {
+    for (std::size_t c = 0; c < frame.size(); ++c)
+      if (!std::isfinite(frame[c]))
+        throw StreamFaultError(
+            "non-finite sample on channel " + std::to_string(c) +
+            " at frame " + std::to_string(frames_) +
+            " (enable FaultPolicy for degraded-mode handling)");
+  }
+  ++health_.frames;
 
   double energy = 0.0;
   for (std::size_t c = 0; c < frame.size(); ++c) {
@@ -93,8 +201,14 @@ void Session::push_frame(std::span<const double> frame,
   }
 
   const bool was_open = segmenter_.in_gesture();
-  const auto completed = segmenter_.push(energy);
+  auto completed = segmenter_.push(energy);
   ++frames_;
+  // Segmenter indices are relative to the last recalibration; events and
+  // history lookups use absolute stream indices.
+  if (completed) {
+    completed->begin += segment_offset_;
+    completed->end += segment_offset_;
+  }
 
   if (!was_open && segmenter_.in_gesture()) {
     open_segment_begin_ = frames_ - 1;
@@ -171,7 +285,14 @@ void Session::push_frame(std::span<const double> frame,
 
 void Session::finish(const EventCallback& callback) {
   AF_EXPECT(static_cast<bool>(callback), "event callback is required");
-  if (const auto open = segmenter_.flush()) handle_segment(*open, callback);
+  // A quarantined stream ends without trusting its pre-fault open segment
+  // (already counted in segments_dropped when quarantine was entered).
+  if (quarantined_) return;
+  if (auto open = segmenter_.flush()) {
+    open->begin += segment_offset_;
+    open->end += segment_offset_;
+    handle_segment(*open, callback);
+  }
 }
 
 void Session::reset() {
@@ -186,12 +307,22 @@ void Session::reset() {
   open_view_.energy.clear();
   open_view_valid_ = false;
   if (timing_cache_.configured()) timing_cache_.begin_segment();
+  health_ = HealthStats{};
+  quarantined_ = false;
+  clean_run_ = 0;
+  segment_offset_ = 0;
+  std::fill(last_sample_.begin(), last_sample_.end(),
+            std::numeric_limits<double>::quiet_NaN());
+  std::fill(same_run_.begin(), same_run_.end(), 0u);
+  std::fill(sat_run_.begin(), sat_run_.end(), 0u);
 }
 
 std::vector<GestureEvent> Session::process_trace(
     const sensor::MultiChannelTrace& trace) {
   AF_EXPECT(trace.channel_count() == config().channels,
-            "trace channel count mismatch");
+            "trace carries " + std::to_string(trace.channel_count()) +
+                " channels but the session expects " +
+                std::to_string(config().channels));
   std::vector<GestureEvent> events;
   const auto sink = [&events](const GestureEvent& e) {
     events.push_back(e);

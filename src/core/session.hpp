@@ -15,6 +15,7 @@
 #include <functional>
 #include <memory>
 
+#include "core/health.hpp"
 #include "core/model_bundle.hpp"
 #include "dsp/sbc.hpp"
 #include "features/workspace.hpp"
@@ -31,8 +32,12 @@ class Session {
  public:
   using EventCallback = std::function<void(const GestureEvent&)>;
 
-  /// O(1): shares the bundle, allocates only the per-stream buffers.
+  /// O(1): shares the bundle, allocates only the per-stream buffers. The
+  /// fault policy is taken from the bundle's config.
   explicit Session(std::shared_ptr<const ModelBundle> bundle);
+
+  /// Same, with an explicit per-stream fault policy override.
+  Session(std::shared_ptr<const ModelBundle> bundle, FaultPolicy policy);
 
   const ModelBundle& bundle() const { return *bundle_; }
   const std::shared_ptr<const ModelBundle>& bundle_ptr() const {
@@ -42,6 +47,14 @@ class Session {
 
   /// Feeds one frame (one RSS sample per channel). Events triggered by
   /// this frame are delivered synchronously through `callback`.
+  ///
+  /// Input validation: a wrong-width frame raises PreconditionError
+  /// (reporting the observed and expected channel counts) and leaves the
+  /// session untouched. A non-finite sample raises StreamFaultError in
+  /// strict mode (policy().enabled == false); with the degraded-mode
+  /// policy enabled it instead quarantines the segmenter until the stream
+  /// has been clean for policy().recovery_frames, then re-calibrates (see
+  /// DESIGN.md §12). On clean input both modes are bit-identical.
   void push_frame(std::span<const double> frame,
                   const EventCallback& callback);
 
@@ -56,12 +69,27 @@ class Session {
   /// Samples consumed so far.
   std::size_t frames_seen() const { return frames_; }
 
+  /// The active degraded-mode policy (see core/health.hpp).
+  const FaultPolicy& policy() const { return policy_; }
+
+  /// Stream-health counters since construction or the last reset().
+  const HealthStats& health() const { return health_; }
+
+  /// True while the degraded-mode policy has the segmenter quarantined.
+  bool quarantined() const { return quarantined_; }
+
   /// Clears all streaming state (SBC delay lines, segmenter calibration,
-  /// ΔRSS² history) so the session can process an unrelated recording.
-  /// The shared bundle is untouched.
+  /// ΔRSS² history, quarantine state, health counters) so the session can
+  /// process an unrelated recording. The shared bundle is untouched.
   void reset();
 
  private:
+  /// Updates fault detectors for one frame; true when a fault fired.
+  bool scan_frame(std::span<const double> frame);
+  void enter_quarantine();
+  /// Leaves quarantine: fresh SBC delay lines, segmenter calibration, and
+  /// history, re-based at the current stream position.
+  void recalibrate();
   void handle_segment(const dsp::Segment& segment,
                       const EventCallback& callback);
   ProcessedTrace window_view(const dsp::Segment& segment) const;
@@ -70,6 +98,7 @@ class Session {
   }
 
   std::shared_ptr<const ModelBundle> bundle_;
+  FaultPolicy policy_;
   std::vector<dsp::SquareBasedCalculator> sbc_;
   dsp::DynamicThresholdSegmenter segmenter_;
   /// Recent ΔRSS² per channel. Indexing is absolute sample counts; the
@@ -97,6 +126,21 @@ class Session {
   /// recomputing segment_timing() from scratch. Configured from the
   /// bundle's probe timing config when the channel count supports it.
   OpenSegmentTiming timing_cache_;
+  // ---- degraded-mode state (core/health.hpp; inert when policy_ is off).
+  HealthStats health_;
+  bool quarantined_ = false;
+  /// Clean frames seen in a row while quarantined (recovery progress).
+  std::size_t clean_run_ = 0;
+  /// Absolute sample index the segmenter's position 0 corresponds to.
+  /// 0 until the first recalibration; segmenter-space segment indices are
+  /// shifted by this before any history lookup or event emission.
+  std::size_t segment_offset_ = 0;
+  /// Per-channel fault detectors: last sample value and the lengths of the
+  /// current identical-value and saturated runs. Fixed-size, allocated at
+  /// construction — the per-frame scan touches no heap.
+  std::vector<double> last_sample_;
+  std::vector<std::uint32_t> same_run_;
+  std::vector<std::uint32_t> sat_run_;
 };
 
 }  // namespace airfinger::core

@@ -38,6 +38,25 @@ void expect_tag(std::istream& is, const char* expected) {
                                  expected + "', found '" + tag + "'");
 }
 
+namespace {
+/// Plausibility ceiling for any serialized element count. Real models are
+/// orders of magnitude below this; a corrupted count above it must throw
+/// instead of driving a multi-gigabyte resize (the legacy two-file format
+/// carries no integrity footer, so loaders defend themselves).
+constexpr std::size_t kMaxSerializedCount = std::size_t{1} << 24;
+
+std::size_t read_capped_count(std::istream& is, const char* what) {
+  std::size_t n = 0;
+  is >> n;
+  AF_EXPECT(is.good() || (is.eof() && !is.fail()),
+            std::string("serialized model: malformed ") + what + " count");
+  AF_EXPECT(n <= kMaxSerializedCount,
+            std::string("serialized model: implausible ") + what +
+                " count (corrupt input?)");
+  return n;
+}
+}  // namespace
+
 }  // namespace detail
 
 void save_tree(std::ostream& os, const DecisionTree& tree) {
@@ -93,14 +112,13 @@ DecisionTree DecisionTree::load(std::istream& is) {
             "malformed class count in serialized tree");
 
   detail::expect_tag(is, "importances");
-  std::size_t importance_count = 0;
-  is >> importance_count;
+  const std::size_t importance_count =
+      detail::read_capped_count(is, "tree importance");
   tree.importances_.resize(importance_count);
   for (auto& v : tree.importances_) v = detail::read_double(is);
 
   detail::expect_tag(is, "nodes");
-  std::size_t node_count = 0;
-  is >> node_count;
+  const std::size_t node_count = detail::read_capped_count(is, "tree node");
   AF_EXPECT(node_count >= 1, "serialized tree has no nodes");
   tree.nodes_.resize(node_count);
   for (auto& node : tree.nodes_) {
@@ -109,6 +127,8 @@ DecisionTree DecisionTree::load(std::istream& is) {
     std::size_t dist = 0;
     is >> node.left >> node.right >> dist;
     AF_EXPECT(is.good(), "truncated node in serialized tree");
+    AF_EXPECT(dist <= static_cast<std::size_t>(tree.num_classes_),
+              "serialized tree node distribution wider than class count");
     node.distribution.resize(dist);
     for (auto& v : node.distribution) v = detail::read_double(is);
     const auto limit = static_cast<std::int32_t>(node_count);
@@ -147,14 +167,13 @@ RandomForest RandomForest::load(std::istream& is) {
             "malformed class count in serialized forest");
 
   detail::expect_tag(is, "importances");
-  std::size_t importance_count = 0;
-  is >> importance_count;
+  const std::size_t importance_count =
+      detail::read_capped_count(is, "forest importance");
   forest.importances_.resize(importance_count);
   for (auto& v : forest.importances_) v = detail::read_double(is);
 
   detail::expect_tag(is, "trees");
-  std::size_t tree_count = 0;
-  is >> tree_count;
+  const std::size_t tree_count = detail::read_capped_count(is, "forest tree");
   AF_EXPECT(tree_count >= 1, "serialized forest has no trees");
   forest.trees_.reserve(tree_count);
   for (std::size_t t = 0; t < tree_count; ++t)
@@ -177,9 +196,7 @@ void write_vector(std::ostream& os, const std::vector<double>& v) {
 }
 
 std::vector<double> read_vector(std::istream& is) {
-  std::size_t n = 0;
-  is >> n;
-  AF_EXPECT(is.good(), "malformed vector size in serialized model");
+  const std::size_t n = read_capped_count(is, "vector element");
   std::vector<double> v(n);
   for (auto& x : v) x = read_double(is);
   return v;

@@ -1,0 +1,138 @@
+#include "sensor/fault_injector.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace airfinger::sensor {
+
+namespace {
+void check_rate(double rate, const char* name) {
+  AF_EXPECT(rate >= 0.0 && rate <= 1.0,
+            std::string("fault rate '") + name + "' must be in [0, 1]");
+}
+}  // namespace
+
+FaultInjector::FaultInjector(FaultInjectorConfig config, std::uint64_t seed)
+    : config_(config), rng_(seed) {
+  check_rate(config_.dropout_rate, "dropout_rate");
+  check_rate(config_.saturation_rate, "saturation_rate");
+  check_rate(config_.non_finite_rate, "non_finite_rate");
+  check_rate(config_.glitch_rate, "glitch_rate");
+  check_rate(config_.stuck_channel_rate, "stuck_channel_rate");
+  check_rate(config_.channel_mismatch_rate, "channel_mismatch_rate");
+  AF_EXPECT(config_.dropout_run >= 1 && config_.saturation_run >= 1,
+            "fault run lengths must be >= 1");
+}
+
+void FaultInjector::corrupt_channels(
+    std::vector<std::vector<double>>& channels, common::Rng& rng) {
+  constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+
+  for (std::size_t c = 0; c < channels.size(); ++c) {
+    std::vector<double>& ch = channels[c];
+    const std::size_t n = ch.size();
+    if (n == 0) continue;
+
+    // Run-shaped faults first (dropouts, saturation): a run that starts
+    // inside another simply overwrites it, like colliding bursts would.
+    for (std::size_t i = 0; i < n; ++i) {
+      if (config_.dropout_rate > 0.0 && rng.bernoulli(config_.dropout_rate)) {
+        const std::size_t end = std::min(n, i + config_.dropout_run);
+        std::fill(ch.begin() + static_cast<long>(i),
+                  ch.begin() + static_cast<long>(end), config_.dropout_value);
+        log_.push_back({FaultEvent::Kind::kDropout, c, i, end});
+        i = end - 1;
+      }
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      if (config_.saturation_rate > 0.0 &&
+          rng.bernoulli(config_.saturation_rate)) {
+        const std::size_t end = std::min(n, i + config_.saturation_run);
+        std::fill(ch.begin() + static_cast<long>(i),
+                  ch.begin() + static_cast<long>(end),
+                  config_.saturation_level);
+        log_.push_back({FaultEvent::Kind::kSaturation, c, i, end});
+        i = end - 1;
+      }
+    }
+
+    // Point faults: impulse glitches and non-finite samples.
+    if (config_.glitch_rate > 0.0) {
+      for (std::size_t i = 0; i < n; ++i) {
+        if (!rng.bernoulli(config_.glitch_rate)) continue;
+        ch[i] += rng.bernoulli(0.5) ? config_.glitch_magnitude
+                                    : -config_.glitch_magnitude;
+        log_.push_back({FaultEvent::Kind::kGlitch, c, i, i + 1});
+      }
+    }
+    if (config_.non_finite_rate > 0.0) {
+      for (std::size_t i = 0; i < n; ++i) {
+        if (!rng.bernoulli(config_.non_finite_rate)) continue;
+        const std::uint64_t pick = rng.below(3);
+        ch[i] = pick == 0 ? kNaN : (pick == 1 ? kInf : -kInf);
+        log_.push_back({FaultEvent::Kind::kNonFinite, c, i, i + 1});
+      }
+    }
+
+    // Stuck channel: freeze at the value held at a random position.
+    if (config_.stuck_channel_rate > 0.0 &&
+        rng.bernoulli(config_.stuck_channel_rate)) {
+      const std::size_t at = static_cast<std::size_t>(rng.below(n));
+      std::fill(ch.begin() + static_cast<long>(at), ch.end(), ch[at]);
+      log_.push_back({FaultEvent::Kind::kStuckChannel, c, at, n});
+    }
+  }
+}
+
+MultiChannelTrace FaultInjector::corrupt(const MultiChannelTrace& trace) {
+  log_.clear();
+  common::Rng rng = rng_.split();
+  std::vector<std::vector<double>> channels(trace.channel_count());
+  for (std::size_t c = 0; c < trace.channel_count(); ++c) {
+    const auto src = trace.channel(c);
+    channels[c].assign(src.begin(), src.end());
+  }
+  corrupt_channels(channels, rng);
+
+  MultiChannelTrace out(trace.channel_count(), trace.sample_rate_hz());
+  std::vector<double> frame(trace.channel_count());
+  for (std::size_t i = 0; i < trace.sample_count(); ++i) {
+    for (std::size_t c = 0; c < channels.size(); ++c) frame[c] = channels[c][i];
+    out.push_frame(frame);
+  }
+  return out;
+}
+
+std::vector<std::vector<double>> FaultInjector::frames(
+    const MultiChannelTrace& trace) {
+  log_.clear();
+  common::Rng rng = rng_.split();
+  std::vector<std::vector<double>> channels(trace.channel_count());
+  for (std::size_t c = 0; c < trace.channel_count(); ++c) {
+    const auto src = trace.channel(c);
+    channels[c].assign(src.begin(), src.end());
+  }
+  corrupt_channels(channels, rng);
+
+  std::vector<std::vector<double>> out;
+  out.reserve(trace.sample_count());
+  for (std::size_t i = 0; i < trace.sample_count(); ++i) {
+    std::vector<double> frame(channels.size());
+    for (std::size_t c = 0; c < channels.size(); ++c) frame[c] = channels[c][i];
+    if (config_.channel_mismatch_rate > 0.0 &&
+        rng.bernoulli(config_.channel_mismatch_rate)) {
+      if (rng.bernoulli(0.5) && frame.size() > 1)
+        frame.pop_back();
+      else
+        frame.push_back(0.0);
+      log_.push_back({FaultEvent::Kind::kChannelMismatch, frame.size(), i, i});
+    }
+    out.push_back(std::move(frame));
+  }
+  return out;
+}
+
+}  // namespace airfinger::sensor

@@ -1,0 +1,107 @@
+// Deterministic sensor-fault injection for robustness testing.
+//
+// Models the failure modes the paper and related light-sensing systems
+// report for real front ends: dropout/gap runs where the ADC reads a dead
+// value, rail-saturation runs under strong ambient light (Sec. VI /
+// Fig. 15), impulsive hardware glitches ("sudden RSS changes due to
+// hardware", Sec. IV-F), outright corrupt non-finite samples from a broken
+// transport, channels frozen at their last value, and frames arriving with
+// the wrong channel count. Every corruption is drawn from a seeded
+// common::Rng, so a given (config, seed, input) triple always produces the
+// same corrupted output and the same fault log — the robustness suite
+// replays identical fault storms at any thread count.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "sensor/trace.hpp"
+
+namespace airfinger::sensor {
+
+/// Per-class injection rates and shapes. A rate of 0 disables the class;
+/// with every rate 0 the injector is the identity.
+struct FaultInjectorConfig {
+  /// Per-sample probability (per channel) that a dropout run starts: the
+  /// channel reads `dropout_value` for `dropout_run` samples.
+  double dropout_rate = 0.0;
+  std::size_t dropout_run = 24;
+  double dropout_value = 0.0;
+
+  /// Per-sample probability (per channel) that a rail-saturation run
+  /// starts: the channel is clamped to `saturation_level` for
+  /// `saturation_run` samples.
+  double saturation_rate = 0.0;
+  std::size_t saturation_run = 16;
+  double saturation_level = 1023.0;  ///< ADC full-scale rail.
+
+  /// Per-sample probability (per channel) of a corrupt non-finite sample
+  /// (NaN, +Inf, or -Inf, chosen uniformly).
+  double non_finite_rate = 0.0;
+
+  /// Per-sample probability (per channel) of an additive impulse glitch of
+  /// ±`glitch_magnitude` counts.
+  double glitch_rate = 0.0;
+  double glitch_magnitude = 400.0;
+
+  /// Per-channel probability the channel freezes: from a uniformly chosen
+  /// sample onward it repeats the value it held there.
+  double stuck_channel_rate = 0.0;
+
+  /// Per-frame probability (frames() only) that the frame is emitted with
+  /// a wrong arity: one channel short, or one extra zero sample.
+  double channel_mismatch_rate = 0.0;
+};
+
+/// One injected fault, for test assertions. Ranges are sample indices
+/// [begin, end) on `channel` (kChannelMismatch: begin == end == the frame
+/// index, channel == the corrupted frame's arity).
+struct FaultEvent {
+  enum class Kind {
+    kDropout,
+    kSaturation,
+    kNonFinite,
+    kGlitch,
+    kStuckChannel,
+    kChannelMismatch,
+  };
+  Kind kind{};
+  std::size_t channel = 0;
+  std::size_t begin = 0;
+  std::size_t end = 0;
+};
+
+/// Seeded corruptor of recorded traces and frame streams.
+class FaultInjector {
+ public:
+  /// Requires rates in [0, 1] and run lengths >= 1.
+  FaultInjector(FaultInjectorConfig config, std::uint64_t seed);
+
+  const FaultInjectorConfig& config() const { return config_; }
+
+  /// Returns a corrupted copy of `trace`. Deterministic: a fresh injector
+  /// with the same (config, seed) maps the same input to the same output.
+  /// Each call advances the injector's stream (call order matters).
+  MultiChannelTrace corrupt(const MultiChannelTrace& trace);
+
+  /// Splits `trace` into a frame sequence, applies the same per-sample
+  /// corruptions as corrupt(), and additionally emits wrong-arity frames
+  /// at `channel_mismatch_rate` — the streaming-ingest torture input for
+  /// Session::push_frame validation tests.
+  std::vector<std::vector<double>> frames(const MultiChannelTrace& trace);
+
+  /// Faults injected by the most recent corrupt()/frames() call.
+  const std::vector<FaultEvent>& log() const { return log_; }
+
+ private:
+  /// Applies the per-sample fault classes to channel-major data in place.
+  void corrupt_channels(std::vector<std::vector<double>>& channels,
+                        common::Rng& rng);
+
+  FaultInjectorConfig config_;
+  common::Rng rng_;
+  std::vector<FaultEvent> log_;
+};
+
+}  // namespace airfinger::sensor

@@ -11,7 +11,9 @@ MultiChannelTrace::MultiChannelTrace(std::size_t channels,
 
 void MultiChannelTrace::push_frame(std::span<const double> frame) {
   AF_EXPECT(frame.size() == channels_.size(),
-            "frame arity must match channel count");
+            "frame carries " + std::to_string(frame.size()) +
+                " samples but the trace has " +
+                std::to_string(channels_.size()) + " channels");
   for (std::size_t i = 0; i < frame.size(); ++i)
     channels_[i].push_back(frame[i]);
 }

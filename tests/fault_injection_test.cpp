@@ -1,0 +1,586 @@
+// Fault-injection hardening of the streaming ingest path (DESIGN.md §12).
+//
+// Sweeps every sensor-fault class the FaultInjector models — dropout/gap
+// runs, rail-saturation runs, non-finite samples, impulse glitches, stuck
+// channels, and wrong-arity frames — through Session and MultiSessionHost
+// and locks in the graceful-degradation contract:
+//
+//   * clean input is bit-identical with the degraded-mode policy on or off
+//     (and with the injector constructed but disabled);
+//   * every fault class, at multiple rates, is survived deterministically:
+//     no crash, no hang, the same events on every replay;
+//   * fault bursts quarantine the segmenter and the session re-calibrates
+//     and keeps recognizing once the stream recovers;
+//   * strict mode turns corrupt samples into typed StreamFaultError, and a
+//     faulting session inside a MultiSessionHost is quarantined by the
+//     host while sibling sessions' emissions stay bit-identical at any
+//     AF_THREADS;
+//   * reset() restores a faulted session to exactly a freshly constructed
+//     one.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/parallel.hpp"
+#include "core/multi_session_host.hpp"
+#include "core/trainer.hpp"
+#include "sensor/fault_injector.hpp"
+#include "synth/dataset.hpp"
+
+namespace airfinger {
+namespace {
+
+/// One small trained bundle shared by every test in this file (training
+/// dominates the suite's cost; the bundle is immutable so sharing is safe).
+const std::shared_ptr<const core::ModelBundle>& trained_bundle() {
+  static const std::shared_ptr<const core::ModelBundle> bundle = [] {
+    core::TrainerConfig config;
+    config.users = 2;
+    config.sessions = 1;
+    config.repetitions = 3;
+    config.non_gesture_repetitions = 3;
+    config.seed = 11;
+    return core::build_bundle(config);
+  }();
+  return bundle;
+}
+
+/// Clean single-gesture recordings used as the substrate for corruption.
+const synth::Dataset& probe_corpus() {
+  static const synth::Dataset probes = [] {
+    synth::CollectionConfig config;
+    config.users = 1;
+    config.sessions = 1;
+    config.repetitions = 1;
+    config.kinds = {synth::MotionKind::kCircle, synth::MotionKind::kClick,
+                    synth::MotionKind::kScrollUp,
+                    synth::MotionKind::kScrollDown};
+    config.seed = 404;
+    return synth::DatasetBuilder(config).collect();
+  }();
+  return probes;
+}
+
+/// All probes appended into one long recording (more room for faults).
+const sensor::MultiChannelTrace& long_probe() {
+  static const sensor::MultiChannelTrace trace = [] {
+    sensor::MultiChannelTrace out = probe_corpus().samples.front().trace;
+    for (std::size_t i = 1; i < probe_corpus().samples.size(); ++i)
+      out.append(probe_corpus().samples[i].trace);
+    return out;
+  }();
+  return trace;
+}
+
+/// Largest sample value any clean probe reaches — detection thresholds sit
+/// above this so the degraded-mode policy is provably inert on clean input.
+double clean_ceiling() {
+  static const double ceiling = [] {
+    double max_abs = 0.0;
+    const auto& trace = long_probe();
+    for (std::size_t c = 0; c < trace.channel_count(); ++c)
+      for (const double x : trace.channel(c))
+        max_abs = std::max(max_abs, std::abs(x));
+    return max_abs;
+  }();
+  return ceiling;
+}
+
+/// The degraded-mode policy used throughout: a rail just above the clean
+/// range, short run limits so injected bursts trigger, quick recovery.
+core::FaultPolicy test_policy() {
+  core::FaultPolicy policy;
+  policy.enabled = true;
+  policy.saturation_level = clean_ceiling() + 256.0;
+  policy.saturation_run_limit = 8;
+  policy.stuck_run_limit = 32;
+  policy.recovery_frames = 32;
+  return policy;
+}
+
+void expect_events_identical(const std::vector<core::GestureEvent>& a,
+                             const std::vector<core::GestureEvent>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t e = 0; e < a.size(); ++e) {
+    SCOPED_TRACE("event " + std::to_string(e));
+    EXPECT_EQ(a[e].type, b[e].type);
+    // Bit-exact double comparisons: the contract is bit identity.
+    EXPECT_EQ(a[e].time_s, b[e].time_s);
+    EXPECT_EQ(a[e].gesture, b[e].gesture);
+    EXPECT_EQ(a[e].segment_begin, b[e].segment_begin);
+    EXPECT_EQ(a[e].segment_end, b[e].segment_end);
+    EXPECT_EQ(a[e].scroll.has_value(), b[e].scroll.has_value());
+    if (a[e].scroll && b[e].scroll) {
+      EXPECT_EQ(a[e].scroll->direction, b[e].scroll->direction);
+      EXPECT_EQ(a[e].scroll->velocity_mps, b[e].scroll->velocity_mps);
+      EXPECT_EQ(a[e].scroll->duration_s, b[e].scroll->duration_s);
+    }
+  }
+}
+
+std::vector<core::GestureEvent> replay(
+    const sensor::MultiChannelTrace& trace, const core::FaultPolicy& policy) {
+  core::Session session(trained_bundle(), policy);
+  return session.process_trace(trace);
+}
+
+// ------------------------------------------------------------- injector
+
+TEST(FaultInjector, SameSeedSameCorruptionSameLog) {
+  sensor::FaultInjectorConfig config;
+  config.dropout_rate = 0.01;
+  config.saturation_rate = 0.01;
+  config.non_finite_rate = 0.005;
+  config.glitch_rate = 0.01;
+  config.stuck_channel_rate = 0.5;
+
+  sensor::FaultInjector a(config, 99);
+  sensor::FaultInjector b(config, 99);
+  const auto trace_a = a.corrupt(long_probe());
+  const auto trace_b = b.corrupt(long_probe());
+
+  ASSERT_FALSE(a.log().empty());
+  ASSERT_EQ(a.log().size(), b.log().size());
+  for (std::size_t i = 0; i < a.log().size(); ++i) {
+    EXPECT_EQ(a.log()[i].kind, b.log()[i].kind);
+    EXPECT_EQ(a.log()[i].channel, b.log()[i].channel);
+    EXPECT_EQ(a.log()[i].begin, b.log()[i].begin);
+    EXPECT_EQ(a.log()[i].end, b.log()[i].end);
+  }
+  ASSERT_EQ(trace_a.sample_count(), trace_b.sample_count());
+  for (std::size_t c = 0; c < trace_a.channel_count(); ++c)
+    for (std::size_t i = 0; i < trace_a.sample_count(); ++i) {
+      const double x = trace_a.channel(c)[i];
+      const double y = trace_b.channel(c)[i];
+      // Bitwise comparison (NaN-safe).
+      EXPECT_EQ(std::isnan(x), std::isnan(y));
+      if (!std::isnan(x)) {
+        EXPECT_EQ(x, y);
+      }
+    }
+}
+
+TEST(FaultInjector, AllRatesZeroIsIdentity) {
+  sensor::FaultInjector identity(sensor::FaultInjectorConfig{}, 1);
+  const auto out = identity.corrupt(long_probe());
+  EXPECT_TRUE(identity.log().empty());
+  ASSERT_EQ(out.sample_count(), long_probe().sample_count());
+  for (std::size_t c = 0; c < out.channel_count(); ++c)
+    for (std::size_t i = 0; i < out.sample_count(); ++i)
+      EXPECT_EQ(out.channel(c)[i], long_probe().channel(c)[i]);
+}
+
+// ------------------------------------------- clean-input bit identity
+
+TEST(FaultInjection, PolicyEnabledIsBitIdenticalOnCleanInput) {
+  // The degraded-mode layer must be invisible until a fault actually
+  // fires: same events, sample for sample, as the strict default.
+  for (const auto& probe : probe_corpus().samples) {
+    core::Session strict(trained_bundle());
+    core::Session degraded(trained_bundle(), test_policy());
+    expect_events_identical(strict.process_trace(probe.trace),
+                            degraded.process_trace(probe.trace));
+    EXPECT_TRUE(degraded.health().clean());
+    EXPECT_FALSE(degraded.quarantined());
+    EXPECT_EQ(degraded.health().frames, probe.trace.sample_count());
+  }
+}
+
+// ------------------------------------------------- per-class sweeps
+
+struct FaultClassCase {
+  const char* name;
+  sensor::FaultEvent::Kind kind;
+  sensor::FaultInjectorConfig config;  ///< Rates filled per sweep rate.
+};
+
+std::vector<FaultClassCase> fault_classes(double rate) {
+  const double rail = clean_ceiling() + 256.0;
+  std::vector<FaultClassCase> cases;
+  {
+    FaultClassCase c{"dropout", sensor::FaultEvent::Kind::kDropout, {}};
+    c.config.dropout_rate = rate;
+    c.config.dropout_run = 64;  // > stuck_run_limit: guaranteed detection
+    cases.push_back(c);
+  }
+  {
+    FaultClassCase c{"saturation", sensor::FaultEvent::Kind::kSaturation, {}};
+    c.config.saturation_rate = rate;
+    c.config.saturation_run = 16;  // > saturation_run_limit
+    c.config.saturation_level = rail;
+    cases.push_back(c);
+  }
+  {
+    FaultClassCase c{"non_finite", sensor::FaultEvent::Kind::kNonFinite, {}};
+    c.config.non_finite_rate = rate;
+    cases.push_back(c);
+  }
+  {
+    FaultClassCase c{"glitch", sensor::FaultEvent::Kind::kGlitch, {}};
+    c.config.glitch_rate = rate;
+    // Glitches land beyond the rail no matter the clean value underneath.
+    c.config.glitch_magnitude = rail + clean_ceiling();
+    cases.push_back(c);
+  }
+  {
+    FaultClassCase c{"stuck", sensor::FaultEvent::Kind::kStuckChannel, {}};
+    c.config.stuck_channel_rate = std::min(1.0, rate * 50.0);
+    cases.push_back(c);
+  }
+  return cases;
+}
+
+TEST(FaultInjection, EveryFaultClassSurvivedDeterministicallyAtEveryRate) {
+  const core::FaultPolicy policy = test_policy();
+  for (const double rate : {0.002, 0.02}) {
+    for (const auto& fault_class : fault_classes(rate)) {
+      SCOPED_TRACE(std::string(fault_class.name) + " at rate " +
+                   std::to_string(rate));
+      sensor::FaultInjector injector(fault_class.config, 2026);
+      const auto corrupted = injector.corrupt(long_probe());
+
+      // Did the seeded storm place at least one instance the detectors are
+      // guaranteed to see? (A run truncated at the trace edge can legally
+      // stay below the policy's run limit.)
+      bool detectable = false;
+      for (const auto& f : injector.log()) {
+        if (f.kind != fault_class.kind) continue;
+        const std::size_t run = f.end - f.begin;
+        switch (f.kind) {
+          case sensor::FaultEvent::Kind::kDropout:
+          case sensor::FaultEvent::Kind::kStuckChannel:
+            detectable |= run >= policy.stuck_run_limit;
+            break;
+          case sensor::FaultEvent::Kind::kSaturation:
+            detectable |= run >= policy.saturation_run_limit;
+            break;
+          default:
+            detectable = true;  // point faults are always seen
+            break;
+        }
+      }
+
+      // Degraded mode survives the storm: no exception, bounded time, and
+      // a bit-identical replay.
+      const auto events = replay(corrupted, policy);
+      expect_events_identical(events, replay(corrupted, policy));
+      for (const auto& e : events) {
+        EXPECT_TRUE(std::isfinite(e.time_s));
+        if (e.scroll) {
+          EXPECT_TRUE(std::isfinite(e.scroll->velocity_mps));
+          EXPECT_TRUE(std::isfinite(e.scroll->duration_s));
+        }
+      }
+
+      // The health ledger reflects the injected class (when the seeded
+      // storm actually placed one).
+      core::Session session(trained_bundle(), policy);
+      session.process_trace(corrupted);
+      const core::HealthStats& health = session.health();
+      EXPECT_EQ(health.frames, corrupted.sample_count());
+      if (!detectable) continue;
+      switch (fault_class.kind) {
+        case sensor::FaultEvent::Kind::kDropout:
+          EXPECT_GT(health.stuck_samples, 0u);
+          EXPECT_GT(health.quarantines, 0u);
+          break;
+        case sensor::FaultEvent::Kind::kSaturation:
+          EXPECT_GT(health.saturated_samples, 0u);
+          EXPECT_GT(health.quarantines, 0u);
+          break;
+        case sensor::FaultEvent::Kind::kNonFinite:
+          EXPECT_GT(health.non_finite_samples, 0u);
+          EXPECT_GT(health.quarantines, 0u);
+          break;
+        case sensor::FaultEvent::Kind::kGlitch:
+          // Isolated impulses exceed the rail but never a full run: they
+          // are counted yet must NOT quarantine the stream.
+          EXPECT_GT(health.saturated_samples, 0u);
+          EXPECT_EQ(health.quarantines, 0u);
+          break;
+        case sensor::FaultEvent::Kind::kStuckChannel:
+          EXPECT_GT(health.stuck_samples, 0u);
+          EXPECT_GT(health.quarantines, 0u);
+          break;
+        case sensor::FaultEvent::Kind::kChannelMismatch:
+          break;
+      }
+    }
+  }
+}
+
+// --------------------------------------------- quarantine & recovery
+
+TEST(FaultInjection, SaturationBurstQuarantinesThenRecalibratesAndRecovers) {
+  const core::FaultPolicy policy = test_policy();
+  const auto& probe = probe_corpus().samples.front().trace;
+
+  // clean gesture | 120-sample rail plateau | idle | the same gesture.
+  // The idle pad after the plateau gives the session room to serve the
+  // recovery window (policy.recovery_frames) and re-calibrate before the
+  // second gesture arrives — exactly how a real stream would look after a
+  // strong-ambient-light episode ends.
+  sensor::MultiChannelTrace composite = probe;
+  // Near-constant idle with a small dither so the stuck-channel detector
+  // (correctly) stays quiet.
+  std::vector<double> idle_frame(probe.channel_count(), 0.0);
+  const auto push_idle = [&](int count) {
+    for (int i = 0; i < count; ++i) {
+      for (std::size_t c = 0; c < idle_frame.size(); ++c)
+        idle_frame[c] = 300.0 + 0.5 * static_cast<double>((i + c) % 7);
+      composite.push_frame(idle_frame);
+    }
+  };
+  // Idle tail so the pre-burst gesture's segment closes before the burst
+  // (a segment still open when the burst hits is — correctly — dropped).
+  push_idle(150);
+  const double rail = policy.saturation_level + 1.0;
+  const std::vector<double> rail_frame(probe.channel_count(), rail);
+  for (int i = 0; i < 120; ++i) composite.push_frame(rail_frame);
+  const std::size_t resume_at = composite.sample_count();
+  push_idle(150);
+  composite.append(probe);
+
+  core::Session session(trained_bundle(), policy);
+  const auto events = session.process_trace(composite);
+
+  const core::HealthStats& health = session.health();
+  EXPECT_EQ(health.quarantines, 1u);
+  EXPECT_EQ(health.recalibrations, 1u);
+  EXPECT_GT(health.saturated_samples, 0u);
+  EXPECT_GT(health.quarantined_frames, 0u);
+  EXPECT_FALSE(session.quarantined());
+
+  // The pre-burst gesture is still recognized, and after re-calibration
+  // the post-burst copy is recognized again.
+  const auto clean_events = replay(probe, policy);
+  ASSERT_FALSE(clean_events.empty());
+  std::size_t before = 0;
+  std::size_t after = 0;
+  for (const auto& e : events) {
+    if (e.segment_end <= resume_at)
+      ++before;
+    else if (e.segment_begin >= resume_at)
+      ++after;
+  }
+  EXPECT_GE(before, 1u);
+  EXPECT_GE(after, 1u);
+  EXPECT_EQ(before + after, events.size());
+
+  // No event may straddle the quarantined region, and every post-burst
+  // segment must use absolute stream coordinates (the re-based segmenter
+  // must not report indices relative to its re-calibration point).
+  for (const auto& e : events)
+    EXPECT_TRUE(e.segment_end <= resume_at || e.segment_begin >= resume_at);
+}
+
+// ----------------------------------------------- strict-mode contract
+
+TEST(FaultInjection, StrictModeRaisesTypedErrorOnNonFiniteSamples) {
+  core::Session session(trained_bundle());  // default policy: strict
+  const std::size_t channels = session.config().channels;
+  const auto sink = [](const core::GestureEvent&) {};
+
+  std::vector<double> frame(channels, 100.0);
+  session.push_frame(frame, sink);
+
+  for (const double bad : {std::numeric_limits<double>::quiet_NaN(),
+                           std::numeric_limits<double>::infinity(),
+                           -std::numeric_limits<double>::infinity()}) {
+    frame.assign(channels, 100.0);
+    frame[1] = bad;
+    try {
+      session.push_frame(frame, sink);
+      FAIL() << "non-finite sample must throw in strict mode";
+    } catch (const StreamFaultError& e) {
+      EXPECT_NE(std::string(e.what()).find("channel 1"), std::string::npos);
+    }
+  }
+
+  // The failed pushes left no trace: the stream continues as if the
+  // corrupt frames were never offered.
+  EXPECT_EQ(session.frames_seen(), 1u);
+  frame.assign(channels, 100.0);
+  session.push_frame(frame, sink);
+  EXPECT_EQ(session.frames_seen(), 2u);
+}
+
+TEST(FaultInjection, WrongArityFrameReportsObservedAndExpectedCounts) {
+  core::Session session(trained_bundle());
+  const std::size_t channels = session.config().channels;
+  const auto sink = [](const core::GestureEvent&) {};
+
+  const std::vector<double> wide(channels + 2, 0.0);
+  try {
+    session.push_frame(wide, sink);
+    FAIL() << "wrong-arity frame must throw";
+  } catch (const PreconditionError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find(std::to_string(channels + 2)), std::string::npos);
+    EXPECT_NE(what.find(std::to_string(channels)), std::string::npos);
+  }
+
+  sensor::MultiChannelTrace trace(channels, 100.0);
+  try {
+    trace.push_frame(std::vector<double>(channels - 1, 0.0));
+    FAIL() << "wrong-arity frame must throw";
+  } catch (const PreconditionError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find(std::to_string(channels - 1)), std::string::npos);
+    EXPECT_NE(what.find(std::to_string(channels)), std::string::npos);
+  }
+}
+
+TEST(FaultInjection, MismatchedFramesRejectedWithoutCorruptingTheStream) {
+  sensor::FaultInjectorConfig config;
+  config.channel_mismatch_rate = 0.05;
+  sensor::FaultInjector injector(config, 7);
+  const auto frames = injector.frames(long_probe());
+  ASSERT_FALSE(injector.log().empty());
+
+  std::vector<bool> mismatched(frames.size(), false);
+  for (const auto& f : injector.log())
+    if (f.kind == sensor::FaultEvent::Kind::kChannelMismatch)
+      mismatched[f.begin] = true;
+
+  // Feeding the torture stream: every wrong-arity frame throws, every
+  // well-formed frame processes — and the rejected frames must leave no
+  // state behind (the stream equals one fed only the well-formed frames).
+  core::Session session(trained_bundle(), test_policy());
+  std::vector<core::GestureEvent> events;
+  const auto sink = [&events](const core::GestureEvent& e) {
+    events.push_back(e);
+  };
+  for (std::size_t i = 0; i < frames.size(); ++i) {
+    if (mismatched[i]) {
+      EXPECT_THROW(session.push_frame(frames[i], sink), PreconditionError);
+    } else {
+      session.push_frame(frames[i], sink);
+    }
+  }
+  session.finish(sink);
+
+  core::Session reference(trained_bundle(), test_policy());
+  std::vector<core::GestureEvent> expected;
+  const auto ref_sink = [&expected](const core::GestureEvent& e) {
+    expected.push_back(e);
+  };
+  for (std::size_t i = 0; i < frames.size(); ++i)
+    if (!mismatched[i]) reference.push_frame(frames[i], ref_sink);
+  reference.finish(ref_sink);
+
+  expect_events_identical(events, expected);
+}
+
+// --------------------------------------------------- host isolation
+
+std::vector<sensor::MultiChannelTrace> host_traces_with_corrupt_middle() {
+  sensor::FaultInjectorConfig config;
+  config.non_finite_rate = 0.01;
+  sensor::FaultInjector injector(config, 31337);
+  std::vector<sensor::MultiChannelTrace> traces;
+  traces.push_back(probe_corpus().samples[0].trace);
+  traces.push_back(injector.corrupt(probe_corpus().samples[1].trace));
+  traces.push_back(probe_corpus().samples[2].trace);
+  // The middle trace must actually carry corruption.
+  EXPECT_FALSE(injector.log().empty());
+  return traces;
+}
+
+TEST(FaultInjection, HostQuarantinesFaultedLaneAndSiblingsAreBitIdentical) {
+  const auto traces = host_traces_with_corrupt_middle();
+
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    SCOPED_TRACE("threads " + std::to_string(threads));
+    common::ScopedThreads scoped(threads);
+
+    // Strict sessions: the corrupt lane throws inside pump() and the host
+    // must quarantine it without disturbing the siblings.
+    core::MultiSessionHost host(trained_bundle(), traces.size());
+    const auto hosted = host.run_round_robin(traces, 37);
+
+    EXPECT_TRUE(host.session_faulted(1));
+    EXPECT_EQ(host.faulted_count(), 1u);
+    EXPECT_NE(host.session_fault(1).find("non-finite"), std::string::npos);
+    EXPECT_GT(host.dropped_frames(1), 0u);
+    EXPECT_FALSE(host.session_faulted(0));
+    EXPECT_FALSE(host.session_faulted(2));
+
+    std::vector<std::vector<core::GestureEvent>> per_session(traces.size());
+    for (const auto& e : hosted) per_session[e.session].push_back(e.event);
+
+    for (const std::size_t i : {std::size_t{0}, std::size_t{2}}) {
+      SCOPED_TRACE("sibling " + std::to_string(i));
+      core::Session standalone(trained_bundle());
+      expect_events_identical(per_session[i],
+                              standalone.process_trace(traces[i]));
+    }
+  }
+}
+
+TEST(FaultInjection, HostWithDegradedModePolicySurvivesWithoutFaulting) {
+  const auto traces = host_traces_with_corrupt_middle();
+  core::MultiSessionHost host(trained_bundle(), traces.size(),
+                              test_policy());
+  host.run_round_robin(traces, 37);
+  EXPECT_EQ(host.faulted_count(), 0u);
+  EXPECT_GT(host.aggregate_health().non_finite_samples, 0u);
+  EXPECT_EQ(host.aggregate_health().frames,
+            traces[0].sample_count() + traces[1].sample_count() +
+                traces[2].sample_count());
+}
+
+// ------------------------------------------------- reset() property
+
+TEST(FaultInjection, ResetAfterFaultMatchesFreshSessionBitIdentically) {
+  const core::FaultPolicy policy = test_policy();
+  sensor::FaultInjectorConfig config;
+  config.dropout_rate = 0.01;
+  config.dropout_run = 64;
+  config.non_finite_rate = 0.005;
+  sensor::FaultInjector injector(config, 555);
+  const auto corrupted = injector.corrupt(long_probe());
+
+  // Degraded mode: drive a session through a mid-trace fault storm, then
+  // reset — it must be indistinguishable from a fresh session.
+  core::Session recycled(trained_bundle(), policy);
+  recycled.process_trace(corrupted);
+  EXPECT_FALSE(recycled.health().clean());
+  recycled.reset();
+  EXPECT_TRUE(recycled.health().clean());
+
+  core::Session fresh(trained_bundle(), policy);
+  for (const auto& probe : probe_corpus().samples) {
+    expect_events_identical(recycled.process_trace(probe.trace),
+                            fresh.process_trace(probe.trace));
+    EXPECT_EQ(recycled.health(), fresh.health());
+    recycled.reset();
+    fresh.reset();
+  }
+
+  // Strict mode: a session that threw on a corrupt frame resets to the
+  // same clean slate.
+  core::Session strict(trained_bundle());
+  const std::size_t channels = strict.config().channels;
+  const auto sink = [](const core::GestureEvent&) {};
+  std::vector<double> frame(channels, 50.0);
+  for (int i = 0; i < 40; ++i) {
+    frame.assign(channels, 50.0 + i);
+    strict.push_frame(frame, sink);
+  }
+  frame[0] = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(strict.push_frame(frame, sink), StreamFaultError);
+  strict.reset();
+
+  core::Session strict_fresh(trained_bundle());
+  const auto& probe = probe_corpus().samples.front().trace;
+  expect_events_identical(strict.process_trace(probe),
+                          strict_fresh.process_trace(probe));
+}
+
+}  // namespace
+}  // namespace airfinger

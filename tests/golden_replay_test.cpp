@@ -1,0 +1,265 @@
+// Golden end-to-end regression traces (DESIGN.md §12).
+//
+// `tests/golden/` holds committed multi-channel recordings (`.aftrace`)
+// with the exact GestureEvent sequence the engine emitted for them when
+// they were recorded (`.afevents`). This test replays each committed trace
+// through the full streaming path (Session::process_trace over the seeded
+// reference bundle) and diffs the emitted events against the committed
+// expectation text byte-for-byte — any behavioural drift anywhere in the
+// pipeline (SBC, segmenter, feature bank, forests, routing, ZEBRA) shows
+// up as an exact textual diff.
+//
+// Both file formats are line-oriented text with hex-float (`%a`) numbers,
+// so round-trips are bit-exact and diffs are reviewable.
+//
+// To regenerate after an intentional behaviour change:
+//   AF_REGEN_GOLDEN=1 ./golden_replay_test
+// then commit the rewritten files under tests/golden/.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "core/session.hpp"
+#include "core/trainer.hpp"
+#include "synth/dataset.hpp"
+
+#ifndef AF_GOLDEN_DIR
+#define AF_GOLDEN_DIR "tests/golden"
+#endif
+
+namespace airfinger {
+namespace {
+
+/// The reference bundle every golden expectation was recorded against.
+const std::shared_ptr<const core::ModelBundle>& golden_bundle() {
+  static const std::shared_ptr<const core::ModelBundle> bundle = [] {
+    core::TrainerConfig config;
+    config.users = 2;
+    config.sessions = 1;
+    config.repetitions = 3;
+    config.non_gesture_repetitions = 3;
+    config.seed = 11;
+    return core::build_bundle(config);
+  }();
+  return bundle;
+}
+
+struct GoldenCase {
+  const char* name;            ///< Base filename under tests/golden/.
+  synth::MotionKind kind;      ///< Motion synthesized on regeneration.
+};
+
+const GoldenCase kCases[] = {
+    {"circle", synth::MotionKind::kCircle},
+    {"click", synth::MotionKind::kClick},
+    {"scroll_up", synth::MotionKind::kScrollUp},
+    {"scroll_down", synth::MotionKind::kScrollDown},
+};
+
+std::string hex(double v) {
+  char buffer[40];
+  std::snprintf(buffer, sizeof(buffer), "%a", v);
+  return buffer;
+}
+
+double parse_hex(const std::string& token) {
+  char* end = nullptr;
+  const double v = std::strtod(token.c_str(), &end);
+  AF_EXPECT(end != token.c_str() && *end == '\0',
+            "golden file: malformed number '" + token + "'");
+  return v;
+}
+
+// ------------------------------------------------ trace (de)serialization
+
+std::string serialize_trace(const sensor::MultiChannelTrace& trace) {
+  std::ostringstream os;
+  os << "aftrace 1\n";
+  os << "channels " << trace.channel_count() << "\n";
+  os << "sample_rate_hz " << hex(trace.sample_rate_hz()) << "\n";
+  os << "samples " << trace.sample_count() << "\n";
+  for (std::size_t i = 0; i < trace.sample_count(); ++i) {
+    for (std::size_t c = 0; c < trace.channel_count(); ++c) {
+      if (c) os << ' ';
+      os << hex(trace.channel(c)[i]);
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+sensor::MultiChannelTrace parse_trace(std::istream& is) {
+  std::string tag;
+  int version = 0;
+  is >> tag >> version;
+  AF_EXPECT(tag == "aftrace" && version == 1, "not an aftrace 1 file");
+  std::size_t channels = 0;
+  std::size_t samples = 0;
+  std::string rate_token;
+  is >> tag >> channels;
+  AF_EXPECT(tag == "channels" && channels >= 1, "malformed aftrace header");
+  is >> tag >> rate_token;
+  AF_EXPECT(tag == "sample_rate_hz", "malformed aftrace header");
+  is >> tag >> samples;
+  AF_EXPECT(tag == "samples" && is.good(), "malformed aftrace header");
+
+  sensor::MultiChannelTrace trace(channels, parse_hex(rate_token));
+  std::vector<double> frame(channels);
+  std::string token;
+  for (std::size_t i = 0; i < samples; ++i) {
+    for (std::size_t c = 0; c < channels; ++c) {
+      is >> token;
+      AF_EXPECT(!is.fail(), "aftrace truncated");
+      frame[c] = parse_hex(token);
+    }
+    trace.push_frame(frame);
+  }
+  return trace;
+}
+
+// ------------------------------------------------ event serialization
+
+/// One event per line; every numeric field is either an integer or a
+/// hex-float, so equality of the serialized text is bit-equality of the
+/// event stream.
+std::string serialize_events(const std::vector<core::GestureEvent>& events) {
+  std::ostringstream os;
+  os << "afevents 1\n";
+  os << "events " << events.size() << "\n";
+  for (const auto& e : events) {
+    os << "type " << static_cast<int>(e.type);
+    os << " time " << hex(e.time_s);
+    os << " segment " << e.segment_begin << ' ' << e.segment_end;
+    os << " gesture ";
+    if (e.gesture)
+      os << static_cast<int>(*e.gesture);
+    else
+      os << '-';
+    os << " scroll ";
+    if (e.scroll) {
+      os << hex(e.scroll->direction) << ' ' << hex(e.scroll->velocity_mps)
+         << ' ' << hex(e.scroll->duration_s) << ' '
+         << (e.scroll->used_experience_velocity ? 1 : 0) << ' ';
+      if (e.scroll->delta_t_s)
+        os << hex(*e.scroll->delta_t_s);
+      else
+        os << '-';
+    } else {
+      os << '-';
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+// ------------------------------------------------------------ file I/O
+
+std::string golden_path(const std::string& name, const char* ext) {
+  return std::string(AF_GOLDEN_DIR) + "/" + name + ext;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  AF_EXPECT(is.good(), "cannot open golden file " + path +
+                           " (run AF_REGEN_GOLDEN=1 ./golden_replay_test "
+                           "to record it)");
+  std::ostringstream os;
+  os << is.rdbuf();
+  return os.str();
+}
+
+void spill(const std::string& path, const std::string& bytes) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  AF_EXPECT(os.good(), "cannot write golden file " + path);
+  os << bytes;
+  AF_EXPECT(os.good(), "short write to golden file " + path);
+}
+
+bool regen_requested() {
+  const char* flag = std::getenv("AF_REGEN_GOLDEN");
+  return flag != nullptr && *flag != '\0' && std::string(flag) != "0";
+}
+
+/// Synthesizes the golden recordings: one repetition of each case's motion
+/// from a dedicated seed (distinct from any training/test corpus seed).
+std::vector<sensor::MultiChannelTrace> synthesize_golden_traces() {
+  synth::CollectionConfig config;
+  config.users = 1;
+  config.sessions = 1;
+  config.repetitions = 1;
+  config.kinds.clear();
+  for (const auto& c : kCases) config.kinds.push_back(c.kind);
+  config.seed = 777;
+  const synth::Dataset dataset = synth::DatasetBuilder(config).collect();
+
+  std::vector<sensor::MultiChannelTrace> traces(std::size(kCases));
+  for (std::size_t i = 0; i < std::size(kCases); ++i) {
+    bool found = false;
+    for (const auto& sample : dataset.samples) {
+      if (sample.kind != kCases[i].kind) continue;
+      traces[i] = sample.trace;
+      found = true;
+      break;
+    }
+    AF_ASSERT(found, "dataset missing a golden motion kind");
+  }
+  return traces;
+}
+
+// ---------------------------------------------------------------- tests
+
+TEST(GoldenReplay, CommittedTracesReplayToCommittedEventsExactly) {
+  if (regen_requested()) {
+    const auto traces = synthesize_golden_traces();
+    for (std::size_t i = 0; i < std::size(kCases); ++i) {
+      core::Session session(golden_bundle());
+      const auto events = session.process_trace(traces[i]);
+      spill(golden_path(kCases[i].name, ".aftrace"),
+            serialize_trace(traces[i]));
+      spill(golden_path(kCases[i].name, ".afevents"),
+            serialize_events(events));
+    }
+    GTEST_SKIP() << "golden files regenerated; re-run without "
+                    "AF_REGEN_GOLDEN to verify";
+  }
+
+  for (const auto& golden : kCases) {
+    SCOPED_TRACE(golden.name);
+    std::istringstream trace_stream(
+        slurp(golden_path(golden.name, ".aftrace")));
+    const sensor::MultiChannelTrace trace = parse_trace(trace_stream);
+    ASSERT_GT(trace.sample_count(), 0u);
+
+    core::Session session(golden_bundle());
+    const auto events = session.process_trace(trace);
+    // Exact textual diff: any drift in the replayed stream shows as a
+    // line-level difference against the committed expectation.
+    EXPECT_EQ(serialize_events(events),
+              slurp(golden_path(golden.name, ".afevents")));
+  }
+}
+
+TEST(GoldenReplay, TraceSerializationRoundTripsBitExactly) {
+  const auto traces = synthesize_golden_traces();
+  for (const auto& trace : traces) {
+    const std::string bytes = serialize_trace(trace);
+    std::istringstream is(bytes);
+    const sensor::MultiChannelTrace back = parse_trace(is);
+    ASSERT_EQ(back.channel_count(), trace.channel_count());
+    ASSERT_EQ(back.sample_count(), trace.sample_count());
+    EXPECT_EQ(back.sample_rate_hz(), trace.sample_rate_hz());
+    for (std::size_t c = 0; c < trace.channel_count(); ++c)
+      for (std::size_t i = 0; i < trace.sample_count(); ++i)
+        EXPECT_EQ(back.channel(c)[i], trace.channel(c)[i]);
+    EXPECT_EQ(serialize_trace(back), bytes);
+  }
+}
+
+}  // namespace
+}  // namespace airfinger

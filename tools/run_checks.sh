@@ -17,18 +17,22 @@ cmake -B "${BUILD}" -S "${ROOT}"
 cmake --build "${BUILD}" -j
 ctest --test-dir "${BUILD}" --output-on-failure -j "$(nproc)"
 
-echo "== asan/ubsan: model + session + concurrency suites =="
+echo "== robustness: fault-injection + fuzz + golden-replay suites =="
+ctest --test-dir "${BUILD}" --output-on-failure -L robustness -j "$(nproc)"
+
+echo "== asan/ubsan: model + session + concurrency + robustness suites =="
 ASAN_BUILD="${BUILD}-asan"
 cmake -B "${ASAN_BUILD}" -S "${ROOT}" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DAF_SANITIZE=address,undefined
 cmake --build "${ASAN_BUILD}" -j \
-  --target bundle_test serialize_test core_test parallel_test compiled_forest_test
+  --target bundle_test serialize_test core_test parallel_test compiled_forest_test fault_injection_test
 "${ASAN_BUILD}/tests/bundle_test"
 "${ASAN_BUILD}/tests/serialize_test"
 "${ASAN_BUILD}/tests/core_test"
 "${ASAN_BUILD}/tests/parallel_test"
 "${ASAN_BUILD}/tests/compiled_forest_test"
+"${ASAN_BUILD}/tests/fault_injection_test"
 
 echo "== bench smoke: hot-path microbenchmark builds and runs =="
 "${ROOT}/tools/run_bench.sh" --smoke "${BUILD}-bench"

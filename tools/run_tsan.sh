@@ -13,7 +13,7 @@ BUILD="${1:-${ROOT}/build-tsan}"
 cmake -B "${BUILD}" -S "${ROOT}" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DAF_SANITIZE=thread
-cmake --build "${BUILD}" -j --target parallel_test determinism_test core_test bundle_test compiled_forest_test
+cmake --build "${BUILD}" -j --target parallel_test determinism_test core_test bundle_test compiled_forest_test fault_injection_test
 
 export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1 second_deadlock_stack=1}"
 export AF_THREADS="${AF_THREADS:-4}"
@@ -23,5 +23,6 @@ export AF_THREADS="${AF_THREADS:-4}"
 "${BUILD}/tests/core_test"
 "${BUILD}/tests/bundle_test"
 "${BUILD}/tests/compiled_forest_test"
+"${BUILD}/tests/fault_injection_test"
 
 echo "tsan: all suites clean (AF_THREADS=${AF_THREADS})"
