@@ -23,6 +23,7 @@
 #include "common/parallel.hpp"
 #include "core/multi_session_host.hpp"
 #include "core/session.hpp"
+#include "obs/exposition.hpp"
 #include "support.hpp"
 
 // ------------------------------------------------------------ alloc hook
@@ -76,6 +77,17 @@ namespace {
 
 using namespace airfinger;
 
+/// One pipeline stage's latency summary from the session's observability
+/// histograms (obs/pipeline.hpp), measured over the same steady-state
+/// window as the frame timings.
+struct StageReport {
+  std::string name;
+  std::uint64_t count = 0;
+  double sum_ns = 0.0;
+  double p50_ns = 0.0;
+  double p99_ns = 0.0;
+};
+
 struct SingleSessionReport {
   double frames_per_sec = 0.0;
   double p50_us = 0.0;
@@ -83,6 +95,8 @@ struct SingleSessionReport {
   double allocs_per_frame = 0.0;
   std::uint64_t frames = 0;
   std::uint64_t events = 0;
+  bool spans_enabled = false;
+  std::vector<StageReport> stages;
 };
 
 /// Streams `passes` full replays of the trace through one Session, frame by
@@ -112,6 +126,9 @@ SingleSessionReport measure_single_session(
       session.push_frame(frame, sink);
     }
   }
+
+  // Stage histograms should cover exactly the measured window, not warmup.
+  session.observability().reset_values();
 
   latencies_us.clear();
   const std::uint64_t allocs_before =
@@ -151,6 +168,26 @@ SingleSessionReport measure_single_session(
   };
   report.p99_us = nth(0.99);
   report.p50_us = nth(0.50);
+
+  // Per-stage breakdown from the session's latency histograms. Empty
+  // stages (never hit in this stream) are omitted; with spans compiled
+  // out every stage is empty and the report records that explicitly.
+  report.spans_enabled = session.observability().spans_enabled();
+  const obs::MetricsSnapshot snapshot =
+      session.observability().registry().snapshot();
+  for (std::size_t s = 0; s < obs::kStageCount; ++s) {
+    const char* name = obs::stage_name(static_cast<obs::Stage>(s));
+    const obs::MetricEntry* e =
+        snapshot.find(std::string("af_stage_") + name + "_ns");
+    if (!e || e->count == 0) continue;
+    StageReport stage;
+    stage.name = name;
+    stage.count = e->count;
+    stage.sum_ns = e->value;
+    stage.p50_ns = obs::histogram_quantile(*e, 0.50);
+    stage.p99_ns = obs::histogram_quantile(*e, 0.99);
+    report.stages.push_back(std::move(stage));
+  }
   return report;
 }
 
@@ -206,6 +243,10 @@ int main(int argc, char** argv) {
             << single.p50_us << " us, p99 " << single.p99_us << " us, "
             << single.allocs_per_frame << " allocs/frame ("
             << single.events << " events)\n";
+  if (single.spans_enabled)
+    for (const auto& s : single.stages)
+      std::cout << "    stage " << s.name << ": " << s.count << " spans, p50 "
+                << s.p50_ns << " ns, p99 " << s.p99_ns << " ns\n";
 
   // Host sweep: aggregate frame throughput of N sessions over the shared
   // bundle at several pool widths.
@@ -256,6 +297,17 @@ int main(int argc, char** argv) {
       os << "  \"baseline_frames_per_sec\": " << baseline_fps << ",\n";
       os << "  \"speedup_vs_baseline\": " << speedup << ",\n";
     }
+    os << "  \"spans_enabled\": " << (single.spans_enabled ? "true" : "false")
+       << ",\n";
+    os << "  \"stages\": [";
+    for (std::size_t i = 0; i < single.stages.size(); ++i) {
+      const auto& s = single.stages[i];
+      os << (i ? ", " : "") << "{\"name\": \"" << s.name
+         << "\", \"count\": " << s.count << ", \"sum_ns\": " << s.sum_ns
+         << ", \"p50_ns\": " << s.p50_ns << ", \"p99_ns\": " << s.p99_ns
+         << "}";
+    }
+    os << "],\n";
     os << "  \"host_scaling\": [";
     for (std::size_t i = 0; i < counts.size(); ++i) {
       os << (i ? ", " : "") << "{\"threads\": " << counts[i]

@@ -27,6 +27,8 @@
 #include <cstdint>
 #include <limits>
 
+#include "obs/metrics.hpp"
+
 namespace airfinger::core {
 
 /// Per-stream robustness counters, exposed by Session::health() and
@@ -41,15 +43,21 @@ struct HealthStats {
   std::uint64_t recalibrations = 0;     ///< Quarantined → healthy recoveries.
   std::uint64_t segments_dropped = 0;   ///< Open segments lost to quarantine.
 
+  /// Saturating aggregation: a fleet total over long-lived lanes must
+  /// clamp at UINT64_MAX, never wrap back to a small number.
   HealthStats& operator+=(const HealthStats& o) {
-    frames += o.frames;
-    non_finite_samples += o.non_finite_samples;
-    saturated_samples += o.saturated_samples;
-    stuck_samples += o.stuck_samples;
-    quarantined_frames += o.quarantined_frames;
-    quarantines += o.quarantines;
-    recalibrations += o.recalibrations;
-    segments_dropped += o.segments_dropped;
+    frames = obs::saturating_add(frames, o.frames);
+    non_finite_samples =
+        obs::saturating_add(non_finite_samples, o.non_finite_samples);
+    saturated_samples =
+        obs::saturating_add(saturated_samples, o.saturated_samples);
+    stuck_samples = obs::saturating_add(stuck_samples, o.stuck_samples);
+    quarantined_frames =
+        obs::saturating_add(quarantined_frames, o.quarantined_frames);
+    quarantines = obs::saturating_add(quarantines, o.quarantines);
+    recalibrations = obs::saturating_add(recalibrations, o.recalibrations);
+    segments_dropped =
+        obs::saturating_add(segments_dropped, o.segments_dropped);
     return *this;
   }
 

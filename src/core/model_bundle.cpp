@@ -8,8 +8,11 @@
 #include <sstream>
 #include <string_view>
 
+#include <chrono>
+
 #include "common/error.hpp"
 #include "ml/serialize.hpp"
+#include "obs/pipeline.hpp"
 
 namespace airfinger::core {
 
@@ -102,6 +105,7 @@ std::optional<ScrollEstimate> ModelBundle::probe_direction(
       windows, view.sample_rate_hz, router_.config().timing, arena);
   if (router_.route_timing(timing) != GestureCategory::kTrackAimed)
     return std::nullopt;
+  obs::Span zebra_span(workspace.obs, obs::Stage::kZebra);
   if (timing_shared_)
     return zebra_.track_timing(timing, windows, local, view.sample_rate_hz);
   return zebra_.track(view, local);
@@ -129,6 +133,7 @@ std::optional<ScrollEstimate> ModelBundle::probe_direction(
   const SegmentTiming timing = cache.timing(windows, arena);
   if (router_.route_timing(timing) != GestureCategory::kTrackAimed)
     return std::nullopt;
+  obs::Span zebra_span(workspace.obs, obs::Stage::kZebra);
   if (timing_shared_)
     return zebra_.track_timing(timing, windows, local, view.sample_rate_hz);
   return zebra_.track(view, local);
@@ -165,9 +170,15 @@ GestureEvent ModelBundle::decide(const ProcessedTrace& view,
                       config_.processing.feature_pad_s, view.sample_rate_hz);
       const auto windows = window_spans(view, padded, arena);
       row = arena.alloc<double>(recognizer_.bank().feature_count());
-      recognizer_.extract_into(windows, workspace, row);
+      {
+        obs::Span span(workspace.obs, obs::Stage::kFeatures);
+        recognizer_.extract_into(windows, workspace, row);
+      }
       proba = arena.alloc<double>(recognizer_.num_classes());
-      recognizer_.predict_proba_into(row, arena, proba);
+      {
+        obs::Span span(workspace.obs, obs::Stage::kForest);
+        recognizer_.predict_proba_into(row, arena, proba);
+      }
     }
   };
   if (config_.hybrid_routing) {
@@ -186,10 +197,12 @@ GestureEvent ModelBundle::decide(const ProcessedTrace& view,
   if (category == GestureCategory::kTrackAimed) {
     // When router and ZEBRA share one TimingConfig the routing timing is
     // exactly what ZEBRA would recompute — reuse it.
-    const auto estimate =
-        timing_shared_ ? zebra_.track_timing(timing, route_windows, local,
-                                             view.sample_rate_hz)
-                       : zebra_.track(view, local);
+    const auto estimate = [&] {
+      obs::Span span(workspace.obs, obs::Stage::kZebra);
+      return timing_shared_ ? zebra_.track_timing(timing, route_windows,
+                                                  local, view.sample_rate_hz)
+                            : zebra_.track(view, local);
+    }();
     if (estimate) {
       event.type = GestureEvent::Type::kScrollDetected;
       event.scroll = *estimate;
@@ -354,6 +367,7 @@ void ModelBundle::save_file(const std::string& path) const {
 
 std::shared_ptr<const ModelBundle> ModelBundle::load(std::istream& is,
                                                      AirFingerConfig base) {
+  const auto load_start = std::chrono::steady_clock::now();
   // Slurp and verify the integrity footer before parsing anything: a
   // corrupted artifact must never reach the model loaders (where a flipped
   // count would otherwise trigger absurd allocations or a half-built
@@ -383,11 +397,16 @@ std::shared_ptr<const ModelBundle> ModelBundle::load(std::istream& is,
             "bundle artifact failed its integrity check (corrupt or "
             "truncated)");
   std::istringstream payload_stream{std::string(payload)};
-  return load_payload(payload_stream, base);
+  auto bundle = load_payload(payload_stream, base);
+  bundle->load_ns_ = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - load_start)
+          .count());
+  return bundle;
 }
 
-std::shared_ptr<const ModelBundle> ModelBundle::load_payload(
-    std::istream& is, AirFingerConfig base) {
+std::shared_ptr<ModelBundle> ModelBundle::load_payload(std::istream& is,
+                                                       AirFingerConfig base) {
   ml::detail::expect_tag(is, "afbundle");
   int version = 0;
   is >> version;
@@ -422,7 +441,8 @@ std::shared_ptr<const ModelBundle> ModelBundle::load_payload(
     filter = InterferenceFilter::load(is, recognizer.bank(),
                                       config.interference);
   ml::detail::expect_tag(is, "end");
-  return create(config, std::move(recognizer), std::move(filter));
+  return std::make_shared<ModelBundle>(config, std::move(recognizer),
+                                       std::move(filter));
 }
 
 std::shared_ptr<const ModelBundle> ModelBundle::load_file(

@@ -17,6 +17,7 @@
 // (`recognizer.af` + optional `filter.af`) written by pre-bundle tools.
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
 #include <memory>
 #include <optional>
@@ -208,12 +209,18 @@ class ModelBundle {
   /// position is restored). Lets tools accept either artifact format.
   static bool sniff_bundle(std::istream& is);
 
+  /// Wall-clock nanoseconds load() spent verifying and parsing this
+  /// artifact (0 for bundles built in-process). Deploy diagnostics:
+  /// af_inspect and af_stats surface it, hosts export it as the
+  /// af_bundle_load_seconds gauge.
+  std::uint64_t load_ns() const { return load_ns_; }
+
  private:
   /// Artifact body without the integrity footer (save() appends it).
   void save_payload(std::ostream& os) const;
   /// Parses a footer-verified payload (the pre-footer parse pipeline).
-  static std::shared_ptr<const ModelBundle> load_payload(
-      std::istream& is, AirFingerConfig base);
+  static std::shared_ptr<ModelBundle> load_payload(std::istream& is,
+                                                   AirFingerConfig base);
 
   AirFingerConfig config_;
   DetectRecognizer recognizer_;
@@ -223,6 +230,8 @@ class ModelBundle {
   /// Router and ZEBRA were configured with the same TimingConfig, so one
   /// SegmentTiming (over the same padded windows) serves both.
   bool timing_shared_ = false;
+  /// Wall-clock cost of the load() that produced this bundle (see load_ns).
+  std::uint64_t load_ns_ = 0;
 };
 
 }  // namespace airfinger::core

@@ -29,6 +29,11 @@ const Session& MultiSessionHost::session(std::size_t i) const {
   return lanes_[i].session;
 }
 
+Session& MultiSessionHost::mutable_session(std::size_t i) {
+  AF_EXPECT(i < lanes_.size(), "session index out of range");
+  return lanes_[i].session;
+}
+
 void MultiSessionHost::feed(std::size_t session,
                             std::span<const double> frame) {
   AF_EXPECT(session < lanes_.size(), "session index out of range");
@@ -141,6 +146,49 @@ std::size_t MultiSessionHost::faulted_count() const {
 HealthStats MultiSessionHost::aggregate_health() const {
   HealthStats total;
   for (const Lane& lane : lanes_) total += lane.session.health();
+  return total;
+}
+
+obs::MetricsSnapshot MultiSessionHost::aggregate_metrics() const {
+  obs::MetricsSnapshot total =
+      lanes_.front().session.observability().registry().snapshot();
+  for (std::size_t i = 1; i < lanes_.size(); ++i)
+    total.add_from(
+        lanes_[i].session.observability().registry().snapshot());
+
+  std::uint64_t dropped = 0;
+  for (const Lane& lane : lanes_) dropped += lane.dropped;
+
+  const auto gauge = [&total](std::string name, std::string help, double v) {
+    obs::MetricEntry e;
+    e.type = obs::MetricEntry::Type::kGauge;
+    e.name = std::move(name);
+    e.help = std::move(help);
+    e.value = v;
+    total.entries.push_back(std::move(e));
+  };
+  const auto counter = [&total](std::string name, std::string help,
+                                std::uint64_t v) {
+    obs::MetricEntry e;
+    e.type = obs::MetricEntry::Type::kCounter;
+    e.name = std::move(name);
+    e.help = std::move(help);
+    e.count = v;
+    total.entries.push_back(std::move(e));
+  };
+  gauge("af_host_sessions", "Lanes configured on this host.",
+        static_cast<double>(lanes_.size()));
+  gauge("af_host_faulted_sessions",
+        "Lanes currently quarantined by the host.",
+        static_cast<double>(faulted_count()));
+  counter("af_host_frames_processed_total",
+          "Frames processed by pump() across all lanes.",
+          frames_processed_);
+  counter("af_host_dropped_frames_total",
+          "Frames discarded because their lane was faulted.", dropped);
+  gauge("af_bundle_load_seconds",
+        "Wall-clock time load() spent verifying and parsing the bundle.",
+        static_cast<double>(bundle_->load_ns()) * 1e-9);
   return total;
 }
 

@@ -56,6 +56,11 @@ class MultiSessionHost {
   }
   const Session& session(std::size_t i) const;
 
+  /// Mutable lane access for observability configuration (clock injection,
+  /// span toggling) before driving the host. Must not be used to push
+  /// frames directly — feed()/pump() own the streaming contract.
+  Session& mutable_session(std::size_t i);
+
   /// Buffers one frame (one sample per channel) for stream `session`.
   /// O(channels); no processing happens until pump(). Frames fed to a
   /// faulted (quarantined) lane are silently dropped and counted in
@@ -95,6 +100,15 @@ class MultiSessionHost {
   /// Sum of every session's HealthStats (faulted lanes contribute their
   /// counters up to the fault).
   HealthStats aggregate_health() const;
+
+  /// Host-wide metrics view (DESIGN.md §13): every session's registry
+  /// snapshot merged in deterministic lane order (index-wise saturating
+  /// adds over the shared schema; faulted lanes contribute their counters
+  /// up to the fault), followed by host-level series — lane/fault counts,
+  /// frames processed and dropped, and the bundle's load time. Lock-free:
+  /// call between pump() rounds (sessions are single-writer; the host
+  /// reads only quiescent registries).
+  obs::MetricsSnapshot aggregate_metrics() const;
 
   /// Convenience driver: one trace per session, fanned out round-robin —
   /// each turn feeds up to `frames_per_turn` frames to every stream that

@@ -78,20 +78,66 @@ void Session::handle_segment(const dsp::Segment& segment,
   // buffer yields the exact window with no copy.
   GestureEvent event;
   const std::size_t len = segment.length();
-  if (open_view_valid_ && segment.begin == open_segment_begin_ &&
-      len <= open_view_.energy.size()) {
-    for (auto& ch : open_view_.delta_rss2) ch.resize(len);
-    open_view_.energy.resize(len);
-    event = bundle_->decide(open_view_, dsp::Segment{0, len}, workspace_);
-  } else {
-    const ProcessedTrace view = window_view(segment);
-    event = bundle_->decide(view, dsp::Segment{0, len}, workspace_);
+  {
+    obs::Span span(&obs_, obs::Stage::kDecide);
+    if (open_view_valid_ && segment.begin == open_segment_begin_ &&
+        len <= open_view_.energy.size()) {
+      for (auto& ch : open_view_.delta_rss2) ch.resize(len);
+      open_view_.energy.resize(len);
+      event = bundle_->decide(open_view_, dsp::Segment{0, len}, workspace_);
+    } else {
+      const ProcessedTrace view = window_view(segment);
+      event = bundle_->decide(view, dsp::Segment{0, len}, workspace_);
+    }
   }
   open_view_valid_ = false;
   event.time_s = now();
   event.segment_begin = segment.begin;
   event.segment_end = segment.end;
+  obs_.registry().inc(obs_.segments_closed);
+  obs_.record(obs::PipelineEvent::Kind::kSegmentClose, frames_,
+              segment.begin, segment.end);
+  if (event.type == GestureEvent::Type::kNonGesture)
+    obs_.record(
+        obs::PipelineEvent::Kind::kSegmentReject, frames_, segment.begin,
+        segment.end,
+        static_cast<std::uint8_t>(obs::PipelineEvent::Reject::kFiltered));
   callback(event);
+  note_emission(event);
+}
+
+HealthStats Session::health() const {
+  const obs::Registry& r = obs_.registry();
+  HealthStats h;
+  h.frames = r.counter_value(obs_.frames);
+  h.non_finite_samples = r.counter_value(obs_.non_finite_samples);
+  h.saturated_samples = r.counter_value(obs_.saturated_samples);
+  h.stuck_samples = r.counter_value(obs_.stuck_samples);
+  h.quarantined_frames = r.counter_value(obs_.quarantined_frames);
+  h.quarantines = r.counter_value(obs_.quarantines);
+  h.recalibrations = r.counter_value(obs_.recalibrations);
+  h.segments_dropped = r.counter_value(obs_.segments_dropped);
+  return h;
+}
+
+void Session::note_emission(const GestureEvent& event) {
+  obs::Registry& r = obs_.registry();
+  switch (event.type) {
+    case GestureEvent::Type::kDetectGesture:
+      r.inc(obs_.events_detect);
+      break;
+    case GestureEvent::Type::kScrollDetected:
+      r.inc(obs_.events_scroll);
+      break;
+    case GestureEvent::Type::kScrollDirection:
+      r.inc(obs_.events_direction);
+      break;
+    case GestureEvent::Type::kNonGesture:
+      r.inc(obs_.events_rejected);
+      break;
+  }
+  obs_.record(obs::PipelineEvent::Kind::kEmit, frames_, event.segment_begin,
+              event.segment_end, static_cast<std::uint8_t>(event.type));
 }
 
 bool Session::scan_frame(std::span<const double> frame) {
@@ -102,7 +148,7 @@ bool Session::scan_frame(std::span<const double> frame) {
   for (std::size_t c = 0; c < frame.size(); ++c) {
     const double x = frame[c];
     if (!std::isfinite(x)) {
-      ++health_.non_finite_samples;
+      obs_.registry().inc(obs_.non_finite_samples);
       // A non-finite value resets the run trackers (NaN compares unequal
       // to everything, including itself).
       last_sample_[c] = x;
@@ -114,7 +160,7 @@ bool Session::scan_frame(std::span<const double> frame) {
     if (x == last_sample_[c]) {
       if (same_run_[c] < policy_.stuck_run_limit) ++same_run_[c];
       if (same_run_[c] >= policy_.stuck_run_limit) {
-        ++health_.stuck_samples;
+        obs_.registry().inc(obs_.stuck_samples);
         fault = true;
       }
     } else {
@@ -122,7 +168,7 @@ bool Session::scan_frame(std::span<const double> frame) {
       last_sample_[c] = x;
     }
     if (std::abs(x) >= policy_.saturation_level) {
-      ++health_.saturated_samples;
+      obs_.registry().inc(obs_.saturated_samples);
       if (sat_run_[c] < policy_.saturation_run_limit) ++sat_run_[c];
       if (sat_run_[c] >= policy_.saturation_run_limit) fault = true;
     } else {
@@ -135,10 +181,18 @@ bool Session::scan_frame(std::span<const double> frame) {
 void Session::enter_quarantine() {
   quarantined_ = true;
   clean_run_ = 0;
-  ++health_.quarantines;
+  obs_.registry().inc(obs_.quarantines);
+  obs_.registry().set(obs_.quarantined, 1.0);
+  obs_.record(obs::PipelineEvent::Kind::kQuarantineEnter, frames_);
   // Whatever the segmenter had open was built on corrupt samples: drop it.
   // The segmenter itself is re-calibrated from scratch on recovery.
-  if (segmenter_.in_gesture()) ++health_.segments_dropped;
+  if (segmenter_.in_gesture()) {
+    obs_.registry().inc(obs_.segments_dropped);
+    obs_.record(
+        obs::PipelineEvent::Kind::kSegmentReject, frames_,
+        open_segment_begin_, frames_,
+        static_cast<std::uint8_t>(obs::PipelineEvent::Reject::kQuarantined));
+  }
   open_view_valid_ = false;
   early_direction_sent_ = false;
 }
@@ -146,7 +200,9 @@ void Session::enter_quarantine() {
 void Session::recalibrate() {
   quarantined_ = false;
   clean_run_ = 0;
-  ++health_.recalibrations;
+  obs_.registry().inc(obs_.recalibrations);
+  obs_.registry().set(obs_.quarantined, 0.0);
+  obs_.record(obs::PipelineEvent::Kind::kQuarantineExit, frames_);
   for (auto& s : sbc_) s.reset();
   segmenter_.reset();
   for (auto& ch : history_) ch.clear();
@@ -168,6 +224,11 @@ void Session::push_frame(std::span<const double> frame,
                 std::to_string(config().channels) + " channels");
   AF_EXPECT(static_cast<bool>(callback), "event callback is required");
 
+  // Re-point the workspace's tracing sink at this session every frame (one
+  // store): the pointer would dangle after a Session move if set once at
+  // construction, and the decision core reads it only underneath us.
+  workspace_.obs = &obs_;
+
   if (policy_.enabled) {
     const bool fault_now = scan_frame(frame);
     if (!quarantined_ && fault_now) enter_quarantine();
@@ -175,8 +236,8 @@ void Session::push_frame(std::span<const double> frame,
       // Consume the frame (the stream clock keeps running) but feed
       // nothing downstream; recover after a sustained clean run.
       ++frames_;
-      ++health_.frames;
-      ++health_.quarantined_frames;
+      obs_.registry().inc(obs_.frames);
+      obs_.registry().inc(obs_.quarantined_frames);
       if (fault_now)
         clean_run_ = 0;
       else if (++clean_run_ >= policy_.recovery_frames)
@@ -191,17 +252,33 @@ void Session::push_frame(std::span<const double> frame,
             " at frame " + std::to_string(frames_) +
             " (enable FaultPolicy for degraded-mode handling)");
   }
-  ++health_.frames;
+  obs_.registry().inc(obs_.frames);
+
+  // Per-frame stage spans (ingest / timing_cache / probe) are sampled
+  // 1-in-N on a deterministic counter so steady-state clock reads stay
+  // within the tracing overhead budget; segment-level spans always record.
+#if AF_OBS_SPANS_ENABLED
+  obs::PipelineObservability* const frame_obs =
+      obs_.sample_frame() ? &obs_ : nullptr;
+#else
+  obs::PipelineObservability* const frame_obs = nullptr;
+#endif
 
   double energy = 0.0;
-  for (std::size_t c = 0; c < frame.size(); ++c) {
-    const double d = sbc_[c].push(frame[c]);
-    history_[c].push_back(d);
-    energy += d;
-  }
-
   const bool was_open = segmenter_.in_gesture();
-  auto completed = segmenter_.push(energy);
+  std::optional<dsp::Segment> completed;
+  {
+    // Stage span: SBC update + history push + segmenter advance. At most
+    // one span per frame, so an idle stream costs at most two clock reads
+    // per sampling period.
+    obs::Span span(frame_obs, obs::Stage::kIngest);
+    for (std::size_t c = 0; c < frame.size(); ++c) {
+      const double d = sbc_[c].push(frame[c]);
+      history_[c].push_back(d);
+      energy += d;
+    }
+    completed = segmenter_.push(energy);
+  }
   ++frames_;
   // Segmenter indices are relative to the last recalibration; events and
   // history lookups use absolute stream indices.
@@ -217,6 +294,9 @@ void Session::push_frame(std::span<const double> frame,
     open_view_.energy.clear();
     open_view_valid_ = true;
     if (timing_cache_.configured()) timing_cache_.begin_segment();
+    obs_.registry().inc(obs_.segments_opened);
+    obs_.record(obs::PipelineEvent::Kind::kSegmentOpen, frames_,
+                open_segment_begin_, frames_);
   }
 
   // Maintain the open-segment view incrementally: O(channels) per frame
@@ -228,6 +308,7 @@ void Session::push_frame(std::span<const double> frame,
     // Feed the probe's incremental timing analysis; once the early verdict
     // is out no probe will read it again this segment.
     if (timing_cache_.configured() && !early_direction_sent_) {
+      obs::Span span(frame_obs, obs::Stage::kTimingCache);
       double deltas[kMaxTimingChannels];
       for (std::size_t c = 0; c < history_.size(); ++c)
         deltas[c] = history_[c].back();
@@ -247,11 +328,13 @@ void Session::push_frame(std::span<const double> frame,
                     open_view_.energy.size() == open_len,
                 "open-segment view out of sync with the segmenter");
       const dsp::Segment local{0, open_len};
-      const auto est =
-          timing_cache_.configured()
-              ? bundle_->probe_direction(open_view_, local, workspace_,
-                                         timing_cache_)
-              : bundle_->probe_direction(open_view_, local, workspace_);
+      const auto est = [&] {
+        obs::Span span(frame_obs, obs::Stage::kProbe);
+        return timing_cache_.configured()
+                   ? bundle_->probe_direction(open_view_, local, workspace_,
+                                              timing_cache_)
+                   : bundle_->probe_direction(open_view_, local, workspace_);
+      }();
       if (est) {
         GestureEvent event;
         event.type = GestureEvent::Type::kScrollDirection;
@@ -261,6 +344,7 @@ void Session::push_frame(std::span<const double> frame,
         event.scroll = *est;
         early_direction_sent_ = true;
         callback(event);
+        note_emission(event);
       }
     }
   }
@@ -268,7 +352,16 @@ void Session::push_frame(std::span<const double> frame,
   if (completed) handle_segment(*completed, callback);
   // The segmenter may abandon an open segment without completing it (too
   // short): drop the maintained view with it.
-  if (!segmenter_.in_gesture()) open_view_valid_ = false;
+  if (!segmenter_.in_gesture()) {
+    if (was_open && !completed && open_view_valid_) {
+      obs_.registry().inc(obs_.segments_abandoned);
+      obs_.record(
+          obs::PipelineEvent::Kind::kSegmentReject, frames_,
+          open_segment_begin_, frames_,
+          static_cast<std::uint8_t>(obs::PipelineEvent::Reject::kTooShort));
+    }
+    open_view_valid_ = false;
+  }
 
   // Compact old history between gestures (and only after any completed
   // segment has been analysed): keep the most recent half of the limit so
@@ -285,6 +378,7 @@ void Session::push_frame(std::span<const double> frame,
 
 void Session::finish(const EventCallback& callback) {
   AF_EXPECT(static_cast<bool>(callback), "event callback is required");
+  workspace_.obs = &obs_;
   // A quarantined stream ends without trusting its pre-fault open segment
   // (already counted in segments_dropped when quarantine was entered).
   if (quarantined_) return;
@@ -307,7 +401,7 @@ void Session::reset() {
   open_view_.energy.clear();
   open_view_valid_ = false;
   if (timing_cache_.configured()) timing_cache_.begin_segment();
-  health_ = HealthStats{};
+  obs_.reset_values();
   quarantined_ = false;
   clean_run_ = 0;
   segment_offset_ = 0;

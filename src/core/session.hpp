@@ -19,6 +19,7 @@
 #include "core/model_bundle.hpp"
 #include "dsp/sbc.hpp"
 #include "features/workspace.hpp"
+#include "obs/pipeline.hpp"
 
 namespace airfinger::core {
 
@@ -72,8 +73,18 @@ class Session {
   /// The active degraded-mode policy (see core/health.hpp).
   const FaultPolicy& policy() const { return policy_; }
 
-  /// Stream-health counters since construction or the last reset().
-  const HealthStats& health() const { return health_; }
+  /// Stream-health counters since construction or the last reset(),
+  /// assembled from the session's metric registry (the counters live
+  /// there since the observability layer subsumed the standalone struct;
+  /// see DESIGN.md §13).
+  HealthStats health() const;
+
+  /// The session's observability bundle: metric registry, stage-latency
+  /// histograms, and the structured pipeline-event ring. Mutable access
+  /// is for configuration (clock injection, span toggling) — recording is
+  /// the session's own job. Single-writer like all per-session state.
+  obs::PipelineObservability& observability() { return obs_; }
+  const obs::PipelineObservability& observability() const { return obs_; }
 
   /// True while the degraded-mode policy has the segmenter quarantined.
   bool quarantined() const { return quarantined_; }
@@ -92,6 +103,8 @@ class Session {
   void recalibrate();
   void handle_segment(const dsp::Segment& segment,
                       const EventCallback& callback);
+  /// Counts and trace-records one delivered GestureEvent.
+  void note_emission(const GestureEvent& event);
   ProcessedTrace window_view(const dsp::Segment& segment) const;
   double now() const {
     return static_cast<double>(frames_) / config().sample_rate_hz;
@@ -126,8 +139,11 @@ class Session {
   /// recomputing segment_timing() from scratch. Configured from the
   /// bundle's probe timing config when the channel count supports it.
   OpenSegmentTiming timing_cache_;
+  /// Metrics, stage spans, and the pipeline-event ring (DESIGN.md §13).
+  /// Record-only: nothing in here feeds back into any decision, so
+  /// emissions are bit-identical with instrumentation on or off.
+  obs::PipelineObservability obs_;
   // ---- degraded-mode state (core/health.hpp; inert when policy_ is off).
-  HealthStats health_;
   bool quarantined_ = false;
   /// Clean frames seen in a row while quarantined (recovery progress).
   std::size_t clean_run_ = 0;

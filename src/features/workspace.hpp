@@ -10,10 +10,19 @@
 
 #include "common/arena.hpp"
 
+namespace airfinger::obs {
+class PipelineObservability;
+}
+
 namespace airfinger::features {
 
 struct Workspace {
   common::ScratchArena arena;
+  /// Optional stage tracing sink (owned by the Session this workspace
+  /// belongs to; nullptr for training workers and plain batch callers).
+  /// The bundle's decision core records ZEBRA/feature/forest spans into
+  /// it — record-only, never consulted for any decision.
+  obs::PipelineObservability* obs = nullptr;
 };
 
 }  // namespace airfinger::features

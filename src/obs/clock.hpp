@@ -1,0 +1,58 @@
+// Injectable monotonic time source for the observability layer.
+//
+// Every span and pipeline event timestamp flows through a Clock owned by
+// the instrumented component (one per core::Session), never through a
+// global. Production uses MonotonicClock (std::chrono::steady_clock);
+// tests inject TickClock, which advances by a fixed step per read, so a
+// replayed recording produces byte-identical traces and histograms on any
+// machine at any thread count — the repo's determinism contract extended
+// to the instrumentation itself (DESIGN.md §13).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+
+namespace airfinger::obs {
+
+/// Monotonic nanosecond source. now_ns() is called on the serving hot
+/// path, so implementations must not allocate or block.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  virtual std::uint64_t now_ns() = 0;
+};
+
+/// Production clock: std::chrono::steady_clock, rebased so the first read
+/// of a fresh process does not start at an arbitrary epoch-sized value.
+class MonotonicClock final : public Clock {
+ public:
+  std::uint64_t now_ns() override {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+  }
+};
+
+/// Deterministic test clock: starts at `origin_ns` and advances by exactly
+/// `step_ns` on every read. A component driven by the same call sequence
+/// therefore produces the same timestamps on every run — spans become
+/// deterministic durations, histograms become deterministic counts.
+class TickClock final : public Clock {
+ public:
+  explicit TickClock(std::uint64_t step_ns = 1000, std::uint64_t origin_ns = 0)
+      : next_(origin_ns), step_(step_ns) {}
+
+  std::uint64_t now_ns() override {
+    const std::uint64_t t = next_;
+    next_ += step_;
+    return t;
+  }
+
+ private:
+  std::uint64_t next_;
+  std::uint64_t step_;
+};
+
+}  // namespace airfinger::obs

@@ -1,0 +1,45 @@
+// Metric exposition: MetricsSnapshot <-> Prometheus text / JSON.
+//
+// Both writers are deterministic (metrics in schema order, doubles printed
+// with %.17g so they round-trip bit-exactly through strtod) and both have
+// matching parsers, so a scraped snapshot can be re-ingested — the
+// round-trip is covered by tests/obs_test.cpp. The formats target the two
+// consumers a serving deployment actually has: a Prometheus scraper
+// (`af_stats --format prometheus`) and structured tooling / dashboards
+// (`--format json`, which additionally carries the histogram min/max that
+// the Prometheus exposition format has no field for).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace airfinger::obs {
+
+/// Prometheus text exposition format 0.0.4: HELP/TYPE headers, cumulative
+/// `_bucket{le="..."}` series plus `_sum`/`_count` for histograms.
+void write_prometheus(std::ostream& os, const MetricsSnapshot& snapshot);
+
+/// Parses text produced by write_prometheus back into a snapshot. Not a
+/// general scrape parser: it accepts exactly the subset this repo emits
+/// and throws PreconditionError on anything else.
+MetricsSnapshot parse_prometheus(std::istream& is);
+
+/// JSON object {"metrics": [...]} with one entry per metric; histograms
+/// carry bounds/buckets/min/max, so parse_json(write_json(s)) == s.
+void write_json(std::ostream& os, const MetricsSnapshot& snapshot);
+
+/// Parses JSON produced by write_json. Same contract as parse_prometheus.
+MetricsSnapshot parse_json(std::istream& is);
+
+/// Convenience string forms.
+std::string to_prometheus(const MetricsSnapshot& snapshot);
+std::string to_json(const MetricsSnapshot& snapshot);
+
+/// Quantile estimate from a histogram entry's buckets (linear
+/// interpolation within the winning bucket, clamped to observed min/max).
+/// Returns 0 for an empty histogram. `q` in [0, 1].
+double histogram_quantile(const MetricEntry& entry, double q);
+
+}  // namespace airfinger::obs

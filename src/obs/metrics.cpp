@@ -1,0 +1,185 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace airfinger::obs {
+
+void MetricsSnapshot::add_from(const MetricsSnapshot& other) {
+  AF_EXPECT(entries.size() == other.entries.size(),
+            "snapshot aggregation requires identical schemas");
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    MetricEntry& dst = entries[i];
+    const MetricEntry& src = other.entries[i];
+    AF_EXPECT(dst.type == src.type && dst.name == src.name &&
+                  dst.bounds == src.bounds,
+              "snapshot aggregation requires identical schemas (metric '" +
+                  dst.name + "')");
+    switch (dst.type) {
+      case MetricEntry::Type::kCounter:
+        dst.count = saturating_add(dst.count, src.count);
+        break;
+      case MetricEntry::Type::kGauge:
+        dst.value += src.value;
+        break;
+      case MetricEntry::Type::kHistogram:
+        if (src.count > 0) {
+          dst.min = dst.count > 0 ? std::min(dst.min, src.min) : src.min;
+          dst.max = dst.count > 0 ? std::max(dst.max, src.max) : src.max;
+        }
+        dst.count = saturating_add(dst.count, src.count);
+        dst.value += src.value;
+        for (std::size_t b = 0; b < dst.buckets.size(); ++b)
+          dst.buckets[b] = saturating_add(dst.buckets[b], src.buckets[b]);
+        break;
+    }
+  }
+}
+
+const MetricEntry* MetricsSnapshot::find(const std::string& name) const {
+  for (const MetricEntry& e : entries)
+    if (e.name == name) return &e;
+  return nullptr;
+}
+
+Registry::Handle Registry::counter(std::string name, std::string help) {
+  counters_.push_back({std::move(name), std::move(help), 0});
+  order_.push_back({MetricEntry::Type::kCounter,
+                    static_cast<std::uint32_t>(counters_.size() - 1)});
+  return static_cast<Handle>(counters_.size() - 1);
+}
+
+Registry::Handle Registry::gauge(std::string name, std::string help) {
+  gauges_.push_back({std::move(name), std::move(help), 0.0});
+  order_.push_back({MetricEntry::Type::kGauge,
+                    static_cast<std::uint32_t>(gauges_.size() - 1)});
+  return static_cast<Handle>(gauges_.size() - 1);
+}
+
+Registry::Handle Registry::histogram(std::string name, std::string help,
+                                     HistogramSpec spec) {
+  AF_EXPECT(spec.buckets >= 2, "histogram needs at least two buckets");
+  AF_EXPECT(spec.least > 0.0 && spec.most > spec.least,
+            "histogram bounds must satisfy 0 < least < most");
+  HistogramState h;
+  h.name = std::move(name);
+  h.help = std::move(help);
+  h.bounds.resize(spec.buckets);
+  // Geometric series least..most inclusive: bound[i] = least * r^i with
+  // r^(n-1) = most/least. The endpoints are pinned exactly so the schema
+  // is reproducible from the spec alone.
+  const double ratio = std::pow(spec.most / spec.least,
+                                1.0 / static_cast<double>(spec.buckets - 1));
+  for (std::size_t i = 0; i < spec.buckets; ++i)
+    h.bounds[i] = spec.least * std::pow(ratio, static_cast<double>(i));
+  h.bounds.front() = spec.least;
+  h.bounds.back() = spec.most;
+  h.buckets.assign(spec.buckets + 1, 0);
+  histograms_.push_back(std::move(h));
+  order_.push_back({MetricEntry::Type::kHistogram,
+                    static_cast<std::uint32_t>(histograms_.size() - 1)});
+  return static_cast<Handle>(histograms_.size() - 1);
+}
+
+void Registry::observe(Handle h, double v) {
+  HistogramState& hist = histograms_[h];
+  // First finite bound whose value is >= v; +Inf bucket when none.
+  const auto it = std::lower_bound(hist.bounds.begin(), hist.bounds.end(), v);
+  const auto bucket =
+      static_cast<std::size_t>(it - hist.bounds.begin());
+  hist.buckets[bucket] = saturating_add(hist.buckets[bucket], 1);
+  hist.min = hist.count > 0 ? std::min(hist.min, v) : v;
+  hist.max = hist.count > 0 ? std::max(hist.max, v) : v;
+  hist.count = saturating_add(hist.count, 1);
+  hist.sum += v;
+}
+
+void Registry::add_from(const Registry& other) {
+  AF_EXPECT(counters_.size() == other.counters_.size() &&
+                gauges_.size() == other.gauges_.size() &&
+                histograms_.size() == other.histograms_.size(),
+            "registry aggregation requires identical schemas");
+  for (std::size_t i = 0; i < counters_.size(); ++i) {
+    AF_EXPECT(counters_[i].name == other.counters_[i].name,
+              "registry aggregation requires identical schemas (counter '" +
+                  counters_[i].name + "')");
+    counters_[i].value =
+        saturating_add(counters_[i].value, other.counters_[i].value);
+  }
+  for (std::size_t i = 0; i < gauges_.size(); ++i) {
+    AF_EXPECT(gauges_[i].name == other.gauges_[i].name,
+              "registry aggregation requires identical schemas (gauge '" +
+                  gauges_[i].name + "')");
+    gauges_[i].value += other.gauges_[i].value;
+  }
+  for (std::size_t i = 0; i < histograms_.size(); ++i) {
+    HistogramState& dst = histograms_[i];
+    const HistogramState& src = other.histograms_[i];
+    AF_EXPECT(dst.name == src.name && dst.bounds == src.bounds,
+              "registry aggregation requires identical schemas (histogram '" +
+                  dst.name + "')");
+    if (src.count > 0) {
+      dst.min = dst.count > 0 ? std::min(dst.min, src.min) : src.min;
+      dst.max = dst.count > 0 ? std::max(dst.max, src.max) : src.max;
+    }
+    dst.count = saturating_add(dst.count, src.count);
+    dst.sum += src.sum;
+    for (std::size_t b = 0; b < dst.buckets.size(); ++b)
+      dst.buckets[b] = saturating_add(dst.buckets[b], src.buckets[b]);
+  }
+}
+
+void Registry::reset_values() {
+  for (auto& c : counters_) c.value = 0;
+  for (auto& g : gauges_) g.value = 0.0;
+  for (auto& h : histograms_) {
+    std::fill(h.buckets.begin(), h.buckets.end(), 0u);
+    h.count = 0;
+    h.sum = 0.0;
+    h.min = 0.0;
+    h.max = 0.0;
+  }
+}
+
+MetricsSnapshot Registry::snapshot() const {
+  MetricsSnapshot snap;
+  snap.entries.reserve(order_.size());
+  for (const Slot& slot : order_) {
+    MetricEntry e;
+    e.type = slot.type;
+    switch (slot.type) {
+      case MetricEntry::Type::kCounter: {
+        const CounterState& c = counters_[slot.index];
+        e.name = c.name;
+        e.help = c.help;
+        e.count = c.value;
+        break;
+      }
+      case MetricEntry::Type::kGauge: {
+        const GaugeState& g = gauges_[slot.index];
+        e.name = g.name;
+        e.help = g.help;
+        e.value = g.value;
+        break;
+      }
+      case MetricEntry::Type::kHistogram: {
+        const HistogramState& h = histograms_[slot.index];
+        e.name = h.name;
+        e.help = h.help;
+        e.count = h.count;
+        e.value = h.sum;
+        e.min = h.min;
+        e.max = h.max;
+        e.bounds = h.bounds;
+        e.buckets = h.buckets;
+        break;
+      }
+    }
+    snap.entries.push_back(std::move(e));
+  }
+  return snap;
+}
+
+}  // namespace airfinger::obs

@@ -1,0 +1,150 @@
+// Fixed-shape, allocation-free metrics registry.
+//
+// A Registry is built once (all counters/gauges/histograms registered at
+// construction time, which is the only moment it allocates) and then
+// recorded into through integer handles: `inc`, `set`, and `observe` are
+// array writes with no locks, no maps, and no heap traffic — safe on the
+// 0-allocs/frame serving hot path (DESIGN.md §11). Registries with the
+// same schema (same registration sequence) aggregate by index with
+// `add_from`, which is how MultiSessionHost folds N per-session registries
+// into one fleet view in deterministic session order.
+//
+// Counters saturate at UINT64_MAX instead of wrapping: a fleet aggregate
+// over long-lived sessions must never report a small number because one
+// lane overflowed.
+//
+// Histograms use log-spaced fixed bucket bounds chosen at registration
+// (geometric series from `least` to `most`): latency spans decades, so
+// uniform buckets would waste resolution where it matters. Observation is
+// a branchless-enough binary search over the precomputed bounds.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace airfinger::obs {
+
+/// Saturating add for metric counters (also used by core::HealthStats).
+inline std::uint64_t saturating_add(std::uint64_t a, std::uint64_t b) {
+  const std::uint64_t s = a + b;
+  return s < a ? std::numeric_limits<std::uint64_t>::max() : s;
+}
+
+/// Shape of one log-spaced histogram: `buckets` finite upper bounds in a
+/// geometric series from `least` to `most`, plus an implicit +Inf bucket.
+struct HistogramSpec {
+  double least = 100.0;       ///< First finite upper bound (e.g. 100 ns).
+  double most = 1e9;          ///< Last finite upper bound (e.g. 1 s in ns).
+  std::size_t buckets = 36;   ///< Finite bucket count (>= 2).
+};
+
+/// One metric's state captured by Registry::snapshot(). Counters carry
+/// `count`; gauges carry `value`; histograms carry count/sum/min/max plus
+/// the per-bucket (non-cumulative) tallies and their upper bounds.
+struct MetricEntry {
+  enum class Type { kCounter, kGauge, kHistogram };
+  Type type = Type::kCounter;
+  std::string name;
+  std::string help;
+  std::uint64_t count = 0;            ///< Counter value / histogram count.
+  double value = 0.0;                 ///< Gauge value / histogram sum.
+  double min = 0.0;                   ///< Histogram observed minimum.
+  double max = 0.0;                   ///< Histogram observed maximum.
+  std::vector<double> bounds;         ///< Histogram finite upper bounds.
+  std::vector<std::uint64_t> buckets; ///< bounds.size()+1 tallies (+Inf last).
+
+  bool operator==(const MetricEntry&) const = default;
+};
+
+/// A point-in-time copy of a registry (or an aggregate of several), ready
+/// for exposition (obs/exposition.hpp). Plain data; freely copyable.
+struct MetricsSnapshot {
+  std::vector<MetricEntry> entries;
+
+  /// Index-wise aggregation; schemas (name/type/bounds) must match.
+  void add_from(const MetricsSnapshot& other);
+
+  /// Entry lookup by name (nullptr when absent).
+  const MetricEntry* find(const std::string& name) const;
+
+  bool operator==(const MetricsSnapshot&) const = default;
+};
+
+/// The fixed-shape registry. Registration returns dense handles; the
+/// recording methods are bounds-checked array writes. Not thread-safe by
+/// design: each registry has exactly one writer (its Session), and
+/// aggregation reads happen between pump() rounds — the same single-writer
+/// discipline the rest of the per-session state already follows.
+class Registry {
+ public:
+  using Handle = std::uint32_t;
+
+  /// Registers a monotone counter. Only valid before the first snapshot.
+  Handle counter(std::string name, std::string help);
+  /// Registers a gauge (a settable instantaneous value).
+  Handle gauge(std::string name, std::string help);
+  /// Registers a log-spaced histogram.
+  Handle histogram(std::string name, std::string help, HistogramSpec spec);
+
+  // ---------------------------------------------------------- hot path
+  void inc(Handle h, std::uint64_t n = 1) {
+    auto& v = counters_[h].value;
+    v = saturating_add(v, n);
+  }
+  std::uint64_t counter_value(Handle h) const { return counters_[h].value; }
+
+  void set(Handle h, double v) { gauges_[h].value = v; }
+  double gauge_value(Handle h) const { return gauges_[h].value; }
+
+  /// Records one observation into a histogram: binary search over the
+  /// precomputed bounds, then four scalar updates. No allocation.
+  void observe(Handle h, double v);
+
+  // ------------------------------------------------------- aggregation
+  /// Adds every metric of `other` into this registry, index by index.
+  /// Requires an identical schema (registration sequence); throws
+  /// PreconditionError on any mismatch. Lock-free: plain reads of the
+  /// source and plain writes of the destination — callers serialize.
+  void add_from(const Registry& other);
+
+  /// Zeroes every counter, gauge, bucket, and histogram stat; the schema
+  /// (and all storage) is retained.
+  void reset_values();
+
+  /// Deep copy of the current values in registration order.
+  MetricsSnapshot snapshot() const;
+
+ private:
+  struct CounterState {
+    std::string name, help;
+    std::uint64_t value = 0;
+  };
+  struct GaugeState {
+    std::string name, help;
+    double value = 0.0;
+  };
+  struct HistogramState {
+    std::string name, help;
+    std::vector<double> bounds;          ///< Ascending finite upper bounds.
+    std::vector<std::uint64_t> buckets;  ///< bounds.size()+1 (+Inf last).
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+  };
+  /// Registration order across all three kinds, so snapshots list metrics
+  /// in the order the schema declared them.
+  struct Slot {
+    MetricEntry::Type type;
+    std::uint32_t index;
+  };
+
+  std::vector<CounterState> counters_;
+  std::vector<GaugeState> gauges_;
+  std::vector<HistogramState> histograms_;
+  std::vector<Slot> order_;
+};
+
+}  // namespace airfinger::obs

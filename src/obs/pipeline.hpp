@@ -1,0 +1,233 @@
+// Per-stream pipeline instrumentation: stage spans, structured pipeline
+// events, and the session metric schema over obs/metrics.hpp.
+//
+// One PipelineObservability lives inside every core::Session. It owns the
+// session's Clock, its fixed-shape metric Registry (frame/segment/health
+// counters plus one log-spaced nanosecond histogram per pipeline stage),
+// and a fixed-capacity ring of structured pipeline events (segment
+// open/close/reject with reason, quarantine transitions, emissions) with a
+// dropped-event counter. Everything is preallocated at construction: the
+// recording paths are allocation-free, preserving the hot path's
+// 0-allocs/frame invariant with instrumentation enabled.
+//
+// Stage timing is captured by RAII Span objects. When the build compiles
+// spans out (-DAF_OBS_SPANS=OFF → AF_OBS_SPANS_ENABLED 0), Span is an
+// empty type and the hot path carries zero clock reads; when compiled in,
+// a per-object runtime switch (`set_spans_enabled`) can still silence them,
+// and the per-frame stages are deterministically sampled 1-in-N
+// (`set_sample_every`, default 16) so steady-state clock reads stay within
+// the tracing overhead budget enforced by tools/run_bench.sh.
+// Observability is record-only either way: it never feeds back into any
+// decision, so emissions are bit-identical with tracing on or off.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <vector>
+
+#include "obs/clock.hpp"
+#include "obs/metrics.hpp"
+
+#ifndef AF_OBS_SPANS_ENABLED
+#define AF_OBS_SPANS_ENABLED 1
+#endif
+
+namespace airfinger::obs {
+
+/// The traced stages of the serving path (Session::push_frame and the
+/// bundle's decision core). kDecide brackets the whole decision; kFeatures,
+/// kForest, and kZebra are nested inside it (and kZebra also inside
+/// kProbe), so their times are included in their parent's.
+enum class Stage : std::uint8_t {
+  kIngest = 0,   ///< SBC update + history push + segmenter advance.
+  kTimingCache,  ///< Incremental open-segment timing advance.
+  kProbe,        ///< Early-direction probe (router + ZEBRA on open segment).
+  kDecide,       ///< Full decision core on a completed segment.
+  kFeatures,     ///< Feature-bank extraction (inside kDecide).
+  kForest,       ///< Compiled-forest inference (inside kDecide).
+  kZebra,        ///< ZEBRA tracking (inside kDecide or kProbe).
+};
+inline constexpr std::size_t kStageCount = 7;
+
+/// Stable lowercase stage name ("ingest", "timing_cache", ...).
+const char* stage_name(Stage stage);
+
+/// One structured pipeline event. Fixed-size POD so the ring never
+/// allocates; `describe` renders the deterministic text form used by
+/// tests and `af_inspect --stats`.
+struct PipelineEvent {
+  enum class Kind : std::uint8_t {
+    kSegmentOpen = 0,   ///< Segmenter opened a candidate segment.
+    kSegmentClose,      ///< Segment completed and was decided.
+    kSegmentReject,     ///< Segment discarded; detail = Reject reason.
+    kQuarantineEnter,   ///< Degraded mode engaged (detail unused).
+    kQuarantineExit,    ///< Recalibrated back to healthy.
+    kEmit,              ///< GestureEvent delivered; detail = its Type.
+  };
+  /// Why a segment was rejected (PipelineEvent::detail for kSegmentReject).
+  enum class Reject : std::uint8_t {
+    kTooShort = 0,      ///< Segmenter abandoned the open segment.
+    kFiltered,          ///< Interference filter called it non-gesture.
+    kQuarantined,       ///< Open segment dropped on quarantine entry.
+  };
+
+  std::uint64_t t_ns = 0;   ///< Clock timestamp at record time.
+  std::uint64_t frame = 0;  ///< Session frame count at record time.
+  std::uint64_t begin = 0;  ///< Segment begin (absolute), when applicable.
+  std::uint64_t end = 0;    ///< Segment end (absolute), when applicable.
+  Kind kind = Kind::kSegmentOpen;
+  std::uint8_t detail = 0;  ///< Kind-specific code (Reject / event type).
+
+  bool operator==(const PipelineEvent&) const = default;
+};
+
+/// Fixed-capacity overwrite-oldest ring of pipeline events. push() is two
+/// array writes; once full, each push overwrites the oldest event and the
+/// overwritten one counts as dropped.
+class EventRing {
+ public:
+  explicit EventRing(std::size_t capacity);
+
+  /// True when the event was stored without evicting an older one.
+  bool push(const PipelineEvent& event);
+
+  std::size_t capacity() const { return ring_.size(); }
+  std::size_t size() const { return size_; }
+  std::uint64_t dropped() const { return dropped_; }
+
+  /// Retained events, oldest first (allocates; not for the hot path).
+  std::vector<PipelineEvent> events() const;
+
+  void clear();
+
+ private:
+  std::vector<PipelineEvent> ring_;
+  std::size_t head_ = 0;  ///< Next write position.
+  std::size_t size_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+/// The per-session observability bundle: clock + registry + event ring,
+/// with the session metric schema pre-registered and handles cached.
+class PipelineObservability {
+ public:
+  explicit PipelineObservability(std::size_t ring_capacity = 256);
+
+  // ------------------------------------------------------ configuration
+  /// Replaces the time source (tests inject TickClock for bit-stable
+  /// traces). Resets nothing else.
+  void set_clock(std::unique_ptr<Clock> clock);
+  Clock& clock() { return *clock_; }
+
+  /// Runtime span switch (only meaningful when spans are compiled in).
+  void set_spans_enabled(bool enabled) { spans_enabled_ = enabled; }
+  bool spans_enabled() const { return AF_OBS_SPANS_ENABLED && spans_enabled_; }
+
+  /// Sampling rate for the per-frame stage spans (ingest / timing_cache /
+  /// probe): every n-th frame carries them, starting with the first. The
+  /// segment-level spans (decide and its children) are rare and always
+  /// record. n == 1 records every frame — offline replay tools use that;
+  /// the default keeps steady-state tracing inside the bench's overhead
+  /// budget. Restarts the phase so the next frame is sampled.
+  void set_sample_every(std::uint32_t n);
+  std::uint32_t sample_every() const { return sample_every_; }
+
+  /// Deterministic 1-in-`sample_every()` gate, advanced once per frame by
+  /// the session. Purely counter-based, so traces are bit-identical across
+  /// runs and thread counts.
+  bool sample_frame() {
+    if (--sample_countdown_ != 0) return false;
+    sample_countdown_ = sample_every_;
+    return true;
+  }
+
+  static constexpr std::uint32_t kDefaultSampleEvery = 16;
+
+  // ---------------------------------------------------------- recording
+  void observe_stage(Stage stage, std::uint64_t ns) {
+    registry_.observe(stage_hist_[static_cast<std::size_t>(stage)],
+                      static_cast<double>(ns));
+  }
+
+  /// Records one structured event; timestamps it from the clock and
+  /// counts ring evictions into af_trace_events_dropped_total.
+  void record(PipelineEvent::Kind kind, std::uint64_t frame,
+              std::uint64_t begin = 0, std::uint64_t end = 0,
+              std::uint8_t detail = 0);
+
+  // Cached counter handles, incremented directly by the session. Public
+  // on purpose: the session is the single writer and the handle table is
+  // the schema.
+  Registry::Handle frames;
+  Registry::Handle events_detect;
+  Registry::Handle events_scroll;
+  Registry::Handle events_direction;
+  Registry::Handle events_rejected;
+  Registry::Handle segments_opened;
+  Registry::Handle segments_closed;
+  Registry::Handle segments_abandoned;
+  Registry::Handle non_finite_samples;
+  Registry::Handle saturated_samples;
+  Registry::Handle stuck_samples;
+  Registry::Handle quarantined_frames;
+  Registry::Handle quarantines;
+  Registry::Handle recalibrations;
+  Registry::Handle segments_dropped;
+  Registry::Handle quarantined;  ///< Gauge: 1 while degraded.
+
+  Registry& registry() { return registry_; }
+  const Registry& registry() const { return registry_; }
+  const EventRing& ring() const { return ring_; }
+
+  /// Clears every metric value and the event ring (schema retained) —
+  /// Session::reset() semantics. The clock is untouched.
+  void reset_values();
+
+  /// Writes the retained events as deterministic text, one per line:
+  /// `t_ns=<..> frame=<..> <kind> [detail] [segment=<b>..<e>]`.
+  void dump_events(std::ostream& os) const;
+
+ private:
+  std::unique_ptr<Clock> clock_;
+  Registry registry_;
+  EventRing ring_;
+  std::array<Registry::Handle, kStageCount> stage_hist_{};
+  Registry::Handle trace_dropped_;
+  bool spans_enabled_ = true;
+  std::uint32_t sample_every_ = kDefaultSampleEvery;
+  std::uint32_t sample_countdown_ = 1;  ///< 1 ⇒ the next frame is sampled.
+};
+
+/// RAII stage timer. Construct with the owning component's observability
+/// (nullptr tolerated: the span is inert, which is how un-instrumented
+/// callers of the bundle's decision core skip tracing). Compiled out
+/// entirely under -DAF_OBS_SPANS=OFF.
+class Span {
+ public:
+#if AF_OBS_SPANS_ENABLED
+  Span(PipelineObservability* obs, Stage stage) : stage_(stage) {
+    if (obs && obs->spans_enabled()) {
+      obs_ = obs;
+      t0_ = obs->clock().now_ns();
+    }
+  }
+  ~Span() {
+    if (obs_) obs_->observe_stage(stage_, obs_->clock().now_ns() - t0_);
+  }
+#else
+  Span(PipelineObservability*, Stage) {}
+#endif
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+#if AF_OBS_SPANS_ENABLED
+  PipelineObservability* obs_ = nullptr;
+  std::uint64_t t0_ = 0;
+  Stage stage_;
+#endif
+};
+
+}  // namespace airfinger::obs

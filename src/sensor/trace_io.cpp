@@ -1,0 +1,91 @@
+#include "sensor/trace_io.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace airfinger::sensor {
+
+namespace {
+
+std::string hex(double v) {
+  char buffer[40];
+  std::snprintf(buffer, sizeof(buffer), "%a", v);
+  return buffer;
+}
+
+double parse_hex(const std::string& token) {
+  char* end = nullptr;
+  const double v = std::strtod(token.c_str(), &end);
+  AF_EXPECT(end != token.c_str() && *end == '\0',
+            "aftrace: malformed number '" + token + "'");
+  return v;
+}
+
+}  // namespace
+
+std::string serialize_trace(const MultiChannelTrace& trace) {
+  std::ostringstream os;
+  os << "aftrace 1\n";
+  os << "channels " << trace.channel_count() << "\n";
+  os << "sample_rate_hz " << hex(trace.sample_rate_hz()) << "\n";
+  os << "samples " << trace.sample_count() << "\n";
+  for (std::size_t i = 0; i < trace.sample_count(); ++i) {
+    for (std::size_t c = 0; c < trace.channel_count(); ++c) {
+      if (c) os << ' ';
+      os << hex(trace.channel(c)[i]);
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+MultiChannelTrace parse_trace(std::istream& is) {
+  std::string tag;
+  int version = 0;
+  is >> tag >> version;
+  AF_EXPECT(tag == "aftrace" && version == 1, "not an aftrace 1 file");
+  std::size_t channels = 0;
+  std::size_t samples = 0;
+  std::string rate_token;
+  is >> tag >> channels;
+  AF_EXPECT(tag == "channels" && channels >= 1, "malformed aftrace header");
+  is >> tag >> rate_token;
+  AF_EXPECT(tag == "sample_rate_hz", "malformed aftrace header");
+  is >> tag >> samples;
+  AF_EXPECT(tag == "samples" && is.good(), "malformed aftrace header");
+
+  MultiChannelTrace trace(channels, parse_hex(rate_token));
+  std::vector<double> frame(channels);
+  std::string token;
+  for (std::size_t i = 0; i < samples; ++i) {
+    for (std::size_t c = 0; c < channels; ++c) {
+      is >> token;
+      AF_EXPECT(!is.fail(), "aftrace truncated");
+      frame[c] = parse_hex(token);
+    }
+    trace.push_frame(frame);
+  }
+  return trace;
+}
+
+MultiChannelTrace load_trace_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  AF_EXPECT(static_cast<bool>(is), "cannot open trace file: " + path);
+  return parse_trace(is);
+}
+
+void save_trace_file(const std::string& path,
+                     const MultiChannelTrace& trace) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  AF_EXPECT(static_cast<bool>(os),
+            "cannot open trace file for writing: " + path);
+  os << serialize_trace(trace);
+  AF_EXPECT(static_cast<bool>(os), "short write to trace file: " + path);
+}
+
+}  // namespace airfinger::sensor

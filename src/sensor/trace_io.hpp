@@ -1,0 +1,36 @@
+// Shared `.aftrace` recording (de)serialization.
+//
+// The line-oriented hex-float trace format was introduced by the golden
+// regression suite (tests/golden/, DESIGN.md §12); this helper is the one
+// implementation of it, used by the tests, by `af_inspect --stats` replay,
+// and by anything else that needs to move recordings between processes.
+// Numbers are written with printf "%a" so every double round-trips
+// bit-exactly and diffs stay reviewable:
+//
+//   aftrace 1
+//   channels <n>
+//   sample_rate_hz <hex-float>
+//   samples <m>
+//   <hex-float> ... <hex-float>     (one line per frame, n values)
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "sensor/trace.hpp"
+
+namespace airfinger::sensor {
+
+/// Renders the trace in the `aftrace 1` text format (bit-exact).
+std::string serialize_trace(const MultiChannelTrace& trace);
+
+/// Parses an `aftrace 1` stream; throws PreconditionError on a malformed
+/// header, a bad number, or truncation.
+MultiChannelTrace parse_trace(std::istream& is);
+
+/// File wrappers (opened std::ios::binary so the hex-float text is
+/// byte-identical across platforms). Throw PreconditionError on I/O error.
+MultiChannelTrace load_trace_file(const std::string& path);
+void save_trace_file(const std::string& path, const MultiChannelTrace& trace);
+
+}  // namespace airfinger::sensor

@@ -27,6 +27,7 @@
 #include "common/error.hpp"
 #include "core/session.hpp"
 #include "core/trainer.hpp"
+#include "sensor/trace_io.hpp"
 #include "synth/dataset.hpp"
 
 #ifndef AF_GOLDEN_DIR
@@ -76,52 +77,8 @@ double parse_hex(const std::string& token) {
   return v;
 }
 
-// ------------------------------------------------ trace (de)serialization
-
-std::string serialize_trace(const sensor::MultiChannelTrace& trace) {
-  std::ostringstream os;
-  os << "aftrace 1\n";
-  os << "channels " << trace.channel_count() << "\n";
-  os << "sample_rate_hz " << hex(trace.sample_rate_hz()) << "\n";
-  os << "samples " << trace.sample_count() << "\n";
-  for (std::size_t i = 0; i < trace.sample_count(); ++i) {
-    for (std::size_t c = 0; c < trace.channel_count(); ++c) {
-      if (c) os << ' ';
-      os << hex(trace.channel(c)[i]);
-    }
-    os << "\n";
-  }
-  return os.str();
-}
-
-sensor::MultiChannelTrace parse_trace(std::istream& is) {
-  std::string tag;
-  int version = 0;
-  is >> tag >> version;
-  AF_EXPECT(tag == "aftrace" && version == 1, "not an aftrace 1 file");
-  std::size_t channels = 0;
-  std::size_t samples = 0;
-  std::string rate_token;
-  is >> tag >> channels;
-  AF_EXPECT(tag == "channels" && channels >= 1, "malformed aftrace header");
-  is >> tag >> rate_token;
-  AF_EXPECT(tag == "sample_rate_hz", "malformed aftrace header");
-  is >> tag >> samples;
-  AF_EXPECT(tag == "samples" && is.good(), "malformed aftrace header");
-
-  sensor::MultiChannelTrace trace(channels, parse_hex(rate_token));
-  std::vector<double> frame(channels);
-  std::string token;
-  for (std::size_t i = 0; i < samples; ++i) {
-    for (std::size_t c = 0; c < channels; ++c) {
-      is >> token;
-      AF_EXPECT(!is.fail(), "aftrace truncated");
-      frame[c] = parse_hex(token);
-    }
-    trace.push_frame(frame);
-  }
-  return trace;
-}
+// Trace (de)serialization lives in sensor/trace_io.hpp (shared with
+// af_inspect --stats); this file keeps only the event text format.
 
 // ------------------------------------------------ event serialization
 
@@ -221,7 +178,7 @@ TEST(GoldenReplay, CommittedTracesReplayToCommittedEventsExactly) {
       core::Session session(golden_bundle());
       const auto events = session.process_trace(traces[i]);
       spill(golden_path(kCases[i].name, ".aftrace"),
-            serialize_trace(traces[i]));
+            sensor::serialize_trace(traces[i]));
       spill(golden_path(kCases[i].name, ".afevents"),
             serialize_events(events));
     }
@@ -233,7 +190,7 @@ TEST(GoldenReplay, CommittedTracesReplayToCommittedEventsExactly) {
     SCOPED_TRACE(golden.name);
     std::istringstream trace_stream(
         slurp(golden_path(golden.name, ".aftrace")));
-    const sensor::MultiChannelTrace trace = parse_trace(trace_stream);
+    const sensor::MultiChannelTrace trace = sensor::parse_trace(trace_stream);
     ASSERT_GT(trace.sample_count(), 0u);
 
     core::Session session(golden_bundle());
@@ -248,16 +205,16 @@ TEST(GoldenReplay, CommittedTracesReplayToCommittedEventsExactly) {
 TEST(GoldenReplay, TraceSerializationRoundTripsBitExactly) {
   const auto traces = synthesize_golden_traces();
   for (const auto& trace : traces) {
-    const std::string bytes = serialize_trace(trace);
+    const std::string bytes = sensor::serialize_trace(trace);
     std::istringstream is(bytes);
-    const sensor::MultiChannelTrace back = parse_trace(is);
+    const sensor::MultiChannelTrace back = sensor::parse_trace(is);
     ASSERT_EQ(back.channel_count(), trace.channel_count());
     ASSERT_EQ(back.sample_count(), trace.sample_count());
     EXPECT_EQ(back.sample_rate_hz(), trace.sample_rate_hz());
     for (std::size_t c = 0; c < trace.channel_count(); ++c)
       for (std::size_t i = 0; i < trace.sample_count(); ++i)
         EXPECT_EQ(back.channel(c)[i], trace.channel(c)[i]);
-    EXPECT_EQ(serialize_trace(back), bytes);
+    EXPECT_EQ(sensor::serialize_trace(back), bytes);
   }
 }
 

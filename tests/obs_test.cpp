@@ -1,0 +1,330 @@
+// Unit tests for the observability layer (src/obs/, DESIGN.md §13):
+// saturating counters, the fixed-shape Registry and its index-wise
+// aggregation, log-spaced histograms, the deterministic TickClock, the
+// overwrite-oldest EventRing, both exposition round-trips, and the
+// MultiSessionHost health/metrics aggregates over mixed healthy and
+// quarantined lanes.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <vector>
+
+#include "common/error.hpp"
+#include "core/multi_session_host.hpp"
+#include "core/trainer.hpp"
+#include "obs/clock.hpp"
+#include "obs/exposition.hpp"
+#include "obs/metrics.hpp"
+#include "obs/pipeline.hpp"
+#include "synth/dataset.hpp"
+
+namespace airfinger {
+namespace {
+
+constexpr std::uint64_t kMax = std::numeric_limits<std::uint64_t>::max();
+
+// ------------------------------------------------- saturating arithmetic
+
+TEST(SaturatingAdd, ClampsInsteadOfWrapping) {
+  EXPECT_EQ(obs::saturating_add(2, 3), 5u);
+  EXPECT_EQ(obs::saturating_add(kMax, 0), kMax);
+  EXPECT_EQ(obs::saturating_add(kMax, 1), kMax);
+  EXPECT_EQ(obs::saturating_add(kMax - 1, 1), kMax);
+  EXPECT_EQ(obs::saturating_add(kMax, kMax), kMax);
+}
+
+TEST(HealthStats, AggregationSaturatesOnLargeCounts) {
+  core::HealthStats a;
+  a.frames = kMax - 10;
+  a.non_finite_samples = kMax;
+  a.quarantines = 7;
+  core::HealthStats b;
+  b.frames = 100;  // would wrap to 89 with plain addition
+  b.non_finite_samples = 1;
+  b.quarantines = 2;
+  a += b;
+  EXPECT_EQ(a.frames, kMax);
+  EXPECT_EQ(a.non_finite_samples, kMax);
+  EXPECT_EQ(a.quarantines, 9u);
+}
+
+// ---------------------------------------------------------------- registry
+
+TEST(Registry, CountersGaugesAndHistogramsRecord) {
+  obs::Registry reg;
+  const auto frames = reg.counter("frames_total", "frames");
+  const auto depth = reg.gauge("queue_depth", "depth");
+  const auto lat = reg.histogram("latency_ns", "latency",
+                                 {.least = 10.0, .most = 1e6, .buckets = 6});
+
+  reg.inc(frames);
+  reg.inc(frames, 4);
+  EXPECT_EQ(reg.counter_value(frames), 5u);
+  reg.inc(frames, kMax);  // saturates, never wraps
+  EXPECT_EQ(reg.counter_value(frames), kMax);
+
+  reg.set(depth, 3.5);
+  EXPECT_EQ(reg.gauge_value(depth), 3.5);
+
+  reg.observe(lat, 5.0);     // below first bound -> first bucket
+  reg.observe(lat, 2e6);     // above last bound  -> +Inf bucket
+  reg.observe(lat, 100.0);
+  const obs::MetricsSnapshot snap = reg.snapshot();
+  const obs::MetricEntry* e = snap.find("latency_ns");
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->type, obs::MetricEntry::Type::kHistogram);
+  EXPECT_EQ(e->count, 3u);
+  EXPECT_EQ(e->value, 5.0 + 2e6 + 100.0);  // sum
+  EXPECT_EQ(e->min, 5.0);
+  EXPECT_EQ(e->max, 2e6);
+  ASSERT_EQ(e->bounds.size(), 6u);
+  ASSERT_EQ(e->buckets.size(), 7u);
+  // Geometric bounds with both endpoints pinned exactly.
+  EXPECT_EQ(e->bounds.front(), 10.0);
+  EXPECT_EQ(e->bounds.back(), 1e6);
+  for (std::size_t i = 1; i < e->bounds.size(); ++i)
+    EXPECT_GT(e->bounds[i], e->bounds[i - 1]);
+  // Bounds are 10, 100, ..., 1e6 (ratio 10): 5.0 lands below the first
+  // bound, 100.0 exactly on the second (le semantics), 2e6 in +Inf.
+  EXPECT_EQ(e->buckets[0], 1u);
+  EXPECT_EQ(e->buckets[1], 1u);
+  std::uint64_t total = 0;
+  for (const auto b : e->buckets) total += b;
+  EXPECT_EQ(total, 3u);
+  EXPECT_EQ(e->buckets.back(), 1u);  // the 2e6 observation
+}
+
+TEST(Registry, AddFromAggregatesIndexWise) {
+  const auto build = [] {
+    obs::Registry reg;
+    reg.counter("a_total", "a");
+    reg.gauge("g", "g");
+    reg.histogram("h_ns", "h", {.least = 1.0, .most = 1e3, .buckets = 4});
+    return reg;
+  };
+  obs::Registry lhs = build();
+  obs::Registry rhs = build();
+  lhs.inc(0, 10);
+  rhs.inc(0, 5);
+  lhs.set(0, 1.0);
+  rhs.set(0, 2.0);
+  lhs.observe(0, 2.0);
+  rhs.observe(0, 500.0);
+
+  lhs.add_from(rhs);
+  const auto snap = lhs.snapshot();
+  EXPECT_EQ(snap.find("a_total")->count, 15u);
+  // Gauges aggregate by sum (af_quarantined over N lanes = degraded count).
+  EXPECT_EQ(snap.find("g")->value, 3.0);
+  const auto* h = snap.find("h_ns");
+  EXPECT_EQ(h->count, 2u);
+  EXPECT_EQ(h->value, 502.0);
+  EXPECT_EQ(h->min, 2.0);
+  EXPECT_EQ(h->max, 500.0);
+}
+
+TEST(Registry, AddFromRejectsSchemaMismatch) {
+  obs::Registry a;
+  a.counter("x_total", "x");
+  obs::Registry b;
+  b.counter("y_total", "y");
+  EXPECT_THROW(a.add_from(b), PreconditionError);
+
+  obs::Registry c;
+  c.gauge("x_total", "x");  // same name, different type
+  EXPECT_THROW(a.add_from(c), PreconditionError);
+}
+
+TEST(Registry, ResetValuesKeepsSchema) {
+  obs::Registry reg;
+  const auto c = reg.counter("c_total", "c");
+  const auto h = reg.histogram("h_ns", "h", {});
+  reg.inc(c, 9);
+  reg.observe(h, 1234.0);
+  reg.reset_values();
+  EXPECT_EQ(reg.counter_value(c), 0u);
+  const auto snap = reg.snapshot();
+  ASSERT_EQ(snap.entries.size(), 2u);
+  EXPECT_EQ(snap.find("h_ns")->count, 0u);
+  EXPECT_EQ(snap.find("h_ns")->value, 0.0);
+}
+
+// ------------------------------------------------------------------ clock
+
+TEST(TickClock, AdvancesDeterministically) {
+  obs::TickClock clock(250, 1000);
+  EXPECT_EQ(clock.now_ns(), 1000u);
+  EXPECT_EQ(clock.now_ns(), 1250u);
+  EXPECT_EQ(clock.now_ns(), 1500u);
+  obs::TickClock again(250, 1000);
+  EXPECT_EQ(again.now_ns(), 1000u);  // same sequence every construction
+}
+
+// ------------------------------------------------------------- event ring
+
+TEST(EventRing, OverwritesOldestAndCountsDrops) {
+  obs::EventRing ring(3);
+  obs::PipelineEvent e;
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    e.frame = i;
+    EXPECT_TRUE(ring.push(e));
+  }
+  EXPECT_EQ(ring.size(), 3u);
+  EXPECT_EQ(ring.dropped(), 0u);
+
+  e.frame = 3;
+  EXPECT_FALSE(ring.push(e));  // evicts frame 0
+  EXPECT_EQ(ring.dropped(), 1u);
+  const auto events = ring.events();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events.front().frame, 1u);  // oldest first
+  EXPECT_EQ(events.back().frame, 3u);
+
+  ring.clear();
+  EXPECT_EQ(ring.size(), 0u);
+  EXPECT_EQ(ring.dropped(), 0u);
+}
+
+// ------------------------------------------------------------- exposition
+
+obs::MetricsSnapshot sample_snapshot() {
+  obs::Registry reg;
+  const auto c = reg.counter("af_frames_total", "Frames seen");
+  const auto g = reg.gauge("af_quarantined", "Degraded flag");
+  const auto h = reg.histogram("af_stage_ingest_ns", "Ingest latency",
+                               {.least = 100.0, .most = 1e9, .buckets = 36});
+  reg.inc(c, 12345);
+  reg.set(g, 1.0);
+  reg.observe(h, 37.0);
+  reg.observe(h, 41250.5);
+  reg.observe(h, 2e9);
+  reg.observe(h, 0.1);
+  return reg.snapshot();
+}
+
+TEST(Exposition, JsonRoundTripsToFullSnapshotEquality) {
+  const obs::MetricsSnapshot snapshot = sample_snapshot();
+  const std::string json = obs::to_json(snapshot);
+  std::istringstream is(json);
+  const obs::MetricsSnapshot back = obs::parse_json(is);
+  EXPECT_EQ(back, snapshot);  // bit-exact, min/max included
+}
+
+TEST(Exposition, PrometheusWriteParseWriteIsByteStable) {
+  const obs::MetricsSnapshot snapshot = sample_snapshot();
+  const std::string text = obs::to_prometheus(snapshot);
+  std::istringstream is(text);
+  const obs::MetricsSnapshot back = obs::parse_prometheus(is);
+  // The exposition format has no histogram min/max field, so the round
+  // trip contract is byte-stability of the text, not snapshot equality.
+  EXPECT_EQ(obs::to_prometheus(back), text);
+  // Everything the format does carry must survive exactly.
+  EXPECT_EQ(back.find("af_frames_total")->count, 12345u);
+  EXPECT_EQ(back.find("af_quarantined")->value, 1.0);
+  const auto* h = back.find("af_stage_ingest_ns");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count, 4u);
+  EXPECT_EQ(h->value, snapshot.find("af_stage_ingest_ns")->value);
+  EXPECT_EQ(h->buckets, snapshot.find("af_stage_ingest_ns")->buckets);
+}
+
+TEST(Exposition, HistogramQuantileClampsToObservedRange) {
+  obs::Registry reg;
+  const auto h = reg.histogram("h_ns", "h",
+                               {.least = 10.0, .most = 1e6, .buckets = 12});
+  for (int i = 0; i < 100; ++i) reg.observe(h, 1000.0);
+  const auto snap = reg.snapshot();
+  const auto* e = snap.find("h_ns");
+  EXPECT_EQ(obs::histogram_quantile(*e, 0.0), 1000.0);
+  EXPECT_EQ(obs::histogram_quantile(*e, 1.0), 1000.0);
+  const double p50 = obs::histogram_quantile(*e, 0.5);
+  EXPECT_GE(p50, 1000.0);
+  EXPECT_LE(p50, 1000.0);
+
+  obs::MetricEntry empty;
+  empty.type = obs::MetricEntry::Type::kHistogram;
+  EXPECT_EQ(obs::histogram_quantile(empty, 0.5), 0.0);
+}
+
+// ------------------------------------------- host aggregation (satellite)
+
+/// Small shared bundle (same scale as the golden-replay reference).
+const std::shared_ptr<const core::ModelBundle>& test_bundle() {
+  static const std::shared_ptr<const core::ModelBundle> bundle = [] {
+    core::TrainerConfig config;
+    config.users = 2;
+    config.sessions = 1;
+    config.repetitions = 3;
+    config.non_gesture_repetitions = 3;
+    config.seed = 11;
+    return core::build_bundle(config);
+  }();
+  return bundle;
+}
+
+TEST(HostAggregation, HealthSumsQuarantinedAndHealthyLanes) {
+  core::FaultPolicy policy;
+  policy.enabled = true;
+  policy.stuck_run_limit = 16;
+  policy.recovery_frames = 32;
+
+  core::MultiSessionHost host(test_bundle(), 2, policy);
+  const std::size_t channels = test_bundle()->config().channels;
+
+  // Lane 0: a stuck stream (bit-identical frames beyond the run limit)
+  // that must quarantine. Lane 1: clean, varying samples.
+  std::vector<double> stuck(channels, 0.25);
+  std::vector<double> clean(channels);
+  for (std::size_t f = 0; f < 200; ++f) {
+    host.feed(0, stuck);
+    for (std::size_t c = 0; c < channels; ++c)
+      clean[c] = 0.01 * std::sin(0.37 * static_cast<double>(f + c));
+    host.feed(1, clean);
+  }
+  host.pump();
+  host.finish();
+
+  const core::HealthStats health0 = host.session(0).health();
+  const core::HealthStats health1 = host.session(1).health();
+  EXPECT_GT(health0.quarantines, 0u);
+  EXPECT_GT(health0.stuck_samples, 0u);
+  EXPECT_TRUE(health1.clean());
+  EXPECT_EQ(health1.frames, 200u);
+
+  core::HealthStats expected = health0;
+  expected += health1;
+  EXPECT_EQ(host.aggregate_health(), expected);
+}
+
+TEST(HostAggregation, MetricsMergeLanesAndAppendHostSeries) {
+  core::MultiSessionHost host(test_bundle(), 3);
+  const std::size_t channels = test_bundle()->config().channels;
+  std::vector<double> frame(channels, 0.0);
+  for (std::size_t f = 0; f < 50; ++f) {
+    for (std::size_t c = 0; c < channels; ++c)
+      frame[c] = 0.01 * std::sin(0.29 * static_cast<double>(3 * f + c));
+    host.feed(0, frame);
+    if (f % 2 == 0) host.feed(1, frame);
+  }
+  host.pump();
+  host.finish();
+
+  const obs::MetricsSnapshot total = host.aggregate_metrics();
+  EXPECT_EQ(total.find("af_frames_total")->count, 75u);  // 50 + 25 + 0
+  EXPECT_EQ(total.find("af_host_sessions")->value, 3.0);
+  EXPECT_EQ(total.find("af_host_faulted_sessions")->value, 0.0);
+  EXPECT_EQ(total.find("af_host_frames_processed_total")->count, 75u);
+  EXPECT_EQ(total.find("af_host_dropped_frames_total")->count, 0u);
+  ASSERT_NE(total.find("af_bundle_load_seconds"), nullptr);
+  // In-process bundles record no load time.
+  EXPECT_EQ(total.find("af_bundle_load_seconds")->value, 0.0);
+  // The merged snapshot must expose cleanly in both formats.
+  EXPECT_FALSE(obs::to_prometheus(total).empty());
+  std::istringstream is(obs::to_json(total));
+  EXPECT_EQ(obs::parse_json(is), total);
+}
+
+}  // namespace
+}  // namespace airfinger

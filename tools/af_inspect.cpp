@@ -1,19 +1,31 @@
 // af_inspect — show what a saved model artifact contains and learned.
 //
 //   af_inspect --model models.af        # afbundle or legacy recognizer
+//   af_inspect --model models.af --stats --trace rec.aftrace
 //
 // The format is sniffed from the header: an `afbundle` artifact prints its
 // version, configuration summary, and filter block in addition to the
 // recognizer's selected features; a legacy `af_recognizer` file prints the
 // feature table only. Exits non-zero on any parse failure.
+//
+// With --stats, an `.aftrace` recording (sensor/trace_io.hpp) is replayed
+// through one Session over the bundle under a deterministic TickClock
+// (--tick-ns per clock read), then the session's metric registry and
+// structured pipeline-event log are printed — the same numbers a serving
+// host would export, reproducible byte-for-byte across runs (DESIGN.md
+// §13). --format selects prometheus (default) or json for the metrics.
 #include <algorithm>
 #include <fstream>
 #include <iostream>
+#include <memory>
 
 #include "common/cli.hpp"
 #include "common/error.hpp"
 #include "common/table.hpp"
 #include "core/model_bundle.hpp"
+#include "core/session.hpp"
+#include "obs/exposition.hpp"
+#include "sensor/trace_io.hpp"
 
 using namespace airfinger;
 
@@ -63,16 +75,68 @@ void print_bundle(const std::string& path,
   print_feature_table(bundle.recognizer());
 }
 
+/// --stats: replay a recording through one instrumented Session and print
+/// the pipeline metrics and event log the run produced.
+void print_stats(const std::shared_ptr<const core::ModelBundle>& bundle,
+                 const std::string& trace_path, std::uint64_t tick_ns,
+                 const std::string& format) {
+  AF_EXPECT(format == "prometheus" || format == "json",
+            "--format must be prometheus or json");
+  const sensor::MultiChannelTrace trace =
+      sensor::load_trace_file(trace_path);
+  core::Session session(bundle);
+  // Deterministic virtual time: every clock read advances tick_ns, so the
+  // emitted spans and event timestamps are identical across runs/machines.
+  session.observability().set_clock(
+      std::make_unique<obs::TickClock>(tick_ns));
+  // Offline replay: trace every frame rather than the sampled default.
+  session.observability().set_sample_every(1);
+  const auto events = session.process_trace(trace);
+
+  std::cout << "replayed " << trace.sample_count() << " frames ("
+            << trace.channel_count() << " channels) -> " << events.size()
+            << " events; bundle load "
+            << static_cast<double>(bundle->load_ns()) * 1e-6 << " ms\n";
+  std::cout << "\n# metrics (" << format << ")\n";
+  const obs::MetricsSnapshot snapshot =
+      session.observability().registry().snapshot();
+  if (format == "json")
+    obs::write_json(std::cout, snapshot);
+  else
+    obs::write_prometheus(std::cout, snapshot);
+  std::cout << "\n# pipeline events (oldest first, ring capacity "
+            << session.observability().ring().capacity() << ")\n";
+  session.observability().dump_events(std::cout);
+}
+
 int run(int argc, char** argv) {
   common::Cli cli("af_inspect",
                   "inspect a saved model bundle or legacy recognizer");
   cli.add_flag("model", "models.af",
                "model file (afbundle or legacy af_recognizer format)");
+  cli.add_flag("stats", "false",
+               "replay --trace through a Session and print its metrics");
+  cli.add_flag("trace", "", "aftrace recording to replay (with --stats)");
+  cli.add_flag("tick-ns", "1000",
+               "deterministic clock step per read in ns (with --stats)");
+  cli.add_flag("format", "prometheus",
+               "metrics output format: prometheus or json (with --stats)");
   if (!cli.parse(argc, argv)) return 0;
 
   const std::string path = cli.get("model");
   std::ifstream in(path, std::ios::binary);
   AF_EXPECT(static_cast<bool>(in), "cannot open " + path);
+
+  if (cli.get_bool("stats")) {
+    AF_EXPECT(core::ModelBundle::sniff_bundle(in),
+              "--stats requires an afbundle artifact");
+    AF_EXPECT(!cli.get("trace").empty(),
+              "--stats requires --trace <file.aftrace>");
+    print_stats(core::ModelBundle::load(in), cli.get("trace"),
+                static_cast<std::uint64_t>(cli.get_int("tick-ns")),
+                cli.get("format"));
+    return 0;
+  }
 
   if (core::ModelBundle::sniff_bundle(in)) {
     print_bundle(path, *core::ModelBundle::load(in));

@@ -1,0 +1,149 @@
+// af_stats — host-aggregated pipeline metrics for a multi-stream run.
+//
+//   af_stats                         # 4 synthesized streams, small bundle
+//   af_stats --model models.af --streams 8 --format json
+//
+// Exercises the production serving shape end-to-end: one ModelBundle
+// (loaded from --model, or trained in-process at interactive scale when the
+// flag is empty), a MultiSessionHost with one Session per stream, and a
+// round-robin fan-out of synthesized gesture streams. After the run the
+// host's aggregate_metrics() snapshot — every session's registry merged in
+// deterministic lane order plus the host-level series — is written in the
+// requested exposition format (DESIGN.md §13).
+//
+// Sessions run under a deterministic TickClock by default (--tick-ns per
+// clock read), so the full output is byte-identical across runs, machines,
+// and AF_THREADS settings; pass --tick-ns 0 to time with the real
+// monotonic clock instead.
+#include <iostream>
+#include <memory>
+
+#include "common/cli.hpp"
+#include "common/error.hpp"
+#include "common/parallel.hpp"
+#include "common/table.hpp"
+#include "core/multi_session_host.hpp"
+#include "core/trainer.hpp"
+#include "obs/exposition.hpp"
+#include "synth/dataset.hpp"
+
+using namespace airfinger;
+
+namespace {
+
+std::shared_ptr<const core::ModelBundle> obtain_bundle(
+    const std::string& path, std::uint64_t seed) {
+  if (!path.empty()) return core::ModelBundle::load_file(path);
+  core::TrainerConfig trainer;
+  trainer.users = 2;
+  trainer.sessions = 1;
+  trainer.repetitions = 3;
+  trainer.non_gesture_repetitions = 3;
+  trainer.seed = seed;
+  return core::build_bundle(trainer);
+}
+
+/// Human-oriented view: one row per metric, histograms summarized by
+/// count/p50/p99 instead of their full bucket vectors.
+void print_table(const obs::MetricsSnapshot& snapshot) {
+  common::Table table({"metric", "value", "p50", "p99"});
+  for (const auto& e : snapshot.entries) {
+    switch (e.type) {
+      case obs::MetricEntry::Type::kCounter:
+        table.add_row({e.name, std::to_string(e.count), "", ""});
+        break;
+      case obs::MetricEntry::Type::kGauge:
+        table.add_row({e.name, std::to_string(e.value), "", ""});
+        break;
+      case obs::MetricEntry::Type::kHistogram:
+        table.add_row(
+            {e.name, std::to_string(e.count) + " obs",
+             std::to_string(obs::histogram_quantile(e, 0.50)),
+             std::to_string(obs::histogram_quantile(e, 0.99))});
+        break;
+    }
+  }
+  table.print(std::cout);
+}
+
+int run(int argc, char** argv) {
+  common::Cli cli("af_stats",
+                  "dump host-aggregated pipeline metrics for a "
+                  "multi-stream run");
+  cli.add_flag("model", "",
+               "afbundle artifact to serve (empty: train a small "
+               "reference bundle in-process)");
+  cli.add_flag("streams", "4", "concurrent simulated streams");
+  cli.add_flag("turn", "64", "frames fanned to each stream per turn");
+  cli.add_flag("seed", "11", "master random seed for synthesis/training");
+  cli.add_flag("tick-ns", "1000",
+               "deterministic clock step per read in ns (0: real clock)");
+  cli.add_flag("format", "prometheus",
+               "output format: prometheus, json, or table");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const std::string format = cli.get("format");
+  AF_EXPECT(format == "prometheus" || format == "json" || format == "table",
+            "--format must be prometheus, json, or table");
+  const auto streams = static_cast<std::size_t>(cli.get_int("streams"));
+  AF_EXPECT(streams >= 1, "--streams must be >= 1");
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  const auto tick_ns = static_cast<std::uint64_t>(cli.get_int("tick-ns"));
+
+  const auto bundle = obtain_bundle(cli.get("model"), seed);
+
+  // One synthesized gesture stream per lane, seeded apart so the lanes are
+  // out of phase like independent wearers.
+  const std::vector<synth::MotionKind> mix{
+      synth::MotionKind::kCircle,   synth::MotionKind::kClick,
+      synth::MotionKind::kScrollUp, synth::MotionKind::kScrollDown,
+  };
+  std::vector<sensor::MultiChannelTrace> traces;
+  traces.reserve(streams);
+  for (std::size_t s = 0; s < streams; ++s) {
+    synth::CollectionConfig config;
+    config.users = 1;
+    config.seed = seed ^ (0x5747 + s);
+    traces.push_back(
+        synth::make_gesture_stream(config, mix, config.seed).trace);
+  }
+
+  core::MultiSessionHost host(bundle, streams);
+  for (std::size_t s = 0; s < streams; ++s) {
+    auto& obs = host.mutable_session(s).observability();
+    // Offline analysis: trace every frame rather than the serving path's
+    // sampled default.
+    obs.set_sample_every(1);
+    if (tick_ns > 0)
+      obs.set_clock(std::make_unique<obs::TickClock>(tick_ns));
+  }
+
+  const auto events =
+      host.run_round_robin(traces,
+                           static_cast<std::size_t>(cli.get_int("turn")));
+
+  std::cerr << "af_stats: " << streams << " streams, "
+            << host.frames_processed() << " frames, " << events.size()
+            << " events over " << common::resolve_thread_count()
+            << " thread(s)\n";
+
+  const obs::MetricsSnapshot snapshot = host.aggregate_metrics();
+  if (format == "json")
+    obs::write_json(std::cout, snapshot);
+  else if (format == "table")
+    print_table(snapshot);
+  else
+    obs::write_prometheus(std::cout, snapshot);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const airfinger::PreconditionError& e) {
+    std::cerr << "af_stats: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -1,14 +1,30 @@
 #!/usr/bin/env bash
 # Builds the Release benchmark targets and refreshes the tracked inference
 # baseline: runs bench_inference (frames/sec, p50/p99 latency, allocations
-# per frame via the counting allocator hook) and bench_host_scaling, and
-# writes BENCH_inference.json at the repository root with the schema
-#   {frames_per_sec, p50_us, p99_us, allocs_per_frame, threads, ...}
+# per frame via the counting allocator hook, per-stage latency breakdown
+# from the observability spans) and bench_host_scaling, and writes
+# BENCH_inference.json at the repository root with the schema
+#   {frames_per_sec, p50_us, p99_us, allocs_per_frame, stages, ...}
 #
-# Usage: tools/run_bench.sh [--smoke] [build-dir]   (default: build-bench)
+# Usage: tools/run_bench.sh [--smoke] [build-dir]   (default:
+# build/aux/bench — see the canonical build-dir layout in README.md;
+# auxiliary trees live under build/aux/ so they can never collide with the
+# CTestTestfile.cmake the tier-1 tree writes for same-named source dirs)
 #   --smoke   tiny configuration for CI gating (run_checks.sh): verifies the
-#             benches build and run; writes the report to a temp file so the
-#             tracked baseline is not overwritten by an unrepresentative run.
+#             benches build and run and that the hot path stays at
+#             0 allocs/frame with spans enabled; writes the report to a temp
+#             file so the tracked baseline is not overwritten by an
+#             unrepresentative run.
+#
+# The full (non-smoke) run additionally enforces the observability overhead
+# budget: a second tree is built with -DAF_OBS_SPANS=OFF and the
+# instrumented build must reach at least (1 - AF_OBS_OVERHEAD_TOL) of its
+# frames/sec (default tolerance 0.03 = 3%). Each build is benchmarked
+# AF_BENCH_REPEATS times (default 3) and the best run represents it: a
+# single run's frames/sec swings by double-digit percentages when the
+# machine hiccups (one preempted probe inflates the tail), while the best
+# of a few runs converges on the build's true capability — a real
+# instrumentation tax shows up in every run, so the guard still catches it.
 #
 # BASELINE_FPS embeds the single-thread frames/sec of the path being
 # compared against (default: the pre-compiled-forest hot path measured on
@@ -21,10 +37,28 @@ if [[ "${1:-}" == "--smoke" ]]; then
   SMOKE=1
   shift
 fi
-BUILD="${1:-${ROOT}/build-bench}"
+BUILD="${1:-${ROOT}/build/aux/bench}"
 BASELINE_FPS="${BASELINE_FPS:-34467.7}"
+OVERHEAD_TOL="${AF_OBS_OVERHEAD_TOL:-0.03}"
+REPEATS="${AF_BENCH_REPEATS:-3}"
 
-cmake -B "${BUILD}" -S "${ROOT}" -DCMAKE_BUILD_TYPE=Release
+# Pulls a scalar field out of the bench's flat JSON report.
+json_field() {
+  sed -n "s/^  \"$2\": \([0-9eE.+-]*\),*$/\1/p" "$1" | head -n 1
+}
+
+# Fails unless the report says the measured window allocated nothing.
+check_zero_allocs() {
+  local allocs
+  allocs="$(json_field "$1" allocs_per_frame)"
+  if [[ -z "${allocs}" ]] || ! awk -v a="${allocs}" 'BEGIN{exit !(a == 0)}'; then
+    echo "run_bench: FAIL — allocs_per_frame=${allocs:-missing} (expected 0)" >&2
+    exit 1
+  fi
+  echo "run_bench: allocs_per_frame=0 confirmed (spans enabled)"
+}
+
+cmake -B "${BUILD}" -S "${ROOT}" -DCMAKE_BUILD_TYPE=Release -DAF_OBS_SPANS=ON
 cmake --build "${BUILD}" -j --target bench_inference bench_host_scaling
 
 if [[ "${SMOKE}" == 1 ]]; then
@@ -34,11 +68,53 @@ if [[ "${SMOKE}" == 1 ]]; then
     --baseline-fps "${BASELINE_FPS}" --out "${OUT}"
   "${BUILD}/bench/bench_host_scaling" --streams 2 --rounds 1 \
     --out "${HOST_OUT}"
+  check_zero_allocs "${OUT}"
   echo "run_bench: smoke OK (report at ${OUT}, tracked baseline untouched)"
   exit 0
 fi
 
-"${BUILD}/bench/bench_inference" --passes 4 --streams 16 \
-  --baseline-fps "${BASELINE_FPS}" --out "${ROOT}/BENCH_inference.json"
+# Runs the given bench binary REPEATS times and leaves the fastest run's
+# report at $2 (its frames/sec in BEST_FPS).
+BEST_FPS=""
+best_of() {
+  local bin="$1" keep="$2" out fps
+  BEST_FPS=""
+  for ((i = 1; i <= REPEATS; ++i)); do
+    out="$(mktemp /tmp/BENCH_inference.run.XXXXXX.json)"
+    "${bin}" --passes 4 --streams 16 \
+      --baseline-fps "${BASELINE_FPS}" --out "${out}"
+    fps="$(json_field "${out}" frames_per_sec)"
+    if [[ -z "${BEST_FPS}" ]] ||
+        awk -v f="${fps}" -v b="${BEST_FPS}" 'BEGIN{exit !(f > b)}'; then
+      BEST_FPS="${fps}"
+      cp "${out}" "${keep}"
+    fi
+    rm -f "${out}"
+  done
+}
+
+best_of "${BUILD}/bench/bench_inference" "${ROOT}/BENCH_inference.json"
+FPS_ON="${BEST_FPS}"
 "${BUILD}/bench/bench_host_scaling"
+check_zero_allocs "${ROOT}/BENCH_inference.json"
+
+echo "== observability overhead guard (tolerance ${OVERHEAD_TOL}, best of ${REPEATS}) =="
+NOSPANS_BUILD="${BUILD}-nospans"
+NOSPANS_OUT="$(mktemp /tmp/BENCH_inference.nospans.XXXXXX.json)"
+cmake -B "${NOSPANS_BUILD}" -S "${ROOT}" -DCMAKE_BUILD_TYPE=Release \
+  -DAF_OBS_SPANS=OFF
+cmake --build "${NOSPANS_BUILD}" -j --target bench_inference
+best_of "${NOSPANS_BUILD}/bench/bench_inference" "${NOSPANS_OUT}"
+FPS_OFF="${BEST_FPS}"
+if [[ -z "${FPS_ON}" || -z "${FPS_OFF}" ]]; then
+  echo "run_bench: FAIL — could not read frames_per_sec from the reports" >&2
+  exit 1
+fi
+if ! awk -v on="${FPS_ON}" -v off="${FPS_OFF}" -v tol="${OVERHEAD_TOL}" \
+    'BEGIN{exit !(on >= off * (1 - tol))}'; then
+  echo "run_bench: FAIL — instrumented ${FPS_ON} fps vs compiled-out ${FPS_OFF} fps exceeds the ${OVERHEAD_TOL} overhead budget" >&2
+  exit 1
+fi
+awk -v on="${FPS_ON}" -v off="${FPS_OFF}" \
+  'BEGIN{printf "run_bench: span overhead %.2f%% (instrumented %s fps, compiled-out %s fps) within budget\n", (1 - on / off) * 100, on, off}'
 echo "run_bench: wrote ${ROOT}/BENCH_inference.json"

@@ -2,11 +2,19 @@
 # Full verification gauntlet, CI-runnable: exits non-zero on any failure.
 #
 #   1. tier-1: standard build + full ctest suite
-#   2. asan:   ASan/UBSan build of the model/session/concurrency suites
-#   3. tsan:   tools/run_tsan.sh (ThreadSanitizer, multi-thread pool)
+#   2. observability: the instrumentation determinism/aggregation suites
+#   3. asan:   ASan/UBSan build of the model/session/concurrency suites
+#   4. bench:  hot-path microbenchmark smoke (incl. 0-allocs/frame check)
+#   5. tsan:   tools/run_tsan.sh (ThreadSanitizer, multi-thread pool)
 #
 # Usage: tools/run_checks.sh [build-dir]   (default: build)
-# Sanitizer builds go to <build-dir>-asan / build-tsan.
+# Canonical build-dir layout (README.md): the tier-1 tree lives at
+# <build-dir> and every auxiliary tree nests under <build-dir>/aux
+# (<build-dir>/aux/asan, /aux/tsan, /aux/bench), so one ignored root holds
+# all generated trees. The aux/ level is load-bearing: the tier-1 tree
+# writes a CTestTestfile.cmake for every source subdir (bench/, tests/,
+# ...), so a nested full configure at e.g. <build-dir>/bench would
+# overwrite it and leak the auxiliary tree's tests into tier-1 ctest.
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
@@ -20,24 +28,29 @@ ctest --test-dir "${BUILD}" --output-on-failure -j "$(nproc)"
 echo "== robustness: fault-injection + fuzz + golden-replay suites =="
 ctest --test-dir "${BUILD}" --output-on-failure -L robustness -j "$(nproc)"
 
+echo "== observability: metrics/tracing determinism suites =="
+ctest --test-dir "${BUILD}" --output-on-failure -L observability -j "$(nproc)"
+
 echo "== asan/ubsan: model + session + concurrency + robustness suites =="
-ASAN_BUILD="${BUILD}-asan"
+ASAN_BUILD="${BUILD}/aux/asan"
 cmake -B "${ASAN_BUILD}" -S "${ROOT}" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DAF_SANITIZE=address,undefined
 cmake --build "${ASAN_BUILD}" -j \
-  --target bundle_test serialize_test core_test parallel_test compiled_forest_test fault_injection_test
+  --target bundle_test serialize_test core_test parallel_test compiled_forest_test fault_injection_test obs_test obs_pipeline_test
 "${ASAN_BUILD}/tests/bundle_test"
 "${ASAN_BUILD}/tests/serialize_test"
 "${ASAN_BUILD}/tests/core_test"
 "${ASAN_BUILD}/tests/parallel_test"
 "${ASAN_BUILD}/tests/compiled_forest_test"
 "${ASAN_BUILD}/tests/fault_injection_test"
+"${ASAN_BUILD}/tests/obs_test"
+"${ASAN_BUILD}/tests/obs_pipeline_test"
 
 echo "== bench smoke: hot-path microbenchmark builds and runs =="
-"${ROOT}/tools/run_bench.sh" --smoke "${BUILD}-bench"
+"${ROOT}/tools/run_bench.sh" --smoke "${BUILD}/aux/bench"
 
 echo "== tsan: race-check the concurrency contract =="
-"${ROOT}/tools/run_tsan.sh"
+"${ROOT}/tools/run_tsan.sh" "${BUILD}/aux/tsan"
 
 echo "run_checks: all gates clean"

@@ -3,17 +3,18 @@
 # the thread-pool + core suites with a multi-thread pool. CI-runnable:
 # exits non-zero on any data race or test failure.
 #
-# Usage: tools/run_tsan.sh [build-dir]   (default: build-tsan)
+# Usage: tools/run_tsan.sh [build-dir]   (default: build/aux/tsan — see
+# the canonical build-dir layout in README.md)
 # AF_THREADS controls the pool width under test (default 4).
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
-BUILD="${1:-${ROOT}/build-tsan}"
+BUILD="${1:-${ROOT}/build/aux/tsan}"
 
 cmake -B "${BUILD}" -S "${ROOT}" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DAF_SANITIZE=thread
-cmake --build "${BUILD}" -j --target parallel_test determinism_test core_test bundle_test compiled_forest_test fault_injection_test
+cmake --build "${BUILD}" -j --target parallel_test determinism_test core_test bundle_test compiled_forest_test fault_injection_test obs_test obs_pipeline_test
 
 export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1 second_deadlock_stack=1}"
 export AF_THREADS="${AF_THREADS:-4}"
@@ -24,5 +25,9 @@ export AF_THREADS="${AF_THREADS:-4}"
 "${BUILD}/tests/bundle_test"
 "${BUILD}/tests/compiled_forest_test"
 "${BUILD}/tests/fault_injection_test"
+# Observability: per-session registry writes + host-side aggregation must
+# be race-free at a multi-thread pool (the single-writer contract).
+"${BUILD}/tests/obs_test"
+"${BUILD}/tests/obs_pipeline_test"
 
 echo "tsan: all suites clean (AF_THREADS=${AF_THREADS})"
