@@ -199,6 +199,9 @@ int main(int argc, char** argv) {
   cli.add_flag("passes", "4", "timed full-trace replays per measurement");
   cli.add_flag("streams", "16", "concurrent sessions in the host sweep");
   cli.add_flag("turn", "64", "frames fanned to each stream per host turn");
+  cli.add_flag("big-streams", "0",
+               "sessions in the 10k-scale host sweep (0 = skip it)");
+  cli.add_flag("big-frames", "512", "frames fed per big-sweep session");
   cli.add_flag("baseline-fps", "0",
                "single-thread frames/sec of the path being compared "
                "against (0 = no comparison recorded)");
@@ -211,6 +214,10 @@ int main(int argc, char** argv) {
   const auto passes = static_cast<int>(cli.get_int("passes"));
   const auto streams = static_cast<std::size_t>(cli.get_int("streams"));
   const auto turn = static_cast<std::size_t>(cli.get_int("turn"));
+  const auto big_streams =
+      static_cast<std::size_t>(cli.get_int("big-streams"));
+  const auto big_frames =
+      static_cast<std::size_t>(cli.get_int("big-frames"));
   const double baseline_fps = cli.get_double("baseline-fps");
 
   std::cout << "training the shared bundle...\n";
@@ -282,6 +289,54 @@ int main(int argc, char** argv) {
               << " threads: " << host_fps.back() << " frames/s\n";
   }
 
+  // 10k-scale sweep (opt-in: --big-streams 10000): lanes reuse a small
+  // pool of distinct traces and each receives a bounded slice, fed in
+  // interleaved bursts while the shard workers classify concurrently.
+  std::vector<double> big_fps;
+  if (big_streams > 0) {
+    constexpr std::size_t kBigPool = 32;
+    std::vector<sensor::MultiChannelTrace> big_traces;
+    for (std::size_t s = 0; s < kBigPool; ++s) {
+      synth::CollectionConfig config;
+      config.users = 1;
+      config.seed = args->seed ^ (0xB16000 + s);
+      big_traces.push_back(
+          synth::make_gesture_stream(config, mix, config.seed).trace);
+    }
+    const std::size_t channels = bundle->config().channels;
+    std::vector<double> frame(channels);
+    for (std::size_t shards : counts) {
+      core::HostConfig host_config;
+      host_config.shards = shards;
+      core::MultiSessionHost host(bundle, big_streams,
+                                  bundle->config().fault_policy,
+                                  host_config);
+      const auto start = std::chrono::steady_clock::now();
+      constexpr std::size_t kBurst = 64;
+      for (std::size_t offset = 0; offset < big_frames;
+           offset += kBurst) {
+        for (std::size_t lane = 0; lane < big_streams; ++lane) {
+          const auto& trace = big_traces[lane % big_traces.size()];
+          const std::size_t limit = std::min(
+              {offset + kBurst, big_frames, trace.sample_count()});
+          for (std::size_t f = offset; f < limit; ++f) {
+            for (std::size_t c = 0; c < channels; ++c)
+              frame[c] = trace.channel(c)[f];
+            host.feed(lane, frame);
+          }
+        }
+      }
+      host.finish();
+      const double wall = std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - start)
+                              .count();
+      big_fps.push_back(
+          static_cast<double>(host.frames_processed()) / wall);
+      std::cout << "  host x" << big_streams << " @ " << shards
+                << " shard(s): " << big_fps.back() << " frames/s\n";
+    }
+  }
+
   const double speedup =
       baseline_fps > 0.0 ? single.frames_per_sec / baseline_fps : 0.0;
   const auto emit = [&](std::ostream& os) {
@@ -313,7 +368,17 @@ int main(int argc, char** argv) {
       os << (i ? ", " : "") << "{\"threads\": " << counts[i]
          << ", \"frames_per_sec\": " << host_fps[i] << "}";
     }
-    os << "]\n}\n";
+    os << "]";
+    if (!big_fps.empty()) {
+      os << ",\n  \"host_scaling_10k\": {\"streams\": " << big_streams
+         << ", \"frames_per_stream\": " << big_frames << ", \"sweep\": [";
+      for (std::size_t i = 0; i < big_fps.size(); ++i) {
+        os << (i ? ", " : "") << "{\"threads\": " << counts[i]
+           << ", \"frames_per_sec\": " << big_fps[i] << "}";
+      }
+      os << "]}";
+    }
+    os << "\n}\n";
   };
   std::ofstream file(cli.get("out"));
   emit(file);

@@ -28,6 +28,10 @@ std::size_t resolve_thread_count() {
   return hw != 0 ? static_cast<std::size_t>(hw) : 1;
 }
 
+std::size_t current_thread_count() {
+  return detail::current_pool().size();
+}
+
 struct ThreadPool::State {
   std::mutex mutex;
   std::condition_variable wake;

@@ -29,6 +29,13 @@ namespace airfinger::common {
 /// variable when set to an integer >= 1, else hardware_concurrency (>= 1).
 std::size_t resolve_thread_count();
 
+/// Size of the pool the pool-less primitives would dispatch to right now:
+/// the active ScopedThreads override when one is installed, else the global
+/// pool. Components that own their own threads (the sharded serving host)
+/// use this to resolve "auto" widths so AF_THREADS and ScopedThreads keep
+/// governing them the same way they govern parallel_for.
+std::size_t current_thread_count();
+
 /// Fixed-size worker pool with a shared FIFO task queue.
 ///
 /// A pool of size <= 1 spawns no threads; submit() then runs the task

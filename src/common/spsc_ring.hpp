@@ -1,0 +1,141 @@
+// Bounded single-producer / single-consumer ring buffer.
+//
+// The serving host's ingest lanes need a queue that is (a) fixed-capacity —
+// admission control wants a hard bound, and the steady-state path must not
+// allocate — and (b) wait-free on both ends for exactly one producer and
+// one consumer thread. This is the classic Lamport ring with monotonically
+// increasing 64-bit positions (slot = position % capacity, so capacity does
+// not need to be a power of two) plus the standard refinement of caching
+// the opposite end's position: the producer re-reads the consumer's `head_`
+// only when its cached copy says the ring looks full, and the consumer
+// re-reads `tail_` only when it looks empty, so steady-state pushes and
+// pops touch a single shared atomic each.
+//
+// Memory ordering contract: the producer writes payload slots and then
+// publishes them with a release store of `tail_`; the consumer acquires
+// `tail_` before reading the slots, and releases `head_` after it is done
+// so the producer may overwrite them. This is the same publish/consume
+// pattern TSan verifies on the obs::EventRing tests, here with two threads.
+//
+// Bulk operations are all-or-nothing: `try_push(span)` either enqueues the
+// whole span or nothing, which is how the host keeps multi-channel frames
+// frame-aligned in a ring of doubles (capacity a multiple of the channel
+// count, pushes and pops always one frame wide).
+//
+// Not a general MPMC queue: exactly one thread may push and exactly one
+// may pop at a time. Ownership of an end may migrate between threads only
+// through an external happens-before edge (the host's park/unpark mutex).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace airfinger::common {
+
+template <typename T>
+class SpscRing {
+  static_assert(std::is_nothrow_copy_assignable_v<T>,
+                "SpscRing requires nothrow-copyable elements");
+
+ public:
+  /// Allocates storage for exactly `capacity` elements (>= 1). This is the
+  /// only allocation the ring ever performs.
+  explicit SpscRing(std::size_t capacity) : buffer_(capacity) {
+    AF_EXPECT(capacity >= 1, "SpscRing capacity must be >= 1");
+  }
+
+  std::size_t capacity() const { return buffer_.size(); }
+
+  /// Elements currently queued. Exact from either owning thread when the
+  /// other end is quiescent; a consistent lower/upper bound while both
+  /// ends run (each position is monotone, so the difference never reads
+  /// negative or above capacity).
+  std::size_t size() const {
+    const std::uint64_t tail = tail_.load(std::memory_order_acquire);
+    const std::uint64_t head = head_.load(std::memory_order_acquire);
+    return static_cast<std::size_t>(tail - head);
+  }
+
+  bool empty() const { return size() == 0; }
+  bool full() const { return size() == capacity(); }
+
+  // ------------------------------------------------------------ producer
+
+  /// Enqueues one element; false (and no effect) when the ring is full.
+  bool try_push(const T& value) {
+    return try_push(std::span<const T>(&value, 1));
+  }
+
+  /// Enqueues the whole span or nothing. Spans wider than the capacity can
+  /// never fit and always fail.
+  bool try_push(std::span<const T> values) {
+    const std::size_t n = values.size();
+    if (n == 0) return true;
+    const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    if (free_slots(tail) < n) {
+      cached_head_ = head_.load(std::memory_order_acquire);
+      if (free_slots(tail) < n) return false;
+    }
+    for (std::size_t i = 0; i < n; ++i)
+      buffer_[static_cast<std::size_t>((tail + i) % buffer_.size())] =
+          values[i];
+    tail_.store(tail + n, std::memory_order_release);
+    return true;
+  }
+
+  // ------------------------------------------------------------ consumer
+
+  /// Dequeues one element; false (and no effect) when the ring is empty.
+  bool try_pop(T& out) { return try_pop(std::span<T>(&out, 1)); }
+
+  /// Dequeues exactly `out.size()` elements or nothing.
+  bool try_pop(std::span<T> out) {
+    const std::size_t n = out.size();
+    if (n == 0) return true;
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    if (queued(head) < n) {
+      cached_tail_ = tail_.load(std::memory_order_acquire);
+      if (queued(head) < n) return false;
+    }
+    for (std::size_t i = 0; i < n; ++i)
+      out[i] = buffer_[static_cast<std::size_t>((head + i) % buffer_.size())];
+    head_.store(head + n, std::memory_order_release);
+    return true;
+  }
+
+  /// Discards everything queued, returning how many elements were thrown
+  /// away. Consumer-side operation (it advances `head_`).
+  std::size_t discard_all() {
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    cached_tail_ = tail_.load(std::memory_order_acquire);
+    const std::uint64_t n = cached_tail_ - head;
+    if (n != 0) head_.store(cached_tail_, std::memory_order_release);
+    return static_cast<std::size_t>(n);
+  }
+
+ private:
+  std::size_t free_slots(std::uint64_t tail) const {
+    return buffer_.size() - static_cast<std::size_t>(tail - cached_head_);
+  }
+  std::size_t queued(std::uint64_t head) const {
+    return static_cast<std::size_t>(cached_tail_ - head);
+  }
+
+  std::vector<T> buffer_;
+  /// Consumer position: elements [head_, tail_) are queued. Monotone.
+  alignas(64) std::atomic<std::uint64_t> head_{0};
+  /// Producer's cached copy of head_ (refreshed only on apparent full).
+  alignas(64) std::uint64_t cached_head_ = 0;
+  /// Producer position. Monotone.
+  alignas(64) std::atomic<std::uint64_t> tail_{0};
+  /// Consumer's cached copy of tail_ (refreshed only on apparent empty).
+  alignas(64) std::uint64_t cached_tail_ = 0;
+};
+
+}  // namespace airfinger::common

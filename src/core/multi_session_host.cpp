@@ -1,163 +1,466 @@
 #include "core/multi_session_host.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <limits>
+#include <mutex>
 
 #include "common/error.hpp"
 #include "common/parallel.hpp"
 
 namespace airfinger::core {
 
+namespace {
+/// Frames drained from one lane per worker sweep pass, so a deep backlog
+/// on one lane cannot starve its shard siblings' latency.
+constexpr std::size_t kSweepChunk = 256;
+constexpr std::size_t kAllFrames = std::numeric_limits<std::size_t>::max();
+}  // namespace
+
+// --------------------------------------------------------------- shard
+
+/// One worker shard: the lanes it owns (lane index % shard count) and the
+/// park/unpark synchronization between its worker thread, the producer's
+/// feed(), and the host's quiesce().
+///
+/// The parking protocol is a Dekker handshake over the `parked` flag: the
+/// worker sets `parked`, issues a seq_cst fence, and re-checks its rings —
+/// while the producer pushes a frame, issues a seq_cst fence, and checks
+/// `parked`. The paired fences guarantee at least one side sees the other,
+/// so a frame can never land unseen in a parked shard's ring (no lost
+/// wakeup) and the worker never parks while work is visible. The mutex is
+/// only taken when a park or unpark actually happens — the steady-state
+/// feed/drain path is lock-free.
+struct MultiSessionHost::Shard {
+  std::vector<Lane*> owned;  ///< Mutated only while the worker is parked.
+  std::mutex m;
+  std::condition_variable cv;       ///< Wakes the parked worker.
+  std::condition_variable idle_cv;  ///< Wakes quiesce().
+  std::atomic<bool> parked{false};
+  bool stop = false;                ///< Guarded by m.
+  std::vector<double> frame;        ///< Worker-side pop scratch (channels).
+
+  bool rings_empty() const {
+    for (const Lane* lane : owned)
+      if (!lane->ring.empty()) return false;
+    return true;
+  }
+};
+
+// ---------------------------------------------------------------- lane
+
+MultiSessionHost::Lane::Lane(std::size_t idx,
+                             std::shared_ptr<const ModelBundle> bundle,
+                             FaultPolicy policy, std::size_t ring_capacity)
+    : index(idx),
+      ring(ring_capacity),
+      session(std::in_place, std::move(bundle), policy) {
+  events.reserve(16);
+  sink = [this](const GestureEvent& e) {
+    events.push_back(SessionEvent{index, e});
+  };
+}
+
+// --------------------------------------------------------- construction
+
 MultiSessionHost::MultiSessionHost(std::shared_ptr<const ModelBundle> bundle,
                                    std::size_t sessions)
-    : MultiSessionHost(bundle,
-                       sessions,
+    : MultiSessionHost(bundle, sessions,
                        bundle ? bundle->config().fault_policy
-                              : FaultPolicy{}) {}
+                              : FaultPolicy{},
+                       HostConfig{}) {}
 
 MultiSessionHost::MultiSessionHost(std::shared_ptr<const ModelBundle> bundle,
                                    std::size_t sessions, FaultPolicy policy)
-    : bundle_(std::move(bundle)) {
+    : MultiSessionHost(std::move(bundle), sessions, policy, HostConfig{}) {}
+
+MultiSessionHost::MultiSessionHost(std::shared_ptr<const ModelBundle> bundle,
+                                   std::size_t sessions, FaultPolicy policy,
+                                   HostConfig config)
+    : bundle_(std::move(bundle)), config_(config), policy_(policy) {
   AF_EXPECT(bundle_ != nullptr, "MultiSessionHost requires a model bundle");
   AF_EXPECT(sessions >= 1, "MultiSessionHost requires at least one session");
+  AF_EXPECT(config_.ring_frames >= 1,
+            "MultiSessionHost ring capacity must be >= 1 frame");
+  const std::size_t channels = bundle_->config().channels;
+  scratch_frame_.resize(channels);
+
+  shard_count_ = config_.shards != 0 ? config_.shards
+                                     : common::current_thread_count();
+  shard_count_ = std::clamp<std::size_t>(shard_count_, 1, sessions);
+
   lanes_.reserve(sessions);
   for (std::size_t i = 0; i < sessions; ++i)
-    lanes_.emplace_back(bundle_, policy);
+    lanes_.push_back(std::make_unique<Lane>(
+        i, bundle_, policy_, config_.ring_frames * channels));
+
+  if (shard_count_ < 2) return;  // inline mode: no worker threads at all
+  shards_.reserve(shard_count_);
+  for (std::size_t s = 0; s < shard_count_; ++s) {
+    auto shard = std::make_unique<Shard>();
+    shard->frame.resize(channels);
+    shards_.push_back(std::move(shard));
+  }
+  for (std::size_t i = 0; i < sessions; ++i)
+    shards_[i % shard_count_]->owned.push_back(lanes_[i].get());
+  workers_.reserve(shard_count_);
+  for (std::size_t s = 0; s < shard_count_; ++s)
+    workers_.emplace_back([this, s] { worker_loop(*shards_[s]); });
 }
 
-const Session& MultiSessionHost::session(std::size_t i) const {
-  AF_EXPECT(i < lanes_.size(), "session index out of range");
-  return lanes_[i].session;
+MultiSessionHost::~MultiSessionHost() {
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->m);
+    shard->stop = true;
+    shard->parked.store(false, std::memory_order_relaxed);
+    shard->cv.notify_one();
+  }
+  for (auto& worker : workers_) worker.join();
 }
 
-Session& MultiSessionHost::mutable_session(std::size_t i) {
-  AF_EXPECT(i < lanes_.size(), "session index out of range");
-  return lanes_[i].session;
+// ------------------------------------------------------- worker / drain
+
+std::size_t MultiSessionHost::drain_lane(Lane& lane, std::span<double> frame,
+                                         std::size_t max_frames) {
+  const std::size_t channels = frame.size();
+  if (lane.faulted.load(std::memory_order_relaxed) || lane.retired) {
+    // Quarantined or retired: the ring is a sink. Count what the lane can
+    // no longer process so dropped totals stay exact.
+    const std::size_t frames = lane.ring.discard_all() / channels;
+    lane.dropped_consumer += frames;
+    return frames;
+  }
+  std::size_t consumed = 0;
+  while (consumed < max_frames && lane.ring.try_pop(frame)) {
+    ++consumed;
+    try {
+      lane.session->push_frame(frame, lane.sink);
+      ++lane.processed;
+    } catch (const std::exception& e) {
+      // Quarantine this lane only; shard siblings never observe the fault.
+      lane.fault = e.what();
+      lane.faulted.store(true, std::memory_order_relaxed);
+      ++lane.dropped_consumer;  // the frame that threw
+      lane.dropped_consumer += lane.ring.discard_all() / channels;
+      break;
+    } catch (...) {
+      lane.fault = "unknown stream fault";
+      lane.faulted.store(true, std::memory_order_relaxed);
+      ++lane.dropped_consumer;
+      lane.dropped_consumer += lane.ring.discard_all() / channels;
+      break;
+    }
+  }
+  return consumed;
 }
 
-void MultiSessionHost::feed(std::size_t session,
+void MultiSessionHost::worker_loop(Shard& shard) {
+  for (;;) {
+    std::size_t did = 0;
+    for (Lane* lane : shard.owned)
+      did += drain_lane(*lane, shard.frame, kSweepChunk);
+    if (did != 0) continue;
+
+    std::unique_lock<std::mutex> lock(shard.m);
+    if (shard.stop) return;
+    shard.parked.store(true, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    if (!shard.rings_empty()) {
+      // A frame raced in between the sweep and the park: un-park and go
+      // get it (the fence pairing with feed() makes this check reliable).
+      shard.parked.store(false, std::memory_order_relaxed);
+      continue;
+    }
+    shard.idle_cv.notify_all();
+    shard.cv.wait(lock, [&] {
+      return shard.stop || !shard.parked.load(std::memory_order_relaxed);
+    });
+    if (shard.stop) return;
+  }
+}
+
+void MultiSessionHost::quiesce() const {
+  if (workers_.empty()) {
+    // Inline mode: the caller is the consumer, so the barrier IS the
+    // drain (through the lanes' own indirection; see the header note).
+    for (const auto& lane : lanes_)
+      drain_lane(*lane, scratch_frame_, kAllFrames);
+    return;
+  }
+  for (const auto& shard_ptr : shards_) {
+    Shard& shard = *shard_ptr;
+    std::unique_lock<std::mutex> lock(shard.m);
+    shard.idle_cv.wait(lock, [&] {
+      return shard.parked.load(std::memory_order_relaxed) &&
+             shard.rings_empty();
+    });
+  }
+}
+
+// ------------------------------------------------------------ streaming
+
+bool MultiSessionHost::feed(std::size_t session,
                             std::span<const double> frame) {
   AF_EXPECT(session < lanes_.size(), "session index out of range");
   AF_EXPECT(frame.size() == bundle_->config().channels,
             "frame carries " + std::to_string(frame.size()) +
                 " samples but the host expects " +
                 std::to_string(bundle_->config().channels) + " channels");
-  Lane& lane = lanes_[session];
-  if (lane.faulted) {
+  Lane& lane = *lanes_[session];
+  if (lane.retired) {
+    ++lane.rejected;
+    return false;
+  }
+  if (lane.faulted.load(std::memory_order_relaxed)) {
     // Isolation: the producer keeps streaming; the lane just counts what
     // it can no longer process.
-    ++lane.dropped;
-    return;
+    ++lane.dropped_producer;
+    return false;
   }
-  lane.pending.insert(lane.pending.end(), frame.begin(), frame.end());
+
+  if (workers_.empty()) {
+    // Inline mode: the caller is the consumer. A full ring under kBlock is
+    // drained in place (deterministic: this lane's frames in feed order).
+    if (!lane.ring.try_push(frame)) {
+      if (config_.admission == Admission::kReject) {
+        ++lane.rejected;
+        return false;
+      }
+      ++lane.blocked;
+      drain_lane(lane, scratch_frame_, kAllFrames);
+      if (lane.faulted.load(std::memory_order_relaxed)) {
+        ++lane.dropped_producer;
+        return false;
+      }
+      lane.ring.try_push(frame);  // ring was just emptied; cannot fail
+    }
+    lane.high_water =
+        std::max(lane.high_water, lane.ring.size() / frame.size());
+    return true;
+  }
+
+  Shard& shard = *shards_[session % shard_count_];
+  if (!lane.ring.try_push(frame)) {
+    if (config_.admission == Admission::kReject) {
+      ++lane.rejected;
+      return false;
+    }
+    // Lossless backpressure: wait for the shard worker to make room. The
+    // worker cannot be parked while this ring is full (it only parks on
+    // empty rings, and the fence pairing below closes the race), so spin
+    // and yield rather than sleep — but re-wake it defensively anyway in
+    // case it parked between our failed push and now.
+    ++lane.blocked;
+    std::size_t spins = 0;
+    for (;;) {
+      std::atomic_thread_fence(std::memory_order_seq_cst);
+      if (shard.parked.load(std::memory_order_relaxed)) {
+        std::lock_guard<std::mutex> lock(shard.m);
+        shard.parked.store(false, std::memory_order_relaxed);
+        shard.cv.notify_one();
+      }
+      if (lane.faulted.load(std::memory_order_relaxed)) {
+        // The lane died while we waited; its ring is being discarded.
+        ++lane.dropped_producer;
+        return false;
+      }
+      if (lane.ring.try_push(frame)) break;
+      if (++spins >= 64) std::this_thread::yield();
+    }
+  }
+  lane.high_water =
+      std::max(lane.high_water, lane.ring.size() / frame.size());
+
+  // Dekker publish: make the push visible to a parking worker, or see its
+  // parked flag — one of the two is guaranteed (see Shard).
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  if (shard.parked.load(std::memory_order_relaxed)) {
+    std::lock_guard<std::mutex> lock(shard.m);
+    shard.parked.store(false, std::memory_order_relaxed);
+    shard.cv.notify_one();
+  }
+  return true;
 }
 
-void MultiSessionHost::pump() {
-  const std::size_t channels = bundle_->config().channels;
-  // Per-lane consumption is recorded by each task and reduced serially in
-  // lane order after the parallel region (the counter is shared; the
-  // lanes are not), so the total is thread-count independent.
-  std::vector<std::uint64_t> consumed(lanes_.size(), 0);
-  common::parallel_for(0, lanes_.size(), [&](std::size_t i) {
-    Lane& lane = lanes_[i];
-    const std::size_t frames = lane.pending.size() / channels;
-    const auto sink = [&lane, i](const GestureEvent& e) {
-      lane.events.push_back(SessionEvent{i, e});
-    };
-    std::size_t f = 0;
-    try {
-      for (; f < frames; ++f)
-        lane.session.push_frame(
-            std::span<const double>(lane.pending.data() + f * channels,
-                                    channels),
-            sink);
-      consumed[i] = frames;
-    } catch (const std::exception& e) {
-      // Quarantine this lane only; siblings never observe the fault.
-      lane.faulted = true;
-      lane.fault = e.what();
-      lane.dropped += frames - f;
-      consumed[i] = f;
-    } catch (...) {
-      lane.faulted = true;
-      lane.fault = "unknown stream fault";
-      lane.dropped += frames - f;
-      consumed[i] = f;
-    }
-    lane.pending.clear();
-  });
-  for (const std::uint64_t c : consumed) frames_processed_ += c;
-}
+void MultiSessionHost::pump() { quiesce(); }
 
 void MultiSessionHost::finish() {
-  // Deliver any still-buffered frames first so no input is dropped.
-  pump();
-  common::parallel_for(0, lanes_.size(), [&](std::size_t i) {
-    Lane& lane = lanes_[i];
-    if (lane.faulted) return;
+  quiesce();
+  // All workers are parked (streaming) or all rings drained (inline), so
+  // the caller owns every lane's consumer side until the next feed().
+  for (auto& lane_ptr : lanes_) {
+    Lane& lane = *lane_ptr;
+    if (lane.retired || lane.faulted.load(std::memory_order_relaxed))
+      continue;
     try {
-      lane.session.finish([&lane, i](const GestureEvent& e) {
-        lane.events.push_back(SessionEvent{i, e});
-      });
+      lane.session->finish(lane.sink);
     } catch (const std::exception& e) {
-      lane.faulted = true;
       lane.fault = e.what();
+      lane.faulted.store(true, std::memory_order_relaxed);
     } catch (...) {
-      lane.faulted = true;
       lane.fault = "unknown stream fault";
+      lane.faulted.store(true, std::memory_order_relaxed);
     }
-  });
+  }
 }
 
 std::vector<SessionEvent> MultiSessionHost::drain() {
+  quiesce();
   std::size_t total = 0;
-  for (const Lane& lane : lanes_) total += lane.events.size();
+  for (const auto& lane : lanes_) total += lane->events.size();
   std::vector<SessionEvent> out;
   out.reserve(total);
-  for (Lane& lane : lanes_) {
-    out.insert(out.end(), std::make_move_iterator(lane.events.begin()),
-               std::make_move_iterator(lane.events.end()));
-    lane.events.clear();
+  for (auto& lane : lanes_) {
+    out.insert(out.end(), std::make_move_iterator(lane->events.begin()),
+               std::make_move_iterator(lane->events.end()));
+    lane->events.clear();
   }
   return out;
 }
 
-bool MultiSessionHost::session_faulted(std::size_t i) const {
+std::uint64_t MultiSessionHost::frames_processed() const {
+  quiesce();
+  std::uint64_t total = 0;
+  for (const auto& lane : lanes_) total += lane->processed;
+  return total;
+}
+
+// --------------------------------------------------- session lifecycle
+
+std::size_t MultiSessionHost::add_session() {
+  quiesce();
+  const std::size_t index = lanes_.size();
+  const std::size_t channels = bundle_->config().channels;
+  lanes_.push_back(std::make_unique<Lane>(
+      index, bundle_, policy_, config_.ring_frames * channels));
+  if (!shards_.empty()) {
+    Shard& shard = *shards_[index % shard_count_];
+    // The worker is parked (quiesce() above); owned is mutated under its
+    // mutex so the next un-park observes the new lane.
+    std::lock_guard<std::mutex> lock(shard.m);
+    shard.owned.push_back(lanes_.back().get());
+  }
+  return index;
+}
+
+void MultiSessionHost::remove_session(std::size_t i) {
   AF_EXPECT(i < lanes_.size(), "session index out of range");
-  return lanes_[i].faulted;
+  quiesce();
+  Lane& lane = *lanes_[i];
+  if (lane.retired) return;
+  if (lane.session.has_value()) {
+    lane.final_health = lane.session->health();
+    lane.final_metrics =
+        lane.session->observability().registry().snapshot();
+  }
+  lane.retired = true;
+  lane.session.reset();  // frees the per-stream buffers
+  if (!shards_.empty()) {
+    Shard& shard = *shards_[i % shard_count_];
+    std::lock_guard<std::mutex> lock(shard.m);
+    std::erase(shard.owned, &lane);
+  }
+}
+
+bool MultiSessionHost::session_retired(std::size_t i) const {
+  return lane_at(i).retired;
+}
+
+// ------------------------------------------------------- health / views
+
+const MultiSessionHost::Lane& MultiSessionHost::lane_at(
+    std::size_t i) const {
+  AF_EXPECT(i < lanes_.size(), "session index out of range");
+  return *lanes_[i];
+}
+
+const Session& MultiSessionHost::session(std::size_t i) const {
+  const Lane& lane = lane_at(i);
+  quiesce();
+  AF_EXPECT(lane.session.has_value(),
+            "session " + std::to_string(i) + " is retired");
+  return *lane.session;
+}
+
+Session& MultiSessionHost::mutable_session(std::size_t i) {
+  AF_EXPECT(i < lanes_.size(), "session index out of range");
+  quiesce();
+  Lane& lane = *lanes_[i];
+  AF_EXPECT(lane.session.has_value(),
+            "session " + std::to_string(i) + " is retired");
+  return *lane.session;
+}
+
+bool MultiSessionHost::session_faulted(std::size_t i) const {
+  const Lane& lane = lane_at(i);
+  quiesce();
+  return lane.faulted.load(std::memory_order_relaxed);
 }
 
 const std::string& MultiSessionHost::session_fault(std::size_t i) const {
-  AF_EXPECT(i < lanes_.size(), "session index out of range");
-  return lanes_[i].fault;
+  const Lane& lane = lane_at(i);
+  quiesce();
+  return lane.fault;
 }
 
 std::uint64_t MultiSessionHost::dropped_frames(std::size_t i) const {
-  AF_EXPECT(i < lanes_.size(), "session index out of range");
-  return lanes_[i].dropped;
+  const Lane& lane = lane_at(i);
+  quiesce();
+  return lane.dropped_producer + lane.dropped_consumer;
+}
+
+std::uint64_t MultiSessionHost::rejected_frames(std::size_t i) const {
+  return lane_at(i).rejected;
+}
+
+std::uint64_t MultiSessionHost::blocked_feeds(std::size_t i) const {
+  return lane_at(i).blocked;
+}
+
+std::size_t MultiSessionHost::ring_high_water(std::size_t i) const {
+  return lane_at(i).high_water;
 }
 
 std::size_t MultiSessionHost::faulted_count() const {
+  quiesce();
   std::size_t n = 0;
-  for (const Lane& lane : lanes_)
-    if (lane.faulted) ++n;
+  for (const auto& lane : lanes_)
+    if (lane->faulted.load(std::memory_order_relaxed)) ++n;
   return n;
 }
 
 HealthStats MultiSessionHost::aggregate_health() const {
+  quiesce();
   HealthStats total;
-  for (const Lane& lane : lanes_) total += lane.session.health();
+  for (const auto& lane : lanes_)
+    total += lane->session.has_value() ? lane->session->health()
+                                       : lane->final_health;
   return total;
 }
 
-obs::MetricsSnapshot MultiSessionHost::aggregate_metrics() const {
-  obs::MetricsSnapshot total =
-      lanes_.front().session.observability().registry().snapshot();
+obs::MetricsSnapshot MultiSessionHost::aggregate_metrics(
+    bool include_load_series) const {
+  quiesce();
+  const auto lane_snapshot = [](const Lane& lane) {
+    return lane.session.has_value()
+               ? lane.session->observability().registry().snapshot()
+               : lane.final_metrics;
+  };
+  obs::MetricsSnapshot total = lane_snapshot(*lanes_.front());
   for (std::size_t i = 1; i < lanes_.size(); ++i)
-    total.add_from(
-        lanes_[i].session.observability().registry().snapshot());
+    total.add_from(lane_snapshot(*lanes_[i]));
 
-  std::uint64_t dropped = 0;
-  for (const Lane& lane : lanes_) dropped += lane.dropped;
+  std::uint64_t processed = 0, dropped = 0, rejected = 0, blocked = 0;
+  std::size_t retired = 0, high_water = 0;
+  for (const auto& lane : lanes_) {
+    processed += lane->processed;
+    dropped += lane->dropped_producer + lane->dropped_consumer;
+    rejected += lane->rejected;
+    blocked += lane->blocked;
+    if (lane->retired) ++retired;
+    high_water = std::max(high_water, lane->high_water);
+  }
 
   const auto gauge = [&total](std::string name, std::string help, double v) {
     obs::MetricEntry e;
@@ -181,11 +484,35 @@ obs::MetricsSnapshot MultiSessionHost::aggregate_metrics() const {
   gauge("af_host_faulted_sessions",
         "Lanes currently quarantined by the host.",
         static_cast<double>(faulted_count()));
+  gauge("af_host_retired_sessions",
+        "Lanes retired by remove_session().",
+        static_cast<double>(retired));
   counter("af_host_frames_processed_total",
-          "Frames processed by pump() across all lanes.",
-          frames_processed_);
+          "Frames processed across all lanes.", processed);
   counter("af_host_dropped_frames_total",
-          "Frames discarded because their lane was faulted.", dropped);
+          "Frames discarded because their lane was faulted or retired.",
+          dropped);
+  counter("af_host_rejected_frames_total",
+          "Frames refused by admission control (full ring under kReject) "
+          "or fed to a retired lane.",
+          rejected);
+  if (include_load_series) {
+    // Scheduling-dependent series: real occupancy and contention, which
+    // legitimately vary with shard count and machine load. Opt-in so the
+    // default exposition keeps the thread-count-invariance contract
+    // (DESIGN.md §13) that af_stats and the determinism suite rely on.
+    gauge("af_host_shards", "Worker shards driving the lanes.",
+          static_cast<double>(shard_count_));
+    gauge("af_host_ring_capacity_frames",
+          "Per-lane ingest ring capacity in frames.",
+          static_cast<double>(config_.ring_frames));
+    gauge("af_host_ring_high_water_frames",
+          "Highest per-lane ring occupancy observed, in frames.",
+          static_cast<double>(high_water));
+    counter("af_host_blocked_feeds_total",
+            "feed() calls that waited for ring space under kBlock.",
+            blocked);
+  }
   gauge("af_bundle_load_seconds",
         "Wall-clock time load() spent verifying and parsing the bundle.",
         static_cast<double>(bundle_->load_ns()) * 1e-9);
@@ -222,7 +549,9 @@ std::vector<SessionEvent> MultiSessionHost::run_round_robin(
       cursor[i] += take;
       if (cursor[i] < total) pending_input = true;
     }
-    pump();
+    // No per-turn barrier: shard workers classify concurrently while the
+    // next turn is fed; ring backpressure throttles the fan-out. (Inline
+    // mode drains under feed pressure and in the final finish().)
   }
   finish();
   return drain();

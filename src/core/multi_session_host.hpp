@@ -1,32 +1,56 @@
-// Multi-stream serving host: N Sessions over one shared ModelBundle.
+// Sharded multi-stream serving host: N Sessions over one shared
+// ModelBundle, hashed across S lanes-per-shard worker threads.
 //
 // The host models the production shape the ROADMAP aims at — one resident
-// copy of the trained forests serving many concurrent wearable streams.
-// Frames are buffered per stream (`feed`), then `pump()` advances every
-// session's buffered frames in parallel on the shared thread pool
-// (common/parallel.hpp). Sessions are fully independent (each task touches
-// exactly one session's state; the bundle is read-only), so the pump is
-// race-free by construction and — per the repo's determinism contract —
-// the emitted events are bit-identical at any thread count:
+// copy of the trained forests serving thousands of concurrent wearable
+// streams. Each session (lane) is hashed to a shard (`index % shards`);
+// each shard owns one long-lived worker thread and drains its lanes'
+// bounded SPSC ingest rings (common/spsc_ring.hpp) continuously, so the
+// producer's `feed()` overlaps with parallel classification instead of
+// alternating with it behind a fork/join barrier (the pre-shard design's
+// scaling wall, ROADMAP item 1). `pump()` is an epoch barrier: it returns
+// once every frame fed so far has been processed and all workers are
+// parked, which is when the aggregate views (drain/metrics/health) are
+// coherent.
 //
-//   * within a stream, events land in its queue in emission order,
-//     produced by that stream's single task;
-//   * across streams, drain() defines the total order as (session index,
-//     emission order), which no scheduling can perturb.
+// Determinism (DESIGN.md §9/§14): sessions are fully independent and each
+// lane's frames are processed in feed order by exactly one thread, so a
+// lane's emission stream is a pure function of its input — independent of
+// shard count, thread count, ring capacity, and scheduling. drain()
+// defines the total order as (session index, emission order), which no
+// scheduling can perturb. The host is bit-identical across shard counts,
+// including the shardless inline mode (shards == 1: no threads at all,
+// frames drain on the caller).
 //
-// Fault isolation (DESIGN.md §12): a lane whose session throws during
-// pump()/finish() — a corrupt stream in strict mode, say — is marked
-// faulted and quarantined by the host instead of poisoning the pump. Its
-// remaining input is discarded (and counted), later feeds are dropped, and
-// sibling lanes are untouched: their emissions stay bit-identical to a run
-// without the faulting neighbour, at any thread count.
+// Backpressure & admission (DESIGN.md §14): rings are bounded. When a
+// lane's ring is full, Admission::kBlock (default, lossless) makes feed()
+// wait for the shard worker to make room (in inline mode the caller drains
+// the lane itself), while Admission::kReject makes feed() refuse the frame
+// and count it — per-lane rejected/blocked/high-water counters surface
+// through aggregate_metrics().
+//
+// Fault isolation (DESIGN.md §12): a lane whose session throws — a corrupt
+// stream in strict mode, say — is marked faulted and quarantined by the
+// host instead of poisoning its shard. Its remaining ring input is
+// discarded (and counted), later feeds are dropped, and sibling lanes are
+// untouched: their emissions stay bit-identical to a run without the
+// faulting neighbour, at any shard count.
+//
+// Threading contract: feed(), pump(), finish(), drain(), the lifecycle
+// calls, and every read accessor belong to ONE owner thread (the
+// producer). Reads and lifecycle mutations quiesce the shards internally,
+// so they are always coherent — but the host is not a multi-producer
+// queue.
 #pragma once
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "common/spsc_ring.hpp"
 #include "core/session.hpp"
 
 namespace airfinger::core {
@@ -35,6 +59,25 @@ namespace airfinger::core {
 struct SessionEvent {
   std::size_t session = 0;  ///< Index of the emitting session.
   GestureEvent event;
+};
+
+/// What feed() does when a lane's ingest ring is full.
+enum class Admission : std::uint8_t {
+  kBlock = 0,  ///< Lossless: wait for the consumer to make room.
+  kReject,     ///< Bounded-latency: refuse the frame and count it.
+};
+
+/// Host shape: shard/ring/admission configuration, fixed at construction.
+struct HostConfig {
+  /// Worker shards. 0 resolves to common::current_thread_count() (so
+  /// AF_THREADS / ScopedThreads govern the host like every other parallel
+  /// component); the resolved count is capped at the session count.
+  /// 1 selects inline mode: no worker threads, frames are drained on the
+  /// caller thread — the bit-identical single-thread reference.
+  std::size_t shards = 0;
+  /// Per-lane ingest ring capacity in frames (>= 1).
+  std::size_t ring_frames = 1024;
+  Admission admission = Admission::kBlock;
 };
 
 /// Drives many Sessions over one immutable bundle.
@@ -50,90 +93,192 @@ class MultiSessionHost {
   MultiSessionHost(std::shared_ptr<const ModelBundle> bundle,
                    std::size_t sessions, FaultPolicy policy);
 
+  /// Full control over policy and host shape.
+  MultiSessionHost(std::shared_ptr<const ModelBundle> bundle,
+                   std::size_t sessions, FaultPolicy policy,
+                   HostConfig config);
+
+  /// Joins the shard workers; any still-queued frames are discarded.
+  ~MultiSessionHost();
+
+  MultiSessionHost(const MultiSessionHost&) = delete;
+  MultiSessionHost& operator=(const MultiSessionHost&) = delete;
+
   std::size_t session_count() const { return lanes_.size(); }
+  /// Worker shards actually running (1 in inline mode).
+  std::size_t shard_count() const { return shard_count_; }
+  const HostConfig& host_config() const { return config_; }
   const std::shared_ptr<const ModelBundle>& bundle() const {
     return bundle_;
   }
+
+  /// Quiesces the shards, then returns the lane's session. The lane must
+  /// not be retired.
   const Session& session(std::size_t i) const;
 
   /// Mutable lane access for observability configuration (clock injection,
-  /// span toggling) before driving the host. Must not be used to push
-  /// frames directly — feed()/pump() own the streaming contract.
+  /// span toggling) before driving the host. Quiesces first. Must not be
+  /// used to push frames directly — feed()/pump() own the streaming
+  /// contract.
   Session& mutable_session(std::size_t i);
 
-  /// Buffers one frame (one sample per channel) for stream `session`.
-  /// O(channels); no processing happens until pump(). Frames fed to a
-  /// faulted (quarantined) lane are silently dropped and counted in
-  /// dropped_frames() — the producing stream keeps running.
-  void feed(std::size_t session, std::span<const double> frame);
+  /// Enqueues one frame (one sample per channel) for stream `session` on
+  /// its shard's ingest ring; the shard worker classifies it
+  /// concurrently (inline mode: on the next pump(), or immediately when
+  /// the ring fills under kBlock). Returns true when the frame was
+  /// accepted. False means the frame was refused and counted: the lane is
+  /// faulted (dropped_frames), retired, or its ring was full under
+  /// Admission::kReject (rejected_frames). Under kBlock a full ring blocks
+  /// until the worker makes room instead.
+  bool feed(std::size_t session, std::span<const double> frame);
 
-  /// Processes every stream's buffered frames, one parallel task per
-  /// session. Events are appended to per-session queues in emission order.
+  /// Epoch barrier: returns once every frame fed so far has been fully
+  /// processed and all shard workers are parked. After pump() the host is
+  /// quiescent: drain(), metrics, and health views are coherent and
+  /// complete.
   void pump();
 
-  /// Flushes any open segment on every session (parallel, like pump()).
+  /// Quiesces, then flushes any open segment on every healthy session.
   void finish();
 
-  /// Moves out all queued events in the deterministic (session, emission)
-  /// order and clears the queues.
+  /// Quiesces, then moves out all queued events in the deterministic
+  /// (session index, emission order) total order and clears the queues.
   std::vector<SessionEvent> drain();
 
-  /// Frames processed by pump() so far, across all sessions.
-  std::uint64_t frames_processed() const { return frames_processed_; }
+  /// Frames fully processed so far, across all sessions (quiesces).
+  std::uint64_t frames_processed() const;
+
+  // --------------------------------------------------- session lifecycle
+
+  /// Adds one lane (quiesces first), hashed to shard `index % shards`.
+  /// Returns the new session index. O(1) against the shared bundle.
+  std::size_t add_session();
+
+  /// Retires a lane between epochs (quiesces first): discards and counts
+  /// anything still queued, captures the session's final health/metrics
+  /// for the aggregate views, and frees its per-stream state. The index
+  /// stays valid (indices are stable); feeding a retired lane counts into
+  /// rejected_frames(). Idempotent.
+  void remove_session(std::size_t i);
+
+  /// True when the lane was retired by remove_session().
+  bool session_retired(std::size_t i) const;
 
   // ------------------------------------------------------- stream health
 
-  /// True when the lane's session threw during pump()/finish() and was
+  /// True when the lane's session threw during processing and was
   /// quarantined by the host.
   bool session_faulted(std::size_t i) const;
 
   /// what() of the exception that quarantined the lane ("" while healthy).
   const std::string& session_fault(std::size_t i) const;
 
-  /// Frames discarded because the lane was already faulted (buffered input
-  /// at fault time plus everything fed afterwards).
+  /// Frames discarded because the lane could no longer process them:
+  /// queued input at fault/retire time plus everything fed afterwards.
   std::uint64_t dropped_frames(std::size_t i) const;
+
+  /// Frames refused by admission control (ring full under
+  /// Admission::kReject) or fed to a retired lane.
+  std::uint64_t rejected_frames(std::size_t i) const;
+
+  /// feed() calls that had to wait for ring space under Admission::kBlock.
+  std::uint64_t blocked_feeds(std::size_t i) const;
+
+  /// Highest ring occupancy (in frames) this lane has seen.
+  std::size_t ring_high_water(std::size_t i) const;
 
   /// Number of currently faulted lanes.
   std::size_t faulted_count() const;
 
   /// Sum of every session's HealthStats (faulted lanes contribute their
-  /// counters up to the fault).
+  /// counters up to the fault, retired lanes their final counters).
   HealthStats aggregate_health() const;
 
-  /// Host-wide metrics view (DESIGN.md §13): every session's registry
+  /// Host-wide metrics view (DESIGN.md §13/§14): every session's registry
   /// snapshot merged in deterministic lane order (index-wise saturating
-  /// adds over the shared schema; faulted lanes contribute their counters
-  /// up to the fault), followed by host-level series — lane/fault counts,
-  /// frames processed and dropped, and the bundle's load time. Lock-free:
-  /// call between pump() rounds (sessions are single-writer; the host
-  /// reads only quiescent registries).
-  obs::MetricsSnapshot aggregate_metrics() const;
+  /// adds over the shared schema; retired lanes contribute the snapshot
+  /// captured at retirement), followed by host-level series — lane /
+  /// fault / retire counts, frames processed, dropped, and rejected.
+  /// Those are all deterministic, so the default exposition keeps the
+  /// repo-wide invariance contract: byte-identical at any thread or shard
+  /// count. `include_load_series` appends the scheduling-dependent load
+  /// series too — shard count, ring capacity, ring high-water, blocked
+  /// feeds — which legitimately vary across machines and runs. Quiesces
+  /// the shards first, so the view is coherent.
+  obs::MetricsSnapshot aggregate_metrics(
+      bool include_load_series = false) const;
 
   /// Convenience driver: one trace per session, fanned out round-robin —
   /// each turn feeds up to `frames_per_turn` frames to every stream that
-  /// still has input, then pumps — emulating interleaved arrival from N
-  /// concurrent wearables. Finishes all streams and returns the drained
-  /// events.
+  /// still has input, emulating interleaved arrival from N concurrent
+  /// wearables; shard workers classify concurrently under ring
+  /// backpressure. Finishes all streams and returns the drained events.
   std::vector<SessionEvent> run_round_robin(
       const std::vector<sensor::MultiChannelTrace>& traces,
       std::size_t frames_per_turn = 64);
 
  private:
   struct Lane {
-    Lane(std::shared_ptr<const ModelBundle> bundle, FaultPolicy policy)
-        : session(std::move(bundle), policy) {}
-    Session session;
-    std::vector<double> pending;  ///< Buffered frames, frame-major flat.
+    Lane(std::size_t index, std::shared_ptr<const ModelBundle> bundle,
+         FaultPolicy policy, std::size_t ring_capacity);
+
+    const std::size_t index;
+    common::SpscRing<double> ring;  ///< Frame-aligned ingest queue.
+
+    // ---- consumer-side state: owned by the lane's shard worker (or the
+    // caller thread in inline mode / at quiescence).
+    std::optional<Session> session;
     std::vector<SessionEvent> events;
-    bool faulted = false;         ///< Quarantined by the host.
-    std::string fault;            ///< what() of the quarantining exception.
-    std::uint64_t dropped = 0;    ///< Frames discarded after the fault.
+    Session::EventCallback sink;    ///< Appends to `events`; built once.
+    std::uint64_t processed = 0;    ///< Frames classified successfully.
+    std::uint64_t dropped_consumer = 0;  ///< Ring discards after fault/retire.
+    std::string fault;              ///< what() of the quarantining exception.
+
+    // ---- flags written at fault/retire time, read by the producer to
+    // short-circuit feed(). `faulted` flips inside the worker, hence
+    // atomic; `retired` flips only at quiescence.
+    std::atomic<bool> faulted{false};
+    bool retired = false;
+
+    // ---- producer-side counters: only the feed() caller touches these.
+    std::uint64_t dropped_producer = 0;  ///< Frames refused post-fault.
+    std::uint64_t rejected = 0;      ///< Admission rejects + retired feeds.
+    std::uint64_t blocked = 0;       ///< feed() waits under kBlock.
+    std::size_t high_water = 0;      ///< Max ring occupancy in frames.
+
+    // ---- captured by remove_session() before the session is freed.
+    HealthStats final_health;
+    obs::MetricsSnapshot final_metrics;
   };
 
+  struct Shard;  // worker state + parking synchronization (in the .cpp)
+
+  /// Drains up to `max_frames` frames from one lane's ring through its
+  /// session (or discards them when the lane is faulted/retired). Returns
+  /// the number of frames consumed. Caller must own the consumer side.
+  static std::size_t drain_lane(Lane& lane, std::span<double> frame,
+                                std::size_t max_frames);
+
+  void worker_loop(Shard& shard);
+  /// The epoch barrier behind pump() and every read accessor: blocks until
+  /// each shard worker is parked with empty rings — or, in inline mode,
+  /// drains every lane's ring on the caller. Either way, on return every
+  /// frame fed so far has been fully processed. Const because the logical
+  /// host state it leaves behind is exactly what the caller already
+  /// requested by feeding; lanes are reached through their own indirection.
+  void quiesce() const;
+  const Lane& lane_at(std::size_t i) const;
+
   std::shared_ptr<const ModelBundle> bundle_;
-  std::vector<Lane> lanes_;
-  std::uint64_t frames_processed_ = 0;
+  HostConfig config_;
+  std::size_t shard_count_ = 1;
+  FaultPolicy policy_;
+  std::vector<std::unique_ptr<Lane>> lanes_;
+  std::vector<std::unique_ptr<Shard>> shards_;  ///< Empty in inline mode.
+  std::vector<std::thread> workers_;
+  /// Caller-side drain scratch (mutable: quiesce() is logically const but
+  /// drains inline-mode rings through it).
+  mutable std::vector<double> scratch_frame_;
 };
 
 }  // namespace airfinger::core

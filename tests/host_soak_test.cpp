@@ -1,0 +1,205 @@
+// 10k-session soak of the sharded serving host (ISSUE 6, satellite 3).
+//
+// Opt-in: the test body runs only with AF_SOAK=1 in the environment
+// (tools/run_checks.sh --soak sets it and runs the `soak` ctest label
+// under the TSan tree). Without it the tests GTEST_SKIP immediately, so
+// the binary is free to sit in the default suite.
+//
+// The soak drives ten thousand concurrent sessions — the ROADMAP's
+// serving scale — through the sharded host with deliberately tiny ingest
+// rings (constant backpressure), a sprinkling of corrupt lanes under the
+// strict policy (quarantine churn while neighbours stream), and bounded
+// per-stream input so wall-clock stays in CI range. Afterwards it checks
+// the global ledger (fed == processed + dropped, frame for frame) and
+// bit-identity of sampled lanes against a single standalone Session — the
+// single-thread reference — which is the whole determinism claim at scale.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/multi_session_host.hpp"
+#include "core/trainer.hpp"
+#include "sensor/fault_injector.hpp"
+#include "synth/dataset.hpp"
+
+namespace airfinger {
+namespace {
+
+bool soak_enabled() {
+  const char* env = std::getenv("AF_SOAK");
+  return env != nullptr && std::string(env) == "1";
+}
+
+const std::shared_ptr<const core::ModelBundle>& trained_bundle() {
+  static const std::shared_ptr<const core::ModelBundle> bundle = [] {
+    core::TrainerConfig config;
+    config.users = 2;
+    config.sessions = 1;
+    config.repetitions = 3;
+    config.non_gesture_repetitions = 3;
+    config.seed = 11;
+    return core::build_bundle(config);
+  }();
+  return bundle;
+}
+
+void expect_events_identical(const std::vector<core::GestureEvent>& a,
+                             const std::vector<core::GestureEvent>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t e = 0; e < a.size(); ++e) {
+    SCOPED_TRACE("event " + std::to_string(e));
+    EXPECT_EQ(a[e].type, b[e].type);
+    EXPECT_EQ(a[e].time_s, b[e].time_s);
+    EXPECT_EQ(a[e].gesture, b[e].gesture);
+    EXPECT_EQ(a[e].segment_begin, b[e].segment_begin);
+    EXPECT_EQ(a[e].segment_end, b[e].segment_end);
+  }
+}
+
+TEST(HostSoak, TenThousandSessionsNoDivergenceFromReference) {
+  if (!soak_enabled())
+    GTEST_SKIP() << "soak disabled; run with AF_SOAK=1 "
+                    "(tools/run_checks.sh --soak)";
+
+  constexpr std::size_t kSessions = 10'000;
+  constexpr std::size_t kDistinctTraces = 8;  // lane s streams trace s % 8
+  constexpr std::size_t kFramesPerStream = 600;  // bounded wall-clock
+  constexpr std::size_t kCorruptEvery = 1000;    // lanes 0, 1000, 2000, ...
+
+  const std::vector<synth::MotionKind> mix{
+      synth::MotionKind::kCircle, synth::MotionKind::kScrollUp,
+      synth::MotionKind::kClick, synth::MotionKind::kScrollDown};
+  std::vector<sensor::MultiChannelTrace> traces;
+  for (std::size_t t = 0; t < kDistinctTraces; ++t) {
+    synth::CollectionConfig config;
+    config.users = 1;
+    config.seed = 7100 + t;
+    traces.push_back(
+        synth::make_gesture_stream(config, mix, config.seed).trace);
+  }
+  // One corrupt variant: fed to every kCorruptEvery-th lane, whose strict
+  // session must fault and be quarantined without touching neighbours.
+  sensor::FaultInjectorConfig fault_config;
+  fault_config.non_finite_rate = 0.02;
+  sensor::FaultInjector injector(fault_config, 424242);
+  const sensor::MultiChannelTrace corrupt = injector.corrupt(traces[0]);
+  ASSERT_FALSE(injector.log().empty());
+
+  const auto trace_for = [&](std::size_t lane)
+      -> const sensor::MultiChannelTrace& {
+    return lane % kCorruptEvery == 0 ? corrupt
+                                     : traces[lane % kDistinctTraces];
+  };
+
+  const std::size_t channels = trained_bundle()->config().channels;
+  core::HostConfig host_config;
+  host_config.shards = 8;       // threads regardless of AF_THREADS
+  host_config.ring_frames = 16; // tiny: constant backpressure churn
+  core::MultiSessionHost host(trained_bundle(), kSessions,
+                              trained_bundle()->config().fault_policy,
+                              host_config);
+
+  // Interleaved arrival: bursts of 32 frames round-robin across all 10k
+  // lanes, overlapping with the shard workers the whole time.
+  constexpr std::size_t kBurst = 32;
+  std::vector<double> frame(channels);
+  std::uint64_t attempted = 0;
+  for (std::size_t offset = 0; offset < kFramesPerStream;
+       offset += kBurst) {
+    for (std::size_t lane = 0; lane < kSessions; ++lane) {
+      const sensor::MultiChannelTrace& trace = trace_for(lane);
+      const std::size_t limit =
+          std::min({offset + kBurst, kFramesPerStream,
+                    trace.sample_count()});
+      for (std::size_t f = offset; f < limit; ++f) {
+        for (std::size_t c = 0; c < channels; ++c)
+          frame[c] = trace.channel(c)[f];
+        host.feed(lane, frame);
+        ++attempted;
+      }
+    }
+  }
+  host.finish();
+
+  // Global ledger: every attempted frame is either processed or counted
+  // into its quarantined lane's dropped counters — exactly once (refused
+  // post-fault feeds land in dropped too; nothing is rejected: admission
+  // is kBlock and no lane is retired).
+  std::uint64_t dropped = 0;
+  std::size_t faulted = 0;
+  for (std::size_t lane = 0; lane < kSessions; ++lane) {
+    dropped += host.dropped_frames(lane);
+    if (host.session_faulted(lane)) ++faulted;
+  }
+  EXPECT_EQ(host.frames_processed() + dropped, attempted);
+  EXPECT_EQ(faulted, kSessions / kCorruptEvery);
+  for (std::size_t lane = 0; lane < kSessions; lane += kCorruptEvery)
+    EXPECT_TRUE(host.session_faulted(lane)) << "lane " << lane;
+
+  // Sampled bit-identity: healthy lanes must match a standalone Session
+  // fed the identical bounded stream on this thread.
+  const auto events = host.drain();
+  std::vector<std::vector<core::GestureEvent>> per_lane(kSessions);
+  for (const auto& e : events) per_lane[e.session].push_back(e.event);
+
+  for (std::size_t lane = 1; lane < kSessions; lane += 997) {
+    SCOPED_TRACE("lane " + std::to_string(lane));
+    const sensor::MultiChannelTrace& trace = trace_for(lane);
+    core::Session reference(trained_bundle());
+    std::vector<core::GestureEvent> expected;
+    const auto sink = [&expected](const core::GestureEvent& e) {
+      expected.push_back(e);
+    };
+    const std::size_t limit =
+        std::min(kFramesPerStream, trace.sample_count());
+    for (std::size_t f = 0; f < limit; ++f) {
+      for (std::size_t c = 0; c < channels; ++c)
+        frame[c] = trace.channel(c)[f];
+      reference.push_frame(frame, sink);
+    }
+    reference.finish(sink);
+    expect_events_identical(per_lane[lane], expected);
+  }
+}
+
+TEST(HostSoak, RejectAdmissionUnderSaturationKeepsExactLedger) {
+  if (!soak_enabled())
+    GTEST_SKIP() << "soak disabled; run with AF_SOAK=1 "
+                    "(tools/run_checks.sh --soak)";
+
+  // kReject at scale: saturate 2k lanes with more input than their rings
+  // can hold between epochs. Counts are scheduling-dependent per lane
+  // (workers drain concurrently), but the ledger must still balance:
+  // accepted == processed, accepted + rejected == attempted.
+  constexpr std::size_t kSessions = 2'000;
+  constexpr std::size_t kAttemptsPerLane = 64;
+  const std::size_t channels = trained_bundle()->config().channels;
+  core::HostConfig config;
+  config.shards = 4;
+  config.ring_frames = 8;
+  config.admission = core::Admission::kReject;
+  core::MultiSessionHost host(trained_bundle(), kSessions,
+                              trained_bundle()->config().fault_policy,
+                              config);
+
+  const std::vector<double> frame(channels, 0.01);
+  std::uint64_t accepted = 0;
+  for (std::size_t round = 0; round < kAttemptsPerLane; ++round)
+    for (std::size_t lane = 0; lane < kSessions; ++lane)
+      if (host.feed(lane, frame)) ++accepted;
+  host.pump();
+
+  std::uint64_t rejected = 0;
+  for (std::size_t lane = 0; lane < kSessions; ++lane)
+    rejected += host.rejected_frames(lane);
+  EXPECT_EQ(host.frames_processed(), accepted);
+  EXPECT_EQ(accepted + rejected, kSessions * kAttemptsPerLane);
+  EXPECT_GT(accepted, 0u);
+}
+
+}  // namespace
+}  // namespace airfinger

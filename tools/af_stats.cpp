@@ -11,10 +11,17 @@
 // deterministic lane order plus the host-level series — is written in the
 // requested exposition format (DESIGN.md §13).
 //
+// The host shape is configurable: --shards picks the worker shard count
+// (0 = auto from AF_THREADS, 1 = shardless inline reference), --ring the
+// per-lane ingest ring capacity, --admission the full-ring policy
+// (block/reject) — see DESIGN.md §14.
+//
 // Sessions run under a deterministic TickClock by default (--tick-ns per
 // clock read), so the full output is byte-identical across runs, machines,
-// and AF_THREADS settings; pass --tick-ns 0 to time with the real
-// monotonic clock instead.
+// shard counts, and AF_THREADS settings; pass --tick-ns 0 to time with the
+// real monotonic clock instead. --load-series 1 opts into the
+// scheduling-dependent backpressure series (ring high-water, blocked
+// feeds, shard count), which trades that byte-identity away.
 #include <iostream>
 #include <memory>
 
@@ -78,6 +85,18 @@ int run(int argc, char** argv) {
   cli.add_flag("seed", "11", "master random seed for synthesis/training");
   cli.add_flag("tick-ns", "1000",
                "deterministic clock step per read in ns (0: real clock)");
+  cli.add_flag("shards", "0",
+               "worker shards for the host (0: auto from AF_THREADS; "
+               "1: shardless inline reference)");
+  cli.add_flag("ring", "1024", "per-lane ingest ring capacity in frames");
+  cli.add_flag("admission", "block",
+               "full-ring policy: block (lossless) or reject (bounded "
+               "latency, counted)");
+  cli.add_flag("load-series", "0",
+               "1: include the scheduling-dependent load series (shards, "
+               "ring high-water, blocked feeds) — these vary across "
+               "machines and runs, so the output is no longer "
+               "byte-identical");
   cli.add_flag("format", "prometheus",
                "output format: prometheus, json, or table");
   if (!cli.parse(argc, argv)) return 0;
@@ -108,7 +127,16 @@ int run(int argc, char** argv) {
         synth::make_gesture_stream(config, mix, config.seed).trace);
   }
 
-  core::MultiSessionHost host(bundle, streams);
+  const std::string admission = cli.get("admission");
+  AF_EXPECT(admission == "block" || admission == "reject",
+            "--admission must be block or reject");
+  core::HostConfig host_config;
+  host_config.shards = static_cast<std::size_t>(cli.get_int("shards"));
+  host_config.ring_frames = static_cast<std::size_t>(cli.get_int("ring"));
+  host_config.admission = admission == "reject" ? core::Admission::kReject
+                                                : core::Admission::kBlock;
+  core::MultiSessionHost host(bundle, streams,
+                              bundle->config().fault_policy, host_config);
   for (std::size_t s = 0; s < streams; ++s) {
     auto& obs = host.mutable_session(s).observability();
     // Offline analysis: trace every frame rather than the serving path's
@@ -124,10 +152,10 @@ int run(int argc, char** argv) {
 
   std::cerr << "af_stats: " << streams << " streams, "
             << host.frames_processed() << " frames, " << events.size()
-            << " events over " << common::resolve_thread_count()
-            << " thread(s)\n";
+            << " events over " << host.shard_count() << " shard(s)\n";
 
-  const obs::MetricsSnapshot snapshot = host.aggregate_metrics();
+  const obs::MetricsSnapshot snapshot =
+      host.aggregate_metrics(cli.get_int("load-series") == 1);
   if (format == "json")
     obs::write_json(std::cout, snapshot);
   else if (format == "table")

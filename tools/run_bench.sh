@@ -67,22 +67,24 @@ if [[ "${SMOKE}" == 1 ]]; then
   "${BUILD}/bench/bench_inference" --passes 1 --streams 2 \
     --baseline-fps "${BASELINE_FPS}" --out "${OUT}"
   "${BUILD}/bench/bench_host_scaling" --streams 2 --rounds 1 \
-    --out "${HOST_OUT}"
+    --big-streams 200 --big-frames 128 --out "${HOST_OUT}"
   check_zero_allocs "${OUT}"
   echo "run_bench: smoke OK (report at ${OUT}, tracked baseline untouched)"
   exit 0
 fi
 
 # Runs the given bench binary REPEATS times and leaves the fastest run's
-# report at $2 (its frames/sec in BEST_FPS).
+# report at $2 (its frames/sec in BEST_FPS). Extra arguments after $2 are
+# passed through to the bench.
 BEST_FPS=""
 best_of() {
   local bin="$1" keep="$2" out fps
+  shift 2
   BEST_FPS=""
   for ((i = 1; i <= REPEATS; ++i)); do
     out="$(mktemp /tmp/BENCH_inference.run.XXXXXX.json)"
     "${bin}" --passes 4 --streams 16 \
-      --baseline-fps "${BASELINE_FPS}" --out "${out}"
+      --baseline-fps "${BASELINE_FPS}" --out "${out}" "$@"
     fps="$(json_field "${out}" frames_per_sec)"
     if [[ -z "${BEST_FPS}" ]] ||
         awk -v f="${fps}" -v b="${BEST_FPS}" 'BEGIN{exit !(f > b)}'; then
@@ -93,9 +95,18 @@ best_of() {
   done
 }
 
-best_of "${BUILD}/bench/bench_inference" "${ROOT}/BENCH_inference.json"
+# The tracked baseline carries the 10k-stream sharded-host sweep
+# (host_scaling_10k) alongside the single-session numbers.
+best_of "${BUILD}/bench/bench_inference" "${ROOT}/BENCH_inference.json" \
+  --big-streams 10000
 FPS_ON="${BEST_FPS}"
-"${BUILD}/bench/bench_host_scaling"
+# bench_host_scaling enforces its own scaling gates (bit identity across
+# shard counts always; the >=1.6x 4-shard speedup and monotonicity floors
+# whenever the hardware actually has >=4 threads) and exits non-zero on a
+# regression, which fails this script via `set -e`.
+HOST_REPORT="${BUILD}/bench_host_scaling.json"
+"${BUILD}/bench/bench_host_scaling" --out "${HOST_REPORT}"
+echo "run_bench: host scaling gate: $(sed -n 's/^  "scaling_gate": "\(.*\)",$/\1/p' "${HOST_REPORT}")"
 check_zero_allocs "${ROOT}/BENCH_inference.json"
 
 echo "== observability overhead guard (tolerance ${OVERHEAD_TOL}, best of ${REPEATS}) =="

@@ -7,7 +7,9 @@
 #   4. bench:  hot-path microbenchmark smoke (incl. 0-allocs/frame check)
 #   5. tsan:   tools/run_tsan.sh (ThreadSanitizer, multi-thread pool)
 #
-# Usage: tools/run_checks.sh [build-dir]   (default: build)
+# Usage: tools/run_checks.sh [--soak] [build-dir]   (default: build)
+# --soak additionally runs the 10k-session host soak (ctest label `soak`,
+# AF_SOAK=1) under the TSan tree — minutes of wall-clock, off by default.
 # Canonical build-dir layout (README.md): the tier-1 tree lives at
 # <build-dir> and every auxiliary tree nests under <build-dir>/aux
 # (<build-dir>/aux/asan, /aux/tsan, /aux/bench), so one ignored root holds
@@ -18,6 +20,11 @@
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+SOAK=0
+if [[ "${1:-}" == "--soak" ]]; then
+  SOAK=1
+  shift
+fi
 BUILD="${1:-${ROOT}/build}"
 
 echo "== tier-1: build + ctest =="
@@ -37,11 +44,13 @@ cmake -B "${ASAN_BUILD}" -S "${ROOT}" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DAF_SANITIZE=address,undefined
 cmake --build "${ASAN_BUILD}" -j \
-  --target bundle_test serialize_test core_test parallel_test compiled_forest_test fault_injection_test obs_test obs_pipeline_test
+  --target bundle_test serialize_test core_test parallel_test spsc_ring_test host_shard_test compiled_forest_test fault_injection_test obs_test obs_pipeline_test
 "${ASAN_BUILD}/tests/bundle_test"
 "${ASAN_BUILD}/tests/serialize_test"
 "${ASAN_BUILD}/tests/core_test"
 "${ASAN_BUILD}/tests/parallel_test"
+"${ASAN_BUILD}/tests/spsc_ring_test"
+"${ASAN_BUILD}/tests/host_shard_test"
 "${ASAN_BUILD}/tests/compiled_forest_test"
 "${ASAN_BUILD}/tests/fault_injection_test"
 "${ASAN_BUILD}/tests/obs_test"
@@ -52,5 +61,12 @@ echo "== bench smoke: hot-path microbenchmark builds and runs =="
 
 echo "== tsan: race-check the concurrency contract =="
 "${ROOT}/tools/run_tsan.sh" "${BUILD}/aux/tsan"
+
+if [[ "${SOAK}" == "1" ]]; then
+  echo "== soak: 10k-session sharded host under TSan (AF_SOAK=1) =="
+  TSAN_BUILD="${BUILD}/aux/tsan"
+  cmake --build "${TSAN_BUILD}" -j --target host_soak_test
+  AF_SOAK=1 ctest --test-dir "${TSAN_BUILD}" --output-on-failure -L soak
+fi
 
 echo "run_checks: all gates clean"

@@ -14,12 +14,16 @@ BUILD="${1:-${ROOT}/build/aux/tsan}"
 cmake -B "${BUILD}" -S "${ROOT}" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DAF_SANITIZE=thread
-cmake --build "${BUILD}" -j --target parallel_test determinism_test core_test bundle_test compiled_forest_test fault_injection_test obs_test obs_pipeline_test
+cmake --build "${BUILD}" -j --target parallel_test spsc_ring_test host_shard_test determinism_test core_test bundle_test compiled_forest_test fault_injection_test obs_test obs_pipeline_test
 
 export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1 second_deadlock_stack=1}"
 export AF_THREADS="${AF_THREADS:-4}"
 
 "${BUILD}/tests/parallel_test"
+# SPSC ring + sharded host: the release/acquire publish contract and the
+# park/unpark fence handshake are exactly what TSan exists to check.
+"${BUILD}/tests/spsc_ring_test"
+"${BUILD}/tests/host_shard_test"
 "${BUILD}/tests/determinism_test"
 "${BUILD}/tests/core_test"
 "${BUILD}/tests/bundle_test"
