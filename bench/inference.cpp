@@ -18,9 +18,12 @@
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <iterator>
 #include <new>
+#include <utility>
 
 #include "common/parallel.hpp"
+#include "common/simd.hpp"
 #include "core/multi_session_host.hpp"
 #include "core/session.hpp"
 #include "obs/exposition.hpp"
@@ -191,6 +194,51 @@ SingleSessionReport measure_single_session(
   return report;
 }
 
+/// One point of the 10k-scale host sweep, carrying the host shape it ran
+/// under so the report stays interpretable without cross-referencing code.
+struct BigSweepPoint {
+  std::size_t shards = 0;
+  std::size_t ring_frames = 0;
+  const char* admission = "block";
+  double frames_per_sec = 0.0;
+};
+
+/// Pulls {stage name -> p50_ns} out of a previously written report, so a
+/// run can record its per-stage speedup against a reference build (e.g.
+/// the -DAF_SIMD=OFF tree tools/run_bench.sh prepares). The stages array
+/// is emitted by this bench on a known single-line shape; scanning for
+/// the "name"/"p50_ns" pairs is enough.
+std::vector<std::pair<std::string, double>> parse_ref_stage_p50s(
+    const std::string& path) {
+  std::vector<std::pair<std::string, double>> out;
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "bench_inference: cannot read --ref-report " << path
+              << ", skipping stage speedups\n";
+    return out;
+  }
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  const std::size_t stages = text.find("\"stages\": [");
+  if (stages == std::string::npos) return out;
+  const std::size_t end = text.find(']', stages);
+  std::size_t pos = stages;
+  while (true) {
+    const std::size_t name_at = text.find("{\"name\": \"", pos);
+    if (name_at == std::string::npos || name_at > end) break;
+    const std::size_t name_begin = name_at + 10;
+    const std::size_t name_end = text.find('"', name_begin);
+    const std::size_t p50_at = text.find("\"p50_ns\": ", name_end);
+    if (name_end == std::string::npos || p50_at == std::string::npos ||
+        p50_at > end)
+      break;
+    out.emplace_back(text.substr(name_begin, name_end - name_begin),
+                     std::strtod(text.c_str() + p50_at + 10, nullptr));
+    pos = p50_at;
+  }
+  return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -205,6 +253,9 @@ int main(int argc, char** argv) {
   cli.add_flag("baseline-fps", "0",
                "single-thread frames/sec of the path being compared "
                "against (0 = no comparison recorded)");
+  cli.add_flag("ref-report", "",
+               "previously written report to compute per-stage p50 "
+               "speedups against (empty = none recorded)");
   cli.add_flag("out", "BENCH_inference.json", "JSON report path");
   const auto args = bench::parse_args(
       argc, argv, "bench_inference",
@@ -219,7 +270,11 @@ int main(int argc, char** argv) {
   const auto big_frames =
       static_cast<std::size_t>(cli.get_int("big-frames"));
   const double baseline_fps = cli.get_double("baseline-fps");
+  const std::string ref_report = cli.get("ref-report");
 
+  std::cout << "simd tier: " << simd::tier_name(simd::active_tier())
+            << " (detected " << simd::tier_name(simd::detected_tier())
+            << ")\n";
   std::cout << "training the shared bundle...\n";
   const auto bundle = bench::train_bundle(*args);
 
@@ -292,7 +347,7 @@ int main(int argc, char** argv) {
   // 10k-scale sweep (opt-in: --big-streams 10000): lanes reuse a small
   // pool of distinct traces and each receives a bounded slice, fed in
   // interleaved bursts while the shard workers classify concurrently.
-  std::vector<double> big_fps;
+  std::vector<BigSweepPoint> big_sweep;
   if (big_streams > 0) {
     constexpr std::size_t kBigPool = 32;
     std::vector<sensor::MultiChannelTrace> big_traces;
@@ -330,17 +385,31 @@ int main(int argc, char** argv) {
       const double wall = std::chrono::duration<double>(
                               std::chrono::steady_clock::now() - start)
                               .count();
-      big_fps.push_back(
-          static_cast<double>(host.frames_processed()) / wall);
+      BigSweepPoint point;
+      point.shards = shards;
+      point.ring_frames = host_config.ring_frames;
+      point.admission = host_config.admission == core::Admission::kBlock
+                            ? "block"
+                            : "reject";
+      point.frames_per_sec =
+          static_cast<double>(host.frames_processed()) / wall;
+      big_sweep.push_back(point);
       std::cout << "  host x" << big_streams << " @ " << shards
-                << " shard(s): " << big_fps.back() << " frames/s\n";
+                << " shard(s), ring " << point.ring_frames << ", admission "
+                << point.admission << ": " << point.frames_per_sec
+                << " frames/s\n";
     }
   }
 
   const double speedup =
       baseline_fps > 0.0 ? single.frames_per_sec / baseline_fps : 0.0;
+  const std::vector<std::pair<std::string, double>> ref_stages =
+      ref_report.empty() ? std::vector<std::pair<std::string, double>>{}
+                         : parse_ref_stage_p50s(ref_report);
   const auto emit = [&](std::ostream& os) {
     os << "{\n";
+    os << "  \"simd_tier\": \"" << simd::tier_name(simd::active_tier())
+       << "\",\n";
     os << "  \"frames_per_sec\": " << single.frames_per_sec << ",\n";
     os << "  \"p50_us\": " << single.p50_us << ",\n";
     os << "  \"p99_us\": " << single.p99_us << ",\n";
@@ -363,18 +432,38 @@ int main(int argc, char** argv) {
          << "}";
     }
     os << "],\n";
+    if (!ref_stages.empty()) {
+      // Per-stage p50 speedup vs the reference report (typically the
+      // -DAF_SIMD=OFF tree): ref_p50 / this run's p50, per shared stage.
+      os << "  \"stage_speedup_vs_ref\": [";
+      bool first = true;
+      for (const auto& s : single.stages) {
+        for (const auto& [name, ref_p50] : ref_stages) {
+          if (name != s.name || s.p50_ns <= 0.0) continue;
+          os << (first ? "" : ", ") << "{\"name\": \"" << s.name
+             << "\", \"ref_p50_ns\": " << ref_p50
+             << ", \"p50_ns\": " << s.p50_ns
+             << ", \"speedup\": " << ref_p50 / s.p50_ns << "}";
+          first = false;
+        }
+      }
+      os << "],\n";
+    }
     os << "  \"host_scaling\": [";
     for (std::size_t i = 0; i < counts.size(); ++i) {
       os << (i ? ", " : "") << "{\"threads\": " << counts[i]
          << ", \"frames_per_sec\": " << host_fps[i] << "}";
     }
     os << "]";
-    if (!big_fps.empty()) {
+    if (!big_sweep.empty()) {
       os << ",\n  \"host_scaling_10k\": {\"streams\": " << big_streams
          << ", \"frames_per_stream\": " << big_frames << ", \"sweep\": [";
-      for (std::size_t i = 0; i < big_fps.size(); ++i) {
-        os << (i ? ", " : "") << "{\"threads\": " << counts[i]
-           << ", \"frames_per_sec\": " << big_fps[i] << "}";
+      for (std::size_t i = 0; i < big_sweep.size(); ++i) {
+        const BigSweepPoint& p = big_sweep[i];
+        os << (i ? ", " : "") << "{\"shards\": " << p.shards
+           << ", \"ring_frames\": " << p.ring_frames << ", \"admission\": \""
+           << p.admission << "\", \"frames_per_sec\": " << p.frames_per_sec
+           << "}";
       }
       os << "]}";
     }

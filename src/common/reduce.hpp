@@ -1,0 +1,97 @@
+// Shared scalar reduction loops (satellite of DESIGN.md §15).
+//
+// Before the SIMD layer landed, the same handful of reduction loops —
+// plain sum, dot product, sum of squares, seeded max, weighted index sum —
+// were open-coded in dsp/, features/measures.cpp, features/bank.cpp and
+// core/ascending.cpp. They now live here once, as inline serial loops, so
+// every caller shares one definition and one accumulation order.
+//
+// Under -DAF_SIMD_FAST_MATH=ON the floating-point accumulating reductions
+// (sum / dot / energy) route through the reassociated simd kernels
+// (sum_fast / dot_fast), trading bit-stability for lane parallelism; the
+// epsilon contract is covered by tests/simd_test.cpp. min/max/argmax-style
+// reductions are order-free and never change.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "common/simd.hpp"
+
+#ifndef AF_SIMD_FAST_MATH
+#define AF_SIMD_FAST_MATH 0
+#endif
+
+namespace airfinger::common::reduce {
+
+/// Sum of all elements in ascending order (0 for empty input).
+inline double sum(std::span<const double> x) {
+#if AF_SIMD_FAST_MATH
+  return simd::kernels().sum_fast(x.data(), x.size());
+#else
+  double s = 0.0;
+  for (const double v : x) s += v;
+  return s;
+#endif
+}
+
+/// Dot product in ascending order. Requires a.size() == b.size().
+inline double dot(std::span<const double> a, std::span<const double> b) {
+#if AF_SIMD_FAST_MATH
+  return simd::kernels().dot_fast(a.data(), b.data(), a.size());
+#else
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+#endif
+}
+
+/// Sum of squares in ascending order (0 for empty input).
+inline double energy(std::span<const double> x) {
+#if AF_SIMD_FAST_MATH
+  return simd::kernels().dot_fast(x.data(), x.data(), x.size());
+#else
+  double s = 0.0;
+  for (const double v : x) s += v * v;
+  return s;
+#endif
+}
+
+/// Maximum of `seed` and every element, via sequential `v > m` updates —
+/// the open-coded peak-scan idiom (NaN elements never replace m).
+inline double max_with(std::span<const double> x, double seed) {
+  double m = seed;
+  for (const double v : x) {
+    if (v > m) m = v;
+  }
+  return m;
+}
+
+/// First minimum element (std::min_element semantics). Requires non-empty.
+inline double min_value(std::span<const double> x) {
+  double m = x[0];
+  for (std::size_t i = 1; i < x.size(); ++i) {
+    if (x[i] < m) m = x[i];
+  }
+  return m;
+}
+
+/// First maximum element (std::max_element semantics). Requires non-empty.
+inline double max_value(std::span<const double> x) {
+  double m = x[0];
+  for (std::size_t i = 1; i < x.size(); ++i) {
+    if (x[i] > m) m = x[i];
+  }
+  return m;
+}
+
+/// sum_i i * x[i] in ascending order (0 for empty input) — the centroid /
+/// tau numerator idiom.
+inline double weighted_index_sum(std::span<const double> x) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i)
+    s += static_cast<double>(i) * x[i];
+  return s;
+}
+
+}  // namespace airfinger::common::reduce

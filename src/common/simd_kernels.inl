@@ -1,0 +1,681 @@
+// Kernel bodies shared by every AF_SIMD backend (DESIGN.md §15).
+//
+// Two families live here, both in airfinger::simd::detail:
+//
+//   scalar_*   — the authoritative scalar reference implementations. These
+//                are the exact loops that used to be open-coded in
+//                dsp/filters.cpp, dsp/autocorr.cpp, dsp/wavelet.cpp,
+//                features/measures.cpp and ml/compiled_forest.cpp; the
+//                scalar dispatch table is built from them, and the vector
+//                templates reuse them for edges and tails.
+//
+//   *_v<Ops>   — lane-group templates instantiated by each vector backend
+//                with its Ops pack (kW lanes, load/store/add/mul/...,
+//                movemask-style predicates). Every template lanes across
+//                INDEPENDENT outputs so each lane runs the scalar
+//                accumulation order unchanged, or counts integers, which
+//                keeps the results bit-identical to scalar_* (§15 lays
+//                out the argument per kernel). Masked/zero-padded tails
+//                are never used for float accumulation — a masked +0.0
+//                would flip a -0.0 sum — so tails run the scalar code.
+//
+// This file is included by simd.cpp and by each simd_<arch>.cpp; all
+// definitions are inline or templates.
+#pragma once
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+
+namespace airfinger::simd::detail {
+
+// ---------------------------------------------------------------------------
+// Scalar reference kernels.
+// ---------------------------------------------------------------------------
+
+inline void scalar_accumulate(double* acc, const double* x, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) acc[i] += x[i];
+}
+
+inline void scalar_moving_average_one(const double* x, std::size_t n,
+                                      std::size_t half, std::size_t i,
+                                      double* out) {
+  const std::size_t lo = i >= half ? i - half : 0;
+  const std::size_t hi = std::min(i + half + 1, n);
+  double s = 0.0;
+  for (std::size_t j = lo; j < hi; ++j) s += x[j];
+  out[i] = s / static_cast<double>(hi - lo);
+}
+
+inline void scalar_moving_average_range(const double* x, std::size_t n,
+                                        std::size_t w, std::size_t from,
+                                        std::size_t to, double* out) {
+  const std::size_t half = w / 2;
+  for (std::size_t i = from; i < to; ++i)
+    scalar_moving_average_one(x, n, half, i, out);
+}
+
+inline void scalar_acf_numerators(const double* d, std::size_t n,
+                                  std::size_t lag0, std::size_t count,
+                                  double* out) {
+  for (std::size_t j = 0; j < count; ++j) {
+    const std::size_t lag = lag0 + j;
+    double s = 0.0;
+    for (std::size_t i = 0; i + lag < n; ++i) s += d[i] * d[i + lag];
+    out[j] = s;
+  }
+}
+
+// Valid tap range of output i in the clipped convolution: taps k with
+// 0 <= i + k - half < n. Iterating only the valid ks visits the same
+// multiplications in the same order as the historical skip-with-continue
+// loop, so the tightened bounds are bit-identical.
+inline std::size_t conv_k_lo(std::size_t i, std::size_t half) {
+  return half > i ? half - i : 0;
+}
+inline std::size_t conv_k_hi(std::size_t i, std::size_t n, std::size_t half) {
+  return std::min(2 * half + 1, n + half - i);
+}
+
+inline void scalar_conv_clipped_one(const double* x, std::size_t n,
+                                    const double* w, std::size_t half,
+                                    std::size_t i, double* out) {
+  const std::size_t k1 = conv_k_hi(i, n, half);
+  double acc = 0.0;
+  for (std::size_t k = conv_k_lo(i, half); k < k1; ++k)
+    acc += x[i + k - half] * w[k];
+  out[i] = acc;
+}
+
+inline void scalar_conv_clipped(const double* x, std::size_t n,
+                                const double* w, std::size_t half,
+                                double* out) {
+  for (std::size_t i = 0; i < n; ++i)
+    scalar_conv_clipped_one(x, n, w, half, i, out);
+}
+
+inline bool scalar_template_match(const double* x, std::size_t i,
+                                  std::size_t j, std::size_t m, double r) {
+  bool match = true;
+  for (std::size_t k = 0; k < m && match; ++k)
+    match = std::fabs(x[i + k] - x[j + k]) <= r;
+  return match;
+}
+
+inline std::size_t scalar_count_matches(const double* x, std::size_t n,
+                                        std::size_t m, double r) {
+  if (n < m) return 0;
+  const std::size_t templates = n - m + 1;
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < templates; ++i)
+    for (std::size_t j = i + 1; j < templates; ++j)
+      if (scalar_template_match(x, i, j, m, r)) ++count;
+  return count;
+}
+
+inline double scalar_apen_phi(const double* x, std::size_t n, std::size_t m,
+                              double r) {
+  const std::size_t templates = n - m + 1;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < templates; ++i) {
+    std::size_t count = 0;
+    for (std::size_t j = 0; j < templates; ++j)
+      if (scalar_template_match(x, i, j, m, r)) ++count;
+    acc += std::log(static_cast<double>(count) /
+                    static_cast<double>(templates));
+  }
+  return acc / static_cast<double>(templates);
+}
+
+inline std::size_t scalar_count_peaks_at_least(const double* x, std::size_t n,
+                                               std::size_t support,
+                                               double level) {
+  std::size_t count = 0;
+  if (n < 2 * support + 1) return count;
+  for (std::size_t i = support; i + support < n; ++i) {
+    bool is_peak = true;
+    for (std::size_t k = 1; k <= support && is_peak; ++k)
+      is_peak = x[i] > x[i - k] && x[i] > x[i + k];
+    if (is_peak && x[i] >= level) ++count;
+  }
+  return count;
+}
+
+inline void scalar_goertzel_batch(const double* x, std::size_t n,
+                                  const double* coeff, std::size_t k,
+                                  double* s1, double* s2) {
+  for (std::size_t f = 0; f < k; ++f) {
+    const double c = coeff[f];
+    double a = 0.0, b = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double s0 = x[i] + c * a - b;
+      b = a;
+      a = s0;
+    }
+    s1[f] = a;
+    s2[f] = b;
+  }
+}
+
+// One complex butterfly: (vr, vi) = v * w with the compiler's finite-path
+// complex-multiply order (ac - bd, ad + bc), then u +- v.
+inline void scalar_butterfly_one(double* u, double* v, double wr, double wi) {
+  const double vr = v[0] * wr - v[1] * wi;
+  const double vi = v[0] * wi + v[1] * wr;
+  const double ur = u[0], ui = u[1];
+  u[0] = ur + vr;
+  u[1] = ui + vi;
+  v[0] = ur - vr;
+  v[1] = ui - vi;
+}
+
+inline void scalar_fft_stage(double* reim, std::size_t n, std::size_t len,
+                             const double* tw) {
+  const std::size_t half = len / 2;
+  for (std::size_t i = 0; i < n; i += len)
+    for (std::size_t k = 0; k < half; ++k)
+      scalar_butterfly_one(reim + 2 * (i + k), reim + 2 * (i + k + half),
+                           tw[2 * k], tw[2 * k + 1]);
+}
+
+inline void scalar_forest_leaves(const std::int32_t* feature,
+                                 const double* threshold,
+                                 const std::int32_t* child, const double* x,
+                                 std::int32_t* idx, std::size_t count) {
+  for (std::size_t t = 0; t < count; ++t) {
+    auto i = static_cast<std::size_t>(idx[t]);
+    std::int32_t f = feature[i];
+    while (f >= 0) {
+      i = static_cast<std::size_t>(child[i]) +
+          (x[static_cast<std::size_t>(f)] < threshold[i] ? 0u : 1u);
+      f = feature[i];
+    }
+    idx[t] = static_cast<std::int32_t>(i);
+  }
+}
+
+// Descends four trees at once in software-interleaved scalar code. The
+// four walks are data-independent, so the out-of-order core overlaps
+// their dependent node loads instead of serializing one pointer-chase
+// per tree — measured ~2x over the serial walk and ~2.4x over an AVX2
+// masked-gather descent on the reference host (the gathers just stack
+// four dependent gather latencies per level; DESIGN.md §15). Leaf
+// indices are integers, so any descent order is bit-identical; every
+// vector tier shares this body.
+inline void interleaved_forest_leaves(const std::int32_t* feature,
+                                      const double* threshold,
+                                      const std::int32_t* child,
+                                      const double* x, std::int32_t* idx,
+                                      std::size_t count) {
+  std::size_t t = 0;
+  for (; t + 4 <= count; t += 4) {
+    auto i0 = static_cast<std::size_t>(idx[t]);
+    auto i1 = static_cast<std::size_t>(idx[t + 1]);
+    auto i2 = static_cast<std::size_t>(idx[t + 2]);
+    auto i3 = static_cast<std::size_t>(idx[t + 3]);
+    std::int32_t f0 = feature[i0], f1 = feature[i1], f2 = feature[i2],
+                 f3 = feature[i3];
+    // The AND of the four feature words has the sign bit set only once
+    // every walk has reached a leaf (feature < 0), so this loop runs to
+    // the deepest walk while finished lanes idle on their leaf.
+    while ((f0 & f1 & f2 & f3) >= 0) {
+      if (f0 >= 0) {
+        i0 = static_cast<std::size_t>(child[i0]) +
+             (x[static_cast<std::size_t>(f0)] < threshold[i0] ? 0u : 1u);
+        f0 = feature[i0];
+      }
+      if (f1 >= 0) {
+        i1 = static_cast<std::size_t>(child[i1]) +
+             (x[static_cast<std::size_t>(f1)] < threshold[i1] ? 0u : 1u);
+        f1 = feature[i1];
+      }
+      if (f2 >= 0) {
+        i2 = static_cast<std::size_t>(child[i2]) +
+             (x[static_cast<std::size_t>(f2)] < threshold[i2] ? 0u : 1u);
+        f2 = feature[i2];
+      }
+      if (f3 >= 0) {
+        i3 = static_cast<std::size_t>(child[i3]) +
+             (x[static_cast<std::size_t>(f3)] < threshold[i3] ? 0u : 1u);
+        f3 = feature[i3];
+      }
+    }
+    idx[t] = static_cast<std::int32_t>(i0);
+    idx[t + 1] = static_cast<std::int32_t>(i1);
+    idx[t + 2] = static_cast<std::int32_t>(i2);
+    idx[t + 3] = static_cast<std::int32_t>(i3);
+  }
+  scalar_forest_leaves(feature, threshold, child, x, idx + t, count - t);
+}
+
+inline void scalar_entropy_counts(const double* x, std::size_t n,
+                                  std::size_t m, double r, std::uint32_t* cm,
+                                  std::uint32_t* cm1, std::size_t* pairs_m,
+                                  std::size_t* pairs_m1) {
+  const std::size_t tm = n - m + 1;   // templates of length m
+  const std::size_t tm1 = n - m;      // templates of length m + 1
+  for (std::size_t i = 0; i < tm; ++i) cm[i] = 1;  // ApEn self-match
+  for (std::size_t i = 0; i < tm1; ++i) cm1[i] = 1;
+  std::size_t pm = 0, pm1 = 0;
+  for (std::size_t i = 0; i < tm; ++i)
+    for (std::size_t j = i + 1; j < tm; ++j)
+      if (scalar_template_match(x, i, j, m, r)) {
+        ++pm;
+        ++cm[i];
+        ++cm[j];
+        // A length-(m+1) match is a length-m match whose final offset is
+        // also within r — defined only when both templates still fit
+        // (j < tm1 implies i < tm1 since i < j).
+        if (j < tm1 && std::fabs(x[i + m] - x[j + m]) <= r) {
+          ++pm1;
+          ++cm1[i];
+          ++cm1[j];
+        }
+      }
+  *pairs_m = pm;
+  *pairs_m1 = pm1;
+}
+
+inline double scalar_sum_fast(const double* x, std::size_t n) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < n; ++i) s += x[i];
+  return s;
+}
+
+inline double scalar_dot_fast(const double* a, const double* b,
+                              std::size_t n) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < n; ++i) s += a[i] * b[i];
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// Generic lane-group templates over an Ops pack:
+//   kW lanes of double in Ops::V; load/store/broadcast/zero;
+//   add/sub/mul/div; gt_mask/ge_mask/within_mask returning a kW-bit
+//   movemask (bit l set when lane l satisfies the predicate).
+// ---------------------------------------------------------------------------
+
+template <class O>
+void accumulate_v(double* acc, const double* x, std::size_t n) {
+  constexpr std::size_t W = O::kW;
+  std::size_t i = 0;
+  for (; i + W <= n; i += W)
+    O::store(acc + i, O::add(O::load(acc + i), O::load(x + i)));
+  for (; i < n; ++i) acc[i] += x[i];
+}
+
+template <class O>
+void moving_average_range_v(const double* x, std::size_t n, std::size_t w,
+                            std::size_t from, std::size_t to, double* out) {
+  constexpr std::size_t W = O::kW;
+  const std::size_t half = w / 2;
+  std::size_t i = from;
+  // Left edge: clipped windows, scalar.
+  for (const std::size_t lead = std::min(to, std::min(half, n)); i < lead; ++i)
+    scalar_moving_average_one(x, n, half, i, out);
+  // Interior: every lane owns one output position whose full window
+  // [i-half, i+half] is in range; per-lane accumulation runs the scalar
+  // left-to-right order.
+  if (n > half) {
+    const std::size_t hi = std::min(to, n - half);
+    const std::size_t taps = 2 * half + 1;
+    const typename O::V count = O::broadcast(static_cast<double>(taps));
+    // Four output groups in flight: one group's window sum is a serial
+    // add chain (every step waits on the previous add), which leaves the
+    // FP adder idle most cycles at the window widths the callers use.
+    // Independent chains fill those slots; each output still accumulates
+    // its own window left-to-right, so the bits are the scalar bits.
+    for (; i + 4 * W <= hi; i += 4 * W) {
+      typename O::V a0 = O::zero(), a1 = O::zero(), a2 = O::zero(),
+                    a3 = O::zero();
+      const double* base = x + (i - half);
+      for (std::size_t t = 0; t < taps; ++t) {
+        a0 = O::add(a0, O::load(base + t));
+        a1 = O::add(a1, O::load(base + W + t));
+        a2 = O::add(a2, O::load(base + 2 * W + t));
+        a3 = O::add(a3, O::load(base + 3 * W + t));
+      }
+      O::store(out + i, O::div(a0, count));
+      O::store(out + i + W, O::div(a1, count));
+      O::store(out + i + 2 * W, O::div(a2, count));
+      O::store(out + i + 3 * W, O::div(a3, count));
+    }
+    for (; i + W <= hi; i += W) {
+      typename O::V acc = O::zero();
+      const double* base = x + (i - half);
+      for (std::size_t t = 0; t < taps; ++t)
+        acc = O::add(acc, O::load(base + t));
+      O::store(out + i, O::div(acc, count));
+    }
+    for (; i < hi; ++i) scalar_moving_average_one(x, n, half, i, out);
+  }
+  // Right edge: clipped windows, scalar.
+  for (; i < to; ++i) scalar_moving_average_one(x, n, half, i, out);
+}
+
+template <class O>
+void acf_numerators_v(const double* d, std::size_t n, std::size_t lag0,
+                      std::size_t count, double* out) {
+  constexpr std::size_t W = O::kW;
+  std::size_t j = 0;
+  for (; j + W <= count; j += W) {
+    // Lane l sums d[i] * d[i + L0 + l]; the first `shared` iterations are
+    // valid for every lane and run vectorized, the per-lane remainder
+    // continues in the same ascending-i order.
+    const std::size_t L0 = lag0 + j;
+    const std::size_t Lmax = L0 + W - 1;
+    const std::size_t shared = n > Lmax ? n - Lmax : 0;
+    typename O::V acc = O::zero();
+    for (std::size_t i = 0; i < shared; ++i)
+      acc = O::add(acc, O::mul(O::broadcast(d[i]), O::load(d + i + L0)));
+    double lanes[W];
+    O::store(lanes, acc);
+    for (std::size_t l = 0; l < W; ++l) {
+      const std::size_t lag = L0 + l;
+      double s = lanes[l];
+      for (std::size_t i = shared; i + lag < n; ++i) s += d[i] * d[i + lag];
+      out[j + l] = s;
+    }
+  }
+  if (j < count) scalar_acf_numerators(d, n, lag0 + j, count - j, out + j);
+}
+
+template <class O>
+void conv_clipped_v(const double* x, std::size_t n, const double* w,
+                    std::size_t half, double* out) {
+  constexpr std::size_t W = O::kW;
+  const std::size_t taps = 2 * half + 1;
+  std::size_t i0 = 0;
+  while (i0 + W <= n) {
+    // Fully-interior fast path, four output groups in flight: a group's
+    // multiply-accumulate chain is latency-bound exactly like the moving
+    // average's, so independent chains quadruple the adder's occupancy.
+    // Every lane runs its full tap range [0, taps) ascending with one
+    // accumulator — the identical op sequence to the general path below,
+    // hence the identical bits.
+    if (i0 >= half && i0 + 4 * W + half <= n) {
+      typename O::V a0 = O::zero(), a1 = O::zero(), a2 = O::zero(),
+                    a3 = O::zero();
+      const double* base = x + (i0 - half);
+      for (std::size_t k = 0; k < taps; ++k) {
+        const typename O::V wk = O::broadcast(w[k]);
+        a0 = O::add(a0, O::mul(O::load(base + k), wk));
+        a1 = O::add(a1, O::mul(O::load(base + W + k), wk));
+        a2 = O::add(a2, O::mul(O::load(base + 2 * W + k), wk));
+        a3 = O::add(a3, O::mul(O::load(base + 3 * W + k), wk));
+      }
+      O::store(out + i0, a0);
+      O::store(out + i0 + W, a1);
+      O::store(out + i0 + 2 * W, a2);
+      O::store(out + i0 + 3 * W, a3);
+      i0 += 4 * W;
+      continue;
+    }
+    // General (clipped) path. Shared tap range valid for every lane of a
+    // group: conv_k_lo is non-increasing and conv_k_hi non-increasing in
+    // i, so lane 0 bounds the left and lane W-1 the right. Leading and
+    // trailing clipped taps run scalar per lane in ascending k, the
+    // shared middle runs vectorized — per lane that is one accumulator
+    // visiting its full tap range left-to-right, the scalar order.
+    const auto lead = [&](std::size_t g, std::size_t ks_lo, double* lanes) {
+      for (std::size_t l = 0; l < W; ++l) {
+        const std::size_t i = g + l;
+        const std::size_t stop = std::min(ks_lo, conv_k_hi(i, n, half));
+        for (std::size_t k = conv_k_lo(i, half); k < stop; ++k)
+          lanes[l] += x[i + k - half] * w[k];
+      }
+    };
+    const auto tail = [&](std::size_t g, std::size_t ks, double* lanes) {
+      for (std::size_t l = 0; l < W; ++l) {
+        const std::size_t i = g + l;
+        const std::size_t k1 = conv_k_hi(i, n, half);
+        for (std::size_t k = std::max(ks, conv_k_lo(i, half)); k < k1; ++k)
+          lanes[l] += x[i + k - half] * w[k];
+        out[i] = lanes[l];
+      }
+    };
+    const std::size_t ks_lo = conv_k_lo(i0, half);
+    const std::size_t ks_hi = conv_k_hi(i0 + W - 1, n, half);
+    const std::size_t ks = ks_hi > ks_lo ? ks_hi : ks_lo;
+    double lanes[W] = {};
+    lead(i0, ks_lo, lanes);
+    // Paired groups: clipped windows (wide CWT wavelets on short canonical
+    // segments) never reach the fully-interior fast path above, yet their
+    // shared loops are the same latency-bound chain. Walking two adjacent
+    // groups' shared ranges in lockstep keeps two chains in flight; each
+    // group's own ks order is untouched.
+    if (i0 + 2 * W <= n) {
+      const std::size_t g1 = i0 + W;
+      const std::size_t ks_lo1 = conv_k_lo(g1, half);
+      const std::size_t ks_hi1 = conv_k_hi(g1 + W - 1, n, half);
+      const std::size_t ks1 = ks_hi1 > ks_lo1 ? ks_hi1 : ks_lo1;
+      double lanes1[W] = {};
+      lead(g1, ks_lo1, lanes1);
+      typename O::V a0 = O::load(lanes);
+      typename O::V a1 = O::load(lanes1);
+      std::size_t k0 = ks_lo;
+      std::size_t k1 = ks_lo1;
+      for (; k0 < ks_hi && k1 < ks_hi1; ++k0, ++k1) {
+        a0 = O::add(a0,
+                    O::mul(O::load(x + (i0 + k0 - half)), O::broadcast(w[k0])));
+        a1 = O::add(a1,
+                    O::mul(O::load(x + (g1 + k1 - half)), O::broadcast(w[k1])));
+      }
+      for (; k0 < ks_hi; ++k0)
+        a0 = O::add(a0,
+                    O::mul(O::load(x + (i0 + k0 - half)), O::broadcast(w[k0])));
+      for (; k1 < ks_hi1; ++k1)
+        a1 = O::add(a1,
+                    O::mul(O::load(x + (g1 + k1 - half)), O::broadcast(w[k1])));
+      O::store(lanes, a0);
+      O::store(lanes1, a1);
+      tail(i0, ks, lanes);
+      tail(g1, ks1, lanes1);
+      i0 += 2 * W;
+      continue;
+    }
+    if (ks_hi > ks_lo) {
+      typename O::V acc = O::load(lanes);
+      for (std::size_t k = ks_lo; k < ks_hi; ++k)
+        acc = O::add(acc,
+                     O::mul(O::load(x + (i0 + k - half)), O::broadcast(w[k])));
+      O::store(lanes, acc);
+    }
+    tail(i0, ks, lanes);
+    i0 += W;
+  }
+  for (; i0 < n; ++i0) scalar_conv_clipped_one(x, n, w, half, i0, out);
+}
+
+// Chebyshev template-match mask across W candidate js; match counting is
+// integer, hence order-free and exactly equal to the scalar double loop.
+template <class O>
+unsigned match_mask(const double* x, std::size_t i, std::size_t j,
+                    std::size_t m, typename O::V vr) {
+  constexpr unsigned full = (1u << O::kW) - 1u;
+  unsigned mask = full;
+  for (std::size_t k = 0; k < m && mask; ++k)
+    mask &= O::within_mask(O::broadcast(x[i + k]), O::load(x + j + k), vr);
+  return mask;
+}
+
+template <class O>
+std::size_t count_matches_v(const double* x, std::size_t n, std::size_t m,
+                            double r) {
+  if (n < m) return 0;
+  constexpr std::size_t W = O::kW;
+  const std::size_t templates = n - m + 1;
+  const typename O::V vr = O::broadcast(r);
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < templates; ++i) {
+    std::size_t j = i + 1;
+    for (; j + W <= templates; j += W)
+      count += static_cast<std::size_t>(
+          std::popcount(match_mask<O>(x, i, j, m, vr)));
+    for (; j < templates; ++j)
+      if (scalar_template_match(x, i, j, m, r)) ++count;
+  }
+  return count;
+}
+
+template <class O>
+double apen_phi_v(const double* x, std::size_t n, std::size_t m, double r) {
+  constexpr std::size_t W = O::kW;
+  const std::size_t templates = n - m + 1;
+  const typename O::V vr = O::broadcast(r);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < templates; ++i) {
+    std::size_t count = 0;
+    std::size_t j = 0;
+    for (; j + W <= templates; j += W)
+      count += static_cast<std::size_t>(
+          std::popcount(match_mask<O>(x, i, j, m, vr)));
+    for (; j < templates; ++j)
+      if (scalar_template_match(x, i, j, m, r)) ++count;
+    acc += std::log(static_cast<double>(count) /
+                    static_cast<double>(templates));
+  }
+  return acc / static_cast<double>(templates);
+}
+
+template <class O>
+void entropy_counts_v(const double* x, std::size_t n, std::size_t m, double r,
+                      std::uint32_t* cm, std::uint32_t* cm1,
+                      std::size_t* pairs_m, std::size_t* pairs_m1) {
+  constexpr std::size_t W = O::kW;
+  const std::size_t tm = n - m + 1;
+  const std::size_t tm1 = n - m;
+  for (std::size_t i = 0; i < tm; ++i) cm[i] = 1;
+  for (std::size_t i = 0; i < tm1; ++i) cm1[i] = 1;
+  const typename O::V vr = O::broadcast(r);
+  std::size_t pm = 0, pm1 = 0;
+  for (std::size_t i = 0; i < tm; ++i) {
+    std::size_t j = i + 1;
+    for (; j + W <= tm; j += W) {
+      const unsigned mask = match_mask<O>(x, i, j, m, vr);
+      if (!mask) continue;
+      const auto pc = static_cast<std::size_t>(std::popcount(mask));
+      pm += pc;
+      cm[i] += static_cast<std::uint32_t>(pc);
+      for (unsigned mm = mask; mm; mm &= mm - 1)
+        ++cm[j + static_cast<std::size_t>(std::countr_zero(mm))];
+      // Extend matched lanes by the final offset. The vector load of
+      // x[j+m .. j+m+W-1] is only in bounds while every lane's m+1
+      // template fits (j + W <= tm1); the last group of the row checks
+      // its lanes one by one instead.
+      unsigned mask1 = 0;
+      if (j + W <= tm1) {
+        mask1 = mask & O::within_mask(O::broadcast(x[i + m]),
+                                      O::load(x + j + m), vr);
+      } else {
+        for (unsigned mm = mask; mm; mm &= mm - 1) {
+          const auto l = static_cast<std::size_t>(std::countr_zero(mm));
+          if (j + l < tm1 && std::fabs(x[i + m] - x[j + l + m]) <= r)
+            mask1 |= 1u << l;
+        }
+      }
+      if (!mask1) continue;
+      const auto pc1 = static_cast<std::size_t>(std::popcount(mask1));
+      pm1 += pc1;
+      cm1[i] += static_cast<std::uint32_t>(pc1);
+      for (unsigned mm = mask1; mm; mm &= mm - 1)
+        ++cm1[j + static_cast<std::size_t>(std::countr_zero(mm))];
+    }
+    for (; j < tm; ++j)
+      if (scalar_template_match(x, i, j, m, r)) {
+        ++pm;
+        ++cm[i];
+        ++cm[j];
+        if (j < tm1 && std::fabs(x[i + m] - x[j + m]) <= r) {
+          ++pm1;
+          ++cm1[i];
+          ++cm1[j];
+        }
+      }
+  }
+  *pairs_m = pm;
+  *pairs_m1 = pm1;
+}
+
+template <class O>
+std::size_t count_peaks_at_least_v(const double* x, std::size_t n,
+                                   std::size_t support, double level) {
+  if (n < 2 * support + 1) return 0;
+  constexpr std::size_t W = O::kW;
+  const typename O::V vlevel = O::broadcast(level);
+  const std::size_t end = n - support;
+  std::size_t count = 0;
+  std::size_t i = support;
+  for (; i + W <= end; i += W) {
+    const typename O::V centre = O::load(x + i);
+    unsigned mask = (1u << W) - 1u;
+    for (std::size_t k = 1; k <= support && mask; ++k) {
+      mask &= O::gt_mask(centre, O::load(x + i - k));
+      mask &= O::gt_mask(centre, O::load(x + i + k));
+    }
+    mask &= O::ge_mask(centre, vlevel);
+    count += static_cast<std::size_t>(std::popcount(mask));
+  }
+  for (; i < end; ++i) {
+    bool is_peak = true;
+    for (std::size_t k = 1; k <= support && is_peak; ++k)
+      is_peak = x[i] > x[i - k] && x[i] > x[i + k];
+    if (is_peak && x[i] >= level) ++count;
+  }
+  return count;
+}
+
+template <class O>
+void goertzel_batch_v(const double* x, std::size_t n, const double* coeff,
+                      std::size_t k, double* s1, double* s2) {
+  constexpr std::size_t W = O::kW;
+  std::size_t f = 0;
+  for (; f + W <= k; f += W) {
+    const typename O::V c = O::load(coeff + f);
+    typename O::V a = O::zero(), b = O::zero();
+    for (std::size_t i = 0; i < n; ++i) {
+      // Per lane: (x + c*a) - b, the exact scalar recurrence order.
+      const typename O::V s0 =
+          O::sub(O::add(O::broadcast(x[i]), O::mul(c, a)), b);
+      b = a;
+      a = s0;
+    }
+    O::store(s1 + f, a);
+    O::store(s2 + f, b);
+  }
+  if (f < k) scalar_goertzel_batch(x, n, coeff + f, k - f, s1 + f, s2 + f);
+}
+
+template <class O>
+double sum_fast_v(const double* x, std::size_t n) {
+  constexpr std::size_t W = O::kW;
+  typename O::V acc = O::zero();
+  std::size_t i = 0;
+  for (; i + W <= n; i += W) acc = O::add(acc, O::load(x + i));
+  double lanes[W];
+  O::store(lanes, acc);
+  double s = 0.0;
+  for (std::size_t l = 0; l < W; ++l) s += lanes[l];
+  for (; i < n; ++i) s += x[i];
+  return s;
+}
+
+template <class O>
+double dot_fast_v(const double* a, const double* b, std::size_t n) {
+  constexpr std::size_t W = O::kW;
+  typename O::V acc = O::zero();
+  std::size_t i = 0;
+  for (; i + W <= n; i += W)
+    acc = O::add(acc, O::mul(O::load(a + i), O::load(b + i)));
+  double lanes[W];
+  O::store(lanes, acc);
+  double s = 0.0;
+  for (std::size_t l = 0; l < W; ++l) s += lanes[l];
+  for (; i < n; ++i) s += a[i] * b[i];
+  return s;
+}
+
+}  // namespace airfinger::simd::detail

@@ -44,8 +44,10 @@ double median(std::span<const double> x);
 /// Linear-interpolated quantile, q in [0,1]. Requires non-empty input.
 double quantile(std::span<const double> x, double q);
 
-/// quantile() with caller-provided sort scratch (scratch.size() >= x.size());
-/// x is copied into scratch and the prefix sorted, so no allocation happens.
+/// quantile() with caller-provided scratch (scratch.size() >= x.size());
+/// x is copied into scratch and the two bracketing order statistics are
+/// selected in O(n) (bit-identical to a full sort), so no allocation
+/// happens. The scratch prefix is left partially reordered, not sorted.
 double quantile_with(std::span<const double> x, double q,
                      std::span<double> scratch);
 

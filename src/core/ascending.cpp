@@ -4,6 +4,8 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "common/reduce.hpp"
+#include "common/simd.hpp"
 #include "common/stats.hpp"
 #include "dsp/filters.hpp"
 #include "dsp/xcorr.hpp"
@@ -30,7 +32,7 @@ AscendingPoints find_ascending_points(
 
   double strongest = 0.0;
   for (std::size_t c = 0; c < windows.size(); ++c) {
-    for (double v : windows[c]) out.peaks[c] = std::max(out.peaks[c], v);
+    out.peaks[c] = common::reduce::max_with(windows[c], 0.0);
     strongest = std::max(strongest, out.peaks[c]);
   }
   const double silence_level = strongest * config.silence_fraction;
@@ -103,11 +105,8 @@ SegmentTiming segment_timing(std::span<const std::span<const double>> windows,
     if (!out.active[c]) continue;
     if (out.first_active < 0) out.first_active = static_cast<int>(c);
     out.last_active = static_cast<int>(c);
-    double energy = 0.0, weighted = 0.0;
-    for (std::size_t i = 0; i < windows[c].size(); ++i) {
-      energy += windows[c][i];
-      weighted += static_cast<double>(i) * windows[c][i];
-    }
+    const double energy = common::reduce::sum(windows[c]);
+    const double weighted = common::reduce::weighted_index_sum(windows[c]);
     out.tau_s[c] =
         energy > 0.0 ? (weighted / energy) / sample_rate_hz : 0.0;
   }
@@ -123,8 +122,8 @@ SegmentTiming segment_timing(std::span<const std::span<const double>> windows,
   if (n > 0) {
     const std::span<double> envelope_raw = arena.alloc<double>(n);
     for (const auto& w : windows)
-      for (std::size_t i = 0; i < n && i < w.size(); ++i)
-        envelope_raw[i] += w[i];
+      simd::kernels().accumulate(envelope_raw.data(), w.data(),
+                                 std::min(n, w.size()));
     const auto smooth = std::max<std::size_t>(
         1, static_cast<std::size_t>(
                std::lround(config.envelope_smooth_s * sample_rate_hz)));
@@ -143,11 +142,20 @@ SegmentTiming segment_timing(std::span<const std::span<const double>> windows,
     const std::span<double> e3 = arena.alloc<double>(n);
     dsp::moving_average_into(windows.back(), a_smooth, e3);
     const std::span<double> esum = arena.alloc<double>(n);
-    for (const auto& w : windows) {
-      const auto channel_frame = arena.frame();
-      const std::span<double> es = arena.alloc<double>(n);
-      dsp::moving_average_into(w, a_smooth, es);
-      for (std::size_t i = 0; i < n; ++i) esum[i] += es[i];
+    // The sum's outer-channel terms are exactly e1/e3 (same window, same
+    // smoothing); reusing them drops two of the five moving averages.
+    // Accumulation stays in channel order, so esum keeps its bits.
+    for (std::size_t c = 0; c < windows.size(); ++c) {
+      if (c == 0) {
+        simd::kernels().accumulate(esum.data(), e1.data(), n);
+      } else if (c + 1 == windows.size()) {
+        simd::kernels().accumulate(esum.data(), e3.data(), n);
+      } else {
+        const auto channel_frame = arena.frame();
+        const std::span<double> es = arena.alloc<double>(n);
+        dsp::moving_average_into(windows[c], a_smooth, es);
+        simd::kernels().accumulate(esum.data(), es.data(), n);
+      }
     }
     detail::asymmetry_stats(e1, e3, esum, sample_rate_hz, config, arena, out);
   }
@@ -157,8 +165,7 @@ SegmentTiming segment_timing(std::span<const std::span<const double>> windows,
 void detail::envelope_stats(std::span<const double> envelope,
                             double sample_rate_hz, const TimingConfig& config,
                             SegmentTiming& out) {
-  double peak = 0.0;
-  for (double v : envelope) peak = std::max(peak, v);
+  const double peak = common::reduce::max_with(envelope, 0.0);
   const double level = peak * config.peak_level;
   const auto support = std::max<std::size_t>(
       1, static_cast<std::size_t>(
@@ -179,8 +186,7 @@ void detail::asymmetry_stats(std::span<const double> e1,
   const std::size_t n = esum.size();
   const auto asymmetry_frame = arena.frame();
   {
-    double esum_peak = 0.0;
-    for (double v : esum) esum_peak = std::max(esum_peak, v);
+    const double esum_peak = common::reduce::max_with(esum, 0.0);
     const double eps =
         std::max(esum_peak * config.epsilon_fraction, 1e-12);
 
@@ -234,8 +240,7 @@ void detail::asymmetry_stats(std::span<const double> e1,
       // must retrace more than the hysteresis to count. A monotone sweep
       // (scroll) has 0 reversals; cyclic gestures (rub, circle) whose A
       // returns towards its start have >= 1.
-      double max_w = 0.0;
-      for (double v : w) max_w = std::max(max_w, v);
+      const double max_w = common::reduce::max_with(w, 0.0);
       const double gate = max_w * config.gate_fraction;
       double lo = 0.0, hi = 0.0;
       bool started = false;

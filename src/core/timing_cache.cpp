@@ -5,6 +5,7 @@
 
 #include "common/error.hpp"
 #include "common/stats.hpp"
+#include "dsp/filters.hpp"
 
 namespace airfinger::core {
 
@@ -75,19 +76,14 @@ void OpenSegmentTiming::advance_moving_average(std::span<const double> x,
                                                std::vector<double>& out) {
   // An entry i of moving_average(x, w) reads x[max(0, i-half) .. i+half];
   // at a previous length m it was final iff i + half + 1 <= m. Recompute
-  // only the trailing entries the grow invalidated, with the same brute
-  // per-output loop as moving_average_into (bit-identity contract).
+  // only the trailing entries the grow invalidated, through the same
+  // AF_SIMD moving_average_range kernel moving_average_into uses, so each
+  // revised entry is bit-identical to a full pass.
   const std::size_t half = w / 2;
   const std::size_t m = out.size();
   const std::size_t revise = m > half ? m - half : 0;
   out.resize(x.size());
-  for (std::size_t i = revise; i < x.size(); ++i) {
-    const std::size_t lo = i >= half ? i - half : 0;
-    const std::size_t hi = std::min(i + half + 1, x.size());
-    double s = 0.0;
-    for (std::size_t j = lo; j < hi; ++j) s += x[j];
-    out[i] = s / static_cast<double>(hi - lo);
-  }
+  dsp::moving_average_range_into(x, w, revise, out);
 }
 
 SegmentTiming OpenSegmentTiming::timing(

@@ -4,6 +4,8 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "common/reduce.hpp"
+#include "common/simd.hpp"
 #include "common/stats.hpp"
 
 namespace airfinger::dsp {
@@ -34,6 +36,28 @@ void acf_into(std::span<const double> x, std::span<double> out) {
   if (out[0] == 0.0 && !x.empty()) out[0] = 1.0;  // zero-variance convention
 }
 
+void acf_into(std::span<const double> x, common::ScratchArena& arena,
+              std::span<double> out) {
+  AF_EXPECT(!out.empty(), "acf output must hold at least lag 0");
+  AF_EXPECT(!x.empty(), "acf requires non-empty input");
+  const std::size_t n = x.size();
+  const std::size_t max_lag = out.size() - 1;
+  const auto frame = arena.frame();
+  const std::span<double> d = arena.alloc<double>(n);
+  const double m = common::mean(x);
+  for (std::size_t i = 0; i < n; ++i) d[i] = x[i] - m;
+  const double den = common::reduce::energy(d);
+  if (den > 0.0) {
+    const std::size_t lags = std::min(max_lag, n - 1);
+    simd::kernels().acf_numerators(d.data(), n, 0, lags + 1, out.data());
+    for (std::size_t k = 0; k <= lags; ++k) out[k] /= den;
+    for (std::size_t k = lags + 1; k <= max_lag; ++k) out[k] = 0.0;
+  } else {
+    for (double& o : out) o = 0.0;
+  }
+  if (out[0] == 0.0) out[0] = 1.0;  // zero-variance convention
+}
+
 std::vector<double> pacf(std::span<const double> x, std::size_t max_lag) {
   AF_EXPECT(max_lag >= 1, "pacf requires max_lag >= 1");
   std::vector<double> out(max_lag, 0.0);
@@ -48,7 +72,7 @@ void pacf_into(std::span<const double> x, common::ScratchArena& arena,
   AF_EXPECT(max_lag >= 1, "pacf requires max_lag >= 1");
   const auto frame = arena.frame();
   const std::span<double> rho = arena.alloc<double>(max_lag + 1);
-  acf_into(x, rho);
+  acf_into(x, arena, rho);
   for (double& o : out) o = 0.0;
 
   // Durbin–Levinson: phi[k][k] is the PACF at lag k.
@@ -85,7 +109,7 @@ void ar_coefficients_into(std::span<const double> x,
   AF_EXPECT(p >= 1, "ar_coefficients requires p >= 1");
   const auto frame = arena.frame();
   const std::span<double> rho = arena.alloc<double>(p + 1);
-  acf_into(x, rho);
+  acf_into(x, arena, rho);
   // Levinson recursion on the Yule–Walker equations.
   const std::span<double> phi_prev = arena.alloc<double>(p + 1);
   const std::span<double> phi = arena.alloc<double>(p + 1);

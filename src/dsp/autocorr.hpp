@@ -20,8 +20,18 @@ double autocorrelation(std::span<const double> x, std::size_t lag);
 std::vector<double> acf(std::span<const double> x, std::size_t max_lag);
 
 /// acf() writing into caller storage; max_lag = out.size() - 1 (out
-/// non-empty).
+/// non-empty). Reference implementation: one autocorrelation() pass per
+/// lag, recentring the signal every time.
 void acf_into(std::span<const double> x, std::span<double> out);
+
+/// acf_into() with the centred signal hoisted into `arena` scratch: the
+/// mean and the lag-0 denominator are computed once and the per-lag
+/// numerators run through the AF_SIMD acf_numerators kernel. Bit-identical
+/// to the per-lag reference — each accumulator keeps its own serial order
+/// and d[i] = x[i] - m is the same value the reference recomputes.
+/// Requires non-empty x.
+void acf_into(std::span<const double> x, common::ScratchArena& arena,
+              std::span<double> out);
 
 /// Partial autocorrelation for lags 1..max_lag via Durbin–Levinson.
 /// Entry [k-1] is the PACF at lag k. Degenerate recursions yield 0 entries.

@@ -4,8 +4,20 @@
 #include <numbers>
 
 #include "common/error.hpp"
+#include "common/simd.hpp"
 
 namespace airfinger::dsp {
+
+namespace {
+
+// Twiddle factors are the same for every block of a stage (the serial
+// w *= wlen chain restarts at 1 per block), so stages up to this many
+// butterflies hoist them into a stack buffer once and hand the blocks to
+// the AF_SIMD fft_stage kernel. The chain itself stays the serial
+// std::complex product — bit-identical to the former in-loop updates.
+constexpr std::size_t kMaxStackTwiddles = 512;
+
+}  // namespace
 
 std::size_t next_pow2(std::size_t n) {
   AF_EXPECT(n >= 1, "next_pow2 requires n >= 1");
@@ -36,14 +48,27 @@ void fft_inplace(std::span<std::complex<double>> x, bool inverse) {
     const double angle = 2.0 * std::numbers::pi / static_cast<double>(len) *
                          (inverse ? 1.0 : -1.0);
     const std::complex<double> wlen(std::cos(angle), std::sin(angle));
-    for (std::size_t i = 0; i < n; i += len) {
+    const std::size_t half = len / 2;
+    if (half <= kMaxStackTwiddles) {
+      double tw[2 * kMaxStackTwiddles];
       std::complex<double> w(1.0, 0.0);
-      for (std::size_t k = 0; k < len / 2; ++k) {
-        const std::complex<double> u = x[i + k];
-        const std::complex<double> v = x[i + k + len / 2] * w;
-        x[i + k] = u + v;
-        x[i + k + len / 2] = u - v;
+      for (std::size_t k = 0; k < half; ++k) {
+        tw[2 * k] = w.real();
+        tw[2 * k + 1] = w.imag();
         w *= wlen;
+      }
+      simd::kernels().fft_stage(reinterpret_cast<double*>(x.data()), n, len,
+                                tw);
+    } else {
+      for (std::size_t i = 0; i < n; i += len) {
+        std::complex<double> w(1.0, 0.0);
+        for (std::size_t k = 0; k < half; ++k) {
+          const std::complex<double> u = x[i + k];
+          const std::complex<double> v = x[i + k + half] * w;
+          x[i + k] = u + v;
+          x[i + k + half] = u - v;
+          w *= wlen;
+        }
       }
     }
   }

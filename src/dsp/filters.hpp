@@ -12,11 +12,18 @@ namespace airfinger::dsp {
 std::vector<double> moving_average(std::span<const double> x, std::size_t w);
 
 /// moving_average writing into caller storage; out.size() == x.size().
-/// The brute per-sample accumulation is intentional: a sliding-sum rewrite
-/// would change the floating-point addition order and break the bit-exact
-/// determinism contract (DESIGN.md §9).
+/// Routed through the AF_SIMD moving_average_range kernel, whose lane
+/// groups each reproduce the brute per-sample accumulation order — a
+/// sliding-sum rewrite would change the floating-point addition order and
+/// break the bit-exact determinism contract (DESIGN.md §9, §15).
 void moving_average_into(std::span<const double> x, std::size_t w,
                          std::span<double> out);
+
+/// moving_average_into restricted to out[from..n): recomputes only the
+/// suffix (bit-identical to the same positions of a full pass). Used by
+/// the streaming timing cache; tolerates empty x when from == 0.
+void moving_average_range_into(std::span<const double> x, std::size_t w,
+                               std::size_t from, std::span<double> out);
 
 /// Exponential smoothing with factor alpha in (0, 1]. out[0] = x[0].
 std::vector<double> exponential_smooth(std::span<const double> x,

@@ -4,6 +4,7 @@
 #include <numbers>
 
 #include "common/error.hpp"
+#include "common/simd.hpp"
 
 namespace airfinger::dsp {
 
@@ -33,8 +34,6 @@ std::vector<double> cwt_row(std::span<const double> x, double a) {
 
 void cwt_row_into(std::span<const double> x, double a,
                   common::ScratchArena& arena, std::span<double> out) {
-  AF_EXPECT(!x.empty(), "cwt_row requires non-empty input");
-  AF_EXPECT(out.size() == x.size(), "cwt_row output size mismatch");
   // Support of the wavelet: ±5 widths captures >99.99% of its energy.
   const auto half = static_cast<std::size_t>(std::ceil(5.0 * a));
   const std::size_t wlen = 2 * half + 1;
@@ -43,18 +42,19 @@ void cwt_row_into(std::span<const double> x, double a,
   const double mid = (static_cast<double>(wlen) - 1.0) / 2.0;
   for (std::size_t i = 0; i < wlen; ++i)
     w[i] = ricker(static_cast<double>(i) - mid, a);
+  cwt_row_with_wavelet_into(x, w, out);
+}
 
-  for (std::size_t i = 0; i < x.size(); ++i) {
-    double acc = 0.0;
-    for (std::size_t k = 0; k < wlen; ++k) {
-      const auto j = static_cast<std::ptrdiff_t>(i) +
-                     static_cast<std::ptrdiff_t>(k) -
-                     static_cast<std::ptrdiff_t>(half);
-      if (j < 0 || j >= static_cast<std::ptrdiff_t>(x.size())) continue;
-      acc += x[static_cast<std::size_t>(j)] * w[k];
-    }
-    out[i] = acc;
-  }
+void cwt_row_with_wavelet_into(std::span<const double> x,
+                               std::span<const double> w,
+                               std::span<double> out) {
+  AF_EXPECT(!x.empty(), "cwt_row requires non-empty input");
+  AF_EXPECT(out.size() == x.size(), "cwt_row output size mismatch");
+  AF_EXPECT(w.size() % 2 == 1, "cwt_row wavelet length must be odd");
+  // The kernel iterates only the in-range taps of each output, in the same
+  // ascending order as the historical skip-with-continue loop.
+  simd::kernels().conv_clipped(x.data(), x.size(), w.data(), w.size() / 2,
+                               out.data());
 }
 
 std::vector<std::vector<double>> cwt(std::span<const double> x,

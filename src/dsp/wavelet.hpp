@@ -28,6 +28,13 @@ std::vector<double> cwt_row(std::span<const double> x, double a);
 void cwt_row_into(std::span<const double> x, double a,
                   common::ScratchArena& arena, std::span<double> out);
 
+/// cwt_row_into() with a caller-provided sampled wavelet (odd length, as
+/// produced by ricker_wavelet(2*half+1, a)) — lets hot paths precompute
+/// the transcendental-heavy wavelet once and reuse it every frame.
+void cwt_row_with_wavelet_into(std::span<const double> x,
+                               std::span<const double> w,
+                               std::span<double> out);
+
 /// CWT matrix for the given set of widths; result[w] is cwt_row(x, w).
 std::vector<std::vector<double>> cwt(std::span<const double> x,
                                      std::span<const double> widths);

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "common/reduce.hpp"
 
 namespace airfinger::dsp {
 
@@ -15,14 +16,16 @@ double correlation_at_lag(std::span<const double> a,
   const std::ptrdiff_t i1 = std::min<std::ptrdiff_t>(n, m - lag);
   if (i1 - i0 < 4) return 0.0;
 
-  double ma = 0.0, mb = 0.0;
+  const auto len = static_cast<std::size_t>(i1 - i0);
   const double count = static_cast<double>(i1 - i0);
-  for (std::ptrdiff_t i = i0; i < i1; ++i) {
-    ma += a[static_cast<std::size_t>(i)];
-    mb += b[static_cast<std::size_t>(i + lag)];
-  }
-  ma /= count;
-  mb /= count;
+  // Each mean is its own serial accumulator; splitting the formerly
+  // interleaved loop into two reductions keeps both orders unchanged.
+  const double ma =
+      common::reduce::sum(a.subspan(static_cast<std::size_t>(i0), len)) /
+      count;
+  const double mb =
+      common::reduce::sum(b.subspan(static_cast<std::size_t>(i0 + lag), len)) /
+      count;
   double saa = 0.0, sbb = 0.0, sab = 0.0;
   for (std::ptrdiff_t i = i0; i < i1; ++i) {
     const double da = a[static_cast<std::size_t>(i)] - ma;

@@ -5,6 +5,8 @@
 #include <complex>
 
 #include "common/error.hpp"
+#include "common/reduce.hpp"
+#include "common/simd.hpp"
 #include "common/stats.hpp"
 #include "dsp/autocorr.hpp"
 #include "dsp/fft.hpp"
@@ -41,6 +43,15 @@ FeatureBank::FeatureBank(FeatureBankOptions options)
             "lag orders must be >= 1");
   AF_EXPECT(options_.envelope_smooth >= 1,
             "envelope smoothing must be >= 1");
+
+  // Sample each CWT wavelet once; ±5 widths of support matches
+  // dsp::cwt_row_into, so the precomputed taps are the exact values the
+  // per-frame path would have produced.
+  cwt_wavelets_.reserve(options_.cwt_widths.size());
+  for (const double a : options_.cwt_widths) {
+    const auto half = static_cast<std::size_t>(std::ceil(5.0 * a));
+    cwt_wavelets_.push_back(dsp::ricker_wavelet(2 * half + 1, a));
+  }
 
   // Assemble the name list in the exact order extract() fills values.
   auto add = [this](const std::string& n) { names_.push_back(n); };
@@ -166,18 +177,35 @@ void FeatureBank::extract_into(
   common::ScratchArena& arena = workspace.arena;
   const auto extraction_frame = arena.frame();
 
-  // Summed energy across channels.
+  // Summed energy across channels, one contiguous accumulate per channel.
   const std::span<double> energy = arena.alloc<double>(n);
   for (const auto& ch : channels)
-    for (std::size_t i = 0; i < n; ++i) energy[i] += ch[i];
+    simd::kernels().accumulate(energy.data(), ch.data(), n);
 
   // Canonical form: log compression, fixed length, zero mean, unit var.
-  const std::span<double> logv = arena.alloc<double>(n);
-  for (std::size_t i = 0; i < n; ++i)
-    logv[i] = std::log1p(std::max(energy[i], 0.0));
+  // The linear resampler reads only the two samples bracketing each
+  // output position, so the log compression is applied lazily to exactly
+  // those — the same resample_linear_into interpolation arithmetic, hence
+  // bit-identical to compressing all n samples first, at ~2×canonical
+  // log1p calls instead of n.
   const std::span<double> resampled =
       arena.alloc<double>(options_.canonical_length);
-  dsp::resample_linear_into(logv, resampled);
+  const auto logc = [&energy](std::size_t i) {
+    return std::log1p(std::max(energy[i], 0.0));
+  };
+  if (resampled.size() == 1) {
+    resampled[0] = logc(0);
+  } else {
+    for (std::size_t i = 0; i < resampled.size(); ++i) {
+      const double pos = static_cast<double>(i) * static_cast<double>(n - 1) /
+                         static_cast<double>(resampled.size() - 1);
+      const auto lo = static_cast<std::size_t>(pos);
+      const double frac = pos - static_cast<double>(lo);
+      resampled[i] = (lo + 1 < n)
+                         ? logc(lo) * (1.0 - frac) + logc(lo + 1) * frac
+                         : logc(lo);
+    }
+  }
   const std::span<double> canon =
       arena.alloc<double>(options_.canonical_length);
   common::znormalize_into(resampled, canon);
@@ -208,8 +236,13 @@ void FeatureBank::extract_into(
        n_canon);
   push(common::mean_abs_change(canon));
   push(cid_ce(canon, /*normalize=*/false));  // canon is already normalized
-  push(sample_entropy(canon));
-  push(approximate_entropy(canon));
+  {
+    // SampEn and ApEn share every template comparison; the fused sweep
+    // is bit-identical to the two separate calls.
+    const auto [sampen, apen] = entropy_pair(canon, arena);
+    push(sampen);
+    push(apen);
+  }
   push(adf_statistic(canon));
   {
     const auto [slope, intercept] = common::linear_trend(canon);
@@ -219,7 +252,7 @@ void FeatureBank::extract_into(
   {
     const auto frame = arena.frame();
     const std::span<double> a = arena.alloc<double>(options_.acf_lags + 1);
-    dsp::acf_into(canon, a);
+    dsp::acf_into(canon, arena, a);
     for (std::size_t k = 1; k <= options_.acf_lags; ++k) push(a[k]);
     push(dsp::autocorrelation(canon, canon.size() / 4));
     push(dsp::autocorrelation(canon, canon.size() / 3));
@@ -243,10 +276,15 @@ void FeatureBank::extract_into(
   for (std::size_t s : options_.peak_supports)
     push(static_cast<double>(dsp::count_peaks(canon, s)));
   {
+    // One sort serves every quantile: quantile_sorted over the sorted copy
+    // is bit-identical to quantile_with's per-q copy+sort of the same
+    // multiset.
     const auto frame = arena.frame();
-    const std::span<double> sort_scratch = arena.alloc<double>(canon.size());
+    const std::span<double> sorted = arena.alloc<double>(canon.size());
+    std::copy(canon.begin(), canon.end(), sorted.begin());
+    std::sort(sorted.begin(), sorted.end());
     for (double q : options_.quantiles)
-      push(common::quantile_with(canon, q, sort_scratch));
+      push(common::quantile_sorted(sorted, q));
   }
   for (std::size_t c = 0; c < options_.energy_chunks; ++c)
     push(energy_ratio_by_chunks(canon, options_.energy_chunks, c));
@@ -261,8 +299,7 @@ void FeatureBank::extract_into(
     const std::span<double> env =
         arena.alloc<double>(options_.canonical_length);
     dsp::moving_average_into(env_raw, options_.envelope_smooth, env);
-    double peak = 0.0;
-    for (double v : env) peak = std::max(peak, v);
+    double peak = common::reduce::max_with(env, 0.0);
     if (peak <= 0.0) peak = 1.0;
     const double burst_level = 0.30 * peak;
     const double null_level = 0.08 * peak;
@@ -326,7 +363,7 @@ void FeatureBank::extract_into(
     std::size_t best_lag = 0;
     if (max_lag >= 6) {
       const std::span<double> acf = arena.alloc<double>(max_lag + 1);
-      dsp::acf_into(env, acf);
+      dsp::acf_into(env, arena, acf);
       for (std::size_t lag = 5; lag <= max_lag; ++lag) {
         if (acf[lag] > best_acf) {
           best_acf = acf[lag];
@@ -349,8 +386,7 @@ void FeatureBank::extract_into(
     const std::span<double> mags =
         arena.alloc<double>(options_.fft_coefficients);
     dsp::fft_magnitudes_from(spec, mags);
-    double total = 0.0;
-    for (double m : mags) total += m;
+    const double total = common::reduce::sum(mags);
     for (double m : mags) push(total > 0.0 ? m / total : 0.0);
     push(canon.size() < 2 ? 0.0 : dsp::spectral_centroid_from(spec));
     push(canon.size() < 2 ? 0.0
@@ -365,7 +401,7 @@ void FeatureBank::extract_into(
     const std::span<double> row = arena.alloc<double>(canon.size());
     double total = 0.0;
     for (std::size_t w = 0; w < options_.cwt_widths.size(); ++w) {
-      dsp::cwt_row_into(canon, options_.cwt_widths[w], arena, row);
+      dsp::cwt_row_with_wavelet_into(canon, cwt_wavelets_[w], row);
       const double e = common::energy(row);
       energies[w] = e;
       total += e;
@@ -380,49 +416,74 @@ void FeatureBank::extract_into(
   // Cross-channel spatial features.
   if (options_.cross_channel) {
     if (channels.size() >= 2) {
-      const auto& first = channels.front();
-      const auto& last = channels.back();
-      const std::size_t mid_idx = channels.size() / 2;
-      const auto& mid = channels[mid_idx];
-
-      double e_first = 0.0, e_mid = 0.0, e_last = 0.0, e_total = 0.0;
-      for (std::size_t i = 0; i < n; ++i) {
-        e_first += first[i];
-        e_mid += mid[i];
-        e_last += last[i];
+      const auto frame = arena.frame();
+      // Bounded cost: the smoothing window below grows with the segment
+      // (nb/16), making this block O(n²/16) — fine for gestures, quadratic
+      // blow-up for multi-second scrolls. Above the cap every channel is
+      // decimated with the deterministic linear resampler first; the ten
+      // features here are scale-free shape ratios, so they survive the
+      // decimation, and every segment at or under the cap (all training
+      // and test gestures) keeps its exact historical bits.
+      std::span<const std::span<const double>> xch = channels;
+      std::size_t nb = n;
+      const std::size_t cap = options_.cross_channel_cap;
+      if (cap > 0 && n > cap) {
+        nb = std::max<std::size_t>(cap, 4);
+        const std::span<std::span<const double>> views =
+            arena.alloc<std::span<const double>>(channels.size());
+        for (std::size_t c = 0; c < channels.size(); ++c) {
+          const std::span<double> buf = arena.alloc<double>(nb);
+          dsp::resample_linear_into(channels[c], buf);
+          views[c] = buf;
+        }
+        xch = views;
       }
-      for (const auto& ch : channels)
+      const auto& first = xch.front();
+      const auto& last = xch.back();
+      const std::size_t mid_idx = xch.size() / 2;
+      const auto& mid = xch[mid_idx];
+
+      // Three independent serial accumulators (the former interleaved loop
+      // kept them separate too, so splitting is bit-identical).
+      const double e_first = common::reduce::sum(first);
+      const double e_mid = common::reduce::sum(mid);
+      const double e_last = common::reduce::sum(last);
+      // e_total accumulates continuously across channels in channel order —
+      // summing per-channel subtotals would reassociate it.
+      double e_total = 0.0;
+      for (const auto& ch : xch)
         for (double v : ch) e_total += v;
       if (e_total <= 0.0) e_total = 1.0;
       push(e_first / e_total);
       push(e_mid / e_total);
       push(e_last / e_total);
 
-      const auto frame = arena.frame();
-      const std::size_t smooth = std::max<std::size_t>(3, n / 16);
-      const std::span<double> s_first = arena.alloc<double>(n);
-      const std::span<double> s_mid = arena.alloc<double>(n);
-      const std::span<double> s_last = arena.alloc<double>(n);
+      const std::size_t smooth = std::max<std::size_t>(3, nb / 16);
+      // One contiguous SoA block for the three smoothed channels, so the
+      // kernels below see adjacent spans.
+      const std::span<double> smoothed = arena.alloc<double>(3 * nb);
+      const std::span<double> s_first = smoothed.subspan(0, nb);
+      const std::span<double> s_mid = smoothed.subspan(nb, nb);
+      const std::span<double> s_last = smoothed.subspan(2 * nb, nb);
       dsp::moving_average_into(first, smooth, s_first);
       dsp::moving_average_into(mid, smooth, s_mid);
       dsp::moving_average_into(last, smooth, s_last);
-      push(n >= 2 ? common::pearson(s_first, s_last) : 0.0);
-      push(n >= 2 ? common::pearson(s_first, s_mid) : 0.0);
-      push(n >= 2 ? common::pearson(s_mid, s_last) : 0.0);
+      push(nb >= 2 ? common::pearson(s_first, s_last) : 0.0);
+      push(nb >= 2 ? common::pearson(s_first, s_mid) : 0.0);
+      push(nb >= 2 ? common::pearson(s_mid, s_last) : 0.0);
 
       // Asymmetry sweep statistics (same construction as the router's).
-      const std::span<double> esum = arena.alloc<double>(n);
-      for (std::size_t i = 0; i < n; ++i)
+      const std::span<double> esum = arena.alloc<double>(nb);
+      for (std::size_t i = 0; i < nb; ++i)
         esum[i] = s_first[i] + s_mid[i] + s_last[i];
-      double esum_peak = 0.0;
-      for (double v : esum) esum_peak = std::max(esum_peak, v);
+      const double esum_peak = common::reduce::max_with(esum, 0.0);
       const double eps = std::max(esum_peak * 0.05, 1e-12);
       double w_total = 0.0, a_mean = 0.0;
       double a_min = 0.0, a_max = 0.0, a_w_early = 0.0, a_w_late = 0.0;
       double w_early = 0.0, w_late = 0.0, t_centroid_num = 0.0;
       bool have = false;
       const double energy_gate = esum_peak * 0.08;
-      for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t i = 0; i < nb; ++i) {
         const double a = (s_last[i] - s_first[i]) / (esum[i] + eps);
         const double w =
             esum[i] > energy_gate ? std::fabs(s_last[i] - s_first[i]) : 0.0;
@@ -436,7 +497,7 @@ void FeatureBank::extract_into(
         a_mean += a * w;
         w_total += w;
         t_centroid_num += static_cast<double>(i) * w;
-        if (i < n / 2) {
+        if (i < nb / 2) {
           a_w_early += a * w;
           w_early += w;
         } else {
@@ -453,17 +514,15 @@ void FeatureBank::extract_into(
       push(w_total > 0.0 ? a_mean / w_total : 0.0);
 
       // τ spread: energy-centroid time difference of the outer channels,
-      // normalized by the window length.
-      double tau_first = 0.0, tau_last = 0.0, ef = 0.0, el = 0.0;
-      for (std::size_t i = 0; i < n; ++i) {
-        tau_first += static_cast<double>(i) * s_first[i];
-        ef += s_first[i];
-        tau_last += static_cast<double>(i) * s_last[i];
-        el += s_last[i];
-      }
+      // normalized by the window length. Four independent accumulators,
+      // each still in ascending-i order.
+      const double tau_first = common::reduce::weighted_index_sum(s_first);
+      const double ef = common::reduce::sum(s_first);
+      const double tau_last = common::reduce::weighted_index_sum(s_last);
+      const double el = common::reduce::sum(s_last);
       const double spread =
           (ef > 0.0 && el > 0.0)
-              ? (tau_last / el - tau_first / ef) / static_cast<double>(n)
+              ? (tau_last / el - tau_first / ef) / static_cast<double>(nb)
               : 0.0;
       push(spread);
     } else {
@@ -471,14 +530,20 @@ void FeatureBank::extract_into(
     }
   }
 
-  // Scale features on the raw summed segment.
+  // Scale features on the raw summed segment. The mean used to be
+  // recomputed three times (mean, then twice inside stddev); one mean +
+  // one centred pass runs the identical arithmetic in the identical
+  // order, so the bits are unchanged.
   push(std::log(static_cast<double>(n)));
   push(std::log1p(common::energy(energy)));
   push(std::log1p(common::max(energy)));
-  push(std::log1p(std::fabs(common::mean(energy))));
   {
     const double m = common::mean(energy);
-    push(m != 0.0 ? common::stddev(energy) / std::fabs(m) : 0.0);
+    push(std::log1p(std::fabs(m)));
+    double s = 0.0;
+    for (double v : energy) s += (v - m) * (v - m);
+    const double sd = std::sqrt(s / static_cast<double>(n));
+    push(m != 0.0 ? sd / std::fabs(m) : 0.0);
   }
 
   AF_ASSERT(filled == names_.size(),

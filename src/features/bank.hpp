@@ -50,6 +50,16 @@ struct FeatureBankOptions {
   /// Cross-channel block (requires >= 2 channels at extraction; zeros for
   /// single-channel input).
   bool cross_channel = true;
+  /// Cost bound for the cross-channel block, whose smoothing window grows
+  /// with the segment (making it O(n²/16)): segments longer than this are
+  /// decimated to exactly this many samples (deterministic linear
+  /// resampling, every channel) before the block runs, turning an
+  /// unbounded quadratic into a constant. Segments at or under the cap —
+  /// every training/evaluation gesture — are bit-identical to the uncapped
+  /// path; only multi-second segments (long scrolls) trade spatial
+  /// resolution the block's scale-free ratios don't need. 0 disables the
+  /// cap.
+  std::size_t cross_channel_cap = 384;
 };
 
 /// Stateless (after construction) feature evaluator.
@@ -85,6 +95,10 @@ class FeatureBank {
   FeatureBankOptions options_;
   std::vector<std::string> names_;
   std::vector<std::size_t> interference_indices_;
+  /// Ricker wavelets sampled once per configured CWT width at
+  /// construction — extract_into() convolves with these instead of
+  /// re-evaluating the transcendental-heavy wavelet every frame.
+  std::vector<std::vector<double>> cwt_wavelets_;
 };
 
 }  // namespace airfinger::features

@@ -6,7 +6,9 @@
 #include <utility>
 #include <vector>
 
+#include "common/arena.hpp"
 #include "common/error.hpp"
+#include "common/simd.hpp"
 #include "common/stats.hpp"
 
 namespace airfinger::features {
@@ -19,21 +21,10 @@ double default_tolerance(std::span<const double> x, double r) {
 }
 
 /// Counts template matches of length m within tolerance r (Chebyshev
-/// distance), excluding self-matches — shared by SampEn.
+/// distance), excluding self-matches — shared by SampEn. Match counting
+/// is integer, so the AF_SIMD lane-parallel kernel is exact.
 std::size_t count_matches(std::span<const double> x, unsigned m, double r) {
-  const std::size_t n = x.size();
-  if (n < m) return 0;
-  const std::size_t templates = n - m + 1;
-  std::size_t count = 0;
-  for (std::size_t i = 0; i < templates; ++i) {
-    for (std::size_t j = i + 1; j < templates; ++j) {
-      bool match = true;
-      for (unsigned k = 0; k < m && match; ++k)
-        match = std::fabs(x[i + k] - x[j + k]) <= r;
-      if (match) ++count;
-    }
-  }
-  return count;
+  return simd::kernels().count_matches(x.data(), x.size(), m, r);
 }
 
 }  // namespace
@@ -62,23 +53,57 @@ double approximate_entropy(std::span<const double> x, unsigned m, double r) {
   const double tol = default_tolerance(x, r);
   if (tol <= 0.0) return 0.0;
 
-  auto phi = [&](unsigned mm) {
-    const std::size_t templates = n - mm + 1;
-    double acc = 0.0;
-    for (std::size_t i = 0; i < templates; ++i) {
-      std::size_t count = 0;
-      for (std::size_t j = 0; j < templates; ++j) {
-        bool match = true;
-        for (unsigned k = 0; k < mm && match; ++k)
-          match = std::fabs(x[i + k] - x[j + k]) <= tol;
-        if (match) ++count;  // includes the self-match, per ApEn definition
-      }
-      acc += std::log(static_cast<double>(count) /
-                      static_cast<double>(templates));
-    }
-    return acc / static_cast<double>(templates);
-  };
-  return phi(m) - phi(m + 1);
+  // The kernel's per-template counts include the self-match, per the ApEn
+  // definition; the log-mean accumulates in template order on every tier.
+  const auto& k = simd::kernels();
+  return k.apen_phi(x.data(), n, m, tol) -
+         k.apen_phi(x.data(), n, m + 1, tol);
+}
+
+std::pair<double, double> entropy_pair(std::span<const double> x,
+                                       common::ScratchArena& arena,
+                                       unsigned m, double r) {
+  const std::size_t n = x.size();
+  if (n <= m + 1) return {0.0, 0.0};  // both measures' degenerate case
+  const double tol = default_tolerance(x, r);
+  if (tol <= 0.0) return {0.0, 0.0};
+
+  const std::size_t tm = n - m + 1;
+  const std::size_t tm1 = n - m;
+  const auto frame = arena.frame();
+  const std::span<std::uint32_t> cm = arena.alloc<std::uint32_t>(tm);
+  const std::span<std::uint32_t> cm1 = arena.alloc<std::uint32_t>(tm1);
+  std::size_t pairs_m = 0, pairs_m1 = 0;
+  simd::kernels().entropy_counts(x.data(), n, m, tol, cm.data(), cm1.data(),
+                                 &pairs_m, &pairs_m1);
+
+  // SampEn from the pair totals, with sample_entropy's exact special
+  // cases (the counts equal count_matches(m) / count_matches(m+1)).
+  double sampen;
+  const auto b = static_cast<double>(pairs_m);
+  const auto a = static_cast<double>(pairs_m1);
+  if (b == 0.0) {
+    sampen = 0.0;
+  } else if (a == 0.0) {
+    const double pairs = static_cast<double>(n - m) *
+                         static_cast<double>(n - m - 1) / 2.0;
+    sampen = std::log(std::max(pairs, 2.0));
+  } else {
+    sampen = -std::log(a / b);
+  }
+
+  // ApEn: the log-mean accumulates in ascending template order, exactly
+  // the apen_phi reference, so phi(m) - phi(m+1) keeps its bits.
+  double phi_m = 0.0;
+  for (std::size_t i = 0; i < tm; ++i)
+    phi_m += std::log(static_cast<double>(cm[i]) / static_cast<double>(tm));
+  phi_m /= static_cast<double>(tm);
+  double phi_m1 = 0.0;
+  for (std::size_t i = 0; i < tm1; ++i)
+    phi_m1 +=
+        std::log(static_cast<double>(cm1[i]) / static_cast<double>(tm1));
+  phi_m1 /= static_cast<double>(tm1);
+  return {sampen, phi_m - phi_m1};
 }
 
 double cid_ce(std::span<const double> x, bool normalize) {

@@ -9,7 +9,12 @@
 #pragma once
 
 #include <span>
+#include <utility>
 #include <vector>
+
+namespace airfinger::common {
+class ScratchArena;
+}
 
 namespace airfinger::features {
 
@@ -23,6 +28,17 @@ double sample_entropy(std::span<const double> x, unsigned m = 2,
 /// default, also applied by sample_entropy).
 double approximate_entropy(std::span<const double> x, unsigned m = 2,
                            double r = -1.0);
+
+/// {sample_entropy(x, m, r), approximate_entropy(x, m, r)} from one fused
+/// pair sweep — the two measures share every Chebyshev template
+/// comparison, so computing them together halves the O(n²·m) work.
+/// Bit-identical to the two separate calls on every SIMD tier (the
+/// underlying counts are integers; the ApEn log-mean keeps its serial
+/// template order). The arena only holds the per-template count scratch
+/// for the duration of the call.
+std::pair<double, double> entropy_pair(std::span<const double> x,
+                                       common::ScratchArena& arena,
+                                       unsigned m = 2, double r = -1.0);
 
 /// Complexity-invariant distance complexity estimate:
 /// CE(x) = sqrt(Σ (x[i+1]-x[i])²). 0 for n < 2.

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "common/simd.hpp"
 
 namespace airfinger::ml {
 
@@ -80,20 +81,27 @@ void CompiledForest::predict_proba_into(std::span<const double> x,
   const std::int32_t* child = child_.data();
   const double* leaves = leaf_dist_.data();
   for (double& v : out) v = 0.0;
-  for (const std::int32_t root : roots_) {
-    auto idx = static_cast<std::size_t>(root);
-    std::int32_t f = feature[idx];
-    while (f >= 0) {
-      idx = static_cast<std::size_t>(child[idx]) +
-            (x[static_cast<std::size_t>(f)] < threshold[idx] ? 0u : 1u);
-      f = feature[idx];
+  // Batch-wise traversal: the forest_leaves kernel descends a chunk of
+  // trees breadth-wise (an AF_SIMD lane-group of trees per step), then the
+  // leaf distributions accumulate in tree order — the same order the old
+  // one-tree-at-a-time loop used, so the probabilities stay bit-identical.
+  constexpr std::size_t kChunk = 64;
+  std::int32_t leaf[kChunk];
+  const auto& k = simd::kernels();
+  for (std::size_t t0 = 0; t0 < roots_.size(); t0 += kChunk) {
+    const std::size_t count = std::min(kChunk, roots_.size() - t0);
+    std::copy(roots_.begin() + static_cast<std::ptrdiff_t>(t0),
+              roots_.begin() + static_cast<std::ptrdiff_t>(t0 + count), leaf);
+    k.forest_leaves(feature, threshold, child, x.data(), leaf, count);
+    for (std::size_t t = 0; t < count; ++t) {
+      const auto idx = static_cast<std::size_t>(leaf[t]);
+      const double* dist =
+          leaves + static_cast<std::size_t>(leaf_offset_[idx]);
+      k.accumulate(out.data(), dist, out.size());
     }
-    const double* dist =
-        leaves + static_cast<std::size_t>(leaf_offset_[idx]);
-    for (std::size_t c = 0; c < out.size(); ++c) out[c] += dist[c];
   }
-  const auto count = static_cast<double>(roots_.size());
-  for (double& v : out) v /= count;
+  const auto total = static_cast<double>(roots_.size());
+  for (double& v : out) v /= total;
 }
 
 std::vector<double> CompiledForest::predict_proba(

@@ -1,7 +1,9 @@
 // Unit tests for the common foundation library.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <set>
 
 #include "common/cli.hpp"
@@ -150,6 +152,31 @@ TEST(Stats, MedianAndQuantiles) {
   // Interpolation between ranks.
   const std::vector<double> y{0, 10};
   EXPECT_DOUBLE_EQ(quantile(y, 0.25), 2.5);
+}
+
+TEST(Stats, QuantileSelectionMatchesFullSortBitExact) {
+  // quantile_with selects the two bracketing order statistics instead of
+  // sorting; order statistics are value-identical either way, so every
+  // result must match the sorted-copy reference bit for bit.
+  Rng rng(4242);
+  for (const std::size_t n :
+       {std::size_t{1}, std::size_t{2}, std::size_t{3}, std::size_t{5},
+        std::size_t{17}, std::size_t{96}, std::size_t{301}}) {
+    std::vector<double> x(n);
+    for (auto& v : x) v = rng.normal() * 10.0;
+    std::vector<double> sorted = x;
+    std::sort(sorted.begin(), sorted.end());
+    std::vector<double> scratch(n);
+    for (const double q : {0.0, 0.1, 0.25, 0.5, 0.62, 0.75, 0.9, 1.0}) {
+      const double want = quantile_sorted(sorted, q);
+      const double got = quantile_with(x, q, scratch);
+      std::uint64_t bw = 0, bg = 0;
+      std::memcpy(&bw, &want, sizeof(want));
+      std::memcpy(&bg, &got, sizeof(got));
+      EXPECT_EQ(bw, bg) << "n=" << n << " q=" << q << ": " << want << " vs "
+                        << got;
+    }
+  }
 }
 
 TEST(Stats, SkewnessSymmetricIsZero) {

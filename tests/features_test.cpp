@@ -2,10 +2,12 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
 #include <numbers>
 
 #include "common/error.hpp"
 #include "common/rng.hpp"
+#include "dsp/filters.hpp"
 #include "features/bank.hpp"
 #include "features/measures.hpp"
 
@@ -244,6 +246,64 @@ TEST(Bank, EnvelopeBurstCountSeparatesSingleFromDouble) {
       std::find(names.begin(), names.end(), std::string("env_burst_count")) -
       names.begin());
   EXPECT_LT(f1[idx], f2[idx]);
+}
+
+TEST(Bank, CrossChannelCapBoundsLongSegmentsOnly) {
+  FeatureBankOptions uncapped_opt;
+  uncapped_opt.cross_channel_cap = 0;
+  const FeatureBank capped;  // default cap
+  const FeatureBank uncapped(uncapped_opt);
+  const std::size_t cap = capped.options().cross_channel_cap;
+  ASSERT_GT(cap, 0u);
+
+  auto make_channels = [](std::size_t n, std::uint64_t seed) {
+    common::Rng rng(seed);
+    std::vector<std::vector<double>> ch(3, std::vector<double>(n));
+    for (auto& c : ch)
+      for (auto& v : c) v = std::fabs(rng.normal()) + 0.1;
+    return ch;
+  };
+  auto as_spans = [](const std::vector<std::vector<double>>& ch) {
+    return std::vector<std::span<const double>>(ch.begin(), ch.end());
+  };
+  auto bits_equal = [](double a, double b) {
+    return std::memcmp(&a, &b, sizeof(a)) == 0;
+  };
+
+  // At or under the cap the capped bank is bit-identical to the uncapped
+  // one — every training/evaluation gesture takes this path.
+  {
+    const auto ch = make_channels(cap, 7);
+    const auto spans = as_spans(ch);
+    const auto a = capped.extract(spans);
+    const auto b = uncapped.extract(spans);
+    for (std::size_t i = 0; i < a.size(); ++i)
+      EXPECT_TRUE(bits_equal(a[i], b[i])) << capped.names()[i];
+  }
+
+  // Above the cap only the xc_* features may move, and they must equal
+  // the uncapped bank's xc_* features over the decimated channels (the
+  // cap is exactly "resample, then the historical block").
+  {
+    const std::size_t n = 2 * cap + 117;
+    const auto ch = make_channels(n, 8);
+    std::vector<std::vector<double>> dec(3, std::vector<double>(cap));
+    for (std::size_t c = 0; c < 3; ++c)
+      dsp::resample_linear_into(ch[c], dec[c]);
+    const auto spans = as_spans(ch);
+    const auto dec_spans = as_spans(dec);
+    const auto got = capped.extract(spans);
+    const auto raw = uncapped.extract(spans);
+    const auto via_dec = uncapped.extract(dec_spans);
+    const auto& names = capped.names();
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      if (names[i].rfind("xc_", 0) == 0) {
+        EXPECT_TRUE(bits_equal(got[i], via_dec[i])) << names[i];
+      } else {
+        EXPECT_TRUE(bits_equal(got[i], raw[i])) << names[i];
+      }
+    }
+  }
 }
 
 TEST(Bank, CustomOptionsChangeArity) {

@@ -44,7 +44,7 @@ cmake -B "${ASAN_BUILD}" -S "${ROOT}" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DAF_SANITIZE=address,undefined
 cmake --build "${ASAN_BUILD}" -j \
-  --target bundle_test serialize_test core_test parallel_test spsc_ring_test host_shard_test compiled_forest_test fault_injection_test obs_test obs_pipeline_test
+  --target bundle_test serialize_test core_test parallel_test spsc_ring_test host_shard_test compiled_forest_test simd_test fault_injection_test obs_test obs_pipeline_test
 "${ASAN_BUILD}/tests/bundle_test"
 "${ASAN_BUILD}/tests/serialize_test"
 "${ASAN_BUILD}/tests/core_test"
@@ -52,9 +52,25 @@ cmake --build "${ASAN_BUILD}" -j \
 "${ASAN_BUILD}/tests/spsc_ring_test"
 "${ASAN_BUILD}/tests/host_shard_test"
 "${ASAN_BUILD}/tests/compiled_forest_test"
+"${ASAN_BUILD}/tests/simd_test"
 "${ASAN_BUILD}/tests/fault_injection_test"
 "${ASAN_BUILD}/tests/obs_test"
 "${ASAN_BUILD}/tests/obs_pipeline_test"
+
+echo "== simd-off cross-check: -DAF_SIMD=OFF tree must replay the goldens =="
+# The default (AF_SIMD=ON) tree already proved golden byte-identity above;
+# replaying the same goldens from a scalar-only tree proves the two trees
+# produce byte-identical pipelines transitively, and simd_test keeps the
+# kernel layer honest when only the scalar table is compiled in.
+SIMD_OFF_BUILD="${BUILD}/aux/simd-off"
+cmake -B "${SIMD_OFF_BUILD}" -S "${ROOT}" -DAF_SIMD=OFF
+cmake --build "${SIMD_OFF_BUILD}" -j \
+  --target golden_replay_test simd_test compiled_forest_test dsp_test features_test
+"${SIMD_OFF_BUILD}/tests/golden_replay_test"
+"${SIMD_OFF_BUILD}/tests/simd_test"
+"${SIMD_OFF_BUILD}/tests/compiled_forest_test"
+"${SIMD_OFF_BUILD}/tests/dsp_test"
+"${SIMD_OFF_BUILD}/tests/features_test"
 
 echo "== bench smoke: hot-path microbenchmark builds and runs =="
 "${ROOT}/tools/run_bench.sh" --smoke "${BUILD}/aux/bench"
