@@ -91,7 +91,9 @@ RunResult run_small(const std::shared_ptr<const core::ModelBundle>& bundle,
   core::MultiSessionHost host(bundle, traces.size(),
                               bundle->config().fault_policy, config);
   const auto start = std::chrono::steady_clock::now();
-  auto events = host.run_round_robin(traces, frames_per_turn);
+  // One producer thread per shard (bit-identical events): wide shard
+  // counts measure the host instead of a single-threaded feeder.
+  auto events = host.run_round_robin_parallel(traces, frames_per_turn);
   RunResult result;
   result.wall_s = std::chrono::duration<double>(
                       std::chrono::steady_clock::now() - start)
@@ -102,8 +104,9 @@ RunResult run_small(const std::shared_ptr<const core::ModelBundle>& bundle,
 }
 
 /// Big workload: `sessions` lanes reusing `traces` mod size, each fed up
-/// to `frames_per_stream` frames in interleaved bursts (one producer, the
-/// shard workers consuming concurrently), then finished and drained.
+/// to `frames_per_stream` frames in interleaved bursts (one producer
+/// thread per shard, the shard workers consuming concurrently), then
+/// finished and drained.
 RunResult run_big(const std::shared_ptr<const core::ModelBundle>& bundle,
                   const std::vector<sensor::MultiChannelTrace>& traces,
                   std::size_t sessions, std::size_t frames_per_stream,
@@ -112,23 +115,9 @@ RunResult run_big(const std::shared_ptr<const core::ModelBundle>& bundle,
   config.shards = shards;
   core::MultiSessionHost host(bundle, sessions,
                               bundle->config().fault_policy, config);
-  const std::size_t channels = bundle->config().channels;
-  std::vector<double> frame(channels);
 
   const auto start = std::chrono::steady_clock::now();
-  for (std::size_t offset = 0; offset < frames_per_stream;
-       offset += burst) {
-    for (std::size_t lane = 0; lane < sessions; ++lane) {
-      const auto& trace = traces[lane % traces.size()];
-      const std::size_t limit = std::min(
-          {offset + burst, frames_per_stream, trace.sample_count()});
-      for (std::size_t f = offset; f < limit; ++f) {
-        for (std::size_t c = 0; c < channels; ++c)
-          frame[c] = trace.channel(c)[f];
-        host.feed(lane, frame);
-      }
-    }
-  }
+  bench::feed_pooled(host, traces, sessions, frames_per_stream, burst);
   host.finish();
   RunResult result;
   result.events = host.drain();

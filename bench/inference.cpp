@@ -256,6 +256,10 @@ int main(int argc, char** argv) {
   cli.add_flag("ref-report", "",
                "previously written report to compute per-stage p50 "
                "speedups against (empty = none recorded)");
+  cli.add_flag("probe-ref-report", "",
+               "report from an AF_PROBE_INCREMENTAL=0 run of this build; "
+               "records probe_speedup_vs_ref (batch probe p50 / this "
+               "run's incremental probe p50; empty = none recorded)");
   cli.add_flag("out", "BENCH_inference.json", "JSON report path");
   const auto args = bench::parse_args(
       argc, argv, "bench_inference",
@@ -271,6 +275,7 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(cli.get_int("big-frames"));
   const double baseline_fps = cli.get_double("baseline-fps");
   const std::string ref_report = cli.get("ref-report");
+  const std::string probe_ref_report = cli.get("probe-ref-report");
 
   std::cout << "simd tier: " << simd::tier_name(simd::active_tier())
             << " (detected " << simd::tier_name(simd::detected_tier())
@@ -332,7 +337,9 @@ int main(int argc, char** argv) {
     for (int r = 0; r < 2; ++r) {
       core::MultiSessionHost host(bundle, traces.size());
       const auto start = std::chrono::steady_clock::now();
-      const auto events = host.run_round_robin(traces, turn);
+      // Parallel per-shard feeders: the sweep measures the host, not a
+      // single-threaded producer (events stay bit-identical).
+      const auto events = host.run_round_robin_parallel(traces, turn);
       const double wall = std::chrono::duration<double>(
                               std::chrono::steady_clock::now() - start)
                               .count();
@@ -358,8 +365,6 @@ int main(int argc, char** argv) {
       big_traces.push_back(
           synth::make_gesture_stream(config, mix, config.seed).trace);
     }
-    const std::size_t channels = bundle->config().channels;
-    std::vector<double> frame(channels);
     for (std::size_t shards : counts) {
       core::HostConfig host_config;
       host_config.shards = shards;
@@ -368,19 +373,8 @@ int main(int argc, char** argv) {
                                   host_config);
       const auto start = std::chrono::steady_clock::now();
       constexpr std::size_t kBurst = 64;
-      for (std::size_t offset = 0; offset < big_frames;
-           offset += kBurst) {
-        for (std::size_t lane = 0; lane < big_streams; ++lane) {
-          const auto& trace = big_traces[lane % big_traces.size()];
-          const std::size_t limit = std::min(
-              {offset + kBurst, big_frames, trace.sample_count()});
-          for (std::size_t f = offset; f < limit; ++f) {
-            for (std::size_t c = 0; c < channels; ++c)
-              frame[c] = trace.channel(c)[f];
-            host.feed(lane, frame);
-          }
-        }
-      }
+      bench::feed_pooled(host, big_traces, big_streams, big_frames,
+                         kBurst);
       host.finish();
       const double wall = std::chrono::duration<double>(
                               std::chrono::steady_clock::now() - start)
@@ -406,6 +400,15 @@ int main(int argc, char** argv) {
   const std::vector<std::pair<std::string, double>> ref_stages =
       ref_report.empty() ? std::vector<std::pair<std::string, double>>{}
                          : parse_ref_stage_p50s(ref_report);
+  // The incremental-probe win: probe-stage p50 of a batch-probe run of
+  // this same build (AF_PROBE_INCREMENTAL=0) over this run's p50.
+  double probe_ref_p50 = 0.0, probe_p50 = 0.0;
+  if (!probe_ref_report.empty()) {
+    for (const auto& [name, p50] : parse_ref_stage_p50s(probe_ref_report))
+      if (name == std::string("probe")) probe_ref_p50 = p50;
+    for (const auto& s : single.stages)
+      if (s.name == std::string("probe")) probe_p50 = s.p50_ns;
+  }
   const auto emit = [&](std::ostream& os) {
     os << "{\n";
     os << "  \"simd_tier\": \"" << simd::tier_name(simd::active_tier())
@@ -448,6 +451,11 @@ int main(int argc, char** argv) {
         }
       }
       os << "],\n";
+    }
+    if (probe_ref_p50 > 0.0 && probe_p50 > 0.0) {
+      os << "  \"probe_speedup_vs_ref\": {\"ref_p50_ns\": " << probe_ref_p50
+         << ", \"p50_ns\": " << probe_p50
+         << ", \"speedup\": " << probe_ref_p50 / probe_p50 << "},\n";
     }
     os << "  \"host_scaling\": [";
     for (std::size_t i = 0; i < counts.size(); ++i) {

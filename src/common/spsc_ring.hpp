@@ -127,15 +127,28 @@ class SpscRing {
     return static_cast<std::size_t>(cached_tail_ - head);
   }
 
+  // Field layout is cache-line-conscious: the buffer header (read-only
+  // after construction) shares the leading line; each end then owns
+  // exactly one 64-byte line holding its published position *and* its
+  // cached copy of the opposite position. A steady-state push touches the
+  // producer line only (plus payload slots); a pop the consumer line —
+  // the two ends never write the same line, and because alignof == 64
+  // the trailing line is padded out, whatever the containing object
+  // places after the ring cannot false-share with the consumer's fields.
   std::vector<T> buffer_;
-  /// Consumer position: elements [head_, tail_) are queued. Monotone.
-  alignas(64) std::atomic<std::uint64_t> head_{0};
-  /// Producer's cached copy of head_ (refreshed only on apparent full).
-  alignas(64) std::uint64_t cached_head_ = 0;
-  /// Producer position. Monotone.
+  /// Producer line: tail_ is the producer position (monotone); elements
+  /// [head_, tail_) are queued. cached_head_ is the producer's copy of
+  /// head_, refreshed only on apparent full.
   alignas(64) std::atomic<std::uint64_t> tail_{0};
-  /// Consumer's cached copy of tail_ (refreshed only on apparent empty).
-  alignas(64) std::uint64_t cached_tail_ = 0;
+  std::uint64_t cached_head_ = 0;
+  /// Consumer line: head_ is the consumer position (monotone);
+  /// cached_tail_ its copy of tail_, refreshed only on apparent empty.
+  alignas(64) std::atomic<std::uint64_t> head_{0};
+  std::uint64_t cached_tail_ = 0;
 };
+
+static_assert(alignof(SpscRing<double>) == 64 &&
+                  sizeof(SpscRing<double>) % 64 == 0,
+              "ring ends must own whole cache lines (no false sharing)");
 
 }  // namespace airfinger::common

@@ -210,95 +210,108 @@ void detail::asymmetry_stats(std::span<const double> e1,
         total_w += w[i];
       }
     }
-    if (total_w > 0.0) {
-      double cum = 0.0;
-      double bin_a[3] = {0, 0, 0}, bin_w[3] = {0, 0, 0}, bin_t[3] = {0, 0, 0};
-      for (std::size_t i = 0; i < n; ++i) {
-        const double frac = cum / total_w;
-        const std::size_t bin = frac < (1.0 / 3.0) ? 0
-                                : frac < (2.0 / 3.0) ? 1
-                                                     : 2;
-        bin_a[bin] += a[i] * w[i];
-        bin_t[bin] += static_cast<double>(i) * w[i];
-        bin_w[bin] += w[i];
-        cum += w[i];
-      }
-      if (bin_w[0] > 0.0 && bin_w[2] > 0.0) {
-        out.asymmetry_start = bin_a[0] / bin_w[0];
-        out.asymmetry_end = bin_a[2] / bin_w[2];
-        out.asymmetry_delta = out.asymmetry_end - out.asymmetry_start;
-        // Transit time: between the weight-centroid times of the first and
-        // last terciles, scaled to the full traversal (the terciles span
-        // the middle ~2/3 of the differential mass).
-        const double t0 = bin_t[0] / bin_w[0];
-        const double t2 = bin_t[2] / bin_w[2];
-        out.transition_s = 1.5 * std::max(0.0, t2 - t0) / sample_rate_hz;
-      }
+    const double max_w = common::reduce::max_with(w, 0.0);
+    detail::asymmetry_folds(a, w, total_w, max_w, sample_rate_hz, config, out);
+  }
+}
 
-      // Reversal count over the differential-gated A path: only samples
-      // carrying real differential weight contribute; direction changes
-      // must retrace more than the hysteresis to count. A monotone sweep
-      // (scroll) has 0 reversals; cyclic gestures (rub, circle) whose A
-      // returns towards its start have >= 1.
-      const double max_w = common::reduce::max_with(w, 0.0);
-      const double gate = max_w * config.gate_fraction;
-      double lo = 0.0, hi = 0.0;
-      bool started = false;
-      for (std::size_t i = 0; i < n; ++i) {
-        if (w[i] <= gate) continue;
-        if (!started) {
-          started = true;
-          lo = hi = a[i];
-        } else {
-          lo = std::min(lo, a[i]);
-          hi = std::max(hi, a[i]);
-        }
-      }
-      out.asymmetry_range = started ? hi - lo : 0.0;
-      const double hysteresis = std::max(
-          config.reversal_abs, config.reversal_rel * out.asymmetry_range);
-      // Zigzag scan with hysteresis.
-      int direction = 0;  // +1 rising, -1 falling, 0 undecided
-      double path_min = 0.0, path_max = 0.0, extremum = 0.0;
-      bool have_first = false;
-      std::size_t reversals = 0;
-      for (std::size_t i = 0; i < n; ++i) {
-        if (w[i] <= gate) continue;
-        const double v = a[i];
-        if (!have_first) {
-          have_first = true;
-          path_min = path_max = v;
-          continue;
-        }
-        if (direction == 0) {
-          path_min = std::min(path_min, v);
-          path_max = std::max(path_max, v);
-          if (v >= path_min + hysteresis) {
-            direction = +1;
-            extremum = v;
-          } else if (v <= path_max - hysteresis) {
-            direction = -1;
-            extremum = v;
-          }
-        } else if (direction > 0) {
-          extremum = std::max(extremum, v);
-          if (v <= extremum - hysteresis) {
-            ++reversals;
-            direction = -1;
-            extremum = v;
-          }
-        } else {
-          extremum = std::min(extremum, v);
-          if (v >= extremum + hysteresis) {
-            ++reversals;
-            direction = +1;
-            extremum = v;
-          }
-        }
-      }
-      out.asymmetry_reversals = reversals;
+void detail::asymmetry_folds(std::span<const double> a,
+                             std::span<const double> w, double total_w,
+                             double max_w, double sample_rate_hz,
+                             const TimingConfig& config, SegmentTiming& out) {
+  const std::size_t n = a.size();
+  if (total_w <= 0.0) return;
+
+  double cum = 0.0;
+  double bin_a[3] = {0, 0, 0}, bin_w[3] = {0, 0, 0}, bin_t[3] = {0, 0, 0};
+  for (std::size_t i = 0; i < n; ++i) {
+    // Zero-weight samples are exact no-ops on every accumulator here
+    // (x += ±0.0 keeps the bits of the non-negative sums this loop
+    // builds), so skipping them keeps the fold bit-identical while
+    // making the pass O(gated samples).
+    if (w[i] == 0.0) continue;
+    const double frac = cum / total_w;
+    const std::size_t bin = frac < (1.0 / 3.0) ? 0
+                            : frac < (2.0 / 3.0) ? 1
+                                                 : 2;
+    bin_a[bin] += a[i] * w[i];
+    bin_t[bin] += static_cast<double>(i) * w[i];
+    bin_w[bin] += w[i];
+    cum += w[i];
+  }
+  if (bin_w[0] > 0.0 && bin_w[2] > 0.0) {
+    out.asymmetry_start = bin_a[0] / bin_w[0];
+    out.asymmetry_end = bin_a[2] / bin_w[2];
+    out.asymmetry_delta = out.asymmetry_end - out.asymmetry_start;
+    // Transit time: between the weight-centroid times of the first and
+    // last terciles, scaled to the full traversal (the terciles span
+    // the middle ~2/3 of the differential mass).
+    const double t0 = bin_t[0] / bin_w[0];
+    const double t2 = bin_t[2] / bin_w[2];
+    out.transition_s = 1.5 * std::max(0.0, t2 - t0) / sample_rate_hz;
+  }
+
+  // Reversal count over the differential-gated A path: only samples
+  // carrying real differential weight contribute; direction changes
+  // must retrace more than the hysteresis to count. A monotone sweep
+  // (scroll) has 0 reversals; cyclic gestures (rub, circle) whose A
+  // returns towards its start have >= 1.
+  const double gate = max_w * config.gate_fraction;
+  double lo = 0.0, hi = 0.0;
+  bool started = false;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (w[i] <= gate) continue;
+    if (!started) {
+      started = true;
+      lo = hi = a[i];
+    } else {
+      lo = std::min(lo, a[i]);
+      hi = std::max(hi, a[i]);
     }
   }
+  out.asymmetry_range = started ? hi - lo : 0.0;
+  const double hysteresis = std::max(
+      config.reversal_abs, config.reversal_rel * out.asymmetry_range);
+  // Zigzag scan with hysteresis.
+  int direction = 0;  // +1 rising, -1 falling, 0 undecided
+  double path_min = 0.0, path_max = 0.0, extremum = 0.0;
+  bool have_first = false;
+  std::size_t reversals = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (w[i] <= gate) continue;
+    const double v = a[i];
+    if (!have_first) {
+      have_first = true;
+      path_min = path_max = v;
+      continue;
+    }
+    if (direction == 0) {
+      path_min = std::min(path_min, v);
+      path_max = std::max(path_max, v);
+      if (v >= path_min + hysteresis) {
+        direction = +1;
+        extremum = v;
+      } else if (v <= path_max - hysteresis) {
+        direction = -1;
+        extremum = v;
+      }
+    } else if (direction > 0) {
+      extremum = std::max(extremum, v);
+      if (v <= extremum - hysteresis) {
+        ++reversals;
+        direction = -1;
+        extremum = v;
+      }
+    } else {
+      extremum = std::min(extremum, v);
+      if (v >= extremum + hysteresis) {
+        ++reversals;
+        direction = +1;
+        extremum = v;
+      }
+    }
+  }
+  out.asymmetry_reversals = reversals;
 }
 
 SegmentTiming segment_timing(std::span<const std::span<const double>> windows,

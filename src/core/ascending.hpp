@@ -177,6 +177,17 @@ void asymmetry_stats(std::span<const double> e1, std::span<const double> e3,
                      std::span<const double> esum, double sample_rate_hz,
                      const TimingConfig& config, common::ScratchArena& arena,
                      SegmentTiming& out);
+
+/// The tercile / transit / range / reversal folds of asymmetry_stats()
+/// over a precomputed asymmetry path `a` and differential-weight sequence
+/// `w`. `total_w` / `max_w` must be the ascending-order fold results over
+/// `w` (sum from 0.0 / max with 0.0). Shared with the incremental
+/// open-segment cache, which stores a/w and resumes the weight folds from
+/// finalized-frontier checkpoints — running the *same* fold code here is
+/// what makes the two paths bit-identical by construction.
+void asymmetry_folds(std::span<const double> a, std::span<const double> w,
+                     double total_w, double max_w, double sample_rate_hz,
+                     const TimingConfig& config, SegmentTiming& out);
 }  // namespace detail
 
 }  // namespace airfinger::core

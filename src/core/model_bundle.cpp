@@ -130,9 +130,21 @@ std::optional<ScrollEstimate> ModelBundle::probe_direction(
                 cache.size() == view.energy.size(),
             "timing cache out of sync with the open-segment view");
   const auto windows = window_spans(view, padded, arena);
+  // Change-detection gate: refresh() advances the cache's decision state
+  // and proves whether anything the router reads moved bits since the
+  // previous probe. If nothing did and that probe concluded "no emission",
+  // this one would too (the verdict is a pure function of the unchanged
+  // statistics) — return the cached nullopt without routing. Emission
+  // verdicts are never short-circuited: the estimate's duration grows
+  // with the window even when the timing state does not.
+  const bool changed = cache.refresh(windows);
+  if (!changed && cache.probe_verdict_no_emit()) return std::nullopt;
   const SegmentTiming timing = cache.timing(windows, arena);
-  if (router_.route_timing(timing) != GestureCategory::kTrackAimed)
+  if (router_.route_timing(timing) != GestureCategory::kTrackAimed) {
+    cache.record_probe_verdict_no_emit(true);
     return std::nullopt;
+  }
+  cache.record_probe_verdict_no_emit(false);
   obs::Span zebra_span(workspace.obs, obs::Stage::kZebra);
   if (timing_shared_)
     return zebra_.track_timing(timing, windows, local, view.sample_rate_hz);

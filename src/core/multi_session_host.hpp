@@ -36,11 +36,18 @@
 // untouched: their emissions stay bit-identical to a run without the
 // faulting neighbour, at any shard count.
 //
-// Threading contract: feed(), pump(), finish(), drain(), the lifecycle
-// calls, and every read accessor belong to ONE owner thread (the
-// producer). Reads and lifecycle mutations quiesce the shards internally,
-// so they are always coherent — but the host is not a multi-producer
-// queue.
+// Threading contract: pump(), finish(), drain(), the lifecycle calls, and
+// every read accessor belong to ONE owner thread (the producer). Reads and
+// lifecycle mutations quiesce the shards internally, so they are always
+// coherent. feed() is normally called from that same owner thread; in
+// *threaded* mode (shard_count() >= 2) it may additionally be called from
+// several producer threads concurrently, provided each lane has at most
+// one feeder at a time — feed() touches only that lane's ring/counters
+// plus its shard's park flag, so disjoint-lane feeders never share
+// mutable state. (Inline mode drains on the feeding thread through shared
+// scratch: single feeder only.) The owner-thread calls may resume only
+// after the extra feeders are joined (an external happens-before edge).
+// run_round_robin_parallel() packages this pattern.
 #pragma once
 
 #include <cstdint>
@@ -217,7 +224,26 @@ class MultiSessionHost {
       const std::vector<sensor::MultiChannelTrace>& traces,
       std::size_t frames_per_turn = 64);
 
+  /// run_round_robin() with one producer thread per shard: feeder s
+  /// streams exactly the lanes hashed to shard s (index % shard_count()),
+  /// round-robin within them, so the sweep measures the host instead of a
+  /// single-threaded producer. Per-lane feed order is identical to
+  /// run_round_robin() — the drained events are bit-identical; only the
+  /// cross-lane interleaving (which determinism never observes) differs.
+  /// Inline mode (no workers) falls back to the single-feeder loop.
+  std::vector<SessionEvent> run_round_robin_parallel(
+      const std::vector<sensor::MultiChannelTrace>& traces,
+      std::size_t frames_per_turn = 64);
+
  private:
+  // Lane field groups are cache-line-separated by ownership: in threaded
+  // mode the shard worker bumps `processed` on every frame while the
+  // producer bumps `high_water` on every feed *and* polls `faulted` /
+  // `retired` — if those lived on one line, each side's writes would keep
+  // evicting the other's hot line (false sharing; measured as the
+  // inverted 1→4-shard throughput curve this layout fixed). alignas(64)
+  // on each group start plus the ring's own 64-byte alignment (which
+  // rounds sizeof(Lane) to whole lines) keeps every group private.
   struct Lane {
     Lane(std::size_t index, std::shared_ptr<const ModelBundle> bundle,
          FaultPolicy policy, std::size_t ring_capacity);
@@ -227,27 +253,29 @@ class MultiSessionHost {
 
     // ---- consumer-side state: owned by the lane's shard worker (or the
     // caller thread in inline mode / at quiescence).
-    std::optional<Session> session;
+    alignas(64) std::optional<Session> session;
     std::vector<SessionEvent> events;
     Session::EventCallback sink;    ///< Appends to `events`; built once.
     std::uint64_t processed = 0;    ///< Frames classified successfully.
     std::uint64_t dropped_consumer = 0;  ///< Ring discards after fault/retire.
     std::string fault;              ///< what() of the quarantining exception.
 
-    // ---- flags written at fault/retire time, read by the producer to
-    // short-circuit feed(). `faulted` flips inside the worker, hence
-    // atomic; `retired` flips only at quiescence.
-    std::atomic<bool> faulted{false};
+    // ---- flags written at fault/retire time, read by the producer on
+    // *every* feed() to short-circuit: they get their own (rarely
+    // invalidated) line so the polling stays a shared cache hit.
+    // `faulted` flips inside the worker, hence atomic; `retired` flips
+    // only at quiescence.
+    alignas(64) std::atomic<bool> faulted{false};
     bool retired = false;
 
-    // ---- producer-side counters: only the feed() caller touches these.
-    std::uint64_t dropped_producer = 0;  ///< Frames refused post-fault.
+    // ---- producer-side counters: only the lane's feeder touches these.
+    alignas(64) std::uint64_t dropped_producer = 0;  ///< Refused post-fault.
     std::uint64_t rejected = 0;      ///< Admission rejects + retired feeds.
     std::uint64_t blocked = 0;       ///< feed() waits under kBlock.
     std::size_t high_water = 0;      ///< Max ring occupancy in frames.
 
     // ---- captured by remove_session() before the session is freed.
-    HealthStats final_health;
+    alignas(64) HealthStats final_health;
     obs::MetricsSnapshot final_metrics;
   };
 

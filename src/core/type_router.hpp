@@ -45,6 +45,13 @@ class TypeRouter {
   /// have been produced with this router's TimingConfig over the padded
   /// segment windows). Lets the decision core compute one SegmentTiming
   /// and share it between routing and ZEBRA tracking.
+  ///
+  /// Contract (load-bearing for the probe's change-detection gate,
+  /// DESIGN.md §16): the verdict is a pure function of `timing.active`,
+  /// `timing.first_active`, and the asymmetry figures — it reads nothing
+  /// else, so bit-identical values of those fields imply the identical
+  /// verdict. OpenSegmentTiming::refresh() tracks exactly this field set;
+  /// widening route_timing()'s inputs requires widening the gate.
   GestureCategory route_timing(const SegmentTiming& timing) const;
 
  private:

@@ -60,6 +60,12 @@ class ZebraTracker {
   /// the gesture); `segment` is the unpadded segment (duration and the
   /// early-energy tie-break read it). Lets the decision core share one
   /// SegmentTiming between routing and tracking.
+  ///
+  /// Unlike the routing verdict, the estimate is NOT a pure function of
+  /// the gated timing fields: duration_s grows with the window even when
+  /// every routed statistic keeps its bits, which is why the probe's
+  /// change-detection gate (DESIGN.md §16) may cache "no emission" but
+  /// never a ScrollEstimate.
   std::optional<ScrollEstimate> track_timing(
       const SegmentTiming& timing,
       std::span<const std::span<const double>> windows,

@@ -1,0 +1,306 @@
+// Locks the event-driven incremental probe (DESIGN.md §16): the
+// OpenSegmentTiming cache must reproduce the batch segment_timing() bit
+// for bit at EVERY prefix length (the streaming cadence, no skipped
+// frames), ModelBundle::probe_direction over the cache — including its
+// change-detection short-circuit — must return exactly what the cacheless
+// overload returns at every prefix, and the multi-producer round-robin
+// driver must drain events bit-identical to the single-feeder inline host.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <random>
+
+#include "core/ascending.hpp"
+#include "core/data_processor.hpp"
+#include "core/multi_session_host.hpp"
+#include "core/timing_cache.hpp"
+#include "core/trainer.hpp"
+#include "synth/dataset.hpp"
+
+namespace airfinger {
+namespace {
+
+void expect_bits(double a, double b, const char* what) {
+  std::uint64_t ba = 0, bb = 0;
+  std::memcpy(&ba, &a, sizeof(a));
+  std::memcpy(&bb, &b, sizeof(b));
+  EXPECT_EQ(ba, bb) << what << ": " << a << " vs " << b;
+}
+
+void expect_timing_equal(const core::SegmentTiming& a,
+                         const core::SegmentTiming& b, std::size_t n) {
+  SCOPED_TRACE("window length " + std::to_string(n));
+  ASSERT_EQ(a.active.size(), b.active.size());
+  for (std::size_t c = 0; c < a.active.size(); ++c) {
+    EXPECT_EQ(a.active[c], b.active[c]);
+    expect_bits(a.tau_s[c], b.tau_s[c], "tau_s");
+  }
+  EXPECT_EQ(a.first_active, b.first_active);
+  EXPECT_EQ(a.last_active, b.last_active);
+  expect_bits(a.dt_outer_s, b.dt_outer_s, "dt_outer_s");
+  EXPECT_EQ(a.envelope_peaks, b.envelope_peaks);
+  expect_bits(a.asymmetry_start, b.asymmetry_start, "asymmetry_start");
+  expect_bits(a.asymmetry_end, b.asymmetry_end, "asymmetry_end");
+  expect_bits(a.asymmetry_delta, b.asymmetry_delta, "asymmetry_delta");
+  expect_bits(a.transition_s, b.transition_s, "transition_s");
+  expect_bits(a.asymmetry_range, b.asymmetry_range, "asymmetry_range");
+  EXPECT_EQ(a.asymmetry_reversals, b.asymmetry_reversals);
+}
+
+/// Synthetic ΔRSS² windows: Gaussian humps per channel over noise. The
+/// three shapes cover the router's verdict space — sequential humps route
+/// track-aimed (a scroll), a common hump routes detect-aimed (a click),
+/// and noise stays undecidable.
+std::vector<std::vector<double>> make_windows(int shape, std::size_t channels,
+                                              std::size_t total,
+                                              std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> noise(0.0, 0.35);
+  std::vector<std::vector<double>> out(channels, std::vector<double>(total));
+  for (std::size_t c = 0; c < channels; ++c) {
+    const double centre =
+        shape == 0 ? (0.25 + 0.22 * static_cast<double>(c)) *
+                         static_cast<double>(total)
+        : shape == 1 ? 0.5 * static_cast<double>(total)
+                     : -100.0;
+    for (std::size_t i = 0; i < total; ++i) {
+      const double d = (static_cast<double>(i) - centre) / 9.0;
+      out[c][i] = 40.0 * std::exp(-0.5 * d * d) + noise(rng);
+    }
+  }
+  return out;
+}
+
+// The incremental cache must agree with the batch analysis at *every*
+// prefix length — the per-frame streaming cadence the probe actually
+// runs at, with no lazy-advance gaps hiding a frontier bug.
+TEST(IncrementalProbe, TimingMatchesBatchAtEveryPrefixLength) {
+  constexpr std::size_t kChannels = 3;
+  constexpr double kRate = 100.0;
+  const core::TimingConfig config;
+
+  for (int shape = 0; shape < 3; ++shape) {
+    SCOPED_TRACE("shape " + std::to_string(shape));
+    const std::size_t total = 150 + static_cast<std::size_t>(shape) * 31;
+    const auto channels =
+        make_windows(shape, kChannels, total, 911 + shape);
+
+    core::OpenSegmentTiming cache;
+    cache.configure(kChannels, kRate, config);
+    cache.begin_segment();
+    common::ScratchArena cache_arena;
+    common::ScratchArena batch_arena;
+    double frame[kChannels];
+    std::vector<std::span<const double>> windows(kChannels);
+    for (std::size_t n = 1; n <= total; ++n) {
+      for (std::size_t c = 0; c < kChannels; ++c)
+        frame[c] = channels[c][n - 1];
+      cache.append({frame, kChannels});
+      for (std::size_t c = 0; c < kChannels; ++c)
+        windows[c] = std::span<const double>(channels[c].data(), n);
+      const std::span<const std::span<const double>> w(windows);
+      const auto incremental = cache.timing(w, cache_arena);
+      const auto batch = core::segment_timing(w, kRate, config, batch_arena);
+      expect_timing_equal(incremental, batch, n);
+    }
+  }
+}
+
+// refresh()'s change gate must be *sound*: whenever it reports "nothing
+// decision-relevant changed", the statistics the router reads must be
+// bit-identical to the previous frame's. (Completeness — reporting few
+// changes — is what the bench measures; soundness is what correctness
+// rests on.)
+TEST(IncrementalProbe, UnchangedRefreshImpliesIdenticalRouterInputs) {
+  constexpr std::size_t kChannels = 3;
+  constexpr double kRate = 100.0;
+  const core::TimingConfig config;
+  const std::size_t total = 180;
+  const auto channels = make_windows(0, kChannels, total, 77);
+
+  core::OpenSegmentTiming cache;
+  cache.configure(kChannels, kRate, config);
+  cache.begin_segment();
+  common::ScratchArena arena;
+  double frame[kChannels];
+  std::vector<std::span<const double>> windows(kChannels);
+  core::SegmentTiming prev;
+  bool have_prev = false;
+  std::size_t unchanged_frames = 0;
+  for (std::size_t n = 1; n <= total; ++n) {
+    for (std::size_t c = 0; c < kChannels; ++c) frame[c] = channels[c][n - 1];
+    cache.append({frame, kChannels});
+    for (std::size_t c = 0; c < kChannels; ++c)
+      windows[c] = std::span<const double>(channels[c].data(), n);
+    const std::span<const std::span<const double>> w(windows);
+    const bool changed = cache.refresh(w);
+    // Idempotent re-entry: a second refresh over the same window reports
+    // the same verdict (the probe may be re-run without a new append).
+    EXPECT_EQ(cache.refresh(w), changed);
+    const auto timing = cache.timing(w, arena);
+    if (!changed) {
+      ASSERT_TRUE(have_prev);
+      ++unchanged_frames;
+      SCOPED_TRACE("window length " + std::to_string(n));
+      EXPECT_EQ(timing.first_active, prev.first_active);
+      expect_bits(timing.asymmetry_delta, prev.asymmetry_delta,
+                  "asymmetry_delta");
+      expect_bits(timing.transition_s, prev.transition_s, "transition_s");
+      expect_bits(timing.asymmetry_range, prev.asymmetry_range,
+                  "asymmetry_range");
+      EXPECT_EQ(timing.asymmetry_reversals, prev.asymmetry_reversals);
+    }
+    prev = timing;
+    have_prev = true;
+  }
+  // The decay tail of the humps must actually exercise the gate — a gate
+  // that never fires would vacuously pass the soundness check above.
+  EXPECT_GT(unchanged_frames, 0u);
+}
+
+/// One small trained bundle shared by the probe-identity and host tests
+/// (training dominates the suite's cost; the bundle is immutable).
+const std::shared_ptr<const core::ModelBundle>& trained_bundle() {
+  static const std::shared_ptr<const core::ModelBundle> bundle = [] {
+    core::TrainerConfig config;
+    config.users = 2;
+    config.sessions = 1;
+    config.repetitions = 3;
+    config.non_gesture_repetitions = 3;
+    config.seed = 11;
+    return core::build_bundle(config);
+  }();
+  return bundle;
+}
+
+void expect_estimates_equal(const std::optional<core::ScrollEstimate>& a,
+                            const std::optional<core::ScrollEstimate>& b,
+                            std::size_t n) {
+  SCOPED_TRACE("window length " + std::to_string(n));
+  ASSERT_EQ(a.has_value(), b.has_value());
+  if (!a) return;
+  expect_bits(a->direction, b->direction, "direction");
+  expect_bits(a->velocity_mps, b->velocity_mps, "velocity_mps");
+  expect_bits(a->duration_s, b->duration_s, "duration_s");
+  EXPECT_EQ(a->used_experience_velocity, b->used_experience_velocity);
+  ASSERT_EQ(a->delta_t_s.has_value(), b->delta_t_s.has_value());
+  if (a->delta_t_s) expect_bits(*a->delta_t_s, *b->delta_t_s, "delta_t_s");
+}
+
+// probe_direction over the incremental cache — change-detection
+// short-circuit included — must return exactly what the cacheless batch
+// overload returns, probed at every prefix length like the streaming
+// path does. Consecutive same-length probes (the short-circuit's
+// hottest case) must also agree.
+TEST(IncrementalProbe, ProbeDirectionMatchesCachelessAtEveryPrefix) {
+  const auto& bundle = trained_bundle();
+  const std::size_t channels = bundle->config().channels;
+  const double rate = bundle->config().sample_rate_hz;
+
+  for (int shape = 0; shape < 3; ++shape) {
+    SCOPED_TRACE("shape " + std::to_string(shape));
+    const std::size_t total = 160 + static_cast<std::size_t>(shape) * 19;
+    const auto windows = make_windows(shape, channels, total, 4242 + shape);
+
+    core::OpenSegmentTiming cache;
+    cache.configure(channels, rate, bundle->probe_timing_config());
+    cache.begin_segment();
+    features::Workspace cached_ws;
+    features::Workspace batch_ws;
+
+    // Grow the open-segment view one frame at a time, exactly like the
+    // session's streaming maintenance.
+    core::ProcessedTrace view;
+    view.delta_rss2.assign(channels, {});
+    view.sample_rate_hz = rate;
+    std::vector<double> frame(channels);
+    for (std::size_t n = 1; n <= total; ++n) {
+      double energy = 0.0;
+      for (std::size_t c = 0; c < channels; ++c) {
+        const double d = windows[c][n - 1];
+        view.delta_rss2[c].push_back(d);
+        frame[c] = d;
+        energy += d;
+      }
+      view.energy.push_back(energy);
+      cache.append({frame.data(), channels});
+
+      const dsp::Segment local{0, n};
+      const auto cached =
+          bundle->probe_direction(view, local, cached_ws, cache);
+      const auto batch = bundle->probe_direction(view, local, batch_ws);
+      expect_estimates_equal(cached, batch, n);
+      // Re-probe without an append: the short-circuit path must hold the
+      // same verdict.
+      expect_estimates_equal(
+          bundle->probe_direction(view, local, cached_ws, cache), batch, n);
+    }
+  }
+}
+
+/// Distinct multi-gesture streams, one per hosted session.
+std::vector<sensor::MultiChannelTrace> gesture_streams(std::size_t count) {
+  const std::vector<synth::MotionKind> mix{
+      synth::MotionKind::kCircle, synth::MotionKind::kScrollUp,
+      synth::MotionKind::kClick, synth::MotionKind::kScrollDown};
+  std::vector<sensor::MultiChannelTrace> traces;
+  traces.reserve(count);
+  for (std::size_t s = 0; s < count; ++s) {
+    synth::CollectionConfig config;
+    config.users = 1;
+    config.seed = 5100 + s;
+    traces.push_back(
+        synth::make_gesture_stream(config, mix, config.seed).trace);
+  }
+  return traces;
+}
+
+// The multi-producer driver (one feeder thread per shard, the scaling
+// benches' producer shape) must drain events bit-identical to the
+// single-feeder inline host — the disjoint-lane concurrent-feed contract
+// under a real interleaving (and under TSan in the race suite).
+TEST(IncrementalProbe, ParallelFeedersAreBitIdenticalToInlineHost) {
+  const auto& bundle = trained_bundle();
+  const auto traces = gesture_streams(6);
+
+  core::HostConfig inline_config;
+  inline_config.shards = 1;
+  core::MultiSessionHost reference_host(bundle, traces.size(),
+                                        bundle->config().fault_policy,
+                                        inline_config);
+  const auto reference = reference_host.run_round_robin(traces, 53);
+
+  for (std::size_t shards : {2u, 4u}) {
+    SCOPED_TRACE(std::to_string(shards) + " shards");
+    core::HostConfig config;
+    config.shards = shards;
+    core::MultiSessionHost host(bundle, traces.size(),
+                                bundle->config().fault_policy, config);
+    const auto hosted = host.run_round_robin_parallel(traces, 53);
+    ASSERT_EQ(hosted.size(), reference.size());
+    for (std::size_t e = 0; e < hosted.size(); ++e) {
+      SCOPED_TRACE("event " + std::to_string(e));
+      EXPECT_EQ(hosted[e].session, reference[e].session);
+      EXPECT_EQ(hosted[e].event.type, reference[e].event.type);
+      EXPECT_EQ(hosted[e].event.time_s, reference[e].event.time_s);
+      EXPECT_EQ(hosted[e].event.gesture, reference[e].event.gesture);
+      EXPECT_EQ(hosted[e].event.segment_begin,
+                reference[e].event.segment_begin);
+      EXPECT_EQ(hosted[e].event.segment_end, reference[e].event.segment_end);
+      ASSERT_EQ(hosted[e].event.scroll.has_value(),
+                reference[e].event.scroll.has_value());
+      if (hosted[e].event.scroll) {
+        EXPECT_EQ(hosted[e].event.scroll->direction,
+                  reference[e].event.scroll->direction);
+        EXPECT_EQ(hosted[e].event.scroll->velocity_mps,
+                  reference[e].event.scroll->velocity_mps);
+        EXPECT_EQ(hosted[e].event.scroll->duration_s,
+                  reference[e].event.scroll->duration_s);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace airfinger

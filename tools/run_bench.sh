@@ -66,8 +66,15 @@ if [[ "${SMOKE}" == 1 ]]; then
   HOST_OUT="$(mktemp /tmp/bench_host_scaling.smoke.XXXXXX.json)"
   "${BUILD}/bench/bench_inference" --passes 1 --streams 2 \
     --baseline-fps "${BASELINE_FPS}" --out "${OUT}"
+  # 2000-session big workload with --min-speedup 1.0: the seeded
+  # false-sharing/contention regression gate — on a >=4-hw-thread machine
+  # a 4-shard host that is *slower* than 1 shard fails the smoke run
+  # (the bench also enforces monotone scaling with 5% tolerance; on
+  # narrower machines it records the gate as skipped).
   "${BUILD}/bench/bench_host_scaling" --streams 2 --rounds 1 \
-    --big-streams 200 --big-frames 128 --out "${HOST_OUT}"
+    --big-streams 2000 --big-frames 128 --min-speedup 1.0 \
+    --out "${HOST_OUT}"
+  echo "run_bench: smoke contention gate: $(sed -n 's/^  \"scaling_gate\": \"\(.*\)\",$/\1/p' "${HOST_OUT}")"
   check_zero_allocs "${OUT}"
   echo "run_bench: smoke OK (report at ${OUT}, tracked baseline untouched)"
   exit 0
@@ -107,11 +114,21 @@ cmake --build "${SIMD_OFF_BUILD}" -j --target bench_inference
 "${SIMD_OFF_BUILD}/bench/bench_inference" --passes 2 --streams 2 \
   --baseline-fps "${BASELINE_FPS}" --out "${SIMD_REF}"
 
+# Incremental-probe reference: the SAME build run with the batch probe
+# (AF_PROBE_INCREMENTAL=0) gives the O(n·w)-per-probe per-stage p50s; the
+# main run records probe_speedup_vs_ref against them so the event-driven
+# probe's win stays visible in the tracked baseline.
+PROBE_REF="$(mktemp /tmp/BENCH_inference.batchprobe.XXXXXX.json)"
+AF_PROBE_INCREMENTAL=0 "${BUILD}/bench/bench_inference" --passes 2 \
+  --streams 2 --baseline-fps "${BASELINE_FPS}" --out "${PROBE_REF}"
+
 # The tracked baseline carries the 10k-stream sharded-host sweep
 # (host_scaling_10k) alongside the single-session numbers.
 best_of "${BUILD}/bench/bench_inference" "${ROOT}/BENCH_inference.json" \
-  --big-streams 10000 --ref-report "${SIMD_REF}"
+  --big-streams 10000 --ref-report "${SIMD_REF}" \
+  --probe-ref-report "${PROBE_REF}"
 FPS_ON="${BEST_FPS}"
+echo "run_bench: probe speedup vs batch probe: $(sed -n 's/^  \"probe_speedup_vs_ref\": \(.*\),$/\1/p' "${ROOT}/BENCH_inference.json")"
 echo "run_bench: simd tier $(sed -n 's/^  "simd_tier": "\(.*\)",$/\1/p' "${ROOT}/BENCH_inference.json"), stage speedups vs scalar: $(sed -n 's/^  "stage_speedup_vs_ref": \(.*\),$/\1/p' "${ROOT}/BENCH_inference.json")"
 # bench_host_scaling enforces its own scaling gates (bit identity across
 # shard counts always; the >=1.6x 4-shard speedup and monotonicity floors

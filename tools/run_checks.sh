@@ -35,6 +35,16 @@ ctest --test-dir "${BUILD}" --output-on-failure -j "$(nproc)"
 echo "== robustness: fault-injection + fuzz + golden-replay suites =="
 ctest --test-dir "${BUILD}" --output-on-failure -L robustness -j "$(nproc)"
 
+echo "== probe parity: goldens must replay byte-identical with the =="
+echo "== incremental probe disabled (AF_PROBE_INCREMENTAL=0)        =="
+# The default suite above replayed the goldens over the incremental
+# probe; replaying them again over the batch probe proves the two probe
+# implementations emit byte-identical streams both ways, not just on the
+# synthetic corpora the unit tests cover.
+AF_PROBE_INCREMENTAL=0 "${BUILD}/tests/golden_replay_test"
+AF_PROBE_INCREMENTAL=0 "${BUILD}/tests/probe_test" \
+  --gtest_filter='IncrementalProbe.ParallelFeedersAreBitIdenticalToInlineHost'
+
 echo "== observability: metrics/tracing determinism suites =="
 ctest --test-dir "${BUILD}" --output-on-failure -L observability -j "$(nproc)"
 
@@ -44,13 +54,14 @@ cmake -B "${ASAN_BUILD}" -S "${ROOT}" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DAF_SANITIZE=address,undefined
 cmake --build "${ASAN_BUILD}" -j \
-  --target bundle_test serialize_test core_test parallel_test spsc_ring_test host_shard_test compiled_forest_test simd_test fault_injection_test obs_test obs_pipeline_test
+  --target bundle_test serialize_test core_test parallel_test spsc_ring_test host_shard_test probe_test compiled_forest_test simd_test fault_injection_test obs_test obs_pipeline_test
 "${ASAN_BUILD}/tests/bundle_test"
 "${ASAN_BUILD}/tests/serialize_test"
 "${ASAN_BUILD}/tests/core_test"
 "${ASAN_BUILD}/tests/parallel_test"
 "${ASAN_BUILD}/tests/spsc_ring_test"
 "${ASAN_BUILD}/tests/host_shard_test"
+"${ASAN_BUILD}/tests/probe_test"
 "${ASAN_BUILD}/tests/compiled_forest_test"
 "${ASAN_BUILD}/tests/simd_test"
 "${ASAN_BUILD}/tests/fault_injection_test"

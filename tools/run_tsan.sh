@@ -14,7 +14,7 @@ BUILD="${1:-${ROOT}/build/aux/tsan}"
 cmake -B "${BUILD}" -S "${ROOT}" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DAF_SANITIZE=thread
-cmake --build "${BUILD}" -j --target parallel_test spsc_ring_test host_shard_test determinism_test core_test bundle_test compiled_forest_test simd_test fault_injection_test obs_test obs_pipeline_test
+cmake --build "${BUILD}" -j --target parallel_test spsc_ring_test host_shard_test probe_test determinism_test core_test bundle_test compiled_forest_test simd_test fault_injection_test obs_test obs_pipeline_test
 
 export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1 second_deadlock_stack=1}"
 export AF_THREADS="${AF_THREADS:-4}"
@@ -24,6 +24,9 @@ export AF_THREADS="${AF_THREADS:-4}"
 # park/unpark fence handshake are exactly what TSan exists to check.
 "${BUILD}/tests/spsc_ring_test"
 "${BUILD}/tests/host_shard_test"
+# Incremental probe + the multi-producer round-robin driver (one feeder
+# thread per shard hitting disjoint lanes concurrently).
+"${BUILD}/tests/probe_test"
 "${BUILD}/tests/determinism_test"
 "${BUILD}/tests/core_test"
 "${BUILD}/tests/bundle_test"
