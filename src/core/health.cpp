@@ -1,0 +1,16 @@
+#include "core/health.hpp"
+
+namespace airfinger::core {
+
+const char* artifact_class_name(ArtifactClass cls) {
+  switch (cls) {
+    case ArtifactClass::kImpulse: return "impulse";
+    case ArtifactClass::kCrackle: return "crackle";
+    case ArtifactClass::kStep: return "step";
+    case ArtifactClass::kDrift: return "drift";
+    case ArtifactClass::kFlicker: return "flicker";
+  }
+  return "unknown";
+}
+
+}  // namespace airfinger::core

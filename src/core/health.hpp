@@ -28,8 +28,80 @@
 #include <limits>
 
 #include "obs/metrics.hpp"
+#include "sensor/artifact.hpp"
 
 namespace airfinger::core {
+
+/// Artifact taxonomy used by the graded policy: which corruption class a
+/// detection or escalation was attributed to. Also the `detail` payload of
+/// obs::PipelineEvent::Kind::kArtifact records.
+enum class ArtifactClass : std::uint8_t {
+  kImpulse = 0,  ///< Isolated click/glitch — repairable by interpolation.
+  kCrackle,      ///< Dense impulse train — sustained, quarantine.
+  kStep,         ///< Zipper/step level shift — recalibrate via quarantine.
+  kDrift,        ///< Slow baseline drift — recalibrate via quarantine.
+  kFlicker,      ///< Periodic ambient interference — quarantine.
+};
+
+/// Stable lowercase class name ("impulse", "crackle", ...).
+const char* artifact_class_name(ArtifactClass cls);
+
+/// Graded artifact handling (DESIGN.md §17), layered on top of the burst
+/// heuristics below when the policy is enabled. Detection is always
+/// record-only (counters and graded confidences); the *actions* — in-place
+/// impulse repair and artifact-classified quarantine — are gated so the
+/// defaults cannot fire on clean input:
+///
+///   * repair needs both an adaptive trigger (derivative z >= repair_z)
+///     and an absolute one (|dx| >= repair_min_step, default infinity);
+///   * escalation (crackle/step/drift/flicker -> quarantine) is off until
+///     `escalate` is set.
+///
+/// Deployments measure their clean corpus (max |dx|, detector confidences)
+/// and set repair_min_step above the clean ceiling, exactly like
+/// FaultPolicy::saturation_level — bench/robustness.cpp shows the recipe
+/// and measures the resulting detection/false-positive rates.
+struct ArtifactPolicy {
+  /// Run the streaming detectors and keep per-class counters. Record-only:
+  /// turning this off only loses the counters.
+  bool detect = true;
+
+  /// Repair isolated impulses in place: a suspect frame is held back, and
+  /// once a plausible clean sample arrives the flagged channels are
+  /// linearly interpolated across the gap and the held frames are fed
+  /// through the unchanged pipeline. When the interpolated values equal
+  /// the clean ones the downstream byte stream is identical to an
+  /// uncorrupted trace.
+  bool repair = true;
+  /// Adaptive repair trigger: derivative z-score (against the detector's
+  /// EWMA statistics) a sample must reach to be held as an impulse.
+  double repair_z = 8.0;
+  /// Absolute repair trigger: minimum |x_t - x_{t-1}| in counts. Both
+  /// triggers must fire. The default (infinity) keeps repair unreachable
+  /// until a deployment sets its clean-trace ceiling.
+  double repair_min_step = std::numeric_limits<double>::infinity();
+  /// Frames held back waiting for a clean resume before the episode
+  /// escalates (classified step if the held values settled, else crackle).
+  std::size_t repair_limit = 4;
+
+  /// Allow artifact classifications to enter the existing
+  /// quarantine/recover path. Off by default: detection and repair alone
+  /// cannot quarantine.
+  bool escalate = false;
+  /// Crackle via repair rate: this many repair episodes within
+  /// `crackle_window` frames classify the stream as crackling.
+  std::size_t crackle_repairs = 4;
+  std::size_t crackle_window = 256;
+  /// Sustained-confidence windows (frames at confidence >= 1) for the
+  /// slow classes. Each must exceed the longest clean gesture so a real
+  /// gesture can never look like corruption.
+  std::size_t impulsive_sustain = 96;   ///< LPC residual / kurtosis.
+  std::size_t drift_sustain = 300;      ///< Baseline velocity.
+  std::size_t flicker_sustain = 200;    ///< Tonal + dominant AC bin.
+
+  /// Detector shape and grading thresholds (sensor/artifact.hpp).
+  sensor::ArtifactDetectorConfig detector{};
+};
 
 /// Per-stream robustness counters, exposed by Session::health() and
 /// aggregated across streams by MultiSessionHost::aggregate_health().
@@ -92,6 +164,8 @@ struct FaultPolicy {
   /// Clean frames required after a fault burst before the session
   /// re-calibrates and resumes emitting.
   std::size_t recovery_frames = 64;
+  /// Graded artifact detection, repair, and escalation (DESIGN.md §17).
+  ArtifactPolicy artifact{};
 };
 
 }  // namespace airfinger::core

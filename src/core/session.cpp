@@ -62,6 +62,24 @@ Session::Session(std::shared_ptr<const ModelBundle> bundle,
                       std::numeric_limits<double>::quiet_NaN());
   same_run_.assign(config().channels, 0);
   sat_run_.assign(config().channels, 0);
+  if (policy_.enabled && policy_.artifact.detect) {
+    const ArtifactPolicy& ap = policy_.artifact;
+    AF_EXPECT(ap.repair_z > 0.0, "artifact repair_z must be positive");
+    AF_EXPECT(ap.repair_min_step > 0.0,
+              "artifact repair_min_step must be positive");
+    AF_EXPECT(ap.repair_limit >= 1, "artifact repair_limit must be >= 1");
+    AF_EXPECT(ap.crackle_repairs >= 2 && ap.crackle_window >= 1,
+              "crackle rate monitor needs repairs >= 2 and window >= 1");
+    AF_EXPECT(ap.impulsive_sustain >= 1 && ap.drift_sustain >= 1 &&
+                  ap.flicker_sustain >= 1,
+              "artifact sustain windows must be >= 1");
+    detectors_.reserve(config().channels);
+    for (std::size_t c = 0; c < config().channels; ++c)
+      detectors_.emplace_back(ap.detector);
+    hold_frames_.assign(ap.repair_limit * config().channels, 0.0);
+    hold_flag_.assign(config().channels, 0);
+    repair_ring_.assign(ap.crackle_repairs, 0);
+  }
 }
 
 ProcessedTrace Session::window_view(const dsp::Segment& segment) const {
@@ -228,6 +246,11 @@ void Session::recalibrate() {
   open_view_valid_ = false;
   early_direction_sent_ = false;
   if (timing_cache_.configured()) timing_cache_.begin_segment();
+  // Recalibration is a fresh start for the artifact layer too: the
+  // adaptive statistics re-learn the post-fault signal (warmup keeps them
+  // quiet meanwhile), and the sustained-confidence runs restart.
+  for (auto& d : detectors_) d.reset();
+  impulsive_run_ = drift_run_ = flicker_run_ = 0;
 }
 
 void Session::push_frame(std::span<const double> frame,
@@ -245,7 +268,12 @@ void Session::push_frame(std::span<const double> frame,
 
   if (policy_.enabled) {
     const bool fault_now = scan_frame(frame);
-    if (!quarantined_ && fault_now) enter_quarantine();
+    if (!quarantined_ && fault_now) {
+      // A burst fault while frames are held back: the hold was corruption
+      // after all — drop it with the stream, then quarantine.
+      if (hold_len_ > 0) drop_hold();
+      enter_quarantine();
+    }
     if (quarantined_) {
       // Consume the frame (the stream clock keeps running) but feed
       // nothing downstream; recover after a sustained clean run.
@@ -266,7 +294,250 @@ void Session::push_frame(std::span<const double> frame,
             " at frame " + std::to_string(frames_) +
             " (enable FaultPolicy for degraded-mode handling)");
   }
+  // Every validated frame is accounted here exactly once, whether it is
+  // fed now, held for repair, or later dropped by an escalation.
   obs_.registry().inc(obs_.frames);
+
+  if (artifact_active() && artifact_gate(frame, callback)) return;
+  ingest(frame, callback);
+}
+
+bool Session::artifact_gate(std::span<const double> frame,
+                            const EventCallback& callback) {
+  const ArtifactPolicy& ap = policy_.artifact;
+  if (hold_len_ == 0) {
+    // Peek at the candidate frame against the adaptive derivative
+    // statistics without committing it. Detection is graded: crossing
+    // click_sigma only counts (the clean-traffic false-alarm proxy);
+    // holding a frame for repair additionally needs the stricter repair_z
+    // *and* the absolute repair_min_step floor.
+    bool start = false;
+    for (std::size_t c = 0; c < frame.size(); ++c) {
+      const double z = detectors_[c].click_z(frame[c]);
+      if (z >= ap.detector.click_sigma)
+        obs_.registry().inc(obs_.artifact_impulse_suspect);
+      if (ap.repair && z >= ap.repair_z &&
+          std::abs(frame[c] - detectors_[c].last()) >= ap.repair_min_step) {
+        start = true;
+        hold_flag_[c] = 1;
+      }
+    }
+    if (!start) return false;
+    obs_.registry().inc(obs_.artifact_impulse_detected);
+    std::copy(frame.begin(), frame.end(), hold_frames_.begin());
+    hold_len_ = 1;
+    return true;
+  }
+
+  // A hold is pending. Resume when the frame sits within the absolute
+  // repair floor of every channel's last accepted value — genuine signal
+  // movement stays under repair_min_step across a repair_limit-frame gap
+  // by the policy's own threshold derivation; an impulse or a shifted
+  // level does not.
+  bool resume = true;
+  for (std::size_t c = 0; c < frame.size(); ++c)
+    if (std::abs(frame[c] - detectors_[c].last()) >= ap.repair_min_step) {
+      resume = false;
+      break;
+    }
+  if (resume) {
+    repair_hold(frame, callback);
+    return true;
+  }
+  const std::size_t channels = frame.size();
+  if (hold_len_ < ap.repair_limit) {
+    std::copy(frame.begin(), frame.end(),
+              hold_frames_.begin() +
+                  static_cast<long>(hold_len_ * channels));
+    ++hold_len_;
+    return true;
+  }
+
+  // Hold overflow: this was never an isolated impulse. With escalation
+  // off, release the raw frames through the unchanged pipeline (a pure
+  // delay — downstream emissions are identical to never having held).
+  if (!ap.escalate) {
+    const std::size_t held = hold_len_;
+    hold_len_ = 0;
+    std::fill(hold_flag_.begin(), hold_flag_.end(), 0);
+    for (std::size_t j = 0; j < held; ++j)
+      ingest({hold_frames_.data() + j * channels, channels}, callback);
+    ingest(frame, callback);
+    return true;
+  }
+
+  // Escalate: settled held values mean the level jumped and stayed — a
+  // zipper/step; unsettled ones are a dense impulse train — crackle.
+  // Either way the held frames and this one are corruption: drop them and
+  // quarantine (recovery recalibrates onto the new level).
+  bool settled = true;
+  for (std::size_t c = 0; c < channels && settled; ++c) {
+    if (!hold_flag_[c]) continue;
+    double prev = hold_frames_[(hold_len_ - 1) * channels + c];
+    if (std::abs(frame[c] - prev) >= ap.repair_min_step) settled = false;
+    if (hold_len_ >= 2) {
+      const double before = hold_frames_[(hold_len_ - 2) * channels + c];
+      if (std::abs(prev - before) >= ap.repair_min_step) settled = false;
+    }
+  }
+  const ArtifactClass cls =
+      settled ? ArtifactClass::kStep : ArtifactClass::kCrackle;
+  note_artifact(cls, frames_, frames_ + hold_len_ + 1);
+  obs_.registry().inc(obs_.artifact_quarantines);
+  drop_hold();
+  ++frames_;
+  obs_.registry().inc(obs_.quarantined_frames);
+  enter_quarantine();
+  return true;
+}
+
+void Session::repair_hold(std::span<const double> frame,
+                          const EventCallback& callback) {
+  const std::size_t channels = frame.size();
+  // Linear interpolation across the gap: held frame j (of n) on a flagged
+  // channel becomes base + (clean - base) * (j+1)/(n+1), where base is the
+  // last accepted sample and clean the resuming one. Channels that never
+  // fired keep their recorded values. When the clean signal is itself
+  // locally linear the repaired values equal the uncorrupted ones exactly
+  // and the downstream byte stream is identical to a clean trace.
+  const double n1 = static_cast<double>(hold_len_ + 1);
+  for (std::size_t c = 0; c < channels; ++c) {
+    if (!hold_flag_[c]) continue;
+    const double base = detectors_[c].last();
+    const double span = frame[c] - base;
+    for (std::size_t j = 0; j < hold_len_; ++j)
+      hold_frames_[j * channels + c] =
+          base + span * static_cast<double>(j + 1) / n1;
+  }
+  obs_.registry().inc(obs_.artifact_impulse_repaired);
+  obs_.registry().inc(obs_.artifact_repaired_frames, hold_len_);
+  note_artifact(ArtifactClass::kImpulse, frames_, frames_ + hold_len_);
+
+  // Crackle rate monitor: too many repair episodes inside a sliding
+  // window mean the "isolated" impulses are a train.
+  const std::uint64_t pos = frames_;
+  repair_ring_[repair_ring_head_] = pos;
+  repair_ring_head_ = (repair_ring_head_ + 1) % repair_ring_.size();
+  ++repairs_total_;
+  const bool crackling =
+      policy_.artifact.escalate && repairs_total_ >= repair_ring_.size() &&
+      pos - repair_ring_[repair_ring_head_] < policy_.artifact.crackle_window;
+
+  const std::size_t held = hold_len_;
+  hold_len_ = 0;
+  std::fill(hold_flag_.begin(), hold_flag_.end(), 0);
+  for (std::size_t j = 0; j < held; ++j)
+    ingest({hold_frames_.data() + j * channels, channels}, callback);
+  ingest(frame, callback);
+
+  if (crackling && !quarantined_) {
+    note_artifact(ArtifactClass::kCrackle,
+                  pos >= policy_.artifact.crackle_window
+                      ? pos - policy_.artifact.crackle_window
+                      : 0,
+                  frames_);
+    obs_.registry().inc(obs_.artifact_quarantines);
+    enter_quarantine();
+  }
+}
+
+void Session::drop_hold() {
+  if (hold_len_ == 0) return;
+  // The held frames were already counted in af_frames_total at push time;
+  // consume them as degraded and advance the stream clock past them.
+  obs_.registry().inc(obs_.quarantined_frames, hold_len_);
+  frames_ += hold_len_;
+  hold_len_ = 0;
+  std::fill(hold_flag_.begin(), hold_flag_.end(), 0);
+}
+
+void Session::note_artifact(ArtifactClass cls, std::uint64_t begin,
+                            std::uint64_t end) {
+  obs::Registry& r = obs_.registry();
+  switch (cls) {
+    case ArtifactClass::kImpulse:
+      break;  // Detection/repair already counted by the gate.
+    case ArtifactClass::kCrackle:
+      r.inc(obs_.artifact_crackle_detected);
+      break;
+    case ArtifactClass::kStep:
+      r.inc(obs_.artifact_step_detected);
+      break;
+    case ArtifactClass::kDrift:
+      r.inc(obs_.artifact_drift_detected);
+      break;
+    case ArtifactClass::kFlicker:
+      r.inc(obs_.artifact_flicker_detected);
+      break;
+  }
+  obs_.record(obs::PipelineEvent::Kind::kArtifact, frames_, begin, end,
+              static_cast<std::uint8_t>(cls));
+}
+
+bool Session::artifact_accept(std::span<const double> frame) {
+  const ArtifactPolicy& ap = policy_.artifact;
+  double impulsive = 0.0;
+  double drift = 0.0;
+  double tonal = 0.0;
+  double flicker = 0.0;
+  for (std::size_t c = 0; c < frame.size(); ++c) {
+    const sensor::ArtifactScores s = detectors_[c].accept(frame[c]);
+    impulsive = std::max(impulsive, std::max(s.residual, s.kurtosis));
+    drift = std::max(drift, s.drift);
+    tonal = std::max(tonal, s.tonal);
+    flicker = std::max(flicker, s.flicker);
+  }
+  if (impulsive >= 1.0) {
+    obs_.registry().inc(obs_.artifact_impulsive_suspect);
+    ++impulsive_run_;
+  } else {
+    impulsive_run_ = 0;
+  }
+  if (tonal >= 1.0) obs_.registry().inc(obs_.artifact_tonal_suspect);
+  drift_run_ = drift >= 1.0 ? drift_run_ + 1 : 0;
+  flicker_run_ = (flicker >= 1.0 && tonal >= 1.0) ? flicker_run_ + 1 : 0;
+  if (!ap.escalate) return false;
+
+  // Sustained-confidence escalation, most specific class first. The runs
+  // must outlast any clean gesture (the policy's sustain windows are the
+  // false-positive guard), so by the time one trips the stream has been
+  // corrupt for a while already.
+  ArtifactClass cls;
+  std::uint64_t run;
+  if (flicker_run_ >= ap.flicker_sustain) {
+    cls = ArtifactClass::kFlicker;
+    run = flicker_run_;
+  } else if (drift_run_ >= ap.drift_sustain) {
+    cls = ArtifactClass::kDrift;
+    run = drift_run_;
+  } else if (impulsive_run_ >= ap.impulsive_sustain) {
+    cls = ArtifactClass::kCrackle;
+    run = impulsive_run_;
+  } else {
+    return false;
+  }
+  note_artifact(cls, frames_ >= run ? frames_ - run : 0, frames_ + 1);
+  obs_.registry().inc(obs_.artifact_quarantines);
+  impulsive_run_ = drift_run_ = flicker_run_ = 0;
+  enter_quarantine();
+  return true;
+}
+
+void Session::ingest(std::span<const double> frame,
+                     const EventCallback& callback) {
+  // Reachable while quarantined only when a repair released held frames
+  // and an escalation fired mid-release: consume the remainder degraded.
+  if (quarantined_) {
+    ++frames_;
+    obs_.registry().inc(obs_.quarantined_frames);
+    clean_run_ = 0;
+    return;
+  }
+  if (artifact_active() && artifact_accept(frame)) {
+    ++frames_;
+    obs_.registry().inc(obs_.quarantined_frames);
+    return;
+  }
 
   // Per-frame stage spans (ingest / timing_cache / probe) are sampled
   // 1-in-N on a deterministic counter so steady-state clock reads stay
@@ -396,6 +667,10 @@ void Session::finish(const EventCallback& callback) {
   // A quarantined stream ends without trusting its pre-fault open segment
   // (already counted in segments_dropped when quarantine was entered).
   if (quarantined_) return;
+  // A hold pending at end of stream never found its clean resume sample:
+  // there is nothing to interpolate toward, so the suspect tail is dropped
+  // as degraded rather than fed raw.
+  if (hold_len_ > 0) drop_hold();
   if (auto open = segmenter_.flush()) {
     open->begin += segment_offset_;
     open->end += segment_offset_;
@@ -423,6 +698,14 @@ void Session::reset() {
             std::numeric_limits<double>::quiet_NaN());
   std::fill(same_run_.begin(), same_run_.end(), 0u);
   std::fill(sat_run_.begin(), sat_run_.end(), 0u);
+  for (auto& d : detectors_) d.reset();
+  hold_len_ = 0;
+  std::fill(hold_flag_.begin(), hold_flag_.end(),
+            static_cast<std::uint8_t>(0));
+  std::fill(repair_ring_.begin(), repair_ring_.end(), 0u);
+  repair_ring_head_ = 0;
+  repairs_total_ = 0;
+  impulsive_run_ = drift_run_ = flicker_run_ = 0;
 }
 
 std::vector<GestureEvent> Session::process_trace(

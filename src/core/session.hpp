@@ -97,6 +97,36 @@ class Session {
  private:
   /// Updates fault detectors for one frame; true when a fault fired.
   bool scan_frame(std::span<const double> frame);
+  /// Feeds one validated frame through the pipeline body (detector accept,
+  /// SBC, segmenter, probe, decide). The caller has already counted the
+  /// frame in af_frames_total; this advances the stream clock. Called once
+  /// per frame on the clean path and again for each held frame a repair
+  /// releases — feeding repaired values through here is what makes an
+  /// exact repair byte-identical to the uncorrupted trace.
+  void ingest(std::span<const double> frame, const EventCallback& callback);
+  /// True when the policy-enabled session runs the streaming artifact
+  /// detectors (policy().artifact.detect and channels fit).
+  bool artifact_active() const { return !detectors_.empty(); }
+  /// The impulse repair gate: inspects the candidate frame against the
+  /// detectors without committing it. Returns true when the frame was
+  /// consumed (held, repaired-and-fed, or escalated); false hands the
+  /// frame to the normal ingest path.
+  bool artifact_gate(std::span<const double> frame,
+                     const EventCallback& callback);
+  /// Detector accept + sustained-confidence escalation for one fed frame;
+  /// true when the frame triggered an artifact quarantine instead of
+  /// being interpreted.
+  bool artifact_accept(std::span<const double> frame);
+  /// Resolves the current hold by linear interpolation and feeds the held
+  /// frames (then `frame`) through ingest().
+  void repair_hold(std::span<const double> frame,
+                   const EventCallback& callback);
+  /// Drops the held frames as quarantined (hold unresolved at a burst
+  /// fault, escalation, or finish()).
+  void drop_hold();
+  /// Records one artifact classification (event + per-class counter).
+  void note_artifact(ArtifactClass cls, std::uint64_t begin,
+                     std::uint64_t end);
   void enter_quarantine();
   /// Leaves quarantine: fresh SBC delay lines, segmenter calibration, and
   /// history, re-based at the current stream position.
@@ -157,6 +187,25 @@ class Session {
   std::vector<double> last_sample_;
   std::vector<std::uint32_t> same_run_;
   std::vector<std::uint32_t> sat_run_;
+  // ---- graded artifact state (DESIGN.md §17; empty when detect is off).
+  /// One streaming detector per channel (sensor/artifact.hpp); all buffers
+  /// preallocated, so the per-frame artifact path stays 0-alloc.
+  std::vector<sensor::ChannelArtifactDetector> detectors_;
+  /// Hold buffer for suspected impulses: up to repair_limit frames
+  /// (channel-major, flat) withheld from the pipeline until repaired or
+  /// escalated.
+  std::vector<double> hold_frames_;
+  std::vector<std::uint8_t> hold_flag_;  ///< Per channel: impulse-flagged.
+  std::size_t hold_len_ = 0;
+  /// Stream positions of recent repair episodes (ring of
+  /// crackle_repairs entries) for the crackle rate monitor.
+  std::vector<std::uint64_t> repair_ring_;
+  std::size_t repair_ring_head_ = 0;
+  std::uint64_t repairs_total_ = 0;
+  /// Sustained-confidence run lengths for the slow escalation classes.
+  std::uint32_t impulsive_run_ = 0;
+  std::uint32_t drift_run_ = 0;
+  std::uint32_t flicker_run_ = 0;
 };
 
 }  // namespace airfinger::core

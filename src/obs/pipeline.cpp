@@ -29,6 +29,20 @@ const char* kind_name(PipelineEvent::Kind kind) {
     case PipelineEvent::Kind::kQuarantineEnter: return "quarantine_enter";
     case PipelineEvent::Kind::kQuarantineExit: return "quarantine_exit";
     case PipelineEvent::Kind::kEmit: return "emit";
+    case PipelineEvent::Kind::kArtifact: return "artifact";
+  }
+  return "unknown";
+}
+
+const char* artifact_detail_name(std::uint8_t detail) {
+  // Mirrors core::ArtifactClass without depending on af_core (obs sits
+  // below core in the layering).
+  switch (detail) {
+    case 0: return "impulse";
+    case 1: return "crackle";
+    case 2: return "step";
+    case 3: return "drift";
+    case 4: return "flicker";
   }
   return "unknown";
 }
@@ -111,6 +125,39 @@ PipelineObservability::PipelineObservability(std::size_t ring_capacity)
       "af_segments_dropped_total", "Open segments lost to quarantine");
   quarantined =
       registry_.gauge("af_quarantined", "1 while the stream is degraded");
+  artifact_impulse_suspect = registry_.counter(
+      "af_artifact_impulse_suspect_total",
+      "Samples whose derivative z crossed click_sigma (no action taken)");
+  artifact_impulsive_suspect = registry_.counter(
+      "af_artifact_impulsive_suspect_total",
+      "Frames with LPC-residual or kurtosis confidence at threshold");
+  artifact_tonal_suspect = registry_.counter(
+      "af_artifact_tonal_suspect_total",
+      "Frames with spectral-flatness confidence at threshold");
+  artifact_impulse_detected = registry_.counter(
+      "af_artifact_impulse_detected_total",
+      "Impulse hold episodes started by the repair gate");
+  artifact_impulse_repaired = registry_.counter(
+      "af_artifact_impulse_repaired_total",
+      "Impulse episodes repaired in place by interpolation");
+  artifact_repaired_frames = registry_.counter(
+      "af_artifact_repaired_frames_total",
+      "Frames rewritten by glitch repair");
+  artifact_crackle_detected = registry_.counter(
+      "af_artifact_crackle_detected_total",
+      "Crackle-train classifications");
+  artifact_step_detected = registry_.counter(
+      "af_artifact_step_detected_total",
+      "Zipper/step level-shift classifications");
+  artifact_drift_detected = registry_.counter(
+      "af_artifact_drift_detected_total",
+      "Slow-baseline-drift classifications");
+  artifact_flicker_detected = registry_.counter(
+      "af_artifact_flicker_detected_total",
+      "Periodic ambient-flicker classifications");
+  artifact_quarantines = registry_.counter(
+      "af_artifact_quarantines_total",
+      "Quarantines entered via artifact escalation");
   trace_dropped_ = registry_.counter(
       "af_trace_events_dropped_total",
       "Pipeline events evicted from the trace ring");
@@ -169,13 +216,17 @@ void PipelineObservability::dump_events(std::ostream& os) const {
       case PipelineEvent::Kind::kEmit:
         os << " type=" << static_cast<int>(e.detail);
         break;
+      case PipelineEvent::Kind::kArtifact:
+        os << ' ' << artifact_detail_name(e.detail);
+        break;
       default:
         break;
     }
     if (e.kind == PipelineEvent::Kind::kSegmentOpen ||
         e.kind == PipelineEvent::Kind::kSegmentClose ||
         e.kind == PipelineEvent::Kind::kSegmentReject ||
-        e.kind == PipelineEvent::Kind::kEmit)
+        e.kind == PipelineEvent::Kind::kEmit ||
+        e.kind == PipelineEvent::Kind::kArtifact)
       os << " segment=" << e.begin << ".." << e.end;
     os << '\n';
   }

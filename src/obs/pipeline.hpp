@@ -65,6 +65,9 @@ struct PipelineEvent {
     kQuarantineEnter,   ///< Degraded mode engaged (detail unused).
     kQuarantineExit,    ///< Recalibrated back to healthy.
     kEmit,              ///< GestureEvent delivered; detail = its Type.
+    kArtifact,          ///< Artifact classified; detail = core::ArtifactClass
+                        ///< (begin/end = the affected frame span; end == begin
+                        ///< for a detection without a repaired span).
   };
   /// Why a segment was rejected (PipelineEvent::detail for kSegmentReject).
   enum class Reject : std::uint8_t {
@@ -176,6 +179,21 @@ class PipelineObservability {
   Registry::Handle recalibrations;
   Registry::Handle segments_dropped;
   Registry::Handle quarantined;  ///< Gauge: 1 while degraded.
+  // Graded artifact taxonomy (DESIGN.md §17). "suspect" counters are the
+  // false-alarm proxies: graded confidence crossed its threshold without any
+  // action being taken, so on clean traffic they measure the detector's
+  // false-positive pressure directly.
+  Registry::Handle artifact_impulse_suspect;   ///< Click z >= click_sigma.
+  Registry::Handle artifact_impulsive_suspect; ///< LPC/kurtosis conf >= 1.
+  Registry::Handle artifact_tonal_suspect;     ///< Flatness conf >= 1.
+  Registry::Handle artifact_impulse_detected;  ///< Hold episodes started.
+  Registry::Handle artifact_impulse_repaired;  ///< Episodes repaired in place.
+  Registry::Handle artifact_repaired_frames;   ///< Frames rewritten by repair.
+  Registry::Handle artifact_crackle_detected;
+  Registry::Handle artifact_step_detected;
+  Registry::Handle artifact_drift_detected;
+  Registry::Handle artifact_flicker_detected;
+  Registry::Handle artifact_quarantines;       ///< Quarantines via escalation.
 
   Registry& registry() { return registry_; }
   const Registry& registry() const { return registry_; }

@@ -1,0 +1,319 @@
+#include "sensor/artifact.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "dsp/fft.hpp"
+
+namespace airfinger::sensor {
+
+namespace {
+constexpr double kTiny = 1e-12;
+
+double clamp01(double x) { return x < 0.0 ? 0.0 : (x > 1.0 ? 1.0 : x); }
+
+bool is_pow2(std::size_t n) { return n >= 1 && (n & (n - 1)) == 0; }
+}  // namespace
+
+double levinson_durbin(std::span<const double> r, std::span<double> a) {
+  AF_EXPECT(r.size() >= 2, "levinson_durbin needs lags r[0..p] with p >= 1");
+  AF_EXPECT(a.size() + 1 == r.size(),
+            "levinson_durbin: a must hold r.size()-1 coefficients");
+  const std::size_t p = a.size();
+  std::fill(a.begin(), a.end(), 0.0);
+  double err = r[0];
+  if (!(err > 0.0) || !std::isfinite(err)) return 0.0;
+  // In-place recursion: after step m, a[0..m-1] solve the order-m system.
+  double prev[kMaxLpcOrder] = {};
+  AF_EXPECT(p <= kMaxLpcOrder, "levinson_durbin order exceeds kMaxLpcOrder");
+  for (std::size_t m = 0; m < p; ++m) {
+    double acc = r[m + 1];
+    for (std::size_t k = 0; k < m; ++k) acc -= a[k] * r[m - k];
+    const double reflect = acc / err;
+    for (std::size_t k = 0; k < m; ++k) prev[k] = a[k];
+    a[m] = reflect;
+    for (std::size_t k = 0; k < m; ++k)
+      a[k] = prev[k] - reflect * prev[m - 1 - k];
+    err *= (1.0 - reflect * reflect);
+    if (!(err > 0.0) || !std::isfinite(err)) {
+      // Degenerate (perfectly predictable or numerically blown) system.
+      std::fill(a.begin(), a.end(), 0.0);
+      return 0.0;
+    }
+  }
+  return err;
+}
+
+ChannelArtifactDetector::ChannelArtifactDetector(ArtifactDetectorConfig config)
+    : config_(config) {
+  AF_EXPECT(config_.click_sigma > 0.0, "click_sigma must be positive");
+  AF_EXPECT(config_.deriv_alpha > 0.0 && config_.deriv_alpha <= 1.0,
+            "deriv_alpha must be in (0, 1]");
+  AF_EXPECT(config_.sigma_floor > 0.0, "sigma_floor must be positive");
+  AF_EXPECT(config_.lpc_order >= 1 && config_.lpc_order <= kMaxLpcOrder,
+            "lpc_order must be in [1, kMaxLpcOrder]");
+  AF_EXPECT(config_.lpc_alpha > 0.0 && config_.lpc_alpha <= 1.0,
+            "lpc_alpha must be in (0, 1]");
+  AF_EXPECT(config_.lpc_refresh >= 1, "lpc_refresh must be >= 1");
+  AF_EXPECT(config_.lpc_sigma > 0.0, "lpc_sigma must be positive");
+  AF_EXPECT(config_.kurtosis_window >= 8, "kurtosis_window must be >= 8");
+  AF_EXPECT(config_.kurtosis_limit > 0.0, "kurtosis_limit must be positive");
+  AF_EXPECT(is_pow2(config_.spectrum_window) && config_.spectrum_window >= 8,
+            "spectrum_window must be a power of two >= 8");
+  AF_EXPECT(config_.spectrum_hop >= 1, "spectrum_hop must be >= 1");
+  AF_EXPECT(config_.flatness_floor > 0.0 && config_.flatness_floor < 1.0,
+            "flatness_floor must be in (0, 1)");
+  AF_EXPECT(config_.flicker_min_bin >= 1 &&
+                config_.flicker_min_bin <= config_.spectrum_window / 2,
+            "flicker_min_bin must be in [1, spectrum_window/2]");
+  AF_EXPECT(config_.flicker_fraction > 0.0 && config_.flicker_fraction <= 1.0,
+            "flicker_fraction must be in (0, 1]");
+  AF_EXPECT(config_.baseline_alpha > 0.0 && config_.baseline_alpha <= 1.0,
+            "baseline_alpha must be in (0, 1]");
+  AF_EXPECT(config_.drift_velocity > 0.0, "drift_velocity must be positive");
+
+  kurt_ring_.assign(config_.kurtosis_window, 0.0);
+  kurt_resum_countdown_ = config_.kurtosis_window;
+  spec_ring_.assign(config_.spectrum_window, 0.0);
+  hop_countdown_ = config_.spectrum_hop;
+  fft_scratch_.assign(config_.spectrum_window, {});
+  hann_.resize(config_.spectrum_window);
+  const double n1 = static_cast<double>(config_.spectrum_window - 1);
+  for (std::size_t i = 0; i < config_.spectrum_window; ++i)
+    hann_[i] =
+        0.5 * (1.0 - std::cos(2.0 * M_PI * static_cast<double>(i) / n1));
+}
+
+double ChannelArtifactDetector::deriv_sigma() const {
+  const double var = deriv_m2_ - deriv_mean_ * deriv_mean_;
+  return std::max(var > 0.0 ? std::sqrt(var) : 0.0, config_.sigma_floor);
+}
+
+double ChannelArtifactDetector::click_threshold() const {
+  return deriv_mean_ + config_.click_sigma * deriv_sigma();
+}
+
+double ChannelArtifactDetector::click_z(double x) const {
+  if (!warmed_up() || samples_ == 0) return 0.0;
+  const double d = std::abs(x - last_);
+  return (d - deriv_mean_) / deriv_sigma();
+}
+
+double ChannelArtifactDetector::residual_rms() const {
+  return std::max(residual_ms_ > 0.0 ? std::sqrt(residual_ms_) : 0.0,
+                  config_.sigma_floor);
+}
+
+void ChannelArtifactDetector::refresh_lpc() {
+  levinson_durbin({lpc_r_, config_.lpc_order + 1}, {lpc_a_, config_.lpc_order});
+}
+
+void ChannelArtifactDetector::refresh_kurtosis_exact() {
+  // Full-ring recompute of the raw power sums: O(W) every W samples, so the
+  // amortized cost stays O(1) while incremental add/subtract rounding can
+  // never accumulate across long streams.
+  kurt_s1_ = kurt_s2_ = kurt_s3_ = kurt_s4_ = 0.0;
+  for (std::size_t i = 0; i < kurt_fill_; ++i) {
+    const double v = kurt_ring_[i];
+    const double v2 = v * v;
+    kurt_s1_ += v;
+    kurt_s2_ += v2;
+    kurt_s3_ += v2 * v;
+    kurt_s4_ += v2 * v2;
+  }
+}
+
+void ChannelArtifactDetector::refresh_spectrum() {
+  const std::size_t w = config_.spectrum_window;
+  // Unroll the ring oldest-first, remove the window mean (the slow DC level
+  // is legitimate signal), and apply the Hann taper.
+  double mean = 0.0;
+  for (double v : spec_ring_) mean += v;
+  mean /= static_cast<double>(w);
+  for (std::size_t i = 0; i < w; ++i) {
+    const double v = spec_ring_[(spec_head_ + i) % w] - mean;
+    fft_scratch_[i] = {v * hann_[i], 0.0};
+  }
+  dsp::fft_inplace(std::span<std::complex<double>>(fft_scratch_));
+  // Geometric vs arithmetic mean of the one-sided power spectrum, DC bin
+  // excluded (the mean removal above already zeroed most of it).
+  double log_sum = 0.0;
+  double sum = 0.0;
+  double peak = 0.0;
+  std::size_t peak_bin = 0;
+  const std::size_t half = w / 2;
+  for (std::size_t k = 1; k <= half; ++k) {
+    const double p = std::norm(fft_scratch_[k]);
+    log_sum += std::log(p + kTiny);
+    sum += p;
+    if (k >= config_.flicker_min_bin && p > peak) {
+      peak = p;
+      peak_bin = k;
+    }
+  }
+  const double count = static_cast<double>(half);
+  flatness_ = sum <= kTiny
+                  ? 1.0
+                  : std::exp(log_sum / count) / (sum / count + kTiny);
+  flatness_ = clamp01(flatness_);
+  dominant_bin_ = peak_bin;
+  dominant_fraction_ = sum <= kTiny ? 0.0 : peak / sum;
+}
+
+ArtifactScores ChannelArtifactDetector::accept(double x) {
+  ArtifactScores s;
+  const bool warmed = warmed_up();
+
+  if (samples_ == 0) {
+    baseline_ = x;
+  } else {
+    // Derivative statistics: score the sample against the pre-update state
+    // (a spike must not raise the bar it is judged by), then adapt.
+    const double d = std::abs(x - last_);
+    if (warmed) s.click = clamp01((d - deriv_mean_) / deriv_sigma() /
+                                  config_.click_sigma);
+    if (samples_ == 1) {
+      deriv_mean_ = d;
+      deriv_m2_ = d * d;
+    } else {
+      deriv_mean_ += config_.deriv_alpha * (d - deriv_mean_);
+      deriv_m2_ += config_.deriv_alpha * (d * d - deriv_m2_);
+    }
+    // Slow baseline + velocity (the direct drift measure).
+    const double prev_baseline = baseline_;
+    baseline_ += config_.baseline_alpha * (x - baseline_);
+    baseline_velocity_ += config_.baseline_alpha *
+                          ((baseline_ - prev_baseline) - baseline_velocity_);
+    if (warmed)
+      s.drift = clamp01(std::abs(baseline_velocity_) / config_.drift_velocity);
+  }
+
+  // Streaming LPC over the baseline-removed signal: update the EWMA lags
+  // from the sample and its short history, score the prediction residual,
+  // and re-solve the coefficients every lpc_refresh samples.
+  const double y = x - baseline_;
+  const std::size_t p = config_.lpc_order;
+  if (samples_ >= p) {
+    for (std::size_t k = 0; k <= p; ++k) {
+      const double prod = y * (k == 0 ? y : lpc_hist_[k - 1]);
+      lpc_r_[k] += config_.lpc_alpha * (prod - lpc_r_[k]);
+    }
+    double pred = 0.0;
+    for (std::size_t k = 0; k < p; ++k) pred += lpc_a_[k] * lpc_hist_[k];
+    const double e = y - pred;
+    if (warmed) s.residual = clamp01(std::abs(e) / residual_rms() /
+                                     config_.lpc_sigma);
+    // Winsorized residual-power update: a single adversarial spike must not
+    // blow up the scale every later sample is judged by.
+    const double cap = 64.0 * residual_rms();
+    const double e_clamped = std::min(std::abs(e), cap);
+    residual_ms_ += config_.lpc_alpha * (e_clamped * e_clamped - residual_ms_);
+    if (--lpc_countdown_ == 0) {
+      lpc_countdown_ = config_.lpc_refresh;
+      refresh_lpc();
+    }
+  }
+  // Shift the short history (hist_[0] = newest).
+  for (std::size_t k = p; k-- > 1;) lpc_hist_[k] = lpc_hist_[k - 1];
+  if (p >= 1) lpc_hist_[0] = y;
+
+  // Windowed excess kurtosis over the baseline-removed signal.
+  {
+    const std::size_t w = config_.kurtosis_window;
+    const double old = kurt_ring_[kurt_head_];
+    kurt_ring_[kurt_head_] = y;
+    kurt_head_ = (kurt_head_ + 1) % w;
+    if (kurt_fill_ < w) {
+      kurt_fill_ += 1;
+      const double v2 = y * y;
+      kurt_s1_ += y;
+      kurt_s2_ += v2;
+      kurt_s3_ += v2 * y;
+      kurt_s4_ += v2 * v2;
+    } else {
+      const double o2 = old * old;
+      const double v2 = y * y;
+      kurt_s1_ += y - old;
+      kurt_s2_ += v2 - o2;
+      kurt_s3_ += v2 * y - o2 * old;
+      kurt_s4_ += v2 * v2 - o2 * o2;
+    }
+    if (--kurt_resum_countdown_ == 0) {
+      kurt_resum_countdown_ = w;
+      refresh_kurtosis_exact();
+    }
+    if (kurt_fill_ == w) {
+      const double n = static_cast<double>(w);
+      const double mean = kurt_s1_ / n;
+      const double m2 = kurt_s2_ / n - mean * mean;
+      if (m2 > kTiny) {
+        const double m4 = kurt_s4_ / n - 4.0 * mean * (kurt_s3_ / n) +
+                          6.0 * mean * mean * (kurt_s2_ / n) -
+                          3.0 * mean * mean * mean * mean;
+        kurtosis_ = m4 / (m2 * m2) - 3.0;
+      } else {
+        kurtosis_ = 0.0;
+      }
+    }
+    if (warmed && kurt_fill_ == w)
+      s.kurtosis = kurtosis_ > 0.0
+                       ? clamp01(kurtosis_ / config_.kurtosis_limit)
+                       : 0.0;
+  }
+
+  // Spectral window: push and evaluate every spectrum_hop samples once the
+  // ring has filled. Scores hold their last value between hops.
+  {
+    const std::size_t w = config_.spectrum_window;
+    spec_ring_[spec_head_] = x;
+    spec_head_ = (spec_head_ + 1) % w;
+    if (spec_fill_ < w) spec_fill_ += 1;
+    if (--hop_countdown_ == 0) {
+      hop_countdown_ = config_.spectrum_hop;
+      if (spec_fill_ == w) refresh_spectrum();
+    }
+  }
+  if (warmed && spec_fill_ == config_.spectrum_window) {
+    // Grades from 0 at the floor to 1 at half the floor, so confidence
+    // saturates for any decisively tonal window instead of only at the
+    // unreachable flatness == 0.
+    s.tonal = clamp01(2.0 * (config_.flatness_floor - flatness_) /
+                      config_.flatness_floor);
+    if (s.tonal > 0.0 && dominant_bin_ >= config_.flicker_min_bin)
+      s.flicker = clamp01(dominant_fraction_ / config_.flicker_fraction);
+  }
+
+  last_ = x;
+  ++samples_;
+  return s;
+}
+
+void ChannelArtifactDetector::reset() {
+  samples_ = 0;
+  last_ = 0.0;
+  deriv_mean_ = 0.0;
+  deriv_m2_ = 0.0;
+  baseline_ = 0.0;
+  baseline_velocity_ = 0.0;
+  std::fill(std::begin(lpc_r_), std::end(lpc_r_), 0.0);
+  std::fill(std::begin(lpc_a_), std::end(lpc_a_), 0.0);
+  std::fill(std::begin(lpc_hist_), std::end(lpc_hist_), 0.0);
+  residual_ms_ = 0.0;
+  lpc_countdown_ = 1;
+  std::fill(kurt_ring_.begin(), kurt_ring_.end(), 0.0);
+  kurt_head_ = 0;
+  kurt_fill_ = 0;
+  kurt_resum_countdown_ = config_.kurtosis_window;
+  kurt_s1_ = kurt_s2_ = kurt_s3_ = kurt_s4_ = 0.0;
+  kurtosis_ = 0.0;
+  std::fill(spec_ring_.begin(), spec_ring_.end(), 0.0);
+  spec_head_ = 0;
+  spec_fill_ = 0;
+  hop_countdown_ = config_.spectrum_hop;
+  flatness_ = 1.0;
+  dominant_bin_ = 0;
+  dominant_fraction_ = 0.0;
+}
+
+}  // namespace airfinger::sensor

@@ -1,0 +1,216 @@
+// Allocation-free streaming artifact detectors for the NIR sensing path.
+//
+// The degraded-mode policy of PR 4 fires on crude burst heuristics
+// (saturation/stuck/dropout runs). This header adds the principled toolkit
+// the ROADMAP calls for — the detectors krate-audio's artifact-detection
+// spec and the reflected-light-wave literature use to separate real signal
+// from optical/electrical corruption:
+//
+//   * derivative-based click/impulse detection with a 5-sigma adaptive
+//     threshold (EWMA mean/variance of the absolute first difference);
+//   * streaming LPC residual analysis: EWMA autocorrelation lags solved by
+//     Levinson–Durbin every `lpc_refresh` samples, the per-sample
+//     prediction residual scored against its own adaptive RMS;
+//   * windowed excess kurtosis over a fixed ring (impulsivity: crackle and
+//     glitch trains are leptokurtic, clean optical noise is not);
+//   * spectral flatness + dominant-bin analysis over a hopped window
+//     (drift and periodic ambient flicker both collapse flatness; the
+//     dominant bin separates DC-heavy drift from AC flicker), plus a
+//     slow-baseline velocity tracker as the direct drift measure.
+//
+// Every detector is streaming and allocation-free after construction: one
+// ChannelArtifactDetector per photodiode channel, O(lpc_order) amortized
+// work per accepted sample plus an O(W log W) FFT every `spectrum_hop`
+// samples into preallocated scratch. Detection is graded: accept() returns
+// per-class confidences in [0, 1], where 1.0 means the configured
+// threshold (e.g. 5 sigma) was reached — the session's FaultPolicy, not
+// the detector, decides what to do about it (core/health.hpp).
+//
+// The detector deliberately separates *peeking* from *committing*:
+// click_z(x) scores a candidate sample against the current adaptive state
+// without touching it, so the session can hold a suspected impulse out of
+// the stream, repair it, and only then accept() the repaired value — the
+// adaptive statistics never learn from corruption that was rejected.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace airfinger::sensor {
+
+/// Hard cap on the streaming LPC order so coefficient and lag-history
+/// buffers can live in fixed-size arrays (no per-sample heap use).
+inline constexpr std::size_t kMaxLpcOrder = 12;
+
+/// Detector shape and thresholds. Confidences reach 1.0 exactly when the
+/// corresponding threshold is met, so policy code compares against 1.0.
+struct ArtifactDetectorConfig {
+  // -- derivative click/impulse detector
+  /// Z-score of |x_t - x_{t-1}| (against the EWMA mean/sigma of the same
+  /// quantity) at which click confidence saturates. 5 sigma by default:
+  /// clean noise essentially never reaches it, impulses always do.
+  double click_sigma = 5.0;
+  /// EWMA adaptation rate of the derivative statistics.
+  double deriv_alpha = 1.0 / 64.0;
+  /// Absolute floor on the adaptive sigma: a perfectly quiet stream must
+  /// not collapse the threshold to zero and fire on the first wiggle.
+  double sigma_floor = 1e-6;
+  /// Samples before any detector reports nonzero confidence — the EWMAs
+  /// need this long to mean anything.
+  std::size_t warmup_samples = 64;
+
+  // -- streaming LPC residual (Levinson–Durbin)
+  std::size_t lpc_order = 4;          ///< 1..kMaxLpcOrder.
+  double lpc_alpha = 1.0 / 256.0;     ///< EWMA rate of the lag products.
+  std::size_t lpc_refresh = 16;       ///< Samples between coefficient solves.
+  /// Residual z (|e| over its adaptive RMS) at which confidence saturates.
+  double lpc_sigma = 5.0;
+
+  // -- windowed excess kurtosis
+  std::size_t kurtosis_window = 64;
+  /// Excess kurtosis at which impulsivity confidence saturates (Gaussian
+  /// noise sits near 0, uniform near -1.2; crackle windows run far above).
+  double kurtosis_limit = 3.0;
+
+  // -- spectral flatness / flicker (hopped FFT window)
+  std::size_t spectrum_window = 64;   ///< Power of two, >= 8.
+  std::size_t spectrum_hop = 16;      ///< Samples between FFT evaluations.
+  /// Flatness below this floor grades as tonal corruption (confidence
+  /// saturates at flatness_floor/2). Broadband sensor noise sits well
+  /// above it.
+  double flatness_floor = 0.15;
+  /// First spectrum bin eligible as a flicker line; bins below carry
+  /// legitimate gesture energy (sub-~5 Hz at the paper's 100 Hz rate).
+  std::size_t flicker_min_bin = 3;
+  /// Fraction of AC spectral power in the dominant eligible bin at which
+  /// flicker confidence saturates.
+  double flicker_fraction = 0.5;
+
+  // -- slow-baseline drift
+  double baseline_alpha = 1.0 / 256.0;  ///< Slow baseline EWMA rate.
+  /// Baseline velocity (counts/sample, EWMA) at which drift confidence
+  /// saturates. Gestures bend the slow baseline only transiently; a real
+  /// ambient drift holds it here for seconds.
+  double drift_velocity = 0.35;
+};
+
+/// Per-sample graded confidences in [0, 1]; 1.0 = threshold reached.
+/// `tonal` and `flicker` refresh every `spectrum_hop` samples and hold
+/// their last value in between.
+struct ArtifactScores {
+  double click = 0.0;     ///< Derivative impulse (this sample).
+  double residual = 0.0;  ///< LPC prediction residual (this sample).
+  double kurtosis = 0.0;  ///< Windowed impulsivity (trailing window).
+  double tonal = 0.0;     ///< Spectral flatness collapse (trailing window).
+  double drift = 0.0;     ///< Slow-baseline velocity.
+  double flicker = 0.0;   ///< Dominant-AC-bin periodic interference.
+};
+
+/// Solves the order-p Yule–Walker equations R a = r by Levinson–Durbin:
+/// `r` holds autocorrelation lags r[0..p] (size p+1), `a` receives the p
+/// forward-prediction coefficients (x_t ≈ sum a_k x_{t-k}). Returns the
+/// final prediction error power; degenerate input (r[0] <= 0 or a
+/// non-positive error at any recursion step) zeroes `a` and returns 0.
+double levinson_durbin(std::span<const double> r, std::span<double> a);
+
+/// One channel's streaming artifact state. All buffers are sized at
+/// construction; click_z() and accept() never allocate.
+class ChannelArtifactDetector {
+ public:
+  explicit ChannelArtifactDetector(ArtifactDetectorConfig config = {});
+
+  const ArtifactDetectorConfig& config() const { return config_; }
+
+  /// Derivative z-score of candidate sample `x` against the current
+  /// adaptive statistics, without committing anything. 0 until warmed up.
+  double click_z(double x) const;
+
+  /// Commits `x` into every detector and returns this sample's graded
+  /// confidences. O(lpc_order) plus amortized window maintenance.
+  ArtifactScores accept(double x);
+
+  /// True once `warmup_samples` samples have been accepted.
+  bool warmed_up() const { return samples_ >= config_.warmup_samples; }
+  /// Samples accepted since construction or reset().
+  std::uint64_t samples() const { return samples_; }
+  /// The most recently accepted sample (the derivative reference).
+  double last() const { return last_; }
+
+  // -- introspection for tests and threshold derivations
+  double deriv_mean() const { return deriv_mean_; }
+  double deriv_sigma() const;
+  /// The adaptive click threshold in sample units:
+  /// deriv_mean + click_sigma * deriv_sigma.
+  double click_threshold() const;
+  /// Current LPC coefficients (config().lpc_order of them).
+  std::span<const double> lpc() const { return {lpc_a_, config_.lpc_order}; }
+  /// EWMA autocorrelation lags r[0..lpc_order].
+  std::span<const double> lags() const { return {lpc_r_, config_.lpc_order + 1}; }
+  /// Adaptive RMS of the LPC residual.
+  double residual_rms() const;
+  /// Excess kurtosis of the trailing window (0 until the window fills).
+  double excess_kurtosis() const { return kurtosis_; }
+  /// Spectral flatness of the last evaluated window (1.0 = broadband;
+  /// starts neutral at 1.0 before the first hop).
+  double flatness() const { return flatness_; }
+  /// Dominant eligible AC bin of the last evaluated window and its power
+  /// fraction of the AC spectrum.
+  std::size_t dominant_bin() const { return dominant_bin_; }
+  double dominant_fraction() const { return dominant_fraction_; }
+  /// EWMA slow baseline and its per-sample velocity.
+  double baseline() const { return baseline_; }
+  double baseline_velocity() const { return baseline_velocity_; }
+
+  /// Returns the detector to its freshly constructed state.
+  void reset();
+
+ private:
+  void refresh_lpc();
+  void refresh_spectrum();
+  void refresh_kurtosis_exact();
+
+  ArtifactDetectorConfig config_;
+  std::uint64_t samples_ = 0;
+  double last_ = 0.0;
+
+  // Derivative statistics (EWMA of d = |x_t - x_{t-1}| and of d^2).
+  double deriv_mean_ = 0.0;
+  double deriv_m2_ = 0.0;
+
+  // Slow baseline + velocity.
+  double baseline_ = 0.0;
+  double baseline_velocity_ = 0.0;
+
+  // Streaming LPC state over the baseline-removed signal.
+  double lpc_r_[kMaxLpcOrder + 1] = {};   ///< EWMA autocorrelation lags.
+  double lpc_a_[kMaxLpcOrder] = {};       ///< Current coefficients.
+  double lpc_hist_[kMaxLpcOrder] = {};    ///< Recent baseline-removed samples
+                                          ///< (hist_[0] = newest).
+  double residual_ms_ = 0.0;              ///< EWMA of residual^2.
+  std::size_t lpc_countdown_ = 1;
+
+  // Kurtosis ring + running raw power sums (exactly recomputed every full
+  // ring turn so incremental add/subtract drift cannot accumulate).
+  std::vector<double> kurt_ring_;
+  std::size_t kurt_head_ = 0;
+  std::size_t kurt_fill_ = 0;
+  std::size_t kurt_resum_countdown_;
+  double kurt_s1_ = 0.0, kurt_s2_ = 0.0, kurt_s3_ = 0.0, kurt_s4_ = 0.0;
+  double kurtosis_ = 0.0;
+
+  // Spectrum ring + preallocated FFT scratch and Hann window.
+  std::vector<double> spec_ring_;
+  std::size_t spec_head_ = 0;
+  std::size_t spec_fill_ = 0;
+  std::size_t hop_countdown_;
+  std::vector<std::complex<double>> fft_scratch_;
+  std::vector<double> hann_;
+  double flatness_ = 1.0;
+  std::size_t dominant_bin_ = 0;
+  double dominant_fraction_ = 0.0;
+};
+
+}  // namespace airfinger::sensor

@@ -1,6 +1,7 @@
 #include "sensor/fault_injector.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 
 #include "common/error.hpp"
@@ -12,6 +13,23 @@ void check_rate(double rate, const char* name) {
   AF_EXPECT(rate >= 0.0 && rate <= 1.0,
             std::string("fault rate '") + name + "' must be in [0, 1]");
 }
+
+// Stream ids keying each fault class's independent substream. Derived with
+// the pure Rng::split(stream_id), so every class sees the same storm no
+// matter which other classes are enabled — the determinism contract the
+// injector-vs-detector sweeps rely on.
+enum ClassStream : std::uint64_t {
+  kStreamDropout = 1,
+  kStreamSaturation,
+  kStreamNonFinite,
+  kStreamGlitch,
+  kStreamStuck,
+  kStreamCrackle,
+  kStreamStep,
+  kStreamDrift,
+  kStreamFlicker,
+  kStreamMismatch,
+};
 }  // namespace
 
 FaultInjector::FaultInjector(FaultInjectorConfig config, std::uint64_t seed)
@@ -22,24 +40,38 @@ FaultInjector::FaultInjector(FaultInjectorConfig config, std::uint64_t seed)
   check_rate(config_.glitch_rate, "glitch_rate");
   check_rate(config_.stuck_channel_rate, "stuck_channel_rate");
   check_rate(config_.channel_mismatch_rate, "channel_mismatch_rate");
+  check_rate(config_.crackle_rate, "crackle_rate");
+  check_rate(config_.step_rate, "step_rate");
+  check_rate(config_.drift_rate, "drift_rate");
+  check_rate(config_.flicker_rate, "flicker_rate");
   AF_EXPECT(config_.dropout_run >= 1 && config_.saturation_run >= 1,
             "fault run lengths must be >= 1");
+  AF_EXPECT(config_.crackle_count >= 1 && config_.crackle_gap >= 1,
+            "crackle trains need count >= 1 and gap >= 1");
+  AF_EXPECT(config_.drift_run >= 1, "drift_run must be >= 1");
+  AF_EXPECT(config_.flicker_run >= 1 && config_.flicker_period >= 2,
+            "flicker needs run >= 1 and period >= 2");
 }
 
 void FaultInjector::corrupt_channels(
     std::vector<std::vector<double>>& channels, common::Rng& rng) {
   constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
   constexpr double kInf = std::numeric_limits<double>::infinity();
+  const std::size_t n = channels.empty() ? 0 : channels.front().size();
+  if (n == 0) return;
 
-  for (std::size_t c = 0; c < channels.size(); ++c) {
-    std::vector<double>& ch = channels[c];
-    const std::size_t n = ch.size();
-    if (n == 0) continue;
+  // Class-major passes, each on its own substream. Within a class, draws
+  // are consumed in a fixed channel-major order that depends only on that
+  // class's own configuration, never on another class's.
 
-    // Run-shaped faults first (dropouts, saturation): a run that starts
-    // inside another simply overwrites it, like colliding bursts would.
-    for (std::size_t i = 0; i < n; ++i) {
-      if (config_.dropout_rate > 0.0 && rng.bernoulli(config_.dropout_rate)) {
+  // Run-shaped faults first (dropouts, saturation): a run that starts
+  // inside another simply overwrites it, like colliding bursts would.
+  if (config_.dropout_rate > 0.0) {
+    common::Rng r = rng.split(kStreamDropout);
+    for (std::size_t c = 0; c < channels.size(); ++c) {
+      std::vector<double>& ch = channels[c];
+      for (std::size_t i = 0; i < n; ++i) {
+        if (!r.bernoulli(config_.dropout_rate)) continue;
         const std::size_t end = std::min(n, i + config_.dropout_run);
         std::fill(ch.begin() + static_cast<long>(i),
                   ch.begin() + static_cast<long>(end), config_.dropout_value);
@@ -47,9 +79,13 @@ void FaultInjector::corrupt_channels(
         i = end - 1;
       }
     }
-    for (std::size_t i = 0; i < n; ++i) {
-      if (config_.saturation_rate > 0.0 &&
-          rng.bernoulli(config_.saturation_rate)) {
+  }
+  if (config_.saturation_rate > 0.0) {
+    common::Rng r = rng.split(kStreamSaturation);
+    for (std::size_t c = 0; c < channels.size(); ++c) {
+      std::vector<double>& ch = channels[c];
+      for (std::size_t i = 0; i < n; ++i) {
+        if (!r.bernoulli(config_.saturation_rate)) continue;
         const std::size_t end = std::min(n, i + config_.saturation_run);
         std::fill(ch.begin() + static_cast<long>(i),
                   ch.begin() + static_cast<long>(end),
@@ -58,29 +94,128 @@ void FaultInjector::corrupt_channels(
         i = end - 1;
       }
     }
+  }
 
-    // Point faults: impulse glitches and non-finite samples.
-    if (config_.glitch_rate > 0.0) {
+  // Slow additive corruptions (step, drift, flicker) go before the point
+  // faults so an impulse lands on top of the shifted level, as it would in
+  // hardware.
+  if (config_.step_rate > 0.0) {
+    common::Rng r = rng.split(kStreamStep);
+    for (std::size_t c = 0; c < channels.size(); ++c) {
+      std::vector<double>& ch = channels[c];
+      double offset = 0.0;
       for (std::size_t i = 0; i < n; ++i) {
-        if (!rng.bernoulli(config_.glitch_rate)) continue;
-        ch[i] += rng.bernoulli(0.5) ? config_.glitch_magnitude
-                                    : -config_.glitch_magnitude;
+        if (r.bernoulli(config_.step_rate)) {
+          offset += r.bernoulli(0.5) ? config_.step_magnitude
+                                     : -config_.step_magnitude;
+          log_.push_back({FaultEvent::Kind::kStep, c, i, n});
+        }
+        ch[i] += offset;
+      }
+    }
+  }
+  if (config_.drift_rate > 0.0) {
+    common::Rng r = rng.split(kStreamDrift);
+    for (std::size_t c = 0; c < channels.size(); ++c) {
+      std::vector<double>& ch = channels[c];
+      double offset = 0.0;
+      double slope = 0.0;
+      std::size_t ramp_remaining = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        const bool start = r.bernoulli(config_.drift_rate);
+        if (start && ramp_remaining == 0) {
+          slope = (r.bernoulli(0.5) ? 1.0 : -1.0) * config_.drift_magnitude /
+                  static_cast<double>(config_.drift_run);
+          ramp_remaining = config_.drift_run;
+          log_.push_back({FaultEvent::Kind::kDrift, c, i,
+                          std::min(n, i + config_.drift_run)});
+        }
+        if (ramp_remaining > 0) {
+          offset += slope;
+          --ramp_remaining;
+        }
+        ch[i] += offset;
+      }
+    }
+  }
+  if (config_.flicker_rate > 0.0) {
+    common::Rng r = rng.split(kStreamFlicker);
+    const double omega = 2.0 * M_PI / static_cast<double>(config_.flicker_period);
+    for (std::size_t c = 0; c < channels.size(); ++c) {
+      std::vector<double>& ch = channels[c];
+      std::size_t remaining = 0;
+      std::size_t phase = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        const bool start = r.bernoulli(config_.flicker_rate);
+        if (start && remaining == 0) {
+          remaining = config_.flicker_run;
+          phase = 0;
+          log_.push_back({FaultEvent::Kind::kFlicker, c, i,
+                          std::min(n, i + config_.flicker_run)});
+        }
+        if (remaining > 0) {
+          ch[i] +=
+              config_.flicker_magnitude * std::sin(omega * static_cast<double>(phase));
+          ++phase;
+          --remaining;
+        }
+      }
+    }
+  }
+
+  // Point faults: impulse glitches, crackle trains, non-finite samples.
+  if (config_.glitch_rate > 0.0) {
+    common::Rng r = rng.split(kStreamGlitch);
+    for (std::size_t c = 0; c < channels.size(); ++c) {
+      std::vector<double>& ch = channels[c];
+      for (std::size_t i = 0; i < n; ++i) {
+        if (!r.bernoulli(config_.glitch_rate)) continue;
+        ch[i] += r.bernoulli(0.5) ? config_.glitch_magnitude
+                                  : -config_.glitch_magnitude;
         log_.push_back({FaultEvent::Kind::kGlitch, c, i, i + 1});
       }
     }
-    if (config_.non_finite_rate > 0.0) {
+  }
+  if (config_.crackle_rate > 0.0) {
+    common::Rng r = rng.split(kStreamCrackle);
+    for (std::size_t c = 0; c < channels.size(); ++c) {
+      std::vector<double>& ch = channels[c];
       for (std::size_t i = 0; i < n; ++i) {
-        if (!rng.bernoulli(config_.non_finite_rate)) continue;
-        const std::uint64_t pick = rng.below(3);
+        if (!r.bernoulli(config_.crackle_rate)) continue;
+        double sign = r.bernoulli(0.5) ? 1.0 : -1.0;
+        std::size_t end = i + 1;
+        for (std::size_t k = 0; k < config_.crackle_count; ++k) {
+          const std::size_t pos = i + k * config_.crackle_gap;
+          if (pos >= n) break;
+          ch[pos] += sign * config_.crackle_magnitude;
+          sign = -sign;
+          end = pos + 1;
+        }
+        log_.push_back({FaultEvent::Kind::kCrackle, c, i, end});
+        i = end - 1;
+      }
+    }
+  }
+  if (config_.non_finite_rate > 0.0) {
+    common::Rng r = rng.split(kStreamNonFinite);
+    for (std::size_t c = 0; c < channels.size(); ++c) {
+      std::vector<double>& ch = channels[c];
+      for (std::size_t i = 0; i < n; ++i) {
+        if (!r.bernoulli(config_.non_finite_rate)) continue;
+        const std::uint64_t pick = r.below(3);
         ch[i] = pick == 0 ? kNaN : (pick == 1 ? kInf : -kInf);
         log_.push_back({FaultEvent::Kind::kNonFinite, c, i, i + 1});
       }
     }
+  }
 
-    // Stuck channel: freeze at the value held at a random position.
-    if (config_.stuck_channel_rate > 0.0 &&
-        rng.bernoulli(config_.stuck_channel_rate)) {
-      const std::size_t at = static_cast<std::size_t>(rng.below(n));
+  // Stuck channel: freeze at the value held at a random position.
+  if (config_.stuck_channel_rate > 0.0) {
+    common::Rng r = rng.split(kStreamStuck);
+    for (std::size_t c = 0; c < channels.size(); ++c) {
+      std::vector<double>& ch = channels[c];
+      if (!r.bernoulli(config_.stuck_channel_rate)) continue;
+      const std::size_t at = static_cast<std::size_t>(r.below(n));
       std::fill(ch.begin() + static_cast<long>(at), ch.end(), ch[at]);
       log_.push_back({FaultEvent::Kind::kStuckChannel, c, at, n});
     }
@@ -117,18 +252,20 @@ std::vector<std::vector<double>> FaultInjector::frames(
   }
   corrupt_channels(channels, rng);
 
+  common::Rng mismatch_rng = rng.split(kStreamMismatch);
   std::vector<std::vector<double>> out;
   out.reserve(trace.sample_count());
   for (std::size_t i = 0; i < trace.sample_count(); ++i) {
     std::vector<double> frame(channels.size());
     for (std::size_t c = 0; c < channels.size(); ++c) frame[c] = channels[c][i];
     if (config_.channel_mismatch_rate > 0.0 &&
-        rng.bernoulli(config_.channel_mismatch_rate)) {
-      if (rng.bernoulli(0.5) && frame.size() > 1)
+        mismatch_rng.bernoulli(config_.channel_mismatch_rate)) {
+      if (mismatch_rng.bernoulli(0.5) && frame.size() > 1)
         frame.pop_back();
       else
         frame.push_back(0.0);
-      log_.push_back({FaultEvent::Kind::kChannelMismatch, frame.size(), i, i});
+      log_.push_back(
+          {FaultEvent::Kind::kChannelMismatch, frame.size(), i, i});
     }
     out.push_back(std::move(frame));
   }

@@ -6,10 +6,17 @@
 // Fig. 15), impulsive hardware glitches ("sudden RSS changes due to
 // hardware", Sec. IV-F), outright corrupt non-finite samples from a broken
 // transport, channels frozen at their last value, and frames arriving with
-// the wrong channel count. Every corruption is drawn from a seeded
-// common::Rng, so a given (config, seed, input) triple always produces the
-// same corrupted output and the same fault log — the robustness suite
-// replays identical fault storms at any thread count.
+// the wrong channel count — plus the artifact-detector adversaries: crackle
+// trains, zipper/step level shifts, slow baseline drift, and periodic
+// ambient flicker. Every corruption is drawn from a seeded common::Rng, so
+// a given (config, seed, input) triple always produces the same corrupted
+// output and the same fault log — the robustness suite replays identical
+// fault storms at any thread count.
+//
+// Each fault class draws from its own split RNG stream (keyed by the class,
+// derived via the pure `Rng::split(stream_id)`), so enabling or disabling
+// one class never changes the storm another class produces — a detector's
+// seeded adversary stays fixed while tests sweep the other rates.
 #pragma once
 
 #include <cstdint>
@@ -52,6 +59,38 @@ struct FaultInjectorConfig {
   /// Per-frame probability (frames() only) that the frame is emitted with
   /// a wrong arity: one channel short, or one extra zero sample.
   double channel_mismatch_rate = 0.0;
+
+  /// Per-sample probability (per channel) that a crackle train starts:
+  /// `crackle_count` alternating-sign impulses of ±`crackle_magnitude`,
+  /// spaced `crackle_gap` samples apart — the dense-impulse failure mode a
+  /// loose connector or ESD burst produces.
+  double crackle_rate = 0.0;
+  std::size_t crackle_count = 5;
+  std::size_t crackle_gap = 6;
+  double crackle_magnitude = 400.0;
+
+  /// Per-sample probability (per channel) of a zipper/step fault: the
+  /// channel's DC level jumps by ±`step_magnitude` and stays there (steps
+  /// stack, like a failing ADC reference walking between levels).
+  double step_rate = 0.0;
+  double step_magnitude = 300.0;
+
+  /// Per-sample probability (per channel) that a slow baseline drift
+  /// starts: a linear ramp accumulating ±`drift_magnitude` counts over
+  /// `drift_run` samples, persisting afterwards — ambient temperature or
+  /// sunlight creeping into the photodiode.
+  double drift_rate = 0.0;
+  std::size_t drift_run = 400;
+  double drift_magnitude = 200.0;
+
+  /// Per-sample probability (per channel) that a periodic ambient-flicker
+  /// episode starts: an additive sinusoid of amplitude `flicker_magnitude`
+  /// and period `flicker_period` samples lasting `flicker_run` samples —
+  /// mains-powered lighting bleeding into the NIR band.
+  double flicker_rate = 0.0;
+  std::size_t flicker_run = 256;
+  std::size_t flicker_period = 8;
+  double flicker_magnitude = 120.0;
 };
 
 /// One injected fault, for test assertions. Ranges are sample indices
@@ -65,6 +104,10 @@ struct FaultEvent {
     kGlitch,
     kStuckChannel,
     kChannelMismatch,
+    kCrackle,
+    kStep,
+    kDrift,
+    kFlicker,
   };
   Kind kind{};
   std::size_t channel = 0;

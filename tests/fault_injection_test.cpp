@@ -307,6 +307,13 @@ TEST(FaultInjection, EveryFaultClassSurvivedDeterministicallyAtEveryRate) {
           EXPECT_GT(health.quarantines, 0u);
           break;
         case sensor::FaultEvent::Kind::kChannelMismatch:
+        case sensor::FaultEvent::Kind::kCrackle:
+        case sensor::FaultEvent::Kind::kStep:
+        case sensor::FaultEvent::Kind::kDrift:
+        case sensor::FaultEvent::Kind::kFlicker:
+          // The graded artifact classes get their own detector-vs-injector
+          // sweeps in artifact_test.cpp; the burst heuristics exercised
+          // here make no promise about them.
           break;
       }
     }

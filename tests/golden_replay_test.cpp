@@ -17,9 +17,12 @@
 // then commit the rewritten files under tests/golden/.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -27,6 +30,8 @@
 #include "common/error.hpp"
 #include "core/session.hpp"
 #include "core/trainer.hpp"
+#include "sensor/artifact.hpp"
+#include "sensor/fault_injector.hpp"
 #include "sensor/trace_io.hpp"
 #include "synth/dataset.hpp"
 
@@ -199,6 +204,198 @@ TEST(GoldenReplay, CommittedTracesReplayToCommittedEventsExactly) {
     // line-level difference against the committed expectation.
     EXPECT_EQ(serialize_events(events),
               slurp(golden_path(golden.name, ".afevents")));
+  }
+}
+
+// ------------------------------------------- corruption storm goldens
+//
+// Committed recordings with injected artifact storms: the expectation
+// files use the `afevents 2` format, which appends the session's
+// structured pipeline-event ring (quarantine transitions, artifact
+// classifications, segment lifecycle) to the gesture events — keyed by
+// frame numbers, never wall-clock, so the text is deterministic. Any
+// drift in detection, repair, classification, or recovery shows up as an
+// exact textual diff.
+
+/// Serializes a storm replay: the gesture events (v1 lines) plus the
+/// retained pipeline events, one per line, frame-keyed.
+std::string serialize_run(const std::vector<core::GestureEvent>& events,
+                          const obs::PipelineObservability& obs) {
+  std::ostringstream os;
+  os << "afevents 2\n";
+  {
+    // Body identical to v1 so readers share the line grammar.
+    const std::string v1 = serialize_events(events);
+    os << v1.substr(v1.find('\n') + 1);
+  }
+  const auto pipeline = obs.ring().events();
+  os << "pipeline " << pipeline.size() << " dropped " << obs.ring().dropped()
+     << "\n";
+  for (const auto& e : pipeline)
+    os << "p " << static_cast<int>(e.kind) << ' ' << e.frame << ' '
+       << e.begin << ' ' << e.end << ' ' << static_cast<int>(e.detail)
+       << "\n";
+  return os.str();
+}
+
+/// The clean substrate the storms corrupt: three repetitions of each
+/// golden motion from a dedicated seed, appended — long enough for drift
+/// ramps and flicker episodes to play out against the sustain windows.
+const sensor::MultiChannelTrace& storm_substrate() {
+  static const sensor::MultiChannelTrace trace = [] {
+    synth::CollectionConfig config;
+    config.users = 1;
+    config.sessions = 1;
+    config.repetitions = 3;
+    config.kinds.clear();
+    for (const auto& c : kCases) config.kinds.push_back(c.kind);
+    config.seed = 778;
+    const synth::Dataset dataset = synth::DatasetBuilder(config).collect();
+    AF_ASSERT(!dataset.samples.empty(), "empty storm substrate corpus");
+    sensor::MultiChannelTrace out = dataset.samples.front().trace;
+    for (std::size_t i = 1; i < dataset.samples.size(); ++i)
+      out.append(dataset.samples[i].trace);
+    return out;
+  }();
+  return trace;
+}
+
+/// Clean-substrate measurements, for the same threshold-derivation recipe
+/// the robustness suite and bench use (DESIGN.md §17).
+struct StormProfile {
+  double ceiling = 0.0;   ///< max |x|.
+  double max_dx = 0.0;    ///< max |x_t - x_{t-1}|.
+  double max_vel = 0.0;   ///< max |EWMA baseline velocity|.
+};
+
+const StormProfile& storm_profile() {
+  static const StormProfile profile = [] {
+    StormProfile out;
+    const auto& trace = storm_substrate();
+    for (std::size_t c = 0; c < trace.channel_count(); ++c) {
+      sensor::ChannelArtifactDetector det;
+      const auto ch = trace.channel(c);
+      for (std::size_t i = 0; i < ch.size(); ++i) {
+        out.ceiling = std::max(out.ceiling, std::abs(ch[i]));
+        if (i > 0)
+          out.max_dx = std::max(out.max_dx, std::abs(ch[i] - ch[i - 1]));
+        det.accept(ch[i]);
+        if (det.warmed_up())
+          out.max_vel =
+              std::max(out.max_vel, std::abs(det.baseline_velocity()));
+      }
+    }
+    return out;
+  }();
+  return profile;
+}
+
+double storm_repair_floor() { return 6.0 * storm_profile().max_dx + 32.0; }
+
+/// The graded policy every storm golden is recorded against.
+core::FaultPolicy storm_policy() {
+  core::FaultPolicy policy;
+  policy.enabled = true;
+  policy.saturation_level =
+      storm_profile().ceiling + 8.0 * storm_repair_floor();
+  policy.saturation_run_limit = 8;
+  policy.stuck_run_limit = 32;
+  policy.recovery_frames = 32;
+  policy.artifact.repair = true;
+  policy.artifact.repair_z = 6.0;
+  policy.artifact.repair_min_step = storm_repair_floor();
+  policy.artifact.escalate = true;
+  policy.artifact.detector.drift_velocity =
+      std::max(2.0 * storm_profile().max_vel, 0.05);
+  return policy;
+}
+
+struct StormCase {
+  const char* name;
+  std::uint64_t seed;
+  void (*configure)(sensor::FaultInjectorConfig&);
+  /// Per-case policy adjustment (nullptr: storm_policy() as-is).
+  void (*adjust)(core::FaultPolicy&);
+};
+
+const StormCase kStormCases[] = {
+    {"storm_impulse_crackle", 41,
+     [](sensor::FaultInjectorConfig& c) {
+       c.glitch_rate = 0.004;
+       c.glitch_magnitude = 4.0 * storm_repair_floor();
+       c.crackle_rate = 0.0008;
+       c.crackle_magnitude = 4.0 * storm_repair_floor();
+     },
+     nullptr},
+    {"storm_step", 42,
+     [](sensor::FaultInjectorConfig& c) {
+       c.step_rate = 0.001;
+       c.step_magnitude = 4.0 * storm_repair_floor();
+     },
+     nullptr},
+    {"storm_drift_flicker", 43,
+     [](sensor::FaultInjectorConfig& c) {
+       const double slope = 8.0 * std::max(2.0 * storm_profile().max_vel,
+                                           0.05);
+       c.drift_rate = 0.0008;
+       c.drift_run = 400;
+       c.drift_magnitude = slope * static_cast<double>(c.drift_run);
+       c.flicker_rate = 0.0008;
+       c.flicker_run = 600;
+       c.flicker_period = 8;
+       c.flicker_magnitude = 4.0 * storm_profile().max_dx;
+     },
+     [](core::FaultPolicy& p) {
+       // The slow detectors, not the saturation rail, own this storm.
+       p.saturation_level = std::numeric_limits<double>::infinity();
+     }},
+};
+
+core::FaultPolicy storm_case_policy(const StormCase& storm) {
+  core::FaultPolicy policy = storm_policy();
+  if (storm.adjust != nullptr) storm.adjust(policy);
+  return policy;
+}
+
+TEST(GoldenReplay, CommittedStormTracesReplayToCommittedEventsExactly) {
+  if (regen_requested()) {
+    for (const StormCase& storm : kStormCases) {
+      sensor::FaultInjectorConfig config;
+      storm.configure(config);
+      sensor::FaultInjector injector(config, storm.seed);
+      const auto corrupted = injector.corrupt(storm_substrate());
+      ASSERT_FALSE(injector.log().empty()) << storm.name;
+
+      core::Session session(golden_bundle(), storm_case_policy(storm));
+      const auto events = session.process_trace(corrupted);
+      const std::string run = serialize_run(events, session.observability());
+      // A storm golden without a quarantine transition would not pin the
+      // escalation path at all — refuse to record one.
+      std::size_t quarantine_enters = 0;
+      for (const auto& e : session.observability().ring().events())
+        if (e.kind == obs::PipelineEvent::Kind::kQuarantineEnter)
+          ++quarantine_enters;
+      ASSERT_GE(quarantine_enters, 1u)
+          << storm.name << ": storm produced no quarantine transition";
+      spill(golden_path(storm.name, ".aftrace"),
+            sensor::serialize_trace(corrupted));
+      spill(golden_path(storm.name, ".afevents"), run);
+    }
+    GTEST_SKIP() << "storm golden files regenerated; re-run without "
+                    "AF_REGEN_GOLDEN to verify";
+  }
+
+  for (const StormCase& storm : kStormCases) {
+    SCOPED_TRACE(storm.name);
+    std::istringstream trace_stream(
+        slurp(golden_path(storm.name, ".aftrace")));
+    const sensor::MultiChannelTrace trace = sensor::parse_trace(trace_stream);
+    ASSERT_GT(trace.sample_count(), 0u);
+
+    core::Session session(golden_bundle(), storm_case_policy(storm));
+    const auto events = session.process_trace(trace);
+    EXPECT_EQ(serialize_run(events, session.observability()),
+              slurp(golden_path(storm.name, ".afevents")));
   }
 }
 

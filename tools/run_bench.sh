@@ -5,6 +5,10 @@
 # from the observability spans) and bench_host_scaling, and writes
 # BENCH_inference.json at the repository root with the schema
 #   {frames_per_sec, p50_us, p99_us, allocs_per_frame, stages, ...}
+# The full run also refreshes BENCH_robustness.json (bench_robustness:
+# per-class artifact detection rates, clean-trace false-positive gate,
+# repaired-vs-unrepaired event recall) whose quality gates are enforced by
+# the bench itself.
 #
 # Usage: tools/run_bench.sh [--smoke] [build-dir]   (default:
 # build/aux/bench — see the canonical build-dir layout in README.md;
@@ -59,13 +63,20 @@ check_zero_allocs() {
 }
 
 cmake -B "${BUILD}" -S "${ROOT}" -DCMAKE_BUILD_TYPE=Release -DAF_OBS_SPANS=ON
-cmake --build "${BUILD}" -j --target bench_inference bench_host_scaling
+cmake --build "${BUILD}" -j --target bench_inference bench_host_scaling bench_robustness
 
 if [[ "${SMOKE}" == 1 ]]; then
   OUT="$(mktemp /tmp/BENCH_inference.smoke.XXXXXX.json)"
   HOST_OUT="$(mktemp /tmp/bench_host_scaling.smoke.XXXXXX.json)"
+  ROBUST_OUT="$(mktemp /tmp/BENCH_robustness.smoke.XXXXXX.json)"
   "${BUILD}/bench/bench_inference" --passes 1 --streams 2 \
     --baseline-fps "${BASELINE_FPS}" --out "${OUT}"
+  # Artifact-detection quality gates (per-class detection rate, clean-trace
+  # false positives, 0 allocs/frame under storms): the bench enforces them
+  # itself and exits non-zero on a miss.
+  "${BUILD}/bench/bench_robustness" --smoke 1 --users 2 --sessions 1 \
+    --reps 3 --out "${ROBUST_OUT}"
+  echo "run_bench: smoke robustness gates: $(sed -n 's/^  \"gates\": \"\(.*\)\"$/\1/p' "${ROBUST_OUT}")"
   # 2000-session big workload with --min-speedup 1.0: the seeded
   # false-sharing/contention regression gate — on a >=4-hw-thread machine
   # a 4-shard host that is *slower* than 1 shard fails the smoke run
@@ -138,6 +149,13 @@ HOST_REPORT="${BUILD}/bench_host_scaling.json"
 "${BUILD}/bench/bench_host_scaling" --out "${HOST_REPORT}"
 echo "run_bench: host scaling gate: $(sed -n 's/^  "scaling_gate": "\(.*\)",$/\1/p' "${HOST_REPORT}")"
 check_zero_allocs "${ROOT}/BENCH_inference.json"
+
+# The tracked artifact-detection quality baseline rides the same refresh:
+# bench_robustness enforces its own gates (per-class detection rates,
+# clean-trace false positives, 0 allocs/frame under storms) and exits
+# non-zero on a miss, which fails this script via `set -e`.
+"${BUILD}/bench/bench_robustness" --out "${ROOT}/BENCH_robustness.json"
+echo "run_bench: robustness gates: $(sed -n 's/^  \"gates\": \"\(.*\)\"$/\1/p' "${ROOT}/BENCH_robustness.json")"
 
 echo "== observability overhead guard (tolerance ${OVERHEAD_TOL}, best of ${REPEATS}) =="
 NOSPANS_BUILD="${BUILD}-nospans"

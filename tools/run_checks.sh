@@ -7,9 +7,13 @@
 #   4. bench:  hot-path microbenchmark smoke (incl. 0-allocs/frame check)
 #   5. tsan:   tools/run_tsan.sh (ThreadSanitizer, multi-thread pool)
 #
-# Usage: tools/run_checks.sh [--soak] [build-dir]   (default: build)
+# Usage: tools/run_checks.sh [--soak] [--robustness-smoke] [build-dir]
+# (default build-dir: build)
 # --soak additionally runs the 10k-session host soak (ctest label `soak`,
 # AF_SOAK=1) under the TSan tree — minutes of wall-clock, off by default.
+# --robustness-smoke additionally runs the bench_robustness quality gates
+# (per-class artifact detection rate, clean-trace false positives,
+# 0 allocs/frame under storms) on a small substrate.
 # Canonical build-dir layout (README.md): the tier-1 tree lives at
 # <build-dir> and every auxiliary tree nests under <build-dir>/aux
 # (<build-dir>/aux/asan, /aux/tsan, /aux/bench), so one ignored root holds
@@ -21,10 +25,15 @@ set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 SOAK=0
-if [[ "${1:-}" == "--soak" ]]; then
-  SOAK=1
+ROBUSTNESS_SMOKE=0
+while [[ "${1:-}" == --* ]]; do
+  case "$1" in
+    --soak) SOAK=1 ;;
+    --robustness-smoke) ROBUSTNESS_SMOKE=1 ;;
+    *) echo "run_checks: unknown flag $1" >&2; exit 2 ;;
+  esac
   shift
-fi
+done
 BUILD="${1:-${ROOT}/build}"
 
 echo "== tier-1: build + ctest =="
@@ -54,7 +63,7 @@ cmake -B "${ASAN_BUILD}" -S "${ROOT}" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DAF_SANITIZE=address,undefined
 cmake --build "${ASAN_BUILD}" -j \
-  --target bundle_test serialize_test core_test parallel_test spsc_ring_test host_shard_test probe_test compiled_forest_test simd_test fault_injection_test obs_test obs_pipeline_test
+  --target bundle_test serialize_test core_test parallel_test spsc_ring_test host_shard_test probe_test compiled_forest_test simd_test fault_injection_test artifact_test obs_test obs_pipeline_test
 "${ASAN_BUILD}/tests/bundle_test"
 "${ASAN_BUILD}/tests/serialize_test"
 "${ASAN_BUILD}/tests/core_test"
@@ -65,6 +74,7 @@ cmake --build "${ASAN_BUILD}" -j \
 "${ASAN_BUILD}/tests/compiled_forest_test"
 "${ASAN_BUILD}/tests/simd_test"
 "${ASAN_BUILD}/tests/fault_injection_test"
+"${ASAN_BUILD}/tests/artifact_test"
 "${ASAN_BUILD}/tests/obs_test"
 "${ASAN_BUILD}/tests/obs_pipeline_test"
 
@@ -85,6 +95,16 @@ cmake --build "${SIMD_OFF_BUILD}" -j \
 
 echo "== bench smoke: hot-path microbenchmark builds and runs =="
 "${ROOT}/tools/run_bench.sh" --smoke "${BUILD}/aux/bench"
+
+if [[ "${ROBUSTNESS_SMOKE}" == "1" ]]; then
+  echo "== robustness smoke: artifact detection-quality gates =="
+  ROBUST_BUILD="${BUILD}/aux/bench"
+  cmake --build "${ROBUST_BUILD}" -j --target bench_robustness
+  ROBUST_OUT="$(mktemp /tmp/BENCH_robustness.smoke.XXXXXX.json)"
+  "${ROBUST_BUILD}/bench/bench_robustness" --smoke 1 --users 2 \
+    --sessions 1 --reps 3 --out "${ROBUST_OUT}"
+  echo "run_checks: robustness smoke gates pass (report at ${ROBUST_OUT})"
+fi
 
 echo "== tsan: race-check the concurrency contract =="
 "${ROOT}/tools/run_tsan.sh" "${BUILD}/aux/tsan"
