@@ -89,6 +89,7 @@ struct StageReport {
   double sum_ns = 0.0;
   double p50_ns = 0.0;
   double p99_ns = 0.0;
+  double p999_ns = 0.0;
 };
 
 struct SingleSessionReport {
@@ -189,10 +190,23 @@ SingleSessionReport measure_single_session(
     stage.sum_ns = e->value;
     stage.p50_ns = obs::histogram_quantile(*e, 0.50);
     stage.p99_ns = obs::histogram_quantile(*e, 0.99);
+    stage.p999_ns = obs::histogram_quantile(*e, 0.999);
     report.stages.push_back(std::move(stage));
   }
   return report;
 }
+
+/// One shard's utilization during a big-sweep point (host shard telemetry,
+/// DESIGN.md §18): where the wall-clock actually went, so a throughput
+/// regression across shard counts is attributable from the report alone.
+struct ShardUtil {
+  std::size_t shard = 0;
+  double busy_fraction = 0.0;
+  std::uint64_t frames_drained = 0;
+  double drain_batch_p50 = 0.0;
+  double queue_wait_p50_ns = 0.0;
+  std::size_t occupancy_high_water = 0;
+};
 
 /// One point of the 10k-scale host sweep, carrying the host shape it ran
 /// under so the report stays interpretable without cross-referencing code.
@@ -201,6 +215,7 @@ struct BigSweepPoint {
   std::size_t ring_frames = 0;
   const char* admission = "block";
   double frames_per_sec = 0.0;
+  std::vector<ShardUtil> shard_util;
 };
 
 /// Pulls {stage name -> p50_ns} out of a previously written report, so a
@@ -387,11 +402,28 @@ int main(int argc, char** argv) {
                             : "reject";
       point.frames_per_sec =
           static_cast<double>(host.frames_processed()) / wall;
+      for (std::size_t s = 0; s < host.shard_count(); ++s) {
+        const core::ShardTelemetry t = host.shard_telemetry(s);
+        ShardUtil util;
+        util.shard = s;
+        util.busy_fraction = t.busy_fraction();
+        util.frames_drained = t.frames_drained;
+        util.drain_batch_p50 = t.drain_batch_p50;
+        util.queue_wait_p50_ns = t.queue_wait_p50_ns;
+        util.occupancy_high_water = t.occupancy_high_water;
+        point.shard_util.push_back(util);
+      }
       big_sweep.push_back(point);
       std::cout << "  host x" << big_streams << " @ " << shards
                 << " shard(s), ring " << point.ring_frames << ", admission "
                 << point.admission << ": " << point.frames_per_sec
                 << " frames/s\n";
+      for (const ShardUtil& u : big_sweep.back().shard_util)
+        std::cout << "    shard " << u.shard << ": busy "
+                  << 100.0 * u.busy_fraction << "%, " << u.frames_drained
+                  << " frames, batch p50 " << u.drain_batch_p50
+                  << ", queue wait p50 " << u.queue_wait_p50_ns
+                  << " ns, occupancy hw " << u.occupancy_high_water << "\n";
     }
   }
 
@@ -432,7 +464,7 @@ int main(int argc, char** argv) {
       os << (i ? ", " : "") << "{\"name\": \"" << s.name
          << "\", \"count\": " << s.count << ", \"sum_ns\": " << s.sum_ns
          << ", \"p50_ns\": " << s.p50_ns << ", \"p99_ns\": " << s.p99_ns
-         << "}";
+         << ", \"p999_ns\": " << s.p999_ns << "}";
     }
     os << "],\n";
     if (!ref_stages.empty()) {
@@ -471,7 +503,18 @@ int main(int argc, char** argv) {
         os << (i ? ", " : "") << "{\"shards\": " << p.shards
            << ", \"ring_frames\": " << p.ring_frames << ", \"admission\": \""
            << p.admission << "\", \"frames_per_sec\": " << p.frames_per_sec
-           << "}";
+           << ", \"shard_util\": [";
+        for (std::size_t u = 0; u < p.shard_util.size(); ++u) {
+          const ShardUtil& su = p.shard_util[u];
+          os << (u ? ", " : "") << "{\"shard\": " << su.shard
+             << ", \"busy_fraction\": " << su.busy_fraction
+             << ", \"frames_drained\": " << su.frames_drained
+             << ", \"drain_batch_p50\": " << su.drain_batch_p50
+             << ", \"queue_wait_p50_ns\": " << su.queue_wait_p50_ns
+             << ", \"occupancy_high_water\": " << su.occupancy_high_water
+             << "}";
+        }
+        os << "]}";
       }
       os << "]}";
     }

@@ -22,6 +22,15 @@
 // frame-aligned in a ring of doubles (capacity a multiple of the channel
 // count, pushes and pops always one frame wide).
 //
+// Optional ingest stamps: constructed with `stamp_stride` == the span
+// width, the ring keeps one uint64 side-slot per span position, written by
+// `try_push(values, stamp)` and read back by `try_pop(out, &stamp)`. The
+// stamp is published by the same release store of `tail_` that publishes
+// the payload, so the consumer's acquire covers both. The host stamps each
+// frame with its ingest tick at feed() time, which is what turns ring
+// residency into the measured queue_wait stage (DESIGN.md §18). Stride 0
+// (the default) allocates no stamp storage and changes nothing.
+//
 // Not a general MPMC queue: exactly one thread may push and exactly one
 // may pop at a time. Ownership of an end may migrate between threads only
 // through an external happens-before edge (the host's park/unpark mutex).
@@ -44,13 +53,21 @@ class SpscRing {
                 "SpscRing requires nothrow-copyable elements");
 
  public:
-  /// Allocates storage for exactly `capacity` elements (>= 1). This is the
-  /// only allocation the ring ever performs.
-  explicit SpscRing(std::size_t capacity) : buffer_(capacity) {
+  /// Allocates storage for exactly `capacity` elements (>= 1), plus one
+  /// stamp slot per `stamp_stride`-wide span when a stride is given (the
+  /// capacity must then be a multiple of it). Construction is the only
+  /// allocation the ring ever performs.
+  explicit SpscRing(std::size_t capacity, std::size_t stamp_stride = 0)
+      : buffer_(capacity),
+        stamp_stride_(stamp_stride),
+        stamps_(stamp_stride == 0 ? 0 : capacity / stamp_stride) {
     AF_EXPECT(capacity >= 1, "SpscRing capacity must be >= 1");
+    AF_EXPECT(stamp_stride == 0 || capacity % stamp_stride == 0,
+              "SpscRing stamp stride must divide the capacity");
   }
 
   std::size_t capacity() const { return buffer_.size(); }
+  std::size_t stamp_stride() const { return stamp_stride_; }
 
   /// Elements currently queued. Exact from either owning thread when the
   /// other end is quiescent; a consistent lower/upper bound while both
@@ -74,7 +91,13 @@ class SpscRing {
 
   /// Enqueues the whole span or nothing. Spans wider than the capacity can
   /// never fit and always fail.
-  bool try_push(std::span<const T> values) {
+  bool try_push(std::span<const T> values) { return try_push(values, 0); }
+
+  /// Enqueues the whole span or nothing, recording `stamp` in the span's
+  /// stamp slot when the ring was constructed with a stride (the span must
+  /// then be exactly one stride wide). The stamp rides the same release
+  /// publish as the payload.
+  bool try_push(std::span<const T> values, std::uint64_t stamp) {
     const std::size_t n = values.size();
     if (n == 0) return true;
     const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
@@ -85,6 +108,12 @@ class SpscRing {
     for (std::size_t i = 0; i < n; ++i)
       buffer_[static_cast<std::size_t>((tail + i) % buffer_.size())] =
           values[i];
+    if (stamp_stride_ != 0) {
+      AF_EXPECT(n == stamp_stride_,
+                "stamped pushes must be exactly one stride wide");
+      stamps_[static_cast<std::size_t>((tail / stamp_stride_) %
+                                       stamps_.size())] = stamp;
+    }
     tail_.store(tail + n, std::memory_order_release);
     return true;
   }
@@ -95,7 +124,12 @@ class SpscRing {
   bool try_pop(T& out) { return try_pop(std::span<T>(&out, 1)); }
 
   /// Dequeues exactly `out.size()` elements or nothing.
-  bool try_pop(std::span<T> out) {
+  bool try_pop(std::span<T> out) { return try_pop(out, nullptr); }
+
+  /// Dequeues exactly `out.size()` elements or nothing, also reading the
+  /// span's ingest stamp when `stamp` is non-null and the ring carries
+  /// stamps (the span must then be exactly one stride wide).
+  bool try_pop(std::span<T> out, std::uint64_t* stamp) {
     const std::size_t n = out.size();
     if (n == 0) return true;
     const std::uint64_t head = head_.load(std::memory_order_relaxed);
@@ -105,6 +139,12 @@ class SpscRing {
     }
     for (std::size_t i = 0; i < n; ++i)
       out[i] = buffer_[static_cast<std::size_t>((head + i) % buffer_.size())];
+    if (stamp != nullptr && stamp_stride_ != 0) {
+      AF_EXPECT(n == stamp_stride_,
+                "stamped pops must be exactly one stride wide");
+      *stamp = stamps_[static_cast<std::size_t>((head / stamp_stride_) %
+                                                stamps_.size())];
+    }
     head_.store(head + n, std::memory_order_release);
     return true;
   }
@@ -136,6 +176,12 @@ class SpscRing {
   // the trailing line is padded out, whatever the containing object
   // places after the ring cannot false-share with the consumer's fields.
   std::vector<T> buffer_;
+  /// Stamp side-channel (read-only header + producer-written slots). One
+  /// uint64 per stride-wide span; empty when stride == 0. Written before
+  /// and published by the tail_ release store, read after the consumer's
+  /// acquire — never concurrently touched by both ends.
+  std::size_t stamp_stride_ = 0;
+  std::vector<std::uint64_t> stamps_;
   /// Producer line: tail_ is the producer position (monotone); elements
   /// [head_, tail_) are queued. cached_head_ is the producer's copy of
   /// head_, refreshed only on apparent full.

@@ -2,12 +2,15 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <limits>
 #include <mutex>
 
 #include "common/error.hpp"
 #include "common/parallel.hpp"
+#include "obs/exposition.hpp"
+#include "obs/metrics.hpp"
 
 namespace airfinger::core {
 
@@ -16,7 +19,68 @@ namespace {
 /// on one lane cannot starve its shard siblings' latency.
 constexpr std::size_t kSweepChunk = 256;
 constexpr std::size_t kAllFrames = std::numeric_limits<std::size_t>::max();
+
+/// Wall clock for the shard telemetry and the ingest stamps. Deliberately
+/// NOT the session's injectable clock: queue wait and busy fractions
+/// describe real scheduling on this machine, are exposed only behind
+/// include_load_series, and must never add reads to the per-session
+/// clock sequence (which the determinism goldens pin).
+std::uint64_t host_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
 }  // namespace
+
+// ------------------------------------------------------- shard telemetry
+
+/// Per-shard utilization registry (DESIGN.md §18). Written by exactly one
+/// thread — the shard's worker, or the caller thread for the inline
+/// pseudo-shard — and read only at quiescence, so it follows the same
+/// single-writer discipline as the per-session registries. Series are
+/// shard-index-named (there are no labels) and merged into
+/// aggregate_metrics() only under include_load_series, keeping the default
+/// exposition shard-count-invariant.
+struct MultiSessionHost::ShardStats {
+  obs::Registry registry;
+  obs::Registry::Handle parks, unparks, frames_drained, drain_batches,
+      idle_passes, busy_ns, parked_ns;
+  obs::Registry::Handle batch_hist, wait_hist;
+
+  explicit ShardStats(std::size_t shard_index) {
+    const std::string p = "af_shard" + std::to_string(shard_index) + "_";
+    parks = registry.counter(p + "parks_total",
+                             "Times this shard's worker parked idle.");
+    unparks = registry.counter(p + "unparks_total",
+                               "Times this shard's worker was woken.");
+    frames_drained =
+        registry.counter(p + "frames_drained_total",
+                         "Frames this shard pulled off its lanes' rings.");
+    drain_batches =
+        registry.counter(p + "drain_batches_total",
+                         "Per-lane drain sweeps that found queued frames.");
+    idle_passes =
+        registry.counter(p + "idle_passes_total",
+                         "Full sweeps over the shard's lanes that found "
+                         "nothing queued.");
+    busy_ns = registry.counter(
+        p + "busy_ns_total",
+        "Wall nanoseconds spent inside draining sweeps.");
+    parked_ns = registry.counter(
+        p + "parked_ns_total",
+        "Wall nanoseconds spent parked waiting for frames.");
+    batch_hist = registry.histogram(
+        p + "drain_batch_frames",
+        "Frames consumed per non-empty per-lane drain sweep.",
+        obs::HistogramSpec{1.0, 1024.0, 20});
+    wait_hist = registry.histogram(
+        p + "queue_wait_ns",
+        "Ring residency of the oldest frame in each drained batch, from "
+        "its feed()-time ingest stamp.",
+        obs::HistogramSpec{});
+  }
+};
 
 // --------------------------------------------------------------- shard
 
@@ -39,6 +103,7 @@ struct MultiSessionHost::Shard {
   std::condition_variable idle_cv;  ///< Wakes quiesce().
   bool stop = false;                ///< Guarded by m.
   std::vector<double> frame;        ///< Worker-side pop scratch (channels).
+  ShardStats* stats = nullptr;      ///< Worker-written telemetry block.
 
   // Blocked producers spin-poll `parked` while the worker reads `owned` /
   // `frame` headers every pop; its own line (and the alignas-rounded
@@ -57,14 +122,18 @@ struct MultiSessionHost::Shard {
 
 MultiSessionHost::Lane::Lane(std::size_t idx,
                              std::shared_ptr<const ModelBundle> bundle,
-                             FaultPolicy policy, std::size_t ring_capacity)
+                             FaultPolicy policy, std::size_t ring_capacity,
+                             std::size_t stamp_stride)
     : index(idx),
-      ring(ring_capacity),
+      ring(ring_capacity, stamp_stride),
       session(std::in_place, std::move(bundle), policy) {
   events.reserve(16);
   sink = [this](const GestureEvent& e) {
     events.push_back(SessionEvent{index, e});
   };
+  // Stamp exported traces with the lane index, so a merged Perfetto view
+  // groups spans per stream. Pure metadata: no clock reads, no series.
+  session->observability().set_stream_id(idx);
 }
 
 // --------------------------------------------------------- construction
@@ -95,16 +164,24 @@ MultiSessionHost::MultiSessionHost(std::shared_ptr<const ModelBundle> bundle,
                                      : common::current_thread_count();
   shard_count_ = std::clamp<std::size_t>(shard_count_, 1, sessions);
 
+  // Ingest stamps cost one uint64 per ring frame; only pay for them when
+  // the tracing layer that reads them back is compiled in.
+  const std::size_t stamp_stride = AF_OBS_TRACE_ENABLED ? channels : 0;
   lanes_.reserve(sessions);
   for (std::size_t i = 0; i < sessions; ++i)
     lanes_.push_back(std::make_unique<Lane>(
-        i, bundle_, policy_, config_.ring_frames * channels));
+        i, bundle_, policy_, config_.ring_frames * channels, stamp_stride));
+
+  shard_stats_.reserve(shard_count_);
+  for (std::size_t s = 0; s < shard_count_; ++s)
+    shard_stats_.push_back(std::make_unique<ShardStats>(s));
 
   if (shard_count_ < 2) return;  // inline mode: no worker threads at all
   shards_.reserve(shard_count_);
   for (std::size_t s = 0; s < shard_count_; ++s) {
     auto shard = std::make_unique<Shard>();
     shard->frame.resize(channels);
+    shard->stats = shard_stats_[s].get();
     shards_.push_back(std::move(shard));
   }
   for (std::size_t i = 0; i < sessions; ++i)
@@ -127,7 +204,8 @@ MultiSessionHost::~MultiSessionHost() {
 // ------------------------------------------------------- worker / drain
 
 std::size_t MultiSessionHost::drain_lane(Lane& lane, std::span<double> frame,
-                                         std::size_t max_frames) {
+                                         std::size_t max_frames,
+                                         ShardStats* stats) {
   const std::size_t channels = frame.size();
   if (lane.faulted.load(std::memory_order_relaxed) || lane.retired) {
     // Quarantined or retired: the ring is a sink. Count what the lane can
@@ -137,19 +215,27 @@ std::size_t MultiSessionHost::drain_lane(Lane& lane, std::span<double> frame,
     return frames;
   }
   std::size_t consumed = 0;
-  while (consumed < max_frames && lane.ring.try_pop(frame)) {
+  std::uint64_t oldest_stamp = 0;
+  while (consumed < max_frames &&
+         lane.ring.try_pop(frame, consumed == 0 ? &oldest_stamp : nullptr)) {
     ++consumed;
     try {
       lane.session->push_frame(frame, lane.sink);
       ++lane.processed;
     } catch (const std::exception& e) {
       // Quarantine this lane only; shard siblings never observe the fault.
+      // Latch the session's flight recorder first: the last-N events and
+      // traces around the throwing frame are the post-mortem artifact.
+      lane.session->observability().capture_postmortem(
+          obs::FlightReason::kLaneFault, lane.processed);
       lane.fault = e.what();
       lane.faulted.store(true, std::memory_order_relaxed);
       ++lane.dropped_consumer;  // the frame that threw
       lane.dropped_consumer += lane.ring.discard_all() / channels;
       break;
     } catch (...) {
+      lane.session->observability().capture_postmortem(
+          obs::FlightReason::kLaneFault, lane.processed);
       lane.fault = "unknown stream fault";
       lane.faulted.store(true, std::memory_order_relaxed);
       ++lane.dropped_consumer;
@@ -157,14 +243,44 @@ std::size_t MultiSessionHost::drain_lane(Lane& lane, std::span<double> frame,
       break;
     }
   }
+#if AF_OBS_TRACE_ENABLED
+  if (stats != nullptr && consumed != 0) {
+    // One queue-wait sample per non-empty batch: the first (oldest) frame
+    // popped, which bounds the residency of everything behind it.
+    if (oldest_stamp != 0) {
+      const std::uint64_t now = host_now_ns();
+      stats->registry.observe(
+          stats->wait_hist,
+          now > oldest_stamp ? static_cast<double>(now - oldest_stamp)
+                             : 0.0);
+    }
+    stats->registry.inc(stats->frames_drained, consumed);
+    stats->registry.inc(stats->drain_batches);
+    stats->registry.observe(stats->batch_hist,
+                            static_cast<double>(consumed));
+  }
+#else
+  (void)stats;
+  (void)oldest_stamp;
+#endif
   return consumed;
 }
 
 void MultiSessionHost::worker_loop(Shard& shard) {
+  ShardStats* stats = shard.stats;
   for (;;) {
+#if AF_OBS_TRACE_ENABLED
+    const std::uint64_t sweep_t0 = host_now_ns();
+#endif
     std::size_t did = 0;
     for (Lane* lane : shard.owned)
-      did += drain_lane(*lane, shard.frame, kSweepChunk);
+      did += drain_lane(*lane, shard.frame, kSweepChunk, stats);
+#if AF_OBS_TRACE_ENABLED
+    if (did != 0)
+      stats->registry.inc(stats->busy_ns, host_now_ns() - sweep_t0);
+    else
+      stats->registry.inc(stats->idle_passes);
+#endif
     if (did != 0) continue;
 
     std::unique_lock<std::mutex> lock(shard.m);
@@ -177,10 +293,18 @@ void MultiSessionHost::worker_loop(Shard& shard) {
       shard.parked.store(false, std::memory_order_relaxed);
       continue;
     }
+#if AF_OBS_TRACE_ENABLED
+    stats->registry.inc(stats->parks);
+    const std::uint64_t park_t0 = host_now_ns();
+#endif
     shard.idle_cv.notify_all();
     shard.cv.wait(lock, [&] {
       return shard.stop || !shard.parked.load(std::memory_order_relaxed);
     });
+#if AF_OBS_TRACE_ENABLED
+    stats->registry.inc(stats->parked_ns, host_now_ns() - park_t0);
+    stats->registry.inc(stats->unparks);
+#endif
     if (shard.stop) return;
   }
 }
@@ -190,7 +314,8 @@ void MultiSessionHost::quiesce() const {
     // Inline mode: the caller is the consumer, so the barrier IS the
     // drain (through the lanes' own indirection; see the header note).
     for (const auto& lane : lanes_)
-      drain_lane(*lane, scratch_frame_, kAllFrames);
+      drain_lane(*lane, scratch_frame_, kAllFrames,
+                 shard_stats_.front().get());
     return;
   }
   for (const auto& shard_ptr : shards_) {
@@ -224,21 +349,31 @@ bool MultiSessionHost::feed(std::size_t session,
     return false;
   }
 
+#if AF_OBS_TRACE_ENABLED
+  // Ingest stamp: rides the ring's side-channel so the consumer can turn
+  // this frame's ring residency into the measured queue_wait stage.
+  const std::uint64_t ingest_tick = host_now_ns();
+#else
+  const std::uint64_t ingest_tick = 0;  // stride 0: the ring ignores it
+#endif
+
   if (workers_.empty()) {
     // Inline mode: the caller is the consumer. A full ring under kBlock is
     // drained in place (deterministic: this lane's frames in feed order).
-    if (!lane.ring.try_push(frame)) {
+    if (!lane.ring.try_push(frame, ingest_tick)) {
       if (config_.admission == Admission::kReject) {
         ++lane.rejected;
         return false;
       }
       ++lane.blocked;
-      drain_lane(lane, scratch_frame_, kAllFrames);
+      drain_lane(lane, scratch_frame_, kAllFrames,
+                 shard_stats_.front().get());
       if (lane.faulted.load(std::memory_order_relaxed)) {
         ++lane.dropped_producer;
         return false;
       }
-      lane.ring.try_push(frame);  // ring was just emptied; cannot fail
+      // Ring was just emptied; cannot fail.
+      lane.ring.try_push(frame, ingest_tick);
     }
     lane.high_water =
         std::max(lane.high_water, lane.ring.size() / frame.size());
@@ -246,7 +381,7 @@ bool MultiSessionHost::feed(std::size_t session,
   }
 
   Shard& shard = *shards_[session % shard_count_];
-  if (!lane.ring.try_push(frame)) {
+  if (!lane.ring.try_push(frame, ingest_tick)) {
     if (config_.admission == Admission::kReject) {
       ++lane.rejected;
       return false;
@@ -270,7 +405,7 @@ bool MultiSessionHost::feed(std::size_t session,
         ++lane.dropped_producer;
         return false;
       }
-      if (lane.ring.try_push(frame)) break;
+      if (lane.ring.try_push(frame, ingest_tick)) break;
       if (++spins >= 64) std::this_thread::yield();
     }
   }
@@ -338,7 +473,8 @@ std::size_t MultiSessionHost::add_session() {
   const std::size_t index = lanes_.size();
   const std::size_t channels = bundle_->config().channels;
   lanes_.push_back(std::make_unique<Lane>(
-      index, bundle_, policy_, config_.ring_frames * channels));
+      index, bundle_, policy_, config_.ring_frames * channels,
+      AF_OBS_TRACE_ENABLED ? channels : 0));
   if (!shards_.empty()) {
     Shard& shard = *shards_[index % shard_count_];
     // The worker is parked (quiesce() above); owned is mutated under its
@@ -444,6 +580,41 @@ HealthStats MultiSessionHost::aggregate_health() const {
   return total;
 }
 
+ShardTelemetry MultiSessionHost::shard_telemetry(std::size_t shard) const {
+  AF_EXPECT(shard < shard_count_, "shard index out of range");
+  quiesce();
+  const ShardStats& stats = *shard_stats_[shard];
+  ShardTelemetry t;
+  t.shard = shard;
+  for (const auto& lane : lanes_) {
+    if (lane->index % shard_count_ != shard || lane->retired) continue;
+    ++t.lanes;
+    t.occupancy_high_water =
+        std::max(t.occupancy_high_water, lane->high_water);
+  }
+  const obs::Registry& r = stats.registry;
+  t.parks = r.counter_value(stats.parks);
+  t.unparks = r.counter_value(stats.unparks);
+  t.frames_drained = r.counter_value(stats.frames_drained);
+  t.drain_batches = r.counter_value(stats.drain_batches);
+  t.idle_passes = r.counter_value(stats.idle_passes);
+  t.busy_ns = r.counter_value(stats.busy_ns);
+  t.parked_ns = r.counter_value(stats.parked_ns);
+  // Quantiles come off a snapshot: histogram_quantile() works on entries,
+  // and a telemetry read is far off the hot path.
+  const obs::MetricsSnapshot snap = r.snapshot();
+  for (const obs::MetricEntry& e : snap.entries) {
+    if (e.type != obs::MetricEntry::Type::kHistogram) continue;
+    if (e.name.ends_with("_drain_batch_frames"))
+      t.drain_batch_p50 = obs::histogram_quantile(e, 0.5);
+    else if (e.name.ends_with("_queue_wait_ns")) {
+      t.queue_wait_p50_ns = obs::histogram_quantile(e, 0.5);
+      t.queue_wait_p99_ns = obs::histogram_quantile(e, 0.99);
+    }
+  }
+  return t;
+}
+
 obs::MetricsSnapshot MultiSessionHost::aggregate_metrics(
     bool include_load_series) const {
   quiesce();
@@ -517,6 +688,22 @@ obs::MetricsSnapshot MultiSessionHost::aggregate_metrics(
     counter("af_host_blocked_feeds_total",
             "feed() calls that waited for ring space under kBlock.",
             blocked);
+    // Per-shard utilization (DESIGN.md §18): each shard's telemetry
+    // registry appended whole, in shard order, plus an occupancy gauge
+    // over the shard's lanes. Series are shard-index-named, so the merged
+    // snapshot stays uniquely keyed.
+    for (std::size_t s = 0; s < shard_count_; ++s) {
+      obs::MetricsSnapshot shard_snap = shard_stats_[s]->registry.snapshot();
+      for (auto& entry : shard_snap.entries)
+        total.entries.push_back(std::move(entry));
+      std::size_t shard_high_water = 0;
+      for (const auto& lane : lanes_)
+        if (lane->index % shard_count_ == s)
+          shard_high_water = std::max(shard_high_water, lane->high_water);
+      gauge("af_shard" + std::to_string(s) + "_occupancy_high_water_frames",
+            "Highest ring occupancy among this shard's lanes, in frames.",
+            static_cast<double>(shard_high_water));
+    }
   }
   gauge("af_bundle_load_seconds",
         "Wall-clock time load() spent verifying and parsing the bundle.",

@@ -68,6 +68,36 @@ struct SessionEvent {
   GestureEvent event;
 };
 
+/// Point-in-time utilization view of one worker shard (DESIGN.md §18).
+/// All fields are scheduling-dependent — they describe how the load was
+/// actually served, so they legitimately vary across machines, runs, and
+/// shard counts (unlike the emission stream, which never does). Counters
+/// are cumulative since construction; in inline mode (one shard, no
+/// workers) the caller thread plays the worker and parks/busy time stay 0.
+struct ShardTelemetry {
+  std::size_t shard = 0;             ///< Shard index.
+  std::size_t lanes = 0;             ///< Lanes currently hashed to it.
+  std::uint64_t parks = 0;           ///< Worker park events.
+  std::uint64_t unparks = 0;         ///< Worker wake events.
+  std::uint64_t frames_drained = 0;  ///< Frames this shard classified.
+  std::uint64_t drain_batches = 0;   ///< Non-empty drain sweeps per lane.
+  std::uint64_t idle_passes = 0;     ///< Sweeps that found nothing queued.
+  std::uint64_t busy_ns = 0;         ///< Wall time inside draining sweeps.
+  std::uint64_t parked_ns = 0;       ///< Wall time parked on the cv.
+  double drain_batch_p50 = 0.0;      ///< Median frames per non-empty drain.
+  double queue_wait_p50_ns = 0.0;    ///< Median ring residency (ns).
+  double queue_wait_p99_ns = 0.0;    ///< Tail ring residency (ns).
+  std::size_t occupancy_high_water = 0;  ///< Max frames queued on one lane.
+
+  /// Fraction of accounted wall time spent draining (busy vs parked).
+  /// 0 when nothing was accounted yet (or tracing is compiled out).
+  double busy_fraction() const {
+    const double accounted =
+        static_cast<double>(busy_ns) + static_cast<double>(parked_ns);
+    return accounted > 0.0 ? static_cast<double>(busy_ns) / accounted : 0.0;
+  }
+};
+
 /// What feed() does when a lane's ingest ring is full.
 enum class Admission : std::uint8_t {
   kBlock = 0,  ///< Lossless: wait for the consumer to make room.
@@ -210,10 +240,21 @@ class MultiSessionHost {
   /// repo-wide invariance contract: byte-identical at any thread or shard
   /// count. `include_load_series` appends the scheduling-dependent load
   /// series too — shard count, ring capacity, ring high-water, blocked
-  /// feeds — which legitimately vary across machines and runs. Quiesces
-  /// the shards first, so the view is coherent.
+  /// feeds, and the per-shard utilization series (af_shard<i>_*: parks,
+  /// busy/parked time, drain batch sizes, queue wait) — which legitimately
+  /// vary across machines and runs. Quiesces the shards first, so the
+  /// view is coherent.
   obs::MetricsSnapshot aggregate_metrics(
       bool include_load_series = false) const;
+
+  /// Per-shard utilization counters (quiesces first): park/unpark counts,
+  /// busy vs parked wall time, drained frame/batch totals with a batch
+  /// size median, queue-wait quantiles from the ingest-stamp side-channel,
+  /// and the highest ring occupancy among the shard's lanes. Inline mode
+  /// exposes shard 0 (the caller-thread pseudo-shard). Counters only move
+  /// when tracing is compiled in (AF_OBS_TRACE, DESIGN.md §18); with it
+  /// off, the shape is served with everything zero.
+  ShardTelemetry shard_telemetry(std::size_t shard) const;
 
   /// Convenience driver: one trace per session, fanned out round-robin —
   /// each turn feeds up to `frames_per_turn` frames to every stream that
@@ -245,8 +286,12 @@ class MultiSessionHost {
   // on each group start plus the ring's own 64-byte alignment (which
   // rounds sizeof(Lane) to whole lines) keeps every group private.
   struct Lane {
+    /// `stamp_stride` is the ring's ingest-stamp stride: the channel count
+    /// when gesture tracing is compiled in (feed() stamps every frame so
+    /// queue_wait is measurable), 0 otherwise (no stamp storage at all).
     Lane(std::size_t index, std::shared_ptr<const ModelBundle> bundle,
-         FaultPolicy policy, std::size_t ring_capacity);
+         FaultPolicy policy, std::size_t ring_capacity,
+         std::size_t stamp_stride);
 
     const std::size_t index;
     common::SpscRing<double> ring;  ///< Frame-aligned ingest queue.
@@ -279,13 +324,17 @@ class MultiSessionHost {
     obs::MetricsSnapshot final_metrics;
   };
 
-  struct Shard;  // worker state + parking synchronization (in the .cpp)
+  struct Shard;       // worker state + parking synchronization (in the .cpp)
+  struct ShardStats;  // per-shard telemetry registry (in the .cpp)
 
   /// Drains up to `max_frames` frames from one lane's ring through its
   /// session (or discards them when the lane is faulted/retired). Returns
   /// the number of frames consumed. Caller must own the consumer side.
+  /// `stats` (may be null) collects drained-frame/batch counts and the
+  /// queue wait of the batch's oldest frame; a lane fault additionally
+  /// dumps the session's flight recorder before quarantine.
   static std::size_t drain_lane(Lane& lane, std::span<double> frame,
-                                std::size_t max_frames);
+                                std::size_t max_frames, ShardStats* stats);
 
   void worker_loop(Shard& shard);
   /// The epoch barrier behind pump() and every read accessor: blocks until
@@ -303,6 +352,11 @@ class MultiSessionHost {
   FaultPolicy policy_;
   std::vector<std::unique_ptr<Lane>> lanes_;
   std::vector<std::unique_ptr<Shard>> shards_;  ///< Empty in inline mode.
+  /// One telemetry block per shard, always shard_count_ entries (inline
+  /// mode keeps a caller-thread pseudo-shard at index 0). Mutable for the
+  /// same reason as scratch_frame_: quiesce() is logically const but the
+  /// inline drains it performs are accounted here.
+  mutable std::vector<std::unique_ptr<ShardStats>> shard_stats_;
   std::vector<std::thread> workers_;
   /// Caller-side drain scratch (mutable: quiesce() is logically const but
   /// drains inline-mode rings through it).

@@ -102,6 +102,13 @@ class Registry {
   /// precomputed bounds, then four scalar updates. No allocation.
   void observe(Handle h, double v);
 
+  /// A histogram's finite upper bounds (registration shape; stable for
+  /// the registry's lifetime). Lets callers bucket a value themselves —
+  /// the trace layer keys its e2e exemplar table off this.
+  const std::vector<double>& histogram_bounds(Handle h) const {
+    return histograms_[h].bounds;
+  }
+
   // ------------------------------------------------------- aggregation
   /// Adds every metric of `other` into this registry, index by index.
   /// Requires an identical schema (registration sequence); throws

@@ -1,5 +1,6 @@
 #include "obs/pipeline.hpp"
 
+#include <algorithm>
 #include <ostream>
 
 #include "common/error.hpp"
@@ -18,8 +19,6 @@ const char* stage_name(Stage stage) {
   }
   return "unknown";
 }
-
-namespace {
 
 const char* kind_name(PipelineEvent::Kind kind) {
   switch (kind) {
@@ -56,8 +55,6 @@ const char* reject_name(PipelineEvent::Reject reason) {
   return "unknown";
 }
 
-}  // namespace
-
 EventRing::EventRing(std::size_t capacity) {
   AF_EXPECT(capacity >= 1, "event ring needs capacity >= 1");
   ring_.resize(capacity);
@@ -83,6 +80,15 @@ std::vector<PipelineEvent> EventRing::events() const {
   for (std::size_t i = 0; i < size_; ++i)
     out.push_back(ring_[(start + i) % ring_.size()]);
   return out;
+}
+
+std::size_t EventRing::copy_recent(PipelineEvent* out, std::size_t max) const {
+  const std::size_t n = std::min(size_, max);
+  const std::size_t start = size_ == ring_.size() ? head_ : 0;
+  const std::size_t skip = size_ - n;  // Oldest events beyond the window.
+  for (std::size_t i = 0; i < n; ++i)
+    out[i] = ring_[(start + skip + i) % ring_.size()];
+  return n;
 }
 
 void EventRing::clear() {
@@ -171,6 +177,22 @@ PipelineObservability::PipelineObservability(std::size_t ring_capacity)
             stage_name(static_cast<Stage>(s)) + " stage",
         HistogramSpec{});
   }
+  // Gesture-trace series (DESIGN.md §18). Registered unconditionally so the
+  // metric schema — and therefore host aggregation — is identical across
+  // AF_OBS_TRACE on/off trees; the series only move when tracing records.
+  // e2e spans 10 us (tick-clock replay) to 10 s (a live gesture's real
+  // duration), log-spaced.
+  gesture_e2e_ = registry_.histogram(
+      "af_gesture_e2e_seconds",
+      "End-to-end first-frame-to-emission latency per gesture segment",
+      HistogramSpec{1e-5, 10.0, 24});
+  traces_completed_ = registry_.counter(
+      "af_gesture_traces_total", "Gesture traces finalized");
+  traces_evicted_ = registry_.counter(
+      "af_gesture_traces_dropped_total",
+      "Completed gesture traces evicted from the per-session trace ring");
+  recorder_.resize_exemplars(
+      registry_.histogram_bounds(gesture_e2e_).size() + 1);
 }
 
 void PipelineObservability::set_clock(std::unique_ptr<Clock> clock) {
@@ -195,11 +217,96 @@ void PipelineObservability::record(PipelineEvent::Kind kind,
   event.kind = kind;
   event.detail = detail;
   if (!ring_.push(event)) registry_.inc(trace_dropped_);
+#if AF_OBS_TRACE_ENABLED
+  if (trace_enabled_) route_trace(event);
+#endif
+}
+
+#if AF_OBS_TRACE_ENABLED
+void PipelineObservability::route_trace(const PipelineEvent& e) {
+  const std::uint64_t completed_before = recorder_.completed_total();
+  const std::uint64_t evicted_before = recorder_.dropped();
+  switch (e.kind) {
+    case PipelineEvent::Kind::kSegmentOpen:
+      recorder_.begin(e.frame, e.begin, e.t_ns);
+      break;
+    case PipelineEvent::Kind::kSegmentClose:
+      recorder_.note_close(e.frame, e.end, e.t_ns);
+      break;
+    case PipelineEvent::Kind::kSegmentReject:
+      switch (static_cast<PipelineEvent::Reject>(e.detail)) {
+        case PipelineEvent::Reject::kFiltered:
+          // The non-gesture emission that follows finalizes the trace.
+          recorder_.note_filtered();
+          break;
+        case PipelineEvent::Reject::kTooShort:
+          recorder_.abandon(GestureTrace::Outcome::kAbandoned, e.frame,
+                            e.t_ns);
+          break;
+        case PipelineEvent::Reject::kQuarantined:
+          recorder_.abandon(GestureTrace::Outcome::kQuarantined, e.frame,
+                            e.t_ns);
+          break;
+      }
+      break;
+    case PipelineEvent::Kind::kQuarantineEnter:
+      capture_postmortem(FlightReason::kQuarantine, e.frame);
+      break;
+    case PipelineEvent::Kind::kEmit: {
+      const std::int64_t e2e = recorder_.note_emit(e.detail, e.frame, e.t_ns);
+      if (e2e >= 0) {
+        const double seconds = static_cast<double>(e2e) * 1e-9;
+        registry_.observe(gesture_e2e_, seconds);
+        const std::vector<double>& bounds =
+            registry_.histogram_bounds(gesture_e2e_);
+        const auto it =
+            std::lower_bound(bounds.begin(), bounds.end(), seconds);
+        if (const GestureTrace* done = recorder_.latest())
+          recorder_.set_exemplar(
+              static_cast<std::size_t>(it - bounds.begin()), done->trace_id);
+      }
+      break;
+    }
+    default:
+      break;
+  }
+  if (const std::uint64_t d = recorder_.completed_total() - completed_before)
+    registry_.inc(traces_completed_, d);
+  if (const std::uint64_t d = recorder_.dropped() - evicted_before)
+    registry_.inc(traces_evicted_, d);
+}
+#endif
+
+void PipelineObservability::capture_postmortem(FlightReason reason,
+                                               std::uint64_t frame) {
+#if AF_OBS_TRACE_ENABLED
+  if (!flight_.begin_capture(reason, frame)) return;
+  std::array<PipelineEvent, FlightRecorder::kDefaultEventCapacity> tail;
+  const std::size_t n = ring_.copy_recent(tail.data(), tail.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    FlightEvent fe;
+    fe.t_ns = tail[i].t_ns;
+    fe.frame = tail[i].frame;
+    fe.begin = tail[i].begin;
+    fe.end = tail[i].end;
+    fe.kind = static_cast<std::uint8_t>(tail[i].kind);
+    fe.detail = tail[i].detail;
+    flight_.capture_event(fe);
+  }
+  if (const GestureTrace* last = recorder_.latest())
+    flight_.capture_trace(*last);
+  if (recorder_.active()) flight_.capture_trace(recorder_.active_trace());
+#else
+  (void)reason;
+  (void)frame;
+#endif
 }
 
 void PipelineObservability::reset_values() {
   registry_.reset_values();
   ring_.clear();
+  recorder_.clear();
+  flight_.clear();
   // Restart the sampling phase so a reset session traces exactly like a
   // fresh one (Session::reset() bit-identity).
   sample_countdown_ = 1;

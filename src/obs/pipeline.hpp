@@ -29,6 +29,7 @@
 
 #include "obs/clock.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 #ifndef AF_OBS_SPANS_ENABLED
 #define AF_OBS_SPANS_ENABLED 1
@@ -86,6 +87,12 @@ struct PipelineEvent {
   bool operator==(const PipelineEvent&) const = default;
 };
 
+/// Stable lowercase names for event kinds and their detail codes (shared
+/// by dump_events and the flight-recorder artifacts in obs/trace.cpp).
+const char* kind_name(PipelineEvent::Kind kind);
+const char* artifact_detail_name(std::uint8_t detail);
+const char* reject_name(PipelineEvent::Reject reason);
+
 /// Fixed-capacity overwrite-oldest ring of pipeline events. push() is two
 /// array writes; once full, each push overwrites the oldest event and the
 /// overwritten one counts as dropped.
@@ -102,6 +109,11 @@ class EventRing {
 
   /// Retained events, oldest first (allocates; not for the hot path).
   std::vector<PipelineEvent> events() const;
+
+  /// Copies up to `max` of the newest events into `out` (oldest of the
+  /// copied window first); returns the count. No allocation — this is the
+  /// flight recorder's capture path, callable from a worker's catch block.
+  std::size_t copy_recent(PipelineEvent* out, std::size_t max) const;
 
   void clear();
 
@@ -148,10 +160,47 @@ class PipelineObservability {
 
   static constexpr std::uint32_t kDefaultSampleEvery = 16;
 
+  // ------------------------------------------------------------ tracing
+  /// Runtime trace switch (only meaningful when tracing is compiled in;
+  /// -DAF_OBS_TRACE=OFF removes the recording hooks entirely). Tracing is
+  /// record-only — emissions are byte-identical with it on or off.
+  void set_trace_enabled(bool enabled) { trace_enabled_ = enabled; }
+  bool trace_enabled() const { return AF_OBS_TRACE_ENABLED && trace_enabled_; }
+
+  /// Stream identity stamped on exported traces and flight artifacts
+  /// (the host sets its lane index; standalone sessions keep 0).
+  void set_stream_id(std::uint64_t id) { recorder_.set_stream(id); }
+
+  TraceRecorder& tracer() { return recorder_; }
+  const TraceRecorder& tracer() const { return recorder_; }
+  FlightRecorder& flight() { return flight_; }
+  const FlightRecorder& flight() const { return flight_; }
+
+  /// Latches a post-mortem: copies the event-ring tail plus the most
+  /// recent gesture traces into the flight recorder (first trigger wins,
+  /// later ones only count). Pure preallocated copying — callable from the
+  /// host worker's catch block and under artifact storms.
+  void capture_postmortem(FlightReason reason, std::uint64_t frame);
+  bool has_postmortem() const { return flight_.captured(); }
+  void dump_postmortem(std::ostream& os) const { flight_.dump_text(os); }
+  void dump_postmortem_json(std::ostream& os) const { flight_.dump_json(os); }
+
   // ---------------------------------------------------------- recording
   void observe_stage(Stage stage, std::uint64_t ns) {
     registry_.observe(stage_hist_[static_cast<std::size_t>(stage)],
                       static_cast<double>(ns));
+  }
+
+  /// Span completion path: feeds the stage histogram and, when a gesture
+  /// trace is live, appends the span to it. Compiled down to the bare
+  /// histogram observe under -DAF_OBS_TRACE=OFF.
+  void observe_span(Stage stage, std::uint64_t t0_ns, std::uint64_t t1_ns) {
+    observe_stage(stage, t1_ns - t0_ns);
+#if AF_OBS_TRACE_ENABLED
+    if (trace_enabled_ && recorder_.active())
+      recorder_.add_span(static_cast<std::uint8_t>(stage), t0_ns,
+                         t1_ns - t0_ns);
+#endif
   }
 
   /// Records one structured event; timestamps it from the clock and
@@ -208,12 +257,25 @@ class PipelineObservability {
   void dump_events(std::ostream& os) const;
 
  private:
+#if AF_OBS_TRACE_ENABLED
+  /// Interprets one recorded pipeline event as a trace-lifecycle step
+  /// (segment open/close/reject/emit, quarantine → flight capture) and
+  /// keeps the gesture-trace registry series in step with the recorder.
+  void route_trace(const PipelineEvent& event);
+#endif
+
   std::unique_ptr<Clock> clock_;
   Registry registry_;
   EventRing ring_;
+  TraceRecorder recorder_;
+  FlightRecorder flight_;
   std::array<Registry::Handle, kStageCount> stage_hist_{};
   Registry::Handle trace_dropped_;
+  Registry::Handle gesture_e2e_;       ///< af_gesture_e2e_seconds.
+  Registry::Handle traces_completed_;  ///< af_gesture_traces_total.
+  Registry::Handle traces_evicted_;    ///< af_gesture_traces_dropped_total.
   bool spans_enabled_ = true;
+  bool trace_enabled_ = true;
   std::uint32_t sample_every_ = kDefaultSampleEvery;
   std::uint32_t sample_countdown_ = 1;  ///< 1 ⇒ the next frame is sampled.
 };
@@ -232,7 +294,7 @@ class Span {
     }
   }
   ~Span() {
-    if (obs_) obs_->observe_stage(stage_, obs_->clock().now_ns() - t0_);
+    if (obs_) obs_->observe_span(stage_, t0_, obs_->clock().now_ns());
   }
 #else
   Span(PipelineObservability*, Stage) {}

@@ -187,6 +187,52 @@ TEST(EventRing, OverwritesOldestAndCountsDrops) {
   EXPECT_EQ(ring.dropped(), 0u);
 }
 
+TEST(EventRing, WraparoundKeepsExactDropCountsAcrossCapacityBoundaries) {
+  // Push totals chosen to land exactly on, one past, and well beyond the
+  // capacity boundary (including several full wraps): the retained window
+  // must always be the newest `capacity` events in order, and `dropped`
+  // must equal pushes minus capacity, exactly.
+  for (const std::size_t capacity : {std::size_t{1}, std::size_t{3},
+                                     std::size_t{4}, std::size_t{7}}) {
+    for (const std::size_t pushes :
+         {capacity, capacity + 1, 2 * capacity, 2 * capacity + 3,
+          5 * capacity + capacity / 2}) {
+      SCOPED_TRACE("capacity " + std::to_string(capacity) + ", pushes " +
+                   std::to_string(pushes));
+      obs::EventRing ring(capacity);
+      obs::PipelineEvent e;
+      for (std::uint64_t i = 0; i < pushes; ++i) {
+        e.frame = i;
+        EXPECT_EQ(ring.push(e), i < capacity);
+      }
+      EXPECT_EQ(ring.size(), std::min(pushes, capacity));
+      EXPECT_EQ(ring.dropped(), pushes - std::min(pushes, capacity));
+      const auto events = ring.events();
+      ASSERT_EQ(events.size(), std::min(pushes, capacity));
+      for (std::size_t i = 0; i < events.size(); ++i)
+        EXPECT_EQ(events[i].frame, pushes - events.size() + i);
+    }
+  }
+}
+
+TEST(EventRing, CopyRecentTakesTheNewestWindowWithoutAllocating) {
+  obs::EventRing ring(4);
+  obs::PipelineEvent e;
+  for (std::uint64_t i = 0; i < 7; ++i) {  // wraps: retains frames 3..6
+    e.frame = i;
+    ring.push(e);
+  }
+  obs::PipelineEvent out[8];
+  // Window smaller than retained: the newest two, oldest of them first.
+  ASSERT_EQ(ring.copy_recent(out, 2), 2u);
+  EXPECT_EQ(out[0].frame, 5u);
+  EXPECT_EQ(out[1].frame, 6u);
+  // Window larger than retained: everything, still oldest first.
+  ASSERT_EQ(ring.copy_recent(out, 8), 4u);
+  for (std::uint64_t i = 0; i < 4; ++i) EXPECT_EQ(out[i].frame, 3 + i);
+  EXPECT_EQ(ring.copy_recent(out, 0), 0u);
+}
+
 // ------------------------------------------------------------- exposition
 
 obs::MetricsSnapshot sample_snapshot() {
@@ -228,6 +274,58 @@ TEST(Exposition, PrometheusWriteParseWriteIsByteStable) {
   EXPECT_EQ(h->count, 4u);
   EXPECT_EQ(h->value, snapshot.find("af_stage_ingest_ns")->value);
   EXPECT_EQ(h->buckets, snapshot.find("af_stage_ingest_ns")->buckets);
+}
+
+TEST(Exposition, ExtremeValuesSurviveBothRoundTripsExactly) {
+  // The %.17g exactness contract at the edges of double: denormals (down
+  // to the smallest positive 5e-324), near-overflow magnitudes, negative
+  // zero-adjacent gauges, and infinite histogram sums (an observation of
+  // +Inf lands in the +Inf bucket and poisons the sum — the exposition
+  // must carry that faithfully, not normalize it away).
+  constexpr double kDenormalMin = 5e-324;
+  constexpr double kHuge = 1.7976931348623157e308;  // DBL_MAX
+  obs::Registry reg;
+  const auto g_tiny = reg.gauge("af_tiny", "denormal gauge");
+  const auto g_huge = reg.gauge("af_huge", "near-overflow gauge");
+  const auto g_neg = reg.gauge("af_neg", "negative denormal gauge");
+  const auto g_inf = reg.gauge("af_inf", "infinite gauge");
+  const auto h = reg.histogram("af_h", "extreme observations",
+                               {.least = 1e-30, .most = 1e30,
+                                .buckets = 24});
+  reg.set(g_tiny, kDenormalMin);
+  reg.set(g_huge, kHuge);
+  reg.set(g_neg, -kDenormalMin);
+  reg.set(g_inf, std::numeric_limits<double>::infinity());
+  reg.observe(h, kDenormalMin);
+  reg.observe(h, kHuge);
+  reg.observe(h, std::numeric_limits<double>::infinity());
+  const obs::MetricsSnapshot snapshot = reg.snapshot();
+
+  // JSON round trip: full snapshot equality, bit-exact doubles included.
+  std::istringstream json_in(obs::to_json(snapshot));
+  const obs::MetricsSnapshot from_json = obs::parse_json(json_in);
+  EXPECT_EQ(from_json, snapshot);
+  EXPECT_EQ(from_json.find("af_tiny")->value, kDenormalMin);
+  EXPECT_EQ(from_json.find("af_huge")->value, kHuge);
+  EXPECT_EQ(from_json.find("af_neg")->value, -kDenormalMin);
+  EXPECT_EQ(from_json.find("af_inf")->value,
+            std::numeric_limits<double>::infinity());
+  EXPECT_TRUE(std::isinf(from_json.find("af_h")->value));  // sum
+
+  // Prometheus round trip: byte-stable text, and every carried field
+  // exact — including the denormal min and the infinite sum.
+  const std::string text = obs::to_prometheus(snapshot);
+  std::istringstream prom_in(text);
+  const obs::MetricsSnapshot from_prom = obs::parse_prometheus(prom_in);
+  EXPECT_EQ(obs::to_prometheus(from_prom), text);
+  EXPECT_EQ(from_prom.find("af_tiny")->value, kDenormalMin);
+  EXPECT_EQ(from_prom.find("af_huge")->value, kHuge);
+  const auto* hist = from_prom.find("af_h");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->count, 3u);
+  EXPECT_TRUE(std::isinf(hist->value));
+  EXPECT_EQ(hist->buckets, snapshot.find("af_h")->buckets);
+  EXPECT_EQ(hist->buckets.back(), 2u);  // DBL_MAX and +Inf land past 1e30
 }
 
 TEST(Exposition, HistogramQuantileClampsToObservedRange) {

@@ -148,6 +148,60 @@ TEST(SpscRing, DiscardAllCountsAndEmpties) {
   EXPECT_EQ(out, 9);
 }
 
+TEST(SpscRing, StampsRideAlongWithTheirFrames) {
+  // Two 3-wide frame slots; each frame's ingest stamp must come back with
+  // exactly that frame across wraparounds, and failed pushes must leave
+  // the previously published stamp untouched.
+  constexpr std::size_t kChannels = 3;
+  SpscRing<double> ring(2 * kChannels, kChannels);
+  EXPECT_EQ(ring.stamp_stride(), kChannels);
+  std::vector<double> frame(kChannels);
+  std::vector<double> out(kChannels);
+  std::uint64_t stamp = 0;
+
+  for (std::uint64_t k = 0; k < 50; ++k) {
+    for (std::size_t c = 0; c < kChannels; ++c)
+      frame[c] = static_cast<double>(k * kChannels + c);
+    ASSERT_TRUE(
+        ring.try_push(std::span<const double>(frame), 1000 + k));
+    if (k % 2 == 1) {
+      // Ring is full: the refused push must not clobber any stamp.
+      ASSERT_FALSE(
+          ring.try_push(std::span<const double>(frame), 9999));
+      for (const std::uint64_t expect : {k - 1, k}) {
+        ASSERT_TRUE(ring.try_pop(std::span<double>(out), &stamp));
+        EXPECT_EQ(stamp, 1000 + expect);
+        EXPECT_EQ(out[0], static_cast<double>(expect * kChannels));
+      }
+    }
+  }
+  EXPECT_TRUE(ring.empty());
+
+  // A null stamp pointer skips the read-back without consuming wrong.
+  ASSERT_TRUE(ring.try_push(std::span<const double>(frame), 777));
+  ASSERT_TRUE(ring.try_pop(std::span<double>(out), nullptr));
+  EXPECT_TRUE(ring.empty());
+}
+
+TEST(SpscRing, StampStrideZeroAllocatesNothingAndIgnoresStamps) {
+  // The AF_OBS_TRACE=OFF shape: stride 0 stores no stamps, and stamped
+  // pushes of any width are accepted with the stamp silently dropped.
+  SpscRing<double> ring(4);
+  EXPECT_EQ(ring.stamp_stride(), 0u);
+  const std::vector<double> frame{1.0, 2.0};
+  ASSERT_TRUE(ring.try_push(std::span<const double>(frame), 42));
+  std::vector<double> out(2, 0.0);
+  std::uint64_t stamp = 123;
+  ASSERT_TRUE(ring.try_pop(std::span<double>(out), &stamp));
+  EXPECT_EQ(stamp, 123u);  // untouched: no stamp storage exists
+  EXPECT_EQ(out, frame);
+}
+
+TEST(SpscRing, StampStrideMustDivideTheCapacity) {
+  EXPECT_THROW(SpscRing<double>(7, 3), PreconditionError);
+  EXPECT_NO_THROW(SpscRing<double>(9, 3));
+}
+
 /// Drives one producer thread against one consumer thread with seeded
 /// burst sizes and yields, checking that the consumer sees exactly the
 /// sequence 0..total-1 in order and that occupancy stays within bounds.

@@ -22,6 +22,7 @@
 // real monotonic clock instead. --load-series 1 opts into the
 // scheduling-dependent backpressure series (ring high-water, blocked
 // feeds, shard count), which trades that byte-identity away.
+#include <fstream>
 #include <iostream>
 #include <memory>
 
@@ -32,6 +33,7 @@
 #include "core/multi_session_host.hpp"
 #include "core/trainer.hpp"
 #include "obs/exposition.hpp"
+#include "obs/trace.hpp"
 #include "synth/dataset.hpp"
 
 using namespace airfinger;
@@ -73,6 +75,26 @@ void print_table(const obs::MetricsSnapshot& snapshot) {
   table.print(std::cout);
 }
 
+/// Per-shard utilization table (table mode + --load-series only): how the
+/// load was actually served, which legitimately varies run to run.
+void print_shard_table(const core::MultiSessionHost& host) {
+  std::cout << "\nper-shard utilization:\n";
+  common::Table table({"shard", "lanes", "busy", "frames", "batch p50",
+                       "wait p50 ns", "wait p99 ns", "parks", "occ hw"});
+  for (std::size_t s = 0; s < host.shard_count(); ++s) {
+    const core::ShardTelemetry t = host.shard_telemetry(s);
+    table.add_row({std::to_string(t.shard), std::to_string(t.lanes),
+                   common::Table::pct(t.busy_fraction()),
+                   std::to_string(t.frames_drained),
+                   common::Table::num(t.drain_batch_p50, 1),
+                   common::Table::num(t.queue_wait_p50_ns, 0),
+                   common::Table::num(t.queue_wait_p99_ns, 0),
+                   std::to_string(t.parks),
+                   std::to_string(t.occupancy_high_water)});
+  }
+  table.print(std::cout);
+}
+
 int run(int argc, char** argv) {
   common::Cli cli("af_stats",
                   "dump host-aggregated pipeline metrics for a "
@@ -99,6 +121,10 @@ int run(int argc, char** argv) {
                "byte-identical");
   cli.add_flag("format", "prometheus",
                "output format: prometheus, json, or table");
+  cli.add_flag("trace", "",
+               "write completed gesture traces as Chrome trace-event JSON "
+               "to this path (load in Perfetto / chrome://tracing); "
+               "byte-identical across runs under the deterministic clock");
   if (!cli.parse(argc, argv)) return 0;
 
   const std::string format = cli.get("format");
@@ -154,14 +180,32 @@ int run(int argc, char** argv) {
             << host.frames_processed() << " frames, " << events.size()
             << " events over " << host.shard_count() << " shard(s)\n";
 
-  const obs::MetricsSnapshot snapshot =
-      host.aggregate_metrics(cli.get_int("load-series") == 1);
+  const bool load_series = cli.get_int("load-series") == 1;
+  const obs::MetricsSnapshot snapshot = host.aggregate_metrics(load_series);
   if (format == "json")
     obs::write_json(std::cout, snapshot);
   else if (format == "table")
     print_table(snapshot);
   else
     obs::write_prometheus(std::cout, snapshot);
+  if (format == "table" && load_series) print_shard_table(host);
+
+  const std::string trace_path = cli.get("trace");
+  if (!trace_path.empty()) {
+    std::vector<obs::SessionTraces> sessions;
+    sessions.reserve(streams);
+    std::size_t total = 0;
+    for (std::size_t s = 0; s < streams; ++s) {
+      const auto& recorder = host.session(s).observability().tracer();
+      sessions.push_back(obs::SessionTraces{s, recorder.completed()});
+      total += sessions.back().traces.size();
+    }
+    std::ofstream out(trace_path, std::ios::binary);
+    AF_EXPECT(out.good(), "cannot open --trace path " + trace_path);
+    obs::write_chrome_trace(out, sessions);
+    std::cerr << "af_stats: wrote " << total << " gesture trace(s) to "
+              << trace_path << "\n";
+  }
   return 0;
 }
 

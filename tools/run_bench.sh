@@ -21,7 +21,8 @@
 #             unrepresentative run.
 #
 # The full (non-smoke) run additionally enforces the observability overhead
-# budget: a second tree is built with -DAF_OBS_SPANS=OFF and the
+# budget: a second tree is built with both -DAF_OBS_SPANS=OFF and
+# -DAF_OBS_TRACE=OFF (all hot-path instrumentation compiled out) and the
 # instrumented build must reach at least (1 - AF_OBS_OVERHEAD_TOL) of its
 # frames/sec (default tolerance 0.03 = 3%). Each build is benchmarked
 # AF_BENCH_REPEATS times (default 3) and the best run represents it: a
@@ -161,7 +162,7 @@ echo "== observability overhead guard (tolerance ${OVERHEAD_TOL}, best of ${REPE
 NOSPANS_BUILD="${BUILD}-nospans"
 NOSPANS_OUT="$(mktemp /tmp/BENCH_inference.nospans.XXXXXX.json)"
 cmake -B "${NOSPANS_BUILD}" -S "${ROOT}" -DCMAKE_BUILD_TYPE=Release \
-  -DAF_OBS_SPANS=OFF
+  -DAF_OBS_SPANS=OFF -DAF_OBS_TRACE=OFF
 cmake --build "${NOSPANS_BUILD}" -j --target bench_inference
 best_of "${NOSPANS_BUILD}/bench/bench_inference" "${NOSPANS_OUT}"
 FPS_OFF="${BEST_FPS}"
@@ -175,5 +176,5 @@ if ! awk -v on="${FPS_ON}" -v off="${FPS_OFF}" -v tol="${OVERHEAD_TOL}" \
   exit 1
 fi
 awk -v on="${FPS_ON}" -v off="${FPS_OFF}" \
-  'BEGIN{printf "run_bench: span overhead %.2f%% (instrumented %s fps, compiled-out %s fps) within budget\n", (1 - on / off) * 100, on, off}'
+  'BEGIN{printf "run_bench: span+trace overhead %.2f%% (instrumented %s fps, compiled-out %s fps) within budget\n", (1 - on / off) * 100, on, off}'
 echo "run_bench: wrote ${ROOT}/BENCH_inference.json"

@@ -7,13 +7,17 @@
 #   4. bench:  hot-path microbenchmark smoke (incl. 0-allocs/frame check)
 #   5. tsan:   tools/run_tsan.sh (ThreadSanitizer, multi-thread pool)
 #
-# Usage: tools/run_checks.sh [--soak] [--robustness-smoke] [build-dir]
-# (default build-dir: build)
+# Usage: tools/run_checks.sh [--soak] [--robustness-smoke] [--trace-smoke]
+# [build-dir]   (default build-dir: build)
 # --soak additionally runs the 10k-session host soak (ctest label `soak`,
 # AF_SOAK=1) under the TSan tree — minutes of wall-clock, off by default.
 # --robustness-smoke additionally runs the bench_robustness quality gates
 # (per-class artifact detection rate, clean-trace false positives,
 # 0 allocs/frame under storms) on a small substrate.
+# --trace-smoke additionally builds an -DAF_OBS_TRACE=ON aux tree, replays
+# a golden gesture through af_trace twice, and checks that the exported
+# Chrome trace JSON parses and is byte-identical across the two runs
+# (the TickClock determinism contract for the trace exporter).
 # Canonical build-dir layout (README.md): the tier-1 tree lives at
 # <build-dir> and every auxiliary tree nests under <build-dir>/aux
 # (<build-dir>/aux/asan, /aux/tsan, /aux/bench), so one ignored root holds
@@ -26,10 +30,12 @@ set -euo pipefail
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 SOAK=0
 ROBUSTNESS_SMOKE=0
+TRACE_SMOKE=0
 while [[ "${1:-}" == --* ]]; do
   case "$1" in
     --soak) SOAK=1 ;;
     --robustness-smoke) ROBUSTNESS_SMOKE=1 ;;
+    --trace-smoke) TRACE_SMOKE=1 ;;
     *) echo "run_checks: unknown flag $1" >&2; exit 2 ;;
   esac
   shift
@@ -63,7 +69,7 @@ cmake -B "${ASAN_BUILD}" -S "${ROOT}" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DAF_SANITIZE=address,undefined
 cmake --build "${ASAN_BUILD}" -j \
-  --target bundle_test serialize_test core_test parallel_test spsc_ring_test host_shard_test probe_test compiled_forest_test simd_test fault_injection_test artifact_test obs_test obs_pipeline_test
+  --target bundle_test serialize_test core_test parallel_test spsc_ring_test host_shard_test probe_test compiled_forest_test simd_test fault_injection_test artifact_test obs_test obs_pipeline_test trace_test
 "${ASAN_BUILD}/tests/bundle_test"
 "${ASAN_BUILD}/tests/serialize_test"
 "${ASAN_BUILD}/tests/core_test"
@@ -77,6 +83,7 @@ cmake --build "${ASAN_BUILD}" -j \
 "${ASAN_BUILD}/tests/artifact_test"
 "${ASAN_BUILD}/tests/obs_test"
 "${ASAN_BUILD}/tests/obs_pipeline_test"
+"${ASAN_BUILD}/tests/trace_test"
 
 echo "== simd-off cross-check: -DAF_SIMD=OFF tree must replay the goldens =="
 # The default (AF_SIMD=ON) tree already proved golden byte-identity above;
@@ -92,6 +99,38 @@ cmake --build "${SIMD_OFF_BUILD}" -j \
 "${SIMD_OFF_BUILD}/tests/compiled_forest_test"
 "${SIMD_OFF_BUILD}/tests/dsp_test"
 "${SIMD_OFF_BUILD}/tests/features_test"
+
+if [[ "${TRACE_SMOKE}" == "1" ]]; then
+  echo "== trace smoke: exporter determinism + cross-gate golden guard =="
+  # Replay one golden gesture through af_trace twice from an explicit
+  # -DAF_OBS_TRACE=ON tree: the exported Chrome trace JSON must parse and
+  # be byte-identical across runs (TickClock pins every span timestamp).
+  TRACE_BUILD="${BUILD}/aux/trace"
+  cmake -B "${TRACE_BUILD}" -S "${ROOT}" -DAF_OBS_TRACE=ON
+  cmake --build "${TRACE_BUILD}" -j --target af_trace
+  TRACE_A="$(mktemp /tmp/af_trace.a.XXXXXX.json)"
+  TRACE_B="$(mktemp /tmp/af_trace.b.XXXXXX.json)"
+  "${TRACE_BUILD}/tools/af_trace" \
+    --input "${ROOT}/tests/golden/circle.aftrace" --out "${TRACE_A}"
+  "${TRACE_BUILD}/tools/af_trace" \
+    --input "${ROOT}/tests/golden/circle.aftrace" --out "${TRACE_B}"
+  cmp "${TRACE_A}" "${TRACE_B}"
+  if command -v python3 >/dev/null 2>&1; then
+    python3 -c 'import json, sys; json.load(open(sys.argv[1]))' "${TRACE_A}"
+  else
+    grep -q '"traceEvents"' "${TRACE_A}"
+  fi
+  # Cross-gate golden guard: an -DAF_OBS_TRACE=OFF tree must replay the
+  # goldens byte-identically (tracing adds zero clock reads, so compiling
+  # it out cannot move an emission), and the unconditional trace_test
+  # cases must still pass with the gate closed.
+  TRACE_OFF_BUILD="${BUILD}/aux/trace-off"
+  cmake -B "${TRACE_OFF_BUILD}" -S "${ROOT}" -DAF_OBS_TRACE=OFF
+  cmake --build "${TRACE_OFF_BUILD}" -j --target golden_replay_test trace_test
+  "${TRACE_OFF_BUILD}/tests/golden_replay_test"
+  "${TRACE_OFF_BUILD}/tests/trace_test"
+  echo "run_checks: trace smoke clean (deterministic export at ${TRACE_A})"
+fi
 
 echo "== bench smoke: hot-path microbenchmark builds and runs =="
 "${ROOT}/tools/run_bench.sh" --smoke "${BUILD}/aux/bench"
